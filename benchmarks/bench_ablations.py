@@ -1,0 +1,41 @@
+"""Ablation benches for design choices DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_ucs_alpha(benchmark, report, ew):
+    result = benchmark.pedantic(lambda: ablations.run_ucs_alpha(ew),
+                                rounds=1, iterations=1)
+    # α is a real dial: different settings must trade label economy
+    # against MAP (not all collapse to one point).
+    maps = [m for _, m, _ in result.points]
+    labels = [l for _, _, l in result.points]
+    assert max(maps) > 0.0
+    assert len(set(labels)) > 1 or len(set(round(m, 3) for m in maps)) > 1
+
+    report(ablations.format_ucs_alpha(result))
+
+
+def test_ablation_concept_sources(benchmark, report, ew):
+    result = benchmark.pedantic(lambda: ablations.run_concept_sources(ew),
+                                rounds=1, iterations=1)
+    # Pattern combination must contribute coverage text mining alone
+    # cannot reach, and the union must dominate both.
+    assert result.both >= result.generation_only
+    assert result.both >= result.mining_only
+    assert result.generation_only > result.mining_only, \
+        "pattern combination should reach more scenarios than mining alone"
+
+    report(ablations.format_concept_sources(result))
+
+
+def test_ablation_distant_filter(benchmark, report, ew):
+    result = benchmark.pedantic(lambda: ablations.run_distant_filter(ew),
+                                rounds=1, iterations=1)
+    # The paper's perfect-match filter keeps fewer sentences but must not
+    # discover fewer concepts: partial matches actively teach the model
+    # that unknown words are Outside.
+    assert result.with_filter[0] <= result.without_filter[0]
+    assert result.with_filter[1] >= result.without_filter[1]
+
+    report(ablations.format_distant_filter(result))

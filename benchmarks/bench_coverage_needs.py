@@ -1,0 +1,18 @@
+"""Bench S7.1 — user-needs coverage: AliCoCo vs the former CPV ontology."""
+
+from repro.experiments import coverage
+
+
+def test_coverage_needs(benchmark, report, ew):
+    result = benchmark.pedantic(lambda: coverage.run(ew), rounds=1,
+                                iterations=1)
+
+    # Paper shape: AliCoCo ~75%, former ontology ~30% — a large gap, with
+    # scenario/problem queries essentially invisible to CPV.
+    assert result.alicoco.query_coverage > result.cpv.query_coverage + 0.25
+    assert result.alicoco.query_coverage > 0.6
+    assert result.cpv.query_coverage < 0.55
+    assert result.cpv.by_family.get("scenario", 0.0) < 0.2
+    assert result.alicoco.by_family.get("scenario", 0.0) > 0.5
+
+    report(coverage.format_report(result))

@@ -1,0 +1,19 @@
+"""Bench F9L — Figure 9 (left): MAP vs negative-sample ratio N."""
+
+from repro.experiments import fig9_negatives
+
+
+def test_fig9_negative_samples(benchmark, report, ew):
+    ratios = (1, 5, 10, 20, 40, 80)
+    result = benchmark.pedantic(
+        lambda: fig9_negatives.run(ew, ratios=ratios, epochs=15),
+        rounds=1, iterations=1)
+
+    by_ratio = dict(result.points)
+    # Paper shape: performance improves as N grows and peaks at a large N
+    # (the paper's sweep peaks around 100).
+    assert result.best_n() >= 20, "large negative ratios should win"
+    assert by_ratio[result.best_n()] > by_ratio[1] + 0.05
+    assert by_ratio[max(ratios)] > by_ratio[min(ratios)]
+
+    report(fig9_negatives.format_report(result))

@@ -1,0 +1,19 @@
+"""Bench S7.2 — iterative vocabulary-mining yield."""
+
+from repro.experiments import mining_yield
+
+
+def test_mining_yield(benchmark, report, ew):
+    result = benchmark.pedantic(
+        lambda: mining_yield.run(ew, rounds=2, max_sentences=900),
+        rounds=1, iterations=1)
+
+    # Paper shape: each round proposes candidates, a fraction survives
+    # verification (64K -> 10K), and the known vocabulary grows.
+    first = result.rounds[0]
+    assert first.candidates, "the miner should propose new spans"
+    assert first.accepted, "some proposals should verify as true concepts"
+    assert 0.0 < first.acceptance_rate <= 1.0
+    assert result.rounds[-1].known_after > result.known_before
+
+    report(mining_yield.format_report(result))

@@ -1,0 +1,26 @@
+"""Bench — scaling study of the construction pipeline."""
+
+from repro.experiments import scaling
+
+from conftest import BENCH_SCALE
+
+
+def test_build_scaling(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: scaling.run(BENCH_SCALE, item_counts=(60, 120, 240, 480)),
+        rounds=1, iterations=1)
+
+    points = result.points
+    # Item-relation volume must grow with the catalog, every scale must
+    # stay fully linked, and growth must not be superlinear by more than
+    # a small factor (matching is O(items x concepts) by construction).
+    for smaller, larger in zip(points[:-1], points[1:]):
+        assert larger.item_relations > smaller.item_relations
+        assert larger.linked_fraction >= 0.98
+    first, last = points[0], points[-1]
+    item_growth = last.n_items / first.n_items
+    relation_growth = last.item_relations / first.item_relations
+    assert relation_growth < item_growth * 2.5, \
+        "item-relation growth should stay near-linear in catalog size"
+
+    report(scaling.format_report(result))

@@ -1,0 +1,18 @@
+"""Bench S8.1 — search relevance with AliCoCo isA data."""
+
+from repro.experiments import search_relevance
+
+from conftest import BENCH_SCALE
+
+
+def test_search_relevance(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: search_relevance.run(BENCH_SCALE), rounds=1, iterations=1)
+
+    # Paper shape: isA knowledge improves matching AUC (+1% offline) and
+    # removes relevance bad cases (-4% online).
+    assert result.auc_gain > 0.0, "isA expansion must improve relevance AUC"
+    assert result.bad_cases_with < result.bad_cases_without, \
+        "isA expansion must remove vocabulary-gap bad cases"
+
+    report(search_relevance.format_report(result))

@@ -1,0 +1,27 @@
+"""Bench T2 — regenerate Table 2 (statistics of the constructed net)."""
+
+from repro.experiments import table2_statistics
+from repro.experiments.table2_statistics import Table2Result
+
+from conftest import BENCH_SCALE
+
+
+def test_table2_statistics(benchmark, report):
+    result: Table2Result = benchmark.pedantic(
+        lambda: table2_statistics.run(BENCH_SCALE), rounds=1, iterations=1)
+    stats = result.stats
+
+    # Shape assertions mirroring the paper's headline structure:
+    # every layer populated, Category the largest domain, (nearly) all
+    # items linked, many e-commerce concepts per item side.
+    assert stats.primitive_concepts > 300
+    assert stats.ecommerce_concepts >= 40
+    assert stats.items == BENCH_SCALE.n_items
+    assert stats.linked_item_fraction >= 0.98
+    assert stats.primitive_by_domain["Category"] >= 200
+    largest = max(stats.primitive_by_domain.values())
+    assert stats.primitive_by_domain["Brand"] <= largest
+    assert stats.avg_primitive_per_item >= 2.0
+    assert stats.isa_primitive > 50
+
+    report(table2_statistics.format_report(result))

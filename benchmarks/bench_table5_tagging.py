@@ -1,0 +1,20 @@
+"""Bench T5 — Table 5: concept-tagging ablation."""
+
+from repro.experiments import table5_tagging
+
+
+def test_table5_tagging(benchmark, report, ew):
+    result = benchmark.pedantic(lambda: table5_tagging.run(ew), rounds=1,
+                                iterations=1)
+
+    baseline = result.f1("baseline")
+    fuzzy = result.f1("+fuzzy")
+    knowledge = result.f1("+fuzzy&knowledge")
+
+    # Paper shape: fuzzy CRF improves over the strict-CRF baseline on
+    # ambiguity-rich data, and knowledge (text augmentation) adds on top.
+    assert fuzzy > baseline - 0.005, "fuzzy CRF should not lose to strict"
+    assert knowledge > baseline + 0.02
+    assert knowledge == max(baseline, fuzzy, knowledge)
+
+    report(table5_tagging.format_report(result))

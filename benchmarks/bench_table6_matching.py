@@ -1,0 +1,23 @@
+"""Bench T6 — Table 6: concept-item semantic matching comparison."""
+
+from repro.experiments import table6_matching
+
+
+def test_table6_matching(benchmark, report, ew):
+    result = benchmark.pedantic(lambda: table6_matching.run(ew), rounds=1,
+                                iterations=1)
+
+    metrics = result.metrics
+    # Paper shape: lexical BM25 is the floor; the knowledge-aware model
+    # beats its knowledge-free variant; the full model is at/near the top.
+    neural = ("dssm", "matchpyramid", "re2", "ours", "ours+knowledge")
+    beats_bm25 = sum(1 for m in neural
+                     if metrics[m]["auc"] > metrics["bm25"]["auc"])
+    assert beats_bm25 >= 4, "neural matchers should beat lexical BM25"
+    assert metrics["ours+knowledge"]["auc"] > metrics["ours"]["auc"], \
+        "external knowledge must add on top of the base model"
+    ranked = sorted(neural, key=lambda m: -metrics[m]["auc"])
+    assert "ours+knowledge" in ranked[:2], \
+        "the knowledge-aware model should be at/near the top on AUC"
+
+    report(table6_matching.format_report(result))

@@ -1,0 +1,72 @@
+"""Run the complete evaluation (every table and figure) and write a report.
+
+This is the script version of the benchmark suite, with the scale under
+your control:
+
+    python examples/full_evaluation.py            # bench-lite, ~6 minutes
+    python examples/full_evaluation.py tiny       # smaller, ~2 minutes
+
+The report is written to ``evaluation_report.txt``.
+"""
+
+import sys
+import time
+
+from repro.config import get_scale, RunScale
+from repro.experiments import (
+    ablations, active_learning, build_experiment_world, coverage,
+    fig9_negatives, mining_yield, search_relevance, table2_statistics,
+    table4_classification, table5_tagging, table6_matching,
+)
+
+BENCH_LITE = RunScale(name="bench-lite", n_items=250, n_queries=400,
+                      n_reviews=200, n_guides=80, embedding_dim=16,
+                      hidden_dim=16, epochs=4, seed=7)
+
+
+def main() -> None:
+    scale = BENCH_LITE
+    if len(sys.argv) > 1:
+        scale = get_scale(sys.argv[1])
+    start = time.time()
+    print(f"building experiment world at scale {scale.name!r} ...")
+    ew = build_experiment_world(scale, n_concepts=110, embedding_epochs=8)
+
+    sections: list[str] = []
+
+    def section(title, text):
+        print(f"[{time.time() - start:6.1f}s] {title}")
+        sections.append(text)
+
+    section("Table 2", table2_statistics.format_report(
+        table2_statistics.run(scale)))
+    section("S7.1 coverage", coverage.format_report(coverage.run(ew)))
+    section("S7.2 mining yield", mining_yield.format_report(
+        mining_yield.run(ew, rounds=2, max_sentences=900)))
+    section("Figure 9 left", fig9_negatives.format_report(
+        fig9_negatives.run(ew, epochs=15)))
+    section("Table 3 / Figure 9 right", active_learning.format_report(
+        active_learning.run(ew)))
+    section("Table 4", table4_classification.format_report(
+        table4_classification.run(ew)))
+    section("Table 5", table5_tagging.format_report(table5_tagging.run(ew)))
+    section("Table 6", table6_matching.format_report(
+        table6_matching.run(ew)))
+    section("S8.1 search relevance", search_relevance.format_report(
+        search_relevance.run(scale)))
+    section("Ablation: UCS alpha", ablations.format_ucs_alpha(
+        ablations.run_ucs_alpha(ew)))
+    section("Ablation: distant filter", ablations.format_distant_filter(
+        ablations.run_distant_filter(ew)))
+    section("Ablation: concept sources", ablations.format_concept_sources(
+        ablations.run_concept_sources(ew)))
+
+    report = "\n\n".join(sections)
+    with open("evaluation_report.txt", "w", encoding="utf-8") as handle:
+        handle.write(report + "\n")
+    print(f"\nwrote evaluation_report.txt ({time.time() - start:.0f}s total)")
+    print("\n" + report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: build a small AliCoCo net and walk its four layers.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import build_alicoco, TINY
+from repro.kg import query as kgq
+
+
+def main() -> None:
+    print("Building AliCoCo at the 'tiny' scale ...")
+    result = build_alicoco(TINY)
+    store = result.store
+
+    print("\n=== Table-2-style statistics ===")
+    print(store.stats().summary())
+
+    # Walk layer by layer, mirroring Figure 1 of the paper.
+    print("\n=== Taxonomy (Section 3) ===")
+    clothing = store.find_by_name("cls", "Clothing")[0]
+    path = " -> ".join(c.name for c in kgq.class_path(store, clothing.id))
+    print(f"class path: {path}")
+
+    print("\n=== Primitive concepts (Section 4) ===")
+    senses = kgq.find_primitive_senses(store, "village")
+    for sense in senses:
+        print(f"  'village' sense: {sense.id} in domain {sense.domain}")
+    coat = kgq.find_primitive_senses(store, "trench coat")[0]
+    hypernyms = kgq.hypernyms(store, coat.id, transitive=True)
+    print("  'trench coat' isA:", [h.name for h in hypernyms])
+
+    print("\n=== E-commerce concepts (Section 5) ===")
+    spec = result.concepts[0]
+    concept = store.get(result.concept_ids[spec.text])
+    print(f"  concept: {concept.text!r} (pattern: {concept.source})")
+    interpretation = kgq.interpretation(store, concept.id)
+    for primitive in interpretation:
+        print(f"    interpreted by {primitive.name!r} ({primitive.domain})")
+
+    print("\n=== Items (Section 6) ===")
+    items = kgq.items_for_concept(store, concept.id, top_k=5)
+    if items:
+        print(f"  items for {concept.text!r}:")
+        for item in items:
+            print(f"    - {item.title}")
+    else:
+        print(f"  (no items matched {concept.text!r} at this tiny scale)")
+
+
+if __name__ == "__main__":
+    main()

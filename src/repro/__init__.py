@@ -1,0 +1,36 @@
+"""repro — a reproduction of "AliCoCo: Alibaba E-commerce Cognitive Concept Net".
+
+The package builds the paper's four-layer cognitive concept net end to end:
+
+- :mod:`repro.taxonomy` — the 20-domain class hierarchy (Section 3);
+- :mod:`repro.mining` — primitive-concept vocabulary mining (Section 4.1);
+- :mod:`repro.hypernym` — hypernym discovery with active learning (Section 4.2);
+- :mod:`repro.concepts` — e-commerce concept generation, classification and
+  tagging (Section 5);
+- :mod:`repro.matching` — concept-item semantic matching (Section 6);
+- :mod:`repro.kg` — the graph store holding all four layers;
+- :mod:`repro.apps` — search / recommendation applications (Section 8);
+- :mod:`repro.synth` — the synthetic e-commerce world standing in for
+  Alibaba's proprietary corpus;
+- :mod:`repro.ml` / :mod:`repro.nlp` — from-scratch neural-network and NLP
+  substrates.
+
+Quickstart::
+
+    from repro import build_alicoco, TINY
+    result = build_alicoco(TINY)
+    print(result.store.stats().summary())
+"""
+
+from .config import RunScale, TINY, SMALL, BENCH, get_scale
+
+__version__ = "1.0.0"
+
+__all__ = ["RunScale", "TINY", "SMALL", "BENCH", "get_scale",
+           "build_alicoco", "__version__"]
+
+
+def build_alicoco(*args, **kwargs):
+    """Build the full AliCoCo net; see :func:`repro.pipeline.build.build_alicoco`."""
+    from .pipeline.build import build_alicoco as _build
+    return _build(*args, **kwargs)

@@ -1,0 +1,62 @@
+"""Command-line entry point.
+
+Usage:
+    python -m repro build [tiny|small|bench]    build a net, print stats
+    python -m repro ask "<question>"            answer a shopping question
+    python -m repro search "<query>"            run a semantic search
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .apps.qa import ConceptQA
+from .apps.search import SemanticSearchEngine
+from .config import get_scale, TINY
+from .pipeline.build import build_alicoco
+
+
+def _build(scale_name: str):
+    scale = get_scale(scale_name)
+    print(f"building AliCoCo at scale {scale.name!r} ...", file=sys.stderr)
+    return build_alicoco(scale)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command = args[0]
+    if command == "build":
+        scale_name = args[1] if len(args) > 1 else "tiny"
+        result = _build(scale_name)
+        print(result.store.stats().summary())
+        return 0
+    if command == "ask":
+        if len(args) < 2:
+            print("usage: python -m repro ask \"<question>\"")
+            return 2
+        result = build_alicoco(TINY)
+        print(ConceptQA(result.store).answer(args[1]).render())
+        return 0
+    if command == "search":
+        if len(args) < 2:
+            print("usage: python -m repro search \"<query>\"")
+            return 2
+        result = build_alicoco(TINY)
+        outcome = SemanticSearchEngine(result.store).search(args[1])
+        if outcome.concept_card is not None:
+            print(f"[concept card] {outcome.concept_card.text}")
+            for item in outcome.card_items[:5]:
+                print(f"   - {item.title}")
+        for item in outcome.items[:5]:
+            print(f" {item.title}")
+        return 0
+    print(f"unknown command {command!r}")
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

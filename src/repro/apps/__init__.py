@@ -1,0 +1,16 @@
+"""Applications of AliCoCo (Section 8): search, recommendation, reasons,
+and the user-needs coverage evaluation of Section 7.1."""
+
+from .search import SemanticSearchEngine, SearchResult
+from .recommend import CognitiveRecommender, ItemCFRecommender
+from .reasons import recommendation_reason
+from .coverage import CoverageEvaluator, CoverageReport
+from .qa import Answer, ConceptQA
+
+__all__ = [
+    "SemanticSearchEngine", "SearchResult",
+    "CognitiveRecommender", "ItemCFRecommender",
+    "recommendation_reason",
+    "CoverageEvaluator", "CoverageReport",
+    "Answer", "ConceptQA",
+]

@@ -1,0 +1,76 @@
+"""Daily quality monitoring (Section 7.1).
+
+"We repeat this procedure every day, in order to detect new trends of
+user needs in time."  This module simulates that loop: a stream of daily
+query samples is scored for coverage, and the uncovered content terms are
+surfaced as *trend candidates* for the mining pipeline to pick up.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import DataError
+from ..synth.queries import Query
+from .coverage import CoverageEvaluator, CoverageReport
+
+
+@dataclass
+class DailyReport:
+    """One day's monitoring outcome."""
+
+    day: int
+    coverage: CoverageReport
+    trend_candidates: list[tuple[str, int]] = field(default_factory=list)
+
+
+class CoverageMonitor:
+    """Tracks coverage over daily query samples and surfaces new trends.
+
+    Args:
+        evaluator: Coverage evaluator for the current vocabulary.
+        trend_min_count: Occurrences before an uncovered term counts as a
+            trend candidate.
+    """
+
+    def __init__(self, evaluator: CoverageEvaluator, trend_min_count: int = 2):
+        self.evaluator = evaluator
+        self.trend_min_count = trend_min_count
+        self.history: list[DailyReport] = []
+        self._uncovered_counts: Counter[str] = Counter()
+
+    def observe_day(self, queries: list[Query]) -> DailyReport:
+        """Score one day's query sample and update trend counters.
+
+        Raises:
+            DataError: On an empty day.
+        """
+        if not queries:
+            raise DataError("a day's query sample cannot be empty")
+        coverage = self.evaluator.evaluate(queries)
+        for query in queries:
+            tokens = list(query.tokens)
+            flags = self.evaluator.covered_tokens(tokens)
+            for token, covered in zip(tokens, flags):
+                if not covered and len(token) > 2:
+                    self._uncovered_counts[token] += 1
+        candidates = [(term, count) for term, count
+                      in self._uncovered_counts.most_common()
+                      if count >= self.trend_min_count]
+        report = DailyReport(day=len(self.history), coverage=coverage,
+                             trend_candidates=candidates)
+        self.history.append(report)
+        return report
+
+    def average_coverage(self) -> float:
+        """Mean needs coverage over the observed window (the paper's "over
+        75% of shopping needs on average in continuous 30 days")."""
+        if not self.history:
+            raise DataError("no days observed yet")
+        return sum(r.coverage.query_coverage for r in self.history) \
+            / len(self.history)
+
+    def top_trends(self, k: int = 5) -> list[str]:
+        """The most frequent uncovered terms so far."""
+        return [term for term, _ in self._uncovered_counts.most_common(k)]

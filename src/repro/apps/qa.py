@@ -1,0 +1,105 @@
+"""Question answering over the net (Section 8.1.2).
+
+"At some point we may want to ask an e-commerce search engine 'What
+should I prepare for hosting next week's barbecue?'" — this module
+answers exactly that question shape from a built AliCoCo store: it strips
+the question scaffolding, locates the e-commerce concept behind it,
+explains the concept through its primitive-concept interpretation, and
+returns the associated items as the shopping list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..kg.nodes import ECommerceConcept, Item, PrimitiveConcept
+from ..kg.query import interpretation, items_for_concept
+from ..kg.store import AliCoCoStore
+from ..utils.text import normalize_text
+from .search import SemanticSearchEngine
+
+_QUESTION_WORDS = frozenset({
+    "what", "which", "how", "should", "shall", "can", "could", "do", "does",
+    "i", "we", "you", "to", "a", "an", "the", "for", "my", "me", "need",
+    "needs", "needed", "prepare", "preparing", "buy", "get", "host",
+    "hosting", "plan", "planning", "next", "week", "weeks", "is", "are",
+    "there", "things", "items", "stuff", "of", "s", "'s",
+})
+
+
+@dataclass
+class Answer:
+    """A structured answer to a shopping question.
+
+    Attributes:
+        question: The original question.
+        concept: The e-commerce concept the question resolved to (or None).
+        explanation: The concept's primitive-concept interpretation.
+        items: The shopping list.
+    """
+
+    question: str
+    concept: ECommerceConcept | None = None
+    explanation: list[PrimitiveConcept] = field(default_factory=list)
+    items: list[Item] = field(default_factory=list)
+
+    @property
+    def answered(self) -> bool:
+        return self.concept is not None and bool(self.items)
+
+    def render(self) -> str:
+        """Human-readable answer text."""
+        if self.concept is None:
+            return "Sorry, I could not find a shopping scenario for that."
+        lines = [f"For {self.concept.text!r} you will need:"]
+        for item in self.items:
+            lines.append(f"  - {item.title}")
+        if self.explanation:
+            parts = ", ".join(f"{p.name} ({p.domain})"
+                              for p in self.explanation)
+            lines.append(f"(because {self.concept.text!r} involves: {parts})")
+        return "\n".join(lines)
+
+
+class ConceptQA:
+    """Answers shopping questions through the concept layer.
+
+    Args:
+        store: A built AliCoCo store.
+        max_items: Shopping-list length.
+    """
+
+    def __init__(self, store: AliCoCoStore, max_items: int = 8):
+        self.store = store
+        self.max_items = max_items
+        self._engine = SemanticSearchEngine(store)
+
+    def extract_intent(self, question: str) -> str:
+        """The content words of a question ("what should i prepare for
+        hosting next week's barbecue" -> "barbecue")."""
+        tokens = normalize_text(question).split()
+        content = []
+        for token in tokens:
+            bare = token[:-2] if token.endswith("'s") else token
+            if bare not in _QUESTION_WORDS:
+                content.append(token)
+        return " ".join(content)
+
+    def answer(self, question: str) -> Answer:
+        """Answer a question; unanswerable questions return an empty
+        Answer rather than raising."""
+        answer = Answer(question=question)
+        intent = self.extract_intent(question)
+        if not intent:
+            return answer
+        concept = self._engine.find_concept(intent)
+        if concept is None:
+            # Fall back to the concept whose tokens the intent contains.
+            concept = self._engine.find_concept(question.lower())
+        if concept is None:
+            return answer
+        answer.concept = concept
+        answer.explanation = interpretation(self.store, concept.id)
+        answer.items = items_for_concept(self.store, concept.id,
+                                         top_k=self.max_items)
+        return answer

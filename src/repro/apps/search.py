@@ -1,0 +1,210 @@
+"""E-commerce semantic search (Sections 8.1.1-8.1.2).
+
+Two behaviours from the paper:
+
+- *semantic search / concept cards*: a query that names a shopping scenario
+  triggers a concept card ("items you will need for outdoor barbecue")
+  with the concept's associated items (Fig 2a);
+- *search relevance*: isA knowledge bridges the vocabulary gap between
+  queries and titles — a query for "coat" should retrieve "trench coat"
+  items even when the title never says "coat".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..errors import NodeNotFoundError
+from ..kg.ids import ECOMMERCE_PREFIX, ITEM_PREFIX, PRIMITIVE_PREFIX
+from ..kg.nodes import ECommerceConcept, Item, PrimitiveConcept
+from ..kg.query import interpretation, items_for_concept
+from ..kg.relations import RelationKind
+from ..kg.store import AliCoCoStore
+
+
+@dataclass
+class KnowledgeCard:
+    """The structured 'knowledge card' of Section 8.1.2 — like searching
+    "China" on Google: everything the net knows about a shopping scenario.
+
+    Attributes:
+        concept: The scenario concept.
+        interpretation_by_domain: domain -> primitive concepts explaining
+            the scenario.
+        items: Associated items, best first.
+        broader: Concepts this one isA.
+        narrower: Concepts that isA this one.
+        implied: Primitive concepts implied through mined commonsense
+            relations ("swimsuit suitable_when summer"), with probability.
+    """
+
+    concept: ECommerceConcept
+    interpretation_by_domain: dict[str, list[PrimitiveConcept]] = field(
+        default_factory=dict)
+    items: list[Item] = field(default_factory=list)
+    broader: list[ECommerceConcept] = field(default_factory=list)
+    narrower: list[ECommerceConcept] = field(default_factory=list)
+    implied: list[tuple[PrimitiveConcept, str, float]] = field(
+        default_factory=list)
+
+    def render(self) -> str:
+        """Multi-line text rendering of the card."""
+        lines = [f"=== {self.concept.text} ==="]
+        for domain in sorted(self.interpretation_by_domain):
+            names = ", ".join(p.name for p
+                              in self.interpretation_by_domain[domain])
+            lines.append(f"{domain}: {names}")
+        for primitive, relation, probability in self.implied:
+            lines.append(f"implies {primitive.name} "
+                         f"({relation}, p={probability:.2f})")
+        if self.broader:
+            lines.append("part of: "
+                         + ", ".join(c.text for c in self.broader))
+        if self.items:
+            lines.append("items you will need:")
+            lines.extend(f"  - {item.title}" for item in self.items)
+        return "\n".join(lines)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one query.
+
+    Attributes:
+        query: The raw query text.
+        concept_card: Triggered e-commerce concept, if any (Fig 2a).
+        card_items: Items displayed on the card.
+        items: Regular retrieval results (title matching + isA expansion).
+    """
+
+    query: str
+    concept_card: ECommerceConcept | None = None
+    card_items: list[Item] = field(default_factory=list)
+    items: list[Item] = field(default_factory=list)
+
+
+class SemanticSearchEngine:
+    """Search over a built AliCoCo store.
+
+    Args:
+        store: The net (items, concepts, isA relations all inside).
+        use_isa_expansion: Expand query terms with their hyponyms via
+            primitive-concept isA edges (the Section 8.1.1 improvement).
+        card_items: Number of items shown on a concept card.
+    """
+
+    def __init__(self, store: AliCoCoStore, use_isa_expansion: bool = True,
+                 card_items: int = 10):
+        self.store = store
+        self.use_isa = use_isa_expansion
+        self.card_items = card_items
+        self._title_index: dict[str, set[str]] = defaultdict(set)
+        for item in store.nodes(ITEM_PREFIX):
+            for token in item.title.split():
+                self._title_index[token].add(item.id)
+        self._concept_by_text: dict[str, ECommerceConcept] = {}
+        for concept in store.nodes(ECOMMERCE_PREFIX):
+            self._concept_by_text[concept.text] = concept
+        # hyponym expansion: surface -> hyponym surfaces (one isA hop).
+        self._hyponyms: dict[str, set[str]] = defaultdict(set)
+        for relation in store.relations(RelationKind.ISA_PRIMITIVE):
+            hyponym = store.get(relation.source).name
+            hypernym = store.get(relation.target).name
+            self._hyponyms[hypernym].add(hyponym)
+
+    # ----------------------------------------------------------------- query
+    def find_concept(self, query: str) -> ECommerceConcept | None:
+        """Concept card trigger: exact text, else best token containment."""
+        query = query.strip()
+        if query in self._concept_by_text:
+            return self._concept_by_text[query]
+        query_tokens = set(query.split())
+        best: ECommerceConcept | None = None
+        best_overlap = 0
+        for text, concept in self._concept_by_text.items():
+            tokens = set(text.split())
+            if tokens <= query_tokens and len(tokens) > best_overlap:
+                best = concept
+                best_overlap = len(tokens)
+        return best
+
+    def _expanded_terms(self, token: str) -> set[str]:
+        terms = {token}
+        if self.use_isa:
+            for hyponym in self._hyponyms.get(token, ()):
+                terms.update(hyponym.split())
+                terms.add(hyponym.split()[-1])
+        return terms
+
+    def retrieve_items(self, query: str, top_k: int = 10) -> list[Item]:
+        """Title retrieval scored by matched query terms, with optional
+        isA expansion of each query token."""
+        scores: dict[str, float] = defaultdict(float)
+        for token in query.split():
+            token_credit: dict[str, float] = {}
+            for term in self._expanded_terms(token):
+                weight = 1.0 if term == token else 0.8
+                for item_id in self._title_index.get(term, ()):
+                    token_credit[item_id] = max(token_credit.get(item_id, 0.0),
+                                                weight)
+            for item_id, credit in token_credit.items():
+                scores[item_id] += credit
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [self.store.get(item_id) for item_id, _ in ranked[:top_k]]
+
+    def search(self, query: str) -> SearchResult:
+        """Full search: concept card (if triggered) plus item results."""
+        result = SearchResult(query=query)
+        concept = self.find_concept(query)
+        if concept is not None:
+            result.concept_card = concept
+            result.card_items = items_for_concept(self.store, concept.id,
+                                                  top_k=self.card_items)
+        result.items = self.retrieve_items(query)
+        return result
+
+    # -------------------------------------------------------- knowledge card
+    def knowledge_card(self, concept_id: str) -> KnowledgeCard:
+        """Assemble the full knowledge card of a concept (Section 8.1.2).
+
+        Raises:
+            NodeNotFoundError: If the concept does not exist.
+        """
+        concept = self.store.get(concept_id)
+        if not isinstance(concept, ECommerceConcept):
+            raise NodeNotFoundError(
+                f"{concept_id!r} is not an e-commerce concept")
+        card = KnowledgeCard(concept=concept)
+        for primitive in interpretation(self.store, concept_id):
+            card.interpretation_by_domain.setdefault(
+                primitive.domain, []).append(primitive)
+        card.items = items_for_concept(self.store, concept_id,
+                                       top_k=self.card_items)
+        card.broader = self.store.targets(concept_id,
+                                          RelationKind.ISA_ECOMMERCE)
+        card.narrower = self.store.sources(concept_id,
+                                           RelationKind.ISA_ECOMMERCE)
+        # Mined commonsense implications of the interpreting primitives.
+        for primitives in card.interpretation_by_domain.values():
+            for primitive in primitives:
+                for relation in self.store.out_relations(
+                        primitive.id, RelationKind.RELATED_PRIMITIVE):
+                    card.implied.append((self.store.get(relation.target),
+                                         relation.name, relation.weight))
+        return card
+
+    # ------------------------------------------------------------ relevance
+    def relevance(self, query: str, item: Item) -> float:
+        """Query-item relevance in [0, 1]: matched query-term fraction
+        (with isA expansion when enabled) — the Section 8.1.1 semantic
+        matching signal."""
+        tokens = query.split()
+        if not tokens:
+            return 0.0
+        title_tokens = set(item.title.split())
+        matched = 0
+        for token in tokens:
+            if self._expanded_terms(token) & title_tokens:
+                matched += 1
+        return matched / len(tokens)

@@ -1,0 +1,27 @@
+"""E-commerce concepts (Section 5): generation, classification, tagging.
+
+E-commerce concepts are short phrases describing shopping scenarios.  This
+subpackage covers their lifecycle:
+
+- :mod:`criteria` — the five quality criteria of Section 5.1;
+- :mod:`generation` — candidate generation by corpus phrase mining and
+  primitive-concept pattern combination (Section 5.2.1 / Table 1);
+- :mod:`features` — the Wide side's pre-calculated features;
+- :mod:`classifier` — the knowledge-enhanced Wide&Deep quality classifier
+  (Section 5.2.2 / Figure 5 / Table 4);
+- :mod:`tagging` — the text-augmented NER model with fuzzy CRF that links
+  concepts to primitive concepts (Section 5.3 / Figures 6-7 / Table 5).
+"""
+
+from .criteria import CriteriaChecker, CriteriaReport
+from .generation import CandidateGenerator
+from .features import WideFeatureExtractor
+from .classifier import ConceptClassifier
+from .tagging import ConceptTagger, span_f1
+from .patterns import GenerationPattern, PATTERNS
+
+__all__ = [
+    "CriteriaChecker", "CriteriaReport", "CandidateGenerator",
+    "WideFeatureExtractor", "ConceptClassifier", "ConceptTagger", "span_f1",
+    "GenerationPattern", "PATTERNS",
+]

@@ -1,0 +1,233 @@
+"""Knowledge-enhanced Wide&Deep concept classifier (Section 5.2.2, Fig 5).
+
+Deep side: a char-level BiLSTM (c1) plus a word-level module where word,
+POS and NER embeddings go through a BiLSTM and self-attention; with
+knowledge enabled, each word's external gloss vector (Doc2vec over the
+knowledge base) goes through its own self-attention and is concatenated
+before max-pooling (c2).  Wide side: pre-calculated features through two
+FC layers (c3).  Final score: MLP over [c1; c2; c3], trained point-wise
+with the negative log-likelihood of Eq. 3.
+
+The ablation rows of Table 4 map to constructor flags:
+
+- Baseline (LSTM + Self Attention): ``use_wide=False, use_knowledge=False``
+- +Wide: ``use_wide=True`` with a perplexity-free feature extractor
+- +Wide & BERT: ``use_wide=True`` with perplexity in the features
+- +Wide & BERT & Knowledge: additionally ``use_knowledge=True``
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import DataError, NotFittedError
+from ..ml import (
+    AdditiveSelfAttention, Adam, BiLSTM, Embedding, Linear, MLP, Module,
+)
+from ..ml.losses import bce_with_logits
+from ..ml.tensor import Tensor, concat, no_grad, stack
+from ..nlp.pos import PosTagger
+from ..nlp.vocab import Vocab
+from ..utils.rng import spawn_rng
+from .features import WideFeatureExtractor
+
+KnowledgeLookup = Callable[[str], np.ndarray | None]
+NerLookup = Callable[[str], int]
+
+
+def lexicon_ner_lookup(lexicon) -> tuple[NerLookup, int]:
+    """NER-label lookup from a lexicon: one id per domain, plus AMBIGUOUS
+    and OUTSIDE.  Returns (lookup, number of labels)."""
+    domains = sorted({entry.domain for entry in lexicon.entries})
+    ids = {domain: i for i, domain in enumerate(domains)}
+    ambiguous_id = len(domains)
+    outside_id = len(domains) + 1
+
+    def lookup(word: str) -> int:
+        senses = lexicon.senses(word)
+        if not senses:
+            return outside_id
+        sense_domains = {entry.domain for entry in senses}
+        if len(sense_domains) > 1:
+            return ambiguous_id
+        return ids[next(iter(sense_domains))]
+
+    return lookup, len(domains) + 2
+
+
+class ConceptClassifier(Module):
+    """The Figure 5 model.
+
+    Args:
+        word_vocab: Vocabulary over concept words.
+        pos_tagger: POS tagger for the POS-embedding channel.
+        ner_lookup: Word -> NER label id (see :func:`lexicon_ner_lookup`).
+        num_ner_labels: Size of the NER label set.
+        wide_extractor: Wide-feature extractor, or ``None`` to disable the
+            Wide side.
+        knowledge_lookup: Word -> gloss vector (or None), or ``None`` to
+            disable the knowledge module.
+        knowledge_dim: Dimension of gloss vectors.
+        word_dim / char_dim / hidden_dim: Embedding and encoder widths.
+        pretrained_words: Optional pretrained word-embedding matrix.
+        seed: Weight-init seed.
+    """
+
+    def __init__(self, word_vocab: Vocab, pos_tagger: PosTagger,
+                 ner_lookup: NerLookup, num_ner_labels: int,
+                 wide_extractor: WideFeatureExtractor | None = None,
+                 knowledge_lookup: KnowledgeLookup | None = None,
+                 gloss_kb=None, knowledge_dim: int = 16, word_dim: int = 16,
+                 char_dim: int = 8, hidden_dim: int = 12,
+                 pretrained_words: np.ndarray | None = None, seed: int = 0):
+        super().__init__()
+        rng = spawn_rng(seed, "concept-classifier")
+        self.word_vocab = word_vocab
+        self.pos_tagger = pos_tagger
+        self.ner_lookup = ner_lookup
+        self.use_wide = wide_extractor is not None
+        self.use_knowledge = knowledge_lookup is not None
+        self._wide = wide_extractor
+        self._knowledge = knowledge_lookup
+        #: Optional GlossKB for symbolic commonsense checks over gloss
+        #: negation markers — the reproduction's stand-in for the
+        #: commonsense reasoning the paper's model learns from gloss text.
+        self._gloss_kb = gloss_kb if self.use_knowledge else None
+        self.knowledge_dim = knowledge_dim
+
+        chars = sorted({c for token in word_vocab.tokens() for c in token})
+        self.char_vocab = Vocab(chars + [" "])
+        self.char_embedding = Embedding(len(self.char_vocab), char_dim, rng)
+        self.char_lstm = BiLSTM(char_dim, hidden_dim, rng)
+
+        pos_dim = 4
+        ner_dim = 4
+        self.word_embedding = Embedding(len(word_vocab), word_dim, rng,
+                                        pretrained=pretrained_words)
+        self.pos_embedding = Embedding(PosTagger.num_tags(), pos_dim, rng)
+        self.ner_embedding = Embedding(num_ner_labels, ner_dim, rng)
+        word_input = word_dim + pos_dim + ner_dim
+        self.word_lstm = BiLSTM(word_input, hidden_dim, rng)
+        self.word_attention = AdditiveSelfAttention(2 * hidden_dim,
+                                                    hidden_dim, rng)
+        deep_dim = 2 * hidden_dim
+        if self.use_knowledge:
+            self.knowledge_attention = AdditiveSelfAttention(
+                knowledge_dim, hidden_dim, rng)
+            deep_dim += knowledge_dim
+
+        final_dim = 2 * hidden_dim + deep_dim  # c1 + c2
+        if self.use_wide:
+            wide_hidden = 8
+            self.wide_mlp = MLP([self._wide.dim, wide_hidden, wide_hidden],
+                                rng, activation="relu")
+            final_dim += wide_hidden
+        if self._gloss_kb is not None:
+            final_dim += 2  # symbolic incompatibility features
+        self.head = MLP([final_dim, hidden_dim, 1], rng, activation="tanh")
+        self._fitted = False
+
+    # ------------------------------------------------------------- encoding
+    def _char_ids(self, text: str) -> np.ndarray:
+        return np.asarray([self.char_vocab.id(c) for c in text])[None, :]
+
+    def _encode(self, text: str) -> Tensor:
+        """Final concatenated representation [c1; c2; (c3)] of one phrase."""
+        tokens = text.split()
+        if not tokens:
+            raise DataError("cannot classify an empty phrase")
+        # c1: char-level BiLSTM, mean-pooled.
+        char_states = self.char_lstm(self.char_embedding(self._char_ids(text)))
+        c1 = char_states.mean(axis=1)[0]
+
+        # c2: knowledge-enhanced word module.
+        word_ids = np.asarray(self.word_vocab.ids(tokens))[None, :]
+        pos_ids = np.asarray([PosTagger.tag_id(t)
+                              for t in self.pos_tagger.tag(tokens)])[None, :]
+        ner_ids = np.asarray([self.ner_lookup(t) for t in tokens])[None, :]
+        word_input = concat([self.word_embedding(word_ids),
+                             self.pos_embedding(pos_ids),
+                             self.ner_embedding(ner_ids)], axis=2)
+        hidden = self.word_lstm(word_input)
+        attended = self.word_attention(hidden)
+        if self.use_knowledge:
+            gloss_vectors = []
+            for token in tokens:
+                vector = self._knowledge(token)
+                if vector is None:
+                    vector = np.zeros(self.knowledge_dim)
+                gloss_vectors.append(np.asarray(vector, dtype=np.float64))
+            knowledge = Tensor(np.stack(gloss_vectors)[None, :, :])
+            knowledge = self.knowledge_attention(knowledge)
+            attended = concat([attended, knowledge], axis=2)
+        c2 = attended.max(axis=1)[0]
+
+        pieces = [c1, c2]
+        if self.use_wide:
+            wide = Tensor(self._wide.extract(text))
+            pieces.append(self.wide_mlp(wide))
+        if self._gloss_kb is not None:
+            flag, rate = self._gloss_kb.incompatibility_features(tokens)
+            pieces.append(Tensor(np.array([flag, rate])))
+        return concat(pieces, axis=0)
+
+    def logit(self, text: str) -> Tensor:
+        """Pre-sigmoid quality score of one candidate."""
+        return self.head(self._encode(text)).reshape(())
+
+    # -------------------------------------------------------------- training
+    def fit(self, texts: Sequence[str], labels: Sequence[int],
+            epochs: int = 5, lr: float = 0.01, batch_size: int = 16,
+            seed: int = 0) -> list[float]:
+        """Train point-wise (Eq. 3); returns mean loss per epoch."""
+        if len(texts) != len(labels):
+            raise DataError("texts/labels length mismatch")
+        if not texts:
+            raise DataError("classifier needs training data")
+        rng = spawn_rng(seed, "concept-classifier-train")
+        optimizer = Adam(self.parameters(), lr=lr)
+        history: list[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(len(texts))
+            total = 0.0
+            batches = 0
+            for start in range(0, len(texts), batch_size):
+                batch = order[start:start + batch_size]
+                optimizer.zero_grad()
+                logits = stack([self.logit(texts[i]) for i in batch], axis=0)
+                targets = np.asarray([labels[i] for i in batch], dtype=float)
+                loss = bce_with_logits(logits, targets)
+                loss.backward()
+                optimizer.clip_grad_norm(5.0)
+                optimizer.step()
+                total += loss.item()
+                batches += 1
+            history.append(total / batches)
+        self._fitted = True
+        return history
+
+    def predict_proba(self, texts: Sequence[str]) -> np.ndarray:
+        """Quality probabilities for candidates (no grad)."""
+        if not self._fitted:
+            raise NotFittedError("classifier has not been trained")
+        with no_grad():
+            logits = np.asarray([self.logit(text).item() for text in texts])
+        return 1.0 / (1.0 + np.exp(-logits))
+
+    def evaluate(self, texts: Sequence[str], labels: Sequence[int],
+                 threshold: float = 0.5) -> dict[str, float]:
+        """Precision / recall / accuracy at a threshold (Table 4 reports
+        precision on a balanced test set)."""
+        probabilities = self.predict_proba(texts)
+        predictions = (probabilities >= threshold).astype(int)
+        gold = np.asarray(labels, dtype=int)
+        tp = int(np.sum((predictions == 1) & (gold == 1)))
+        fp = int(np.sum((predictions == 1) & (gold == 0)))
+        fn = int(np.sum((predictions == 0) & (gold == 1)))
+        precision = tp / (tp + fp) if (tp + fp) else 0.0
+        recall = tp / (tp + fn) if (tp + fn) else 0.0
+        accuracy = float(np.mean(predictions == gold))
+        return {"precision": precision, "recall": recall,
+                "accuracy": accuracy}

@@ -1,0 +1,105 @@
+"""The five criteria of a good e-commerce concept (Section 5.1).
+
+Four of the five are checkable with language models and heuristics
+(the paper: "For the other four criteria, character-level and word-level
+language models and some heuristic rules are able to meet the goal");
+*plausibility* needs the knowledge-enhanced classifier.  This module
+implements the heuristic four; its report feeds the Wide side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nlp.char_lm import CharTrigramModel
+from ..nlp.ngram_lm import BidirectionalLanguageModel
+
+
+@dataclass(frozen=True)
+class CriteriaReport:
+    """Outcome of the heuristic criteria checks.
+
+    Attributes:
+        has_commerce_meaning: At least one token is commerce vocabulary
+            (criterion 1).
+        coherent: Perplexity under the coherence threshold (criterion 2).
+        clear: No conjoined same-role mentions like "kids and infants"
+            (criterion 4).
+        correct: Every token is a known word — typos fail (criterion 5).
+        perplexity: The bidirectional perplexity used for coherence.
+    """
+
+    has_commerce_meaning: bool
+    coherent: bool
+    clear: bool
+    correct: bool
+    perplexity: float
+
+    @property
+    def passes_heuristics(self) -> bool:
+        return (self.has_commerce_meaning and self.coherent and self.clear
+                and self.correct)
+
+
+class CriteriaChecker:
+    """Heuristic checker for criteria 1, 2, 4 and 5.
+
+    Args:
+        commerce_vocabulary: Surfaces with e-commerce meaning (the known
+            primitive-concept vocabulary).
+        known_words: All words considered correctly spelled.
+        language_model: Fitted bidirectional LM for coherence scoring.
+        audience_words: Words whose conjunction makes a concept unclear.
+        perplexity_threshold: Coherence cut-off.
+    """
+
+    def __init__(self, commerce_vocabulary: set[str], known_words: set[str],
+                 language_model: BidirectionalLanguageModel,
+                 audience_words: set[str],
+                 perplexity_threshold: float = 2000.0,
+                 char_model: CharTrigramModel | None = None,
+                 char_perplexity_threshold: float = 14.0):
+        self._commerce = set(commerce_vocabulary)
+        self._known = set(known_words)
+        self._lm = language_model
+        self._audiences = set(audience_words)
+        self._threshold = perplexity_threshold
+        #: Optional char LM: an unknown word still counts as correct when
+        #: its character sequence is word-like (new brand names etc.);
+        #: typos spike the char perplexity instead.
+        self._char_model = char_model
+        self._char_threshold = char_perplexity_threshold
+
+    def check(self, text: str) -> CriteriaReport:
+        """Run the four heuristic criteria on a candidate phrase."""
+        tokens = text.split()
+        commerce_tokens = [t for t in tokens if t in self._commerce]
+        multiword_commerce = any(
+            " ".join(tokens[i:j]) in self._commerce
+            for i in range(len(tokens)) for j in range(i + 2, len(tokens) + 1))
+        has_meaning = bool(commerce_tokens) or multiword_commerce
+        perplexity = self._lm.perplexity(tokens) if tokens else float("inf")
+        coherent = perplexity < self._threshold
+        clear = self._check_clarity(tokens)
+        correct = all(self._token_correct(token) for token in tokens)
+        return CriteriaReport(has_commerce_meaning=has_meaning,
+                              coherent=coherent, clear=clear,
+                              correct=correct, perplexity=perplexity)
+
+    def _token_correct(self, token: str) -> bool:
+        if token in self._known:
+            return True
+        if self._char_model is None:
+            return False
+        return self._char_model.perplexity(token) < self._char_threshold
+
+    def _check_clarity(self, tokens: list[str]) -> bool:
+        """Flags "X for kids and infants" style mixed-subject phrases."""
+        for position, token in enumerate(tokens):
+            if token != "and":
+                continue
+            before = tokens[position - 1] if position > 0 else ""
+            after = tokens[position + 1] if position + 1 < len(tokens) else ""
+            if before in self._audiences and after in self._audiences:
+                return False
+        return True

@@ -1,0 +1,64 @@
+"""Wide-side features for concept classification (Figure 5, left).
+
+The paper's Wide features: number of characters and words, BERT perplexity
+(our bidirectional n-gram substitute), and word popularity in e-commerce
+text.  The perplexity column can be switched off to reproduce the
+"+Wide" vs "+Wide & BERT" ablation rows of Table 4.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+from ..nlp.ngram_lm import BidirectionalLanguageModel
+
+
+class WideFeatureExtractor:
+    """Extracts the fixed-size wide feature vector of a candidate phrase.
+
+    Args:
+        language_model: Fitted bidirectional LM ("BERT" perplexity).
+        corpus_sentences: Corpus for word-popularity statistics.
+        use_perplexity: Include the perplexity feature (the BERT column).
+    """
+
+    def __init__(self, language_model: BidirectionalLanguageModel,
+                 corpus_sentences: list[list[str]],
+                 use_perplexity: bool = True):
+        self._lm = language_model
+        self._use_ppl = use_perplexity
+        counts: Counter[str] = Counter()
+        for sentence in corpus_sentences:
+            counts.update(sentence)
+        self._counts = counts
+        self._total = sum(counts.values()) or 1
+
+    @property
+    def dim(self) -> int:
+        return 6 if self._use_ppl else 5
+
+    def extract(self, text: str) -> np.ndarray:
+        """Feature vector: [n_chars, n_words, mean-pop, min-pop, oov] and,
+        when enabled, log-perplexity."""
+        tokens = text.split()
+        n_chars = len(text.replace(" ", ""))
+        n_words = len(tokens)
+        popularity = [self._counts.get(token, 0) / self._total
+                      for token in tokens]
+        mean_pop = float(np.mean(popularity)) if popularity else 0.0
+        min_pop = float(np.min(popularity)) if popularity else 0.0
+        oov = sum(1 for token in tokens if self._counts.get(token, 0) == 0)
+        features = [n_chars / 20.0, n_words / 5.0,
+                    math.log1p(mean_pop * 1e4), math.log1p(min_pop * 1e4),
+                    float(oov)]
+        if self._use_ppl:
+            perplexity = self._lm.perplexity(tokens) if tokens else 1e9
+            features.append(math.log1p(perplexity) / 10.0)
+        return np.asarray(features, dtype=np.float64)
+
+    def extract_batch(self, texts: list[str]) -> np.ndarray:
+        """Stacked features, shape ``(len(texts), dim)``."""
+        return np.stack([self.extract(text) for text in texts])

@@ -1,0 +1,79 @@
+"""Candidate generation (Section 5.2.1).
+
+Two sources, exactly as in the paper:
+
+1. *mining raw concepts from texts* — AutoPhrase-style quality phrases from
+   queries, titles, reviews and guides;
+2. *combining existing primitive concepts* with mined-then-crafted patterns
+   (Table 1), which reaches combinations too unusual to appear in text
+   ("indoor barbecue").
+
+Both sources emit unvetted candidates; the classifier (Section 5.2.2)
+filters them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nlp.phrase_mining import PhraseMiner
+from ..synth.world import ConceptSpec, World
+
+
+@dataclass(frozen=True)
+class GenerationReport:
+    """Where the candidate pool came from."""
+
+    mined: int
+    combined: int
+
+    @property
+    def total(self) -> int:
+        return self.mined + self.combined
+
+
+class CandidateGenerator:
+    """Produces the raw candidate pool for concept classification.
+
+    Args:
+        world: Ground-truth world (pattern combination samples from its
+            primitive-concept lexicon; ground-truth labels ride along for
+            the oracle, the classifier never sees them).
+        min_phrase_frequency: Phrase-mining frequency floor.
+    """
+
+    def __init__(self, world: World, min_phrase_frequency: int = 3):
+        self.world = world
+        self._miner = PhraseMiner(max_length=4,
+                                  min_frequency=min_phrase_frequency)
+
+    def mine_from_corpus(self, sentences: list[list[str]],
+                         top_k: int = 100) -> list[str]:
+        """Quality phrases mined from corpus text (source 1)."""
+        phrases = self._miner.mine(sentences, top_k=top_k)
+        return [phrase.text for phrase in phrases]
+
+    def combine_primitives(self, rng: np.random.Generator, n_good: int,
+                           n_bad: int) -> list[ConceptSpec]:
+        """Pattern-combined candidates (source 2), good and bad mixed.
+
+        The bad share mirrors what pattern combination really produces
+        before filtering: implausible combos, shuffles, typos, etc.
+        """
+        return self.world.sample_concepts(rng, n_good, n_bad)
+
+    def generate(self, sentences: list[list[str]], rng: np.random.Generator,
+                 n_good: int, n_bad: int,
+                 mined_top_k: int = 100) -> tuple[list[ConceptSpec], list[str],
+                                                  GenerationReport]:
+        """Full candidate pool: combined specs plus raw mined phrases.
+
+        Returns:
+            (combined specs with ground truth, mined phrase texts, report).
+        """
+        combined = self.combine_primitives(rng, n_good, n_bad)
+        mined = self.mine_from_corpus(sentences, top_k=mined_top_k)
+        return combined, mined, GenerationReport(mined=len(mined),
+                                                 combined=len(combined))

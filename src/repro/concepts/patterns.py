@@ -1,0 +1,95 @@
+"""The concept-generation patterns of Table 1.
+
+The paper combines primitive concepts of specific classes through
+"automatically mined then manually crafted patterns".  This module is the
+declarative registry of the patterns the world generator implements (in
+:mod:`repro.synth.world`), each with a good and a bad example in the
+spirit of Table 1 — bad examples are what the Section 5.2.2 classifier
+exists to filter out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GenerationPattern:
+    """One Table-1 pattern.
+
+    Attributes:
+        name: Identifier matching ``ConceptSpec.pattern``.
+        template: Class-slot template in Table 1's notation.
+        good_example: A plausible product of the pattern.
+        bad_example: An implausible/defective product.
+        generator: Name of the ``World`` method implementing it.
+    """
+
+    name: str
+    template: str
+    good_example: str
+    bad_example: str
+    generator: str
+
+
+#: The pattern registry; names match ``repro.synth.world.World``'s
+#: generator outputs (``ConceptSpec.pattern``).
+PATTERNS: tuple[GenerationPattern, ...] = (
+    GenerationPattern(
+        "location-event", "[class: Location] [class: Event]",
+        "outdoor barbecue", "classroom barbecue", "_gen_location_event"),
+    GenerationPattern(
+        "gift", "[class: Time->Holiday] gifts for [class: Audience]",
+        "christmas gifts for grandpa", "gifts grandpa for christmas",
+        "_gen_gift"),
+    GenerationPattern(
+        "function-category-event",
+        "[class: Function] [class: Category] for [class: Event]",
+        "warm hat for traveling", "warm sneakers for swimming",
+        "_gen_func_cat_event"),
+    GenerationPattern(
+        "style-season-category",
+        "[class: Style] [class: Time->Season] [class: Category]",
+        "british-style winter trousers", "casual summer coat",
+        "_gen_style_season_cat"),
+    GenerationPattern(
+        "event-in-location", "[class: Event->Action] in [class: Location]",
+        "traveling in european", "bathing in classroom",
+        "_gen_event_in_location"),
+    GenerationPattern(
+        "keep-function-audience",
+        "keep [class: Function] for [class: Audience]",
+        "keep warm for kids", "keep sexy for baby", "_gen_keep_function"),
+    GenerationPattern(
+        "category-audience", "[class: Category] for [class: Audience]",
+        "health care for olds", "wine for kids", "_gen_category_audience"),
+    GenerationPattern(
+        "event-essentials", "[class: Event] essentials",
+        "barbecue essentials", "-", "_gen_event_essentials"),
+    GenerationPattern(
+        "pest-control", "get rid of [class: Nature]",
+        "get rid of raccoon", "-", "_gen_pest_control"),
+)
+
+
+def pattern_by_name(name: str) -> GenerationPattern:
+    """Look up a pattern by its name.
+
+    Raises:
+        KeyError: If no pattern carries the name.
+    """
+    for pattern in PATTERNS:
+        if pattern.name == name:
+            return pattern
+    raise KeyError(f"unknown generation pattern {name!r}")
+
+
+def format_table1() -> str:
+    """Render the registry as the paper's Table 1."""
+    width = max(len(p.template) for p in PATTERNS)
+    lines = ["Table 1 — patterns used to generate e-commerce concepts",
+             f"{'Pattern':<{width}}  {'Good Concept':<32}Bad Concept"]
+    for pattern in PATTERNS:
+        lines.append(f"{pattern.template:<{width}}  "
+                     f"{pattern.good_example:<32}{pattern.bad_example}")
+    return "\n".join(lines)

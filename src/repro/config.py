@@ -1,0 +1,88 @@
+"""Run-scale presets.
+
+The paper operates at Alibaba scale (billions of items).  The reproduction
+runs on a laptop, so every pipeline accepts a :class:`RunScale` that fixes
+corpus, catalog and model sizes.  Three presets are provided:
+
+``tiny``
+    Unit-test scale; every pipeline finishes in a couple of seconds.
+``small``
+    Example-script scale; end-to-end construction in well under a minute.
+``bench``
+    Benchmark scale used to regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RunScale:
+    """Size knobs shared by the synthetic world and the training pipelines.
+
+    Attributes:
+        name: Preset name, used in logs and reports.
+        n_items: Number of items in the synthetic catalog.
+        n_queries: Number of search queries emitted by the corpus generator.
+        n_reviews: Number of user reviews emitted by the corpus generator.
+        n_guides: Number of shopping-guide documents emitted.
+        embedding_dim: Dimension of word embeddings / model hidden states.
+        hidden_dim: Hidden dimension of recurrent encoders.
+        epochs: Default number of training epochs for neural models.
+        seed: Master seed; all randomness in a run flows from it.
+        n_brands: Generated brand names in the lexicon (open class).
+        n_ips: Generated IP names in the lexicon (open class).
+    """
+
+    name: str
+    n_items: int
+    n_queries: int
+    n_reviews: int
+    n_guides: int
+    embedding_dim: int
+    hidden_dim: int
+    epochs: int
+    seed: int = 7
+    n_brands: int = 60
+    n_ips: int = 40
+
+    def __post_init__(self) -> None:
+        for field in ("n_items", "n_queries", "n_reviews", "n_guides",
+                      "embedding_dim", "hidden_dim", "epochs"):
+            value = getattr(self, field)
+            if value <= 0:
+                raise ConfigError(f"RunScale.{field} must be positive, got {value}")
+
+    def with_seed(self, seed: int) -> "RunScale":
+        """Return a copy of this preset with a different master seed."""
+        return replace(self, seed=seed)
+
+
+TINY = RunScale(name="tiny", n_items=120, n_queries=150, n_reviews=80,
+                n_guides=30, embedding_dim=16, hidden_dim=16, epochs=3)
+SMALL = RunScale(name="small", n_items=600, n_queries=800, n_reviews=400,
+                 n_guides=120, embedding_dim=24, hidden_dim=24, epochs=5)
+BENCH = RunScale(name="bench", n_items=2000, n_queries=3000, n_reviews=1200,
+                 n_guides=400, embedding_dim=32, hidden_dim=32, epochs=8,
+                 n_brands=240, n_ips=100)
+
+_PRESETS = {"tiny": TINY, "small": SMALL, "bench": BENCH}
+
+
+def get_scale(name: str) -> RunScale:
+    """Look up a preset by name.
+
+    Args:
+        name: One of ``tiny``, ``small``, ``bench``.
+
+    Raises:
+        ConfigError: If the name is unknown.
+    """
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PRESETS))
+        raise ConfigError(f"unknown scale {name!r}; expected one of: {known}") from None

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class GraphError(ReproError):
+    """Base class for knowledge-graph storage errors."""
+
+
+class NodeNotFoundError(GraphError):
+    """A node id was referenced that does not exist in the store."""
+
+
+class DuplicateNodeError(GraphError):
+    """A node with the same id was inserted twice."""
+
+
+class RelationError(GraphError):
+    """A relation violates the schema (bad endpoint types or unknown kind)."""
+
+
+class TaxonomyError(ReproError):
+    """The taxonomy definition is inconsistent (cycle, unknown parent...)."""
+
+
+class VocabError(ReproError):
+    """A token was looked up that is not in a closed vocabulary."""
+
+
+class ShapeError(ReproError):
+    """Tensor shapes are incompatible for the requested operation."""
+
+
+class NotFittedError(ReproError):
+    """A model was used before it was trained/fitted."""
+
+
+class BudgetExhaustedError(ReproError):
+    """The annotation oracle ran out of labelling budget."""
+
+
+class DataError(ReproError):
+    """A dataset is malformed or empty where data was required."""

@@ -1,0 +1,24 @@
+"""Experiment runners regenerating the paper's tables and figures.
+
+Each module exposes a ``run(...)`` function returning structured results
+and a ``format_report(...)`` helper that prints the measurement next to
+the paper's published numbers.  The ``benchmarks/`` directory wraps these
+with pytest-benchmark; the functions are equally usable from a notebook
+or script.
+
+| Module                  | Paper artefact                     |
+|-------------------------|------------------------------------|
+| table2_statistics       | Table 2 (net statistics)           |
+| coverage                | §7.1 (75% vs 30% needs coverage)   |
+| mining_yield            | §7.2 (candidates/accepted per round)|
+| fig9_negatives          | Figure 9 left (MAP vs N)           |
+| active_learning         | Table 3 + Figure 9 right           |
+| table4_classification   | Table 4 (classifier ablation)      |
+| table5_tagging          | Table 5 (tagger ablation)          |
+| table6_matching         | Table 6 (matcher comparison)       |
+| search_relevance        | §8.1.1 (isA improves relevance)    |
+"""
+
+from .common import ExperimentWorld, build_experiment_world
+
+__all__ = ["ExperimentWorld", "build_experiment_world"]

@@ -1,0 +1,166 @@
+"""Extra ablations for design choices DESIGN.md calls out.
+
+Not tables in the paper, but experiments the paper's design implies:
+
+- ``ucs_alpha`` — Algorithm 1's α mixes uncertainty and high-confidence
+  sampling; the paper fixes one value, we sweep it.
+- ``distant_filter`` — Section 7.2 keeps only perfectly-matched sentences
+  for distant supervision; we measure discovery with and without that
+  filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.coverage import alicoco_vocabulary, CoverageEvaluator
+from ..hypernym.active import ActiveLearner
+from ..hypernym.dataset import build_dataset, unlabeled_pool
+from ..mining.bilstm_crf import BiLSTMCRFMiner, LabelSet
+from ..mining.distant import DistantSupervisionBuilder
+from ..nlp.phrase_mining import PhraseMiner
+from ..nlp.vocab import Vocab
+from ..utils.rng import spawn_rng
+from .common import ExperimentWorld, format_rows
+
+
+# --------------------------------------------------------------- UCS alpha
+@dataclass
+class AlphaSweepResult:
+    points: list[tuple[float, float, int]]  # (alpha, best MAP, labels used)
+
+
+def run_ucs_alpha(ew: ExperimentWorld,
+                  alphas: tuple[float, ...] = (0.3, 0.5, 0.7, 0.9),
+                  pool_size: int = 600,
+                  k_per_iteration: int = 60) -> AlphaSweepResult:
+    """Sweep the UCS mixing weight α."""
+    rng = spawn_rng(ew.scale.seed, "ucs-alpha")
+    dataset = build_dataset(ew.lexicon, rng, negatives_per_positive=10,
+                            test_fraction=0.3)
+    pool = unlabeled_pool(ew.lexicon, rng, pool_size, positive_boost=0.12,
+                          deceptive_rate=0.25)
+    truth = set(ew.lexicon.hypernym_pairs("Category"))
+    points = []
+    for alpha in alphas:
+        learner = ActiveLearner(
+            ew.phrase_vector, dim=ew.scale.embedding_dim,
+            label_fn=lambda a, b: (a, b) in truth, dataset=dataset,
+            k_per_iteration=k_per_iteration, alpha=alpha, patience=2,
+            seed=ew.scale.seed, epochs=12, k_layers=3)
+        result = learner.run(list(pool), "ucs", max_iterations=6)
+        points.append((alpha, result.best_map, result.labels_used))
+    return AlphaSweepResult(points=points)
+
+
+def format_ucs_alpha(result: AlphaSweepResult) -> str:
+    rows = [(f"{alpha:.1f}", f"{map_score:.4f}", labels)
+            for alpha, map_score, labels in result.points]
+    return format_rows(
+        "Ablation — UCS mixing weight α (uncertain share)",
+        ("alpha", "best MAP", "labels used"), rows,
+        paper_note="α balances US and CS inside Algorithm 1, line 10")
+
+
+# ----------------------------------------------------------- distant filter
+@dataclass
+class DistantFilterResult:
+    with_filter: tuple[int, int]      # (train sentences, accepted concepts)
+    without_filter: tuple[int, int]
+
+
+def run_distant_filter(ew: ExperimentWorld,
+                       max_sentences: int = 900) -> DistantFilterResult:
+    """Train the miner with and without the perfect-match filter and count
+    verified discoveries of held-out concepts."""
+    sentences = ew.corpus.sentences()[:max_sentences]
+    rng = spawn_rng(ew.scale.seed, "distant-filter")
+    surfaces = ew.lexicon.surfaces()
+    rng.shuffle(surfaces)
+    cut = int(len(surfaces) * 0.7)
+    known = set(surfaces[:cut])
+    truth: dict[str, set[str]] = {}
+    for entry in ew.lexicon.entries:
+        truth.setdefault(entry.surface, set()).add(entry.domain)
+
+    outcomes = {}
+    for require_full in (True, False):
+        builder = DistantSupervisionBuilder(ew.lexicon, known_surfaces=known,
+                                            require_full_coverage=require_full)
+        tagged, _ = builder.build(sentences)
+        vocab = Vocab.from_corpus(sentences)
+        label_set = LabelSet.from_data(tagged)
+        miner = BiLSTMCRFMiner(vocab, label_set,
+                               embedding_dim=ew.scale.embedding_dim,
+                               hidden_dim=ew.scale.hidden_dim,
+                               seed=ew.scale.seed)
+        miner.fit(tagged, epochs=2, seed=ew.scale.seed)
+        accepted = set()
+        for tokens in sentences:
+            for surface, domain in miner.extract_spans(tokens):
+                if surface not in known and domain in truth.get(surface, ()):
+                    accepted.add((surface, domain))
+        outcomes[require_full] = (len(tagged), len(accepted))
+    return DistantFilterResult(with_filter=outcomes[True],
+                               without_filter=outcomes[False])
+
+
+# ----------------------------------------------------- concept sources
+@dataclass
+class ConceptSourceResult:
+    """Scenario-query coverage per concept source (Section 5.2.1)."""
+
+    generation_only: float
+    mining_only: float
+    both: float
+
+
+def run_concept_sources(ew: ExperimentWorld,
+                        mined_top_k: int = 150) -> ConceptSourceResult:
+    """Coverage contribution of the two candidate sources.
+
+    The paper generates e-commerce concepts both by mining text and by
+    combining primitive concepts through patterns, arguing the pattern
+    route reaches combinations "not easy to be mined from texts".  This
+    ablation measures scenario-query coverage with each source alone.
+    """
+    scenario_queries = [q for q in ew.corpus.queries
+                        if q.family in ("scenario", "problem")]
+    generated_texts = [spec.text for spec in ew.concepts]
+    miner = PhraseMiner(max_length=4, min_frequency=3)
+    mined_texts = [phrase.text for phrase
+                   in miner.mine(ew.corpus.sentences(), top_k=mined_top_k)]
+
+    def coverage(concept_texts: list[str]) -> float:
+        evaluator = CoverageEvaluator(
+            alicoco_vocabulary(ew.lexicon, concept_texts), "ablate")
+        return evaluator.evaluate(scenario_queries).query_coverage
+
+    return ConceptSourceResult(generation_only=coverage(generated_texts),
+                               mining_only=coverage(mined_texts),
+                               both=coverage(generated_texts + mined_texts))
+
+
+def format_concept_sources(result: ConceptSourceResult) -> str:
+    rows = [
+        ("pattern combination only", f"{result.generation_only:.1%}"),
+        ("corpus mining only", f"{result.mining_only:.1%}"),
+        ("both sources", f"{result.both:.1%}"),
+    ]
+    return format_rows(
+        "Ablation — concept candidate sources (§5.2.1)",
+        ("source", "scenario-needs coverage"), rows,
+        paper_note="patterns reach combinations text mining cannot")
+
+
+def format_distant_filter(result: DistantFilterResult) -> str:
+    rows = [
+        ("perfect-match only (paper)", result.with_filter[0],
+         result.with_filter[1]),
+        ("keep partial matches", result.without_filter[0],
+         result.without_filter[1]),
+    ]
+    return format_rows(
+        "Ablation — distant-supervision sentence filter (§7.2)",
+        ("training data", "train sentences", "verified discoveries"), rows,
+        paper_note="partial matches teach the miner to label new words O")

@@ -1,0 +1,118 @@
+"""Shared setup for the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import RunScale
+from ..nlp.doc2vec import Doc2Vec
+from ..nlp.embeddings import SkipGramEmbeddings
+from ..nlp.ngram_lm import BidirectionalLanguageModel
+from ..nlp.pos import PosTagger
+from ..nlp.vocab import Vocab
+from ..synth.corpus import Corpus, build_corpus
+from ..synth.glosses import build_gloss_kb, GlossKB
+from ..synth.lexicon import build_lexicon, Lexicon
+from ..synth.world import ConceptSpec, World
+from ..utils.rng import spawn_rng
+
+
+@dataclass
+class ExperimentWorld:
+    """Everything the experiments share: world, corpus, embeddings, glosses.
+
+    Attributes:
+        scale: The run-scale preset used.
+        world / lexicon / corpus: The synthetic substrate.
+        concepts: Good concepts woven into the corpus.
+        vocab: Word vocabulary over the full corpus.
+        embeddings: SGNS word embeddings (the GloVe substitute).
+        language_model: Bidirectional n-gram LM (the BERT substitute).
+        gloss_kb: The knowledge base (Wikipedia substitute).
+        gloss_doc2vec: Doc2vec fitted on the glosses.
+        pos_tagger: POS tagger seeded with the lexicon.
+    """
+
+    scale: RunScale
+    world: World
+    lexicon: Lexicon
+    corpus: Corpus
+    concepts: list[ConceptSpec]
+    vocab: Vocab
+    embeddings: SkipGramEmbeddings
+    language_model: BidirectionalLanguageModel
+    gloss_kb: GlossKB
+    gloss_doc2vec: Doc2Vec
+    pos_tagger: PosTagger
+    _gloss_vectors: dict[str, np.ndarray] = field(default_factory=dict)
+    _centered: np.ndarray | None = None
+
+    def gloss_vector(self, word: str) -> np.ndarray | None:
+        """Doc2vec vector of a word's gloss (None when no gloss exists)."""
+        if word in self._gloss_vectors:
+            return self._gloss_vectors[word]
+        if not self.gloss_kb.has(word):
+            return None
+        index = self.gloss_kb.surfaces().index(word)
+        vector = self.gloss_doc2vec.document_vector(index)
+        self._gloss_vectors[word] = vector
+        return vector
+
+    def phrase_vector(self, surface: str) -> np.ndarray:
+        """Mean centered word embedding of a phrase (projection input)."""
+        if self._centered is None:
+            self._centered = self.embeddings.centered_matrix()
+        ids = [self.vocab.id(word) for word in surface.split()]
+        return self._centered[ids].mean(axis=0)
+
+
+def build_experiment_world(scale: RunScale, n_concepts: int = 120,
+                           embedding_epochs: int = 4,
+                           gloss_dim: int = 16) -> ExperimentWorld:
+    """Build the shared substrate once per experiment session.
+
+    Args:
+        scale: Size preset.
+        n_concepts: Good concepts woven into the corpus.
+        embedding_epochs: SGNS epochs (2 is plenty at our corpus size).
+        gloss_dim: Doc2vec dimension for glosses.
+    """
+    lexicon = build_lexicon(seed=scale.seed, n_brands=scale.n_brands,
+                            n_ips=scale.n_ips)
+    world = World(lexicon, seed=scale.seed)
+    rng = spawn_rng(scale.seed, "experiments")
+    concepts = world.sample_good_concepts(rng, n_concepts)
+    corpus = build_corpus(world, concepts, scale)
+    sentences = corpus.sentences()
+    vocab = Vocab.from_corpus(sentences)
+    embeddings = SkipGramEmbeddings(vocab, dim=scale.embedding_dim, window=2,
+                                    negatives=4, seed=scale.seed)
+    embeddings.train(sentences, epochs=embedding_epochs)
+    language_model = BidirectionalLanguageModel().fit(sentences)
+    gloss_kb = build_gloss_kb(world)
+    gloss_doc2vec = Doc2Vec(dim=gloss_dim, epochs=6, seed=scale.seed)
+    gloss_doc2vec.fit(gloss_kb.documents())
+    pos_tagger = PosTagger(lexicon.pos_lexicon())
+    return ExperimentWorld(scale=scale, world=world, lexicon=lexicon,
+                           corpus=corpus, concepts=concepts, vocab=vocab,
+                           embeddings=embeddings,
+                           language_model=language_model, gloss_kb=gloss_kb,
+                           gloss_doc2vec=gloss_doc2vec, pos_tagger=pos_tagger)
+
+
+def format_rows(title: str, header: tuple[str, ...],
+                rows: list[tuple], paper_note: str = "") -> str:
+    """A fixed-width text table for benchmark output."""
+    widths = [max(len(str(header[i])),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i in range(len(header))]
+    lines = [title]
+    if paper_note:
+        lines.append(f"(paper: {paper_note})")
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Experiment F9L — Figure 9 (left): MAP vs negative-sample ratio N.
+
+The paper sweeps the ratio of negatives per positive during projection-
+model training and finds MAP "improves and achieves best around 100".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hypernym.dataset import build_dataset
+from ..hypernym.projection import ProjectionModel
+from ..utils.rng import spawn_rng
+from .common import ExperimentWorld, format_rows
+
+PAPER_SHAPE = "MAP rises with N and peaks around N=100"
+
+
+@dataclass
+class NegativeSweepResult:
+    points: list[tuple[int, float]]  # (N, test MAP)
+
+    def best_n(self) -> int:
+        return max(self.points, key=lambda point: point[1])[0]
+
+
+def run(ew: ExperimentWorld, ratios: tuple[int, ...] = (1, 5, 10, 20, 40, 80),
+        epochs: int = 12, k_layers: int = 4,
+        n_seeds: int = 3) -> NegativeSweepResult:
+    """Train projection models per negative ratio; MAP averaged over seeds
+    (tiny models are noisy, the paper averages over a huge test set)."""
+    points: list[tuple[int, float]] = []
+    for ratio in ratios:
+        maps = []
+        for seed_index in range(n_seeds):
+            rng = spawn_rng(ew.scale.seed, "fig9", str(ratio),
+                            str(seed_index))
+            dataset = build_dataset(ew.lexicon, rng,
+                                    negatives_per_positive=ratio)
+            model = ProjectionModel(ew.phrase_vector,
+                                    dim=ew.scale.embedding_dim,
+                                    k_layers=k_layers,
+                                    seed=ew.scale.seed + seed_index)
+            model.fit(dataset.train, epochs=epochs,
+                      seed=ew.scale.seed + seed_index)
+            metrics = model.evaluate(dataset, seed=ew.scale.seed)
+            maps.append(metrics["map"])
+        points.append((ratio, float(sum(maps) / len(maps))))
+    return NegativeSweepResult(points=points)
+
+
+def format_report(result: NegativeSweepResult) -> str:
+    rows = [(n, f"{map_score:.4f}") for n, map_score in result.points]
+    return format_rows("Figure 9 (left) — MAP vs negative ratio N",
+                       ("N", "MAP"), rows, paper_note=PAPER_SHAPE)

@@ -1,0 +1,104 @@
+"""Experiment S8.1 — search relevance with isA knowledge.
+
+The paper: AliCoCo's 10x larger isA data "improves the performance of the
+semantic matching model by 1% on AUC" and drops relevance bad cases by 4%.
+We measure the relevance AUC of query-item pairs with and without isA
+expansion over the built net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..apps.search import SemanticSearchEngine
+from ..pipeline.build import build_alicoco, BuildResult
+from ..config import RunScale
+from ..utils.metrics import roc_auc
+from ..utils.rng import spawn_rng
+from .common import format_rows
+
+PAPER = {"auc_gain": 0.01, "bad_case_drop": 0.04}
+
+
+@dataclass
+class RelevanceResult:
+    auc_with_isa: float
+    auc_without_isa: float
+    bad_cases_with: int
+    bad_cases_without: int
+
+    @property
+    def auc_gain(self) -> float:
+        return self.auc_with_isa - self.auc_without_isa
+
+
+def _relevance_pairs(build: BuildResult, rng: np.random.Generator,
+                     n_pairs: int) -> list[tuple[str, str, int]]:
+    """(query, item node id, relevant) pairs with ground truth.
+
+    Relevant pairs query an item's category *head or cover hypernym*
+    (vocabulary-gap cases included); irrelevant pairs query an unrelated
+    category.
+    """
+    lexicon = build.lexicon
+    hypernym_of = dict(lexicon.hypernym_pairs("Category"))
+    items = build.corpus.items
+    pairs: list[tuple[str, str, int]] = []
+    categories = lexicon.domain_surfaces("Category")
+    for _ in range(n_pairs):
+        item = items[int(rng.integers(len(items)))]
+        node_id = build.item_ids[item.index]
+        if rng.random() < 0.5:
+            query = item.category
+            if rng.random() < 0.5:
+                query = hypernym_of.get(item.category, item.head)
+            pairs.append((query, node_id, 1))
+        else:
+            other = categories[int(rng.integers(len(categories)))]
+            if other == item.category or \
+                    hypernym_of.get(other) == item.category or \
+                    hypernym_of.get(item.category) == other or \
+                    other.endswith(item.head):
+                continue
+            pairs.append((other, node_id, 0))
+    return pairs
+
+
+def run(scale: RunScale, n_pairs: int = 800) -> RelevanceResult:
+    """Score relevance pairs with and without isA expansion."""
+    build = build_alicoco(scale)
+    rng = spawn_rng(scale.seed, "relevance")
+    pairs = _relevance_pairs(build, rng, n_pairs)
+    with_isa = SemanticSearchEngine(build.store, use_isa_expansion=True)
+    without = SemanticSearchEngine(build.store, use_isa_expansion=False)
+
+    labels = [label for _, _, label in pairs]
+    scores_with = [with_isa.relevance(q, build.store.get(i))
+                   for q, i, _ in pairs]
+    scores_without = [without.relevance(q, build.store.get(i))
+                      for q, i, _ in pairs]
+    # A "bad case" is a truly relevant pair scored as fully irrelevant.
+    bad_with = sum(1 for (_, _, label), score in zip(pairs, scores_with)
+                   if label == 1 and score == 0.0)
+    bad_without = sum(1 for (_, _, label), score in zip(pairs, scores_without)
+                      if label == 1 and score == 0.0)
+    return RelevanceResult(
+        auc_with_isa=roc_auc(labels, scores_with),
+        auc_without_isa=roc_auc(labels, scores_without),
+        bad_cases_with=bad_with, bad_cases_without=bad_without)
+
+
+def format_report(result: RelevanceResult) -> str:
+    rows = [
+        ("without isA", f"{result.auc_without_isa:.4f}",
+         result.bad_cases_without),
+        ("with isA", f"{result.auc_with_isa:.4f}", result.bad_cases_with),
+        ("delta", f"{result.auc_gain:+.4f}",
+         result.bad_cases_with - result.bad_cases_without),
+    ]
+    return format_rows(
+        "S8.1.1 — search relevance with AliCoCo isA data",
+        ("setting", "AUC", "bad cases"),
+        rows, paper_note="+1% AUC offline; -4% relevance bad cases online")

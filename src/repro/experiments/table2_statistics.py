@@ -1,0 +1,56 @@
+"""Experiment T2 — Table 2: statistics of the constructed net."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import RunScale
+from ..kg.stats import StoreStats
+from ..pipeline.build import build_alicoco, BuildResult
+
+#: The paper's headline numbers (for side-by-side reporting only; the
+#: reproduction runs at synthetic scale).
+PAPER = {
+    "primitive_concepts": 2_853_276,
+    "ecommerce_concepts": 5_262_063,
+    "items": "3 billion",
+    "avg_primitive_per_item": 14,
+    "avg_ecommerce_per_item": 135,
+    "linked_item_fraction": 0.98,
+}
+
+
+@dataclass
+class Table2Result:
+    stats: StoreStats
+    build: BuildResult
+
+
+def run(scale: RunScale, n_concepts: int | None = None) -> Table2Result:
+    """Build the net and collect its statistics."""
+    build = build_alicoco(scale, n_concepts=n_concepts)
+    return Table2Result(stats=build.store.stats(), build=build)
+
+
+def format_report(result: Table2Result) -> str:
+    stats = result.stats
+    lines = [
+        "Table 2 — AliCoCo statistics (reproduction scale vs paper)",
+        f"{'row':<30}{'ours':>12}  {'paper':>12}",
+        f"{'# primitive concepts':<30}{stats.primitive_concepts:>12}  "
+        f"{PAPER['primitive_concepts']:>12}",
+        f"{'# e-commerce concepts':<30}{stats.ecommerce_concepts:>12}  "
+        f"{PAPER['ecommerce_concepts']:>12}",
+        f"{'# items':<30}{stats.items:>12}  {PAPER['items']:>12}",
+        f"{'items linked':<30}{stats.linked_item_fraction:>11.1%}  "
+        f"{PAPER['linked_item_fraction']:>11.1%}",
+        f"{'avg primitive cpts / item':<30}"
+        f"{stats.avg_primitive_per_item:>12.1f}  "
+        f"{PAPER['avg_primitive_per_item']:>12}",
+        f"{'avg e-commerce cpts / item':<30}"
+        f"{stats.avg_ecommerce_per_item:>12.1f}  "
+        f"{PAPER['avg_ecommerce_per_item']:>12}",
+        "",
+        stats.summary(),
+    ]
+    return "\n".join(lines)

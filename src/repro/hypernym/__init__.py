@@ -1,0 +1,22 @@
+"""Hypernym discovery (Section 4.2, Algorithm 1, Table 3, Figure 9).
+
+Two complementary methods organise primitive concepts into fine-grained
+isA hierarchies:
+
+- an unsupervised pattern-based miner (Hearst patterns plus the
+  suffix-grammar rule: "XX pants" must be a kind of "pants");
+- a supervised *projection learning* scorer (Eqs. 1-2) trained under an
+  active-learning loop with the paper's UCS sampling strategy.
+"""
+
+from .patterns import HearstMiner, suffix_rule_pairs
+from .dataset import HypernymDataset, build_dataset
+from .projection import ProjectionModel
+from .active import ActiveLearner, ActiveLearningResult, STRATEGIES
+
+__all__ = [
+    "HearstMiner", "suffix_rule_pairs",
+    "HypernymDataset", "build_dataset",
+    "ProjectionModel",
+    "ActiveLearner", "ActiveLearningResult", "STRATEGIES",
+]

@@ -1,0 +1,207 @@
+"""Active learning for hypernym discovery (Algorithm 1, Table 3, Fig 9).
+
+Implements the paper's UCS (uncertainty and high-confidence sampling)
+strategy alongside the baselines it is compared against:
+
+- ``random`` — no active learning: draw the next batch at random;
+- ``us`` — classical uncertainty sampling (scores nearest 0.5);
+- ``cs`` — confidence sampling (highest scores only);
+- ``ucs`` — α·K most uncertain plus (1-α)·K most confident, the paper's
+  strategy: confident *negatives mistaken as positives* (siblings,
+  same_as-like pairs) get corrected early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import DataError
+from ..utils.rng import spawn_rng
+from .dataset import HypernymDataset, Pair
+from .projection import PhraseEmbedder, ProjectionModel
+
+LabelFn = Callable[[str, str], bool]
+
+STRATEGIES = ("random", "us", "cs", "ucs")
+
+
+@dataclass
+class ActiveLearningResult:
+    """Trace of one active-learning run.
+
+    Attributes:
+        strategy: Sampling strategy name.
+        history: (labels used so far, test MAP) after each iteration.
+        best_map: Best test MAP seen.
+        labels_used: Total labels consumed when the loop stopped.
+    """
+
+    strategy: str
+    history: list[tuple[int, float]] = field(default_factory=list)
+    best_map: float = 0.0
+    labels_used: int = 0
+
+    def labels_to_reach(self, target_map: float) -> int | None:
+        """Fewest labels at which MAP first reached ``target_map``."""
+        for labels, map_score in self.history:
+            if map_score >= target_map:
+                return labels
+        return None
+
+
+class ActiveLearner:
+    """Runs Algorithm 1 over an unlabeled pool.
+
+    Args:
+        embedder: Phrase embedder shared by all trained models.
+        dim: Embedding dimension.
+        label_fn: The annotator (oracle) answering isA questions.
+        dataset: Provides the fixed test split for MAP evaluation.
+        k_per_iteration: Labels requested per iteration (paper: 25k).
+        alpha: UCS mixing weight (uncertain share).
+        patience: Stop after this many iterations without MAP improvement.
+        seed: Seed for sampling and model init.
+    """
+
+    def __init__(self, embedder: PhraseEmbedder, dim: int, label_fn: LabelFn,
+                 dataset: HypernymDataset, k_per_iteration: int = 40,
+                 alpha: float = 0.5, patience: int = 2, seed: int = 0,
+                 epochs: int = 15, k_layers: int = 4, n_models: int = 2):
+        if not 0.0 <= alpha <= 1.0:
+            raise DataError(f"alpha must be in [0, 1], got {alpha}")
+        self.embedder = embedder
+        self.dim = dim
+        self.label_fn = label_fn
+        self.dataset = dataset
+        self.k = k_per_iteration
+        self.alpha = alpha
+        self.patience = patience
+        self.seed = seed
+        self.epochs = epochs
+        self.k_layers = k_layers
+        self.n_models = max(1, n_models)
+
+    def run(self, pool: list[Pair], strategy: str,
+            max_iterations: int = 8) -> ActiveLearningResult:
+        """Execute the loop with one strategy.
+
+        Raises:
+            DataError: On an unknown strategy or empty pool.
+        """
+        if strategy not in STRATEGIES:
+            raise DataError(f"unknown strategy {strategy!r}; "
+                            f"expected one of {STRATEGIES}")
+        if not pool:
+            raise DataError("empty unlabeled pool")
+        rng = spawn_rng(self.seed, "active", strategy)
+        # The initial random batch (lines 3-7) is shared across strategies:
+        # Algorithm 1 always starts from the same random D0.
+        init_rng = spawn_rng(self.seed, "active-init")
+        remaining = list(pool)
+        init_rng.shuffle(remaining)
+        labelled: list[tuple[str, str, int]] = []
+        result = ActiveLearningResult(strategy=strategy)
+
+        initial = remaining[:self.k]
+        remaining = remaining[self.k:]
+        labelled.extend(self._label(initial))
+        models = self._train(labelled)
+        best = self._evaluate(models, result, len(labelled))
+
+        stale = 0
+        iteration = 0
+        while remaining and stale < self.patience and iteration < max_iterations:
+            iteration += 1
+            picked, remaining = self._select(models, remaining, strategy, rng)
+            if not picked:
+                break
+            labelled.extend(self._label(picked))
+            models = self._train(labelled)
+            map_score = self._evaluate(models, result, len(labelled))
+            if map_score > best + 1e-6:
+                best = map_score
+                stale = 0
+            else:
+                stale += 1
+        result.best_map = best
+        result.labels_used = len(labelled)
+        return result
+
+    # ----------------------------------------------------------------- steps
+    def _label(self, pairs: list[Pair]) -> list[tuple[str, str, int]]:
+        return [(a, b, int(self.label_fn(a, b))) for a, b in pairs]
+
+    def _train(self, labelled: list[tuple[str, str, int]]) -> list[ProjectionModel]:
+        """Train a small ensemble; averaging its scores cuts the variance
+        that would otherwise swamp strategy differences at tiny scale.
+        Seeds are fixed across iterations and strategies, so MAP differences
+        come from WHICH pairs were labelled, not from training noise."""
+        models = []
+        for member in range(self.n_models):
+            model = ProjectionModel(self.embedder, self.dim,
+                                    k_layers=self.k_layers,
+                                    seed=self.seed + 101 * member)
+            model.fit(labelled, epochs=self.epochs,
+                      seed=self.seed + 101 * member)
+            models.append(model)
+        return models
+
+    def _ensemble_scores(self, models: list[ProjectionModel],
+                         pairs: list[Pair]) -> np.ndarray:
+        return np.mean([model.scores(pairs) for model in models], axis=0)
+
+    def _evaluate(self, models: list[ProjectionModel],
+                  result: ActiveLearningResult, labels_used: int) -> float:
+        gold = self.dataset.test_gold()
+        rng = spawn_rng(self.seed, "al-eval")
+        from ..utils.metrics import mean_average_precision
+        relevance_lists = []
+        for hyponym, hypernyms in sorted(gold.items()):
+            pool = [c for c in self.dataset.candidate_pool if c != hyponym]
+            if len(pool) > 150:
+                sampled = list(rng.choice(
+                    [c for c in pool if c not in hypernyms],
+                    size=150 - len(hypernyms), replace=False))
+                pool = sampled + sorted(hypernyms)
+            scores = self._ensemble_scores(models,
+                                           [(hyponym, c) for c in pool])
+            order = np.argsort(-scores, kind="mergesort")
+            relevance_lists.append(
+                [1 if pool[i] in hypernyms else 0 for i in order])
+        map_score = mean_average_precision(relevance_lists)
+        result.history.append((labels_used, map_score))
+        return map_score
+
+    def _select(self, models: list[ProjectionModel], remaining: list[Pair],
+                strategy: str,
+                rng: np.random.Generator) -> tuple[list[Pair], list[Pair]]:
+        k = min(self.k, len(remaining))
+        if strategy == "random":
+            indices = rng.choice(len(remaining), size=k, replace=False)
+            picked_set = set(int(i) for i in indices)
+        else:
+            scores = self._ensemble_scores(models, remaining)
+            if strategy == "us":
+                # Line 9: p_i = |S_i - 0.5| / 0.5 — smallest is most uncertain.
+                uncertainty = np.abs(scores - 0.5)
+                picked_set = set(np.argsort(uncertainty)[:k].tolist())
+            elif strategy == "cs":
+                picked_set = set(np.argsort(-scores)[:k].tolist())
+            else:  # ucs — line 10: Top(p, αK) ∪ Bottom(p, (1-α)K)
+                n_uncertain = int(round(self.alpha * k))
+                n_confident = k - n_uncertain
+                uncertainty = np.abs(scores - 0.5)
+                by_uncertainty = np.argsort(uncertainty).tolist()
+                by_confidence = np.argsort(-scores).tolist()
+                picked_set = set(by_uncertainty[:n_uncertain])
+                for index in by_confidence:
+                    if len(picked_set) >= k:
+                        break
+                    picked_set.add(index)
+        picked = [remaining[i] for i in sorted(picked_set)]
+        rest = [pair for i, pair in enumerate(remaining)
+                if i not in picked_set]
+        return picked, rest

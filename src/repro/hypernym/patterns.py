@@ -1,0 +1,126 @@
+"""Pattern-based hypernym discovery (Section 4.2.1).
+
+Hearst patterns over corpus text ("Y such as X", "X is a kind of Y"), plus
+the grammar rule the paper uses for Chinese — "XX裤 (XX pants) must be a
+裤 (pants)" — which in our English world becomes: a multi-word category
+surface whose last word(s) form a known category surface is a hyponym of
+that surface.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def suffix_rule_pairs(surfaces: Iterable[str]) -> list[tuple[str, str]]:
+    """Hypernym pairs from the suffix grammar rule.
+
+    "trench coat" yields ("trench coat", "coat") when "coat" is itself a
+    known surface.  Longer suffixes win over shorter ones.
+    """
+    surface_set = set(surfaces)
+    pairs: list[tuple[str, str]] = []
+    for surface in surface_set:
+        words = surface.split()
+        if len(words) < 2:
+            continue
+        for start in range(1, len(words)):
+            suffix = " ".join(words[start:])
+            if suffix in surface_set:
+                pairs.append((surface, suffix))
+                break
+    return sorted(pairs)
+
+
+class HearstMiner:
+    """Scans tokenised sentences for hyponym-hypernym patterns.
+
+    Known patterns (with X the hyponym and Y the hypernym):
+
+    - ``X is a kind of Y`` / ``X is a type of Y``
+    - ``every X is a Y``
+    - ``Y such as X`` / ``Y such as X and X2``
+
+    Args:
+        vocabulary: Candidate concept surfaces (multi-word allowed); only
+            spans present in it are reported, which is the usual filter
+            against noisy matches.
+        max_phrase_length: Longest surface to consider (in words).
+    """
+
+    def __init__(self, vocabulary: Iterable[str], max_phrase_length: int = 3):
+        self._vocab = set(vocabulary)
+        self._max_len = max_phrase_length
+
+    def _longest_match_at(self, tokens: Sequence[str], start: int,
+                          backwards: bool = False) -> str | None:
+        """Longest vocabulary phrase starting (or ending) at a position."""
+        best: str | None = None
+        for length in range(1, self._max_len + 1):
+            if backwards:
+                lo, hi = start - length + 1, start + 1
+                if lo < 0:
+                    break
+            else:
+                lo, hi = start, start + length
+                if hi > len(tokens):
+                    break
+            phrase = " ".join(tokens[lo:hi])
+            if phrase in self._vocab:
+                best = phrase
+        return best
+
+    def mine(self, sentences: Iterable[Sequence[str]]) -> list[tuple[str, str]]:
+        """Return distinct (hyponym, hypernym) pairs found in the corpus."""
+        found: dict[tuple[str, str], None] = {}
+        for tokens in sentences:
+            tokens = list(tokens)
+            for pair in self._match_kind_of(tokens):
+                found.setdefault(pair)
+            for pair in self._match_every_is_a(tokens):
+                found.setdefault(pair)
+            for pair in self._match_such_as(tokens):
+                found.setdefault(pair)
+        return list(found)
+
+    def _match_kind_of(self, tokens: list[str]) -> list[tuple[str, str]]:
+        pairs = []
+        for i in range(len(tokens) - 4):
+            if tokens[i:i + 4] == ["is", "a", "kind", "of"] or \
+                    tokens[i:i + 4] == ["is", "a", "type", "of"]:
+                hyponym = self._longest_match_at(tokens, i - 1, backwards=True)
+                hypernym = self._longest_match_at(tokens, i + 4)
+                if hyponym and hypernym and hyponym != hypernym:
+                    pairs.append((hyponym, hypernym))
+        return pairs
+
+    def _match_every_is_a(self, tokens: list[str]) -> list[tuple[str, str]]:
+        pairs = []
+        if not tokens or tokens[0] != "every":
+            return pairs
+        for i in range(1, len(tokens) - 2):
+            if tokens[i] == "is" and tokens[i + 1] == "a":
+                hyponym = self._longest_match_at(tokens, i - 1, backwards=True)
+                hypernym = self._longest_match_at(tokens, i + 2)
+                if hyponym and hypernym and hyponym != hypernym:
+                    pairs.append((hyponym, hypernym))
+        return pairs
+
+    def _match_such_as(self, tokens: list[str]) -> list[tuple[str, str]]:
+        pairs = []
+        for i in range(len(tokens) - 2):
+            if tokens[i + 1] == "such" and tokens[i + 2] == "as":
+                hypernym = self._longest_match_at(tokens, i, backwards=True)
+                if not hypernym:
+                    continue
+                position = i + 3
+                while position < len(tokens):
+                    hyponym = self._longest_match_at(tokens, position)
+                    if hyponym and hyponym != hypernym:
+                        pairs.append((hyponym, hypernym))
+                        position += len(hyponym.split())
+                        if position < len(tokens) and tokens[position] == "and":
+                            position += 1
+                            continue
+                    break
+        return pairs

@@ -1,0 +1,19 @@
+"""The AliCoCo graph store: four node layers plus typed relations.
+
+Layers (Figure 1 of the paper):
+
+- taxonomy classes (:class:`~repro.kg.nodes.ClassNode`),
+- primitive concepts (:class:`~repro.kg.nodes.PrimitiveConcept`),
+- e-commerce concepts (:class:`~repro.kg.nodes.ECommerceConcept`),
+- items (:class:`~repro.kg.nodes.Item`).
+"""
+
+from .nodes import ClassNode, ECommerceConcept, Item, PrimitiveConcept
+from .relations import Relation, RelationKind
+from .store import AliCoCoStore
+from .stats import StoreStats
+
+__all__ = [
+    "ClassNode", "PrimitiveConcept", "ECommerceConcept", "Item",
+    "Relation", "RelationKind", "AliCoCoStore", "StoreStats",
+]

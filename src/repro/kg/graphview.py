@@ -1,0 +1,59 @@
+"""networkx export and graph-level analysis of a built net."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .ids import layer_of
+from .relations import RelationKind
+from .store import AliCoCoStore
+
+
+def to_networkx(store: AliCoCoStore,
+                kinds: tuple[RelationKind, ...] | None = None) -> nx.MultiDiGraph:
+    """Export the store as a multi-digraph.
+
+    Nodes carry a ``layer`` attribute; edges carry ``kind``, ``weight``
+    and ``name``.
+
+    Args:
+        store: The net.
+        kinds: Optional restriction to some relation kinds.
+    """
+    graph = nx.MultiDiGraph()
+    for node in store.nodes():
+        graph.add_node(node.id, layer=layer_of(node.id))
+    for relation in store.relations():
+        if kinds is not None and relation.kind not in kinds:
+            continue
+        graph.add_edge(relation.source, relation.target,
+                       kind=relation.kind.name, weight=relation.weight,
+                       name=relation.name)
+    return graph
+
+
+def connectivity_summary(store: AliCoCoStore) -> dict[str, float]:
+    """Graph-level statistics: size, density surrogate, reachability.
+
+    ``item_to_concept_reach`` is the share of items from which at least
+    one e-commerce concept is reachable — the paper's "98% of items are
+    linked to AliCoCo" framed as graph reachability.
+    """
+    graph = to_networkx(store)
+    undirected = graph.to_undirected()
+    items = [n for n, data in graph.nodes(data=True) if data["layer"] == "item"]
+    reachable = 0
+    for item in items:
+        for _, target, data in graph.out_edges(item, data=True):
+            if data["kind"] in ("ITEM_ECOMMERCE", "ITEM_PRIMITIVE"):
+                reachable += 1
+                break
+    components = nx.number_connected_components(undirected) if len(undirected) else 0
+    return {
+        "nodes": float(graph.number_of_nodes()),
+        "edges": float(graph.number_of_edges()),
+        "connected_components": float(components),
+        "item_link_rate": reachable / len(items) if items else 0.0,
+        "avg_out_degree": (graph.number_of_edges() / graph.number_of_nodes()
+                           if graph.number_of_nodes() else 0.0),
+    }

@@ -1,0 +1,45 @@
+"""Typed node-id allocation.
+
+Every node gets a unique string id with a layer prefix (``cls_``, ``pc_``,
+``ec_``, ``item_``).  The paper stresses that several primitive concepts may
+share a *name* while having different ids (sense disambiguation); ids here
+are therefore allocated per node, never derived from names.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+CLASS_PREFIX = "cls"
+PRIMITIVE_PREFIX = "pc"
+ECOMMERCE_PREFIX = "ec"
+ITEM_PREFIX = "item"
+
+_PREFIXES = (CLASS_PREFIX, PRIMITIVE_PREFIX, ECOMMERCE_PREFIX, ITEM_PREFIX)
+
+
+class IdAllocator:
+    """Hands out sequential ids per layer prefix."""
+
+    def __init__(self) -> None:
+        self._counters = {prefix: count() for prefix in _PREFIXES}
+
+    def allocate(self, prefix: str) -> str:
+        """Next id for ``prefix``.
+
+        Raises:
+            KeyError: On an unknown prefix.
+        """
+        return f"{prefix}_{next(self._counters[prefix])}"
+
+
+def layer_of(node_id: str) -> str:
+    """The layer prefix of a node id.
+
+    Raises:
+        ValueError: If the id does not carry a known prefix.
+    """
+    prefix = node_id.split("_", 1)[0]
+    if prefix not in _PREFIXES:
+        raise ValueError(f"id {node_id!r} has no known layer prefix")
+    return prefix

@@ -1,0 +1,83 @@
+"""Node types for the four layers of AliCoCo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ClassNode:
+    """A taxonomy class (Section 3).
+
+    Attributes:
+        id: ``cls_*`` node id.
+        name: Class name, e.g. ``Dress``.
+        domain: First-level class ("domain") it belongs to, e.g. ``Category``.
+        parent_id: Parent class id; ``None`` only for first-level domains.
+    """
+
+    id: str
+    name: str
+    domain: str
+    parent_id: str | None = None
+
+
+@dataclass(frozen=True)
+class PrimitiveConcept:
+    """A primitive concept (Section 4): a short vocabulary unit with a class.
+
+    Several primitive concepts may share ``name`` (e.g. *village* as a
+    Location and *village* as a Style) — they are distinct nodes with
+    distinct ids, which is how AliCoCo disambiguates raw text.
+
+    Attributes:
+        id: ``pc_*`` node id.
+        name: Surface form (single- or multi-word phrase).
+        class_id: Finest taxonomy class this concept instantiates.
+        domain: The first-level domain of that class (denormalised for
+            cheap filtering).
+    """
+
+    id: str
+    name: str
+    class_id: str
+    domain: str
+
+
+@dataclass(frozen=True)
+class ECommerceConcept:
+    """An e-commerce concept (Section 5): a shopping-scenario phrase.
+
+    Attributes:
+        id: ``ec_*`` node id.
+        text: The phrase, e.g. ``outdoor barbecue``.
+        tokens: Tokenised form of ``text``.
+        source: How it was produced: ``mined`` (from corpus) or
+            ``generated`` (from primitive-concept patterns).
+    """
+
+    id: str
+    text: str
+    tokens: tuple[str, ...]
+    source: str = "mined"
+
+
+@dataclass(frozen=True)
+class Item:
+    """An item (Section 6): the smallest selling unit.
+
+    Attributes:
+        id: ``item_*`` node id.
+        title: The merchant-written title text.
+        shop: Shop identifier (two identical products in two shops are
+            distinct items, per the paper's footnote 3).
+        properties: CPV-style property map, e.g. ``{"Color": "red"}``.
+    """
+
+    id: str
+    title: str
+    shop: str = "shop_0"
+    properties: dict[str, str] = field(default_factory=dict)
+
+
+Node = ClassNode | PrimitiveConcept | ECommerceConcept | Item

@@ -1,0 +1,68 @@
+"""Typed relations between AliCoCo nodes.
+
+The endpoint layers of every relation kind are enforced by the store, which
+is what the paper means by AliCoCo being "a KG with a type system" (unlike
+Probase).  Relations carry an optional weight to support the paper's
+future-work item of probabilistic edges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .ids import CLASS_PREFIX, ECOMMERCE_PREFIX, ITEM_PREFIX, PRIMITIVE_PREFIX
+
+
+class RelationKind(enum.Enum):
+    """Every edge type in the net; values are (source_layer, target_layer,
+    discriminator) — the third element only keeps enum members distinct."""
+
+    #: class -> parent class (the taxonomy hierarchy of Section 3)
+    SUBCLASS_OF = (CLASS_PREFIX, CLASS_PREFIX, "subclass_of")
+    #: primitive concept -> its class
+    INSTANCE_OF = (PRIMITIVE_PREFIX, CLASS_PREFIX, "instance_of")
+    #: primitive concept -> primitive concept hypernym (Section 4.2)
+    ISA_PRIMITIVE = (PRIMITIVE_PREFIX, PRIMITIVE_PREFIX, "isa")
+    #: primitive concept -> primitive concept commonsense relation mined
+    #: per the paper's future work ("T-shirt suitable_when summer"); the
+    #: relation name and probability live on the edge
+    RELATED_PRIMITIVE = (PRIMITIVE_PREFIX, PRIMITIVE_PREFIX, "related")
+    #: e-commerce concept -> broader e-commerce concept
+    ISA_ECOMMERCE = (ECOMMERCE_PREFIX, ECOMMERCE_PREFIX, "isa")
+    #: e-commerce concept -> primitive concept interpreting it (Section 5.3)
+    INTERPRETED_BY = (ECOMMERCE_PREFIX, PRIMITIVE_PREFIX, "interpreted_by")
+    #: item -> primitive concept (property-style association)
+    ITEM_PRIMITIVE = (ITEM_PREFIX, PRIMITIVE_PREFIX, "item_primitive")
+    #: item -> e-commerce concept (scenario association, Section 6)
+    ITEM_ECOMMERCE = (ITEM_PREFIX, ECOMMERCE_PREFIX, "item_ecommerce")
+    #: class -> class schema relation such as suitable_when (Section 2)
+    SCHEMA = (CLASS_PREFIX, CLASS_PREFIX, "schema")
+
+    @property
+    def source_layer(self) -> str:
+        return self.value[0]
+
+    @property
+    def target_layer(self) -> str:
+        return self.value[1]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A directed, typed, optionally weighted and named edge.
+
+    Attributes:
+        kind: The relation type.
+        source: Source node id.
+        target: Target node id.
+        weight: Confidence/probability in [0, 1].
+        name: Optional sub-type, e.g. ``suitable_when`` for SCHEMA edges or
+            the semantic role of an INTERPRETED_BY edge.
+    """
+
+    kind: RelationKind
+    source: str
+    target: str
+    weight: float = 1.0
+    name: str = ""

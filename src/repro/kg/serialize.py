@@ -1,0 +1,81 @@
+"""JSON-lines persistence for a full AliCoCo store."""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..errors import DataError
+from ..utils.io import read_jsonl, write_jsonl
+from .nodes import ClassNode, ECommerceConcept, Item, PrimitiveConcept
+from .relations import Relation, RelationKind
+from .store import AliCoCoStore
+
+_NODE_TYPES = {
+    "class": ClassNode,
+    "primitive": PrimitiveConcept,
+    "ecommerce": ECommerceConcept,
+    "item": Item,
+}
+_TYPE_NAMES = {cls: name for name, cls in _NODE_TYPES.items()}
+
+
+def _records(store: AliCoCoStore) -> Iterator[dict[str, Any]]:
+    for node in store.nodes():
+        record = {"record": "node", "type": _TYPE_NAMES[type(node)],
+                  **asdict(node)}
+        if isinstance(node, ECommerceConcept):
+            record["tokens"] = list(node.tokens)
+        yield record
+    for relation in store.relations():
+        yield {"record": "relation", "kind": relation.kind.name,
+               "source": relation.source, "target": relation.target,
+               "weight": relation.weight, "name": relation.name}
+
+
+def save_store(store: AliCoCoStore, path: str | Path) -> int:
+    """Write nodes then relations, one JSON object per line (atomic).
+
+    Returns:
+        Number of lines written.
+    """
+    return write_jsonl(path, _records(store))
+
+
+def load_store(path: str | Path) -> AliCoCoStore:
+    """Rebuild a store saved by :func:`save_store`.
+
+    Raises:
+        DataError: On malformed records (with line numbers).
+    """
+    store = AliCoCoStore()
+    for line_number, record in read_jsonl(path):
+        kind = record.pop("record", None)
+        if kind == "node":
+            type_name = record.pop("type", None)
+            node_cls = _NODE_TYPES.get(type_name)
+            if node_cls is None:
+                raise DataError(
+                    f"line {line_number}: unknown node type {type_name!r}")
+            if node_cls is ECommerceConcept:
+                record["tokens"] = tuple(record["tokens"])
+            try:
+                store.add_node(node_cls(**record))
+            except TypeError as error:
+                raise DataError(
+                    f"line {line_number}: bad node record ({error})") from error
+        elif kind == "relation":
+            try:
+                relation_kind = RelationKind[record["kind"]]
+            except KeyError:
+                raise DataError(f"line {line_number}: unknown relation kind "
+                                f"{record.get('kind')!r}") from None
+            store.add_relation(Relation(
+                kind=relation_kind,
+                source=record["source"], target=record["target"],
+                weight=record.get("weight", 1.0),
+                name=record.get("name", "")))
+        else:
+            raise DataError(f"line {line_number}: unknown record {kind!r}")
+    return store

@@ -1,0 +1,71 @@
+"""Aggregate statistics of a built net, mirroring Table 2 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Counts in the shape of the paper's Table 2.
+
+    The paper reports 2.8M primitive concepts, 5.3M e-commerce concepts,
+    >3B items and >400B relations; the reproduction reports the same rows at
+    synthetic-world scale.
+    """
+
+    primitive_concepts: int
+    ecommerce_concepts: int
+    items: int
+    classes: int
+    relations_total: int
+    isa_primitive: int
+    isa_ecommerce: int
+    item_primitive: int
+    item_ecommerce: int
+    ecommerce_primitive: int
+    primitive_by_domain: dict[str, int] = field(default_factory=dict)
+    linked_item_fraction: float = 0.0
+
+    @property
+    def avg_primitive_per_item(self) -> float:
+        """Average primitive concepts associated with each item."""
+        return self.item_primitive / self.items if self.items else 0.0
+
+    @property
+    def avg_ecommerce_per_item(self) -> float:
+        """Average e-commerce concepts associated with each item."""
+        return self.item_ecommerce / self.items if self.items else 0.0
+
+    @property
+    def avg_items_per_ecommerce(self) -> float:
+        """Average items associated with each e-commerce concept."""
+        if not self.ecommerce_concepts:
+            return 0.0
+        return self.item_ecommerce / self.ecommerce_concepts
+
+    def summary(self) -> str:
+        """Human-readable, Table 2-shaped report."""
+        lines = [
+            "Overall",
+            f"  # Primitive concepts        {self.primitive_concepts:>10}",
+            f"  # E-commerce concepts       {self.ecommerce_concepts:>10}",
+            f"  # Items                     {self.items:>10}",
+            f"  # Taxonomy classes          {self.classes:>10}",
+            f"  # Relations                 {self.relations_total:>10}",
+            "Relations",
+            f"  # IsA in primitive concepts {self.isa_primitive:>10}",
+            f"  # IsA in e-commerce cpts    {self.isa_ecommerce:>10}",
+            f"  # Item - Primitive cpts     {self.item_primitive:>10}",
+            f"  # Item - E-commerce cpts    {self.item_ecommerce:>10}",
+            f"  # E-commerce - Primitive    {self.ecommerce_primitive:>10}",
+            "Coverage",
+            f"  items linked                {self.linked_item_fraction:>9.1%}",
+            f"  avg primitive cpts / item   {self.avg_primitive_per_item:>10.1f}",
+            f"  avg e-commerce cpts / item  {self.avg_ecommerce_per_item:>10.1f}",
+            f"  avg items / e-commerce cpt  {self.avg_items_per_ecommerce:>10.1f}",
+            "Primitive concepts by domain",
+        ]
+        for domain in sorted(self.primitive_by_domain):
+            lines.append(f"  # {domain:<25} {self.primitive_by_domain[domain]:>10}")
+        return "\n".join(lines)

@@ -1,0 +1,229 @@
+"""The in-memory AliCoCo graph store with typed validation and indexes."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from ..errors import DuplicateNodeError, NodeNotFoundError, RelationError
+from .ids import (
+    CLASS_PREFIX, ECOMMERCE_PREFIX, IdAllocator, ITEM_PREFIX,
+    PRIMITIVE_PREFIX, layer_of,
+)
+from .nodes import ClassNode, ECommerceConcept, Item, Node, PrimitiveConcept
+from .relations import Relation, RelationKind
+from .stats import StoreStats
+
+_LAYER_TYPES = {
+    CLASS_PREFIX: ClassNode,
+    PRIMITIVE_PREFIX: PrimitiveConcept,
+    ECOMMERCE_PREFIX: ECommerceConcept,
+    ITEM_PREFIX: Item,
+}
+
+
+class AliCoCoStore:
+    """Nodes + relations with per-layer name indexes and adjacency lists.
+
+    All mutation goes through :meth:`add_node` / :meth:`add_relation`
+    (or the typed ``create_*`` conveniences, which also allocate ids), so
+    the indexes can never drift from the node table.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, Node] = {}
+        self._ids = IdAllocator()
+        # name index: layer prefix -> name -> list of node ids
+        self._by_name: dict[str, dict[str, list[str]]] = {
+            prefix: defaultdict(list) for prefix in _LAYER_TYPES}
+        self._relations: list[Relation] = []
+        self._out: dict[tuple[str, RelationKind], list[Relation]] = defaultdict(list)
+        self._in: dict[tuple[str, RelationKind], list[Relation]] = defaultdict(list)
+        self._relation_keys: set[tuple[RelationKind, str, str]] = set()
+
+    # -------------------------------------------------------------- mutation
+    def add_node(self, node: Node) -> Node:
+        """Insert a pre-built node.
+
+        Raises:
+            DuplicateNodeError: If the id is already present.
+            RelationError: If the node type does not match its id prefix.
+        """
+        if node.id in self._nodes:
+            raise DuplicateNodeError(f"node {node.id!r} already exists")
+        layer = layer_of(node.id)
+        if not isinstance(node, _LAYER_TYPES[layer]):
+            raise RelationError(
+                f"node {node.id!r} has prefix {layer!r} but type {type(node).__name__}")
+        self._nodes[node.id] = node
+        self._by_name[layer][self._name_of(node)].append(node.id)
+        return node
+
+    @staticmethod
+    def _name_of(node: Node) -> str:
+        if isinstance(node, (ClassNode, PrimitiveConcept)):
+            return node.name
+        if isinstance(node, ECommerceConcept):
+            return node.text
+        return node.title
+
+    def create_class(self, name: str, domain: str,
+                     parent_id: str | None = None) -> ClassNode:
+        """Allocate an id and insert a taxonomy class."""
+        if parent_id is not None:
+            self._require(parent_id, CLASS_PREFIX)
+        node = ClassNode(self._ids.allocate(CLASS_PREFIX), name, domain, parent_id)
+        self.add_node(node)
+        if parent_id is not None:
+            self.add_relation(Relation(RelationKind.SUBCLASS_OF, node.id, parent_id))
+        return node
+
+    def create_primitive(self, name: str, class_id: str) -> PrimitiveConcept:
+        """Allocate an id and insert a primitive concept under ``class_id``."""
+        class_node = self._require(class_id, CLASS_PREFIX)
+        node = PrimitiveConcept(self._ids.allocate(PRIMITIVE_PREFIX), name,
+                                class_id, class_node.domain)
+        self.add_node(node)
+        self.add_relation(Relation(RelationKind.INSTANCE_OF, node.id, class_id))
+        return node
+
+    def create_ecommerce(self, text: str, source: str = "mined") -> ECommerceConcept:
+        """Allocate an id and insert an e-commerce concept."""
+        tokens = tuple(text.split())
+        node = ECommerceConcept(self._ids.allocate(ECOMMERCE_PREFIX), text,
+                                tokens, source)
+        return self.add_node(node)
+
+    def create_item(self, title: str, shop: str = "shop_0",
+                    properties: dict[str, str] | None = None) -> Item:
+        """Allocate an id and insert an item."""
+        node = Item(self._ids.allocate(ITEM_PREFIX), title, shop,
+                    dict(properties or {}))
+        return self.add_node(node)
+
+    def add_relation(self, relation: Relation) -> Relation:
+        """Insert a relation after validating endpoints.
+
+        Duplicate (kind, source, target) triples are ignored and the
+        existing relation list is left untouched.
+
+        Raises:
+            NodeNotFoundError: If either endpoint is missing.
+            RelationError: If the endpoint layers do not match the kind.
+        """
+        for node_id, expected in ((relation.source, relation.kind.source_layer),
+                                  (relation.target, relation.kind.target_layer)):
+            self._require(node_id, expected)
+        key = (relation.kind, relation.source, relation.target)
+        if key in self._relation_keys:
+            return relation
+        self._relation_keys.add(key)
+        self._relations.append(relation)
+        self._out[(relation.source, relation.kind)].append(relation)
+        self._in[(relation.target, relation.kind)].append(relation)
+        return relation
+
+    def _require(self, node_id: str, expected_layer: str) -> Node:
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise NodeNotFoundError(f"node {node_id!r} does not exist")
+        if layer_of(node_id) != expected_layer:
+            raise RelationError(
+                f"node {node_id!r} is in layer {layer_of(node_id)!r}; "
+                f"expected {expected_layer!r}")
+        return node
+
+    # ---------------------------------------------------------------- access
+    def get(self, node_id: str) -> Node:
+        """Node by id.
+
+        Raises:
+            NodeNotFoundError: If absent.
+        """
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise NodeNotFoundError(f"node {node_id!r} does not exist")
+        return node
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def find_by_name(self, layer: str, name: str) -> list[Node]:
+        """All nodes in ``layer`` whose name/text/title equals ``name``."""
+        return [self._nodes[i] for i in self._by_name[layer].get(name, [])]
+
+    def nodes(self, layer: str | None = None) -> Iterator[Node]:
+        """Iterate nodes, optionally restricted to one layer prefix."""
+        for node_id, node in self._nodes.items():
+            if layer is None or layer_of(node_id) == layer:
+                yield node
+
+    def relations(self, kind: RelationKind | None = None) -> Iterator[Relation]:
+        """Iterate relations, optionally filtered by kind."""
+        for relation in self._relations:
+            if kind is None or relation.kind == kind:
+                yield relation
+
+    def out_relations(self, node_id: str, kind: RelationKind) -> list[Relation]:
+        """Outgoing relations of ``node_id`` with the given kind."""
+        return list(self._out.get((node_id, kind), []))
+
+    def in_relations(self, node_id: str, kind: RelationKind) -> list[Relation]:
+        """Incoming relations of ``node_id`` with the given kind."""
+        return list(self._in.get((node_id, kind), []))
+
+    def targets(self, node_id: str, kind: RelationKind) -> list[Node]:
+        """Target nodes of outgoing ``kind`` edges."""
+        return [self._nodes[r.target] for r in self._out.get((node_id, kind), [])]
+
+    def sources(self, node_id: str, kind: RelationKind) -> list[Node]:
+        """Source nodes of incoming ``kind`` edges."""
+        return [self._nodes[r.source] for r in self._in.get((node_id, kind), [])]
+
+    # ------------------------------------------------------------ statistics
+    def count_nodes(self, layer: str) -> int:
+        return sum(1 for _ in self.nodes(layer))
+
+    def count_relations(self, kind: RelationKind) -> int:
+        return sum(1 for _ in self.relations(kind))
+
+    def stats(self) -> StoreStats:
+        """Aggregate statistics in the shape of the paper's Table 2."""
+        domain_counts: dict[str, int] = defaultdict(int)
+        for node in self.nodes(PRIMITIVE_PREFIX):
+            domain_counts[node.domain] += 1
+        items = self.count_nodes(ITEM_PREFIX)
+        item_pc = self.count_relations(RelationKind.ITEM_PRIMITIVE)
+        item_ec = self.count_relations(RelationKind.ITEM_ECOMMERCE)
+        linked_items = {
+            r.source
+            for kind in (RelationKind.ITEM_PRIMITIVE, RelationKind.ITEM_ECOMMERCE)
+            for r in self.relations(kind)
+        }
+        return StoreStats(
+            primitive_concepts=self.count_nodes(PRIMITIVE_PREFIX),
+            ecommerce_concepts=self.count_nodes(ECOMMERCE_PREFIX),
+            items=items,
+            classes=self.count_nodes(CLASS_PREFIX),
+            relations_total=len(self._relations),
+            isa_primitive=self.count_relations(RelationKind.ISA_PRIMITIVE),
+            isa_ecommerce=self.count_relations(RelationKind.ISA_ECOMMERCE),
+            item_primitive=item_pc,
+            item_ecommerce=item_ec,
+            ecommerce_primitive=self.count_relations(RelationKind.INTERPRETED_BY),
+            primitive_by_domain=dict(domain_counts),
+            linked_item_fraction=(len(linked_items) / items) if items else 0.0,
+        )
+
+    # --------------------------------------------------------------- helpers
+    def classes_in_domain(self, domain: str) -> list[ClassNode]:
+        """All taxonomy classes belonging to a first-level domain."""
+        return [node for node in self.nodes(CLASS_PREFIX) if node.domain == domain]
+
+    def primitives_in_domain(self, domain: str) -> list[PrimitiveConcept]:
+        """All primitive concepts belonging to a first-level domain."""
+        return [node for node in self.nodes(PRIMITIVE_PREFIX)
+                if node.domain == domain]

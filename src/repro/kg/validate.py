@@ -1,0 +1,103 @@
+"""Integrity validation of a built net.
+
+The paper stresses quality control ("we monitor the data quality
+regularly"); this module is the structural half of that: referential
+integrity, weight ranges, taxonomy acyclicity and isA acyclicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ids import CLASS_PREFIX, PRIMITIVE_PREFIX
+from .relations import RelationKind
+from .store import AliCoCoStore
+
+
+@dataclass
+class ValidationReport:
+    """Problems found by :func:`validate_store` (empty = healthy)."""
+
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def add(self, problem: str) -> None:
+        self.problems.append(problem)
+
+
+def validate_store(store: AliCoCoStore) -> ValidationReport:
+    """Run all integrity checks over a store."""
+    report = ValidationReport()
+    _check_weights(store, report)
+    _check_parent_links(store, report)
+    _check_acyclic(store, report, RelationKind.SUBCLASS_OF, "taxonomy")
+    _check_acyclic(store, report, RelationKind.ISA_PRIMITIVE, "primitive isA")
+    _check_acyclic(store, report, RelationKind.ISA_ECOMMERCE, "e-commerce isA")
+    _check_primitive_classes(store, report)
+    return report
+
+
+def _check_weights(store: AliCoCoStore, report: ValidationReport) -> None:
+    for relation in store.relations():
+        if not 0.0 <= relation.weight <= 1.0:
+            report.add(f"relation {relation.kind.name} "
+                       f"{relation.source}->{relation.target} has weight "
+                       f"{relation.weight} outside [0, 1]")
+
+
+def _check_parent_links(store: AliCoCoStore, report: ValidationReport) -> None:
+    """Every class's parent_id must exist and be a class."""
+    for node in store.nodes(CLASS_PREFIX):
+        if node.parent_id is None:
+            continue
+        if node.parent_id not in store:
+            report.add(f"class {node.id} has dangling parent {node.parent_id}")
+
+
+def _check_acyclic(store: AliCoCoStore, report: ValidationReport,
+                   kind: RelationKind, label: str) -> None:
+    adjacency: dict[str, list[str]] = {}
+    for relation in store.relations(kind):
+        adjacency.setdefault(relation.source, []).append(relation.target)
+    state: dict[str, int] = {}  # 0=visiting, 1=done
+
+    def has_cycle(node: str) -> bool:
+        stack = [(node, iter(adjacency.get(node, ())))]
+        state[node] = 0
+        while stack:
+            current, children = stack[-1]
+            advanced = False
+            for child in children:
+                if state.get(child) == 0:
+                    return True
+                if child not in state:
+                    state[child] = 0
+                    stack.append((child, iter(adjacency.get(child, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                state[current] = 1
+                stack.pop()
+        return False
+
+    for start in list(adjacency):
+        if start not in state and has_cycle(start):
+            report.add(f"cycle detected in {label} relations at {start}")
+            return
+
+
+def _check_primitive_classes(store: AliCoCoStore,
+                             report: ValidationReport) -> None:
+    """Every primitive concept's class must exist, be a class node, and
+    agree on the domain."""
+    for node in store.nodes(PRIMITIVE_PREFIX):
+        if node.class_id not in store:
+            report.add(f"primitive {node.id} has dangling class {node.class_id}")
+            continue
+        class_node = store.get(node.class_id)
+        if class_node.domain != node.domain:
+            report.add(f"primitive {node.id} domain {node.domain!r} does not "
+                       f"match class domain {class_node.domain!r}")

@@ -1,0 +1,63 @@
+"""Shared plumbing for neural matching models."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import DataError, NotFittedError
+from ..ml import Embedding, Module
+from ..ml.tensor import Tensor, no_grad
+from ..nlp.vocab import Vocab
+from ..utils.rng import spawn_rng
+from .dataset import MatchingExample
+
+
+def matching_vocab(examples: Sequence[MatchingExample]) -> Vocab:
+    """Vocabulary over concept and title tokens of a pair collection."""
+    sentences = []
+    for example in examples:
+        sentences.append(list(example.concept.tokens))
+        sentences.append(list(example.item.title_tokens))
+    return Vocab.from_corpus(sentences)
+
+
+class NeuralMatcher(Module):
+    """Base class: shared embedding table and the scoring interface.
+
+    Args:
+        vocab: Token vocabulary covering both sides.
+        dim: Word-embedding width.
+        seed: Weight-init seed.
+        pretrained: Optional pretrained embedding matrix.
+        name: RNG stream name (per-subclass).
+    """
+
+    def __init__(self, vocab: Vocab, dim: int, seed: int, name: str,
+                 pretrained: np.ndarray | None = None):
+        super().__init__()
+        self.vocab = vocab
+        self.dim = dim
+        self.rng = spawn_rng(seed, "matcher", name)
+        self.embedding = Embedding(len(vocab), dim, self.rng,
+                                   pretrained=pretrained)
+        self._fitted = False
+
+    def _embed(self, tokens: Sequence[str]) -> Tensor:
+        """(1, T, dim) embeddings of a token sequence."""
+        if not tokens:
+            raise DataError("cannot embed an empty sequence")
+        ids = np.asarray(self.vocab.ids(list(tokens)))[None, :]
+        return self.embedding(ids)
+
+    def logit(self, example: MatchingExample) -> Tensor:
+        raise NotImplementedError
+
+    def score_pairs(self, examples: Sequence[MatchingExample]) -> np.ndarray:
+        """Match probabilities for a batch of pairs (no grad)."""
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} has not been trained")
+        with no_grad():
+            logits = np.asarray([self.logit(e).item() for e in examples])
+        return 1.0 / (1.0 + np.exp(-logits))

@@ -1,0 +1,76 @@
+"""BM25 lexical-matching baseline (first row of Table 6).
+
+Purely term-based: it cannot bridge semantic drift ("mid-autumn festival
+gifts" vs "moon cakes"), which is exactly why the paper includes it as the
+floor baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import DataError, NotFittedError
+from .dataset import MatchingExample
+
+
+class BM25Matcher:
+    """Okapi BM25 over item titles.
+
+    Args:
+        k1: Term-frequency saturation.
+        b: Length normalisation.
+    """
+
+    def __init__(self, k1: float = 1.5, b: float = 0.75):
+        self.k1 = k1
+        self.b = b
+        self._idf: dict[str, float] = {}
+        self._average_length = 0.0
+        self._fitted = False
+
+    def fit(self, examples: Sequence[MatchingExample]) -> "BM25Matcher":
+        """Collect document statistics from the training items' titles."""
+        titles = {example.item.index: example.item.title_tokens
+                  for example in examples}
+        if not titles:
+            raise DataError("BM25 needs at least one title")
+        document_frequency: Counter[str] = Counter()
+        total_length = 0
+        for tokens in titles.values():
+            total_length += len(tokens)
+            document_frequency.update(set(tokens))
+        n_docs = len(titles)
+        self._average_length = total_length / n_docs
+        self._idf = {
+            term: math.log(1.0 + (n_docs - freq + 0.5) / (freq + 0.5))
+            for term, freq in document_frequency.items()}
+        self._fitted = True
+        return self
+
+    def score(self, query_tokens: Sequence[str],
+              title_tokens: Sequence[str]) -> float:
+        """BM25 score of a query against one title."""
+        if not self._fitted:
+            raise NotFittedError("BM25 has not been fitted")
+        counts = Counter(title_tokens)
+        length_norm = self.k1 * (
+            1.0 - self.b + self.b * len(title_tokens)
+            / max(self._average_length, 1e-9))
+        score = 0.0
+        for term in query_tokens:
+            frequency = counts.get(term, 0)
+            if frequency == 0:
+                continue
+            idf = self._idf.get(term, math.log(2.0))
+            score += idf * frequency * (self.k1 + 1.0) / (frequency + length_norm)
+        return score
+
+    def score_pairs(self, examples: Sequence[MatchingExample]) -> np.ndarray:
+        """Scores for a batch of (concept, item) pairs."""
+        return np.asarray([
+            self.score(example.concept.tokens, example.item.title_tokens)
+            for example in examples])

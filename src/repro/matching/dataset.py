@@ -1,0 +1,124 @@
+"""Matching dataset construction (Section 7.6).
+
+Training positives come from click logs (the paper: "strong matching rules
+and user click logs"); negatives from unclicked impressions and random
+sampling.  The test set is oracle-labelled per concept — the paper sampled
+400 concepts and had annotators label candidate pairs — and doubles as the
+per-concept ranking pool for P@10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DataError
+from ..synth.clicklog import ClickEvent
+from ..synth.items import SynthItem, item_matches_concept
+from ..synth.world import ConceptSpec, World
+
+
+@dataclass(frozen=True)
+class MatchingExample:
+    """One (concept, item, label) pair."""
+
+    concept: ConceptSpec
+    item: SynthItem
+    label: int
+
+
+@dataclass
+class MatchingDataset:
+    """Train pairs plus a grouped test set for ranking metrics.
+
+    Attributes:
+        train: Click-derived training pairs.
+        test: Oracle-labelled pairs (balanced-ish).
+        test_by_concept: concept text -> examples, for P@10.
+    """
+
+    train: list[MatchingExample] = field(default_factory=list)
+    test: list[MatchingExample] = field(default_factory=list)
+    test_by_concept: dict[str, list[MatchingExample]] = field(
+        default_factory=dict)
+
+
+def build_matching_dataset(world: World, concepts: list[ConceptSpec],
+                           items: list[SynthItem], clicks: list[ClickEvent],
+                           rng: np.random.Generator,
+                           test_concepts: int = 30,
+                           candidates_per_test_concept: int = 30,
+                           extra_random_negatives: int = 200) -> MatchingDataset:
+    """Assemble the dataset.
+
+    Test concepts are held out from training entirely so the evaluation
+    measures generalisation to unseen scenarios.
+
+    Raises:
+        DataError: If there are no good concepts or no clicks.
+    """
+    good = [c for c in concepts if c.good]
+    if not good:
+        raise DataError("no good concepts to build a matching dataset from")
+    if not clicks:
+        raise DataError("empty click log")
+    good_indexed = {id(c): i for i, c in enumerate(concepts)}
+    rng.shuffle(good)
+    test_specs = good[:min(test_concepts, max(1, len(good) // 3))]
+    test_texts = {spec.text for spec in test_specs}
+
+    dataset = MatchingDataset()
+    seen: set[tuple[str, int, int]] = set()
+    for event in clicks:
+        spec = concepts[event.concept_index]
+        if spec.text in test_texts:
+            continue
+        label = int(event.clicked)
+        key = (spec.text, event.item_index, label)
+        if key in seen:
+            continue
+        seen.add(key)
+        dataset.train.append(MatchingExample(spec, items[event.item_index],
+                                             label))
+    train_specs = [c for c in good if c.text not in test_texts]
+    for _ in range(extra_random_negatives):
+        spec = train_specs[int(rng.integers(len(train_specs)))]
+        item = items[int(rng.integers(len(items)))]
+        label = int(item_matches_concept(world, item, spec))
+        if label == 0:
+            dataset.train.append(MatchingExample(spec, item, 0))
+
+    for spec in test_specs:
+        examples = _test_candidates(world, spec, items, rng,
+                                    candidates_per_test_concept)
+        if not examples:
+            continue
+        dataset.test.extend(examples)
+        dataset.test_by_concept[spec.text] = examples
+    if not dataset.test:
+        raise DataError("no test examples could be labelled")
+    return dataset
+
+
+def _test_candidates(world: World, spec: ConceptSpec, items: list[SynthItem],
+                     rng: np.random.Generator,
+                     count: int) -> list[MatchingExample]:
+    """Oracle-labelled candidate pool: all relevant items (up to half the
+    pool) padded with random irrelevant ones."""
+    relevant = [item for item in items
+                if item_matches_concept(world, item, spec)]
+    if not relevant:
+        return []
+    rng.shuffle(relevant)
+    positives = relevant[:max(1, count // 2)]
+    examples = [MatchingExample(spec, item, 1) for item in positives]
+    attempts = 0
+    while len(examples) < count and attempts < count * 20:
+        attempts += 1
+        item = items[int(rng.integers(len(items)))]
+        if item_matches_concept(world, item, spec):
+            continue
+        examples.append(MatchingExample(spec, item, 0))
+    rng.shuffle(examples)
+    return examples

@@ -1,0 +1,50 @@
+"""DSSM baseline [13] (Table 6).
+
+Two independent towers project mean-pooled text embeddings into a shared
+semantic space; relevance is the (scaled) cosine between the two vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml import MLP
+from ..ml.module import Parameter
+from ..ml.tensor import Tensor
+from ..nlp.vocab import Vocab
+from .base import NeuralMatcher
+from .dataset import MatchingExample
+
+
+class DSSMMatcher(NeuralMatcher):
+    """Deep Structured Semantic Model.
+
+    Args:
+        vocab: Shared vocabulary.
+        dim: Embedding width.
+        hidden: Tower hidden width.
+        seed: Weight-init seed.
+    """
+
+    def __init__(self, vocab: Vocab, dim: int = 16, hidden: int = 16,
+                 seed: int = 0, pretrained: np.ndarray | None = None):
+        super().__init__(vocab, dim, seed, "dssm", pretrained)
+        self.query_tower = MLP([dim, hidden, hidden], self.rng,
+                               activation="tanh")
+        self.title_tower = MLP([dim, hidden, hidden], self.rng,
+                               activation="tanh")
+        # Learned cosine scale/offset turning similarity into a logit.
+        self.scale = Parameter(np.array([4.0]))
+        self.offset = Parameter(np.array([0.0]))
+
+    def _tower(self, tokens, tower) -> Tensor:
+        pooled = self._embed(tokens).mean(axis=1)[0]
+        return tower(pooled)
+
+    def logit(self, example: MatchingExample) -> Tensor:
+        query = self._tower(example.concept.tokens, self.query_tower)
+        title = self._tower(example.item.title_tokens, self.title_tower)
+        dot = (query * title).sum()
+        norm = ((query * query).sum() ** 0.5) * ((title * title).sum() ** 0.5)
+        cosine = dot / (norm + 1e-8)
+        return (cosine * self.scale + self.offset).reshape(())

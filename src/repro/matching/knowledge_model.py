@@ -1,0 +1,202 @@
+"""The paper's knowledge-aware deep semantic matching model (Figure 8).
+
+Both sides get word + POS + NER embeddings through wide CNN encoders
+(Eqs. 9-10).  A two-way additive attention matrix (Eq. 11) produces
+per-word weights (Eqs. 12-13) and attention-pooled concept/item vectors
+(Eq. 14).  The knowledge branch extends the concept side with gloss
+Doc2vec vectors (Eq. 15) and the class-label ids of the linked primitive
+concepts, then builds a K-layer matching pyramid against the title
+(Eq. 16) whose pooled layers are merged by an MLP (Eq. 17).  The final
+score is an MLP over [c; i; ci] (Eq. 18).
+
+``Ours`` in Table 6 is this model with ``knowledge_lookup=None``;
+``Ours + Knowledge`` passes the gloss lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..ml import Conv1d, Linear, MLP
+from ..ml.module import Parameter
+from ..ml.tensor import Tensor, concat
+from ..nlp.pos import PosTagger
+from ..nlp.vocab import Vocab
+from .base import NeuralMatcher
+from .dataset import MatchingExample
+
+KnowledgeLookup = Callable[[str], np.ndarray | None]
+NerLookup = Callable[[str], int]
+
+#: Domains used as class-label ids on the concept side (Fig 8 "Lookup
+#: Primitive Concepts").
+_DOMAIN_IDS = {domain: i for i, domain in enumerate((
+    "Category", "Brand", "Color", "Design", "Function", "Material",
+    "Pattern", "Shape", "Smell", "Taste", "Style", "Time", "Location", "IP",
+    "Audience", "Event", "Nature", "Organization", "Quantity", "Modifier"))}
+
+
+class KnowledgeMatcher(NeuralMatcher):
+    """Figure 8, end to end.
+
+    Args:
+        vocab: Shared vocabulary.
+        pos_tagger: POS feature channel.
+        ner_lookup: Word -> NER label id.
+        num_ner_labels: NER label-set size.
+        knowledge_lookup: Word -> gloss vector; ``None`` disables the
+            knowledge branch's gloss/class extensions ("Ours" row).
+        knowledge_dim: Gloss-vector dimension.
+        dim: Word-embedding width.
+        conv_dim: CNN output channels.
+        pyramid_layers: K of the matching pyramid.
+        seed: Weight-init seed.
+    """
+
+    def __init__(self, vocab: Vocab, pos_tagger: PosTagger,
+                 ner_lookup: NerLookup, num_ner_labels: int,
+                 knowledge_lookup: KnowledgeLookup | None = None,
+                 gloss_tokens: dict[str, list[str]] | None = None,
+                 max_gloss_tokens: int = 6,
+                 knowledge_dim: int = 16, dim: int = 16, conv_dim: int = 16,
+                 pyramid_layers: int = 2, seed: int = 0,
+                 pretrained: np.ndarray | None = None):
+        super().__init__(vocab, dim, seed, "knowledge", pretrained)
+        #: Raw gloss content words per concept word.  The paper encodes
+        #: glosses with a production-grade Doc2vec; at laptop scale the
+        #: compressed vector is weak, so the knowledge sequence of Eq. 15
+        #: additionally carries the gloss words' own embeddings — the
+        #: "moon cakes" tokens from the mid-autumn-festival gloss can then
+        #: match the title directly inside the pyramid, which is exactly
+        #: the paper's Section 7.6 case study.
+        self._gloss_tokens = gloss_tokens or {}
+        self.max_gloss_tokens = max_gloss_tokens
+        rng = self.rng
+        self.pos_tagger = pos_tagger
+        self.ner_lookup = ner_lookup
+        self.use_knowledge = knowledge_lookup is not None
+        self._knowledge = knowledge_lookup
+        self.knowledge_dim = knowledge_dim
+        pos_dim = 4
+        ner_dim = 4
+        input_dim = dim + pos_dim + ner_dim
+        self.pos_embedding = ParameterTable(PosTagger.num_tags(), pos_dim, rng)
+        self.ner_embedding = ParameterTable(num_ner_labels, ner_dim, rng)
+        self.concept_cnn = Conv1d(input_dim, conv_dim, 3, rng)
+        self.title_cnn = Conv1d(input_dim, conv_dim, 3, rng)
+        # Eq. 11 parameters.
+        self.att_w1 = Linear(conv_dim, conv_dim, rng, bias=False)
+        self.att_w2 = Linear(conv_dim, conv_dim, rng, bias=False)
+        self.att_v = Linear(conv_dim, 1, rng, bias=False)
+        # Knowledge branch: project gloss vectors and class ids to dim.
+        if self.use_knowledge:
+            self.gloss_projection = Linear(knowledge_dim, dim, rng)
+            self.class_embedding = ParameterTable(len(_DOMAIN_IDS) + 1, dim, rng)
+        self.pyramid_layers = pyramid_layers
+        self.pyramid_w = Parameter(rng.normal(0.0, 0.3,
+                                              size=(pyramid_layers, dim, dim)))
+        cells = 2 * 4
+        self.pyramid_mlp = MLP([pyramid_layers * cells, 16, 8], rng,
+                               activation="relu")
+        # Eq. 18: MLP over [c; i; ci]; the elementwise product c*i is the
+        # usual interaction feature matching heads carry.
+        self.head = MLP([3 * conv_dim + 8, 16, 1], rng, activation="relu")
+
+    # ------------------------------------------------------------- encoders
+    def _features(self, tokens) -> Tensor:
+        """(1, T, dim+pos+ner) input features of one side."""
+        word = self._embed(tokens)
+        pos_ids = np.asarray([PosTagger.tag_id(t)
+                              for t in self.pos_tagger.tag(list(tokens))])
+        ner_ids = np.asarray([self.ner_lookup(t) for t in tokens])
+        pos = self.pos_embedding(pos_ids).reshape(1, len(tokens), -1)
+        ner = self.ner_embedding(ner_ids).reshape(1, len(tokens), -1)
+        return concat([word, pos, ner], axis=2)
+
+    def _attend(self, concept: Tensor, title: Tensor) -> tuple[Tensor, Tensor]:
+        """Eqs. 11-14: attention matrix -> pooled vectors of both sides."""
+        m, d = concept.shape
+        l = title.shape[0]
+        left = self.att_w1(concept).reshape(m, 1, d)
+        right = self.att_w2(title).reshape(1, l, d)
+        attention = self.att_v((left + right).tanh()).reshape(m, l)
+        concept_weights = attention.sum(axis=1).softmax(axis=0)  # (m,)
+        title_weights = attention.sum(axis=0).softmax(axis=0)    # (l,)
+        concept_vector = concept_weights @ concept
+        title_vector = title_weights @ title
+        return concept_vector, title_vector
+
+    def _knowledge_sequence(self, example: MatchingExample) -> Tensor:
+        """The {w, k, cls} sequence of Eq. 15's surroundings, (n, dim)."""
+        tokens = list(example.concept.tokens)
+        pieces = [self._embed(tokens)[0]]
+        if self.use_knowledge:
+            gloss_vectors = []
+            expansion: list[str] = []
+            for token in tokens:
+                vector = self._knowledge(token)
+                if vector is None:
+                    vector = np.zeros(self.knowledge_dim)
+                gloss_vectors.append(np.asarray(vector, dtype=np.float64))
+                for gloss_word in self._gloss_tokens.get(token, ()):
+                    if gloss_word not in expansion and gloss_word not in tokens:
+                        expansion.append(gloss_word)
+            gloss = Tensor(np.stack(gloss_vectors))
+            pieces.append(self.gloss_projection(gloss))
+            if expansion:
+                limit = self.max_gloss_tokens * len(tokens)
+                pieces.append(self._embed(expansion[:limit])[0])
+            class_ids = [_DOMAIN_IDS.get(part.domain, len(_DOMAIN_IDS))
+                         for part in example.concept.parts]
+            if class_ids:
+                pieces.append(self.class_embedding(np.asarray(class_ids)))
+        return concat(pieces, axis=0)
+
+    def _pyramid(self, example: MatchingExample, title: Tensor) -> Tensor:
+        """Eqs. 16-17: K matching matrices, grid-pooled and merged."""
+        knowledge = self._knowledge_sequence(example)      # (n, dim)
+        features = []
+        from .match_pyramid import _grid_bounds
+        n = knowledge.shape[0]
+        l = title.shape[0]
+        row_bounds = _grid_bounds(n, 2)
+        col_bounds = _grid_bounds(l, 4)
+        for k in range(self.pyramid_layers):
+            matrix = (knowledge @ self.pyramid_w[k]) @ title.transpose()
+            for row_start, row_stop in row_bounds:
+                for col_start, col_stop in col_bounds:
+                    block = matrix[row_start:row_stop, col_start:col_stop]
+                    features.append(block.max(axis=0).max(axis=0).reshape(1))
+        return self.pyramid_mlp(concat(features, axis=0))
+
+    def logit(self, example: MatchingExample) -> Tensor:
+        concept_tokens = list(example.concept.tokens)
+        title_tokens = list(example.item.title_tokens)
+        concept = self.concept_cnn(self._features(concept_tokens))[0]
+        title_embedded_raw = self._embed(title_tokens)[0]
+        title = self.title_cnn(self._features(title_tokens))[0]
+        concept_vector, title_vector = self._attend(concept, title)
+        pyramid_vector = self._pyramid(example, title_embedded_raw)
+        combined = concat([concept_vector, title_vector,
+                           concept_vector * title_vector, pyramid_vector],
+                          axis=0)
+        return self.head(combined).reshape(())
+
+
+class ParameterTable(Parameter):
+    """A small embedding table usable as a plain Parameter.
+
+    (Distinct from :class:`repro.ml.Embedding` so that Figure 8's auxiliary
+    channels stay lightweight — no range validation, gather only.)
+    """
+
+    def __new__(cls, *args, **kwargs):  # Parameter defines no __new__; keep default
+        return super().__new__(cls)
+
+    def __init__(self, rows: int, dim: int, rng: np.random.Generator):
+        super().__init__(rng.normal(0.0, 0.1, size=(rows, dim)))
+
+    def __call__(self, ids: np.ndarray) -> Tensor:
+        return self.gather_rows(np.asarray(ids))

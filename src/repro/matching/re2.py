@@ -1,0 +1,59 @@
+"""RE2 baseline [31] (Table 6).
+
+"Simple and Effective Text Matching with Richer Alignment Features":
+embeddings are aligned across the two texts with soft attention, fused
+with elementwise comparison features, pooled, and scored.  This is a
+compact single-block rendition of the architecture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml import Linear, MLP
+from ..ml.tensor import Tensor, concat
+from ..nlp.vocab import Vocab
+from .base import NeuralMatcher
+from .dataset import MatchingExample
+
+
+class RE2Matcher(NeuralMatcher):
+    """Alignment-and-fusion matcher.
+
+    Args:
+        vocab: Shared vocabulary.
+        dim: Embedding width.
+        hidden: Fusion width.
+        seed: Weight-init seed.
+    """
+
+    def __init__(self, vocab: Vocab, dim: int = 16, hidden: int = 16,
+                 seed: int = 0, pretrained: np.ndarray | None = None):
+        super().__init__(vocab, dim, seed, "re2", pretrained)
+        # Fusion of [x, aligned, x - aligned, x * aligned].
+        self.fuse_concept = Linear(4 * dim, hidden, self.rng)
+        self.fuse_title = Linear(4 * dim, hidden, self.rng)
+        self.head = MLP([4 * hidden, hidden, 1], self.rng, activation="relu")
+
+    @staticmethod
+    def _align(a: Tensor, b: Tensor) -> Tensor:
+        """Soft-align each row of ``a`` against all rows of ``b``."""
+        scores = a @ b.transpose()          # (m, l)
+        weights = scores.softmax(axis=1)
+        return weights @ b                  # (m, d)
+
+    def _side(self, x: Tensor, other: Tensor, fuse: Linear) -> Tensor:
+        aligned = self._align(x, other)
+        features = concat([x, aligned, x - aligned, x * aligned], axis=1)
+        fused = fuse(features).relu()       # (tokens, hidden)
+        return fused.max(axis=0)            # (hidden,)
+
+    def logit(self, example: MatchingExample) -> Tensor:
+        concept = self._embed(example.concept.tokens)[0]
+        title = self._embed(example.item.title_tokens)[0]
+        concept_vector = self._side(concept, title, self.fuse_concept)
+        title_vector = self._side(title, concept, self.fuse_title)
+        combined = concat([concept_vector, title_vector,
+                           concept_vector * title_vector,
+                           concept_vector - title_vector], axis=0)
+        return self.head(combined).reshape(())

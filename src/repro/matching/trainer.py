@@ -1,0 +1,117 @@
+"""Shared training/evaluation harness for matching models (Table 6)."""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..errors import DataError
+from ..utils.metrics import f1_score, precision_at_k, roc_auc
+from ..utils.rng import spawn_rng
+from ..ml import Adam
+from ..ml.losses import bce_with_logits
+from ..ml.tensor import stack
+from ..ml.training import EarlyStopping, minibatches
+from .dataset import MatchingDataset, MatchingExample
+
+
+class Matcher(Protocol):
+    """Anything that can score concept-item pairs."""
+
+    def score_pairs(self, examples: Sequence[MatchingExample]) -> np.ndarray:
+        ...
+
+
+def train_matcher(model, train: Sequence[MatchingExample], epochs: int = 3,
+                  lr: float = 0.01, batch_size: int = 16, seed: int = 0,
+                  early_stopping_patience: int | None = None) -> list[float]:
+    """Generic BCE training loop for neural matchers.
+
+    The model must expose ``logit(example) -> Tensor`` and ``parameters()``.
+
+    Args:
+        early_stopping_patience: Stop when the training loss has not
+            improved for this many epochs (``None`` = fixed epoch count).
+
+    Returns:
+        Mean loss per epoch.
+    """
+    if not train:
+        raise DataError("matcher needs training examples")
+    rng = spawn_rng(seed, "matcher-train")
+    optimizer = Adam(model.parameters(), lr=lr)
+    stopper = EarlyStopping(patience=early_stopping_patience) \
+        if early_stopping_patience else None
+    history: list[float] = []
+    for _ in range(epochs):
+        total = 0.0
+        batches = 0
+        for batch in minibatches(train, batch_size, rng):
+            optimizer.zero_grad()
+            logits = stack([model.logit(example) for example in batch], axis=0)
+            targets = np.asarray([example.label for example in batch],
+                                 dtype=float)
+            loss = bce_with_logits(logits, targets)
+            loss.backward()
+            optimizer.clip_grad_norm(5.0)
+            optimizer.step()
+            total += loss.item()
+            batches += 1
+        history.append(total / batches)
+        if stopper is not None and not stopper.update(history[-1]):
+            break
+    if hasattr(model, "_fitted"):
+        model._fitted = True
+    return history
+
+
+def calibrate_threshold(model: Matcher,
+                        examples: Sequence[MatchingExample]) -> float:
+    """Decision threshold maximising F1 on held-in examples.
+
+    The paper fixes 0.5; tiny models are often badly calibrated, so this
+    offers the standard alternative of tuning the cut on training data.
+    """
+    if not examples:
+        raise DataError("cannot calibrate on an empty set")
+    scores = np.asarray(model.score_pairs(examples), dtype=float)
+    labels = [example.label for example in examples]
+    best_cut, best_f1 = 0.5, -1.0
+    for cut in np.unique(scores):
+        f1 = f1_score(labels, (scores >= cut).astype(int))
+        if f1 > best_f1:
+            best_cut, best_f1 = float(cut), f1
+    return best_cut
+
+
+def evaluate_matcher(model: Matcher, dataset: MatchingDataset,
+                     threshold: float | None = None,
+                     k: int = 10) -> dict[str, float]:
+    """AUC, F1 and P@k of a matcher on the dataset's test split.
+
+    Args:
+        model: Any pair scorer (trained neural model or BM25).
+        dataset: Dataset whose ``test`` / ``test_by_concept`` to use.
+        threshold: F1 decision threshold.  ``None`` uses the score median,
+            which makes F1 comparable across scorers whose outputs are not
+            probabilities (BM25).  Table 6 uses 0.5 for probability models.
+        k: Ranking cut-off for P@k (the paper reports P@10).
+    """
+    if not dataset.test:
+        raise DataError("dataset has no test examples")
+    scores = np.asarray(model.score_pairs(dataset.test), dtype=float)
+    labels = [example.label for example in dataset.test]
+    auc = roc_auc(labels, scores)
+    cut = float(np.median(scores)) if threshold is None else threshold
+    predictions = (scores >= cut).astype(int)
+    f1 = f1_score(labels, predictions)
+
+    precisions = []
+    for examples in dataset.test_by_concept.values():
+        concept_scores = np.asarray(model.score_pairs(examples), dtype=float)
+        order = np.argsort(-concept_scores, kind="mergesort")
+        relevance = [examples[i].label for i in order]
+        precisions.append(precision_at_k(relevance, k))
+    return {"auc": float(auc), "f1": float(f1),
+            "p@10": float(np.mean(precisions))}

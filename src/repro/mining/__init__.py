@@ -1,0 +1,15 @@
+"""Primitive-concept vocabulary mining (Section 4.1, Figure 4, Section 7.2).
+
+New concepts of the 20 first-level domains are mined from corpus text as a
+sequence-labeling task: distant supervision from the existing lexicon
+produces IOB training data (keeping only unambiguous max-matched
+sentences), a BiLSTM-CRF labels new text, and spans the lexicon does not
+know become candidate concepts for (simulated) human verification.
+"""
+
+from .distant import DistantSupervisionBuilder, TaggedSentence
+from .bilstm_crf import BiLSTMCRFMiner
+from .pipeline import MiningPipeline, MiningRound
+
+__all__ = ["DistantSupervisionBuilder", "TaggedSentence", "BiLSTMCRFMiner",
+           "MiningPipeline", "MiningRound"]

@@ -1,0 +1,149 @@
+"""The BiLSTM-CRF sequence labeler of Figure 4.
+
+Word embeddings feed a BiLSTM whose per-token states are projected to
+emission scores over the IOB label set; a linear-chain CRF models label
+transitions.  Training minimises the CRF negative log-likelihood per
+sentence; inference is Viterbi decoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError, NotFittedError
+from ..ml import Adam, BiLSTM, Embedding, Linear, Module
+from ..ml.tensor import Tensor, no_grad
+from ..nlp.crf import LinearChainCRF
+from ..nlp.vocab import Vocab
+from ..utils.rng import spawn_rng
+from .distant import TaggedSentence
+
+OUTSIDE_LABEL = "O"
+
+
+class LabelSet:
+    """Bidirectional mapping between IOB label strings and ids."""
+
+    def __init__(self, labels: list[str]):
+        ordered = [OUTSIDE_LABEL] + sorted(set(labels) - {OUTSIDE_LABEL})
+        self._itos = ordered
+        self._stoi = {label: i for i, label in enumerate(ordered)}
+
+    @classmethod
+    def from_data(cls, data: list[TaggedSentence]) -> "LabelSet":
+        seen: list[str] = []
+        for sentence in data:
+            seen.extend(sentence.labels)
+        return cls(seen)
+
+    def __len__(self) -> int:
+        return len(self._itos)
+
+    def id(self, label: str) -> int:
+        try:
+            return self._stoi[label]
+        except KeyError:
+            raise DataError(f"unknown label {label!r}") from None
+
+    def label(self, label_id: int) -> str:
+        return self._itos[label_id]
+
+
+class BiLSTMCRFMiner(Module):
+    """BiLSTM-CRF over word tokens (Fig 4).
+
+    Args:
+        vocab: Word vocabulary (typically built from the mining corpus).
+        label_set: IOB labels over the 20 first-level domains.
+        embedding_dim: Word-embedding width.
+        hidden_dim: BiLSTM width per direction.
+        seed: Weight-init seed.
+        pretrained: Optional pretrained embedding matrix.
+    """
+
+    def __init__(self, vocab: Vocab, label_set: LabelSet,
+                 embedding_dim: int = 24, hidden_dim: int = 24, seed: int = 0,
+                 pretrained: np.ndarray | None = None):
+        super().__init__()
+        rng = spawn_rng(seed, "miner")
+        self.vocab = vocab
+        self.label_set = label_set
+        self.embedding = Embedding(len(vocab), embedding_dim, rng,
+                                   pretrained=pretrained)
+        self.encoder = BiLSTM(embedding_dim, hidden_dim, rng)
+        self.projection = Linear(2 * hidden_dim, len(label_set), rng)
+        self.crf = LinearChainCRF(len(label_set), rng)
+        self._fitted = False
+
+    def emissions(self, tokens: tuple[str, ...]) -> Tensor:
+        """Per-token emission scores, shape ``(len(tokens), num_labels)``."""
+        ids = np.asarray([self.vocab.id(t) for t in tokens])[None, :]
+        embedded = self.embedding(ids)
+        hidden = self.encoder(embedded)
+        return self.projection(hidden)[0]
+
+    def loss(self, sentence: TaggedSentence) -> Tensor:
+        """CRF negative log-likelihood of one gold-labelled sentence."""
+        emissions = self.emissions(sentence.tokens)
+        label_ids = [self.label_set.id(label) for label in sentence.labels]
+        return self.crf.nll(emissions, label_ids)
+
+    def fit(self, data: list[TaggedSentence], epochs: int = 3,
+            lr: float = 0.01, seed: int = 0) -> list[float]:
+        """Train on tagged sentences; returns mean loss per epoch.
+
+        Raises:
+            DataError: On an empty dataset.
+        """
+        if not data:
+            raise DataError("miner needs at least one training sentence")
+        rng = spawn_rng(seed, "miner-train")
+        optimizer = Adam(self.parameters(), lr=lr)
+        history: list[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(len(data))
+            total = 0.0
+            for index in order:
+                optimizer.zero_grad()
+                loss = self.loss(data[index])
+                loss.backward()
+                optimizer.clip_grad_norm(5.0)
+                optimizer.step()
+                total += loss.item()
+            history.append(total / len(data))
+        self._fitted = True
+        return history
+
+    def predict(self, tokens: tuple[str, ...] | list[str]) -> list[str]:
+        """Viterbi-decode IOB labels for a sentence."""
+        if not self._fitted:
+            raise NotFittedError("miner has not been trained")
+        if not tokens:
+            return []
+        with no_grad():
+            emissions = self.emissions(tuple(tokens)).numpy()
+        ids = self.crf.decode(emissions)
+        return [self.label_set.label(i) for i in ids]
+
+    def extract_spans(self, tokens: tuple[str, ...] | list[str]) -> list[tuple[str, str]]:
+        """Mined (phrase, domain) spans from a sentence."""
+        labels = self.predict(tokens)
+        spans: list[tuple[str, str]] = []
+        current: list[str] = []
+        domain = ""
+        for token, label in zip(tokens, labels):
+            if label.startswith("B-"):
+                if current:
+                    spans.append((" ".join(current), domain))
+                current = [token]
+                domain = label[2:]
+            elif label.startswith("I-") and current and label[2:] == domain:
+                current.append(token)
+            else:
+                if current:
+                    spans.append((" ".join(current), domain))
+                current = []
+                domain = ""
+        if current:
+            spans.append((" ".join(current), domain))
+        return spans

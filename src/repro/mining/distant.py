@@ -1,0 +1,92 @@
+"""Distant-supervision data generation (Section 7.2).
+
+"We use a dynamic programming algorithm of max-matching to match words in
+the text corpora and then assign each word with its domain label in IOB
+scheme using existing primitive concepts.  We filter out sentences whose
+matching result is ambiguous and only reserve those that can be perfectly
+matched."  This module is exactly that filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nlp.segmentation import MaxMatchSegmenter
+from ..synth.lexicon import Lexicon
+
+
+@dataclass(frozen=True)
+class TaggedSentence:
+    """A training sentence with gold IOB domain labels."""
+
+    tokens: tuple[str, ...]
+    labels: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DistantSupervisionStats:
+    """Bookkeeping of the filter, reported alongside Section 7.2 numbers."""
+
+    total_sentences: int
+    kept: int
+    dropped_ambiguous: int
+    dropped_incomplete: int
+
+    @property
+    def keep_rate(self) -> float:
+        return self.kept / self.total_sentences if self.total_sentences else 0.0
+
+
+class DistantSupervisionBuilder:
+    """Builds IOB training data by max-matching against a known lexicon.
+
+    Args:
+        lexicon: The lexicon of *known* primitive concepts.  Pass a held-out
+            split to simulate discovery of genuinely new concepts.
+        known_surfaces: Optional restriction — only these surfaces count as
+            known (the rest of the lexicon is invisible to the matcher).
+        require_full_coverage: If True (paper behaviour) a sentence is kept
+            only when *every* token is covered; if False, sentences with
+            outside tokens are kept too (an ablation knob).
+    """
+
+    def __init__(self, lexicon: Lexicon,
+                 known_surfaces: set[str] | None = None,
+                 require_full_coverage: bool = False):
+        phrase_map: dict[tuple[str, ...], set[str]] = {}
+        for entry in lexicon.entries:
+            if known_surfaces is not None and entry.surface not in known_surfaces:
+                continue
+            key = tuple(entry.surface.split())
+            phrase_map.setdefault(key, set()).add(entry.domain)
+        self._segmenter = MaxMatchSegmenter(phrase_map)
+        self._require_full = require_full_coverage
+
+    def build(self, sentences: list[list[str]]) -> tuple[list[TaggedSentence],
+                                                         DistantSupervisionStats]:
+        """Tag and filter a corpus.
+
+        Returns:
+            (kept sentences with labels, filter statistics).
+        """
+        kept: list[TaggedSentence] = []
+        ambiguous = incomplete = 0
+        for tokens in sentences:
+            if not tokens:
+                continue
+            result = self._segmenter.segment(tokens)
+            if result.ambiguous:
+                ambiguous += 1
+                continue
+            if self._require_full and result.covered < len(tokens):
+                incomplete += 1
+                continue
+            if not result.segments:
+                incomplete += 1
+                continue
+            labels = result.iob_labels(len(tokens))
+            kept.append(TaggedSentence(tuple(tokens), tuple(labels)))
+        stats = DistantSupervisionStats(
+            total_sentences=len(sentences), kept=len(kept),
+            dropped_ambiguous=ambiguous, dropped_incomplete=incomplete)
+        return kept, stats

@@ -1,0 +1,110 @@
+"""Implicit commonsense relation mining — the paper's future work #1 & #2.
+
+Section 10: "our future work includes: 1) Complete AliCoCo by mining more
+unseen relations containing commonsense knowledge, for example, 'boy's
+T-shirts' implies the 'Time' should be 'Summer', even though the term
+'summer' does not appear in the concept.  2) Bring probabilities to
+relations between concepts and items."
+
+This module mines such relations from catalog statistics: when items of a
+category co-occur overwhelmingly with a season / event / audience, a
+``suitable_when`` / ``used_for`` / ``used_by`` relation is emitted *with
+its empirical probability* — covering both future-work items at once.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from ..errors import DataError
+from ..synth.items import SynthItem
+
+
+@dataclass(frozen=True)
+class ImplicitRelation:
+    """A mined commonsense relation with a probability.
+
+    Attributes:
+        source: Category surface (head noun).
+        name: Relation name (``suitable_when`` / ``used_for`` / ``used_by``).
+        target: The implied primitive concept surface.
+        target_domain: Domain of the target (Time / Event / Audience).
+        probability: Empirical P(target | source) over the catalog.
+        support: Number of items the estimate is based on.
+    """
+
+    source: str
+    name: str
+    target: str
+    target_domain: str
+    probability: float
+    support: int
+
+
+class ImplicitRelationMiner:
+    """Mines probabilistic commonsense relations from an item catalog.
+
+    Args:
+        min_probability: Confidence floor for emitting a relation.
+        min_support: Minimum items per category head.
+    """
+
+    def __init__(self, min_probability: float = 0.6, min_support: int = 3):
+        if not 0.0 < min_probability <= 1.0:
+            raise DataError("min_probability must be in (0, 1]")
+        self.min_probability = min_probability
+        self.min_support = min_support
+
+    def mine(self, items: list[SynthItem]) -> list[ImplicitRelation]:
+        """Mine relations over the catalog.
+
+        Raises:
+            DataError: On an empty catalog.
+        """
+        if not items:
+            raise DataError("implicit mining needs a non-empty catalog")
+        by_head: dict[str, list[SynthItem]] = defaultdict(list)
+        for item in items:
+            by_head[item.head].append(item)
+
+        relations: list[ImplicitRelation] = []
+        for head, group in sorted(by_head.items()):
+            if len(group) < self.min_support:
+                continue
+            relations.extend(self._mine_attribute(
+                head, group, "suitable_when", "Time",
+                lambda item: item.seasons))
+            relations.extend(self._mine_attribute(
+                head, group, "used_for", "Event",
+                lambda item: item.events))
+            relations.extend(self._mine_attribute(
+                head, group, "used_by", "Audience",
+                lambda item: item.audiences))
+        return relations
+
+    def _mine_attribute(self, head: str, group: list[SynthItem], name: str,
+                        domain: str, getter) -> list[ImplicitRelation]:
+        counts: Counter[str] = Counter()
+        for item in group:
+            for value in getter(item):
+                counts[value] += 1
+        total = len(group)
+        found = []
+        for value, count in sorted(counts.items()):
+            probability = count / total
+            if probability >= self.min_probability:
+                found.append(ImplicitRelation(
+                    source=head, name=name, target=value,
+                    target_domain=domain, probability=probability,
+                    support=total))
+        return found
+
+    def implied_concepts(self, relations: list[ImplicitRelation],
+                         concept_tokens: list[str]) -> list[ImplicitRelation]:
+        """Relations whose source appears in a concept — the "boy's
+        T-shirts implies summer" inference over an unseen concept."""
+        token_set = set(concept_tokens)
+        return [relation for relation in relations
+                if relation.source in token_set
+                and relation.target not in token_set]

@@ -1,0 +1,124 @@
+"""The iterative vocabulary-mining loop (Section 7.2).
+
+Round structure, mirroring the paper's continuously-running procedure:
+
+1. distant-supervise IOB data from the *known* lexicon over the corpus;
+2. train the BiLSTM-CRF miner;
+3. run it over the corpus; spans the known lexicon lacks become candidates
+   (the paper: ~64K candidates per epoch of 5M sentences);
+4. the oracle (crowdsourcing substitute) verifies candidates; correct ones
+   (~10K per round in the paper) are added to the known lexicon;
+5. repeat — each round can now match more text.
+
+To make "new" concepts possible at laptop scale, the known lexicon starts
+as a random split of the world's true lexicon and the held-out surfaces
+are what the miner can genuinely discover from text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DataError
+from ..synth.lexicon import Lexicon
+from ..utils.rng import spawn_rng
+from .bilstm_crf import BiLSTMCRFMiner, LabelSet
+from .distant import DistantSupervisionBuilder
+from ..nlp.vocab import Vocab
+
+
+@dataclass
+class MiningRound:
+    """Outcome of one mining round.
+
+    Attributes:
+        round_index: 0-based round number.
+        train_sentences: Distant-supervision sentences used.
+        candidates: Distinct (surface, domain) spans proposed by the model
+            that the known lexicon did not contain.
+        accepted: Candidates the oracle confirmed correct.
+        known_after: Size of the known-surface set after the round.
+    """
+
+    round_index: int
+    train_sentences: int
+    candidates: list[tuple[str, str]] = field(default_factory=list)
+    accepted: list[tuple[str, str]] = field(default_factory=list)
+    known_after: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return len(self.accepted) / len(self.candidates) if self.candidates else 0.0
+
+
+class MiningPipeline:
+    """Drives the mining loop against a corpus.
+
+    Args:
+        lexicon: The full ground-truth lexicon (used for oracle checks).
+        held_out_fraction: Share of surfaces hidden from the initial known
+            set — the discoverable vocabulary.
+        seed: Master seed.
+    """
+
+    def __init__(self, lexicon: Lexicon, held_out_fraction: float = 0.3,
+                 seed: int = 7):
+        if not 0.0 < held_out_fraction < 1.0:
+            raise DataError("held_out_fraction must be in (0, 1)")
+        self.lexicon = lexicon
+        self.seed = seed
+        rng = spawn_rng(seed, "mining-split")
+        surfaces = lexicon.surfaces()
+        rng.shuffle(surfaces)
+        cut = int(len(surfaces) * (1.0 - held_out_fraction))
+        self.known: set[str] = set(surfaces[:cut])
+        self.held_out: set[str] = set(surfaces[cut:])
+        self._truth: dict[str, set[str]] = {}
+        for entry in lexicon.entries:
+            self._truth.setdefault(entry.surface, set()).add(entry.domain)
+
+    def oracle_check(self, surface: str, domain: str) -> bool:
+        """Crowdsourcing substitute: is (surface, domain) a true concept?"""
+        return domain in self._truth.get(surface, set())
+
+    def run(self, sentences: list[list[str]], rounds: int = 2,
+            epochs: int = 2, embedding_dim: int = 24,
+            hidden_dim: int = 24) -> list[MiningRound]:
+        """Run the loop for a fixed number of rounds.
+
+        Returns:
+            Per-round results (candidates, accepted, lexicon growth).
+        """
+        results: list[MiningRound] = []
+        for round_index in range(rounds):
+            # The paper keeps only perfectly-matched sentences: a sentence
+            # with an unmatched (possibly new) word must NOT enter training,
+            # or the model learns to label new concepts as Outside.
+            builder = DistantSupervisionBuilder(self.lexicon,
+                                                known_surfaces=self.known,
+                                                require_full_coverage=True)
+            tagged, _ = builder.build(sentences)
+            if not tagged:
+                raise DataError("distant supervision produced no data")
+            vocab = Vocab.from_corpus(sentences)
+            label_set = LabelSet.from_data(tagged)
+            miner = BiLSTMCRFMiner(vocab, label_set,
+                                   embedding_dim=embedding_dim,
+                                   hidden_dim=hidden_dim,
+                                   seed=self.seed + round_index)
+            miner.fit(tagged, epochs=epochs, seed=self.seed + round_index)
+
+            candidates: dict[tuple[str, str], None] = {}
+            for tokens in sentences:
+                for surface, domain in miner.extract_spans(tokens):
+                    if surface not in self.known:
+                        candidates.setdefault((surface, domain))
+            accepted = [(surface, domain) for surface, domain in candidates
+                        if self.oracle_check(surface, domain)]
+            for surface, _ in accepted:
+                self.known.add(surface)
+            results.append(MiningRound(
+                round_index=round_index, train_sentences=len(tagged),
+                candidates=list(candidates), accepted=accepted,
+                known_after=len(self.known)))
+        return results

@@ -1,0 +1,50 @@
+"""Finite-difference gradient checking, used by the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numeric_gradient(fn: Callable[[], Tensor], tensor: Tensor,
+                     epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``fn`` w.r.t. ``tensor``.
+
+    ``fn`` must recompute the scalar loss from ``tensor.data`` each call.
+    """
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = fn().item()
+        flat[i] = original - epsilon
+        minus = fn().item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradients(fn: Callable[[], Tensor], tensors: list[Tensor],
+                    epsilon: float = 1e-6, tolerance: float = 1e-4) -> bool:
+    """Compare autograd gradients with finite differences.
+
+    Returns:
+        True if every gradient matches within ``tolerance`` (relative to the
+        larger of the two norms, with an absolute floor).
+    """
+    for tensor in tensors:
+        tensor.zero_grad()
+    loss = fn()
+    loss.backward()
+    for tensor in tensors:
+        numeric = numeric_gradient(fn, tensor, epsilon=epsilon)
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(numeric)
+        denominator = max(np.abs(numeric).max(), np.abs(analytic).max(), 1.0)
+        if np.abs(numeric - analytic).max() / denominator > tolerance:
+            return False
+    return True

@@ -1,0 +1,20 @@
+"""Weight initialisers (all take an explicit numpy Generator)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                   shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    if shape is None:
+        shape = (fan_in, fan_out)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(rng: np.random.Generator, shape: tuple[int, ...],
+           std: float = 0.1) -> np.ndarray:
+    """Zero-mean Gaussian initialisation."""
+    return rng.normal(0.0, std, size=shape)

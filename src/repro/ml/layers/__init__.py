@@ -1,0 +1,13 @@
+"""Neural-network layers built on the autograd Tensor."""
+
+from .linear import Linear, MLP
+from .embedding import Embedding
+from .recurrent import LSTM, BiLSTM
+from .conv import Conv1d
+from .attention import AdditiveSelfAttention
+from .dropout import Dropout
+
+__all__ = [
+    "Linear", "MLP", "Embedding", "LSTM", "BiLSTM", "Conv1d",
+    "AdditiveSelfAttention", "Dropout",
+]

@@ -1,0 +1,43 @@
+"""Additive self-attention, as used throughout the paper's encoders."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..module import Module
+from ..tensor import Tensor
+from .linear import Linear
+
+
+class AdditiveSelfAttention(Module):
+    """Token-pair additive attention over a sequence.
+
+    For input ``H = (batch, time, dim)`` it computes pairwise scores
+    ``e_ij = v^T tanh(W1 h_i + W2 h_j)``, row-normalises them with softmax,
+    and returns context-mixed states ``H' = softmax(E) @ H`` — letting each
+    word adjust its representation by looking at its neighbours, the role
+    self-attention plays in Figs 5, 6 and 8.
+    """
+
+    def __init__(self, dim: int, attention_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.query = Linear(dim, attention_dim, rng, bias=False)
+        self.key = Linear(dim, attention_dim, rng, bias=False)
+        self.score = Linear(attention_dim, 1, rng, bias=False)
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        """Return contextualised states with the same shape as the input."""
+        if hidden.ndim != 3:
+            raise ShapeError(f"expected (batch, time, dim), got {hidden.shape}")
+        batch, time, dim = hidden.shape
+        queries = self.query(hidden)  # (B, T, A)
+        keys = self.key(hidden)       # (B, T, A)
+        # Broadcast to all pairs: (B, T, 1, A) + (B, 1, T, A).
+        attn_dim = queries.shape[2]
+        q_expanded = queries.reshape(batch, time, 1, attn_dim)
+        k_expanded = keys.reshape(batch, 1, time, attn_dim)
+        energies = self.score((q_expanded + k_expanded).tanh())
+        energies = energies.reshape(batch, time, time)
+        weights = energies.softmax(axis=2)
+        return weights @ hidden

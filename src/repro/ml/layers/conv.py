@@ -1,0 +1,72 @@
+"""1-D convolution over token sequences ("wide CNN" of Figs 6 and 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..init import xavier_uniform
+from ..module import Module, Parameter
+from ..tensor import Tensor, custom_op
+
+
+class Conv1d(Module):
+    """Same-padded 1-D convolution over ``(batch, time, in_dim)``.
+
+    Implemented as an im2col + matmul with a hand-written backward pass,
+    which is far cheaper than composing it from primitive autograd ops.
+
+    Args:
+        in_dim: Input feature dimension.
+        out_dim: Number of output channels.
+        kernel_size: Window width (odd, so "same" padding is symmetric).
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, kernel_size: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        if kernel_size % 2 == 0 or kernel_size <= 0:
+            raise ShapeError(f"kernel_size must be a positive odd int, got {kernel_size}")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.kernel_size = kernel_size
+        fan_in = in_dim * kernel_size
+        self.weight = Parameter(
+            xavier_uniform(rng, fan_in, out_dim, shape=(fan_in, out_dim)))
+        self.bias = Parameter(np.zeros(out_dim))
+
+    def _im2col(self, data: np.ndarray) -> np.ndarray:
+        batch, time, dim = data.shape
+        half = self.kernel_size // 2
+        padded = np.pad(data, ((0, 0), (half, half), (0, 0)))
+        cols = np.empty((batch, time, self.kernel_size * dim))
+        for offset in range(self.kernel_size):
+            cols[:, :, offset * dim:(offset + 1) * dim] = padded[:, offset:offset + time, :]
+        return cols
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Convolve; output shape ``(batch, time, out_dim)``."""
+        if x.ndim != 3 or x.shape[2] != self.in_dim:
+            raise ShapeError(
+                f"Conv1d expects (batch, time, {self.in_dim}), got {x.shape}")
+        batch, time, dim = x.shape
+        cols = self._im2col(x.data)
+        out = cols @ self.weight.data + self.bias.data
+        weight, bias, kernel = self.weight, self.bias, self.kernel_size
+
+        def backward(grad: np.ndarray) -> None:
+            flat_cols = cols.reshape(-1, kernel * dim)
+            flat_grad = grad.reshape(-1, weight.data.shape[1])
+            weight._accumulate(flat_cols.T @ flat_grad)
+            bias._accumulate(flat_grad.sum(axis=0))
+            if x.requires_grad:
+                grad_cols = flat_grad @ weight.data.T
+                grad_cols = grad_cols.reshape(batch, time, kernel * dim)
+                half = kernel // 2
+                grad_padded = np.zeros((batch, time + 2 * half, dim))
+                for offset in range(kernel):
+                    grad_padded[:, offset:offset + time, :] += \
+                        grad_cols[:, :, offset * dim:(offset + 1) * dim]
+                x._accumulate(grad_padded[:, half:half + time, :])
+
+        return custom_op((x, weight, bias), out, backward)

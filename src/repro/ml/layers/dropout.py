@@ -1,0 +1,31 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module
+from ..tensor import Tensor
+
+
+class Dropout(Module):
+    """Randomly zeroes features during training; identity in eval mode.
+
+    Args:
+        rate: Drop probability in [0, 1).
+        rng: Generator for the drop masks.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)

@@ -1,0 +1,48 @@
+"""Trainable embedding lookup table."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..init import normal
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+
+class Embedding(Module):
+    """Maps integer ids to dense vectors.
+
+    Args:
+        num_embeddings: Vocabulary size.
+        dim: Embedding dimension.
+        rng: Generator for initialisation.
+        pretrained: Optional ``(num_embeddings, dim)`` matrix to start from
+            (e.g. SGNS vectors standing in for the paper's GloVe).
+        frozen: If True the table is excluded from gradient updates.
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator,
+                 pretrained: np.ndarray | None = None, frozen: bool = False):
+        super().__init__()
+        if pretrained is not None:
+            pretrained = np.asarray(pretrained, dtype=np.float64)
+            if pretrained.shape != (num_embeddings, dim):
+                raise ShapeError(
+                    f"pretrained shape {pretrained.shape} != "
+                    f"({num_embeddings}, {dim})")
+            table = pretrained.copy()
+        else:
+            table = normal(rng, (num_embeddings, dim), std=0.1)
+        self.weight = Parameter(table)
+        if frozen:
+            self.weight.requires_grad = False
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise ShapeError(
+                f"embedding ids out of range [0, {self.num_embeddings})")
+        return self.weight.gather_rows(ids)

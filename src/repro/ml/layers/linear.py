@@ -1,0 +1,70 @@
+"""Affine layers: Linear and a small MLP convenience stack."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..init import xavier_uniform
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` over the last axis.
+
+    Args:
+        in_dim: Input feature dimension.
+        out_dim: Output feature dimension.
+        rng: Generator for weight initialisation.
+        bias: Whether to add a bias term.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 bias: bool = True):
+        super().__init__()
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.weight = Parameter(xavier_uniform(rng, in_dim, out_dim))
+        self.bias = Parameter(np.zeros(out_dim)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+_ACTIVATIONS = {
+    "tanh": Tensor.tanh,
+    "relu": Tensor.relu,
+    "sigmoid": Tensor.sigmoid,
+}
+
+
+class MLP(Module):
+    """A stack of Linear layers with a fixed nonlinearity between them.
+
+    The final layer has no activation (it produces logits/scores).
+
+    Args:
+        dims: Layer widths including input and output, e.g. ``[64, 32, 1]``.
+        rng: Generator for weight initialisation.
+        activation: One of ``tanh``, ``relu``, ``sigmoid``.
+    """
+
+    def __init__(self, dims: list[int], rng: np.random.Generator,
+                 activation: str = "tanh"):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least an input and an output width")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        self.layers = [Linear(a, b, rng) for a, b in zip(dims[:-1], dims[1:])]
+        self._activation = _ACTIVATIONS[activation]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < len(self.layers) - 1:
+                x = self._activation(x)
+        return x

@@ -1,0 +1,91 @@
+"""LSTM and BiLSTM encoders (batch-first).
+
+The paper uses BiLSTM encoders in four of its five models (Figs 4, 5, 6).
+Sequences here are short (concepts average 2-3 words; titles ~10), so a
+straightforward per-timestep loop through the autograd engine is fast
+enough.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..init import xavier_uniform
+from ..module import Module, Parameter
+from ..tensor import Tensor, concat, stack
+
+
+class LSTM(Module):
+    """Single-direction LSTM over ``(batch, time, dim)`` inputs.
+
+    Gate order in the packed weight matrices is ``[input, forget, cell,
+    output]``.  The forget-gate bias is initialised to 1.0, the standard
+    trick for stable early training.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_input = Parameter(
+            xavier_uniform(rng, input_dim, 4 * hidden_dim))
+        self.w_hidden = Parameter(
+            xavier_uniform(rng, hidden_dim, 4 * hidden_dim))
+        bias = np.zeros(4 * hidden_dim)
+        bias[hidden_dim:2 * hidden_dim] = 1.0
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Encode a batch of sequences.
+
+        Args:
+            x: Tensor of shape ``(batch, time, input_dim)``.
+
+        Returns:
+            Hidden states of shape ``(batch, time, hidden_dim)``.
+        """
+        if x.ndim != 3 or x.shape[2] != self.input_dim:
+            raise ShapeError(
+                f"LSTM expects (batch, time, {self.input_dim}), got {x.shape}")
+        batch, time, _ = x.shape
+        h_dim = self.hidden_dim
+        h = Tensor(np.zeros((batch, h_dim)))
+        c = Tensor(np.zeros((batch, h_dim)))
+        outputs: list[Tensor] = []
+        for t in range(time):
+            x_t = x[:, t, :]
+            z = x_t @ self.w_input + h @ self.w_hidden + self.bias
+            i_gate = z[:, 0:h_dim].sigmoid()
+            f_gate = z[:, h_dim:2 * h_dim].sigmoid()
+            g_cell = z[:, 2 * h_dim:3 * h_dim].tanh()
+            o_gate = z[:, 3 * h_dim:4 * h_dim].sigmoid()
+            c = f_gate * c + i_gate * g_cell
+            h = o_gate * c.tanh()
+            outputs.append(h)
+        return stack(outputs, axis=1)
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM; outputs forward and backward states concatenated.
+
+    Args:
+        input_dim: Input feature dimension.
+        hidden_dim: Hidden size *per direction*; the output feature dimension
+            is ``2 * hidden_dim``.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.forward_lstm = LSTM(input_dim, hidden_dim, rng)
+        self.backward_lstm = LSTM(input_dim, hidden_dim, rng)
+        self.output_dim = 2 * hidden_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Encode ``(batch, time, dim)`` into ``(batch, time, 2*hidden)``."""
+        time = x.shape[1]
+        reverse = np.arange(time - 1, -1, -1)
+        fwd = self.forward_lstm(x)
+        bwd = self.backward_lstm(x[:, reverse, :])
+        bwd = bwd[:, reverse, :]
+        return concat([fwd, bwd], axis=2)

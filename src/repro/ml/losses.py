@@ -1,0 +1,80 @@
+"""Training objectives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .tensor import Tensor, custom_op
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray,
+                    weights: np.ndarray | None = None) -> Tensor:
+    """Weighted mean binary cross-entropy on raw logits (stable).
+
+    This is the point-wise negative log-likelihood objective of Eq. 3 in the
+    paper, expressed on logits rather than probabilities.
+
+    Args:
+        logits: Tensor of any shape.
+        targets: Array of 0/1 labels with the same shape.
+        weights: Optional per-element weights (e.g. positive-class
+            upweighting for heavily imbalanced pair data); the loss is the
+            weighted mean.
+    """
+    y = np.asarray(targets, dtype=np.float64)
+    if y.shape != logits.shape:
+        raise ShapeError(f"targets shape {y.shape} != logits shape {logits.shape}")
+    z = logits.data
+    # log(1 + exp(-|z|)) + max(z, 0) - z*y  is the stable per-element loss.
+    per_element = np.logaddexp(0.0, -np.abs(z)) + np.maximum(z, 0.0) - z * y
+    if weights is None:
+        w = np.ones_like(y)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != y.shape:
+            raise ShapeError(
+                f"weights shape {w.shape} != targets shape {y.shape}")
+    total_weight = w.sum()
+    if total_weight <= 0:
+        raise ShapeError("weights must have positive sum")
+    loss_value = (per_element * w).sum() / total_weight
+    sigmoid = 1.0 / (1.0 + np.exp(-z))
+
+    def backward(grad: np.ndarray) -> None:
+        logits._accumulate(grad * w * (sigmoid - y) / total_weight)
+
+    return custom_op((logits,), np.asarray(loss_value), backward)
+
+
+def binary_nll(probabilities: Tensor, targets: np.ndarray,
+               epsilon: float = 1e-9) -> Tensor:
+    """Mean negative log-likelihood on probabilities already in (0, 1).
+
+    Used where a model head ends in an explicit sigmoid (Eq. 2 / Eq. 3).
+    """
+    y = np.asarray(targets, dtype=np.float64)
+    if y.shape != probabilities.shape:
+        raise ShapeError(
+            f"targets shape {y.shape} != probabilities shape {probabilities.shape}")
+    clipped = probabilities * (1.0 - 2.0 * epsilon) + epsilon
+    per_element = -(Tensor(y) * clipped.log() + Tensor(1.0 - y) * (1.0 - clipped).log())
+    return per_element.mean()
+
+
+def cross_entropy(logits: Tensor, class_ids: np.ndarray) -> Tensor:
+    """Mean categorical cross-entropy.
+
+    Args:
+        logits: ``(batch, num_classes)`` tensor of unnormalised scores.
+        class_ids: ``(batch,)`` integer array of gold class indices.
+    """
+    if logits.ndim != 2:
+        raise ShapeError(f"expected (batch, classes) logits, got {logits.shape}")
+    ids = np.asarray(class_ids, dtype=np.intp)
+    if ids.shape != (logits.shape[0],):
+        raise ShapeError(
+            f"class_ids shape {ids.shape} != ({logits.shape[0]},)")
+    log_probs = logits - logits.logsumexp(axis=1, keepdims=True)
+    picked = log_probs[np.arange(len(ids)), ids]
+    return -picked.mean()

@@ -1,0 +1,112 @@
+"""First-order optimizers: SGD (with momentum), Adagrad, Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base class holding the parameter list and the zero_grad helper."""
+
+    def __init__(self, parameters: list[Parameter]):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+        Returns:
+            The pre-clipping global norm.
+        """
+        total = 0.0
+        for param in self.parameters:
+            if param.grad is not None:
+                total += float(np.sum(param.grad ** 2))
+        norm = float(np.sqrt(total))
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for param in self.parameters:
+                if param.grad is not None:
+                    param.grad *= scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 0.1,
+                 momentum: float = 0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += param.grad
+                param.data -= self.lr * velocity
+            else:
+                param.data -= self.lr * param.grad
+
+
+class Adagrad(Optimizer):
+    """Adagrad: per-coordinate learning rates from accumulated squares."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 0.1,
+                 epsilon: float = 1e-8):
+        super().__init__(parameters)
+        self.lr = lr
+        self.epsilon = epsilon
+        self._accumulator = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, acc in zip(self.parameters, self._accumulator):
+            if param.grad is None:
+                continue
+            acc += param.grad ** 2
+            param.data -= self.lr * param.grad / (np.sqrt(acc) + self.epsilon)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 1e-2,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 epsilon: float = 1e-8):
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * param.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * param.grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,26 @@
+"""Save/load model parameters as .npz archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+
+def save_module(module: Module, path: str | Path) -> None:
+    """Write a module's state dict to an ``.npz`` file."""
+    state = module.state_dict()
+    np.savez(Path(path), **state)
+
+
+def load_module(module: Module, path: str | Path) -> None:
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    Raises:
+        KeyError: If the archive is missing a parameter the module expects.
+    """
+    with np.load(Path(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,24 @@
+"""NLP substrate: tokenisation, embeddings, language models, CRFs.
+
+These components substitute the off-the-shelf NLP stack the paper relies on
+(GloVe embeddings, Doc2vec, POS/NER taggers, a production BERT) with
+from-scratch implementations at laptop scale.
+"""
+
+from .tokenizer import WordTokenizer, char_tokens
+from .vocab import Vocab
+from .embeddings import SkipGramEmbeddings
+from .doc2vec import Doc2Vec
+from .pos import PosTagger
+from .ngram_lm import BigramLanguageModel, BidirectionalLanguageModel
+from .char_lm import CharTrigramModel
+from .segmentation import MaxMatchSegmenter, SegmentationResult
+from .crf import LinearChainCRF
+from .phrase_mining import PhraseMiner
+
+__all__ = [
+    "WordTokenizer", "char_tokens", "Vocab", "SkipGramEmbeddings", "Doc2Vec",
+    "PosTagger", "BigramLanguageModel", "BidirectionalLanguageModel",
+    "CharTrigramModel",
+    "MaxMatchSegmenter", "SegmentationResult", "LinearChainCRF", "PhraseMiner",
+]

@@ -1,0 +1,132 @@
+"""Doc2vec (PV-DBOW variant, Le & Mikolov 2014).
+
+The paper encodes Wikipedia glosses and word contexts with Doc2vec to inject
+external knowledge into its models (Figs 5, 6, 8).  PV-DBOW learns one
+vector per document by training it to predict the document's words under
+negative sampling — the distributed-bag-of-words flavour, which is the
+cheap, robust variant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import DataError, NotFittedError
+from .vocab import Vocab
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class Doc2Vec:
+    """PV-DBOW document embeddings.
+
+    Args:
+        dim: Document/word vector dimension.
+        negatives: Negative samples per positive word.
+        lr: SGD learning rate.
+        epochs: Training epochs over the document collection.
+        seed: RNG seed.
+    """
+
+    def __init__(self, dim: int = 32, negatives: int = 4, lr: float = 0.05,
+                 epochs: int = 10, seed: int = 0):
+        self.dim = dim
+        self.negatives = negatives
+        self.lr = lr
+        self.epochs = epochs
+        self._rng = np.random.default_rng(seed)
+        self.vocab: Vocab | None = None
+        self.doc_vectors: np.ndarray | None = None
+        self.word_out: np.ndarray | None = None
+        self._noise: np.ndarray | None = None
+
+    def fit(self, documents: Sequence[Sequence[str]]) -> "Doc2Vec":
+        """Learn one vector per document.
+
+        Args:
+            documents: Tokenised documents, index-aligned with later
+                :meth:`document_vector` calls.
+
+        Raises:
+            DataError: On an empty document collection.
+        """
+        if not documents:
+            raise DataError("Doc2Vec.fit needs at least one document")
+        self.vocab = Vocab.from_corpus(documents)
+        vocab_size = len(self.vocab)
+        counts = np.zeros(vocab_size)
+        doc_ids = []
+        for document in documents:
+            ids = self.vocab.ids(document)
+            doc_ids.append(ids)
+            for token_id in ids:
+                counts[token_id] += 1
+        counts[self.vocab.pad_id] = 0
+        powered = counts ** 0.75
+        self._noise = powered / powered.sum() if powered.sum() else None
+
+        scale = 0.5 / self.dim
+        self.doc_vectors = self._rng.uniform(
+            -scale, scale, size=(len(documents), self.dim))
+        self.word_out = np.zeros((vocab_size, self.dim))
+
+        for _ in range(self.epochs):
+            order = self._rng.permutation(len(doc_ids))
+            for doc_index in order:
+                self._train_document(int(doc_index), doc_ids[doc_index])
+        return self
+
+    def _train_document(self, doc_index: int, word_ids: list[int]) -> None:
+        if not word_ids or self._noise is None:
+            return
+        doc_vec = self.doc_vectors[doc_index]
+        for word_id in word_ids:
+            negatives = self._rng.choice(
+                len(self._noise), size=self.negatives, p=self._noise)
+            targets = np.concatenate([[word_id], negatives])
+            labels = np.zeros(len(targets))
+            labels[0] = 1.0
+            out = self.word_out[targets]
+            gradient = (_sigmoid(out @ doc_vec) - labels)[:, None]
+            grad_doc = (gradient * out).sum(axis=0)
+            self.word_out[targets] -= self.lr * gradient * doc_vec
+            doc_vec -= self.lr * grad_doc
+
+    def document_vector(self, index: int) -> np.ndarray:
+        """Vector of the ``index``-th training document."""
+        if self.doc_vectors is None:
+            raise NotFittedError("Doc2Vec has not been fitted")
+        return self.doc_vectors[index]
+
+    def infer_vector(self, document: Sequence[str], steps: int = 25) -> np.ndarray:
+        """Infer a vector for an unseen document by gradient steps on a
+        fresh document vector with word vectors frozen."""
+        if self.vocab is None or self.word_out is None or self._noise is None:
+            raise NotFittedError("Doc2Vec has not been fitted")
+        vector = self._rng.uniform(-0.5 / self.dim, 0.5 / self.dim, size=self.dim)
+        word_ids = self.vocab.ids(document)
+        if not word_ids:
+            return vector
+        for _ in range(steps):
+            for word_id in word_ids:
+                negatives = self._rng.choice(
+                    len(self._noise), size=self.negatives, p=self._noise)
+                targets = np.concatenate([[word_id], negatives])
+                labels = np.zeros(len(targets))
+                labels[0] = 1.0
+                out = self.word_out[targets]
+                gradient = (_sigmoid(out @ vector) - labels)[:, None]
+                vector -= self.lr * (gradient * out).sum(axis=0)
+        return vector
+
+    @staticmethod
+    def cosine(a: np.ndarray, b: np.ndarray) -> float:
+        """Cosine similarity helper for comparing document vectors."""
+        denom = np.linalg.norm(a) * np.linalg.norm(b)
+        if denom == 0:
+            return 0.0
+        return float(a @ b / denom)

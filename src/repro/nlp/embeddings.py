@@ -1,0 +1,168 @@
+"""Skip-gram-with-negative-sampling (SGNS) word embeddings.
+
+These stand in for the paper's "word embeddings pretrained on e-commerce
+corpus" / GloVe vectors: dense vectors where distributionally similar words
+are close.  The trainer is plain numpy — one positive pair plus ``k``
+negatives per update, with the unigram^0.75 negative-sampling distribution
+of word2vec.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import NotFittedError
+from .vocab import Vocab
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class SkipGramEmbeddings:
+    """Trainable SGNS embeddings over a fixed vocabulary.
+
+    Args:
+        vocab: The token vocabulary.
+        dim: Embedding dimension.
+        window: Max distance between centre and context word.
+        negatives: Negative samples per positive pair.
+        lr: SGD learning rate.
+        seed: Seed for initialisation and sampling.
+    """
+
+    def __init__(self, vocab: Vocab, dim: int = 32, window: int = 3,
+                 negatives: int = 5, lr: float = 0.05, seed: int = 0,
+                 subsample: float = 1e-3):
+        self.vocab = vocab
+        self.dim = dim
+        self.window = window
+        self.negatives = negatives
+        self.lr = lr
+        self.subsample = subsample
+        self._rng = np.random.default_rng(seed)
+        scale = 0.5 / dim
+        self.in_vectors = self._rng.uniform(-scale, scale, size=(len(vocab), dim))
+        self.out_vectors = np.zeros((len(vocab), dim))
+        self._fitted = False
+        self._noise_distribution: np.ndarray | None = None
+
+    def _build_noise(self, sentences: Sequence[Sequence[str]]) -> None:
+        counts = np.zeros(len(self.vocab))
+        for sentence in sentences:
+            for token in sentence:
+                counts[self.vocab.id(token)] += 1
+        counts[self.vocab.pad_id] = 0
+        powered = counts ** 0.75
+        total = powered.sum()
+        if total == 0:
+            powered = np.ones_like(powered)
+            powered[self.vocab.pad_id] = 0
+            total = powered.sum()
+        self._noise_distribution = powered / total
+
+    def _keep_probabilities(self, vocab_ids: list[list[int]]) -> np.ndarray:
+        """word2vec frequent-word subsampling: P(keep) = sqrt(t/f) + t/f.
+
+        Without this, ultra-frequent corpus tokens ("for", colors) drag
+        every vector toward one dominant direction and cosine similarities
+        degenerate.
+        """
+        counts = np.zeros(len(self.vocab))
+        total = 0
+        for ids in vocab_ids:
+            total += len(ids)
+            for token_id in ids:
+                counts[token_id] += 1
+        if total == 0 or self.subsample <= 0:
+            return np.ones(len(self.vocab))
+        frequency = counts / total
+        with np.errstate(divide="ignore", invalid="ignore"):
+            keep = np.sqrt(self.subsample / frequency) + \
+                self.subsample / frequency
+        keep[~np.isfinite(keep)] = 1.0
+        return np.clip(keep, 0.0, 1.0)
+
+    def train(self, sentences: Sequence[Sequence[str]], epochs: int = 3) -> None:
+        """Fit embeddings on tokenised sentences.
+
+        Updates are applied pair-by-pair (true SGD), which at our corpus
+        size is fast enough and converges more reliably than mini-batching
+        for tiny vocabularies.
+        """
+        self._build_noise(sentences)
+        noise = self._noise_distribution
+        vocab_ids = [self.vocab.ids(sentence) for sentence in sentences]
+        keep_probability = self._keep_probabilities(vocab_ids)
+        for _ in range(epochs):
+            order = self._rng.permutation(len(vocab_ids))
+            for sentence_index in order:
+                ids = [i for i in vocab_ids[sentence_index]
+                       if self._rng.random() < keep_probability[i]]
+                for position, centre in enumerate(ids):
+                    start = max(0, position - self.window)
+                    stop = min(len(ids), position + self.window + 1)
+                    for context_position in range(start, stop):
+                        if context_position == position:
+                            continue
+                        self._update(centre, ids[context_position], noise)
+        self._fitted = True
+
+    def _update(self, centre: int, context: int, noise: np.ndarray) -> None:
+        negatives = self._rng.choice(len(noise), size=self.negatives, p=noise)
+        targets = np.concatenate([[context], negatives])
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+        centre_vec = self.in_vectors[centre]
+        out = self.out_vectors[targets]
+        scores = _sigmoid(out @ centre_vec)
+        gradient = (scores - labels)[:, None]
+        grad_centre = (gradient * out).sum(axis=0)
+        self.out_vectors[targets] -= self.lr * gradient * centre_vec
+        self.in_vectors[centre] -= self.lr * grad_centre
+
+    # ----------------------------------------------------------------- reads
+    def matrix(self) -> np.ndarray:
+        """The (vocab, dim) input-embedding matrix (shared, not copied)."""
+        if not self._fitted:
+            raise NotFittedError("embeddings have not been trained")
+        return self.in_vectors
+
+    def centered_matrix(self) -> np.ndarray:
+        """Mean-centered copy of the embedding matrix.
+
+        Small-corpus SGNS concentrates all vectors around one dominant
+        direction; removing the common mean ("all-but-the-top") restores
+        discriminative cosine geometry.  Downstream phrase embeddings
+        should prefer this view.
+        """
+        matrix = self.matrix()
+        return matrix - matrix.mean(axis=0)
+
+    def vector(self, token: str) -> np.ndarray:
+        """Embedding of a token (UNK vector if unseen)."""
+        if not self._fitted:
+            raise NotFittedError("embeddings have not been trained")
+        return self.in_vectors[self.vocab.id(token)]
+
+    def similarity(self, token_a: str, token_b: str) -> float:
+        """Cosine similarity between two token vectors."""
+        a, b = self.vector(token_a), self.vector(token_b)
+        denom = np.linalg.norm(a) * np.linalg.norm(b)
+        if denom == 0:
+            return 0.0
+        return float(a @ b / denom)
+
+    def most_similar(self, token: str, top_k: int = 5) -> list[tuple[str, float]]:
+        """Nearest tokens by cosine similarity (excluding the query/specials)."""
+        query = self.vector(token)
+        matrix = self.matrix()
+        norms = np.linalg.norm(matrix, axis=1) * (np.linalg.norm(query) or 1.0)
+        norms[norms == 0] = 1.0
+        scores = matrix @ query / norms
+        query_id = self.vocab.id(token)
+        scores[[self.vocab.pad_id, self.vocab.unk_id, query_id]] = -np.inf
+        top = np.argsort(-scores)[:top_k]
+        return [(self.vocab.token(int(i)), float(scores[i])) for i in top]

@@ -1,0 +1,92 @@
+"""N-gram language models and the "BERT perplexity" substitute.
+
+The paper's Wide side (Fig 5) feeds "the perplexity of candidate concept
+calculated by a BERT model specially trained on e-commerce corpus".  Our
+substitute is a bidirectional bigram model: each position is scored from
+both its left and right neighbour and the two directions are averaged in
+log space — a masked-LM-shaped signal at n-gram cost.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+from ..errors import DataError, NotFittedError
+
+BOS = "<s>"
+EOS = "</s>"
+
+
+class BigramLanguageModel:
+    """Add-k smoothed bigram model over word tokens."""
+
+    def __init__(self, k: float = 0.1):
+        if k <= 0:
+            raise ValueError(f"smoothing k must be positive, got {k}")
+        self.k = k
+        self._bigram_counts: Counter[tuple[str, str]] = Counter()
+        self._unigram_counts: Counter[str] = Counter()
+        self._vocab_size = 0
+        self._fitted = False
+
+    def fit(self, sentences: Sequence[Sequence[str]]) -> "BigramLanguageModel":
+        """Count n-grams over tokenised sentences (with BOS/EOS padding)."""
+        if not sentences:
+            raise DataError("language model needs a non-empty corpus")
+        vocabulary = set()
+        for sentence in sentences:
+            padded = [BOS, *sentence, EOS]
+            vocabulary.update(padded)
+            for left, right in zip(padded[:-1], padded[1:]):
+                self._bigram_counts[(left, right)] += 1
+                self._unigram_counts[left] += 1
+        self._vocab_size = len(vocabulary) + 1  # +1 for unseen words
+        self._fitted = True
+        return self
+
+    def log_probability(self, left: str, right: str) -> float:
+        """Smoothed ``log P(right | left)``."""
+        if not self._fitted:
+            raise NotFittedError("language model has not been fitted")
+        numerator = self._bigram_counts.get((left, right), 0) + self.k
+        denominator = self._unigram_counts.get(left, 0) + self.k * self._vocab_size
+        return math.log(numerator / denominator)
+
+    def sentence_log_probability(self, tokens: Sequence[str]) -> float:
+        """Total log-probability of a sentence including BOS/EOS transitions."""
+        padded = [BOS, *tokens, EOS]
+        return sum(self.log_probability(left, right)
+                   for left, right in zip(padded[:-1], padded[1:]))
+
+    def perplexity(self, tokens: Sequence[str]) -> float:
+        """Per-token perplexity of a sentence (lower = more fluent)."""
+        if not tokens:
+            raise DataError("perplexity of an empty sentence is undefined")
+        log_prob = self.sentence_log_probability(tokens)
+        return math.exp(-log_prob / (len(tokens) + 1))
+
+
+class BidirectionalLanguageModel:
+    """Averages a forward and a backward bigram model (the BERT stand-in).
+
+    Each position's score uses both left and right context, so disfluent
+    word orders ("gift grandpa for christmas") are penalised from both
+    sides, like a masked-LM pseudo-perplexity.
+    """
+
+    def __init__(self, k: float = 0.1):
+        self.forward = BigramLanguageModel(k=k)
+        self.backward = BigramLanguageModel(k=k)
+
+    def fit(self, sentences: Sequence[Sequence[str]]) -> "BidirectionalLanguageModel":
+        self.forward.fit(sentences)
+        self.backward.fit([list(reversed(sentence)) for sentence in sentences])
+        return self
+
+    def perplexity(self, tokens: Sequence[str]) -> float:
+        """Geometric mean of forward and backward perplexities."""
+        forward = self.forward.perplexity(tokens)
+        backward = self.backward.perplexity(list(reversed(tokens)))
+        return math.sqrt(forward * backward)

@@ -1,0 +1,129 @@
+"""Quality phrase mining — the AutoPhrase [25] substitute.
+
+The paper mines e-commerce concept candidates from queries, titles, reviews
+and guides with AutoPhrase.  This implementation scores candidate n-grams
+on the same signals AutoPhrase combines:
+
+- *popularity*: raw frequency;
+- *concordance*: pointwise mutual information of the n-gram against the
+  best split into sub-phrases (collocation strength);
+- *completeness*: how often the n-gram appears without being absorbed into
+  a longer frequent n-gram.
+
+The final score is the product of normalised signals; callers threshold it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import DataError
+from ..utils.text import ngrams
+
+_STOP_EDGE = {"for", "in", "on", "at", "with", "from", "of", "to", "and",
+              "or", "the", "a", "an", "is", "it", "my", "this", "very",
+              "really", "you", "will", "need", "i", "do", "what"}
+
+
+@dataclass(frozen=True)
+class ScoredPhrase:
+    """A candidate phrase with its quality components."""
+
+    tokens: tuple[str, ...]
+    frequency: int
+    concordance: float
+    completeness: float
+
+    @property
+    def score(self) -> float:
+        """Combined quality in [0, inf); higher is better."""
+        return self.concordance * self.completeness
+
+    @property
+    def text(self) -> str:
+        return " ".join(self.tokens)
+
+
+class PhraseMiner:
+    """Mines quality multi-word phrases from a tokenised corpus.
+
+    Args:
+        max_length: Longest phrase (in tokens) to consider.
+        min_frequency: Minimum corpus frequency for a candidate.
+    """
+
+    def __init__(self, max_length: int = 4, min_frequency: int = 3):
+        if max_length < 2:
+            raise DataError("phrases need max_length >= 2")
+        self.max_length = max_length
+        self.min_frequency = min_frequency
+
+    def mine(self, sentences: Sequence[Sequence[str]],
+             top_k: int | None = None) -> list[ScoredPhrase]:
+        """Return scored candidate phrases, best first.
+
+        Args:
+            sentences: Tokenised corpus.
+            top_k: Optional cap on the number of results.
+
+        Raises:
+            DataError: On an empty corpus.
+        """
+        if not sentences:
+            raise DataError("phrase mining needs a non-empty corpus")
+        counts: dict[int, Counter] = {
+            n: Counter() for n in range(1, self.max_length + 1)}
+        total_tokens = 0
+        for sentence in sentences:
+            total_tokens += len(sentence)
+            for n in range(1, self.max_length + 1):
+                counts[n].update(ngrams(sentence, n))
+        if total_tokens == 0:
+            raise DataError("phrase mining needs non-empty sentences")
+
+        results = []
+        for n in range(2, self.max_length + 1):
+            for gram, frequency in counts[n].items():
+                if frequency < self.min_frequency:
+                    continue
+                if gram[0] in _STOP_EDGE or gram[-1] in _STOP_EDGE:
+                    continue
+                concordance = self._concordance(gram, frequency, counts, total_tokens)
+                completeness = self._completeness(gram, frequency, counts)
+                results.append(ScoredPhrase(gram, frequency, concordance, completeness))
+        results.sort(key=lambda p: (-p.score, p.tokens))
+        if top_k is not None:
+            results = results[:top_k]
+        return results
+
+    def _concordance(self, gram: tuple[str, ...], frequency: int,
+                     counts: dict[int, Counter], total_tokens: int) -> float:
+        """Significance of the gram against its most likely binary split.
+
+        AutoPhrase-style z-score: ``(observed - expected) / sqrt(observed)``
+        where ``expected`` assumes the two halves co-occur independently.
+        Unlike raw PMI this does not over-reward rare coincidences.
+        """
+        best_expected = 0.0
+        for split in range(1, len(gram)):
+            left, right = gram[:split], gram[split:]
+            left_count = counts[len(left)].get(left, 0)
+            right_count = counts[len(right)].get(right, 0)
+            expected = left_count * right_count / total_tokens
+            best_expected = max(best_expected, expected)
+        return max(0.0, (frequency - best_expected) / math.sqrt(frequency))
+
+    def _completeness(self, gram: tuple[str, ...], frequency: int,
+                      counts: dict[int, Counter]) -> float:
+        """1 - (how often this gram is absorbed by a longer frequent gram)."""
+        if len(gram) == self.max_length:
+            return 1.0
+        absorbed = 0
+        longer = counts[len(gram) + 1]
+        for extension, extension_count in longer.items():
+            if extension[:-1] == gram or extension[1:] == gram:
+                absorbed = max(absorbed, extension_count)
+        return max(0.0, 1.0 - absorbed / frequency)

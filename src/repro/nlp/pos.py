@@ -1,0 +1,77 @@
+"""A lexicon- and suffix-rule part-of-speech tagger.
+
+Substitutes the Stanford POS tagger the paper uses for its POS-tag feature
+embeddings (Figs 5, 6, 8).  A small closed-class lexicon plus English
+suffix heuristics is plenty for feature purposes on the synthetic corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+TAGS = ("NOUN", "ADJ", "VERB", "PREP", "DET", "CONJ", "NUM", "PRON", "OTHER")
+
+_CLOSED_CLASS = {
+    "for": "PREP", "in": "PREP", "on": "PREP", "at": "PREP", "with": "PREP",
+    "from": "PREP", "of": "PREP", "to": "PREP", "under": "PREP", "by": "PREP",
+    "the": "DET", "a": "DET", "an": "DET", "this": "DET", "that": "DET",
+    "and": "CONJ", "or": "CONJ", "but": "CONJ",
+    "you": "PRON", "your": "PRON", "his": "PRON", "her": "PRON", "my": "PRON",
+    "it": "PRON", "they": "PRON",
+}
+
+_ADJ_SUFFIXES = ("able", "ible", "ful", "ous", "ive", "ish", "less", "ic",
+                 "al", "ant", "ent", "y", "proof", "resistant", "style")
+_VERB_SUFFIXES = ("ing", "ize", "ise", "ify", "ate")
+_NOUN_SUFFIXES = ("tion", "ment", "ness", "ity", "er", "or", "ist", "s")
+
+
+class PosTagger:
+    """Tags tokens with a coarse POS from :data:`TAGS`.
+
+    Args:
+        lexicon: Optional extra ``word -> tag`` entries that take priority
+            over the suffix rules (the synthetic world registers its
+            ground-truth adjectives/verbs here).
+    """
+
+    def __init__(self, lexicon: dict[str, str] | None = None):
+        self._lexicon = dict(_CLOSED_CLASS)
+        if lexicon:
+            for word, tag in lexicon.items():
+                if tag not in TAGS:
+                    raise ValueError(f"unknown POS tag {tag!r} for {word!r}")
+                self._lexicon[word] = tag
+
+    def tag_word(self, word: str) -> str:
+        """Tag a single token."""
+        if word in self._lexicon:
+            return self._lexicon[word]
+        if word.replace(".", "", 1).replace("-", "", 1).isdigit():
+            return "NUM"
+        for suffix in _VERB_SUFFIXES:
+            if word.endswith(suffix) and len(word) > len(suffix) + 2:
+                return "VERB"
+        for suffix in _ADJ_SUFFIXES:
+            if word.endswith(suffix) and len(word) > len(suffix) + 1:
+                return "ADJ"
+        for suffix in _NOUN_SUFFIXES:
+            if word.endswith(suffix) and len(word) > len(suffix) + 1:
+                return "NOUN"
+        return "NOUN"
+
+    def tag(self, tokens: Sequence[str]) -> list[str]:
+        """Tag a token sequence."""
+        return [self.tag_word(token) for token in tokens]
+
+    @staticmethod
+    def tag_id(tag: str) -> int:
+        """Stable integer id of a tag, for embedding lookups."""
+        try:
+            return TAGS.index(tag)
+        except ValueError:
+            return TAGS.index("OTHER")
+
+    @staticmethod
+    def num_tags() -> int:
+        return len(TAGS)

@@ -1,0 +1,131 @@
+"""Max-matching segmentation for distant supervision (Section 7.2).
+
+The paper generates BiLSTM-CRF training data by max-matching text against
+the existing primitive-concept lexicon with dynamic programming, assigning
+IOB domain labels, and *keeping only sentences that match unambiguously*.
+This module implements that matcher: a DP that maximises matched-token
+coverage, with explicit ambiguity detection (multiple optimal segmentations
+or multi-label phrases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+OUTSIDE = "O"
+
+
+@dataclass
+class Segment:
+    """One matched span: tokens ``[start, stop)`` with candidate labels."""
+
+    start: int
+    stop: int
+    labels: frozenset[str]
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass
+class SegmentationResult:
+    """Outcome of max-matching one sentence.
+
+    Attributes:
+        segments: Matched spans of one optimal segmentation.
+        covered: Number of tokens covered by matched spans.
+        ambiguous: True if several optimal segmentations exist or any
+            matched phrase carries more than one candidate label.
+    """
+
+    segments: list[Segment] = field(default_factory=list)
+    covered: int = 0
+    ambiguous: bool = False
+
+    def iob_labels(self, num_tokens: int) -> list[str]:
+        """IOB labels for the sentence (``O`` outside all matched spans).
+
+        Multi-label segments use their alphabetically-first label; callers
+        that require unambiguous data should check :attr:`ambiguous` first.
+        """
+        labels = [OUTSIDE] * num_tokens
+        for segment in self.segments:
+            chosen = sorted(segment.labels)[0]
+            labels[segment.start] = f"B-{chosen}"
+            for position in range(segment.start + 1, segment.stop):
+                labels[position] = f"I-{chosen}"
+        return labels
+
+
+class MaxMatchSegmenter:
+    """Dynamic-programming maximal matcher over a phrase lexicon.
+
+    Args:
+        lexicon: Mapping from phrase (tuple of tokens) to the set of domain
+            labels that phrase can take.
+        max_phrase_length: Longest phrase to consider (defaults to the
+            longest key in the lexicon).
+    """
+
+    def __init__(self, lexicon: Mapping[tuple[str, ...], frozenset[str] | set[str]],
+                 max_phrase_length: int | None = None):
+        self._lexicon = {tuple(k): frozenset(v) for k, v in lexicon.items()}
+        if max_phrase_length is None:
+            max_phrase_length = max((len(k) for k in self._lexicon), default=1)
+        self._max_len = max(1, max_phrase_length)
+
+    def segment(self, tokens: Sequence[str]) -> SegmentationResult:
+        """Find an optimal segmentation of ``tokens``.
+
+        The objective lexicographically maximises (covered tokens, then
+        fewer segments, which prefers longer matches).  ``ambiguous`` is set
+        when more than one segmentation attains the optimum or a matched
+        phrase has multiple candidate labels.
+        """
+        n = len(tokens)
+        # best[i]: (covered, -segments) achievable for suffix starting at i.
+        best: list[tuple[int, int]] = [(0, 0)] * (n + 1)
+        ways: list[int] = [0] * (n + 1)
+        choice: list[tuple[int, frozenset[str]] | None] = [None] * (n + 1)
+        ways[n] = 1
+        for i in range(n - 1, -1, -1):
+            # Option: leave token i outside.
+            best[i] = best[i + 1]
+            ways[i] = ways[i + 1]
+            choice[i] = None
+            for length in range(1, min(self._max_len, n - i) + 1):
+                phrase = tuple(tokens[i:i + length])
+                labels = self._lexicon.get(phrase)
+                if labels is None:
+                    continue
+                covered, neg_segments = best[i + length]
+                candidate = (covered + length, neg_segments - 1)
+                if candidate > best[i]:
+                    best[i] = candidate
+                    ways[i] = ways[i + length]
+                    choice[i] = (length, labels)
+                elif candidate == best[i]:
+                    ways[i] = ways[i] + ways[i + length]
+
+        result = SegmentationResult(ambiguous=ways[0] > 1)
+        position = 0
+        while position < n:
+            picked = choice[position]
+            if picked is None:
+                position += 1
+                continue
+            length, labels = picked
+            if len(labels) > 1:
+                result.ambiguous = True
+            result.segments.append(Segment(position, position + length, labels))
+            result.covered += length
+            position += length
+        return result
+
+    def perfectly_matched(self, tokens: Sequence[str]) -> bool:
+        """True when every token is covered by exactly one unambiguous label
+        assignment — the paper's filter for distant-supervision sentences."""
+        result = self.segment(tokens)
+        return result.covered == len(tokens) and not result.ambiguous

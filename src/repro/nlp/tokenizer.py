@@ -1,0 +1,30 @@
+"""Tokenisers.
+
+The paper segments Chinese text into words and characters.  Our synthetic
+corpus is English-like, so word tokenisation is whitespace-based over
+normalised text, and the "char" granularity (used by the char-level BiLSTM
+of Fig 5 and the char-CNN of Fig 6) is literal characters of each word.
+"""
+
+from __future__ import annotations
+
+from ..utils.text import normalize_text
+
+
+class WordTokenizer:
+    """Normalises and splits text into word tokens."""
+
+    def tokenize(self, text: str) -> list[str]:
+        """Return the word tokens of ``text`` (may be empty)."""
+        normalized = normalize_text(text)
+        if not normalized:
+            return []
+        return normalized.split(" ")
+
+    def __call__(self, text: str) -> list[str]:
+        return self.tokenize(text)
+
+
+def char_tokens(word: str) -> list[str]:
+    """Characters of a single word (the char granularity of Figs 5-6)."""
+    return list(word)

@@ -1,0 +1,94 @@
+"""Token vocabulary with PAD/UNK specials and frequency filtering."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from ..errors import VocabError
+
+PAD = "<pad>"
+UNK = "<unk>"
+
+
+class Vocab:
+    """Bidirectional token <-> id mapping.
+
+    Id 0 is always ``<pad>`` and id 1 is always ``<unk>``.  Lookups of
+    unknown tokens return the UNK id unless the vocabulary was built with
+    ``strict=True``.
+    """
+
+    def __init__(self, tokens: Iterable[str], strict: bool = False):
+        self._itos: list[str] = [PAD, UNK]
+        seen = {PAD, UNK}
+        for token in tokens:
+            if token not in seen:
+                seen.add(token)
+                self._itos.append(token)
+        self._stoi = {token: i for i, token in enumerate(self._itos)}
+        self._strict = strict
+
+    @classmethod
+    def from_corpus(cls, sentences: Iterable[Sequence[str]],
+                    min_freq: int = 1, max_size: int | None = None,
+                    strict: bool = False) -> "Vocab":
+        """Build a vocabulary from tokenised sentences.
+
+        Tokens are ordered by descending frequency (ties by first
+        occurrence is not guaranteed; ties break alphabetically for
+        determinism).
+
+        Args:
+            sentences: Iterable of token sequences.
+            min_freq: Minimum occurrence count to be included.
+            max_size: Optional cap on vocabulary size (excluding specials).
+            strict: If True, unknown lookups raise instead of mapping to UNK.
+        """
+        counts = Counter()
+        for sentence in sentences:
+            counts.update(sentence)
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        kept = [token for token, freq in ranked if freq >= min_freq]
+        if max_size is not None:
+            kept = kept[:max_size]
+        return cls(kept, strict=strict)
+
+    def __len__(self) -> int:
+        return len(self._itos)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._stoi
+
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        return 1
+
+    def id(self, token: str) -> int:
+        """Id of ``token`` (UNK id if unseen and not strict)."""
+        if token in self._stoi:
+            return self._stoi[token]
+        if self._strict:
+            raise VocabError(f"token {token!r} not in strict vocabulary")
+        return self.unk_id
+
+    def ids(self, tokens: Sequence[str]) -> list[int]:
+        return [self.id(token) for token in tokens]
+
+    def token(self, token_id: int) -> str:
+        """Token string for an id.
+
+        Raises:
+            VocabError: If the id is out of range.
+        """
+        if not 0 <= token_id < len(self._itos):
+            raise VocabError(f"id {token_id} out of range [0, {len(self._itos)})")
+        return self._itos[token_id]
+
+    def tokens(self) -> list[str]:
+        """All tokens, including specials, in id order."""
+        return list(self._itos)

@@ -1,0 +1,5 @@
+"""End-to-end construction of the AliCoCo net."""
+
+from .build import build_alicoco, BuildResult
+
+__all__ = ["build_alicoco", "BuildResult"]

@@ -1,0 +1,190 @@
+"""Build the full four-layer net for a run scale.
+
+The paper constructs AliCoCo semi-automatically: models propose, humans
+verify, verified data enters the net.  This orchestrator plays the same
+movie at synthetic scale — the proposal stage can come from the world's
+ground truth (fast, default: it corresponds to model output *after* the
+paper's human-verification gate) and the relations are materialised into
+an :class:`~repro.kg.store.AliCoCoStore`:
+
+1. the 20-domain taxonomy (Section 3);
+2. primitive concepts for every lexicon sense, with INSTANCE_OF edges and
+   isA edges inside Category (Section 4);
+3. e-commerce concepts with INTERPRETED_BY edges to the correct
+   primitive-concept *senses* (Section 5);
+4. items with ITEM_PRIMITIVE edges from their attributes and
+   ITEM_ECOMMERCE edges from scenario membership (Section 6), weighted by
+   simulated click-through rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import RunScale
+from ..kg.nodes import ECommerceConcept, Item, PrimitiveConcept
+from ..kg.relations import Relation, RelationKind
+from ..kg.store import AliCoCoStore
+from ..synth.corpus import Corpus, build_corpus
+from ..synth.items import SynthItem, item_matches_concept
+from ..synth.lexicon import Lexicon, build_lexicon
+from ..synth.world import ConceptSpec, World
+from ..taxonomy.builder import build_taxonomy, TaxonomyIndex
+from ..utils.rng import spawn_rng
+
+
+@dataclass
+class BuildResult:
+    """Everything produced by one construction run.
+
+    Attributes:
+        store: The populated net.
+        world: The ground-truth world behind it.
+        lexicon: The world's lexicon.
+        corpus: Generated corpus (items, queries, reviews, guides).
+        concepts: The good e-commerce concepts that were admitted.
+        taxonomy: Class-name index.
+        primitive_ids: (surface, domain) -> primitive-concept node id.
+        concept_ids: concept text -> e-commerce node id.
+        item_ids: catalog index -> item node id.
+    """
+
+    store: AliCoCoStore
+    world: World
+    lexicon: Lexicon
+    corpus: Corpus
+    concepts: list[ConceptSpec]
+    taxonomy: TaxonomyIndex
+    primitive_ids: dict[tuple[str, str], str] = field(default_factory=dict)
+    concept_ids: dict[str, str] = field(default_factory=dict)
+    item_ids: dict[int, str] = field(default_factory=dict)
+
+
+def build_alicoco(scale: RunScale, n_concepts: int | None = None,
+                  mine_implicit: bool = True) -> BuildResult:
+    """Construct the net at the given scale.
+
+    Args:
+        scale: Size preset (items/corpus/concept counts derive from it).
+        n_concepts: Override for the number of e-commerce concepts.
+        mine_implicit: Also mine probabilistic commonsense relations
+            ("T-shirt suitable_when summer") per the paper's future work.
+    """
+    lexicon = build_lexicon(seed=scale.seed, n_brands=scale.n_brands,
+                            n_ips=scale.n_ips)
+    world = World(lexicon, seed=scale.seed)
+    rng = spawn_rng(scale.seed, "build")
+    if n_concepts is None:
+        n_concepts = max(40, scale.n_items // 8)
+    concepts = world.sample_good_concepts(rng, n_concepts)
+    corpus = build_corpus(world, concepts, scale)
+
+    store = AliCoCoStore()
+    taxonomy = build_taxonomy(store)
+    result = BuildResult(store=store, world=world, lexicon=lexicon,
+                         corpus=corpus, concepts=concepts, taxonomy=taxonomy)
+
+    _add_primitive_layer(result)
+    _add_concept_layer(result)
+    _add_item_layer(result, rng)
+    if mine_implicit:
+        _add_implicit_relations(result)
+    return result
+
+
+def _add_implicit_relations(result: BuildResult) -> None:
+    """Mine probabilistic commonsense relations between primitive concepts
+    (the paper's future-work items 1 and 2)."""
+    from ..mining.implicit import ImplicitRelationMiner
+
+    miner = ImplicitRelationMiner(min_probability=0.6, min_support=3)
+    for mined in miner.mine(result.corpus.items):
+        source = result.primitive_ids.get((mined.source, "Category"))
+        target = result.primitive_ids.get((mined.target, mined.target_domain))
+        if source is None or target is None:
+            continue
+        result.store.add_relation(Relation(
+            RelationKind.RELATED_PRIMITIVE, source, target,
+            weight=mined.probability, name=mined.name))
+
+
+def _add_primitive_layer(result: BuildResult) -> None:
+    """Primitive concepts for every lexicon sense + Category isA edges."""
+    store, taxonomy = result.store, result.taxonomy
+    for entry in result.lexicon.entries:
+        class_id = taxonomy.by_name.get(entry.class_name)
+        if class_id is None:
+            class_id = taxonomy.leaf_class_of_domain[entry.domain]
+        node = store.create_primitive(entry.surface, class_id)
+        result.primitive_ids[(entry.surface, entry.domain)] = node.id
+    for hyponym, hypernym in result.lexicon.hypernym_pairs("Category"):
+        source = result.primitive_ids[(hyponym, "Category")]
+        target = result.primitive_ids[(hypernym, "Category")]
+        store.add_relation(Relation(RelationKind.ISA_PRIMITIVE, source, target))
+
+
+def _add_concept_layer(result: BuildResult) -> None:
+    """E-commerce concepts + interpretation links to the correct senses."""
+    store = result.store
+    for spec in result.concepts:
+        node = store.create_ecommerce(spec.text, source=spec.pattern)
+        result.concept_ids[spec.text] = node.id
+        for part in spec.parts:
+            primitive_id = result.primitive_ids.get((part.surface, part.domain))
+            if primitive_id is not None:
+                store.add_relation(Relation(
+                    RelationKind.INTERPRETED_BY, node.id, primitive_id,
+                    name=part.domain))
+    _add_concept_isa(result)
+
+
+def _add_concept_isa(result: BuildResult) -> None:
+    """isA edges between e-commerce concepts: a concept whose parts are a
+    strict superset of another's (same senses) is the more specific one."""
+    store = result.store
+    signatures: dict[str, frozenset[tuple[str, str]]] = {}
+    for spec in result.concepts:
+        signatures[spec.text] = frozenset(
+            (p.surface, p.domain) for p in spec.parts)
+    texts = list(signatures)
+    for narrow in texts:
+        for broad in texts:
+            if narrow == broad:
+                continue
+            if signatures[broad] and signatures[broad] < signatures[narrow]:
+                store.add_relation(Relation(
+                    RelationKind.ISA_ECOMMERCE,
+                    result.concept_ids[narrow], result.concept_ids[broad]))
+
+
+def _add_item_layer(result: BuildResult, rng: np.random.Generator) -> None:
+    """Items, their primitive tags, and scenario associations."""
+    store, world = result.store, result.world
+    for item in result.corpus.items:
+        node = store.create_item(item.title,
+                                 shop=f"shop_{item.index % 20}",
+                                 properties=_properties_of(item))
+        result.item_ids[item.index] = node.id
+        for surface, domain in item.primitive_surfaces():
+            primitive_id = result.primitive_ids.get((surface, domain))
+            if primitive_id is not None:
+                store.add_relation(Relation(
+                    RelationKind.ITEM_PRIMITIVE, node.id, primitive_id))
+        for spec in result.concepts:
+            if item_matches_concept(world, item, spec):
+                weight = float(np.clip(rng.normal(0.8, 0.1), 0.05, 1.0))
+                store.add_relation(Relation(
+                    RelationKind.ITEM_ECOMMERCE, node.id,
+                    result.concept_ids[spec.text], weight=weight))
+
+
+def _properties_of(item: SynthItem) -> dict[str, str]:
+    properties = {"Category": item.category}
+    for key, value in (("Brand", item.brand), ("Color", item.color),
+                       ("Material", item.material), ("Style", item.style),
+                       ("Pattern", item.pattern), ("Quantity", item.quantity)):
+        if value is not None:
+            properties[key] = value
+    return properties

@@ -1,0 +1,65 @@
+"""Simulated click logs over concept cards.
+
+The paper's matching training positives come from "strong matching rules
+and user click logs of the running application on Taobao".  This simulator
+shows each concept card to users alongside candidate items; users click
+ground-truth-relevant items with high probability and irrelevant ones with
+a small noise probability, so the resulting training pairs are realistic:
+mostly right, a little wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.rng import spawn_rng
+from .items import SynthItem, item_matches_concept
+from .world import ConceptSpec, World
+
+
+@dataclass(frozen=True)
+class ClickEvent:
+    """One impression: a concept card and an item, with the user's action."""
+
+    concept_index: int
+    item_index: int
+    clicked: bool
+
+
+def simulate_clicks(world: World, concepts: list[ConceptSpec],
+                    items: list[SynthItem], impressions_per_concept: int = 30,
+                    click_if_relevant: float = 0.85,
+                    click_if_irrelevant: float = 0.03,
+                    seed: int | None = None) -> list[ClickEvent]:
+    """Simulate card impressions for every good concept.
+
+    Args:
+        world: Ground-truth world.
+        concepts: Concept list (bad concepts get no impressions).
+        items: Catalog.
+        impressions_per_concept: Cards shown per concept.
+        click_if_relevant: Click probability on a truly relevant item.
+        click_if_irrelevant: Click probability on an irrelevant item.
+        seed: Override for the world's master seed.
+    """
+    rng = spawn_rng(world.seed if seed is None else seed, "clicklog")
+    events: list[ClickEvent] = []
+    if not items:
+        return events
+    for concept_index, spec in enumerate(concepts):
+        if not spec.good:
+            continue
+        relevant = [i for i, item in enumerate(items)
+                    if item_matches_concept(world, item, spec)]
+        for _ in range(impressions_per_concept):
+            # Bias impressions toward relevant items, as a production
+            # recall stage would.
+            if relevant and rng.random() < 0.5:
+                item_index = relevant[int(rng.integers(len(relevant)))]
+            else:
+                item_index = int(rng.integers(len(items)))
+            is_relevant = item_index in set(relevant)
+            probability = click_if_relevant if is_relevant else click_if_irrelevant
+            events.append(ClickEvent(concept_index, item_index,
+                                     bool(rng.random() < probability)))
+    return events

@@ -1,0 +1,48 @@
+"""Corpus assembly: queries + titles + reviews + guides.
+
+These are the paper's four mining sources (Section 4.1): "search queries,
+product titles, user-written reviews and shopping guides".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import RunScale
+from .guides import generate_guides
+from .items import SynthItem, generate_items
+from .queries import Query, generate_queries
+from .reviews import generate_reviews
+from .world import ConceptSpec, World
+
+
+@dataclass
+class Corpus:
+    """The full text corpus plus the structures it was generated from."""
+
+    items: list[SynthItem] = field(default_factory=list)
+    queries: list[Query] = field(default_factory=list)
+    reviews: list[list[str]] = field(default_factory=list)
+    guides: list[list[str]] = field(default_factory=list)
+
+    def title_sentences(self) -> list[list[str]]:
+        return [list(item.title_tokens) for item in self.items]
+
+    def query_sentences(self) -> list[list[str]]:
+        return [list(query.tokens) for query in self.queries]
+
+    def sentences(self) -> list[list[str]]:
+        """Every sentence from all four sources."""
+        return (self.title_sentences() + self.query_sentences()
+                + self.reviews + self.guides)
+
+
+def build_corpus(world: World, concepts: list[ConceptSpec],
+                 scale: RunScale) -> Corpus:
+    """Generate the corpus for a run scale (all streams seeded from the
+    world's master seed)."""
+    items = generate_items(world, scale.n_items)
+    queries = generate_queries(world, concepts, scale.n_queries)
+    reviews = generate_reviews(world, items, scale.n_reviews)
+    guides = generate_guides(world, concepts, scale.n_guides)
+    return Corpus(items=items, queries=queries, reviews=reviews, guides=guides)

@@ -1,0 +1,234 @@
+"""The external knowledge base — Wikipedia-gloss substitute.
+
+The paper links concept words to Wikipedia and encodes each article's gloss
+with Doc2vec to inject commonsense into classification (Fig 5), tagging
+(Fig 6) and matching (Fig 8).  Here every lexicon surface gets a synthetic
+gloss that verbalises the world's ground truth:
+
+- the gloss of *mid-autumn-festival* mentions *moon-cakes* (the paper's own
+  case study in Section 7.6);
+- the gloss of *warm* names its provider categories (blanket, heater, ...);
+- the gloss of *sexy* states it is for adults and not for babies — the
+  commonsense the plausibility classifier needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .lexicon import Lexicon
+from .world import (
+    AUDIENCE_CLASSES, CATEGORY_SEASON_BAD, EVENT_NEEDS, FUNCTION_CLASSES,
+    FUNCTION_EVENT_BAD, FUNCTION_PROVIDERS, HOLIDAY_GIFTS,
+    LOCATION_EVENT_BAD, PEST_SOLUTIONS, STYLE_AUDIENCE_BAD, World,
+)
+
+#: Marker prefixes planted in glosses.  ``not-X`` encodes an explicit
+#: incompatibility ("sexy ... not-baby"); ``applies-C`` / ``class-C``
+#: encode which leaf classes a function can describe and which class a
+#: category belongs to.  Doc2vec at laptop scale cannot carry negation
+#: reliably, so commonsense checks read these markers symbolically — the
+#: same knowledge the paper's models squeeze out of Wikipedia glosses.
+NEGATION_PREFIX = "not-"
+APPLIES_PREFIX = "applies-"
+CLASS_PREFIX = "class-"
+
+
+@dataclass
+class GlossKB:
+    """Maps surfaces to tokenised glosses."""
+
+    glosses: dict[str, list[str]] = field(default_factory=dict)
+
+    def gloss(self, surface: str) -> list[str]:
+        """Gloss tokens for a surface (empty list if unknown)."""
+        return list(self.glosses.get(surface, []))
+
+    def has(self, surface: str) -> bool:
+        return surface in self.glosses
+
+    def surfaces(self) -> list[str]:
+        return list(self.glosses)
+
+    def documents(self) -> list[list[str]]:
+        """All glosses in surface order (for Doc2vec training)."""
+        return [self.glosses[s] for s in self.glosses]
+
+    # ------------------------------------------------- commonsense queries
+    def incompatible(self, word_a: str, word_b: str) -> bool:
+        """Do the glosses state that two words cannot co-occur?
+
+        True when either gloss carries an explicit ``not-<other>`` marker,
+        or a function's ``applies-*`` class list excludes the other word's
+        ``class-*`` membership.
+        """
+        gloss_a = set(self.glosses.get(word_a, ()))
+        gloss_b = set(self.glosses.get(word_b, ()))
+        if NEGATION_PREFIX + word_b in gloss_a or \
+                NEGATION_PREFIX + word_a in gloss_b:
+            return True
+        return self._class_mismatch(gloss_a, gloss_b) or \
+            self._class_mismatch(gloss_b, gloss_a)
+
+    @staticmethod
+    def _class_mismatch(function_gloss: set[str],
+                        category_gloss: set[str]) -> bool:
+        applicable = {token[len(APPLIES_PREFIX):] for token in function_gloss
+                      if token.startswith(APPLIES_PREFIX)}
+        if not applicable:
+            return False
+        classes = {token[len(CLASS_PREFIX):] for token in category_gloss
+                   if token.startswith(CLASS_PREFIX)}
+        if not classes:
+            return False
+        return not (classes & applicable)
+
+    def content_words(self, surface: str, limit: int | None = None) -> list[str]:
+        """Content words of a gloss: marker tokens and glue words removed.
+
+        These are what the matching model's knowledge sequence carries
+        (e.g. "moon-cakes" from the mid-autumn-festival gloss).
+        """
+        glue = {"is", "a", "an", "the", "of", "kind", "type", "used", "for",
+                "in", "it", "keeps", "you", "where", "people", "use", "never",
+                "not", "done", "when", "give", "by", "provided", "describes",
+                "with", "controlled", "who", "buy", "only", "adults",
+                "activity", "holiday", "place", "product", "products",
+                "fashion", "style", "group", "shoppers", "goods", "famous",
+                "franchise", "attribute", "nature", "brand", "consumer",
+                "time", "period", "function", "try", "to", "stay"}
+        words = []
+        for token in self.glosses.get(surface, ()):
+            if token in glue or token == surface:
+                continue
+            if token.startswith((NEGATION_PREFIX, APPLIES_PREFIX,
+                                 CLASS_PREFIX)):
+                continue
+            if token not in words:
+                words.append(token)
+        if limit is not None:
+            words = words[:limit]
+        return words
+
+    def content_word_map(self, limit_per_surface: int = 8) -> dict[str, list[str]]:
+        """surface -> gloss content words, for the matching model."""
+        return {surface: self.content_words(surface, limit_per_surface)
+                for surface in self.glosses}
+
+    def incompatibility_features(self, tokens: list[str]) -> tuple[float, float]:
+        """(any-pair flag, normalised pair count) over a token sequence."""
+        flags = 0
+        pairs = 0
+        for i, left in enumerate(tokens):
+            for right in tokens[i + 1:]:
+                pairs += 1
+                if self.incompatible(left, right):
+                    flags += 1
+        if pairs == 0:
+            return 0.0, 0.0
+        return (1.0 if flags else 0.0), flags / pairs
+
+
+def build_gloss_kb(world: World) -> GlossKB:
+    """Generate the gloss for every surface in the world's lexicon."""
+    lexicon = world.lexicon
+    kb = GlossKB()
+    for surface in lexicon.surfaces():
+        tokens: list[str] = []
+        for entry in lexicon.senses(surface):
+            tokens.extend(_sense_gloss(world, entry.surface, entry.domain,
+                                       entry.class_name, entry.hypernym))
+        kb.glosses[surface] = tokens
+    return kb
+
+
+def _sense_gloss(world: World, surface: str, domain: str, class_name: str,
+                 hypernym: str | None) -> list[str]:
+    tokens: list[str] = [*surface.split(), "is"]
+    if domain == "Category":
+        if hypernym:
+            tokens += ["a", "kind", "of", hypernym]
+        tokens += ["a", class_name.lower(), "product",
+                   CLASS_PREFIX + class_name.lower()]
+        for event, needs in EVENT_NEEDS.items():
+            if surface in needs or world.category_head(surface) in needs:
+                tokens += ["used", "for", event]
+        for function, providers in FUNCTION_PROVIDERS.items():
+            head = world.category_head(surface)
+            if surface in providers or head in providers:
+                tokens += ["it", "keeps", "you", function]
+        for (bad_category, season) in sorted(CATEGORY_SEASON_BAD):
+            if bad_category == surface:
+                tokens += ["never", "used", "in", season,
+                           NEGATION_PREFIX + season]
+        if surface == "wine":
+            for audience in ("kids", "baby", "infants", "teenagers"):
+                tokens += ["never", "for", audience,
+                           NEGATION_PREFIX + audience]
+    elif domain == "Event":
+        tokens += ["an", "activity"]
+        if surface in EVENT_NEEDS:
+            tokens += ["where", "people", "use"]
+            for need in EVENT_NEEDS[surface]:
+                tokens.extend(need.split())
+        bad_locations = [loc for loc, ev in sorted(LOCATION_EVENT_BAD)
+                         if ev == surface]
+        for location in bad_locations:
+            tokens += ["never", "done", "in", location,
+                       NEGATION_PREFIX + location]
+        for season, event in (("summer", "skiing"),):
+            if event == surface:
+                tokens += ["never", "in", season, NEGATION_PREFIX + season]
+    elif domain == "Time":
+        if surface in HOLIDAY_GIFTS:
+            tokens += ["a", "holiday", "when", "people", "give"]
+            for gift in HOLIDAY_GIFTS[surface]:
+                tokens.extend(gift.split())
+        else:
+            tokens += ["a", "time", "period"]
+    elif domain == "Function":
+        tokens += ["a", "product", "function"]
+        if surface in FUNCTION_PROVIDERS:
+            tokens += ["provided", "by"]
+            for provider in FUNCTION_PROVIDERS[surface]:
+                tokens.extend(provider.split())
+        for (function, event) in sorted(FUNCTION_EVENT_BAD):
+            if function == surface:
+                tokens += ["never", "needed", "for", event,
+                           NEGATION_PREFIX + event]
+        for leaf_class in FUNCTION_CLASSES.get(surface, ()):
+            tokens += ["describes", leaf_class.lower(),
+                       APPLIES_PREFIX + leaf_class.lower()]
+    elif domain == "Style":
+        tokens += ["a", "fashion", "style"]
+        bad_audiences = [aud for sty, aud in sorted(STYLE_AUDIENCE_BAD)
+                         if sty == surface]
+        if bad_audiences:
+            tokens += ["for", "adults", "only", "never", "for"]
+            tokens += bad_audiences
+            tokens += [NEGATION_PREFIX + audience
+                       for audience in bad_audiences]
+    elif domain == "Audience":
+        tokens += ["a", "group", "of", "shoppers", "who", "buy",
+                   class_name.lower(), "goods"]
+        for leaf in AUDIENCE_CLASSES.get(surface, ()):
+            tokens.append(leaf.lower())
+    elif domain == "Location":
+        tokens += ["a", "place"]
+        bad_events = [ev for loc, ev in sorted(LOCATION_EVENT_BAD)
+                      if loc == surface]
+        for event in bad_events:
+            tokens += ["not", "for", event, NEGATION_PREFIX + event]
+    elif domain == "Nature":
+        tokens += ["a", class_name.lower(), "in", "nature"]
+        if surface in PEST_SOLUTIONS:
+            tokens += ["controlled", "with"]
+            for solution in PEST_SOLUTIONS[surface]:
+                tokens.extend(solution.split())
+    elif domain == "Brand":
+        tokens += ["a", "brand", "of", "consumer", "products"]
+    elif domain == "IP":
+        tokens += ["a", "famous", class_name.lower(), "franchise"]
+    else:
+        tokens += ["a", domain.lower(), "attribute", "of", "products"]
+    return tokens

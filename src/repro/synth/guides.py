@@ -1,0 +1,110 @@
+"""Shopping-guide generator.
+
+Guides are merchant-written explanatory text.  They are the corpus source
+for two miners:
+
+- *Hearst patterns* for hypernym discovery (Section 4.2.1): guides emit
+  "coats such as trench coat and down coat" and "a trench coat is a kind
+  of coat" sentences;
+- *phrase mining* for e-commerce concept candidates (Section 5.2.1):
+  guides repeat scenario phrases like "outdoor barbecue" in context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import spawn_rng
+from .world import ConceptSpec, EVENT_NEEDS, FUNCTION_PROVIDERS, World
+
+
+def generate_guides(world: World, concepts: list[ConceptSpec], count: int,
+                    seed: int | None = None) -> list[list[str]]:
+    """Tokenised guide sentences.
+
+    Args:
+        world: The ground-truth world.
+        concepts: Good concepts to weave into scenario sentences.
+        count: Number of guide sentences.
+        seed: Override for the world's master seed.
+    """
+    rng = spawn_rng(world.seed if seed is None else seed, "guides")
+    hypernym_pairs = world.lexicon.hypernym_pairs("Category")
+    scenario_specs = [c for c in concepts if c.good]
+    makers = []
+    if hypernym_pairs:
+        makers.append(lambda: _hearst_sentence(rng, hypernym_pairs))
+        makers.append(lambda: _such_as_sentence(rng, hypernym_pairs))
+    makers.append(lambda: _event_kit_sentence(rng))
+    makers.append(lambda: _function_sentence(rng))
+    if scenario_specs:
+        makers.append(lambda: _scenario_sentence(rng, scenario_specs))
+
+    guides: list[list[str]] = []
+    for _ in range(count):
+        maker = makers[int(rng.integers(len(makers)))]
+        guides.append(maker())
+    return guides
+
+
+def _hearst_sentence(rng: np.random.Generator,
+                     pairs: list[tuple[str, str]]) -> list[str]:
+    hyponym, hypernym = pairs[int(rng.integers(len(pairs)))]
+    forms = (
+        ["a", *hyponym.split(), "is", "a", "kind", "of", hypernym],
+        ["the", *hyponym.split(), "is", "a", "type", "of", hypernym],
+        ["every", *hyponym.split(), "is", "a", hypernym],
+    )
+    return list(forms[int(rng.integers(len(forms)))])
+
+
+def _such_as_sentence(rng: np.random.Generator,
+                      pairs: list[tuple[str, str]]) -> list[str]:
+    hypernym = pairs[int(rng.integers(len(pairs)))][1]
+    hyponyms = [hypo for hypo, hyper in pairs if hyper == hypernym]
+    rng.shuffle(hyponyms)
+    first = hyponyms[0]
+    sentence = [hypernym, "such", "as", *first.split()]
+    if len(hyponyms) > 1:
+        sentence += ["and", *hyponyms[1].split()]
+    return sentence
+
+
+def _event_kit_sentence(rng: np.random.Generator) -> list[str]:
+    events = list(EVENT_NEEDS)
+    event = events[int(rng.integers(len(events)))]
+    needs = list(EVENT_NEEDS[event])
+    rng.shuffle(needs)
+    picked = needs[:3]
+    sentence = ["for", event, "you", "will", "need"]
+    for i, need in enumerate(picked):
+        if i == len(picked) - 1 and len(picked) > 1:
+            sentence.append("and")
+        sentence.extend(need.split())
+    return sentence
+
+
+def _function_sentence(rng: np.random.Generator) -> list[str]:
+    functions = list(FUNCTION_PROVIDERS)
+    function = functions[int(rng.integers(len(functions)))]
+    providers = list(FUNCTION_PROVIDERS[function])
+    rng.shuffle(providers)
+    picked = providers[:2]
+    sentence = ["to", "stay", function, "try"]
+    for i, provider in enumerate(picked):
+        if i == len(picked) - 1 and len(picked) > 1:
+            sentence.append("or")
+        sentence.extend(provider.split())
+    return sentence
+
+
+def _scenario_sentence(rng: np.random.Generator,
+                       specs: list[ConceptSpec]) -> list[str]:
+    spec = specs[int(rng.integers(len(specs)))]
+    templates = (
+        ["everything", "you", "need", "for", *spec.tokens],
+        ["our", "picks", "for", *spec.tokens],
+        ["how", "to", "prepare", "for", *spec.tokens],
+        [*spec.tokens, "made", "easy"],
+    )
+    return list(templates[int(rng.integers(len(templates)))])

@@ -1,0 +1,380 @@
+"""Ground-truth vocabulary of the synthetic e-commerce world.
+
+Every surface form is registered with its domain and taxonomy class.  The
+lexicon deliberately plants the phenomena the paper's models must handle:
+
+- *ambiguous surfaces* that live in two domains (``village`` is both a
+  Location and a Style; ``barbecue`` is both an Event and an IP movie) —
+  exercised by the fuzzy CRF of Section 5.3;
+- *hypernym structure* inside Category (``trench coat`` isA ``coat``) —
+  exercised by Section 4.2, including suffix evidence mirroring the
+  paper's "XX pants must be pants" Chinese grammar rule;
+- *generated brands/IPs* so open classes dominate the vocabulary the way
+  Brand (879K) and IP (1.5M) dominate Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.rng import spawn_rng
+
+# --------------------------------------------------------------------- seeds
+#: leaf class -> head category nouns.
+CATEGORY_WORDS: dict[str, tuple[str, ...]] = {
+    "Clothing": ("dress", "skirt", "coat", "jacket", "trousers", "sweater",
+                 "t-shirt", "hoodie", "suit", "pajamas", "leggings",
+                 "swimsuit"),
+    "Shoes": ("sneakers", "boots", "sandals", "slippers", "loafers"),
+    "Accessory": ("hat", "scarf", "gloves", "belt", "socks", "sunglasses",
+                  "suitcase", "umbrella", "backpack"),
+    "Snacks": ("snacks", "cookies", "chips", "chocolate", "moon-cakes",
+               "candy"),
+    "Beverage": ("tea", "coffee", "juice", "wine"),
+    "FreshFood": ("beef", "fish", "vegetables", "fruit", "butter"),
+    "Furniture": ("sofa", "table", "chair", "bookshelf", "bed"),
+    "Decor": ("curtain", "rug", "vase", "lantern", "candles", "balloons"),
+    "Bedding": ("blanket", "quilt", "pillow", "sheets", "neck-pillow"),
+    "GardenTools": ("shovel", "hose", "planter", "trap", "fence", "seeds"),
+    "BathSupplies": ("towel", "bathrobe", "shower-gel", "shampoo"),
+    "Phones": ("smartphone", "charger", "earphones", "phone-case"),
+    "Appliances": ("heater", "fan", "humidifier", "kettle", "vacuum"),
+    "Wearables": ("smartwatch", "tracker", "locator"),
+    "CampingGear": ("tent", "sleeping-bag", "flashlight", "stove",
+                    "picnic-mat", "picnic-basket"),
+    "BarbecueGear": ("grill", "charcoal", "skewers", "tongs", "grill-brush",
+                     "apron"),
+    "Fitness": ("yoga-mat", "dumbbells", "jump-rope", "treadmill",
+                "water-bottle"),
+    "SwimGear": ("goggles", "swim-cap", "float", "swim-ring"),
+    "FishingGear": ("fishing-rod", "bait", "fishing-line", "folding-stool"),
+    "Skincare": ("sunscreen", "lotion", "face-mask", "lip-balm"),
+    "HealthCare": ("thermometer", "vitamins", "massager", "wheelchair",
+                   "hearing-aid", "repellent", "mosquito-net"),
+    "Toys": ("blocks", "puzzle", "doll", "plush-toy", "kite"),
+    "BabyCare": ("diapers", "bottle", "stroller", "bib", "crib"),
+    "Cookware": ("pan", "pot", "wok", "baking-tray", "oven"),
+    "Bakeware": ("whisk", "mixer", "flour", "oven-mitts", "strainer",
+                 "egg-scrambler"),
+    "Tableware": ("plates", "bowls", "chopsticks", "mugs", "thermos",
+                  "lunch-box"),
+    "PetGear": ("pet-bed", "leash", "pet-food", "cat-tree"),
+    "Gifts": ("gifts", "gift-box", "greeting-cards"),
+}
+
+#: subtype prefixes used to mint compound category nouns with a ground-truth
+#: hypernym (e.g. "trench coat" isA "coat").  Indexed by head noun.
+SUBTYPE_PREFIXES: dict[str, tuple[str, ...]] = {
+    "dress": ("maxi", "wrap", "slip", "shirt", "sun"),
+    "skirt": ("pleated", "denim", "tulle", "wrap"),
+    "coat": ("trench", "down", "duffle", "pea"),
+    "jacket": ("bomber", "denim", "fleece", "puffer"),
+    "trousers": ("cargo", "chino", "corduroy", "cotton-padded"),
+    "sweater": ("cardigan", "turtleneck", "cashmere"),
+    "hat": ("bucket", "beanie", "straw", "baseball"),
+    "boots": ("ankle", "rain", "hiking", "snow"),
+    "sneakers": ("running", "canvas", "tennis"),
+    "tea": ("green", "oolong", "herbal", "jasmine"),
+    "chair": ("rocking", "folding", "lounge"),
+    "table": ("coffee", "folding", "dining"),
+    "blanket": ("fleece", "weighted", "picnic"),
+    "pan": ("frying", "sauce", "grill"),
+    "pot": ("stock", "clay", "hot"),
+    "grill": ("charcoal", "gas", "tabletop"),
+    "tent": ("dome", "pop-up", "family"),
+    "doll": ("rag", "wooden", "talking"),
+    "kettle": ("electric", "whistling"),
+    "fan": ("ceiling", "desk", "handheld"),
+    "lantern": ("paper", "solar"),
+    "scarf": ("silk", "wool", "knit"),
+    "gloves": ("leather", "ski", "gardening"),
+    "backpack": ("hiking", "laptop", "drawstring"),
+    "charger": ("wireless", "car", "solar"),
+}
+
+#: Cover terms: hypernyms that share no surface text with their hyponyms
+#: (the paper's "jacket is a kind of top" case, which the suffix rule can
+#: never find and search relevance needs isA knowledge for).
+COVER_TERMS: dict[str, tuple[str, ...]] = {
+    "top": ("jacket", "coat", "sweater", "hoodie", "t-shirt"),
+    "footwear": ("sneakers", "boots", "sandals", "slippers", "loafers"),
+    "drinkware": ("mugs", "thermos", "water-bottle"),
+    "seating": ("sofa", "chair", "folding-stool"),
+}
+
+#: Leaf class each cover term belongs to.
+COVER_TERM_CLASSES: dict[str, str] = {
+    "top": "Clothing",
+    "footwear": "Shoes",
+    "drinkware": "Tableware",
+    "seating": "Furniture",
+}
+
+COLOR_WORDS = ("red", "blue", "black", "white", "green", "pink", "purple",
+               "grey", "yellow", "beige", "navy", "brown", "rose")
+DESIGN_WORDS = ("ergonomic", "double-layer", "zippered", "hooded",
+                "adjustable", "stackable", "reversible")
+FUNCTION_WORDS = ("waterproof", "windproof", "warm", "breathable", "non-slip",
+                  "portable", "foldable", "rechargeable", "insulated",
+                  "anti-lost", "noise-cancelling", "quick-dry",
+                  "sun-protective", "moisture-proof")
+MATERIAL_WORDS = ("cotton", "silk", "leather", "wool", "linen", "bamboo",
+                  "ceramic", "stainless-steel", "glass", "plastic",
+                  "cast-iron", "velvet", "canvas-fabric")
+PATTERN_WORDS = ("striped", "floral", "plaid", "polka-dot", "camouflage",
+                 "geometric", "solid-color", "cartoon")
+SHAPE_WORDS = ("round", "square", "oval", "heart-shaped", "rectangular",
+               "hexagonal")
+SMELL_WORDS = ("lavender", "rose-scented", "citrus", "unscented",
+               "vanilla-scented", "minty")
+TASTE_WORDS = ("sweet", "spicy", "salty", "sour", "bitter", "savory")
+STYLE_WORDS = ("british-style", "korean-style", "casual", "vintage",
+               "bohemian", "minimalist", "nordic", "retro", "elegant",
+               "sporty", "sexy", "village", "rustic", "preppy")
+SEASON_WORDS = ("winter", "summer", "spring", "autumn")
+HOLIDAY_WORDS = ("christmas", "halloween", "mid-autumn-festival", "new-year",
+                 "valentines-day", "spring-festival")
+TIME_OF_DAY_WORDS = ("weekend", "night", "morning")
+SCENE_WORDS = ("outdoor", "indoor", "beach", "mountain", "village",
+               "classroom", "office", "garden", "balcony", "park",
+               "seaside", "campsite", "nordic")
+REGION_WORDS = ("european", "asian", "tropical", "alpine")
+HUMAN_WORDS = ("kids", "baby", "men", "women", "grandpa", "grandma", "olds",
+               "students", "teenagers", "infants", "family", "couples")
+ANIMAL_AUDIENCE_WORDS = ("pets", "dogs", "cats")
+ACTION_WORDS = ("traveling", "baking", "swimming", "hiking", "fishing",
+                "gardening", "commuting", "bathing", "skiing")
+OCCASION_WORDS = ("barbecue", "camping", "wedding", "party", "picnic",
+                  "graduation", "housewarming", "yoga")
+NATURE_ANIMAL_WORDS = ("raccoon", "mosquito", "mouse", "pigeon")
+NATURE_PLANT_WORDS = ("succulent", "fern", "rose", "cactus")
+NATURE_SUBSTANCE_WORDS = ("dust", "pollen", "mold")
+ORGANIZATION_WORDS = ("evergreen-charity", "city-sports-club",
+                      "national-tea-guild", "harbor-university")
+QUANTITY_WORDS = ("800g", "2-pack", "500ml", "xl", "family-size",
+                  "travel-size", "6-piece")
+MODIFIER_WORDS = ("premium", "new", "classic", "deluxe", "budget",
+                  "authentic")
+
+#: Surfaces that exist in two domains at once (the disambiguation cases of
+#: Fig 7).  Tuples of (surface, (domain, class) pairs it belongs to).
+AMBIGUOUS_SURFACES: tuple[tuple[str, tuple[tuple[str, str], ...]], ...] = (
+    ("village", (("Location", "Scene"), ("Style", "Style"))),
+    ("nordic", (("Location", "Scene"), ("Style", "Style"))),
+    ("rustic", (("Location", "Scene"), ("Style", "Style"))),
+    ("bohemian", (("Location", "Region"), ("Style", "Style"))),
+    ("barbecue", (("Event", "Occasion"), ("IP", "Movie"))),
+    ("wedding", (("Event", "Occasion"), ("IP", "Movie"))),
+    ("halloween", (("Time", "Holiday"), ("IP", "Movie"))),
+    ("rose", (("Color", "Color"), ("Nature", "Plant"))),
+)
+
+#: Words with no e-commerce meaning at all (criterion 1 counter-examples
+#: such as "blue sky" / "hens lay eggs").
+NON_COMMERCE_WORDS = ("sky", "cloud", "hens", "lay", "eggs", "gravity",
+                      "tuesday-feelings", "philosophy", "thunder", "rainbow")
+
+_BRAND_SYLLABLES_A = ("zor", "lum", "kar", "vel", "nim", "tas", "ori", "bex",
+                      "qua", "fen", "dal", "rix", "sol", "mav", "jun", "pel")
+_BRAND_SYLLABLES_B = ("vex", "ina", "do", "mont", "aro", "ique", "ora", "eta",
+                      "ix", "ano", "elle", "usk", "ern", "io", "ax", "um")
+_IP_FIRST = ("captain", "starry", "robo", "magic", "pixel", "luna", "turbo",
+             "shadow", "crystal", "jade")
+_IP_SECOND = ("nova", "kingdom", "rangers", "panda", "odyssey", "academy",
+              "garden", "detective", "galaxy", "princess")
+
+
+@dataclass(frozen=True)
+class LexEntry:
+    """One ground-truth vocabulary unit.
+
+    Attributes:
+        surface: The word/phrase as it appears in text.
+        domain: First-level domain.
+        class_name: Taxonomy class (leaf) the concept instantiates.
+        hypernym: Surface of the ground-truth hypernym within the same
+            domain, or ``None``.
+        pos: Coarse POS tag of the surface's head for tagger lexicons.
+    """
+
+    surface: str
+    domain: str
+    class_name: str
+    hypernym: str | None = None
+    pos: str = "NOUN"
+
+
+@dataclass
+class Lexicon:
+    """All lexicon entries with per-domain and per-surface indexes."""
+
+    entries: list[LexEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_domain: dict[str, list[LexEntry]] = {}
+        self._by_surface: dict[str, list[LexEntry]] = {}
+        for entry in self.entries:
+            self._by_domain.setdefault(entry.domain, []).append(entry)
+            self._by_surface.setdefault(entry.surface, []).append(entry)
+
+    def domain_entries(self, domain: str) -> list[LexEntry]:
+        """Entries of one domain (empty list if none)."""
+        return list(self._by_domain.get(domain, []))
+
+    def domain_surfaces(self, domain: str) -> list[str]:
+        """Surfaces of one domain, in registration order."""
+        return [entry.surface for entry in self._by_domain.get(domain, [])]
+
+    def senses(self, surface: str) -> list[LexEntry]:
+        """All senses of a surface (more than one for ambiguous words)."""
+        return list(self._by_surface.get(surface, []))
+
+    def domains_of(self, surface: str) -> list[str]:
+        """Domains a surface can belong to."""
+        return [entry.domain for entry in self.senses(surface)]
+
+    def is_ambiguous(self, surface: str) -> bool:
+        return len(self._by_surface.get(surface, [])) > 1
+
+    def surfaces(self) -> list[str]:
+        """All distinct surfaces."""
+        return list(self._by_surface)
+
+    def hypernym_pairs(self, domain: str) -> list[tuple[str, str]]:
+        """(hyponym surface, hypernym surface) pairs within a domain."""
+        return [(entry.surface, entry.hypernym)
+                for entry in self.domain_entries(domain)
+                if entry.hypernym is not None]
+
+    def pos_lexicon(self) -> dict[str, str]:
+        """word -> POS map for seeding the tagger (single-word surfaces)."""
+        mapping: dict[str, str] = {}
+        for entry in self.entries:
+            if " " not in entry.surface:
+                mapping.setdefault(entry.surface, entry.pos)
+        return mapping
+
+
+def _generate_brands(rng: np.random.Generator, count: int) -> list[str]:
+    brands: list[str] = []
+    seen: set[str] = set()
+    while len(brands) < count:
+        name = rng.choice(_BRAND_SYLLABLES_A) + rng.choice(_BRAND_SYLLABLES_B)
+        if name not in seen:
+            seen.add(name)
+            brands.append(str(name))
+        if len(seen) >= len(_BRAND_SYLLABLES_A) * len(_BRAND_SYLLABLES_B):
+            break
+    return brands
+
+
+def _generate_ips(rng: np.random.Generator, count: int) -> list[str]:
+    ips: list[str] = []
+    seen: set[str] = set()
+    while len(ips) < count:
+        name = f"{rng.choice(_IP_FIRST)}-{rng.choice(_IP_SECOND)}"
+        if name not in seen:
+            seen.add(name)
+            ips.append(str(name))
+        if len(seen) >= len(_IP_FIRST) * len(_IP_SECOND):
+            break
+    return ips
+
+
+def build_lexicon(seed: int = 7, n_brands: int = 60, n_ips: int = 40) -> Lexicon:
+    """Assemble the full ground-truth lexicon.
+
+    Args:
+        seed: Master seed (brand/IP name generation derives from it).
+        n_brands: Number of synthetic brand names (capped at 256).
+        n_ips: Number of synthetic IP names (capped at 100).
+    """
+    rng = spawn_rng(seed, "lexicon")
+    entries: list[LexEntry] = []
+
+    def add(surface: str, domain: str, class_name: str,
+            hypernym: str | None = None, pos: str = "NOUN") -> None:
+        entries.append(LexEntry(surface, domain, class_name, hypernym, pos))
+
+    ambiguous = {surface for surface, _ in AMBIGUOUS_SURFACES}
+
+    cover_of: dict[str, str] = {}
+    for cover, hyponyms in COVER_TERMS.items():
+        for hyponym in hyponyms:
+            cover_of[hyponym] = cover
+    for cover, class_name in COVER_TERM_CLASSES.items():
+        add(cover, "Category", class_name)
+    for class_name, words in CATEGORY_WORDS.items():
+        for word in words:
+            add(word, "Category", class_name, hypernym=cover_of.get(word))
+            for prefix in SUBTYPE_PREFIXES.get(word, ()):
+                add(f"{prefix} {word}", "Category", class_name, hypernym=word)
+
+    for word in COLOR_WORDS:
+        if word not in ambiguous:
+            add(word, "Color", "Color", pos="ADJ")
+    for word in DESIGN_WORDS:
+        add(word, "Design", "Design", pos="ADJ")
+    for word in FUNCTION_WORDS:
+        add(word, "Function", "Function", pos="ADJ")
+    for word in MATERIAL_WORDS:
+        add(word, "Material", "Material")
+    for word in PATTERN_WORDS:
+        add(word, "Pattern", "Pattern", pos="ADJ")
+    for word in SHAPE_WORDS:
+        add(word, "Shape", "Shape", pos="ADJ")
+    for word in SMELL_WORDS:
+        add(word, "Smell", "Smell", pos="ADJ")
+    for word in TASTE_WORDS:
+        add(word, "Taste", "Taste", pos="ADJ")
+    for word in STYLE_WORDS:
+        if word not in ambiguous:
+            add(word, "Style", "Style", pos="ADJ")
+    for word in SEASON_WORDS:
+        add(word, "Time", "Season")
+    for word in HOLIDAY_WORDS:
+        if word not in ambiguous:
+            add(word, "Time", "Holiday")
+    for word in TIME_OF_DAY_WORDS:
+        add(word, "Time", "TimeOfDay")
+    for word in SCENE_WORDS:
+        if word not in ambiguous:
+            add(word, "Location", "Scene")
+    for word in REGION_WORDS:
+        add(word, "Location", "Region", pos="ADJ")
+    for word in HUMAN_WORDS:
+        add(word, "Audience", "Human")
+    for word in ANIMAL_AUDIENCE_WORDS:
+        add(word, "Audience", "Animal")
+    for word in ACTION_WORDS:
+        add(word, "Event", "Action", pos="VERB")
+    for word in OCCASION_WORDS:
+        if word not in ambiguous:
+            add(word, "Event", "Occasion")
+    for word in NATURE_ANIMAL_WORDS:
+        if word not in ambiguous:
+            add(word, "Nature", "WildAnimal")
+    for word in NATURE_PLANT_WORDS:
+        if word not in ambiguous:
+            add(word, "Nature", "Plant")
+    for word in NATURE_SUBSTANCE_WORDS:
+        add(word, "Nature", "Substance")
+    for word in ORGANIZATION_WORDS:
+        add(word, "Organization", "Organization")
+    for word in QUANTITY_WORDS:
+        add(word, "Quantity", "Quantity", pos="NUM")
+    for word in MODIFIER_WORDS:
+        add(word, "Modifier", "Modifier", pos="ADJ")
+
+    for brand in _generate_brands(rng, n_brands):
+        add(brand, "Brand", "Brand")
+    for ip in _generate_ips(rng, n_ips):
+        add(ip, "IP", "Movie")
+
+    for surface, senses in AMBIGUOUS_SURFACES:
+        for domain, class_name in senses:
+            add(surface, domain, class_name)
+
+    return Lexicon(entries)

@@ -1,0 +1,57 @@
+"""The human-annotator substitute.
+
+The paper leans on crowdsourced labelling throughout construction; the
+active-learning experiment (Table 3) is entirely about *how few* of those
+labels are needed.  The oracle answers the same questions from world ground
+truth, and optionally enforces a labelling budget so experiments can
+measure annotation economy.
+"""
+
+from __future__ import annotations
+
+from ..errors import BudgetExhaustedError
+from .items import SynthItem, item_matches_concept
+from .world import ConceptSpec, World
+
+
+class Oracle:
+    """Ground-truth annotator with an optional budget.
+
+    Args:
+        world: The ground-truth world.
+        budget: Maximum number of label calls (``None`` = unlimited).
+    """
+
+    def __init__(self, world: World, budget: int | None = None):
+        self.world = world
+        self.budget = budget
+        self.labels_used = 0
+        self._hypernym_pairs = {
+            pair for pair in world.lexicon.hypernym_pairs("Category")}
+
+    def _spend(self, amount: int = 1) -> None:
+        if self.budget is not None and self.labels_used + amount > self.budget:
+            raise BudgetExhaustedError(
+                f"labelling budget of {self.budget} exhausted")
+        self.labels_used += amount
+
+    # ------------------------------------------------------------ questions
+    def label_hypernym(self, hyponym: str, hypernym: str) -> bool:
+        """Is ``hyponym`` isA ``hypernym`` among Category concepts?"""
+        self._spend()
+        return (hyponym, hypernym) in self._hypernym_pairs
+
+    def label_concept(self, spec: ConceptSpec) -> bool:
+        """Does the candidate satisfy the five criteria of Section 5.1?"""
+        self._spend()
+        return spec.good
+
+    def label_tagging(self, spec: ConceptSpec) -> list[str]:
+        """Gold IOB domain labels of a good concept."""
+        self._spend()
+        return spec.iob_labels()
+
+    def label_match(self, item: SynthItem, spec: ConceptSpec) -> bool:
+        """Is the item relevant to the concept?"""
+        self._spend()
+        return item_matches_concept(self.world, item, spec)

@@ -1,0 +1,133 @@
+"""Search-query generator.
+
+Emits the three query families the paper's introduction describes:
+
+- *exact-product* queries ("red dress", "zorvex sneakers") — the kind the
+  CPV ontology already understands;
+- *scenario* queries ("outdoor barbecue") — understood only through
+  e-commerce concepts;
+- *problem* queries ("get rid of raccoon", "keep warm for kids") — the
+  "have a problem but no idea what items help" case.
+
+Each query carries its family so the coverage experiment (Section 7.1)
+can score the old and new ontologies against the same stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.rng import spawn_rng
+from .world import ConceptSpec, World
+
+
+#: Emerging trend terms not (yet) in any ontology — the reason the paper
+#: re-measures coverage every day "to detect new trends of user needs".
+NOVEL_TERMS = ("glamping", "cottagecore", "hydro-dipping", "axe-throwing",
+               "bullet-journaling", "van-life", "cold-plunge",
+               "dopamine-decor", "quiet-luxury", "mushroom-lamp")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One search query with ground truth.
+
+    Attributes:
+        text: The query string.
+        family: ``product``, ``scenario`` or ``problem``.
+        concept_text: For scenario/problem queries, the e-commerce concept
+            that satisfies them (empty for product queries).
+    """
+
+    text: str
+    family: str
+    concept_text: str = ""
+
+    @property
+    def tokens(self) -> tuple[str, ...]:
+        return tuple(self.text.split())
+
+
+def generate_queries(world: World, concepts: list[ConceptSpec], count: int,
+                     seed: int | None = None,
+                     scenario_fraction: float = 0.45,
+                     problem_fraction: float = 0.15,
+                     novelty_rate: float = 0.18) -> list[Query]:
+    """Generate a seeded query stream.
+
+    Args:
+        world: Ground-truth world.
+        concepts: Good concepts scenario queries are drawn from.
+        count: Number of queries.
+        seed: Override for the world's master seed.
+        scenario_fraction: Share of scenario queries.
+        problem_fraction: Share of problem queries.
+        novelty_rate: Probability a scenario/problem query mentions an
+            emerging trend term no ontology covers yet.
+    """
+    rng = spawn_rng(world.seed if seed is None else seed, "queries")
+    lexicon = world.lexicon
+    categories = lexicon.domain_surfaces("Category")
+    colors = lexicon.domain_surfaces("Color")
+    brands = lexicon.domain_surfaces("Brand")
+    functions = lexicon.domain_surfaces("Function")
+    scenario_specs = [c for c in concepts if c.good]
+
+    queries: list[Query] = []
+    for _ in range(count):
+        draw = rng.random()
+        if draw < scenario_fraction and scenario_specs:
+            if rng.random() < novelty_rate:
+                queries.append(_novel_query(rng))
+            else:
+                spec = scenario_specs[int(rng.integers(len(scenario_specs)))]
+                queries.append(Query(spec.text, "scenario", spec.text))
+        elif draw < scenario_fraction + problem_fraction and scenario_specs:
+            if rng.random() < novelty_rate:
+                queries.append(_novel_query(rng))
+            else:
+                queries.append(_problem_query(rng, scenario_specs))
+        else:
+            queries.append(_product_query(rng, categories, colors, brands,
+                                          functions))
+    return queries
+
+
+def _novel_query(rng: np.random.Generator) -> Query:
+    """A scenario query around an emerging trend term."""
+    term = NOVEL_TERMS[int(rng.integers(len(NOVEL_TERMS)))]
+    templates = ("{term}", "{term} gear", "things for {term}")
+    template = templates[int(rng.integers(len(templates)))]
+    return Query(template.format(term=term), "scenario")
+
+
+def _product_query(rng: np.random.Generator, categories, colors, brands,
+                   functions) -> Query:
+    category = categories[int(rng.integers(len(categories)))]
+    form = rng.random()
+    if form < 0.4:
+        text = category
+    elif form < 0.6:
+        text = f"{colors[int(rng.integers(len(colors)))]} {category}"
+    elif form < 0.8:
+        text = f"{brands[int(rng.integers(len(brands)))]} {category}"
+    else:
+        text = f"{functions[int(rng.integers(len(functions)))]} {category}"
+    return Query(text, "product")
+
+
+def _problem_query(rng: np.random.Generator,
+                   scenario_specs: list[ConceptSpec]) -> Query:
+    """A wordier restatement of a scenario concept ('what do i need for
+    outdoor barbecue')."""
+    spec = scenario_specs[int(rng.integers(len(scenario_specs)))]
+    templates = (
+        "what do i need for {concept}",
+        "things for {concept}",
+        "help with {concept}",
+        "prepare for {concept}",
+    )
+    template = templates[int(rng.integers(len(templates)))]
+    return Query(template.format(concept=spec.text), "problem", spec.text)

@@ -1,0 +1,47 @@
+"""User-review generator (one of the paper's four text sources)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import spawn_rng
+from .items import SynthItem
+from .world import World
+
+_POSITIVE = ("great", "excellent", "sturdy", "lovely", "comfortable",
+             "worth-it")
+_NEGATIVE = ("flimsy", "disappointing", "scratchy", "faded", "broken")
+
+
+def generate_reviews(world: World, items: list[SynthItem], count: int,
+                     seed: int | None = None) -> list[list[str]]:
+    """Tokenised reviews mentioning item attributes and usage scenarios.
+
+    Reviews are a mining source: they mention category words in free-text
+    context ("bought this trench coat for winter traveling"), which the
+    BiLSTM-CRF miner and the embedding trainer both consume.
+    """
+    rng = spawn_rng(world.seed if seed is None else seed, "reviews")
+    reviews: list[list[str]] = []
+    if not items:
+        return reviews
+    for _ in range(count):
+        item = items[int(rng.integers(len(items)))]
+        reviews.append(_render(rng, item))
+    return reviews
+
+
+def _render(rng: np.random.Generator, item: SynthItem) -> list[str]:
+    sentiment = _POSITIVE if rng.random() < 0.75 else _NEGATIVE
+    quality = sentiment[int(rng.integers(len(sentiment)))]
+    tokens = ["the", *item.category.split(), "is", quality]
+    if item.functions and rng.random() < 0.5:
+        tokens += ["and", "really", item.functions[0]]
+    if item.events and rng.random() < 0.5:
+        event = item.events[int(rng.integers(len(item.events)))]
+        tokens += ["bought", "it", "for", event]
+    if item.audiences and rng.random() < 0.35:
+        tokens += ["my", item.audiences[0], "love", "it"]
+    if item.color and rng.random() < 0.3:
+        tokens += ["the", item.color, "color", "looks", "nice"]
+    return tokens

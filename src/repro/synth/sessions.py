@@ -1,0 +1,91 @@
+"""User browsing-session simulator.
+
+Section 8.2 evaluates recommendation; its offline ground truth is user
+behaviour.  Each simulated user has a *latent shopping need* (an
+e-commerce concept); they browse a few of its items (the observable
+history), and the rest of the concept's item set is what a good
+recommender should surface (the held-out future).  A little off-need
+noise browsing is mixed in, as in real logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DataError
+from ..kg.query import items_for_concept
+from ..kg.store import AliCoCoStore
+
+
+@dataclass
+class UserSession:
+    """One simulated user.
+
+    Attributes:
+        need_text: The latent scenario driving the session.
+        history: Item node ids the user browsed (observable).
+        future: Held-out relevant item ids (evaluation ground truth).
+    """
+
+    need_text: str
+    history: list[str] = field(default_factory=list)
+    future: list[str] = field(default_factory=list)
+
+
+def simulate_sessions(store: AliCoCoStore, concept_ids: dict[str, str],
+                      rng: np.random.Generator, n_users: int = 40,
+                      history_size: int = 2, min_concept_items: int = 4,
+                      noise_probability: float = 0.15,
+                      allowed_needs: set[str] | None = None) -> list[UserSession]:
+    """Simulate users with latent needs.
+
+    Args:
+        store: A built net (items linked to concepts).
+        concept_ids: concept text -> node id (from the build result).
+        rng: Random stream.
+        n_users: Number of sessions.
+        history_size: Browsed items per user.
+        min_concept_items: Concepts with fewer associated items cannot
+            anchor a session.
+        noise_probability: Chance each history slot is replaced by a
+            random off-need item.
+        allowed_needs: Restrict latent needs to these concept texts (used
+            to split *seen* vs *novel* needs between user populations).
+
+    Raises:
+        DataError: If no concept has enough items.
+    """
+    eligible: list[tuple[str, list[str]]] = []
+    for text, concept_id in concept_ids.items():
+        if allowed_needs is not None and text not in allowed_needs:
+            continue
+        items = [item.id for item in items_for_concept(store, concept_id)]
+        if len(items) >= min_concept_items:
+            eligible.append((text, items))
+    if not eligible:
+        raise DataError("no concept has enough items to anchor sessions")
+    all_items = [node.id for node in store.nodes("item")]
+
+    sessions: list[UserSession] = []
+    for _ in range(n_users):
+        need_text, items = eligible[int(rng.integers(len(eligible)))]
+        order = rng.permutation(len(items))
+        shuffled = [items[i] for i in order]
+        history = shuffled[:history_size]
+        future = shuffled[history_size:]
+        history = [
+            all_items[int(rng.integers(len(all_items)))]
+            if rng.random() < noise_probability else item_id
+            for item_id in history
+        ]
+        sessions.append(UserSession(need_text=need_text, history=history,
+                                    future=future))
+    return sessions
+
+
+def cf_training_sessions(sessions: list[UserSession]) -> list[list[str]]:
+    """Full browse lists (history + future) for item-CF co-occurrence
+    training — what a production log would contain for past users."""
+    return [session.history + session.future for session in sessions]

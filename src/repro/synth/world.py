@@ -1,0 +1,556 @@
+"""The ground-truth world model.
+
+This is the reproduction's stand-in for "reality" at Alibaba: which
+shopping scenarios exist, which items they require, and which concept
+phrases are plausible.  Everything downstream — corpus text, click logs,
+annotator labels — is derived from it, so the learning problems the
+paper's five models face (ambiguity, semantic drift, implausible
+combinations) are planted here deliberately:
+
+- ``EVENT_NEEDS`` encodes *semantic drift*: charcoal is needed for an
+  "outdoor barbecue" yet has nothing to do with the primitive concept
+  "outdoor" (Section 6's motivating example);
+- the ``*_BAD`` tables encode commonsense *implausibility* ("sexy" never
+  describes baby clothing — Section 5.1 criterion 3);
+- concept generation mirrors Table 1's patterns and produces both good
+  concepts (with gold interpretations) and defective ones labelled with
+  the criterion they violate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+from .lexicon import Lexicon, NON_COMMERCE_WORDS
+
+# ------------------------------------------------------------- ground truth
+#: Event -> category surfaces needed for it (drives semantic drift).
+EVENT_NEEDS: dict[str, tuple[str, ...]] = {
+    "barbecue": ("grill", "charcoal", "skewers", "tongs", "grill-brush",
+                 "apron", "beef", "butter"),
+    "baking": ("oven", "baking-tray", "whisk", "mixer", "flour", "butter",
+               "oven-mitts", "strainer", "egg-scrambler"),
+    "camping": ("tent", "sleeping-bag", "flashlight", "backpack", "stove",
+                "picnic-mat"),
+    "swimming": ("swimsuit", "goggles", "swim-cap", "float", "swim-ring",
+                 "towel"),
+    "traveling": ("suitcase", "backpack", "charger", "hat", "sunscreen",
+                  "neck-pillow"),
+    "skiing": ("gloves", "scarf", "coat", "boots", "goggles"),
+    "picnic": ("picnic-mat", "picnic-basket", "juice", "snacks", "blanket"),
+    "wedding": ("dress", "suit", "vase", "candles", "balloons"),
+    "party": ("balloons", "snacks", "juice", "candles", "plates"),
+    "hiking": ("boots", "backpack", "flashlight", "hat", "water-bottle"),
+    "fishing": ("fishing-rod", "bait", "fishing-line", "folding-stool"),
+    "gardening": ("shovel", "hose", "planter", "gloves", "seeds"),
+    "yoga": ("yoga-mat", "leggings", "water-bottle", "towel"),
+    "housewarming": ("vase", "rug", "candles", "mugs"),
+    "commuting": ("earphones", "backpack", "thermos"),
+    "bathing": ("towel", "bathrobe", "shower-gel", "shampoo"),
+    "graduation": ("gifts", "greeting-cards", "balloons"),
+}
+
+#: Function -> category surfaces that *provide* it (for "keep warm for
+#: kids": blankets provide warmth even if the word "warm" is absent).
+FUNCTION_PROVIDERS: dict[str, tuple[str, ...]] = {
+    "warm": ("coat", "sweater", "blanket", "gloves", "scarf", "heater",
+             "quilt", "hat"),
+    "anti-lost": ("locator", "tracker", "smartwatch"),
+    "waterproof": ("boots", "jacket", "tent", "phone-case"),
+    "sun-protective": ("sunscreen", "hat", "sunglasses"),
+    "non-slip": ("slippers", "yoga-mat", "boots"),
+    "portable": ("flashlight", "charger", "fan"),
+    "noise-cancelling": ("earphones",),
+    "breathable": ("sneakers", "t-shirt"),
+    "rechargeable": ("flashlight", "fan", "massager"),
+    "insulated": ("kettle", "thermos", "lunch-box"),
+    "quick-dry": ("swimsuit", "t-shirt", "towel"),
+    "foldable": ("table", "chair", "fan", "umbrella"),
+}
+
+#: Holiday -> typical gift categories.
+HOLIDAY_GIFTS: dict[str, tuple[str, ...]] = {
+    "christmas": ("plush-toy", "chocolate", "candles", "scarf", "mugs",
+                  "gifts"),
+    "halloween": ("candy", "doll", "lantern", "gifts"),
+    "mid-autumn-festival": ("moon-cakes", "tea", "gifts", "lantern"),
+    "new-year": ("wine", "tea", "greeting-cards", "gifts"),
+    "valentines-day": ("chocolate", "candles", "greeting-cards", "gifts"),
+    "spring-festival": ("snacks", "tea", "wine", "gifts"),
+}
+
+#: Nature pest -> category surfaces that solve it ("what is preventing the
+#: olds from getting lost" family of problem queries).
+PEST_SOLUTIONS: dict[str, tuple[str, ...]] = {
+    "raccoon": ("trap", "fence"),
+    "mosquito": ("mosquito-net", "repellent"),
+    "mouse": ("trap",),
+    "pigeon": ("fence",),
+}
+
+#: Audience -> leaf classes whose items typically target them.
+AUDIENCE_CLASSES: dict[str, tuple[str, ...]] = {
+    "kids": ("Toys", "Clothing", "Shoes", "Snacks", "BabyCare"),
+    "baby": ("BabyCare", "Toys", "Clothing"),
+    "infants": ("BabyCare", "Toys"),
+    "grandpa": ("HealthCare", "Clothing", "Beverage", "Wearables"),
+    "grandma": ("HealthCare", "Clothing", "Beverage", "Wearables"),
+    "olds": ("HealthCare", "Wearables", "Clothing"),
+    "men": ("Clothing", "Shoes", "Phones", "Fitness"),
+    "women": ("Clothing", "Shoes", "Skincare", "Accessory"),
+    "students": ("Phones", "Accessory", "Clothing", "Snacks"),
+    "teenagers": ("Phones", "Toys", "Clothing", "Snacks"),
+    "family": ("Furniture", "Appliances", "Tableware", "Snacks"),
+    "couples": ("Decor", "Tableware", "Accessory"),
+    "pets": ("PetGear",),
+    "dogs": ("PetGear",),
+    "cats": ("PetGear",),
+}
+
+#: Categories inappropriate for young audiences (clarity/plausibility).
+_ADULT_ONLY_CATEGORIES = frozenset({"wine"})
+_YOUNG_AUDIENCES = frozenset({"kids", "baby", "infants", "teenagers"})
+
+# Incompatibility tables (plausibility ground truth).
+FUNCTION_EVENT_BAD = frozenset({
+    ("warm", "swimming"), ("insulated", "swimming"),
+    ("noise-cancelling", "swimming"), ("warm", "yoga"),
+})
+STYLE_AUDIENCE_BAD = frozenset({
+    ("sexy", "baby"), ("sexy", "kids"), ("sexy", "infants"), ("sexy", "pets"),
+})
+LOCATION_EVENT_BAD = frozenset({
+    ("classroom", "bathing"), ("classroom", "barbecue"),
+    ("office", "swimming"), ("beach", "skiing"), ("balcony", "swimming"),
+    ("indoor", "fishing"),
+})
+SEASON_EVENT_BAD = frozenset({("summer", "skiing")})
+CATEGORY_SEASON_BAD = frozenset({
+    ("coat", "summer"), ("down coat", "summer"), ("sweater", "summer"),
+    ("swimsuit", "winter"), ("swimsuit", "spring"), ("swimsuit", "autumn"),
+    ("quilt", "summer"), ("sandals", "winter"),
+})
+
+#: Function -> leaf classes it can sensibly describe.
+FUNCTION_CLASSES: dict[str, tuple[str, ...]] = {
+    "waterproof": ("Clothing", "Shoes", "Phones", "CampingGear", "Wearables",
+                   "Accessory"),
+    "windproof": ("Clothing", "Accessory", "CampingGear"),
+    "warm": ("Clothing", "Shoes", "Accessory", "Bedding", "Appliances"),
+    "breathable": ("Clothing", "Shoes", "Bedding"),
+    "non-slip": ("Shoes", "Fitness", "BathSupplies", "Tableware"),
+    "portable": ("Phones", "Appliances", "CampingGear", "Fitness",
+                 "Furniture"),
+    "foldable": ("Furniture", "Appliances", "CampingGear", "Accessory"),
+    "rechargeable": ("Phones", "Appliances", "Wearables", "CampingGear"),
+    "insulated": ("Tableware", "Cookware", "CampingGear"),
+    "anti-lost": ("Wearables", "Phones", "Accessory"),
+    "noise-cancelling": ("Phones",),
+    "quick-dry": ("Clothing", "BathSupplies", "SwimGear"),
+    "sun-protective": ("Skincare", "Accessory", "Clothing"),
+    "moisture-proof": ("Bedding", "CampingGear", "Furniture"),
+}
+
+#: Leaf classes where Style/Season fashion patterns make sense.
+_FASHION_CLASSES = frozenset({"Clothing", "Shoes", "Accessory", "Decor",
+                              "Bedding", "Furniture", "Tableware"})
+
+_FILLER_WORDS = frozenset({"for", "in", "and", "keep", "essentials"})
+
+
+@dataclass(frozen=True)
+class ConceptPart:
+    """A primitive-concept mention inside an e-commerce concept.
+
+    Attributes:
+        surface: Surface form (may be multi-word, e.g. ``trench coat``).
+        domain: The *intended* domain of this mention (ambiguous surfaces
+            have one intended sense per concept).
+    """
+
+    surface: str
+    domain: str
+
+
+@dataclass(frozen=True)
+class ConceptSpec:
+    """A candidate e-commerce concept with ground truth attached.
+
+    Attributes:
+        text: The phrase.
+        parts: Gold interpretation — ordered primitive-concept mentions.
+            Empty for defective candidates whose structure is broken.
+        pattern: Name of the generation pattern (Table 1 analogue).
+        good: Whether the phrase satisfies all five criteria of Section 5.1.
+        defect: For bad candidates, which criterion fails: ``implausible``,
+            ``incoherent``, ``nonsense``, ``unclear`` or ``typo``.
+    """
+
+    text: str
+    parts: tuple[ConceptPart, ...]
+    pattern: str
+    good: bool
+    defect: str = ""
+
+    @property
+    def tokens(self) -> tuple[str, ...]:
+        return tuple(self.text.split())
+
+    def iob_labels(self) -> list[str]:
+        """Gold IOB domain labels per token (``O`` for filler words).
+
+        Raises:
+            DataError: If parts do not align with the text (defective
+                candidates have no gold labels).
+        """
+        labels = ["O"] * len(self.tokens)
+        tokens = list(self.tokens)
+        cursor = 0
+        for part in self.parts:
+            part_tokens = part.surface.split()
+            found = -1
+            for start in range(cursor, len(tokens) - len(part_tokens) + 1):
+                if tokens[start:start + len(part_tokens)] == part_tokens:
+                    found = start
+                    break
+            if found < 0:
+                raise DataError(
+                    f"part {part.surface!r} not found in {self.text!r}")
+            labels[found] = f"B-{part.domain}"
+            for offset in range(1, len(part_tokens)):
+                labels[found + offset] = f"I-{part.domain}"
+            cursor = found + len(part_tokens)
+        return labels
+
+
+class World:
+    """Ground-truth oracle over scenarios, plausibility and concepts.
+
+    Args:
+        lexicon: The world's vocabulary.
+        seed: Master seed; concept sampling derives child streams from it.
+    """
+
+    def __init__(self, lexicon: Lexicon, seed: int = 7):
+        self.lexicon = lexicon
+        self.seed = seed
+        self._category_class: dict[str, str] = {}
+        self._category_head: dict[str, str] = {}
+        surfaces = set(lexicon.domain_surfaces("Category"))
+        for entry in lexicon.domain_entries("Category"):
+            self._category_class[entry.surface] = entry.class_name
+            # The head is the suffix head noun ("trench coat" -> "coat"),
+            # NOT the isA hypernym: cover-term hypernyms like "top" share
+            # no text with their hyponyms and must not leak into titles.
+            last_word = entry.surface.split()[-1]
+            if " " in entry.surface and last_word in surfaces:
+                self._category_head[entry.surface] = last_word
+            else:
+                self._category_head[entry.surface] = entry.surface
+
+    # ----------------------------------------------------------- item logic
+    def category_class(self, category: str) -> str:
+        """Leaf class of a category surface.
+
+        Raises:
+            DataError: For a surface that is not a Category concept.
+        """
+        try:
+            return self._category_class[category]
+        except KeyError:
+            raise DataError(f"{category!r} is not a Category surface") from None
+
+    def category_head(self, category: str) -> str:
+        """Head noun of a (possibly compound) category surface."""
+        try:
+            return self._category_head[category]
+        except KeyError:
+            raise DataError(f"{category!r} is not a Category surface") from None
+
+    def functions_for_class(self, leaf_class: str) -> list[str]:
+        """Functions that may describe items of a leaf class."""
+        return [function for function, classes in FUNCTION_CLASSES.items()
+                if leaf_class in classes]
+
+    def events_needing(self, category: str) -> list[str]:
+        """Events whose kit includes this category (via its head noun)."""
+        head = self.category_head(category)
+        return [event for event, needs in EVENT_NEEDS.items()
+                if head in needs or category in needs]
+
+    def audiences_for_class(self, leaf_class: str) -> list[str]:
+        """Audiences typically targeted by items of a leaf class."""
+        return [audience for audience, classes in AUDIENCE_CLASSES.items()
+                if leaf_class in classes]
+
+    # --------------------------------------------------------- plausibility
+    def compatible(self, parts: tuple[ConceptPart, ...]) -> tuple[bool, str]:
+        """Check commonsense compatibility of a part combination.
+
+        Returns:
+            (ok, reason): ``reason`` names the violated rule when not ok.
+        """
+        by_domain: dict[str, list[str]] = {}
+        for part in parts:
+            by_domain.setdefault(part.domain, []).append(part.surface)
+        styles = by_domain.get("Style", [])
+        if len(styles) > 1:
+            return False, "two styles"
+        if len(by_domain.get("Audience", [])) > 1:
+            return False, "two audiences"
+        events = by_domain.get("Event", [])
+        functions = by_domain.get("Function", [])
+        locations = by_domain.get("Location", [])
+        seasons = [t for t in by_domain.get("Time", [])
+                   if self._is_season(t)]
+        audiences = by_domain.get("Audience", [])
+        categories = by_domain.get("Category", [])
+        for function in functions:
+            for event in events:
+                if (function, event) in FUNCTION_EVENT_BAD:
+                    return False, f"function-event: {function}/{event}"
+        for style in styles:
+            for audience in audiences:
+                if (style, audience) in STYLE_AUDIENCE_BAD:
+                    return False, f"style-audience: {style}/{audience}"
+        for location in locations:
+            for event in events:
+                if (location, event) in LOCATION_EVENT_BAD:
+                    return False, f"location-event: {location}/{event}"
+        for season in seasons:
+            for event in events:
+                if (season, event) in SEASON_EVENT_BAD:
+                    return False, f"season-event: {season}/{event}"
+        for category in categories:
+            head = self._category_head.get(category, category)
+            for season in seasons:
+                if (head, season) in CATEGORY_SEASON_BAD or \
+                        (category, season) in CATEGORY_SEASON_BAD:
+                    return False, f"category-season: {category}/{season}"
+            for function in functions:
+                leaf = self._category_class.get(category)
+                if leaf and leaf not in FUNCTION_CLASSES.get(function, ()):
+                    return False, f"function-category: {function}/{category}"
+            for audience in audiences:
+                if head in _ADULT_ONLY_CATEGORIES and audience in _YOUNG_AUDIENCES:
+                    return False, f"audience-category: {audience}/{category}"
+        return True, ""
+
+    def _is_season(self, surface: str) -> bool:
+        return any(entry.class_name == "Season"
+                   for entry in self.lexicon.senses(surface))
+
+    # ----------------------------------------------------- concept sampling
+    def sample_concepts(self, rng: np.random.Generator, n_good: int,
+                        n_bad: int) -> list[ConceptSpec]:
+        """Sample good and bad concept candidates (shuffled together)."""
+        good = self.sample_good_concepts(rng, n_good)
+        bad = self.sample_bad_concepts(rng, n_bad)
+        combined = good + bad
+        rng.shuffle(combined)
+        return combined
+
+    def sample_good_concepts(self, rng: np.random.Generator,
+                             count: int) -> list[ConceptSpec]:
+        """Sample ``count`` distinct good concepts across all patterns."""
+        produced: dict[str, ConceptSpec] = {}
+        attempts = 0
+        generators = (
+            self._gen_location_event, self._gen_gift, self._gen_func_cat_event,
+            self._gen_style_season_cat, self._gen_event_in_location,
+            self._gen_keep_function, self._gen_category_audience,
+            self._gen_event_essentials, self._gen_pest_control,
+        )
+        while len(produced) < count and attempts < count * 60:
+            attempts += 1
+            generator = generators[int(rng.integers(len(generators)))]
+            spec = generator(rng)
+            if spec is not None and spec.good and spec.text not in produced:
+                produced[spec.text] = spec
+        if len(produced) < count:
+            raise DataError(
+                f"could only generate {len(produced)}/{count} good concepts; "
+                "the pattern space is exhausted at this scale")
+        return list(produced.values())
+
+    def sample_bad_concepts(self, rng: np.random.Generator,
+                            count: int) -> list[ConceptSpec]:
+        """Sample ``count`` distinct bad candidates across all defect types."""
+        produced: dict[str, ConceptSpec] = {}
+        attempts = 0
+        makers = (self._bad_implausible, self._bad_incoherent,
+                  self._bad_nonsense, self._bad_unclear, self._bad_typo)
+        while len(produced) < count and attempts < count * 80:
+            attempts += 1
+            maker = makers[int(rng.integers(len(makers)))]
+            spec = maker(rng)
+            if spec is not None and not spec.good and spec.text not in produced:
+                produced[spec.text] = spec
+        if len(produced) < count:
+            raise DataError(
+                f"could only generate {len(produced)}/{count} bad concepts")
+        return list(produced.values())
+
+    # Pattern generators.  Each returns a ConceptSpec or None (retry).
+    def _pick(self, rng: np.random.Generator, options: list[str]) -> str:
+        return options[int(rng.integers(len(options)))]
+
+    def _surfaces(self, domain: str, class_name: str | None = None) -> list[str]:
+        entries = self.lexicon.domain_entries(domain)
+        if class_name is not None:
+            entries = [e for e in entries if e.class_name == class_name]
+        return [e.surface for e in entries]
+
+    def _finish(self, text: str, parts: list[ConceptPart],
+                pattern: str) -> ConceptSpec:
+        ok, reason = self.compatible(tuple(parts))
+        return ConceptSpec(text, tuple(parts), pattern, good=ok,
+                           defect="" if ok else "implausible")
+
+    def _gen_location_event(self, rng: np.random.Generator) -> ConceptSpec:
+        location = self._pick(rng, self._surfaces("Location", "Scene"))
+        event = self._pick(rng, self._surfaces("Event"))
+        parts = [ConceptPart(location, "Location"), ConceptPart(event, "Event")]
+        return self._finish(f"{location} {event}", parts, "location-event")
+
+    def _gen_gift(self, rng: np.random.Generator) -> ConceptSpec:
+        holiday = self._pick(rng, self._surfaces("Time", "Holiday"))
+        audience = self._pick(rng, self._surfaces("Audience", "Human"))
+        parts = [ConceptPart(holiday, "Time"),
+                 ConceptPart("gifts", "Category"),
+                 ConceptPart(audience, "Audience")]
+        return self._finish(f"{holiday} gifts for {audience}", parts, "gift")
+
+    def _gen_func_cat_event(self, rng: np.random.Generator) -> ConceptSpec:
+        function = self._pick(rng, self._surfaces("Function"))
+        category = self._pick(rng, self._surfaces("Category"))
+        event = self._pick(rng, self._surfaces("Event"))
+        parts = [ConceptPart(function, "Function"),
+                 ConceptPart(category, "Category"),
+                 ConceptPart(event, "Event")]
+        return self._finish(f"{function} {category} for {event}", parts,
+                            "function-category-event")
+
+    def _gen_style_season_cat(self, rng: np.random.Generator) -> ConceptSpec | None:
+        style = self._pick(rng, self._surfaces("Style"))
+        season = self._pick(rng, self._surfaces("Time", "Season"))
+        category = self._pick(rng, self._surfaces("Category"))
+        if self._category_class[category] not in _FASHION_CLASSES:
+            return None
+        parts = [ConceptPart(style, "Style"), ConceptPart(season, "Time"),
+                 ConceptPart(category, "Category")]
+        return self._finish(f"{style} {season} {category}", parts,
+                            "style-season-category")
+
+    def _gen_event_in_location(self, rng: np.random.Generator) -> ConceptSpec:
+        event = self._pick(rng, self._surfaces("Event", "Action"))
+        location = self._pick(rng, self._surfaces("Location", "Scene"))
+        parts = [ConceptPart(event, "Event"), ConceptPart(location, "Location")]
+        return self._finish(f"{event} in {location}", parts,
+                            "event-in-location")
+
+    def _gen_keep_function(self, rng: np.random.Generator) -> ConceptSpec | None:
+        function = self._pick(rng, list(FUNCTION_PROVIDERS))
+        audience = self._pick(rng, self._surfaces("Audience"))
+        parts = [ConceptPart(function, "Function"),
+                 ConceptPart(audience, "Audience")]
+        return self._finish(f"keep {function} for {audience}", parts,
+                            "keep-function-audience")
+
+    def _gen_category_audience(self, rng: np.random.Generator) -> ConceptSpec:
+        category = self._pick(rng, self._surfaces("Category"))
+        audience = self._pick(rng, self._surfaces("Audience"))
+        parts = [ConceptPart(category, "Category"),
+                 ConceptPart(audience, "Audience")]
+        return self._finish(f"{category} for {audience}", parts,
+                            "category-audience")
+
+    def _gen_event_essentials(self, rng: np.random.Generator) -> ConceptSpec:
+        event = self._pick(rng, list(EVENT_NEEDS))
+        parts = [ConceptPart(event, "Event")]
+        return self._finish(f"{event} essentials", parts, "event-essentials")
+
+    def _gen_pest_control(self, rng: np.random.Generator) -> ConceptSpec:
+        pest = self._pick(rng, list(PEST_SOLUTIONS))
+        parts = [ConceptPart(pest, "Nature")]
+        return self._finish(f"get rid of {pest}", parts, "pest-control")
+
+    # Defect makers.
+    def _bad_implausible(self, rng: np.random.Generator) -> ConceptSpec | None:
+        """Draw pattern candidates until one violates a compatibility rule."""
+        for _ in range(40):
+            generator = (self._gen_location_event, self._gen_func_cat_event,
+                         self._gen_style_season_cat,
+                         self._gen_event_in_location,
+                         self._gen_category_audience)[int(rng.integers(5))]
+            spec = generator(rng)
+            if spec is not None and not spec.good:
+                return spec
+        return None
+
+    def _bad_incoherent(self, rng: np.random.Generator) -> ConceptSpec | None:
+        base = self._any_good(rng)
+        tokens = list(base.tokens)
+        if len(tokens) < 3:
+            return None
+        for _ in range(10):
+            shuffled = list(tokens)
+            rng.shuffle(shuffled)
+            if shuffled != tokens:
+                return ConceptSpec(" ".join(shuffled), (), base.pattern,
+                                   good=False, defect="incoherent")
+        return None
+
+    _NONSENSE_SYLLABLES = ("blor", "quim", "zap", "fren", "dulo", "smee",
+                           "crat", "vosh", "plin", "targ", "welp", "noz")
+
+    def _bad_nonsense(self, rng: np.random.Generator) -> ConceptSpec:
+        """No-e-commerce-meaning candidates: curated counter-examples
+        ("hens lay eggs") mixed with open-set pseudo-words, so a classifier
+        cannot simply memorise a closed nonsense vocabulary — it needs
+        popularity/OOV evidence (the Wide side's job)."""
+        length = int(rng.integers(2, 4))
+        words = []
+        for _ in range(length):
+            if rng.random() < 0.5:
+                words.append(self._pick(rng, list(NON_COMMERCE_WORDS)))
+            else:
+                syllables = [self._pick(rng, list(self._NONSENSE_SYLLABLES))
+                             for _ in range(int(rng.integers(2, 4)))]
+                words.append("".join(syllables))
+        return ConceptSpec(" ".join(words), (), "nonsense", good=False,
+                           defect="nonsense")
+
+    def _bad_unclear(self, rng: np.random.Generator) -> ConceptSpec | None:
+        category = self._pick(rng, self._surfaces("Category"))
+        audiences = self._surfaces("Audience", "Human")
+        first = self._pick(rng, audiences)
+        second = self._pick(rng, audiences)
+        if first == second:
+            return None
+        text = f"{category} for {first} and {second}"
+        return ConceptSpec(text, (), "category-audience", good=False,
+                           defect="unclear")
+
+    def _bad_typo(self, rng: np.random.Generator) -> ConceptSpec | None:
+        base = self._any_good(rng)
+        tokens = list(base.tokens)
+        candidates = [i for i, t in enumerate(tokens) if len(t) >= 4]
+        if not candidates:
+            return None
+        position = candidates[int(rng.integers(len(candidates)))]
+        word = list(tokens[position])
+        swap = int(rng.integers(1, len(word) - 1))
+        word[swap], word[swap - 1] = word[swap - 1], word[swap]
+        corrupted = "".join(word)
+        if corrupted == tokens[position]:
+            return None
+        tokens[position] = corrupted
+        return ConceptSpec(" ".join(tokens), (), base.pattern, good=False,
+                           defect="typo")
+
+    def _any_good(self, rng: np.random.Generator) -> ConceptSpec:
+        return self.sample_good_concepts(rng, 1)[0]

@@ -1,0 +1,12 @@
+"""The AliCoCo taxonomy (Section 3): 20 first-level domains and their
+class hierarchy, plus the schema relations defined between classes."""
+
+from .schema import DOMAINS, SCHEMA_RELATIONS, SchemaRelation
+from .seed import CATEGORY_TREE, SUBCLASS_TREES
+from .builder import build_taxonomy, TaxonomyIndex
+
+__all__ = [
+    "DOMAINS", "SCHEMA_RELATIONS", "SchemaRelation",
+    "CATEGORY_TREE", "SUBCLASS_TREES",
+    "build_taxonomy", "TaxonomyIndex",
+]

@@ -1,0 +1,82 @@
+"""Materialise the seed taxonomy into an :class:`AliCoCoStore`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TaxonomyError
+from ..kg.relations import Relation, RelationKind
+from ..kg.store import AliCoCoStore
+from .schema import DOMAINS, SCHEMA_RELATIONS
+from .seed import CATEGORY_TREE, SUBCLASS_TREES
+
+
+@dataclass
+class TaxonomyIndex:
+    """Lookup table from class name to class id after building.
+
+    Class names are unique in the seed taxonomy, so a flat map suffices.
+
+    Attributes:
+        by_name: class name -> class id.
+        leaf_class_of_domain: domain -> the class id new primitive concepts
+            of that domain default to (the domain root for flat domains).
+    """
+
+    by_name: dict[str, str] = field(default_factory=dict)
+    leaf_class_of_domain: dict[str, str] = field(default_factory=dict)
+
+    def id_of(self, class_name: str) -> str:
+        """Class id by name.
+
+        Raises:
+            TaxonomyError: If the class does not exist.
+        """
+        try:
+            return self.by_name[class_name]
+        except KeyError:
+            raise TaxonomyError(f"unknown class {class_name!r}") from None
+
+
+def build_taxonomy(store: AliCoCoStore) -> TaxonomyIndex:
+    """Create the 20 domains and their subtrees in ``store``.
+
+    Returns:
+        A :class:`TaxonomyIndex` for class-name lookups.
+
+    Raises:
+        TaxonomyError: If a class name is defined twice in the seed.
+    """
+    index = TaxonomyIndex()
+
+    def register(name: str, class_id: str) -> None:
+        if name in index.by_name:
+            raise TaxonomyError(f"class {name!r} defined twice in the seed")
+        index.by_name[name] = class_id
+
+    for domain in DOMAINS:
+        root = store.create_class(domain, domain=domain)
+        register(domain, root.id)
+        index.leaf_class_of_domain[domain] = root.id
+        if domain == "Category":
+            for second_level, leaves in CATEGORY_TREE.items():
+                mid = store.create_class(second_level, domain=domain,
+                                         parent_id=root.id)
+                register(second_level, mid.id)
+                for leaf in leaves:
+                    leaf_node = store.create_class(leaf, domain=domain,
+                                                   parent_id=mid.id)
+                    register(leaf, leaf_node.id)
+        elif domain in SUBCLASS_TREES:
+            for subclass in SUBCLASS_TREES[domain]:
+                node = store.create_class(subclass, domain=domain,
+                                          parent_id=root.id)
+                register(subclass, node.id)
+
+    for schema in SCHEMA_RELATIONS:
+        store.add_relation(Relation(
+            RelationKind.SCHEMA,
+            index.id_of(schema.source_class),
+            index.id_of(schema.target_class),
+            name=schema.name))
+    return index

@@ -1,0 +1,57 @@
+"""Domains and schema relations.
+
+The paper defines 20 first-level classes ("domains"), eleven of them
+e-commerce specific (Category, Brand, Color, Design, Function, Material,
+Pattern, Shape, Smell, Taste, Style) and the rest general-purpose (Time,
+Location, IP, Audience, Event, Nature, Organization, Quantity, Modifier).
+A schema over the taxonomy declares which relations may hold between which
+classes — e.g. *suitable_when* between ``Category->Clothing`` and
+``Time->Season``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The 20 first-level domains, exactly as named in the paper (Section 3 /
+#: Table 2).
+DOMAINS: tuple[str, ...] = (
+    "Category", "Brand", "Color", "Design", "Function", "Material",
+    "Pattern", "Shape", "Smell", "Taste", "Style",
+    "Time", "Location", "IP", "Audience", "Event",
+    "Nature", "Organization", "Quantity", "Modifier",
+)
+
+#: Domains that exist specifically for e-commerce (Section 3).
+ECOMMERCE_DOMAINS: frozenset[str] = frozenset({
+    "Category", "Brand", "Color", "Design", "Function", "Material",
+    "Pattern", "Shape", "Smell", "Taste", "Style",
+})
+
+
+@dataclass(frozen=True)
+class SchemaRelation:
+    """A relation declared between two taxonomy classes.
+
+    Attributes:
+        name: Relation name, e.g. ``suitable_when``.
+        source_class: Name of the source class (class name, not id).
+        target_class: Name of the target class.
+    """
+
+    name: str
+    source_class: str
+    target_class: str
+
+
+#: Schema relations among classes (Section 2's example plus companions).
+SCHEMA_RELATIONS: tuple[SchemaRelation, ...] = (
+    SchemaRelation("suitable_when", "Clothing", "Season"),
+    SchemaRelation("suitable_when", "Shoes", "Season"),
+    SchemaRelation("used_for", "Category", "Occasion"),
+    SchemaRelation("used_when", "Category", "Holiday"),
+    SchemaRelation("used_by", "Category", "Human"),
+    SchemaRelation("used_in", "Category", "Scene"),
+    SchemaRelation("has_function", "Category", "Function"),
+    SchemaRelation("made_of", "Category", "Material"),
+)

@@ -1,0 +1,39 @@
+"""Seed class hierarchy.
+
+The paper's taxonomy was hand-built by domain experts; this module plays
+that role for the reproduction.  ``Category`` is by far the largest domain
+(the paper gives it ~800 leaf classes); here it gets a three-level tree.
+General-purpose domains get shallow subclass lists, and the remaining
+domains are leaf classes themselves.
+"""
+
+from __future__ import annotations
+
+#: Category subtree: second-level class -> leaf class -> () .
+#: Leaf classes index the category *primitive concepts* of the synthetic
+#: world (e.g. the concept "dress" instantiates leaf class "Clothing").
+CATEGORY_TREE: dict[str, tuple[str, ...]] = {
+    "ClothingAndAccessory": ("Clothing", "Shoes", "Accessory"),
+    "FoodAndBeverage": ("Snacks", "Beverage", "FreshFood"),
+    "HomeAndGarden": ("Furniture", "Decor", "Bedding", "GardenTools",
+                      "BathSupplies"),
+    "Electronics": ("Phones", "Appliances", "Wearables"),
+    "SportsAndOutdoor": ("CampingGear", "BarbecueGear", "Fitness",
+                         "SwimGear", "FishingGear"),
+    "BeautyAndHealth": ("Skincare", "HealthCare"),
+    "ToysAndBaby": ("Toys", "BabyCare"),
+    "Kitchen": ("Cookware", "Bakeware", "Tableware"),
+    "PetSupplies": ("PetGear",),
+    "GiftsAndCards": ("Gifts",),
+}
+
+#: Subclasses of the non-Category domains that have any; all other domains
+#: act as their own (single) class.
+SUBCLASS_TREES: dict[str, tuple[str, ...]] = {
+    "Time": ("Season", "Holiday", "TimeOfDay"),
+    "Location": ("Scene", "Region"),
+    "Audience": ("Human", "Animal"),
+    "Event": ("Action", "Occasion"),
+    "IP": ("Movie", "Person", "Song"),
+    "Nature": ("WildAnimal", "Plant", "Substance"),
+}

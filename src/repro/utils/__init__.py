@@ -1,0 +1,27 @@
+"""Shared utilities: seeded RNG plumbing, text helpers, evaluation metrics."""
+
+from .rng import spawn_rng, derive_seed
+from .metrics import (
+    average_precision,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    precision_at_k,
+    roc_auc,
+    f1_score,
+    precision_recall_f1,
+)
+from .text import ngrams, normalize_text
+
+__all__ = [
+    "spawn_rng",
+    "derive_seed",
+    "average_precision",
+    "mean_average_precision",
+    "mean_reciprocal_rank",
+    "precision_at_k",
+    "roc_auc",
+    "f1_score",
+    "precision_recall_f1",
+    "ngrams",
+    "normalize_text",
+]

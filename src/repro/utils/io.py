@@ -1,0 +1,61 @@
+"""File I/O helpers: atomic writes and JSON-lines streams."""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from ..errors import DataError
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write text to ``path`` atomically (write temp file, then rename).
+
+    A crash mid-write never leaves a truncated file behind.
+    """
+    path = Path(path)
+    handle, temp_name = tempfile.mkstemp(dir=path.parent,
+                                         prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as temp_file:
+            temp_file.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def write_jsonl(path: str | Path, records: Iterable[dict[str, Any]]) -> int:
+    """Write records as JSON lines (atomically); returns the line count."""
+    lines = [json.dumps(record, ensure_ascii=False) for record in records]
+    atomic_write_text(path, "\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def read_jsonl(path: str | Path) -> Iterator[tuple[int, dict[str, Any]]]:
+    """Yield (line number, record) pairs from a JSON-lines file.
+
+    Raises:
+        DataError: On malformed JSON or non-object lines, with the line
+            number in the message.
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise DataError(
+                    f"line {line_number}: malformed JSON ({error.msg})") \
+                    from error
+            if not isinstance(record, dict):
+                raise DataError(f"line {line_number}: expected a JSON object")
+            yield line_number, record

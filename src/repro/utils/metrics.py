@@ -1,0 +1,137 @@
+"""Evaluation metrics used throughout the paper's experiments.
+
+The paper reports MAP, MRR and P@1 for hypernym discovery (Table 3), AUC /
+F1 / P@10 for semantic matching (Table 6), and precision / recall / F1 for
+tagging (Table 5).  All implementations are pure numpy and accept plain
+Python sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import DataError
+
+
+def average_precision(relevance: Sequence[int]) -> float:
+    """Average precision of a single ranked list.
+
+    Args:
+        relevance: Binary relevance judgements in rank order (1 = relevant).
+
+    Returns:
+        AP in [0, 1]; 0.0 when the list has no relevant entries.
+    """
+    hits = 0
+    score = 0.0
+    for rank, rel in enumerate(relevance, start=1):
+        if rel:
+            hits += 1
+            score += hits / rank
+    if hits == 0:
+        return 0.0
+    return score / hits
+
+
+def mean_average_precision(ranked_lists: Sequence[Sequence[int]]) -> float:
+    """MAP across queries, each a binary relevance list in rank order."""
+    if not ranked_lists:
+        raise DataError("mean_average_precision needs at least one ranked list")
+    return float(np.mean([average_precision(rl) for rl in ranked_lists]))
+
+
+def reciprocal_rank(relevance: Sequence[int]) -> float:
+    """Reciprocal rank of the first relevant entry (0.0 if none)."""
+    for rank, rel in enumerate(relevance, start=1):
+        if rel:
+            return 1.0 / rank
+    return 0.0
+
+
+def mean_reciprocal_rank(ranked_lists: Sequence[Sequence[int]]) -> float:
+    """MRR across queries, each a binary relevance list in rank order."""
+    if not ranked_lists:
+        raise DataError("mean_reciprocal_rank needs at least one ranked list")
+    return float(np.mean([reciprocal_rank(rl) for rl in ranked_lists]))
+
+
+def precision_at_k(relevance: Sequence[int], k: int) -> float:
+    """Precision of the top-``k`` entries of a single ranked list.
+
+    Lists shorter than ``k`` are evaluated over their actual length, matching
+    the common convention for tiny candidate pools.
+    """
+    if k <= 0:
+        raise DataError(f"k must be positive, got {k}")
+    top = list(relevance)[:k]
+    if not top:
+        return 0.0
+    return float(sum(1 for rel in top if rel) / len(top))
+
+
+def roc_auc(labels: Sequence[int], scores: Sequence[float]) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) formula.
+
+    Ties in scores receive the average rank, matching scikit-learn.
+
+    Raises:
+        DataError: If labels are all-positive or all-negative.
+    """
+    y = np.asarray(labels, dtype=float)
+    s = np.asarray(scores, dtype=float)
+    if y.shape != s.shape:
+        raise DataError(f"labels/scores length mismatch: {y.shape} vs {s.shape}")
+    n_pos = float(np.sum(y == 1))
+    n_neg = float(np.sum(y == 0))
+    if n_pos == 0 or n_neg == 0:
+        raise DataError("roc_auc needs both positive and negative labels")
+    order = np.argsort(s, kind="mergesort")
+    ranks = np.empty_like(order, dtype=float)
+    ranks[order] = np.arange(1, len(s) + 1)
+    # Average ranks over tied scores.
+    sorted_scores = s[order]
+    i = 0
+    while i < len(s):
+        j = i
+        while j + 1 < len(s) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i:j + 1]] = (i + j + 2) / 2.0
+        i = j + 1
+    rank_sum_pos = float(np.sum(ranks[y == 1]))
+    return (rank_sum_pos - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def precision_recall_f1(
+    true_positive: int, false_positive: int, false_negative: int
+) -> tuple[float, float, float]:
+    """Precision, recall and F1 from raw counts (0.0 where undefined)."""
+    precision = true_positive / (true_positive + false_positive) if (true_positive + false_positive) else 0.0
+    recall = true_positive / (true_positive + false_negative) if (true_positive + false_negative) else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    return precision, recall, f1
+
+
+def f1_score(labels: Sequence[int], predictions: Sequence[int]) -> float:
+    """Binary F1 of hard predictions against binary labels."""
+    y = np.asarray(labels, dtype=int)
+    p = np.asarray(predictions, dtype=int)
+    if y.shape != p.shape:
+        raise DataError(f"labels/predictions length mismatch: {y.shape} vs {p.shape}")
+    tp = int(np.sum((y == 1) & (p == 1)))
+    fp = int(np.sum((y == 0) & (p == 1)))
+    fn = int(np.sum((y == 1) & (p == 0)))
+    return precision_recall_f1(tp, fp, fn)[2]
+
+
+def accuracy(labels: Sequence[int], predictions: Sequence[int]) -> float:
+    """Fraction of exact matches between two equal-length label sequences."""
+    y = np.asarray(labels)
+    p = np.asarray(predictions)
+    if y.shape != p.shape:
+        raise DataError(f"labels/predictions length mismatch: {y.shape} vs {p.shape}")
+    if y.size == 0:
+        raise DataError("accuracy of an empty sequence is undefined")
+    return float(np.mean(y == p))

@@ -1,0 +1,215 @@
+"""Tests for the applications layer and the end-to-end build pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import build_alicoco, TINY
+from repro.apps import (
+    CognitiveRecommender, CoverageEvaluator, ItemCFRecommender,
+    recommendation_reason, SemanticSearchEngine,
+)
+from repro.apps.coverage import alicoco_vocabulary, cpv_vocabulary
+from repro.errors import DataError
+from repro.kg.ids import ITEM_PREFIX
+from repro.kg.query import concepts_for_item, items_for_concept
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_alicoco(TINY)
+
+
+class TestBuild:
+    def test_all_layers_populated(self, built):
+        stats = built.store.stats()
+        assert stats.classes > 20
+        assert stats.primitive_concepts > 300
+        assert stats.ecommerce_concepts >= 40
+        assert stats.items == TINY.n_items
+
+    def test_every_item_linked(self, built):
+        """The paper: 98% of items are linked to AliCoCo; every synthetic
+        item at least carries its category tag."""
+        stats = built.store.stats()
+        assert stats.linked_item_fraction == 1.0
+        assert stats.avg_primitive_per_item >= 1.0
+
+    def test_interpretation_links_point_to_right_sense(self, built):
+        for spec in built.concepts[:20]:
+            concept_id = built.concept_ids[spec.text]
+            primitives = built.store.targets(
+                concept_id, __import__("repro.kg.relations",
+                                       fromlist=["RelationKind"]
+                                       ).RelationKind.INTERPRETED_BY)
+            domains = {p.domain for p in primitives}
+            expected = {part.domain for part in spec.parts
+                        if (part.surface, part.domain) in built.primitive_ids}
+            assert domains == expected
+
+    def test_item_concept_links_respect_ground_truth(self, built):
+        from repro.synth.items import item_matches_concept
+        specs_by_text = {spec.text: spec for spec in built.concepts}
+        checked = 0
+        for item in built.corpus.items[:30]:
+            node_id = built.item_ids[item.index]
+            for concept in concepts_for_item(built.store, node_id):
+                assert item_matches_concept(built.world, item,
+                                            specs_by_text[concept.text])
+                checked += 1
+        assert checked > 0
+
+    def test_concept_isa_superset_semantics(self, built):
+        from repro.kg.relations import RelationKind
+        relations = list(built.store.relations(RelationKind.ISA_ECOMMERCE))
+        specs = {spec.text: spec for spec in built.concepts}
+        for relation in relations:
+            narrow = built.store.get(relation.source).text
+            broad = built.store.get(relation.target).text
+            narrow_parts = {(p.surface, p.domain) for p in specs[narrow].parts}
+            broad_parts = {(p.surface, p.domain) for p in specs[broad].parts}
+            assert broad_parts < narrow_parts
+
+    def test_deterministic(self):
+        first = build_alicoco(TINY)
+        second = build_alicoco(TINY)
+        assert first.store.stats() == second.store.stats()
+
+
+class TestSearch:
+    def test_concept_card_triggered_by_exact_query(self, built):
+        engine = SemanticSearchEngine(built.store)
+        spec = built.concepts[0]
+        result = engine.search(spec.text)
+        assert result.concept_card is not None
+        assert result.concept_card.text == spec.text
+
+    def test_card_shows_associated_items(self, built):
+        engine = SemanticSearchEngine(built.store)
+        for spec in built.concepts:
+            concept_id = built.concept_ids[spec.text]
+            if items_for_concept(built.store, concept_id):
+                result = engine.search(spec.text)
+                assert result.card_items
+                break
+
+    def test_problem_query_triggers_card_by_containment(self, built):
+        engine = SemanticSearchEngine(built.store)
+        spec = built.concepts[0]
+        result = engine.search(f"what do i need for {spec.text}")
+        assert result.concept_card is not None
+        assert result.concept_card.text == spec.text
+
+    def test_isa_expansion_bridges_vocabulary_gap(self, built):
+        """Query 'top' retrieves jacket/coat titles only through isA
+        knowledge (Section 8.1.1: 'jacket is a kind of top')."""
+        from repro.synth.lexicon import COVER_TERMS
+        with_isa = SemanticSearchEngine(built.store, use_isa_expansion=True)
+        without = SemanticSearchEngine(built.store, use_isa_expansion=False)
+        target = None
+        cover = None
+        for term, hyponyms in COVER_TERMS.items():
+            for item in built.corpus.items:
+                if item.head in hyponyms and term not in item.title.split():
+                    target, cover = item, term
+                    break
+            if target is not None:
+                break
+        assert target is not None
+        node = built.store.get(built.item_ids[target.index])
+        assert with_isa.relevance(cover, node) > without.relevance(cover, node)
+        assert without.relevance(cover, node) == 0.0
+
+    def test_no_card_for_plain_category_query(self, built):
+        engine = SemanticSearchEngine(built.store)
+        result = engine.search("zzz-nonexistent-query")
+        assert result.concept_card is None
+        assert result.items == []
+
+
+class TestRecommenders:
+    def make_sessions(self, built):
+        """Sessions of items sharing a concept (co-purchase behaviour)."""
+        rng = np.random.default_rng(4)
+        sessions = []
+        for spec in built.concepts:
+            concept_id = built.concept_ids[spec.text]
+            items = items_for_concept(built.store, concept_id)
+            if len(items) < 2:
+                continue
+            for _ in range(3):
+                size = min(len(items), 3)
+                picked = rng.choice(len(items), size=size, replace=False)
+                sessions.append([items[i].id for i in picked])
+        return sessions
+
+    def test_item_cf_recommends_cooccurring(self, built):
+        sessions = self.make_sessions(built)
+        recommender = ItemCFRecommender(sessions)
+        seed_session = sessions[0]
+        recommendations = recommender.recommend([seed_session[0]], top_k=5)
+        assert recommendations
+        assert seed_session[0] not in recommendations
+
+    def test_item_cf_empty_sessions_raise(self):
+        with pytest.raises(DataError):
+            ItemCFRecommender([])
+
+    def test_cognitive_recommender_returns_cards(self, built):
+        recommender = CognitiveRecommender(built.store)
+        # Seed the history from a concept with a rich enough item set.
+        history = None
+        for spec in built.concepts:
+            concept_id = built.concept_ids[spec.text]
+            items = items_for_concept(built.store, concept_id)
+            if len(items) >= 4:
+                history = [items[0].id]
+                break
+        assert history is not None
+        cards = recommender.recommend_cards(history, top_k=2)
+        assert cards
+        for card in cards:
+            assert card.items
+            for item in card.items:
+                assert item.id not in history
+
+    def test_reason_prefers_shared_concept(self, built):
+        sessions = self.make_sessions(built)
+        history = sessions[0][:1]
+        target = sessions[0][1]
+        reason = recommendation_reason(built.store, target, history)
+        assert reason.startswith("because you are preparing for:")
+
+    def test_reason_fallbacks(self, built):
+        lonely = None
+        for node in built.store.nodes(ITEM_PREFIX):
+            if not concepts_for_item(built.store, node.id):
+                lonely = node
+                break
+        if lonely is not None:
+            reason = recommendation_reason(built.store, lonely.id, [])
+            assert reason == "similar to items you have viewed"
+
+
+class TestCoverage:
+    def test_alicoco_beats_cpv(self, built):
+        queries = built.corpus.queries
+        cpv = CoverageEvaluator(cpv_vocabulary(built.lexicon), "CPV")
+        full = CoverageEvaluator(
+            alicoco_vocabulary(built.lexicon,
+                               [s.text for s in built.concepts]),
+            "AliCoCo")
+        cpv_report = cpv.evaluate(queries)
+        full_report = full.evaluate(queries)
+        assert full_report.query_coverage > cpv_report.query_coverage + 0.2
+        assert full_report.token_coverage > cpv_report.token_coverage
+
+    def test_family_breakdown(self, built):
+        cpv = CoverageEvaluator(cpv_vocabulary(built.lexicon), "CPV")
+        report = cpv.evaluate(built.corpus.queries)
+        # CPV understands product queries far better than scenario ones.
+        assert report.by_family["product"] > report.by_family["scenario"]
+
+    def test_empty_queries_raise(self, built):
+        evaluator = CoverageEvaluator(set(), "empty")
+        with pytest.raises(DataError):
+            evaluator.evaluate([])

@@ -1,0 +1,110 @@
+"""Tests for the knowledge-enhanced Wide&Deep concept classifier."""
+
+import numpy as np
+import pytest
+
+from repro.concepts import ConceptClassifier, WideFeatureExtractor
+from repro.concepts.classifier import lexicon_ner_lookup
+from repro.errors import DataError, NotFittedError
+from repro.nlp.ngram_lm import BidirectionalLanguageModel
+from repro.nlp.pos import PosTagger
+from repro.nlp.vocab import Vocab
+from repro.synth import build_lexicon, World
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """Small but realistic training setup shared by the class tests."""
+    lexicon = build_lexicon(seed=7)
+    world = World(lexicon, seed=7)
+    rng = np.random.default_rng(3)
+    specs = world.sample_concepts(rng, 120, 120)
+    texts = [s.text for s in specs]
+    labels = [int(s.good) for s in specs]
+    sentences = [t.split() for t in texts]
+    lm = BidirectionalLanguageModel().fit(
+        [list(s.tokens) for s in specs if s.good] * 2)
+    vocab = Vocab.from_corpus(sentences)
+    ner_lookup, num_ner = lexicon_ner_lookup(lexicon)
+    tagger = PosTagger(lexicon.pos_lexicon())
+    cut = 180
+    return {
+        "lexicon": lexicon, "world": world, "lm": lm, "vocab": vocab,
+        "ner_lookup": ner_lookup, "num_ner": num_ner, "pos": tagger,
+        "train_texts": texts[:cut], "train_labels": labels[:cut],
+        "test_texts": texts[cut:], "test_labels": labels[cut:],
+        "sentences": sentences,
+    }
+
+
+def make_classifier(setup, use_wide=False, use_ppl=True, use_knowledge=False,
+                    seed=1):
+    wide = None
+    if use_wide:
+        wide = WideFeatureExtractor(setup["lm"], setup["sentences"],
+                                    use_perplexity=use_ppl)
+    knowledge = None
+    if use_knowledge:
+        rng = np.random.default_rng(0)
+        vectors = {}
+
+        def lookup(word):
+            if word not in vectors:
+                word_rng = np.random.default_rng(abs(hash(word)) % 2 ** 31)
+                vectors[word] = word_rng.normal(size=8)
+            return vectors[word]
+
+        knowledge = lookup
+    return ConceptClassifier(
+        setup["vocab"], setup["pos"], setup["ner_lookup"], setup["num_ner"],
+        wide_extractor=wide, knowledge_lookup=knowledge, knowledge_dim=8,
+        word_dim=12, char_dim=6, hidden_dim=8, seed=seed)
+
+
+class TestConceptClassifier:
+    def test_learns_above_chance(self, setup):
+        model = make_classifier(setup, use_wide=True)
+        history = model.fit(setup["train_texts"], setup["train_labels"],
+                            epochs=4, lr=0.02, seed=1)
+        assert history[-1] < history[0]
+        metrics = model.evaluate(setup["test_texts"], setup["test_labels"])
+        assert metrics["accuracy"] > 0.55, "must beat the 0.5 chance level"
+
+    def test_unfitted_raises(self, setup):
+        model = make_classifier(setup)
+        with pytest.raises(NotFittedError):
+            model.predict_proba(["outdoor barbecue"])
+
+    def test_empty_training_raises(self, setup):
+        model = make_classifier(setup)
+        with pytest.raises(DataError):
+            model.fit([], [])
+
+    def test_length_mismatch_raises(self, setup):
+        model = make_classifier(setup)
+        with pytest.raises(DataError):
+            model.fit(["a"], [1, 0])
+
+    def test_empty_phrase_raises(self, setup):
+        model = make_classifier(setup)
+        with pytest.raises(DataError):
+            model.logit("")
+
+    def test_probabilities_in_range(self, setup):
+        model = make_classifier(setup)
+        model.fit(setup["train_texts"][:40], setup["train_labels"][:40],
+                  epochs=1, seed=1)
+        probabilities = model.predict_proba(setup["test_texts"][:10])
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_knowledge_module_changes_output(self, setup):
+        plain = make_classifier(setup, use_knowledge=False, seed=2)
+        knowing = make_classifier(setup, use_knowledge=True, seed=2)
+        assert knowing.num_parameters() > plain.num_parameters()
+
+    def test_ner_lookup_distinguishes_ambiguity(self, setup):
+        lookup = setup["ner_lookup"]
+        # "village" is ambiguous (Location/Style): its own id.
+        assert lookup("village") != lookup("coat")
+        assert lookup("zzz-unknown") != lookup("coat")
+        assert lookup("coat") == lookup("dress")  # both Category

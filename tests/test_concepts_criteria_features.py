@@ -1,0 +1,116 @@
+"""Tests for criteria checks, candidate generation and wide features."""
+
+import numpy as np
+import pytest
+
+from repro.concepts import CandidateGenerator, CriteriaChecker, WideFeatureExtractor
+from repro.nlp.ngram_lm import BidirectionalLanguageModel
+from repro.synth import build_lexicon, World
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(build_lexicon(seed=7), seed=7)
+
+
+@pytest.fixture(scope="module")
+def language_model(world):
+    rng = np.random.default_rng(0)
+    concepts = world.sample_good_concepts(rng, 80)
+    sentences = [list(spec.tokens) for spec in concepts] * 3
+    return BidirectionalLanguageModel().fit(sentences)
+
+
+@pytest.fixture(scope="module")
+def checker(world, language_model):
+    surfaces = set(world.lexicon.surfaces())
+    words = {w for s in surfaces for w in s.split()}
+    words |= {"for", "in", "and", "keep", "essentials", "get", "rid", "of"}
+    audiences = set(world.lexicon.domain_surfaces("Audience"))
+    return CriteriaChecker(surfaces, words, language_model, audiences,
+                           perplexity_threshold=5000.0)
+
+
+class TestCriteria:
+    def test_good_concept_passes(self, checker):
+        report = checker.check("outdoor barbecue")
+        assert report.passes_heuristics
+
+    def test_nonsense_fails_commerce_meaning(self, checker):
+        report = checker.check("hens lay eggs")
+        assert not report.has_commerce_meaning
+
+    def test_typo_fails_correctness(self, checker):
+        report = checker.check("outdoor brabecue")
+        assert not report.correct
+
+    def test_double_audience_fails_clarity(self, checker):
+        report = checker.check("snacks for kids and infants")
+        assert not report.clear
+
+    def test_single_audience_is_clear(self, checker):
+        assert checker.check("snacks for kids").clear
+
+    def test_shuffled_concept_has_higher_perplexity(self, checker):
+        coherent = checker.check("christmas gifts for grandpa").perplexity
+        shuffled = checker.check("gifts grandpa for christmas").perplexity
+        assert shuffled > coherent
+
+
+class TestGeneration:
+    def test_combined_candidates_mixed_quality(self, world):
+        generator = CandidateGenerator(world)
+        rng = np.random.default_rng(1)
+        specs = generator.combine_primitives(rng, 30, 30)
+        good = sum(1 for s in specs if s.good)
+        assert good == 30
+        assert len(specs) == 60
+
+    def test_mined_candidates_from_corpus(self, world):
+        generator = CandidateGenerator(world)
+        sentences = [["outdoor", "barbecue", "party"],
+                     ["outdoor", "barbecue", "fun"]] * 10
+        mined = generator.mine_from_corpus(sentences, top_k=5)
+        assert "outdoor barbecue" in mined
+
+    def test_generate_returns_report(self, world):
+        generator = CandidateGenerator(world)
+        rng = np.random.default_rng(2)
+        sentences = [["warm", "coat", "sale"]] * 12
+        combined, mined, report = generator.generate(sentences, rng, 10, 10)
+        assert report.combined == len(combined) == 20
+        assert report.mined == len(mined)
+        assert report.total == report.mined + report.combined
+
+
+class TestWideFeatures:
+    def make_extractor(self, language_model, use_ppl=True):
+        corpus = [["warm", "coat"], ["warm", "hat"], ["red", "dress"]] * 5
+        return WideFeatureExtractor(language_model, corpus,
+                                    use_perplexity=use_ppl)
+
+    def test_dim_with_and_without_ppl(self, language_model):
+        assert self.make_extractor(language_model, True).dim == 6
+        assert self.make_extractor(language_model, False).dim == 5
+
+    def test_features_shape_and_finite(self, language_model):
+        extractor = self.make_extractor(language_model)
+        features = extractor.extract("warm coat")
+        assert features.shape == (6,)
+        assert np.all(np.isfinite(features))
+
+    def test_oov_counted(self, language_model):
+        extractor = self.make_extractor(language_model)
+        assert extractor.extract("zzz qqq")[4] == 2.0
+        assert extractor.extract("warm coat")[4] == 0.0
+
+    def test_popularity_ordering(self, language_model):
+        extractor = self.make_extractor(language_model)
+        popular = extractor.extract("warm coat")[2]
+        rare = extractor.extract("red dress")[2]
+        assert popular > rare
+
+    def test_batch_stacks(self, language_model):
+        extractor = self.make_extractor(language_model)
+        batch = extractor.extract_batch(["warm coat", "red dress"])
+        assert batch.shape == (2, 6)

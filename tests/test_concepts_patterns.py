@@ -1,0 +1,47 @@
+"""Tests binding the Table 1 pattern registry to the world generators."""
+
+import numpy as np
+import pytest
+
+from repro.concepts.patterns import format_table1, PATTERNS, pattern_by_name
+from repro.synth import build_lexicon, World
+
+
+class TestPatternRegistry:
+    def test_lookup(self):
+        assert pattern_by_name("gift").template.startswith("[class: Time")
+        with pytest.raises(KeyError):
+            pattern_by_name("teleportation")
+
+    def test_generators_exist_on_world(self):
+        world = World(build_lexicon(seed=7), seed=7)
+        for pattern in PATTERNS:
+            assert hasattr(world, pattern.generator), pattern.generator
+
+    def test_world_emits_every_pattern_name(self):
+        world = World(build_lexicon(seed=7), seed=7)
+        rng = np.random.default_rng(0)
+        emitted = {spec.pattern
+                   for spec in world.sample_good_concepts(rng, 150)}
+        registered = {pattern.name for pattern in PATTERNS}
+        assert emitted <= registered | {"nonsense"}
+        # Most patterns show up in a large enough sample.
+        assert len(emitted & registered) >= 6
+
+    def test_good_examples_judged_good_by_world(self):
+        """The registry's good/bad examples agree with world ground truth
+        for the patterns whose parts we can reconstruct."""
+        world = World(build_lexicon(seed=7), seed=7)
+        from repro.synth.world import ConceptPart
+        ok, _ = world.compatible((ConceptPart("outdoor", "Location"),
+                                  ConceptPart("barbecue", "Event")))
+        assert ok
+        bad, _ = world.compatible((ConceptPart("classroom", "Location"),
+                                   ConceptPart("barbecue", "Event")))
+        assert not bad
+
+    def test_format_table1(self):
+        text = format_table1()
+        assert "Good Concept" in text
+        assert "warm hat for traveling" in text
+        assert len(text.splitlines()) == 2 + len(PATTERNS)

@@ -1,0 +1,116 @@
+"""Tests for the text-augmented fuzzy-CRF concept tagger."""
+
+import numpy as np
+import pytest
+
+from repro.concepts import ConceptTagger, span_f1
+from repro.concepts.tagging import _spans, build_text_matrix
+from repro.errors import DataError, NotFittedError
+from repro.nlp.pos import PosTagger
+from repro.nlp.vocab import Vocab
+from repro.synth import build_lexicon, World
+
+
+@pytest.fixture(scope="module")
+def setup():
+    lexicon = build_lexicon(seed=7)
+    world = World(lexicon, seed=7)
+    rng = np.random.default_rng(5)
+    specs = world.sample_good_concepts(rng, 140)
+    train, test = specs[:110], specs[110:]
+    sentences = [list(s.tokens) for s in specs]
+    vocab = Vocab.from_corpus(sentences)
+    tagger = PosTagger(lexicon.pos_lexicon())
+    return {"lexicon": lexicon, "world": world, "train": train, "test": test,
+            "vocab": vocab, "pos": tagger, "sentences": sentences}
+
+
+def make_tagger(setup, use_fuzzy=True, use_knowledge=False, seed=1):
+    text_matrix = None
+    if use_knowledge:
+        words = {w for s in setup["sentences"] for w in s}
+        text_matrix = build_text_matrix(setup["sentences"], words, dim=8,
+                                        seed=0)
+    return ConceptTagger(setup["vocab"], setup["lexicon"], setup["pos"],
+                         text_matrix=text_matrix, text_dim=8,
+                         use_fuzzy=use_fuzzy, word_dim=12, char_dim=6,
+                         hidden_dim=8, seed=seed)
+
+
+class TestSpans:
+    def test_spans_parse_iob(self):
+        labels = ["B-Function", "B-Category", "I-Category", "O", "B-Event"]
+        assert _spans(labels) == [(0, 1, "Function"), (1, 3, "Category"),
+                                  (4, 5, "Event")]
+
+    def test_orphan_inside_treated_as_outside(self):
+        assert _spans(["I-Category", "O"]) == []
+
+    def test_span_f1_perfect_and_zero(self):
+        gold = ["B-Category", "O"]
+        assert span_f1(gold, gold) == 1.0
+        assert span_f1(gold, ["O", "O"]) == 0.0
+
+
+class TestTextMatrix:
+    def test_builds_vectors_for_seen_words(self, setup):
+        tm = build_text_matrix(setup["sentences"], {"barbecue", "outdoor"},
+                               dim=8)
+        assert set(tm) <= {"barbecue", "outdoor"}
+        for vector in tm.values():
+            assert vector.shape == (8,)
+
+    def test_unseen_words_absent(self, setup):
+        tm = build_text_matrix(setup["sentences"], {"zzz-not-in-corpus"},
+                               dim=8)
+        assert tm == {}
+
+
+class TestConceptTagger:
+    def test_learns_and_tags(self, setup):
+        model = make_tagger(setup)
+        history = model.fit(setup["train"], epochs=3, lr=0.02, seed=1)
+        assert history[-1] < history[0]
+        metrics = model.evaluate(setup["test"])
+        assert metrics["f1"] > 0.5
+
+    def test_unfitted_raises(self, setup):
+        model = make_tagger(setup)
+        with pytest.raises(NotFittedError):
+            model.predict(["outdoor", "barbecue"])
+
+    def test_fit_without_parts_raises(self, setup):
+        model = make_tagger(setup)
+        from repro.synth.world import ConceptSpec
+        bad = ConceptSpec("hens lay eggs", (), "nonsense", good=False,
+                          defect="nonsense")
+        with pytest.raises(DataError):
+            model.fit([bad])
+
+    def test_empty_tokens_raise(self, setup):
+        model = make_tagger(setup)
+        with pytest.raises(DataError):
+            model.emissions([])
+
+    def test_allowed_labels_for_ambiguous_word(self, setup):
+        model = make_tagger(setup)
+        allowed = model.allowed_labels(["village", "skirt"],
+                                       ["B-Style", "B-Category"])
+        village_labels = {model.labels.label(i) for i in allowed[0]}
+        assert village_labels == {"B-Style", "B-Location"}
+        skirt_labels = {model.labels.label(i) for i in allowed[1]}
+        assert skirt_labels == {"B-Category"}
+
+    def test_fuzzy_loss_leq_strict(self, setup):
+        fuzzy = make_tagger(setup, use_fuzzy=True, seed=3)
+        strict = make_tagger(setup, use_fuzzy=False, seed=3)
+        strict.load_state_dict(fuzzy.state_dict())
+        spec = next(s for s in setup["train"]
+                    if any(setup["lexicon"].is_ambiguous(t)
+                           for t in s.tokens))
+        assert fuzzy.loss(spec).item() <= strict.loss(spec).item() + 1e-9
+
+    def test_knowledge_variant_has_wider_encoder(self, setup):
+        plain = make_tagger(setup, use_knowledge=False)
+        knowing = make_tagger(setup, use_knowledge=True)
+        assert knowing.num_parameters() > plain.num_parameters()

@@ -1,0 +1,132 @@
+"""Fast unit tests of the experiment runners' pure pieces, plus one
+micro-scale end-to-end smoke of the shared experiment world."""
+
+import numpy as np
+import pytest
+
+from repro.config import RunScale
+from repro.experiments import build_experiment_world
+from repro.experiments.active_learning import PAPER as AL_PAPER, StrategyOutcome, _SingleRun
+from repro.experiments.common import format_rows
+from repro.experiments.fig9_negatives import NegativeSweepResult
+from repro.experiments.table4_classification import CONFIGS as T4_CONFIGS, PAPER as T4_PAPER
+from repro.experiments.table5_tagging import (
+    CONFIGS as T5_CONFIGS, distant_gold, PAPER as T5_PAPER,
+)
+from repro.experiments.table6_matching import MODELS as T6_MODELS, PAPER as T6_PAPER
+from repro.hypernym.active import STRATEGIES
+from repro.synth.world import ConceptPart, ConceptSpec
+
+MICRO = RunScale(name="micro", n_items=60, n_queries=60, n_reviews=40,
+                 n_guides=20, embedding_dim=8, hidden_dim=8, epochs=1, seed=7)
+
+
+@pytest.fixture(scope="module")
+def micro_world():
+    return build_experiment_world(MICRO, n_concepts=40, embedding_epochs=1,
+                                  gloss_dim=8)
+
+
+class TestPaperConstants:
+    def test_table4_configs_cover_paper_rows(self):
+        assert [name for name, _ in T4_CONFIGS] == list(T4_PAPER)
+
+    def test_table5_configs_cover_paper_rows(self):
+        assert [name for name, _ in T5_CONFIGS] == list(T5_PAPER)
+
+    def test_table6_models_cover_paper_rows(self):
+        assert list(T6_MODELS) == list(T6_PAPER)
+
+    def test_al_paper_covers_strategies(self):
+        assert set(AL_PAPER) == set(STRATEGIES)
+
+    def test_paper_orderings_encoded(self):
+        """The paper constants themselves carry the shapes we assert."""
+        values = [T4_PAPER[name] for name, _ in T4_CONFIGS]
+        assert values == sorted(values)
+        f1s = [T5_PAPER[name][2] for name, _ in T5_CONFIGS]
+        assert f1s == sorted(f1s)
+        assert AL_PAPER["ucs"]["map"] == max(v["map"] for v in AL_PAPER.values())
+
+
+class TestHelpers:
+    def test_format_rows_alignment(self):
+        text = format_rows("title", ("a", "bb"), [(1, 2), (33, 4)],
+                           paper_note="note")
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "note" in lines[1]
+        assert len(lines) == 6  # title, note, header, rule, 2 rows
+
+    def test_negative_sweep_best_n(self):
+        result = NegativeSweepResult(points=[(1, 0.1), (10, 0.5), (40, 0.3)])
+        assert result.best_n() == 10
+
+    def test_strategy_outcome_reduction(self):
+        outcome = StrategyOutcome("ucs", labels_used=70.0, best_map=0.5,
+                                  runs=[_SingleRun(100, 70, 0.5)])
+        assert outcome.reduction_vs_pool == pytest.approx(0.3)
+        assert StrategyOutcome("x", 0, 0).reduction_vs_pool == 0.0
+
+
+class TestDistantGold:
+    def test_unambiguous_spec_untouched(self, micro_world):
+        spec = ConceptSpec("outdoor barbecue",
+                           (ConceptPart("outdoor", "Location"),
+                            ConceptPart("barbecue", "Event")),
+                           "location-event", good=True)
+        assert distant_gold(micro_world, spec) is spec
+
+    def test_ambiguous_sense_replaced(self, micro_world):
+        spec = ConceptSpec("village winter skirt",
+                           (ConceptPart("village", "Style"),
+                            ConceptPart("winter", "Time"),
+                            ConceptPart("skirt", "Category")),
+                           "style-season-category", good=True)
+        distant = distant_gold(micro_world, spec)
+        assert distant is not spec
+        assert distant.parts[0].domain == "Location"  # alphabetically first
+        assert distant.parts[1].domain == "Time"
+
+
+class TestMicroWorld:
+    def test_world_components_present(self, micro_world):
+        assert micro_world.corpus.items
+        assert micro_world.concepts
+        assert len(micro_world.vocab) > 50
+        assert micro_world.gloss_kb.has("barbecue")
+
+    def test_gloss_vector_cached_and_stable(self, micro_world):
+        first = micro_world.gloss_vector("warm")
+        second = micro_world.gloss_vector("warm")
+        assert first is second
+        assert micro_world.gloss_vector("zzz-not-a-word") is None
+
+    def test_phrase_vector_shape(self, micro_world):
+        vector = micro_world.phrase_vector("trench coat")
+        assert vector.shape == (MICRO.embedding_dim,)
+        assert np.all(np.isfinite(vector))
+
+    def test_coverage_runs_at_micro_scale(self, micro_world):
+        from repro.experiments import coverage
+        result = coverage.run(micro_world)
+        assert result.alicoco.query_coverage > result.cpv.query_coverage
+        assert "AliCoCo" in coverage.format_report(result)
+
+    def test_scaling_study_near_linear(self):
+        from repro.experiments import scaling
+        result = scaling.run(MICRO, item_counts=(40, 80, 160), n_concepts=30)
+        relations = [p.item_relations for p in result.points]
+        assert relations == sorted(relations)
+        assert all(p.linked_fraction == 1.0 for p in result.points)
+        report = scaling.format_report(result)
+        assert "Scaling" in report
+
+    def test_concept_sources_ablation_runs(self, micro_world):
+        from repro.experiments.ablations import (
+            format_concept_sources, run_concept_sources,
+        )
+        result = run_concept_sources(micro_world, mined_top_k=50)
+        assert 0.0 <= result.mining_only <= result.both <= 1.0
+        assert result.both >= result.generation_only
+        assert "coverage" in format_concept_sources(result)

@@ -1,0 +1,141 @@
+"""Tests for the extension features: implicit relation mining (the paper's
+future work), question answering, and the CLI."""
+
+import pytest
+
+from repro import build_alicoco, TINY
+from repro.apps.qa import ConceptQA
+from repro.errors import DataError
+from repro.kg.relations import RelationKind
+from repro.mining.implicit import ImplicitRelation, ImplicitRelationMiner
+from repro.synth import build_lexicon, World
+from repro.synth.items import generate_items
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_alicoco(TINY)
+
+
+@pytest.fixture(scope="module")
+def items():
+    world = World(build_lexicon(seed=7), seed=7)
+    return generate_items(world, 800, seed=1)
+
+
+class TestImplicitMining:
+    def test_empty_catalog_raises(self):
+        with pytest.raises(DataError):
+            ImplicitRelationMiner().mine([])
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(DataError):
+            ImplicitRelationMiner(min_probability=0.0)
+
+    def test_swimsuit_implies_summer(self, items):
+        """The paper's example shape: a seasonal category implies its
+        season even though the word never appears."""
+        miner = ImplicitRelationMiner(min_probability=0.5, min_support=2)
+        relations = miner.mine(items)
+        seasonal = {(r.source, r.target) for r in relations
+                    if r.name == "suitable_when"}
+        assert ("swimsuit", "summer") in seasonal
+        assert ("coat", "summer") not in seasonal
+
+    def test_event_relations_mined(self, items):
+        miner = ImplicitRelationMiner(min_probability=0.5, min_support=2)
+        relations = miner.mine(items)
+        events = {(r.source, r.target) for r in relations
+                  if r.name == "used_for"}
+        assert ("grill", "barbecue") in events
+
+    def test_probabilities_and_support(self, items):
+        relations = ImplicitRelationMiner(min_probability=0.6,
+                                          min_support=3).mine(items)
+        assert relations
+        for relation in relations:
+            assert 0.6 <= relation.probability <= 1.0
+            assert relation.support >= 3
+
+    def test_implied_concepts_inference(self, items):
+        """'swimsuit for kids' implies summer without the word summer."""
+        miner = ImplicitRelationMiner(min_probability=0.5, min_support=2)
+        relations = miner.mine(items)
+        implied = miner.implied_concepts(relations, ["swimsuit", "for", "kids"])
+        targets = {(r.name, r.target) for r in implied}
+        assert ("suitable_when", "summer") in targets
+
+    def test_relations_materialised_in_store(self, built):
+        mined = list(built.store.relations(RelationKind.RELATED_PRIMITIVE))
+        assert mined, "the build pipeline should add implicit relations"
+        for relation in mined:
+            assert relation.name in ("suitable_when", "used_for", "used_by")
+            assert 0.0 < relation.weight <= 1.0
+            # Endpoints are primitive concepts.
+            assert relation.source.startswith("pc_")
+            assert relation.target.startswith("pc_")
+
+    def test_deterministic(self, items):
+        first = ImplicitRelationMiner().mine(items)
+        second = ImplicitRelationMiner().mine(items)
+        assert first == second
+
+
+class TestConceptQA:
+    def test_barbecue_question(self, built):
+        """The paper's own example question, modulo the synthetic world."""
+        qa = ConceptQA(built.store)
+        # Use a concept that exists with items at tiny scale.
+        target = None
+        from repro.kg.query import items_for_concept
+        for spec in built.concepts:
+            if items_for_concept(built.store,
+                                 built.concept_ids[spec.text]):
+                target = spec
+                break
+        assert target is not None
+        answer = qa.answer(
+            f"What should I prepare for hosting next week's {target.text}?")
+        assert answer.answered
+        assert answer.concept.text == target.text
+        assert answer.items
+        rendered = answer.render()
+        assert target.text in rendered
+        assert "- " in rendered
+
+    def test_intent_extraction(self, built):
+        qa = ConceptQA(built.store)
+        intent = qa.extract_intent(
+            "What should I prepare for hosting next week's barbecue?")
+        assert intent == "barbecue"
+
+    def test_unanswerable_question(self, built):
+        qa = ConceptQA(built.store)
+        answer = qa.answer("What is the meaning of life?")
+        assert not answer.answered
+        assert "could not find" in answer.render()
+
+    def test_empty_question(self, built):
+        qa = ConceptQA(built.store)
+        assert not qa.answer("what should i do").answered
+
+
+class TestCLI:
+    def test_build_command(self, capsys):
+        from repro.__main__ import main
+        assert main(["build", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Primitive concepts" in out
+
+    def test_help(self, capsys):
+        from repro.__main__ import main
+        assert main([]) == 0
+        assert "Usage" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        from repro.__main__ import main
+        assert main(["frobnicate"]) == 2
+
+    def test_ask_requires_question(self):
+        from repro.__main__ import main
+        assert main(["ask"]) == 2

@@ -1,0 +1,180 @@
+"""Tests for the graph store, queries, stats and serialization."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateNodeError, NodeNotFoundError, RelationError, TaxonomyError,
+)
+from repro.kg import (
+    AliCoCoStore, ECommerceConcept, PrimitiveConcept, Relation, RelationKind,
+)
+from repro.kg import query as kgq
+from repro.kg.ids import layer_of
+from repro.kg.serialize import load_store, save_store
+
+
+@pytest.fixture
+def store():
+    store = AliCoCoStore()
+    category = store.create_class("Category", domain="Category")
+    clothing = store.create_class("Clothing", domain="Category",
+                                  parent_id=category.id)
+    dress_class = store.create_class("Dress", domain="Category",
+                                     parent_id=clothing.id)
+    dress = store.create_primitive("dress", dress_class.id)
+    maxi = store.create_primitive("maxi dress", dress_class.id)
+    store.add_relation(Relation(RelationKind.ISA_PRIMITIVE, maxi.id, dress.id))
+    concept = store.create_ecommerce("summer dress for women")
+    store.add_relation(Relation(RelationKind.INTERPRETED_BY, concept.id,
+                                dress.id))
+    item = store.create_item("floral maxi dress", properties={"Color": "red"})
+    store.add_relation(Relation(RelationKind.ITEM_PRIMITIVE, item.id, maxi.id))
+    store.add_relation(Relation(RelationKind.ITEM_ECOMMERCE, item.id,
+                                concept.id, weight=0.9))
+    return store
+
+
+class TestStoreBasics:
+    def test_ids_have_layer_prefixes(self, store):
+        for node in store.nodes():
+            assert layer_of(node.id) in ("cls", "pc", "ec", "item")
+
+    def test_duplicate_node_rejected(self, store):
+        node = next(store.nodes("pc"))
+        with pytest.raises(DuplicateNodeError):
+            store.add_node(node)
+
+    def test_missing_node_raises(self, store):
+        with pytest.raises(NodeNotFoundError):
+            store.get("pc_9999")
+
+    def test_relation_endpoint_validation(self, store):
+        item = next(store.nodes("item"))
+        concept = next(store.nodes("ec"))
+        with pytest.raises(RelationError):
+            # ITEM_PRIMITIVE must target a primitive, not an ec concept.
+            store.add_relation(Relation(RelationKind.ITEM_PRIMITIVE,
+                                        item.id, concept.id))
+
+    def test_relation_missing_endpoint(self, store):
+        item = next(store.nodes("item"))
+        with pytest.raises(NodeNotFoundError):
+            store.add_relation(Relation(RelationKind.ITEM_PRIMITIVE,
+                                        item.id, "pc_404"))
+
+    def test_duplicate_relation_ignored(self, store):
+        before = store.count_relations(RelationKind.ISA_PRIMITIVE)
+        maxi = store.find_by_name("pc", "maxi dress")[0]
+        dress = store.find_by_name("pc", "dress")[0]
+        store.add_relation(Relation(RelationKind.ISA_PRIMITIVE, maxi.id,
+                                    dress.id))
+        assert store.count_relations(RelationKind.ISA_PRIMITIVE) == before
+
+    def test_same_name_different_ids(self, store):
+        cls = store.find_by_name("cls", "Dress")[0]
+        first = store.create_primitive("village", cls.id)
+        second = store.create_primitive("village", cls.id)
+        assert first.id != second.id
+        assert len(store.find_by_name("pc", "village")) == 2
+
+    def test_create_primitive_unknown_class(self, store):
+        with pytest.raises(NodeNotFoundError):
+            store.create_primitive("thing", "cls_404")
+
+
+class TestQueries:
+    def test_class_path(self, store):
+        dress_class = store.find_by_name("cls", "Dress")[0]
+        path = kgq.class_path(store, dress_class.id)
+        assert [c.name for c in path] == ["Category", "Clothing", "Dress"]
+
+    def test_class_path_cycle_detected(self):
+        store = AliCoCoStore()
+        a = store.create_class("A", domain="Category")
+        # Manually create a cyclic node (bypassing create_class validation).
+        from repro.kg.nodes import ClassNode
+        b = ClassNode("cls_99", "B", "Category", parent_id="cls_100")
+        c = ClassNode("cls_100", "C", "Category", parent_id="cls_99")
+        store.add_node(b)
+        store.add_node(c)
+        with pytest.raises(TaxonomyError):
+            kgq.class_path(store, "cls_99")
+
+    def test_hypernyms_and_hyponyms(self, store):
+        maxi = store.find_by_name("pc", "maxi dress")[0]
+        dress = store.find_by_name("pc", "dress")[0]
+        assert [n.id for n in kgq.hypernyms(store, maxi.id)] == [dress.id]
+        assert [n.id for n in kgq.hyponyms(store, dress.id)] == [maxi.id]
+        assert kgq.is_a(store, maxi.id, dress.id)
+        assert not kgq.is_a(store, dress.id, maxi.id)
+
+    def test_transitive_hypernyms(self, store):
+        cls = store.find_by_name("cls", "Dress")[0]
+        dress = store.find_by_name("pc", "dress")[0]
+        garment = store.create_primitive("garment", cls.id)
+        store.add_relation(Relation(RelationKind.ISA_PRIMITIVE, dress.id,
+                                    garment.id))
+        maxi = store.find_by_name("pc", "maxi dress")[0]
+        closure = kgq.hypernyms(store, maxi.id, transitive=True)
+        assert {n.name for n in closure} == {"dress", "garment"}
+
+    def test_items_for_concept_sorted_by_weight(self, store):
+        concept = next(store.nodes("ec"))
+        other = store.create_item("plain dress")
+        store.add_relation(Relation(RelationKind.ITEM_ECOMMERCE, other.id,
+                                    concept.id, weight=0.2))
+        items = kgq.items_for_concept(store, concept.id)
+        assert items[0].title == "floral maxi dress"
+        assert kgq.items_for_concept(store, concept.id, top_k=1) == items[:1]
+
+    def test_interpretation(self, store):
+        concept = next(store.nodes("ec"))
+        names = [p.name for p in kgq.interpretation(store, concept.id)]
+        assert names == ["dress"]
+
+    def test_concepts_for_item(self, store):
+        item = next(store.nodes("item"))
+        concepts = kgq.concepts_for_item(store, item.id)
+        assert concepts[0].text == "summer dress for women"
+
+
+class TestStats:
+    def test_counts(self, store):
+        stats = store.stats()
+        assert stats.primitive_concepts == 2
+        assert stats.ecommerce_concepts == 1
+        assert stats.items == 1
+        assert stats.isa_primitive == 1
+        assert stats.item_primitive == 1
+        assert stats.item_ecommerce == 1
+        assert stats.ecommerce_primitive == 1
+        assert stats.linked_item_fraction == 1.0
+
+    def test_averages(self, store):
+        stats = store.stats()
+        assert stats.avg_primitive_per_item == 1.0
+        assert stats.avg_items_per_ecommerce == 1.0
+
+    def test_summary_mentions_layers(self, store):
+        text = store.stats().summary()
+        assert "Primitive concepts" in text
+        assert "E-commerce" in text
+
+
+class TestSerialization:
+    def test_roundtrip(self, store, tmp_path):
+        path = tmp_path / "net.jsonl"
+        save_store(store, path)
+        loaded = load_store(path)
+        assert len(loaded) == len(store)
+        assert loaded.stats() == store.stats()
+        concept = next(loaded.nodes("ec"))
+        assert isinstance(concept, ECommerceConcept)
+        assert concept.tokens == ("summer", "dress", "for", "women")
+
+    def test_roundtrip_preserves_weights(self, store, tmp_path):
+        path = tmp_path / "net.jsonl"
+        save_store(store, path)
+        loaded = load_store(path)
+        weights = [r.weight for r in loaded.relations(RelationKind.ITEM_ECOMMERCE)]
+        assert weights == [0.9]

@@ -1,0 +1,106 @@
+"""Tests for graph validation, networkx export and monitoring."""
+
+import pytest
+
+from repro import build_alicoco, TINY
+from repro.errors import DataError
+from repro.kg import AliCoCoStore, Relation, RelationKind
+from repro.kg.graphview import connectivity_summary, to_networkx
+from repro.kg.validate import validate_store
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_alicoco(TINY)
+
+
+class TestValidation:
+    def test_built_net_is_healthy(self, built):
+        report = validate_store(built.store)
+        assert report.ok, report.problems
+
+    def test_detects_bad_weight(self, built):
+        store = AliCoCoStore()
+        category = store.create_class("Category", domain="Category")
+        first = store.create_primitive("a", category.id)
+        second = store.create_primitive("b", category.id)
+        store.add_relation(Relation(RelationKind.ISA_PRIMITIVE, first.id,
+                                    second.id, weight=3.0))
+        report = validate_store(store)
+        assert not report.ok
+        assert any("weight" in p for p in report.problems)
+
+    def test_detects_isa_cycle(self):
+        store = AliCoCoStore()
+        category = store.create_class("Category", domain="Category")
+        first = store.create_primitive("a", category.id)
+        second = store.create_primitive("b", category.id)
+        store.add_relation(Relation(RelationKind.ISA_PRIMITIVE, first.id,
+                                    second.id))
+        store.add_relation(Relation(RelationKind.ISA_PRIMITIVE, second.id,
+                                    first.id))
+        report = validate_store(store)
+        assert any("cycle" in p for p in report.problems)
+
+    def test_detects_domain_mismatch(self):
+        from repro.kg.nodes import PrimitiveConcept
+        store = AliCoCoStore()
+        category = store.create_class("Category", domain="Category")
+        store.add_node(PrimitiveConcept("pc_99", "x", category.id, "Color"))
+        report = validate_store(store)
+        assert any("domain" in p for p in report.problems)
+
+
+class TestGraphView:
+    def test_export_preserves_counts(self, built):
+        graph = to_networkx(built.store)
+        assert graph.number_of_nodes() == len(built.store)
+        assert graph.number_of_edges() == \
+            built.store.stats().relations_total
+
+    def test_kind_filter(self, built):
+        graph = to_networkx(built.store, kinds=(RelationKind.ISA_PRIMITIVE,))
+        kinds = {data["kind"] for _, _, data in graph.edges(data=True)}
+        assert kinds == {"ISA_PRIMITIVE"}
+
+    def test_layers_attached(self, built):
+        graph = to_networkx(built.store)
+        layers = {data["layer"] for _, data in graph.nodes(data=True)}
+        assert layers == {"cls", "pc", "ec", "item"}
+
+    def test_connectivity_summary(self, built):
+        summary = connectivity_summary(built.store)
+        assert summary["nodes"] > 0
+        assert summary["item_link_rate"] == 1.0
+        assert summary["connected_components"] >= 1
+
+
+class TestMonitoring:
+    def make_monitor(self, built):
+        from repro.apps.coverage import alicoco_vocabulary, CoverageEvaluator
+        from repro.apps.monitoring import CoverageMonitor
+        vocabulary = alicoco_vocabulary(
+            built.lexicon, [s.text for s in built.concepts])
+        return CoverageMonitor(CoverageEvaluator(vocabulary, "AliCoCo"))
+
+    def test_daily_loop_detects_trends(self, built):
+        from repro.synth.queries import generate_queries, NOVEL_TERMS
+        monitor = self.make_monitor(built)
+        for day in range(5):
+            queries = generate_queries(built.world, built.concepts, 80,
+                                       seed=100 + day, novelty_rate=0.3)
+            report = monitor.observe_day(queries)
+            assert report.day == day
+        assert 0.5 < monitor.average_coverage() < 1.0
+        trends = monitor.top_trends(10)
+        assert any(term in NOVEL_TERMS for term in trends)
+
+    def test_empty_day_raises(self, built):
+        monitor = self.make_monitor(built)
+        with pytest.raises(DataError):
+            monitor.observe_day([])
+
+    def test_average_requires_history(self, built):
+        monitor = self.make_monitor(built)
+        with pytest.raises(DataError):
+            monitor.average_coverage()

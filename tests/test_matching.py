@@ -1,0 +1,190 @@
+"""Tests for the matching subsystem: dataset, baselines, knowledge model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, NotFittedError
+from repro.concepts.classifier import lexicon_ner_lookup
+from repro.matching import (
+    BM25Matcher, build_matching_dataset, DSSMMatcher, evaluate_matcher,
+    KnowledgeMatcher, MatchPyramidMatcher, RE2Matcher, train_matcher,
+)
+from repro.matching.base import matching_vocab
+from repro.nlp.pos import PosTagger
+from repro.synth import build_lexicon, World
+from repro.synth.clicklog import simulate_clicks
+from repro.synth.items import generate_items, item_matches_concept
+
+
+@pytest.fixture(scope="module")
+def setup():
+    lexicon = build_lexicon(seed=7)
+    world = World(lexicon, seed=7)
+    items = generate_items(world, 250)
+    rng = np.random.default_rng(9)
+    concepts = world.sample_good_concepts(rng, 60)
+    clicks = simulate_clicks(world, concepts, items,
+                             impressions_per_concept=25)
+    dataset = build_matching_dataset(world, concepts, items, clicks,
+                                     np.random.default_rng(10),
+                                     test_concepts=12,
+                                     candidates_per_test_concept=20,
+                                     extra_random_negatives=120)
+    vocab = matching_vocab(dataset.train + dataset.test)
+    pos = PosTagger(lexicon.pos_lexicon())
+    ner_lookup, num_ner = lexicon_ner_lookup(lexicon)
+    return {"world": world, "lexicon": lexicon, "dataset": dataset,
+            "vocab": vocab, "pos": pos, "ner": ner_lookup,
+            "num_ner": num_ner}
+
+
+class TestDataset:
+    def test_train_test_disjoint_concepts(self, setup):
+        dataset = setup["dataset"]
+        train_texts = {e.concept.text for e in dataset.train}
+        test_texts = {e.concept.text for e in dataset.test}
+        assert not train_texts & test_texts
+
+    def test_test_set_has_both_labels(self, setup):
+        labels = {e.label for e in setup["dataset"].test}
+        assert labels == {0, 1}
+
+    def test_test_grouping_consistent(self, setup):
+        dataset = setup["dataset"]
+        grouped = sum(len(v) for v in dataset.test_by_concept.values())
+        assert grouped == len(dataset.test)
+
+    def test_train_labels_mostly_correct(self, setup):
+        """Click noise exists but the majority of labels match ground truth."""
+        world, dataset = setup["world"], setup["dataset"]
+        agree = total = 0
+        for example in dataset.train:
+            truth = item_matches_concept(world, example.item, example.concept)
+            agree += int(truth == bool(example.label))
+            total += 1
+        assert agree / total > 0.7
+
+    def test_requires_clicks(self, setup):
+        with pytest.raises(DataError):
+            build_matching_dataset(setup["world"], [], [], [],
+                                   np.random.default_rng(0))
+
+
+class TestBM25:
+    def test_fit_and_score(self, setup):
+        model = BM25Matcher().fit(setup["dataset"].train)
+        scores = model.score_pairs(setup["dataset"].test[:5])
+        assert scores.shape == (5,)
+        assert np.all(scores >= 0)
+
+    def test_unfitted_raises(self, setup):
+        with pytest.raises(NotFittedError):
+            BM25Matcher().score(["a"], ["a"])
+
+    def test_exact_overlap_scores_higher(self, setup):
+        model = BM25Matcher().fit(setup["dataset"].train)
+        example = setup["dataset"].test[0]
+        overlap = model.score(example.item.title_tokens,
+                              example.item.title_tokens)
+        none = model.score(["zzz"], example.item.title_tokens)
+        assert overlap > none == 0.0
+
+    def test_beats_random_auc(self, setup):
+        model = BM25Matcher().fit(setup["dataset"].train)
+        metrics = evaluate_matcher(model, setup["dataset"])
+        assert metrics["auc"] > 0.5
+
+
+def _neural_smoke(model, setup, epochs=4):
+    dataset = setup["dataset"]
+    history = train_matcher(model, dataset.train, epochs=epochs,
+                            lr=0.01, seed=4)
+    assert history[-1] < history[0]
+    metrics = evaluate_matcher(model, dataset, threshold=0.5)
+    assert 0.0 <= metrics["auc"] <= 1.0
+    assert metrics["auc"] > 0.5, "should beat random after training"
+    return metrics
+
+
+class TestNeuralMatchers:
+    def test_dssm(self, setup):
+        model = DSSMMatcher(setup["vocab"], dim=12, hidden=12, seed=1)
+        _neural_smoke(model, setup)
+
+    def test_match_pyramid(self, setup):
+        model = MatchPyramidMatcher(setup["vocab"], dim=12, seed=1)
+        _neural_smoke(model, setup)
+
+    def test_re2(self, setup):
+        model = RE2Matcher(setup["vocab"], dim=12, hidden=12, seed=1)
+        _neural_smoke(model, setup)
+
+    def test_knowledge_model_without_knowledge(self, setup):
+        model = KnowledgeMatcher(setup["vocab"], setup["pos"], setup["ner"],
+                                 setup["num_ner"], dim=12, conv_dim=12,
+                                 seed=1)
+        _neural_smoke(model, setup)
+
+    def test_knowledge_model_with_knowledge(self, setup):
+        def lookup(word):
+            rng = np.random.default_rng(abs(hash(word)) % 2 ** 31)
+            return rng.normal(size=8)
+
+        model = KnowledgeMatcher(setup["vocab"], setup["pos"], setup["ner"],
+                                 setup["num_ner"], knowledge_lookup=lookup,
+                                 knowledge_dim=8, dim=12, conv_dim=12, seed=1)
+        _neural_smoke(model, setup)
+
+    def test_unfitted_raises(self, setup):
+        model = DSSMMatcher(setup["vocab"], dim=8, seed=1)
+        with pytest.raises(NotFittedError):
+            model.score_pairs(setup["dataset"].test[:1])
+
+    def test_train_empty_raises(self, setup):
+        model = DSSMMatcher(setup["vocab"], dim=8, seed=1)
+        with pytest.raises(DataError):
+            train_matcher(model, [])
+
+
+class TestTrainerUtilities:
+    def test_early_stopping_truncates_epochs(self, setup):
+        model = DSSMMatcher(setup["vocab"], dim=8, seed=1)
+        history = train_matcher(model, setup["dataset"].train[:80],
+                                epochs=30, lr=0.0,  # lr=0: loss never improves
+                                seed=4, early_stopping_patience=2)
+        assert len(history) < 30
+
+    def test_calibrate_threshold_beats_fixed_on_train(self, setup):
+        from repro.matching.trainer import calibrate_threshold
+        from repro.utils.metrics import f1_score
+        import numpy as np
+        model = BM25Matcher().fit(setup["dataset"].train)
+        examples = setup["dataset"].test
+        cut = calibrate_threshold(model, examples)
+        scores = np.asarray(model.score_pairs(examples))
+        labels = [e.label for e in examples]
+        calibrated = f1_score(labels, (scores >= cut).astype(int))
+        fixed = f1_score(labels, (scores >= 0.5).astype(int))
+        assert calibrated >= fixed
+
+    def test_calibrate_empty_raises(self, setup):
+        from repro.matching.trainer import calibrate_threshold
+        from repro.errors import DataError
+        model = BM25Matcher().fit(setup["dataset"].train)
+        with pytest.raises(DataError):
+            calibrate_threshold(model, [])
+
+
+class TestEvaluate:
+    def test_metrics_keys(self, setup):
+        model = BM25Matcher().fit(setup["dataset"].train)
+        metrics = evaluate_matcher(model, setup["dataset"])
+        assert set(metrics) == {"auc", "f1", "p@10"}
+        for value in metrics.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_empty_test_raises(self, setup):
+        from repro.matching.dataset import MatchingDataset
+        model = BM25Matcher().fit(setup["dataset"].train)
+        with pytest.raises(DataError):
+            evaluate_matcher(model, MatchingDataset())

@@ -1,0 +1,156 @@
+"""Tests for vocabulary mining: distant supervision, BiLSTM-CRF, pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, NotFittedError
+from repro.mining import (
+    BiLSTMCRFMiner, DistantSupervisionBuilder, MiningPipeline, TaggedSentence,
+)
+from repro.mining.bilstm_crf import LabelSet
+from repro.nlp.vocab import Vocab
+from repro.synth import build_lexicon
+
+
+@pytest.fixture(scope="module")
+def lexicon():
+    return build_lexicon(seed=7)
+
+
+class TestDistantSupervision:
+    def test_tags_known_concepts(self, lexicon):
+        builder = DistantSupervisionBuilder(lexicon)
+        kept, stats = builder.build([["red", "trench", "coat"]])
+        assert stats.kept == 1
+        sentence = kept[0]
+        assert sentence.labels == ("B-Color", "B-Category", "I-Category")
+
+    def test_drops_ambiguous_sentences(self, lexicon):
+        builder = DistantSupervisionBuilder(lexicon)
+        # "village" is Location+Style -> ambiguous -> dropped.
+        kept, stats = builder.build([["village", "skirt"]])
+        assert stats.kept == 0
+        assert stats.dropped_ambiguous == 1
+
+    def test_known_surface_restriction(self, lexicon):
+        builder = DistantSupervisionBuilder(lexicon, known_surfaces={"coat"})
+        kept, _ = builder.build([["red", "coat"]])
+        assert kept[0].labels == ("O", "B-Category")
+
+    def test_full_coverage_mode(self, lexicon):
+        builder = DistantSupervisionBuilder(lexicon, require_full_coverage=True)
+        kept, stats = builder.build([["zzz", "coat"], ["red", "coat"]])
+        assert stats.kept == 1
+        assert kept[0].tokens == ("red", "coat")
+
+    def test_sentences_without_matches_dropped(self, lexicon):
+        builder = DistantSupervisionBuilder(lexicon)
+        _, stats = builder.build([["zzz", "qqq"]])
+        assert stats.kept == 0
+        assert stats.dropped_incomplete == 1
+
+
+class TestLabelSet:
+    def test_outside_is_zero(self):
+        labels = LabelSet(["B-Color", "I-Color", "O"])
+        assert labels.id("O") == 0
+        assert len(labels) == 3
+
+    def test_unknown_label_raises(self):
+        labels = LabelSet(["B-Color"])
+        with pytest.raises(DataError):
+            labels.id("B-Brand")
+
+
+class TestMiner:
+    def make_data(self):
+        sentences = [
+            TaggedSentence(("red", "dress"), ("B-Color", "B-Category")),
+            TaggedSentence(("blue", "coat"), ("B-Color", "B-Category")),
+            TaggedSentence(("warm", "hat"), ("B-Function", "B-Category")),
+            TaggedSentence(("trench", "coat"), ("B-Category", "I-Category")),
+            TaggedSentence(("red", "trench", "coat"),
+                           ("B-Color", "B-Category", "I-Category")),
+            TaggedSentence(("warm", "coat"), ("B-Function", "B-Category")),
+            TaggedSentence(("blue", "hat"), ("B-Color", "B-Category")),
+        ] * 4
+        vocab = Vocab.from_corpus([list(s.tokens) for s in sentences])
+        return sentences, vocab
+
+    def test_learns_training_data(self):
+        sentences, vocab = self.make_data()
+        label_set = LabelSet.from_data(sentences)
+        miner = BiLSTMCRFMiner(vocab, label_set, embedding_dim=12,
+                               hidden_dim=12, seed=1)
+        history = miner.fit(sentences, epochs=6, lr=0.02)
+        assert history[-1] < history[0]
+        assert miner.predict(("red", "dress")) == ["B-Color", "B-Category"]
+
+    def test_generalises_to_new_combination(self):
+        sentences, vocab = self.make_data()
+        label_set = LabelSet.from_data(sentences)
+        miner = BiLSTMCRFMiner(vocab, label_set, embedding_dim=12,
+                               hidden_dim=12, seed=1)
+        miner.fit(sentences, epochs=8, lr=0.02)
+        # "blue dress" never occurs in training but both words do.
+        assert miner.predict(("blue", "dress")) == ["B-Color", "B-Category"]
+
+    def test_unfitted_predict_raises(self):
+        sentences, vocab = self.make_data()
+        miner = BiLSTMCRFMiner(vocab, LabelSet.from_data(sentences))
+        with pytest.raises(NotFittedError):
+            miner.predict(("red", "dress"))
+
+    def test_empty_fit_raises(self):
+        _, vocab = self.make_data()
+        miner = BiLSTMCRFMiner(vocab, LabelSet(["O"]))
+        with pytest.raises(DataError):
+            miner.fit([])
+
+    def test_extract_spans_joins_bi(self):
+        sentences, vocab = self.make_data()
+        label_set = LabelSet.from_data(sentences)
+        miner = BiLSTMCRFMiner(vocab, label_set, embedding_dim=12,
+                               hidden_dim=12, seed=1)
+        miner.fit(sentences, epochs=8, lr=0.02)
+        spans = miner.extract_spans(("red", "trench", "coat"))
+        assert ("trench coat", "Category") in spans
+
+    def test_predict_empty_sentence(self):
+        sentences, vocab = self.make_data()
+        label_set = LabelSet.from_data(sentences)
+        miner = BiLSTMCRFMiner(vocab, label_set, embedding_dim=8,
+                               hidden_dim=8, seed=1)
+        miner.fit(sentences[:4], epochs=1)
+        assert miner.predict(()) == []
+
+
+class TestPipeline:
+    def test_discovers_held_out_concepts(self, lexicon):
+        pipeline = MiningPipeline(lexicon, held_out_fraction=0.3, seed=3)
+        # Corpus mentioning held-out surfaces in contexts the miner can learn.
+        rng = np.random.default_rng(0)
+        colors = ["red", "blue", "green", "black"]
+        categories = [e.surface for e in lexicon.domain_entries("Category")
+                      if " " not in e.surface]
+        sentences = []
+        for _ in range(400):
+            color = colors[int(rng.integers(len(colors)))]
+            category = categories[int(rng.integers(len(categories)))]
+            sentences.append([color, category])
+        rounds = pipeline.run(sentences, rounds=1, epochs=3,
+                              embedding_dim=12, hidden_dim=12)
+        assert rounds[0].candidates, "model should propose unseen spans"
+        assert rounds[0].accepted, "some candidates should be verified true"
+        assert rounds[0].known_after > len(pipeline.known) - len(rounds[0].accepted)
+
+    def test_acceptance_rate_bounded(self, lexicon):
+        pipeline = MiningPipeline(lexicon, held_out_fraction=0.2, seed=3)
+        sentences = [["red", "coat"], ["blue", "dress"]] * 30
+        rounds = pipeline.run(sentences, rounds=1, epochs=2,
+                              embedding_dim=8, hidden_dim=8)
+        assert 0.0 <= rounds[0].acceptance_rate <= 1.0
+
+    def test_bad_fraction_rejected(self, lexicon):
+        with pytest.raises(DataError):
+            MiningPipeline(lexicon, held_out_fraction=1.5)

@@ -1,0 +1,209 @@
+"""Unit + gradient tests for neural layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.ml import (
+    AdditiveSelfAttention, BiLSTM, Conv1d, Dropout, Embedding, Linear, LSTM, MLP,
+)
+from repro.ml.gradcheck import check_gradients
+from repro.ml.tensor import Tensor
+
+
+def leaf(rng, shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 4))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_gradcheck(self, rng):
+        layer = Linear(3, 2, rng)
+        x = leaf(rng, (4, 3))
+        assert check_gradients(lambda: layer(x).sum(),
+                               [x, layer.weight, layer.bias])
+
+
+class TestMLP:
+    def test_requires_two_widths(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_unknown_activation(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4, 2], rng, activation="swish")
+
+    def test_forward_and_grad(self, rng):
+        mlp = MLP([3, 5, 1], rng, activation="relu")
+        x = leaf(rng, (6, 3))
+        assert mlp(x).shape == (6, 1)
+        assert check_gradients(lambda: mlp(x).sum(), mlp.parameters())
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_out_of_range_rejected(self, rng):
+        emb = Embedding(5, 4, rng)
+        with pytest.raises(ShapeError):
+            emb(np.array([5]))
+
+    def test_pretrained_and_frozen(self, rng):
+        table = rng.normal(size=(6, 3))
+        emb = Embedding(6, 3, rng, pretrained=table, frozen=True)
+        np.testing.assert_allclose(emb(np.array([2])).data[0], table[2])
+        emb(np.array([2])).sum().backward()
+        assert emb.weight.grad is None
+
+    def test_pretrained_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            Embedding(6, 3, rng, pretrained=np.zeros((5, 3)))
+
+    def test_gradcheck(self, rng):
+        emb = Embedding(7, 3, rng)
+        ids = np.array([0, 3, 3, 6])
+        assert check_gradients(lambda: (emb(ids) ** 2).sum(), [emb.weight])
+
+
+class TestRecurrent:
+    def test_lstm_shapes(self, rng):
+        lstm = LSTM(4, 6, rng)
+        out = lstm(Tensor(rng.normal(size=(3, 5, 4))))
+        assert out.shape == (3, 5, 6)
+
+    def test_lstm_rejects_bad_shape(self, rng):
+        lstm = LSTM(4, 6, rng)
+        with pytest.raises(ShapeError):
+            lstm(Tensor(np.zeros((3, 5, 7))))
+
+    def test_bilstm_shapes(self, rng):
+        bilstm = BiLSTM(4, 3, rng)
+        out = bilstm(Tensor(rng.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 6)
+        assert bilstm.output_dim == 6
+
+    def test_bilstm_backward_direction_sees_future(self, rng):
+        """The backward states at t=0 must depend on the last token."""
+        bilstm = BiLSTM(2, 3, rng)
+        x = rng.normal(size=(1, 4, 2))
+        base = bilstm(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, -1, :] += 10.0
+        shifted = bilstm(Tensor(x2)).data
+        # Forward half at t=0 is unchanged; backward half must change.
+        np.testing.assert_allclose(shifted[0, 0, :3], base[0, 0, :3])
+        assert np.abs(shifted[0, 0, 3:] - base[0, 0, 3:]).max() > 1e-6
+
+    def test_lstm_gradcheck(self, rng):
+        lstm = LSTM(2, 3, rng)
+        x = leaf(rng, (2, 3, 2))
+        params = [x] + lstm.parameters()
+        assert check_gradients(lambda: (lstm(x) ** 2).sum(), params,
+                               tolerance=1e-3)
+
+    def test_bilstm_gradcheck(self, rng):
+        bilstm = BiLSTM(2, 2, rng)
+        x = leaf(rng, (1, 3, 2))
+        assert check_gradients(lambda: (bilstm(x) ** 2).sum(),
+                               [x] + bilstm.parameters(), tolerance=1e-3)
+
+
+class TestConv1d:
+    def test_same_padding_shape(self, rng):
+        conv = Conv1d(4, 6, 3, rng)
+        out = conv(Tensor(rng.normal(size=(2, 7, 4))))
+        assert out.shape == (2, 7, 6)
+
+    def test_even_kernel_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            Conv1d(4, 6, 2, rng)
+
+    def test_matches_manual_convolution(self, rng):
+        conv = Conv1d(1, 1, 3, rng)
+        x = np.arange(5.0).reshape(1, 5, 1)
+        out = conv(Tensor(x)).data[0, :, 0]
+        w = conv.weight.data[:, 0]  # [w_left, w_center, w_right]
+        expected = []
+        padded = np.concatenate([[0.0], x[0, :, 0], [0.0]])
+        for t in range(5):
+            expected.append(padded[t] * w[0] + padded[t + 1] * w[1]
+                            + padded[t + 2] * w[2] + conv.bias.data[0])
+        np.testing.assert_allclose(out, expected)
+
+    def test_gradcheck(self, rng):
+        conv = Conv1d(2, 3, 3, rng)
+        x = leaf(rng, (2, 4, 2))
+        assert check_gradients(lambda: (conv(x) ** 2).sum(),
+                               [x, conv.weight, conv.bias], tolerance=1e-3)
+
+
+class TestAttention:
+    def test_shape_preserved(self, rng):
+        attn = AdditiveSelfAttention(4, 3, rng)
+        out = attn(Tensor(rng.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 4)
+
+    def test_rejects_2d(self, rng):
+        attn = AdditiveSelfAttention(4, 3, rng)
+        with pytest.raises(ShapeError):
+            attn(Tensor(np.zeros((5, 4))))
+
+    def test_gradcheck(self, rng):
+        attn = AdditiveSelfAttention(2, 2, rng)
+        x = leaf(rng, (1, 3, 2))
+        assert check_gradients(lambda: (attn(x) ** 2).sum(),
+                               [x] + attn.parameters(), tolerance=1e-3)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        drop = Dropout(0.5, rng).eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_training_scales_kept_units(self, rng):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        x = Tensor(np.ones((1000,)))
+        out = drop(x).data
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 300 < kept.size < 700
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+
+class TestModuleProtocol:
+    def test_named_parameters_recurse(self, rng):
+        mlp = MLP([3, 4, 2], rng)
+        names = {name for name, _ in mlp.named_parameters()}
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+
+    def test_state_dict_roundtrip(self, rng):
+        src = MLP([3, 4, 2], rng)
+        dst = MLP([3, 4, 2], np.random.default_rng(99))
+        dst.load_state_dict(src.state_dict())
+        x = Tensor(rng.normal(size=(2, 3)))
+        np.testing.assert_allclose(dst(x).data, src(x).data)
+
+    def test_train_eval_toggle(self, rng):
+        mlp = MLP([3, 4, 2], rng)
+        mlp.eval()
+        assert all(not m.training for m in mlp.modules())
+        mlp.train()
+        assert all(m.training for m in mlp.modules())

@@ -1,0 +1,125 @@
+"""Tests for losses, optimizers and serialization: models actually learn."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.ml import Adam, Adagrad, Linear, MLP, SGD, Tensor
+from repro.ml.gradcheck import check_gradients
+from repro.ml.losses import bce_with_logits, binary_nll, cross_entropy
+from repro.ml.serialize import load_module, save_module
+from repro.ml.tensor import Tensor as T
+
+
+def leaf(rng, shape):
+    return T(rng.normal(size=shape), requires_grad=True)
+
+
+class TestLosses:
+    def test_bce_matches_manual(self):
+        logits = T(np.array([0.0, 2.0]), requires_grad=True)
+        targets = np.array([1.0, 0.0])
+        loss = bce_with_logits(logits, targets)
+        expected = np.mean([
+            -np.log(0.5),
+            -np.log(1 - 1 / (1 + np.exp(-2.0))),
+        ])
+        assert loss.item() == pytest.approx(expected)
+
+    def test_bce_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            bce_with_logits(T(np.zeros(3), requires_grad=True), np.zeros(4))
+
+    def test_bce_gradcheck(self, rng):
+        logits = leaf(rng, (5,))
+        targets = (rng.random(5) > 0.5).astype(float)
+        assert check_gradients(lambda: bce_with_logits(logits, targets), [logits])
+
+    def test_bce_extreme_logits_finite(self):
+        logits = T(np.array([500.0, -500.0]), requires_grad=True)
+        loss = bce_with_logits(logits, np.array([0.0, 1.0]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.all(np.isfinite(logits.grad))
+
+    def test_binary_nll_gradcheck(self, rng):
+        x = leaf(rng, (6,))
+        targets = (rng.random(6) > 0.5).astype(float)
+        assert check_gradients(
+            lambda: binary_nll(x.sigmoid(), targets), [x])
+
+    def test_cross_entropy_uniform_logits(self):
+        logits = T(np.zeros((2, 4)), requires_grad=True)
+        loss = cross_entropy(logits, np.array([0, 3]))
+        assert loss.item() == pytest.approx(np.log(4.0))
+
+    def test_cross_entropy_gradcheck(self, rng):
+        logits = leaf(rng, (4, 3))
+        ids = np.array([0, 2, 1, 1])
+        assert check_gradients(lambda: cross_entropy(logits, ids), [logits])
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("make_optimizer", [
+        lambda params: SGD(params, lr=0.5),
+        lambda params: SGD(params, lr=0.3, momentum=0.9),
+        lambda params: Adagrad(params, lr=0.5),
+        lambda params: Adam(params, lr=0.1),
+    ])
+    def test_minimizes_quadratic(self, make_optimizer):
+        x = T(np.array([5.0, -3.0]), requires_grad=True)
+        x.requires_grad = True
+        param = x
+        # Wrap as Parameter-like: optimizers only need .data/.grad.
+        optimizer = make_optimizer([param])
+        for _ in range(400):
+            optimizer.zero_grad()
+            loss = (param * param).sum()
+            loss.backward()
+            optimizer.step()
+        assert np.abs(param.data).max() < 5e-2
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def test_clip_grad_norm(self, rng):
+        param = T(np.zeros(4), requires_grad=True)
+        param.grad = np.full(4, 10.0)
+        optimizer = SGD([param], lr=0.1)
+        norm = optimizer.clip_grad_norm(1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_logistic_regression_learns_xor_features(self, rng):
+        """End-to-end sanity: an MLP fits XOR with Adam."""
+        mlp = MLP([2, 8, 1], rng, activation="tanh")
+        optimizer = Adam(mlp.parameters(), lr=0.05)
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0.0, 1.0, 1.0, 0.0])
+        for _ in range(300):
+            optimizer.zero_grad()
+            logits = mlp(Tensor(x)).reshape(4)
+            loss = bce_with_logits(logits, y)
+            loss.backward()
+            optimizer.step()
+        predictions = (mlp(Tensor(x)).data.reshape(4) > 0).astype(float)
+        np.testing.assert_allclose(predictions, y)
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        model = Linear(3, 2, rng)
+        path = tmp_path / "model.npz"
+        save_module(model, path)
+        other = Linear(3, 2, np.random.default_rng(5))
+        load_module(other, path)
+        np.testing.assert_allclose(other.weight.data, model.weight.data)
+        np.testing.assert_allclose(other.bias.data, model.bias.data)
+
+    def test_load_missing_key_raises(self, rng, tmp_path):
+        model = Linear(3, 2, rng)
+        path = tmp_path / "model.npz"
+        np.savez(path, nothing=np.zeros(1))
+        with pytest.raises(KeyError):
+            load_module(model, path)

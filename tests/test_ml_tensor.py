@@ -1,0 +1,175 @@
+"""Unit tests for the autograd Tensor: ops, broadcasting, backward."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.ml.gradcheck import check_gradients
+from repro.ml.tensor import Tensor, concat, no_grad, stack
+
+
+def leaf(data):
+    return Tensor(np.asarray(data, dtype=float), requires_grad=True)
+
+
+class TestForward:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.arange(3))
+        out = a + b
+        np.testing.assert_allclose(out.data, np.ones((2, 3)) + np.arange(3))
+
+    def test_matmul_2d(self):
+        a = Tensor(np.arange(6).reshape(2, 3))
+        b = Tensor(np.arange(12).reshape(3, 4))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+    def test_scalar_arithmetic(self):
+        a = Tensor([1.0, 2.0])
+        np.testing.assert_allclose((2 * a + 1).data, [3.0, 5.0])
+        np.testing.assert_allclose((1 - a).data, [0.0, -1.0])
+        np.testing.assert_allclose((a / 2).data, [0.5, 1.0])
+        np.testing.assert_allclose((2 / a).data, [2.0, 1.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 5)))
+        probs = x.softmax(axis=1)
+        np.testing.assert_allclose(probs.data.sum(axis=1), np.ones(4), atol=1e-12)
+
+    def test_logsumexp_matches_naive(self):
+        x = np.array([[1.0, 2.0, 3.0], [-1.0, 0.0, 1.0]])
+        out = Tensor(x).logsumexp(axis=1)
+        np.testing.assert_allclose(out.data, np.log(np.exp(x).sum(axis=1)))
+
+    def test_logsumexp_extreme_values_stable(self):
+        x = Tensor(np.array([1000.0, 1000.0]))
+        out = x.logsumexp(axis=0)
+        assert np.isfinite(out.item())
+        assert out.item() == pytest.approx(1000.0 + np.log(2.0))
+
+    def test_backward_nonscalar_requires_grad_arg(self):
+        x = leaf(np.ones(3))
+        with pytest.raises(ShapeError):
+            (x * 2).backward()
+
+    def test_gather_rows(self):
+        table = leaf(np.arange(12.0).reshape(4, 3))
+        out = table.gather_rows(np.array([[0, 2], [3, 3]]))
+        assert out.shape == (2, 2, 3)
+        np.testing.assert_allclose(out.data[1, 0], [9.0, 10.0, 11.0])
+
+    def test_gather_rows_requires_2d(self):
+        with pytest.raises(ShapeError):
+            leaf(np.arange(3.0)).gather_rows(np.array([0]))
+
+
+class TestBackward:
+    def test_add_mul_chain(self):
+        a, b = leaf([1.0, 2.0]), leaf([3.0, 4.0])
+        loss = ((a * b) + a).sum()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, [4.0, 5.0])
+        np.testing.assert_allclose(b.grad, [1.0, 2.0])
+
+    def test_broadcast_add_unbroadcasts_grad(self):
+        a = leaf(np.zeros((2, 3)))
+        b = leaf(np.zeros(3))
+        ((a + b) * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 2.0))
+        np.testing.assert_allclose(b.grad, np.full(3, 4.0))
+
+    def test_matmul_grad_shapes(self):
+        a = leaf(np.random.default_rng(1).normal(size=(2, 3)))
+        b = leaf(np.random.default_rng(2).normal(size=(3, 4)))
+        (a @ b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3, 4)
+
+    def test_batched_matmul_with_shared_weight(self):
+        x = leaf(np.random.default_rng(3).normal(size=(5, 4, 3)))
+        w = leaf(np.random.default_rng(4).normal(size=(3, 2)))
+        (x @ w).sum().backward()
+        assert w.grad.shape == (3, 2)
+        np.testing.assert_allclose(w.grad, x.data.reshape(-1, 3).T @ np.ones((20, 2)))
+
+    def test_grad_accumulates_across_uses(self):
+        a = leaf([2.0])
+        (a + a + a).sum().backward()
+        np.testing.assert_allclose(a.grad, [3.0])
+
+    def test_gather_rows_accumulates_duplicate_ids(self):
+        table = leaf(np.zeros((3, 2)))
+        out = table.gather_rows(np.array([1, 1, 1]))
+        out.sum().backward()
+        np.testing.assert_allclose(table.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(table.grad[0], [0.0, 0.0])
+
+    def test_getitem_fancy_index_backward(self):
+        x = leaf(np.arange(12.0).reshape(3, 4))
+        out = x[np.array([0, 2]), np.array([1, 3])]
+        out.sum().backward()
+        expected = np.zeros((3, 4))
+        expected[0, 1] = 1.0
+        expected[2, 3] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_max_splits_ties(self):
+        x = leaf(np.array([[1.0, 1.0, 0.0]]))
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+    def test_no_grad_suppresses_graph(self):
+        a = leaf([1.0])
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+        assert out._parents == ()
+
+
+class TestGradCheck:
+    """Finite-difference checks for each op family."""
+
+    @pytest.mark.parametrize("op", [
+        lambda x: (x * x).sum(),
+        lambda x: (x / (x + 3.0)).sum(),
+        lambda x: x.exp().sum(),
+        lambda x: (x + 2.0).log().sum(),
+        lambda x: x.tanh().sum(),
+        lambda x: x.sigmoid().sum(),
+        lambda x: x.relu().sum(),
+        lambda x: (x ** 3).sum(),
+        lambda x: x.mean(),
+        lambda x: x.logsumexp(axis=0).sum(),
+        lambda x: x.softmax(axis=1).max(axis=1).sum(),
+        lambda x: x.reshape(6).sum(),
+        lambda x: x.transpose().sum(),
+    ])
+    def test_unary_ops(self, op, rng):
+        x = leaf(rng.normal(size=(2, 3)) + 0.1)
+        assert check_gradients(lambda: op(x), [x])
+
+    def test_matmul(self, rng):
+        a = leaf(rng.normal(size=(2, 3)))
+        b = leaf(rng.normal(size=(3, 2)))
+        assert check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_vector(self, rng):
+        a = leaf(rng.normal(size=(4, 3)))
+        v = leaf(rng.normal(size=3))
+        assert check_gradients(lambda: (a @ v).sum(), [a, v])
+
+    def test_concat_and_stack(self, rng):
+        a = leaf(rng.normal(size=(2, 2)))
+        b = leaf(rng.normal(size=(2, 2)))
+        assert check_gradients(lambda: concat([a, b], axis=1).sum(), [a, b])
+        assert check_gradients(
+            lambda: (stack([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_slicing(self, rng):
+        x = leaf(rng.normal(size=(3, 4)))
+        assert check_gradients(lambda: (x[:, 1:3] * 2.0).sum(), [x])
+
+    def test_mixed_slice_array_index(self, rng):
+        x = leaf(rng.normal(size=(2, 4, 3)))
+        idx = np.array([3, 2, 1, 0])
+        assert check_gradients(lambda: (x[:, idx, :] ** 2).sum(), [x])

@@ -1,0 +1,111 @@
+"""Tests for training utilities and the knowledge card."""
+
+import numpy as np
+import pytest
+
+from repro import build_alicoco, TINY
+from repro.errors import DataError, NodeNotFoundError
+from repro.ml.training import EarlyStopping, LearningCurve, minibatches
+
+
+class TestMinibatches:
+    def test_covers_all_items_once(self):
+        data = list(range(10))
+        batches = list(minibatches(data, 3))
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+        assert sorted(x for batch in batches for x in batch) == data
+
+    def test_shuffled_when_rng_given(self):
+        data = list(range(50))
+        rng = np.random.default_rng(0)
+        flattened = [x for batch in minibatches(data, 7, rng) for x in batch]
+        assert flattened != data
+        assert sorted(flattened) == data
+
+    def test_empty_raises(self):
+        with pytest.raises(DataError):
+            list(minibatches([], 4))
+
+    def test_bad_batch_size_raises(self):
+        with pytest.raises(DataError):
+            list(minibatches([1], 0))
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2, mode="min")
+        assert stopper.update(1.0)
+        assert stopper.update(0.5)   # improvement
+        assert stopper.update(0.6)   # stale 1
+        assert not stopper.update(0.7)  # stale 2 -> stop
+        assert stopper.should_stop
+        assert stopper.best == 0.5
+
+    def test_max_mode(self):
+        stopper = EarlyStopping(patience=1, mode="max")
+        assert stopper.update(0.1)
+        assert stopper.update(0.2)
+        assert not stopper.update(0.15)
+
+    def test_invalid_config(self):
+        with pytest.raises(DataError):
+            EarlyStopping(mode="sideways")
+        with pytest.raises(DataError):
+            EarlyStopping(patience=0)
+
+
+class TestLearningCurve:
+    def test_record_and_series(self):
+        curve = LearningCurve()
+        curve.record(loss=1.0, accuracy=0.5)
+        curve.record(loss=0.5, accuracy=0.7)
+        assert curve.series("loss") == [1.0, 0.5]
+        assert curve.best_epoch("loss") == 1
+        assert curve.best_epoch("accuracy", mode="max") == 1
+
+    def test_empty_best_raises(self):
+        with pytest.raises(DataError):
+            LearningCurve().best_epoch("loss")
+
+
+class TestKnowledgeCard:
+    @pytest.fixture(scope="class")
+    def built(self):
+        return build_alicoco(TINY)
+
+    def test_card_structure(self, built):
+        from repro.apps import SemanticSearchEngine
+        engine = SemanticSearchEngine(built.store)
+        spec = next(s for s in built.concepts if s.parts)
+        card = engine.knowledge_card(built.concept_ids[spec.text])
+        assert card.concept.text == spec.text
+        domains = set(card.interpretation_by_domain)
+        assert domains == {p.domain for p in spec.parts
+                           if (p.surface, p.domain) in built.primitive_ids}
+        rendered = card.render()
+        assert spec.text in rendered
+
+    def test_card_includes_implied_relations(self, built):
+        """A concept interpreting a category with mined commonsense shows
+        the implication on its card."""
+        from repro.apps import SemanticSearchEngine
+        from repro.kg.relations import RelationKind
+        engine = SemanticSearchEngine(built.store)
+        # Find a concept whose interpretation has an outgoing mined edge.
+        for spec in built.concepts:
+            concept_id = built.concept_ids[spec.text]
+            card = engine.knowledge_card(concept_id)
+            if card.implied:
+                primitive, name, probability = card.implied[0]
+                assert name in ("suitable_when", "used_for", "used_by")
+                assert 0 < probability <= 1
+                assert f"implies {primitive.name}" in card.render()
+                return
+        pytest.skip("no concept with mined implications at tiny scale")
+
+    def test_card_requires_concept_node(self, built):
+        from repro.apps import SemanticSearchEngine
+        engine = SemanticSearchEngine(built.store)
+        item = next(built.store.nodes("item"))
+        with pytest.raises(NodeNotFoundError):
+            engine.knowledge_card(item.id)

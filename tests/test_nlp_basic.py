@@ -1,0 +1,147 @@
+"""Tests for tokenizer, vocab, POS tagger and language models."""
+
+import math
+
+import pytest
+
+from repro.errors import DataError, NotFittedError, VocabError
+from repro.nlp import (
+    BidirectionalLanguageModel, BigramLanguageModel, PosTagger, Vocab,
+    WordTokenizer, char_tokens,
+)
+
+
+class TestTokenizer:
+    def test_basic_split(self):
+        assert WordTokenizer()("Outdoor  Barbecue!") == ["outdoor", "barbecue"]
+
+    def test_keeps_hyphens(self):
+        assert WordTokenizer()("cotton-padded trousers") == \
+            ["cotton-padded", "trousers"]
+
+    def test_empty_text(self):
+        assert WordTokenizer()("  ,,, ") == []
+
+    def test_char_tokens(self):
+        assert char_tokens("nike") == ["n", "i", "k", "e"]
+
+
+class TestVocab:
+    def test_specials_first(self):
+        vocab = Vocab(["apple", "pear"])
+        assert vocab.token(0) == "<pad>"
+        assert vocab.token(1) == "<unk>"
+        assert vocab.id("apple") == 2
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocab(["apple"])
+        assert vocab.id("durian") == vocab.unk_id
+
+    def test_strict_raises(self):
+        vocab = Vocab(["apple"], strict=True)
+        with pytest.raises(VocabError):
+            vocab.id("durian")
+
+    def test_from_corpus_min_freq(self):
+        vocab = Vocab.from_corpus([["a", "a", "b"], ["a", "c"]], min_freq=2)
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_from_corpus_frequency_order(self):
+        vocab = Vocab.from_corpus([["rare"], ["common"] * 5])
+        assert vocab.id("common") < vocab.id("rare")
+
+    def test_max_size(self):
+        vocab = Vocab.from_corpus([["a", "b", "c"] * 2], max_size=1)
+        assert len(vocab) == 3  # pad, unk, one token
+
+    def test_token_out_of_range(self):
+        vocab = Vocab(["a"])
+        with pytest.raises(VocabError):
+            vocab.token(99)
+
+    def test_ids_roundtrip(self):
+        vocab = Vocab(["x", "y"])
+        assert [vocab.token(i) for i in vocab.ids(["x", "y"])] == ["x", "y"]
+
+
+class TestPosTagger:
+    def test_closed_class(self):
+        tagger = PosTagger()
+        assert tagger.tag(["gifts", "for", "grandpa"])[1] == "PREP"
+
+    def test_suffix_rules(self):
+        tagger = PosTagger()
+        assert tagger.tag_word("waterproof") == "ADJ"
+        assert tagger.tag_word("traveling") == "VERB"
+        assert tagger.tag_word("decoration") == "NOUN"
+
+    def test_numbers(self):
+        assert PosTagger().tag_word("800") == "NUM"
+
+    def test_custom_lexicon_wins(self):
+        tagger = PosTagger(lexicon={"traveling": "NOUN"})
+        assert tagger.tag_word("traveling") == "NOUN"
+
+    def test_bad_lexicon_tag(self):
+        with pytest.raises(ValueError):
+            PosTagger(lexicon={"x": "BANANA"})
+
+    def test_tag_ids_stable(self):
+        assert PosTagger.tag_id("NOUN") == 0
+        assert PosTagger.tag_id("whatever") == PosTagger.tag_id("OTHER")
+        assert PosTagger.num_tags() >= 5
+
+
+class TestLanguageModels:
+    CORPUS = [
+        ["warm", "hat", "for", "traveling"],
+        ["warm", "coat", "for", "winter"],
+        ["christmas", "gifts", "for", "grandpa"],
+        ["warm", "hat", "for", "winter"],
+    ]
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(DataError):
+            BigramLanguageModel().fit([])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            BigramLanguageModel().log_probability("a", "b")
+
+    def test_probabilities_normalised(self):
+        model = BigramLanguageModel(k=0.5).fit(self.CORPUS)
+        # Sum of P(w | "warm") over the full event space is <= 1 by smoothing
+        # construction; check a seen continuation beats an unseen one.
+        seen = model.log_probability("warm", "hat")
+        unseen = model.log_probability("warm", "grandpa")
+        assert seen > unseen
+
+    def test_fluent_beats_shuffled(self):
+        model = BigramLanguageModel().fit(self.CORPUS)
+        fluent = model.perplexity(["warm", "hat", "for", "winter"])
+        shuffled = model.perplexity(["for", "winter", "hat", "warm"])
+        assert fluent < shuffled
+
+    def test_empty_perplexity_raises(self):
+        model = BigramLanguageModel().fit(self.CORPUS)
+        with pytest.raises(DataError):
+            model.perplexity([])
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            BigramLanguageModel(k=0.0)
+
+    def test_bidirectional_catches_incoherent_order(self):
+        model = BidirectionalLanguageModel().fit(self.CORPUS)
+        coherent = model.perplexity(["christmas", "gifts", "for", "grandpa"])
+        incoherent = model.perplexity(["gifts", "grandpa", "for", "christmas"])
+        assert coherent < incoherent
+
+    def test_bidirectional_is_geometric_mean(self):
+        model = BidirectionalLanguageModel().fit(self.CORPUS)
+        tokens = ["warm", "hat"]
+        forward = model.forward.perplexity(tokens)
+        backward = model.backward.perplexity(list(reversed(tokens)))
+        assert model.perplexity(tokens) == pytest.approx(
+            math.sqrt(forward * backward))

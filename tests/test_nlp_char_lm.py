@@ -1,0 +1,70 @@
+"""Tests for the character-level LM and its use in the criteria checker."""
+
+import pytest
+
+from repro.errors import DataError, NotFittedError
+from repro.nlp import CharTrigramModel
+from repro.synth import build_lexicon
+
+
+@pytest.fixture(scope="module")
+def model():
+    lexicon = build_lexicon(seed=7)
+    words = {word for surface in lexicon.surfaces()
+             for word in surface.split()}
+    return CharTrigramModel().fit(words)
+
+
+class TestCharTrigramModel:
+    def test_fit_empty_raises(self):
+        with pytest.raises(DataError):
+            CharTrigramModel().fit([])
+        with pytest.raises(DataError):
+            CharTrigramModel().fit([""])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            CharTrigramModel().log_probability("coat")
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            CharTrigramModel(k=0)
+
+    def test_real_word_beats_typo(self, model):
+        assert model.perplexity("barbecue") < model.perplexity("brabecue")
+        assert model.perplexity("coat") < model.perplexity("xqzv")
+
+    def test_novel_but_wordlike_is_plausible(self, model):
+        """A new brand-like word scores far better than keyboard mash."""
+        assert model.perplexity("velora") < model.perplexity("qqqxz")
+
+    def test_most_suspicious_finds_typo(self, model):
+        suspect, _ = model.most_suspicious(["outdoor", "brabecue"])
+        assert suspect == "brabecue"
+
+    def test_sequence_perplexity_bounds(self, model):
+        clean = model.sequence_perplexity(["outdoor", "barbecue"])
+        dirty = model.sequence_perplexity(["outdoor", "brabecue"])
+        assert clean < dirty
+
+    def test_empty_scoring_raises(self, model):
+        with pytest.raises(DataError):
+            model.perplexity("")
+        with pytest.raises(DataError):
+            model.sequence_perplexity([])
+
+
+class TestCriteriaWithCharLM:
+    def test_char_lm_admits_unknown_brands(self, model):
+        from repro.concepts import CriteriaChecker
+        from repro.nlp.ngram_lm import BidirectionalLanguageModel
+        lm = BidirectionalLanguageModel().fit([["warm", "coat"]] * 3)
+        checker = CriteriaChecker(
+            commerce_vocabulary={"coat"}, known_words={"warm", "coat"},
+            language_model=lm, audience_words=set(),
+            perplexity_threshold=1e9, char_model=model,
+            char_perplexity_threshold=16.0)
+        # "velora coat" has an unknown-but-wordlike brand: correct.
+        assert checker.check("velora coat").correct
+        # A keyboard-mash token stays incorrect.
+        assert not checker.check("qqqxz coat").correct

@@ -1,0 +1,142 @@
+"""Tests for the CRF / fuzzy CRF and max-matching segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, ShapeError
+from repro.ml import Adam, Tensor
+from repro.ml.gradcheck import check_gradients
+from repro.ml.module import Parameter
+from repro.nlp import LinearChainCRF, MaxMatchSegmenter
+
+
+class TestCRF:
+    def test_nll_positive_and_decreases_with_training(self, rng):
+        crf = LinearChainCRF(3, rng)
+        emissions = Parameter(rng.normal(size=(4, 3)))
+        labels = [0, 1, 2, 1]
+        optimizer = Adam(crf.parameters() + [emissions], lr=0.1)
+        first = crf.nll(emissions, labels).item()
+        assert first > 0
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = crf.nll(emissions, labels)
+            loss.backward()
+            optimizer.step()
+        assert crf.nll(emissions, labels).item() < first
+        assert crf.decode(emissions.data) == labels
+
+    def test_nll_is_proper_negative_log_prob(self, rng):
+        """Sum over all label sequences of exp(-nll) must be 1."""
+        crf = LinearChainCRF(2, rng)
+        emissions = Tensor(rng.normal(size=(3, 2)))
+        total = 0.0
+        for a in range(2):
+            for b in range(2):
+                for c in range(2):
+                    total += np.exp(-crf.nll(emissions, [a, b, c]).item())
+        assert total == pytest.approx(1.0, abs=1e-8)
+
+    def test_fuzzy_nll_leq_strict_nll(self, rng):
+        crf = LinearChainCRF(3, rng)
+        emissions = Tensor(rng.normal(size=(4, 3)))
+        strict = crf.nll(emissions, [0, 1, 2, 0]).item()
+        fuzzy = crf.fuzzy_nll(
+            emissions, [[0], [1, 2], [2], [0, 1]]).item()
+        assert fuzzy <= strict + 1e-9
+
+    def test_fuzzy_with_singleton_sets_equals_nll(self, rng):
+        crf = LinearChainCRF(3, rng)
+        emissions = Tensor(rng.normal(size=(3, 3)))
+        labels = [2, 0, 1]
+        strict = crf.nll(emissions, labels).item()
+        fuzzy = crf.fuzzy_nll(emissions, [[l] for l in labels]).item()
+        assert fuzzy == pytest.approx(strict, abs=1e-8)
+
+    def test_fuzzy_all_labels_allowed_gives_zero_loss(self, rng):
+        crf = LinearChainCRF(3, rng)
+        emissions = Tensor(rng.normal(size=(2, 3)))
+        loss = crf.fuzzy_nll(emissions, [[0, 1, 2], [0, 1, 2]]).item()
+        assert loss == pytest.approx(0.0, abs=1e-8)
+
+    def test_gradcheck_nll(self, rng):
+        crf = LinearChainCRF(3, rng)
+        emissions = Parameter(rng.normal(size=(3, 3)))
+        tensors = [emissions, crf.transitions, crf.start_scores, crf.end_scores]
+        assert check_gradients(
+            lambda: crf.nll(emissions, [0, 2, 1]), tensors, tolerance=1e-3)
+
+    def test_gradcheck_fuzzy(self, rng):
+        crf = LinearChainCRF(3, rng)
+        emissions = Parameter(rng.normal(size=(3, 3)))
+        allowed = [[0, 1], [2], [1, 2]]
+        tensors = [emissions, crf.transitions, crf.start_scores, crf.end_scores]
+        assert check_gradients(
+            lambda: crf.fuzzy_nll(emissions, allowed), tensors, tolerance=1e-3)
+
+    def test_shape_validation(self, rng):
+        crf = LinearChainCRF(3, rng)
+        with pytest.raises(ShapeError):
+            crf.nll(Tensor(np.zeros((2, 4))), [0, 1])
+        with pytest.raises(ShapeError):
+            crf.nll(Tensor(np.zeros((2, 3))), [0])
+        with pytest.raises(DataError):
+            crf.decode(np.zeros((0, 3)))
+        with pytest.raises(DataError):
+            crf.fuzzy_nll(Tensor(np.zeros((1, 3))), [[]])
+
+    def test_decode_follows_transitions(self, rng):
+        """With uniform emissions, decoding follows transition preferences."""
+        crf = LinearChainCRF(2, rng)
+        crf.transitions.data[:] = np.array([[5.0, -5.0], [-5.0, 5.0]])
+        crf.start_scores.data[:] = np.array([1.0, 0.0])
+        crf.end_scores.data[:] = 0.0
+        path = crf.decode(np.zeros((4, 2)))
+        assert path == [0, 0, 0, 0]
+
+
+class TestMaxMatchSegmenter:
+    LEXICON = {
+        ("outdoor",): {"Location"},
+        ("barbecue",): {"Event"},
+        ("village",): {"Location", "Style"},
+        ("skirt",): {"Category"},
+        ("warm", "hat"): {"Category"},
+        ("warm",): {"Function"},
+        ("hat",): {"Category"},
+    }
+
+    def test_prefers_longest_match(self):
+        segmenter = MaxMatchSegmenter(self.LEXICON)
+        result = segmenter.segment(["warm", "hat"])
+        assert len(result.segments) == 1
+        assert result.segments[0].length == 2
+        assert result.covered == 2
+
+    def test_full_unambiguous_match(self):
+        segmenter = MaxMatchSegmenter(self.LEXICON)
+        assert segmenter.perfectly_matched(["outdoor", "barbecue"])
+
+    def test_multi_label_phrase_is_ambiguous(self):
+        segmenter = MaxMatchSegmenter(self.LEXICON)
+        result = segmenter.segment(["village", "skirt"])
+        assert result.ambiguous
+        assert not segmenter.perfectly_matched(["village", "skirt"])
+
+    def test_unmatched_token_not_perfect(self):
+        segmenter = MaxMatchSegmenter(self.LEXICON)
+        result = segmenter.segment(["outdoor", "zzz"])
+        assert result.covered == 1
+        assert not segmenter.perfectly_matched(["outdoor", "zzz"])
+
+    def test_iob_labels(self):
+        segmenter = MaxMatchSegmenter(self.LEXICON)
+        result = segmenter.segment(["warm", "hat", "zzz", "barbecue"])
+        labels = result.iob_labels(4)
+        assert labels == ["B-Category", "I-Category", "O", "B-Event"]
+
+    def test_empty_sentence(self):
+        segmenter = MaxMatchSegmenter(self.LEXICON)
+        result = segmenter.segment([])
+        assert result.covered == 0
+        assert not result.ambiguous

@@ -1,0 +1,95 @@
+"""Tests for SGNS embeddings and Doc2Vec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, NotFittedError
+from repro.nlp import Doc2Vec, SkipGramEmbeddings, Vocab
+
+
+def make_corpus():
+    """Two topical clusters: cooking words and clothing words."""
+    cooking = ["grill", "charcoal", "barbecue", "skewer"]
+    clothing = ["dress", "skirt", "coat", "jacket"]
+    rng = np.random.default_rng(0)
+    corpus = []
+    for _ in range(150):
+        group = cooking if rng.random() < 0.5 else clothing
+        sentence = list(rng.choice(group, size=3))
+        corpus.append(sentence)
+    return corpus
+
+
+class TestSkipGram:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        corpus = make_corpus()
+        vocab = Vocab.from_corpus(corpus)
+        # subsample=0: every word in this toy corpus is "frequent", and
+        # word2vec subsampling would otherwise drop most of the data.
+        emb = SkipGramEmbeddings(vocab, dim=12, window=2, negatives=4,
+                                 lr=0.08, seed=3, subsample=0.0)
+        emb.train(corpus, epochs=4)
+        return emb
+
+    def test_unfitted_raises(self):
+        vocab = Vocab(["a", "b"])
+        with pytest.raises(NotFittedError):
+            SkipGramEmbeddings(vocab).vector("a")
+
+    def test_matrix_shape(self, trained):
+        assert trained.matrix().shape == (len(trained.vocab), 12)
+
+    def test_within_cluster_similarity_higher(self, trained):
+        within = trained.similarity("grill", "charcoal")
+        across = trained.similarity("grill", "dress")
+        assert within > across
+
+    def test_most_similar_returns_cluster_mates(self, trained):
+        neighbours = [w for w, _ in trained.most_similar("dress", top_k=3)]
+        clothing = {"skirt", "coat", "jacket"}
+        assert len(clothing.intersection(neighbours)) >= 2
+
+    def test_most_similar_excludes_query(self, trained):
+        neighbours = [w for w, _ in trained.most_similar("grill", top_k=5)]
+        assert "grill" not in neighbours
+        assert "<unk>" not in neighbours
+
+
+class TestDoc2Vec:
+    def make_documents(self):
+        docs = []
+        for _ in range(20):
+            docs.append(["grill", "charcoal", "barbecue", "fire", "smoke"])
+            docs.append(["dress", "skirt", "fashion", "fabric", "style"])
+        return docs
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(DataError):
+            Doc2Vec().fit([])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            Doc2Vec().document_vector(0)
+        with pytest.raises(NotFittedError):
+            Doc2Vec().infer_vector(["a"])
+
+    def test_same_topic_docs_closer(self):
+        docs = self.make_documents()
+        model = Doc2Vec(dim=10, epochs=15, seed=1).fit(docs)
+        bbq_a, bbq_b = model.document_vector(0), model.document_vector(2)
+        fashion = model.document_vector(1)
+        assert Doc2Vec.cosine(bbq_a, bbq_b) > Doc2Vec.cosine(bbq_a, fashion)
+
+    def test_infer_vector_lands_near_topic(self):
+        docs = self.make_documents()
+        model = Doc2Vec(dim=10, epochs=15, seed=1).fit(docs)
+        inferred = model.infer_vector(["charcoal", "barbecue", "smoke"])
+        bbq = model.document_vector(0)
+        fashion = model.document_vector(1)
+        assert Doc2Vec.cosine(inferred, bbq) > Doc2Vec.cosine(inferred, fashion)
+
+    def test_infer_empty_document_is_finite(self):
+        model = Doc2Vec(dim=6, epochs=2, seed=0).fit([["a", "b"], ["c", "d"]])
+        vector = model.infer_vector([])
+        assert np.all(np.isfinite(vector))

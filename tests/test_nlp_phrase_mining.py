@@ -1,0 +1,61 @@
+"""Tests for the AutoPhrase-substitute quality phrase miner."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.nlp import PhraseMiner
+
+
+def build_corpus():
+    """'outdoor barbecue' is a strong collocation; 'red banana' is noise."""
+    corpus = []
+    for _ in range(30):
+        corpus.append(["plan", "an", "outdoor", "barbecue", "party"])
+        corpus.append(["outdoor", "barbecue", "needs", "charcoal"])
+    for _ in range(30):
+        corpus.append(["outdoor", "furniture", "sale"])
+        corpus.append(["barbecue", "sauce", "recipe"])
+    corpus.append(["red", "banana", "outdoor"])
+    corpus.append(["red", "banana", "barbecue"])
+    corpus.append(["red", "banana", "sale"])
+    return corpus
+
+
+class TestPhraseMiner:
+    def test_empty_corpus_raises(self):
+        with pytest.raises(DataError):
+            PhraseMiner().mine([])
+
+    def test_max_length_validation(self):
+        with pytest.raises(DataError):
+            PhraseMiner(max_length=1)
+
+    def test_strong_collocation_ranks_first(self):
+        phrases = PhraseMiner(min_frequency=3).mine(build_corpus())
+        texts = [p.text for p in phrases]
+        assert "outdoor barbecue" in texts
+        # The collocation should outrank the coincidental 'red banana'.
+        assert texts.index("outdoor barbecue") < texts.index("red banana")
+
+    def test_min_frequency_filters(self):
+        phrases = PhraseMiner(min_frequency=10).mine(build_corpus())
+        assert all(p.frequency >= 10 for p in phrases)
+        assert all(p.text != "red banana" for p in phrases)
+
+    def test_stopword_edges_excluded(self):
+        corpus = [["gifts", "for", "grandpa"]] * 10
+        phrases = PhraseMiner(min_frequency=2).mine(corpus)
+        texts = [p.text for p in phrases]
+        assert "gifts for" not in texts
+        assert "for grandpa" not in texts
+        assert "gifts for grandpa" in texts
+
+    def test_top_k_limits(self):
+        phrases = PhraseMiner(min_frequency=2).mine(build_corpus(), top_k=2)
+        assert len(phrases) == 2
+
+    def test_scores_nonnegative_and_sorted(self):
+        phrases = PhraseMiner(min_frequency=2).mine(build_corpus())
+        scores = [p.score for p in phrases]
+        assert all(s >= 0 for s in scores)
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,228 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.tensor import Tensor
+from repro.nlp.crf import LinearChainCRF
+from repro.nlp.segmentation import MaxMatchSegmenter
+from repro.nlp.vocab import Vocab
+from repro.utils.metrics import (
+    average_precision, f1_score, mean_average_precision, precision_at_k,
+    reciprocal_rank, roc_auc,
+)
+from repro.utils.text import ngrams, normalize_text
+
+# ------------------------------------------------------------------ helpers
+tokens_strategy = st.lists(
+    st.text(alphabet="abcdefg", min_size=1, max_size=5), min_size=0,
+    max_size=8)
+relevance_strategy = st.lists(st.integers(min_value=0, max_value=1),
+                              min_size=1, max_size=20)
+
+
+class TestMetricsProperties:
+    @given(relevance_strategy)
+    def test_average_precision_bounds(self, relevance):
+        assert 0.0 <= average_precision(relevance) <= 1.0
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_perfect_ranking_is_one(self, n):
+        assert average_precision([1] * n) == 1.0
+        assert mean_average_precision([[1] * n]) == 1.0
+
+    @given(relevance_strategy)
+    def test_reciprocal_rank_matches_first_hit(self, relevance):
+        rr = reciprocal_rank(relevance)
+        if 1 in relevance:
+            assert rr == pytest.approx(1.0 / (relevance.index(1) + 1))
+        else:
+            assert rr == 0.0
+
+    @given(relevance_strategy, st.integers(min_value=1, max_value=25))
+    def test_precision_at_k_bounds(self, relevance, k):
+        assert 0.0 <= precision_at_k(relevance, k) <= 1.0
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10,
+                              allow_nan=False), min_size=4, max_size=30))
+    def test_auc_complement_under_score_negation(self, scores):
+        labels = [i % 2 for i in range(len(scores))]
+        # Break exact ties so the complement identity is exact.
+        scores = [s + i * 1e-6 for i, s in enumerate(scores)]
+        auc = roc_auc(labels, scores)
+        flipped = roc_auc(labels, [-s for s in scores])
+        assert auc + flipped == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False)
+                    .map(lambda x: round(x, 3)),
+                    min_size=4, max_size=30),
+           st.floats(min_value=0.1, max_value=3.0))
+    def test_auc_invariant_to_monotone_rescale(self, scores, scale):
+        # Rounding keeps the affine transform tie-preserving in float64
+        # (tiny denormals would otherwise underflow into new ties).
+        labels = [i % 2 for i in range(len(scores))]
+        base = roc_auc(labels, scores)
+        rescaled = roc_auc(labels, [scale * s + 1.0 for s in scores])
+        assert base == pytest.approx(rescaled)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=2,
+                    max_size=30))
+    def test_f1_perfect_predictions(self, labels):
+        expected = 1.0 if 1 in labels else 0.0
+        assert f1_score(labels, labels) == pytest.approx(expected)
+
+
+class TestTextProperties:
+    @given(st.text(max_size=60))
+    def test_normalize_idempotent(self, text):
+        once = normalize_text(text)
+        assert normalize_text(once) == once
+
+    @given(st.text(max_size=60))
+    def test_normalize_output_charset(self, text):
+        for char in normalize_text(text):
+            assert char.islower() or char.isdigit() or char in " -'"
+
+    @given(tokens_strategy, st.integers(min_value=1, max_value=5))
+    def test_ngram_count(self, tokens, n):
+        grams = list(ngrams(tokens, n))
+        assert len(grams) == max(0, len(tokens) - n + 1)
+        for gram in grams:
+            assert len(gram) == n
+
+
+class TestVocabProperties:
+    @given(st.lists(st.text(alphabet="xyz", min_size=1, max_size=4),
+                    min_size=0, max_size=20))
+    def test_roundtrip_known_tokens(self, tokens):
+        vocab = Vocab(tokens)
+        for token in tokens:
+            assert vocab.token(vocab.id(token)) == token
+
+    @given(st.lists(st.lists(st.text(alphabet="pq", min_size=1, max_size=3),
+                             min_size=1, max_size=6),
+                    min_size=1, max_size=10))
+    def test_from_corpus_covers_frequent_tokens(self, sentences):
+        vocab = Vocab.from_corpus(sentences, min_freq=1)
+        for sentence in sentences:
+            for token in sentence:
+                assert token in vocab
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=3),
+                    min_size=0, max_size=15))
+    def test_ids_are_dense(self, tokens):
+        vocab = Vocab(tokens)
+        ids = {vocab.id(t) for t in vocab.tokens()}
+        assert ids == set(range(len(vocab)))
+
+
+class TestTensorProperties:
+    @given(st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False),
+                    min_size=1, max_size=12))
+    def test_softmax_is_distribution(self, values):
+        probs = Tensor(np.array(values)).softmax(axis=0).numpy()
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0)
+
+    @given(st.lists(st.floats(min_value=-20, max_value=20, allow_nan=False),
+                    min_size=1, max_size=12))
+    def test_logsumexp_geq_max(self, values):
+        array = np.array(values)
+        lse = Tensor(array).logsumexp(axis=0).item()
+        assert lse >= array.max() - 1e-12
+        assert lse <= array.max() + np.log(len(values)) + 1e-12
+
+    @given(st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False),
+                    min_size=1, max_size=10))
+    def test_sum_gradient_is_ones(self, values):
+        tensor = Tensor(np.array(values), requires_grad=True)
+        tensor.sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones(len(values)))
+
+    @given(st.lists(st.floats(min_value=-3, max_value=3, allow_nan=False),
+                    min_size=2, max_size=8),
+           st.lists(st.floats(min_value=-3, max_value=3, allow_nan=False),
+                    min_size=2, max_size=8))
+    def test_add_commutes(self, left, right):
+        size = min(len(left), len(right))
+        a = Tensor(np.array(left[:size]))
+        b = Tensor(np.array(right[:size]))
+        np.testing.assert_allclose((a + b).numpy(), (b + a).numpy())
+
+
+class TestCRFProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=3))
+    def test_distribution_normalises(self, seed, length):
+        rng = np.random.default_rng(seed)
+        crf = LinearChainCRF(2, rng)
+        emissions = Tensor(rng.normal(size=(length, 2)))
+        total = 0.0
+        for path_id in range(2 ** length):
+            path = [(path_id >> i) & 1 for i in range(length)]
+            total += np.exp(-crf.nll(emissions, path).item())
+        assert total == pytest.approx(1.0, abs=1e-8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.lists(st.integers(min_value=0, max_value=2), min_size=1,
+                    max_size=4))
+    def test_fuzzy_never_exceeds_strict(self, seed, labels):
+        rng = np.random.default_rng(seed)
+        crf = LinearChainCRF(3, rng)
+        emissions = Tensor(rng.normal(size=(len(labels), 3)))
+        strict = crf.nll(emissions, labels).item()
+        allowed = [[label, (label + 1) % 3] for label in labels]
+        fuzzy = crf.fuzzy_nll(emissions, allowed).item()
+        assert fuzzy <= strict + 1e-9
+        assert fuzzy >= -1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=5))
+    def test_viterbi_path_is_argmax(self, seed, length):
+        """Viterbi beats (or ties) any random path's score."""
+        rng = np.random.default_rng(seed)
+        crf = LinearChainCRF(2, rng)
+        emissions = rng.normal(size=(length, 2))
+        best = crf.decode(emissions)
+        best_nll = crf.nll(Tensor(emissions), best).item()
+        for path_id in range(2 ** length):
+            path = [(path_id >> i) & 1 for i in range(length)]
+            assert best_nll <= crf.nll(Tensor(emissions), path).item() + 1e-9
+
+
+class TestSegmentationProperties:
+    LEXICON = {("a",): {"X"}, ("b",): {"Y"}, ("a", "b"): {"Z"},
+               ("c", "c"): {"X"}}
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=0,
+                    max_size=10))
+    def test_coverage_bounds(self, tokens):
+        segmenter = MaxMatchSegmenter(self.LEXICON)
+        result = segmenter.segment(tokens)
+        assert 0 <= result.covered <= len(tokens)
+        labels = result.iob_labels(len(tokens))
+        assert len(labels) == len(tokens)
+        inside = sum(1 for l in labels if l != "O")
+        assert inside == result.covered
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1,
+                    max_size=10))
+    def test_perfect_match_implies_full_cover(self, tokens):
+        segmenter = MaxMatchSegmenter(self.LEXICON)
+        if segmenter.perfectly_matched(tokens):
+            assert segmenter.segment(tokens).covered == len(tokens)
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=0,
+                    max_size=10))
+    def test_segments_disjoint_and_sorted(self, tokens):
+        segmenter = MaxMatchSegmenter(self.LEXICON)
+        result = segmenter.segment(tokens)
+        previous_stop = 0
+        for segment in result.segments:
+            assert segment.start >= previous_stop
+            assert segment.stop <= len(tokens)
+            previous_stop = segment.stop

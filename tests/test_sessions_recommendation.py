@@ -1,0 +1,76 @@
+"""Tests for the session simulator and the recommendation experiment."""
+
+import numpy as np
+import pytest
+
+from repro import build_alicoco, TINY
+from repro.errors import DataError
+from repro.synth.sessions import cf_training_sessions, simulate_sessions
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_alicoco(TINY)
+
+
+class TestSessionSimulator:
+    def test_sessions_have_structure(self, built):
+        rng = np.random.default_rng(0)
+        sessions = simulate_sessions(built.store, built.concept_ids, rng,
+                                     n_users=20)
+        assert len(sessions) == 20
+        for session in sessions:
+            assert session.need_text in built.concept_ids
+            assert len(session.history) == 2
+            assert session.future
+            for item_id in session.history + session.future:
+                assert item_id in built.store
+
+    def test_future_items_belong_to_need(self, built):
+        from repro.kg.query import items_for_concept
+        rng = np.random.default_rng(1)
+        sessions = simulate_sessions(built.store, built.concept_ids, rng,
+                                     n_users=10, noise_probability=0.0)
+        for session in sessions:
+            concept_id = built.concept_ids[session.need_text]
+            concept_items = {item.id for item
+                             in items_for_concept(built.store, concept_id)}
+            assert set(session.future) <= concept_items
+            assert set(session.history) <= concept_items  # no noise
+
+    def test_allowed_needs_filter(self, built):
+        rng = np.random.default_rng(2)
+        all_sessions = simulate_sessions(built.store, built.concept_ids,
+                                         rng, n_users=10)
+        needs = {all_sessions[0].need_text}
+        restricted = simulate_sessions(built.store, built.concept_ids,
+                                       np.random.default_rng(3),
+                                       n_users=10, allowed_needs=needs)
+        assert {s.need_text for s in restricted} == needs
+
+    def test_impossible_filter_raises(self, built):
+        with pytest.raises(DataError):
+            simulate_sessions(built.store, built.concept_ids,
+                              np.random.default_rng(0), n_users=5,
+                              allowed_needs={"no such concept"})
+
+    def test_cf_training_sessions_concatenate(self, built):
+        rng = np.random.default_rng(4)
+        sessions = simulate_sessions(built.store, built.concept_ids, rng,
+                                     n_users=5)
+        logs = cf_training_sessions(sessions)
+        assert len(logs) == 5
+        for session, log in zip(sessions, logs):
+            assert log == session.history + session.future
+
+
+class TestRecommendationExperiment:
+    def test_shapes_reproduce(self):
+        from repro.experiments import recommendation
+        result = recommendation.run(TINY, n_train_users=40, n_test_users=25)
+        assert result.users == 25
+        # The paper's critique: CF cannot serve needs absent from logs.
+        assert result.cognitive_novel_need_hit > result.cf_novel_need_hit
+        assert result.cognitive.explained > result.item_cf.explained
+        report = recommendation.format_report(result)
+        assert "novel-need" in report

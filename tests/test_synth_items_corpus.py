@@ -1,0 +1,221 @@
+"""Tests for item generation, corpus, click logs, glosses and the oracle."""
+
+import numpy as np
+import pytest
+
+from repro.config import TINY
+from repro.errors import BudgetExhaustedError
+from repro.synth import (
+    build_corpus, build_gloss_kb, build_lexicon, Oracle, World,
+)
+from repro.synth.clicklog import simulate_clicks
+from repro.synth.items import (
+    audience_affinity, generate_items, item_matches_concept,
+)
+from repro.synth.world import ConceptPart, ConceptSpec
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(build_lexicon(seed=7), seed=7)
+
+
+@pytest.fixture(scope="module")
+def items(world):
+    return generate_items(world, 200)
+
+
+@pytest.fixture(scope="module")
+def concepts(world):
+    return world.sample_good_concepts(np.random.default_rng(0), 40)
+
+
+class TestItems:
+    def test_count_and_determinism(self, world, items):
+        assert len(items) == 200
+        again = generate_items(world, 200)
+        assert [i.title for i in again] == [i.title for i in items]
+
+    def test_titles_contain_category(self, items):
+        for item in items:
+            for token in item.category.split():
+                assert token in item.title_tokens
+
+    def test_attributes_consistent(self, world, items):
+        for item in items:
+            assert item.leaf_class == world.category_class(item.category)
+            assert item.head == world.category_head(item.category)
+            for season in item.seasons:
+                assert season in ("winter", "summer", "spring", "autumn")
+
+    def test_provided_functions_are_implicit(self, items):
+        """Provider functions must not leak into the title (semantic drift)."""
+        blankets = [i for i in items if i.head == "blanket"]
+        assert blankets, "catalog should include blankets at n=200"
+        for item in blankets:
+            assert "warm" in item.provided_functions
+            if "warm" not in item.functions:
+                assert "warm" not in item.title_tokens
+
+    def test_primitive_surfaces_tagged(self, items):
+        item = items[0]
+        tags = dict()
+        for surface, domain in item.primitive_surfaces():
+            tags.setdefault(domain, []).append(surface)
+        assert item.category in tags["Category"]
+
+
+class TestItemConceptMatching:
+    def test_event_concept_matches_kit(self, world, items):
+        spec = ConceptSpec("outdoor barbecue",
+                           (ConceptPart("outdoor", "Location"),
+                            ConceptPart("barbecue", "Event")),
+                           "location-event", good=True)
+        matched = [i for i in items if item_matches_concept(world, i, spec)]
+        assert matched
+        heads = {i.head for i in matched}
+        assert heads <= {"grill", "charcoal", "skewers", "tongs",
+                         "grill-brush", "apron", "beef", "butter"}
+
+    def test_semantic_drift_charcoal_matches_outdoor_barbecue(self, world, items):
+        """Charcoal belongs to 'outdoor barbecue' although its item has no
+        'outdoor' scene requirement satisfied at item level."""
+        spec = ConceptSpec("outdoor barbecue",
+                           (ConceptPart("outdoor", "Location"),
+                            ConceptPart("barbecue", "Event")),
+                           "location-event", good=True)
+        big_catalog = generate_items(world, 800, seed=99)
+        charcoal = [i for i in big_catalog if i.head == "charcoal"]
+        assert charcoal
+        for item in charcoal:
+            assert "outdoor" not in item.title_tokens
+            assert item_matches_concept(world, item, spec)
+
+    def test_keep_warm_matches_providers_without_text_overlap(self, world, items):
+        spec = ConceptSpec("keep warm for kids",
+                           (ConceptPart("warm", "Function"),
+                            ConceptPart("kids", "Audience")),
+                           "keep-function-audience", good=True)
+        matched = [i for i in items if item_matches_concept(world, i, spec)]
+        for item in matched:
+            assert "kids" in item.audiences
+            assert "warm" in item.functions or "warm" in item.provided_functions
+
+    def test_bad_concept_matches_nothing(self, world, items):
+        spec = ConceptSpec("hens lay eggs", (), "nonsense", good=False,
+                           defect="nonsense")
+        assert not any(item_matches_concept(world, i, spec) for i in items)
+
+    def test_audience_affinity_includes_class_defaults(self, items):
+        pet_items = [i for i in items if i.leaf_class == "PetGear"]
+        if pet_items:
+            assert "pets" in audience_affinity(pet_items[0])
+
+
+class TestCorpus:
+    def test_build_corpus_shapes(self, world, concepts):
+        corpus = build_corpus(world, concepts, TINY)
+        assert len(corpus.items) == TINY.n_items
+        assert len(corpus.queries) == TINY.n_queries
+        assert len(corpus.reviews) == TINY.n_reviews
+        assert len(corpus.guides) == TINY.n_guides
+        sentences = corpus.sentences()
+        assert len(sentences) == (TINY.n_items + TINY.n_queries
+                                  + TINY.n_reviews + TINY.n_guides)
+        assert all(isinstance(s, list) and s for s in sentences)
+
+    def test_query_families(self, world, concepts):
+        from repro.synth.queries import NOVEL_TERMS
+        corpus = build_corpus(world, concepts, TINY)
+        families = {q.family for q in corpus.queries}
+        assert families == {"product", "scenario", "problem"}
+        novel_seen = 0
+        for query in corpus.queries:
+            if query.family in ("scenario", "problem"):
+                if query.concept_text:
+                    continue
+                # No concept text -> must be an emerging-trend query.
+                assert any(term in query.text for term in NOVEL_TERMS)
+                novel_seen += 1
+        assert novel_seen > 0
+
+    def test_guides_contain_hearst_patterns(self, world, concepts):
+        corpus = build_corpus(world, concepts, TINY)
+        joined = [" ".join(s) for s in corpus.guides]
+        assert any("is a kind of" in s or "such as" in s for s in joined)
+
+
+class TestClickLog:
+    def test_clicks_concentrate_on_relevant(self, world, items, concepts):
+        events = simulate_clicks(world, concepts, items,
+                                 impressions_per_concept=40)
+        assert events
+        relevant_clicks = irrelevant_clicks = 0
+        relevant_total = irrelevant_total = 0
+        for event in events:
+            spec = concepts[event.concept_index]
+            is_relevant = item_matches_concept(world, items[event.item_index],
+                                               spec)
+            if is_relevant:
+                relevant_total += 1
+                relevant_clicks += event.clicked
+            else:
+                irrelevant_total += 1
+                irrelevant_clicks += event.clicked
+        assert relevant_total and irrelevant_total
+        assert (relevant_clicks / relevant_total) > \
+            5 * (irrelevant_clicks / max(1, irrelevant_total))
+
+    def test_bad_concepts_get_no_impressions(self, world, items):
+        bad = ConceptSpec("hens lay eggs", (), "nonsense", good=False,
+                          defect="nonsense")
+        events = simulate_clicks(world, [bad], items)
+        assert events == []
+
+
+class TestGlosses:
+    def test_every_surface_has_gloss(self, world):
+        kb = build_gloss_kb(world)
+        for surface in world.lexicon.surfaces():
+            assert kb.has(surface)
+            assert kb.gloss(surface)
+
+    def test_mid_autumn_gloss_mentions_moon_cakes(self, world):
+        """The paper's Section 7.6 case study, planted."""
+        kb = build_gloss_kb(world)
+        assert "moon-cakes" in kb.gloss("mid-autumn-festival")
+
+    def test_sexy_gloss_mentions_audience_restriction(self, world):
+        kb = build_gloss_kb(world)
+        gloss = kb.gloss("sexy")
+        assert "baby" in gloss and "never" in gloss
+
+    def test_ambiguous_surface_gloss_covers_both_senses(self, world):
+        kb = build_gloss_kb(world)
+        gloss = " ".join(kb.gloss("village"))
+        assert "place" in gloss and "style" in gloss
+
+
+class TestOracle:
+    def test_hypernym_labels(self, world):
+        oracle = Oracle(world)
+        assert oracle.label_hypernym("trench coat", "coat")
+        assert not oracle.label_hypernym("coat", "trench coat")
+        assert not oracle.label_hypernym("trench coat", "dress")
+        assert oracle.labels_used == 3
+
+    def test_budget_enforced(self, world):
+        oracle = Oracle(world, budget=2)
+        oracle.label_hypernym("trench coat", "coat")
+        oracle.label_hypernym("maxi dress", "dress")
+        with pytest.raises(BudgetExhaustedError):
+            oracle.label_hypernym("down coat", "coat")
+
+    def test_concept_and_match_labels(self, world, items, concepts):
+        oracle = Oracle(world)
+        spec = concepts[0]
+        assert oracle.label_concept(spec)
+        labels = oracle.label_tagging(spec)
+        assert len(labels) == len(spec.tokens)
+        result = oracle.label_match(items[0], spec)
+        assert isinstance(result, bool)

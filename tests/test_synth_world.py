@@ -1,0 +1,186 @@
+"""Tests for the synthetic world: lexicon, compatibility, concept sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.synth import build_lexicon, World
+from repro.synth.lexicon import AMBIGUOUS_SURFACES
+from repro.synth.world import (
+    ConceptPart, ConceptSpec, EVENT_NEEDS, FUNCTION_PROVIDERS, HOLIDAY_GIFTS,
+)
+from repro.taxonomy.seed import CATEGORY_TREE
+
+
+@pytest.fixture(scope="module")
+def lexicon():
+    return build_lexicon(seed=7)
+
+
+@pytest.fixture(scope="module")
+def world(lexicon):
+    return World(lexicon, seed=7)
+
+
+class TestLexicon:
+    def test_all_twenty_domains_populated(self, lexicon):
+        from repro.taxonomy import DOMAINS
+        for domain in DOMAINS:
+            assert lexicon.domain_entries(domain), f"{domain} is empty"
+
+    def test_category_leaf_classes_exist_in_taxonomy(self, lexicon):
+        leaves = {leaf for leaves in CATEGORY_TREE.values() for leaf in leaves}
+        for entry in lexicon.domain_entries("Category"):
+            assert entry.class_name in leaves
+
+    def test_ambiguous_surfaces_have_two_senses(self, lexicon):
+        for surface, senses in AMBIGUOUS_SURFACES:
+            assert lexicon.is_ambiguous(surface)
+            assert set(lexicon.domains_of(surface)) == \
+                {domain for domain, _ in senses}
+
+    def test_hypernym_pairs_are_category_internal(self, lexicon):
+        from repro.synth.lexicon import COVER_TERMS
+        cover_pairs = {(hypo, cover) for cover, hypos in COVER_TERMS.items()
+                       for hypo in hypos}
+        pairs = lexicon.hypernym_pairs("Category")
+        assert len(pairs) > 50
+        surfaces = set(lexicon.domain_surfaces("Category"))
+        for hyponym, hypernym in pairs:
+            assert hyponym in surfaces
+            assert hypernym in surfaces
+            # Either suffix-shaped ("trench coat" isA "coat") or a declared
+            # cover-term pair ("coat" isA "top").
+            assert hyponym.endswith(hypernym) or \
+                (hyponym, hypernym) in cover_pairs
+
+    def test_deterministic(self):
+        a = build_lexicon(seed=11)
+        b = build_lexicon(seed=11)
+        assert [e.surface for e in a.entries] == [e.surface for e in b.entries]
+
+    def test_brand_ip_generated(self, lexicon):
+        assert len(lexicon.domain_surfaces("Brand")) >= 50
+        assert len(lexicon.domain_surfaces("IP")) >= 30
+
+    def test_world_tables_reference_real_categories(self, lexicon):
+        surfaces = set(lexicon.domain_surfaces("Category"))
+        for needs in EVENT_NEEDS.values():
+            for need in needs:
+                assert need in surfaces, f"{need} not a Category surface"
+        for providers in FUNCTION_PROVIDERS.values():
+            for provider in providers:
+                assert provider in surfaces
+        for gifts in HOLIDAY_GIFTS.values():
+            for gift in gifts:
+                assert gift in surfaces
+
+
+class TestCompatibility:
+    def test_good_combo(self, world):
+        ok, _ = world.compatible((ConceptPart("outdoor", "Location"),
+                                  ConceptPart("barbecue", "Event")))
+        assert ok
+
+    def test_paper_bad_examples(self, world):
+        # "warm shoes for swimming"
+        ok, reason = world.compatible((
+            ConceptPart("warm", "Function"),
+            ConceptPart("sneakers", "Category"),
+            ConceptPart("swimming", "Event")))
+        assert not ok and "function-event" in reason
+        # "sexy baby dress"
+        ok, reason = world.compatible((
+            ConceptPart("sexy", "Style"), ConceptPart("baby", "Audience")))
+        assert not ok and "style-audience" in reason
+        # "european korean curtain" (two styles)
+        ok, reason = world.compatible((
+            ConceptPart("british-style", "Style"),
+            ConceptPart("korean-style", "Style")))
+        assert not ok and reason == "two styles"
+        # "bathing in the classroom"
+        ok, reason = world.compatible((
+            ConceptPart("bathing", "Event"),
+            ConceptPart("classroom", "Location")))
+        assert not ok and "location-event" in reason
+        # "casual summer coat"
+        ok, reason = world.compatible((
+            ConceptPart("casual", "Style"), ConceptPart("summer", "Time"),
+            ConceptPart("coat", "Category")))
+        assert not ok and "category-season" in reason
+
+    def test_function_category_applicability(self, world):
+        ok, reason = world.compatible((
+            ConceptPart("noise-cancelling", "Function"),
+            ConceptPart("butter", "Category")))
+        assert not ok and "function-category" in reason
+
+    def test_category_helpers(self, world):
+        assert world.category_head("trench coat") == "coat"
+        assert world.category_class("trench coat") == "Clothing"
+        with pytest.raises(DataError):
+            world.category_head("spaceship")
+
+    def test_events_needing_respects_heads(self, world):
+        assert "skiing" in world.events_needing("trench coat")
+        assert "barbecue" in world.events_needing("charcoal grill")
+
+
+class TestConceptSampling:
+    def test_good_concepts_are_good(self, world):
+        rng = np.random.default_rng(0)
+        specs = world.sample_good_concepts(rng, 60)
+        assert len(specs) == 60
+        assert len({s.text for s in specs}) == 60
+        for spec in specs:
+            assert spec.good
+            assert spec.parts
+            ok, _ = world.compatible(spec.parts)
+            assert ok
+
+    def test_bad_concepts_have_defects(self, world):
+        rng = np.random.default_rng(1)
+        specs = world.sample_bad_concepts(rng, 60)
+        assert len(specs) == 60
+        defects = {s.defect for s in specs}
+        assert defects >= {"implausible", "incoherent", "nonsense"}
+        for spec in specs:
+            assert not spec.good
+            assert spec.defect
+
+    def test_iob_labels_align(self, world):
+        rng = np.random.default_rng(2)
+        for spec in world.sample_good_concepts(rng, 40):
+            labels = spec.iob_labels()
+            assert len(labels) == len(spec.tokens)
+            begins = [l for l in labels if l.startswith("B-")]
+            assert len(begins) == len(spec.parts)
+
+    def test_iob_labels_multiword_parts(self, world):
+        spec = ConceptSpec(
+            "warm trench coat for traveling",
+            (ConceptPart("warm", "Function"),
+             ConceptPart("trench coat", "Category"),
+             ConceptPart("traveling", "Event")),
+            "function-category-event", good=True)
+        assert spec.iob_labels() == \
+            ["B-Function", "B-Category", "I-Category", "O", "B-Event"]
+
+    def test_iob_misaligned_parts_raise(self):
+        spec = ConceptSpec("outdoor barbecue",
+                           (ConceptPart("indoor", "Location"),),
+                           "location-event", good=True)
+        with pytest.raises(DataError):
+            spec.iob_labels()
+
+    def test_sampling_deterministic(self, world):
+        first = world.sample_good_concepts(np.random.default_rng(5), 20)
+        second = world.sample_good_concepts(np.random.default_rng(5), 20)
+        assert [s.text for s in first] == [s.text for s in second]
+
+    def test_mixed_sampling_shuffles(self, world):
+        rng = np.random.default_rng(3)
+        mixed = world.sample_concepts(rng, 20, 20)
+        assert len(mixed) == 40
+        flags = [s.good for s in mixed]
+        assert not all(flags[:20])  # shuffled, not grouped

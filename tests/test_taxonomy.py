@@ -1,0 +1,75 @@
+"""Tests for the taxonomy seed and builder (Section 3)."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.kg import AliCoCoStore, RelationKind
+from repro.kg.query import class_path
+from repro.taxonomy import DOMAINS, build_taxonomy
+from repro.taxonomy.schema import ECOMMERCE_DOMAINS
+
+
+@pytest.fixture(scope="module")
+def built():
+    store = AliCoCoStore()
+    index = build_taxonomy(store)
+    return store, index
+
+
+class TestTaxonomy:
+    def test_twenty_domains(self):
+        assert len(DOMAINS) == 20
+        assert len(set(DOMAINS)) == 20
+
+    def test_paper_named_domains_present(self):
+        for name in ("Category", "Brand", "Color", "Function", "IP", "Time",
+                     "Location", "Audience", "Event"):
+            assert name in DOMAINS
+
+    def test_ecommerce_domains_subset(self):
+        assert ECOMMERCE_DOMAINS < set(DOMAINS)
+        assert "Category" in ECOMMERCE_DOMAINS
+        assert "Time" not in ECOMMERCE_DOMAINS
+
+    def test_domains_are_roots(self, built):
+        store, index = built
+        for domain in DOMAINS:
+            node = store.get(index.id_of(domain))
+            assert node.parent_id is None
+
+    def test_category_path_matches_paper_example(self, built):
+        store, index = built
+        path = class_path(store, index.id_of("Clothing"))
+        assert [c.name for c in path] == \
+            ["Category", "ClothingAndAccessory", "Clothing"]
+
+    def test_category_is_largest_domain(self, built):
+        store, _ = built
+        by_domain = {}
+        for node in store.nodes("cls"):
+            by_domain[node.domain] = by_domain.get(node.domain, 0) + 1
+        assert by_domain["Category"] == max(by_domain.values())
+
+    def test_subclass_relations_exist(self, built):
+        store, index = built
+        children = store.in_relations(index.id_of("Time"),
+                                      RelationKind.SUBCLASS_OF)
+        names = {store.get(r.source).name for r in children}
+        assert names == {"Season", "Holiday", "TimeOfDay"}
+
+    def test_schema_relations_built(self, built):
+        store, index = built
+        schema = list(store.relations(RelationKind.SCHEMA))
+        assert any(r.name == "suitable_when" for r in schema)
+        suitable = [r for r in schema if r.name == "suitable_when"]
+        sources = {store.get(r.source).name for r in suitable}
+        assert "Clothing" in sources
+
+    def test_unknown_class_lookup(self, built):
+        _, index = built
+        with pytest.raises(TaxonomyError):
+            index.id_of("Spaceships")
+
+    def test_leaf_class_default_per_domain(self, built):
+        _, index = built
+        assert set(index.leaf_class_of_domain) == set(DOMAINS)

@@ -1,0 +1,156 @@
+"""Tests for the io helpers plus failure-injection across the stack."""
+
+import numpy as np
+import pytest
+
+from repro import build_alicoco, TINY
+from repro.errors import BudgetExhaustedError, DataError
+from repro.kg.serialize import load_store, save_store
+from repro.utils.io import atomic_write_text, read_jsonl, write_jsonl
+
+
+class TestIoHelpers:
+    def test_atomic_write_roundtrip(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello")
+        assert path.read_text() == "hello"
+        atomic_write_text(path, "replaced")
+        assert path.read_text() == "replaced"
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert not leftovers
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        records = [{"a": 1}, {"b": [1, 2]}, {"c": "x"}]
+        assert write_jsonl(path, records) == 3
+        loaded = [record for _, record in read_jsonl(path)]
+        assert loaded == records
+
+    def test_write_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_jsonl(path, []) == 0
+        assert list(read_jsonl(path)) == []
+
+    def test_malformed_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(DataError, match="line 2"):
+            list(read_jsonl(path))
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(DataError, match="JSON object"):
+            list(read_jsonl(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "sparse.jsonl"
+        path.write_text('{"a": 1}\n\n\n{"b": 2}\n')
+        assert [r for _, r in read_jsonl(path)] == [{"a": 1}, {"b": 2}]
+
+
+class TestStoreSerializationFailures:
+    def test_full_build_roundtrip(self, tmp_path):
+        built = build_alicoco(TINY)
+        path = tmp_path / "net.jsonl"
+        lines = save_store(built.store, path)
+        assert lines == len(built.store) + built.store.stats().relations_total
+        loaded = load_store(path)
+        assert loaded.stats() == built.store.stats()
+
+    def test_unknown_relation_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"record": "relation", "kind": "TELEPORTS_TO", '
+            '"source": "a", "target": "b"}\n')
+        with pytest.raises(DataError, match="unknown relation kind"):
+            load_store(path)
+
+    def test_bad_node_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"record": "node", "type": "class", "id": "cls_0", '
+                        '"name": "X", "domain": "D", "extra_field": 1}\n')
+        with pytest.raises(DataError, match="bad node record"):
+            load_store(path)
+
+    def test_truncated_file_is_detected(self, tmp_path):
+        """A relation referencing a node cut off by truncation fails loudly
+        instead of producing a silently broken store."""
+        built = build_alicoco(TINY)
+        path = tmp_path / "net.jsonl"
+        save_store(built.store, path)
+        lines = path.read_text().splitlines()
+        # Drop all nodes, keep a relation: endpoints now dangle.
+        relation_lines = [l for l in lines if '"record": "relation"' in l]
+        path.write_text(relation_lines[0] + "\n")
+        from repro.errors import NodeNotFoundError
+        with pytest.raises(NodeNotFoundError):
+            load_store(path)
+
+
+class TestOracleBudgetFailures:
+    def test_budget_exhaustion_mid_experiment(self):
+        """An annotation budget that runs out surfaces as a typed error the
+        caller can catch — no silent mislabels."""
+        from repro.synth import build_lexicon, Oracle, World
+        world = World(build_lexicon(seed=7), seed=7)
+        oracle = Oracle(world, budget=5)
+        pairs = world.lexicon.hypernym_pairs("Category")[:10]
+        labelled = []
+        with pytest.raises(BudgetExhaustedError):
+            for hyponym, hypernym in pairs:
+                labelled.append(oracle.label_hypernym(hyponym, hypernym))
+        assert len(labelled) == 5
+        assert oracle.labels_used == 5
+
+    def test_budget_spans_question_types(self):
+        from repro.synth import build_lexicon, Oracle, World
+        world = World(build_lexicon(seed=7), seed=7)
+        rng = np.random.default_rng(0)
+        spec = world.sample_good_concepts(rng, 1)[0]
+        oracle = Oracle(world, budget=2)
+        oracle.label_concept(spec)
+        oracle.label_tagging(spec)
+        with pytest.raises(BudgetExhaustedError):
+            oracle.label_concept(spec)
+
+
+class TestTrainingFailureModes:
+    def test_crf_rejects_inconsistent_shapes_not_crashes(self, rng):
+        from repro.errors import ShapeError
+        from repro.ml.tensor import Tensor
+        from repro.nlp.crf import LinearChainCRF
+        crf = LinearChainCRF(3, rng)
+        with pytest.raises(ShapeError):
+            crf.fuzzy_nll(Tensor(np.zeros((2, 3))), [[0]])
+
+    def test_miner_survives_degenerate_single_label_data(self):
+        from repro.mining import BiLSTMCRFMiner, TaggedSentence
+        from repro.mining.bilstm_crf import LabelSet
+        from repro.nlp.vocab import Vocab
+        data = [TaggedSentence(("x",), ("O",))] * 4
+        vocab = Vocab.from_corpus([["x"]])
+        miner = BiLSTMCRFMiner(vocab, LabelSet.from_data(data),
+                               embedding_dim=4, hidden_dim=4, seed=0)
+        history = miner.fit(data, epochs=2)
+        assert all(np.isfinite(history))
+        assert miner.predict(("x",)) == ["O"]
+
+    def test_matcher_with_all_negative_training_stays_finite(self):
+        """Degenerate click logs (nobody clicked) must not NaN the model."""
+        from repro.matching import DSSMMatcher, train_matcher
+        from repro.matching.base import matching_vocab
+        from repro.matching.dataset import MatchingExample
+        from repro.synth import build_lexicon, World
+        from repro.synth.items import generate_items
+        world = World(build_lexicon(seed=7), seed=7)
+        items = generate_items(world, 20)
+        specs = world.sample_good_concepts(np.random.default_rng(0), 5)
+        examples = [MatchingExample(spec, item, 0)
+                    for spec in specs for item in items[:4]]
+        vocab = matching_vocab(examples)
+        model = DSSMMatcher(vocab, dim=8, seed=0)
+        history = train_matcher(model, examples, epochs=2, seed=0)
+        assert all(np.isfinite(history))
+        scores = model.score_pairs(examples[:3])
+        assert np.all(np.isfinite(scores))
