@@ -1,0 +1,50 @@
+"""Bench — construction profile: stage timings, indexed vs brute force.
+
+Builds the net at the scaling study's largest preset (480 items) twice —
+once through the inverted candidate indexes (the default) and once
+through the brute-force all-pairs scans kept behind
+``use_candidate_index=False`` — then checks that (a) both paths produce
+the identical store and (b) the indexed hot path (item-concept matching
+plus concept-isA discovery, read off the stage timers) is at least twice
+as fast.
+"""
+
+from dataclasses import replace
+
+from repro.pipeline.build import build_alicoco
+
+from conftest import BENCH_SCALE
+
+_N_ITEMS = 480
+_N_CONCEPTS = 60
+
+
+def _hot_path_seconds(result) -> float:
+    return (result.timings.seconds("item-matching")
+            + result.timings.seconds("concept-isa"))
+
+
+def test_build_profile(benchmark, report):
+    scale = replace(BENCH_SCALE, n_items=_N_ITEMS)
+    indexed = benchmark.pedantic(
+        lambda: build_alicoco(scale, n_concepts=_N_CONCEPTS,
+                              use_candidate_index=True),
+        rounds=1, iterations=1)
+    brute = build_alicoco(scale, n_concepts=_N_CONCEPTS,
+                          use_candidate_index=False)
+
+    # Parity: the fast path is an acceleration, not an approximation.
+    assert sorted(n.id for n in indexed.store.nodes()) == \
+        sorted(n.id for n in brute.store.nodes())
+    assert list(indexed.store.relations()) == list(brute.store.relations())
+
+    speedup = _hot_path_seconds(brute) / max(_hot_path_seconds(indexed), 1e-9)
+    assert speedup >= 2.0, \
+        f"indexed hot path should be >=2x brute force, got {speedup:.2f}x"
+
+    lines = [f"Build profile at {_N_ITEMS} items / {_N_CONCEPTS} concepts",
+             f"  hot-path speedup (match + isA): {speedup:.2f}x", ""]
+    for tag, result in (("indexed", indexed), ("brute-force", brute)):
+        lines.append(result.timings.format_table(f"{tag} stage timings"))
+        lines.append("")
+    report("\n".join(lines))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from collections import deque
+
 from ..errors import TaxonomyError
 from .ids import ECOMMERCE_PREFIX, PRIMITIVE_PREFIX
 from .nodes import ClassNode, ECommerceConcept, Item, PrimitiveConcept
@@ -41,9 +43,9 @@ def hypernyms(store: AliCoCoStore, primitive_id: str,
         return direct
     closure: list[PrimitiveConcept] = []
     seen = {primitive_id}
-    frontier = list(direct)
+    frontier = deque(direct)
     while frontier:
-        node = frontier.pop(0)
+        node = frontier.popleft()
         if node.id in seen:
             continue
         seen.add(node.id)

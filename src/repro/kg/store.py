@@ -39,7 +39,15 @@ class AliCoCoStore:
         self._relations: list[Relation] = []
         self._out: dict[tuple[str, RelationKind], list[Relation]] = defaultdict(list)
         self._in: dict[tuple[str, RelationKind], list[Relation]] = defaultdict(list)
-        self._relation_keys: set[tuple[RelationKind, str, str]] = set()
+        self._relation_by_key: dict[tuple[RelationKind, str, str], Relation] = {}
+        # Incrementally-maintained statistics; every mutation funnels
+        # through add_node/add_relation so these can never drift.
+        self._layer_counts: dict[str, int] = {p: 0 for p in _LAYER_TYPES}
+        self._kind_counts: dict[RelationKind, int] = defaultdict(int)
+        self._by_kind: dict[RelationKind, list[Relation]] = defaultdict(list)
+        self._domain_class_ids: dict[str, list[str]] = defaultdict(list)
+        self._domain_primitive_ids: dict[str, list[str]] = defaultdict(list)
+        self._linked_item_ids: set[str] = set()
 
     # -------------------------------------------------------------- mutation
     def add_node(self, node: Node) -> Node:
@@ -57,6 +65,11 @@ class AliCoCoStore:
                 f"node {node.id!r} has prefix {layer!r} but type {type(node).__name__}")
         self._nodes[node.id] = node
         self._by_name[layer][self._name_of(node)].append(node.id)
+        self._layer_counts[layer] += 1
+        if isinstance(node, ClassNode):
+            self._domain_class_ids[node.domain].append(node.id)
+        elif isinstance(node, PrimitiveConcept):
+            self._domain_primitive_ids[node.domain].append(node.id)
         return node
 
     @staticmethod
@@ -105,7 +118,9 @@ class AliCoCoStore:
         """Insert a relation after validating endpoints.
 
         Duplicate (kind, source, target) triples are ignored and the
-        existing relation list is left untouched.
+        existing relation list is left untouched; the *stored* relation is
+        returned so callers always hold the edge that is actually in the
+        net (the discarded duplicate may carry a different weight/name).
 
         Raises:
             NodeNotFoundError: If either endpoint is missing.
@@ -115,12 +130,18 @@ class AliCoCoStore:
                                   (relation.target, relation.kind.target_layer)):
             self._require(node_id, expected)
         key = (relation.kind, relation.source, relation.target)
-        if key in self._relation_keys:
-            return relation
-        self._relation_keys.add(key)
+        existing = self._relation_by_key.get(key)
+        if existing is not None:
+            return existing
+        self._relation_by_key[key] = relation
         self._relations.append(relation)
         self._out[(relation.source, relation.kind)].append(relation)
         self._in[(relation.target, relation.kind)].append(relation)
+        self._kind_counts[relation.kind] += 1
+        self._by_kind[relation.kind].append(relation)
+        if relation.kind in (RelationKind.ITEM_PRIMITIVE,
+                             RelationKind.ITEM_ECOMMERCE):
+            self._linked_item_ids.add(relation.source)
         return relation
 
     def _require(self, node_id: str, expected_layer: str) -> Node:
@@ -162,10 +183,10 @@ class AliCoCoStore:
                 yield node
 
     def relations(self, kind: RelationKind | None = None) -> Iterator[Relation]:
-        """Iterate relations, optionally filtered by kind."""
-        for relation in self._relations:
-            if kind is None or relation.kind == kind:
-                yield relation
+        """Iterate relations, optionally filtered by kind (per-kind lists
+        are maintained incrementally, so filtering does not scan)."""
+        source = self._relations if kind is None else self._by_kind.get(kind, [])
+        yield from source
 
     def out_relations(self, node_id: str, kind: RelationKind) -> list[Relation]:
         """Outgoing relations of ``node_id`` with the given kind."""
@@ -185,24 +206,20 @@ class AliCoCoStore:
 
     # ------------------------------------------------------------ statistics
     def count_nodes(self, layer: str) -> int:
-        return sum(1 for _ in self.nodes(layer))
+        """Nodes in a layer — O(1) from the maintained counter."""
+        return self._layer_counts[layer]
 
     def count_relations(self, kind: RelationKind) -> int:
-        return sum(1 for _ in self.relations(kind))
+        """Relations of a kind — O(1) from the maintained counter."""
+        return self._kind_counts.get(kind, 0)
 
     def stats(self) -> StoreStats:
-        """Aggregate statistics in the shape of the paper's Table 2."""
-        domain_counts: dict[str, int] = defaultdict(int)
-        for node in self.nodes(PRIMITIVE_PREFIX):
-            domain_counts[node.domain] += 1
+        """Aggregate statistics in the shape of the paper's Table 2.
+
+        Every figure is read off incrementally-maintained counters and
+        indexes, so this is O(domains) rather than O(nodes + relations).
+        """
         items = self.count_nodes(ITEM_PREFIX)
-        item_pc = self.count_relations(RelationKind.ITEM_PRIMITIVE)
-        item_ec = self.count_relations(RelationKind.ITEM_ECOMMERCE)
-        linked_items = {
-            r.source
-            for kind in (RelationKind.ITEM_PRIMITIVE, RelationKind.ITEM_ECOMMERCE)
-            for r in self.relations(kind)
-        }
         return StoreStats(
             primitive_concepts=self.count_nodes(PRIMITIVE_PREFIX),
             ecommerce_concepts=self.count_nodes(ECOMMERCE_PREFIX),
@@ -211,19 +228,24 @@ class AliCoCoStore:
             relations_total=len(self._relations),
             isa_primitive=self.count_relations(RelationKind.ISA_PRIMITIVE),
             isa_ecommerce=self.count_relations(RelationKind.ISA_ECOMMERCE),
-            item_primitive=item_pc,
-            item_ecommerce=item_ec,
+            item_primitive=self.count_relations(RelationKind.ITEM_PRIMITIVE),
+            item_ecommerce=self.count_relations(RelationKind.ITEM_ECOMMERCE),
             ecommerce_primitive=self.count_relations(RelationKind.INTERPRETED_BY),
-            primitive_by_domain=dict(domain_counts),
-            linked_item_fraction=(len(linked_items) / items) if items else 0.0,
+            primitive_by_domain={
+                domain: len(ids)
+                for domain, ids in self._domain_primitive_ids.items()},
+            linked_item_fraction=(
+                len(self._linked_item_ids) / items) if items else 0.0,
         )
 
     # --------------------------------------------------------------- helpers
     def classes_in_domain(self, domain: str) -> list[ClassNode]:
-        """All taxonomy classes belonging to a first-level domain."""
-        return [node for node in self.nodes(CLASS_PREFIX) if node.domain == domain]
+        """All taxonomy classes belonging to a first-level domain (served
+        from the per-domain index; no full-store scan)."""
+        return [self._nodes[i] for i in self._domain_class_ids.get(domain, [])]
 
     def primitives_in_domain(self, domain: str) -> list[PrimitiveConcept]:
-        """All primitive concepts belonging to a first-level domain."""
-        return [node for node in self.nodes(PRIMITIVE_PREFIX)
-                if node.domain == domain]
+        """All primitive concepts belonging to a first-level domain (served
+        from the per-domain index; no full-store scan)."""
+        return [self._nodes[i]
+                for i in self._domain_primitive_ids.get(domain, [])]

@@ -7,15 +7,17 @@ MatchPyramid and RE2 — all implemented here on the shared
 """
 
 from .dataset import MatchingDataset, MatchingExample, build_matching_dataset
-from .bm25 import BM25Matcher
+from .bm25 import BM25Index, BM25Matcher
 from .dssm import DSSMMatcher
 from .match_pyramid import MatchPyramidMatcher
 from .re2 import RE2Matcher
 from .knowledge_model import KnowledgeMatcher
+from .retrieval import BM25CandidateGenerator, retrieval_recall
 from .trainer import evaluate_matcher, train_matcher
 
 __all__ = [
     "MatchingDataset", "MatchingExample", "build_matching_dataset",
-    "BM25Matcher", "DSSMMatcher", "MatchPyramidMatcher", "RE2Matcher",
-    "KnowledgeMatcher", "evaluate_matcher", "train_matcher",
+    "BM25Index", "BM25Matcher", "DSSMMatcher", "MatchPyramidMatcher",
+    "RE2Matcher", "KnowledgeMatcher", "BM25CandidateGenerator",
+    "retrieval_recall", "evaluate_matcher", "train_matcher",
 ]

@@ -1,20 +1,38 @@
-"""BM25 lexical-matching baseline (first row of Table 6).
+"""BM25 lexical matching (first row of Table 6) and retrieval.
 
 Purely term-based: it cannot bridge semantic drift ("mid-autumn festival
 gifts" vs "moon cakes"), which is exactly why the paper includes it as the
-floor baseline.
+floor baseline.  Two faces of the same scoring function live here:
+
+- :class:`BM25Matcher` — the Table 6 *pair scorer* (score one query
+  against one given title);
+- :class:`BM25Index` — a *retriever* with a real inverted index: fit once
+  over a document collection, then ``top_k(query_tokens)`` walks only the
+  postings of the query terms instead of scoring every document.  This is
+  the candidate-generation shape the paper uses before deep matching
+  (Section 6 retrieves candidates, then verifies).
 """
 
 from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..errors import DataError, NotFittedError
 from .dataset import MatchingExample
+
+#: IDF fallback for query terms unseen at fit time.
+_UNSEEN_IDF = math.log(2.0)
+
+
+def _idf_table(document_frequency: Mapping[str, int],
+               n_docs: int) -> dict[str, float]:
+    return {
+        term: math.log(1.0 + (n_docs - freq + 0.5) / (freq + 0.5))
+        for term, freq in document_frequency.items()}
 
 
 class BM25Matcher:
@@ -30,10 +48,17 @@ class BM25Matcher:
         self.b = b
         self._idf: dict[str, float] = {}
         self._average_length = 0.0
+        # token tuple -> (term counts, length norm); filled at fit time so
+        # score_pairs never recounts a title it has already seen.
+        self._doc_cache: dict[tuple[str, ...], tuple[Counter, float]] = {}
         self._fitted = False
 
     def fit(self, examples: Sequence[MatchingExample]) -> "BM25Matcher":
-        """Collect document statistics from the training items' titles."""
+        """Collect document statistics from the training items' titles.
+
+        Per-document term counts (and length norms) are precomputed here
+        and cached, keyed by the title's token tuple.
+        """
         titles = {example.item.index: example.item.title_tokens
                   for example in examples}
         if not titles:
@@ -45,27 +70,38 @@ class BM25Matcher:
             document_frequency.update(set(tokens))
         n_docs = len(titles)
         self._average_length = total_length / n_docs
-        self._idf = {
-            term: math.log(1.0 + (n_docs - freq + 0.5) / (freq + 0.5))
-            for term, freq in document_frequency.items()}
+        self._idf = _idf_table(document_frequency, n_docs)
         self._fitted = True
+        self._doc_cache = {}
+        for tokens in titles.values():
+            self._cached_doc(tokens)
         return self
+
+    def _length_norm(self, n_tokens: int) -> float:
+        return self.k1 * (1.0 - self.b + self.b * n_tokens
+                          / max(self._average_length, 1e-9))
+
+    def _cached_doc(self, tokens: Sequence[str]) -> tuple[Counter, float]:
+        """Term counts + length norm for a title, memoised by token tuple."""
+        key = tuple(tokens)
+        cached = self._doc_cache.get(key)
+        if cached is None:
+            cached = (Counter(key), self._length_norm(len(key)))
+            self._doc_cache[key] = cached
+        return cached
 
     def score(self, query_tokens: Sequence[str],
               title_tokens: Sequence[str]) -> float:
         """BM25 score of a query against one title."""
         if not self._fitted:
             raise NotFittedError("BM25 has not been fitted")
-        counts = Counter(title_tokens)
-        length_norm = self.k1 * (
-            1.0 - self.b + self.b * len(title_tokens)
-            / max(self._average_length, 1e-9))
+        counts, length_norm = self._cached_doc(title_tokens)
         score = 0.0
         for term in query_tokens:
             frequency = counts.get(term, 0)
             if frequency == 0:
                 continue
-            idf = self._idf.get(term, math.log(2.0))
+            idf = self._idf.get(term, _UNSEEN_IDF)
             score += idf * frequency * (self.k1 + 1.0) / (frequency + length_norm)
         return score
 
@@ -74,3 +110,109 @@ class BM25Matcher:
         return np.asarray([
             self.score(example.concept.tokens, example.item.title_tokens)
             for example in examples])
+
+
+class BM25Index:
+    """Inverted-index BM25 retriever over an id-keyed document collection.
+
+    Unlike :class:`BM25Matcher` (which scores a given pair), this answers
+    "which documents best match this query" without touching documents
+    that share no term with it: scoring walks only the postings lists of
+    the query terms, so ``top_k`` is O(sum of query-term posting lengths),
+    not O(collection).
+
+    Args:
+        k1: Term-frequency saturation.
+        b: Length normalisation.
+    """
+
+    def __init__(self, k1: float = 1.5, b: float = 0.75):
+        self.k1 = k1
+        self.b = b
+        self._doc_ids: list = []
+        self._postings: dict[str, list[tuple[int, int]]] = {}
+        self._norms: list[float] = []
+        self._idf: dict[str, float] = {}
+        self._fitted = False
+
+    def fit(self, documents: Mapping[object, Sequence[str]]) -> "BM25Index":
+        """Index a document collection (id -> token sequence).
+
+        Document term counts are computed once here; queries never
+        re-tokenise or re-count documents.
+        """
+        if not documents:
+            raise DataError("BM25Index needs at least one document")
+        self._doc_ids = list(documents)
+        document_frequency: Counter[str] = Counter()
+        term_counts: list[Counter] = []
+        lengths: list[int] = []
+        for tokens in documents.values():
+            counts = Counter(tokens)
+            term_counts.append(counts)
+            lengths.append(len(tokens))
+            document_frequency.update(counts.keys())
+        n_docs = len(self._doc_ids)
+        average_length = sum(lengths) / n_docs
+        self._idf = _idf_table(document_frequency, n_docs)
+        self._norms = [
+            self.k1 * (1.0 - self.b + self.b * length
+                       / max(average_length, 1e-9))
+            for length in lengths]
+        self._postings = {}
+        for position, counts in enumerate(term_counts):
+            for term, frequency in counts.items():
+                self._postings.setdefault(term, []).append(
+                    (position, frequency))
+        self._fitted = True
+        return self
+
+    def __len__(self) -> int:
+        return len(self._doc_ids)
+
+    def scores(self, query_tokens: Sequence[str]) -> dict:
+        """Nonzero BM25 scores: doc id -> score, via postings only.
+
+        Documents sharing no term with the query are absent (their score
+        is exactly 0.0).
+        """
+        if not self._fitted:
+            raise NotFittedError("BM25Index has not been fitted")
+        accumulated: dict[int, float] = {}
+        for term, query_frequency in Counter(query_tokens).items():
+            postings = self._postings.get(term)
+            if postings is None:
+                continue
+            idf = self._idf[term] * query_frequency
+            for position, frequency in postings:
+                gain = idf * frequency * (self.k1 + 1.0) \
+                    / (frequency + self._norms[position])
+                accumulated[position] = accumulated.get(position, 0.0) + gain
+        return {self._doc_ids[position]: score
+                for position, score in accumulated.items()}
+
+    def score(self, query_tokens: Sequence[str], doc_id) -> float:
+        """BM25 score of the query against one indexed document."""
+        return self.scores(query_tokens).get(doc_id, 0.0)
+
+    def top_k(self, query_tokens: Sequence[str], k: int = 10) -> list[tuple]:
+        """The ``k`` best-matching (doc id, score) pairs, best first.
+
+        Only documents with a nonzero score are returned (there may be
+        fewer than ``k``).  Ties break by indexing order, which makes the
+        ranking identical to an exhaustive argsort over all documents.
+        """
+        if not self._fitted:
+            raise NotFittedError("BM25Index has not been fitted")
+        accumulated: dict[int, float] = {}
+        for term, query_frequency in Counter(query_tokens).items():
+            postings = self._postings.get(term)
+            if postings is None:
+                continue
+            idf = self._idf[term] * query_frequency
+            for position, frequency in postings:
+                gain = idf * frequency * (self.k1 + 1.0) \
+                    / (frequency + self._norms[position])
+                accumulated[position] = accumulated.get(position, 0.0) + gain
+        best = sorted(accumulated.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        return [(self._doc_ids[position], score) for position, score in best]

@@ -15,6 +15,14 @@ an :class:`~repro.kg.store.AliCoCoStore`:
 4. items with ITEM_PRIMITIVE edges from their attributes and
    ITEM_ECOMMERCE edges from scenario membership (Section 6), weighted by
    simulated click-through rates.
+
+Stage 4 and the concept-isA pass are the hot paths at scale.  By default
+they run retrieval-then-verify over the inverted indexes in
+:mod:`repro.synth.index` (near-linear in items); the brute-force
+all-pairs scans stay callable via ``use_candidate_index=False`` and are
+guaranteed — and tested — to produce an identical store.  Every build
+records per-stage wall times in a :class:`~repro.utils.timing.StageTimer`
+exposed as ``BuildResult.timings``.
 """
 
 from __future__ import annotations
@@ -28,11 +36,13 @@ from ..kg.nodes import ECommerceConcept, Item, PrimitiveConcept
 from ..kg.relations import Relation, RelationKind
 from ..kg.store import AliCoCoStore
 from ..synth.corpus import Corpus, build_corpus
+from ..synth.index import ConceptCandidateIndex, PartSignatureIndex
 from ..synth.items import SynthItem, item_matches_concept
 from ..synth.lexicon import Lexicon, build_lexicon
 from ..synth.world import ConceptSpec, World
 from ..taxonomy.builder import build_taxonomy, TaxonomyIndex
 from ..utils.rng import spawn_rng
+from ..utils.timing import StageTimer
 
 
 @dataclass
@@ -49,6 +59,7 @@ class BuildResult:
         primitive_ids: (surface, domain) -> primitive-concept node id.
         concept_ids: concept text -> e-commerce node id.
         item_ids: catalog index -> item node id.
+        timings: Per-stage wall-clock seconds for this build.
     """
 
     store: AliCoCoStore
@@ -60,10 +71,13 @@ class BuildResult:
     primitive_ids: dict[tuple[str, str], str] = field(default_factory=dict)
     concept_ids: dict[str, str] = field(default_factory=dict)
     item_ids: dict[int, str] = field(default_factory=dict)
+    timings: StageTimer = field(default_factory=StageTimer)
 
 
 def build_alicoco(scale: RunScale, n_concepts: int | None = None,
-                  mine_implicit: bool = True) -> BuildResult:
+                  mine_implicit: bool = True,
+                  use_candidate_index: bool = True,
+                  timer: StageTimer | None = None) -> BuildResult:
     """Construct the net at the given scale.
 
     Args:
@@ -71,26 +85,41 @@ def build_alicoco(scale: RunScale, n_concepts: int | None = None,
         n_concepts: Override for the number of e-commerce concepts.
         mine_implicit: Also mine probabilistic commonsense relations
             ("T-shirt suitable_when summer") per the paper's future work.
+        use_candidate_index: Route item-concept matching and concept-isA
+            discovery through the inverted candidate indexes (default).
+            ``False`` keeps the brute-force all-pairs scans, which produce
+            an identical store — useful for parity tests and benchmarks.
+        timer: Stage timer to record into (a fresh one is created when
+            omitted); also exposed as ``BuildResult.timings``.
     """
-    lexicon = build_lexicon(seed=scale.seed, n_brands=scale.n_brands,
-                            n_ips=scale.n_ips)
-    world = World(lexicon, seed=scale.seed)
-    rng = spawn_rng(scale.seed, "build")
-    if n_concepts is None:
-        n_concepts = max(40, scale.n_items // 8)
-    concepts = world.sample_good_concepts(rng, n_concepts)
-    corpus = build_corpus(world, concepts, scale)
+    timer = timer if timer is not None else StageTimer()
+    with timer.stage("world"):
+        lexicon = build_lexicon(seed=scale.seed, n_brands=scale.n_brands,
+                                n_ips=scale.n_ips)
+        world = World(lexicon, seed=scale.seed)
+        rng = spawn_rng(scale.seed, "build")
+        if n_concepts is None:
+            n_concepts = max(40, scale.n_items // 8)
+        concepts = world.sample_good_concepts(rng, n_concepts)
+    with timer.stage("corpus"):
+        corpus = build_corpus(world, concepts, scale)
 
     store = AliCoCoStore()
-    taxonomy = build_taxonomy(store)
+    with timer.stage("taxonomy"):
+        taxonomy = build_taxonomy(store)
     result = BuildResult(store=store, world=world, lexicon=lexicon,
-                         corpus=corpus, concepts=concepts, taxonomy=taxonomy)
+                         corpus=corpus, concepts=concepts, taxonomy=taxonomy,
+                         timings=timer)
 
-    _add_primitive_layer(result)
-    _add_concept_layer(result)
-    _add_item_layer(result, rng)
+    with timer.stage("primitive-layer"):
+        _add_primitive_layer(result)
+    with timer.stage("concept-layer"):
+        _add_concept_layer(result, use_candidate_index)
+    with timer.stage("item-layer"):
+        _add_item_layer(result, rng, use_candidate_index)
     if mine_implicit:
-        _add_implicit_relations(result)
+        with timer.stage("implicit-relations"):
+            _add_implicit_relations(result)
     return result
 
 
@@ -125,7 +154,7 @@ def _add_primitive_layer(result: BuildResult) -> None:
         store.add_relation(Relation(RelationKind.ISA_PRIMITIVE, source, target))
 
 
-def _add_concept_layer(result: BuildResult) -> None:
+def _add_concept_layer(result: BuildResult, use_candidate_index: bool) -> None:
     """E-commerce concepts + interpretation links to the correct senses."""
     store = result.store
     for spec in result.concepts:
@@ -137,12 +166,17 @@ def _add_concept_layer(result: BuildResult) -> None:
                 store.add_relation(Relation(
                     RelationKind.INTERPRETED_BY, node.id, primitive_id,
                     name=part.domain))
-    _add_concept_isa(result)
+    with result.timings.stage("concept-isa"):
+        if use_candidate_index:
+            _add_concept_isa_indexed(result)
+        else:
+            _add_concept_isa(result)
 
 
 def _add_concept_isa(result: BuildResult) -> None:
-    """isA edges between e-commerce concepts: a concept whose parts are a
-    strict superset of another's (same senses) is the more specific one."""
+    """Brute-force isA discovery: compare every concept pair.  A concept
+    whose parts are a strict superset of another's (same senses) is the
+    more specific one."""
     store = result.store
     signatures: dict[str, frozenset[tuple[str, str]]] = {}
     for spec in result.concepts:
@@ -159,25 +193,53 @@ def _add_concept_isa(result: BuildResult) -> None:
                     result.concept_ids[narrow], result.concept_ids[broad]))
 
 
-def _add_item_layer(result: BuildResult, rng: np.random.Generator) -> None:
-    """Items, their primitive tags, and scenario associations."""
+def _add_concept_isa_indexed(result: BuildResult) -> None:
+    """Subset-lookup isA discovery over a part-signature index; produces
+    the same edges as :func:`_add_concept_isa` in the same order."""
+    store = result.store
+    index = PartSignatureIndex(result.concepts)
+    for spec in result.concepts:
+        for broad in index.broader_than(spec.text):
+            store.add_relation(Relation(
+                RelationKind.ISA_ECOMMERCE,
+                result.concept_ids[spec.text], result.concept_ids[broad]))
+
+
+def _add_item_layer(result: BuildResult, rng: np.random.Generator,
+                    use_candidate_index: bool) -> None:
+    """Items, their primitive tags, and scenario associations.
+
+    Scenario matching (the items x concepts hot path) runs retrieval-then-
+    verify by default: an inverted index proposes candidate concepts per
+    item and only those are verified with ``item_matches_concept``.
+    Candidates come back in original concept order, so the weight RNG is
+    consumed identically to the brute-force scan and both paths build the
+    exact same store.
+    """
     store, world = result.store, result.world
+    timer = result.timings
+    index = (ConceptCandidateIndex(result.concepts)
+             if use_candidate_index else None)
     for item in result.corpus.items:
-        node = store.create_item(item.title,
-                                 shop=f"shop_{item.index % 20}",
-                                 properties=_properties_of(item))
-        result.item_ids[item.index] = node.id
-        for surface, domain in item.primitive_surfaces():
-            primitive_id = result.primitive_ids.get((surface, domain))
-            if primitive_id is not None:
-                store.add_relation(Relation(
-                    RelationKind.ITEM_PRIMITIVE, node.id, primitive_id))
-        for spec in result.concepts:
-            if item_matches_concept(world, item, spec):
-                weight = float(np.clip(rng.normal(0.8, 0.1), 0.05, 1.0))
-                store.add_relation(Relation(
-                    RelationKind.ITEM_ECOMMERCE, node.id,
-                    result.concept_ids[spec.text], weight=weight))
+        with timer.stage("item-nodes"):
+            node = store.create_item(item.title,
+                                     shop=f"shop_{item.index % 20}",
+                                     properties=_properties_of(item))
+            result.item_ids[item.index] = node.id
+            for surface, domain in item.primitive_surfaces():
+                primitive_id = result.primitive_ids.get((surface, domain))
+                if primitive_id is not None:
+                    store.add_relation(Relation(
+                        RelationKind.ITEM_PRIMITIVE, node.id, primitive_id))
+        with timer.stage("item-matching"):
+            pool = (index.candidates(item) if index is not None
+                    else result.concepts)
+            for spec in pool:
+                if item_matches_concept(world, item, spec):
+                    weight = float(np.clip(rng.normal(0.8, 0.1), 0.05, 1.0))
+                    store.add_relation(Relation(
+                        RelationKind.ITEM_ECOMMERCE, node.id,
+                        result.concept_ids[spec.text], weight=weight))
 
 
 def _properties_of(item: SynthItem) -> dict[str, str]:

@@ -11,8 +11,10 @@ from .metrics import (
     precision_recall_f1,
 )
 from .text import ngrams, normalize_text
+from .timing import StageTimer
 
 __all__ = [
+    "StageTimer",
     "spawn_rng",
     "derive_seed",
     "average_precision",

@@ -1,0 +1,77 @@
+"""Lightweight stage-timing instrumentation.
+
+The construction pipeline is the hot path of this reproduction (the paper
+builds the net over 98M items), so every build carries a
+:class:`StageTimer` that records wall-clock seconds per named stage.
+Benchmarks read the timer off :class:`~repro.pipeline.build.BuildResult`
+to attribute cost to stages instead of re-deriving it from end-to-end
+wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class StageTimer:
+    """Accumulating wall-clock timer keyed by stage name.
+
+    Stages may repeat (times accumulate) and nest (each level records its
+    own inclusive time)::
+
+        timer = StageTimer()
+        with timer.stage("item-layer"):
+            with timer.stage("item-matching"):
+                ...
+        timer.seconds("item-matching")
+    """
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator["StageTimer"]:
+        """Time one stage; re-entry accumulates into the same bucket."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._calls[name] = self._calls.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds for a stage (0.0 if never entered)."""
+        return self._seconds.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        """How many times a stage was entered."""
+        return self._calls.get(name, 0)
+
+    @property
+    def stages(self) -> dict[str, float]:
+        """Stage -> accumulated seconds, in first-entry order."""
+        return dict(self._seconds)
+
+    def total(self) -> float:
+        """Sum over all stages (nested stages count twice by design)."""
+        return sum(self._seconds.values())
+
+    def merge(self, other: "StageTimer") -> "StageTimer":
+        """Fold another timer's stages into this one (for aggregation
+        across repeated builds)."""
+        for name, secs in other._seconds.items():
+            self._seconds[name] = self._seconds.get(name, 0.0) + secs
+            self._calls[name] = self._calls.get(name, 0) + other._calls[name]
+        return self
+
+    def format_table(self, title: str = "stage timings") -> str:
+        """Human-readable per-stage table, slowest first."""
+        lines = [title]
+        for name, secs in sorted(self._seconds.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<24} {secs * 1e3:9.2f} ms"
+                         f"  x{self._calls[name]}")
+        return "\n".join(lines)

@@ -70,6 +70,36 @@ class TestStoreBasics:
                                     dress.id))
         assert store.count_relations(RelationKind.ISA_PRIMITIVE) == before
 
+    def test_duplicate_relation_returns_stored_edge(self, store):
+        # Regression: a duplicate insert must hand back the edge that is
+        # actually in the net, not the discarded new object.
+        item = next(store.nodes("item"))
+        concept = next(store.nodes("ec"))
+        stored = store.add_relation(Relation(
+            RelationKind.ITEM_ECOMMERCE, item.id, concept.id, weight=0.1))
+        assert stored.weight == 0.9  # the original edge from the fixture
+        assert stored in store.out_relations(item.id,
+                                             RelationKind.ITEM_ECOMMERCE)
+
+    def test_counters_match_scans(self, store):
+        # The O(1) counters must agree with a full scan after mutations.
+        for layer in ("cls", "pc", "ec", "item"):
+            assert store.count_nodes(layer) == \
+                sum(1 for n in store.nodes() if layer_of(n.id) == layer)
+        for kind in RelationKind:
+            assert store.count_relations(kind) == \
+                sum(1 for r in store.relations() if r.kind == kind)
+
+    def test_domain_indexes_match_scans(self, store):
+        classes = store.classes_in_domain("Category")
+        assert {c.id for c in classes} == \
+            {n.id for n in store.nodes("cls") if n.domain == "Category"}
+        primitives = store.primitives_in_domain("Category")
+        assert {p.id for p in primitives} == \
+            {n.id for n in store.nodes("pc") if n.domain == "Category"}
+        assert store.classes_in_domain("NoSuchDomain") == []
+        assert store.primitives_in_domain("NoSuchDomain") == []
+
     def test_same_name_different_ids(self, store):
         cls = store.find_by_name("cls", "Dress")[0]
         first = store.create_primitive("village", cls.id)
