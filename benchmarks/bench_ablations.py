@@ -9,7 +9,7 @@ def test_ablation_ucs_alpha(benchmark, report, ew):
     # α is a real dial: different settings must trade label economy
     # against MAP (not all collapse to one point).
     maps = [m for _, m, _ in result.points]
-    labels = [l for _, _, l in result.points]
+    labels = [label for _, _, label in result.points]
     assert max(maps) > 0.0
     assert len(set(labels)) > 1 or len(set(round(m, 3) for m in maps)) > 1
 

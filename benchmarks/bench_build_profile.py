@@ -12,11 +12,14 @@ as fast.
 from dataclasses import replace
 
 from repro.pipeline.build import build_alicoco
+from repro.synth.index import ConceptCandidateIndex
 
-from conftest import BENCH_SCALE
+from conftest import BENCH_SCALE, SMOKE
 
-_N_ITEMS = 480
-_N_CONCEPTS = 60
+_N_ITEMS = 160 if SMOKE else 480
+_N_CONCEPTS = 40 if SMOKE else 60
+#: At smoke scale constant factors dominate, so only parity is asserted.
+_MIN_SPEEDUP = 1.0 if SMOKE else 2.0
 
 
 def _hot_path_seconds(result) -> float:
@@ -39,11 +42,16 @@ def test_build_profile(benchmark, report):
     assert list(indexed.store.relations()) == list(brute.store.relations())
 
     speedup = _hot_path_seconds(brute) / max(_hot_path_seconds(indexed), 1e-9)
-    assert speedup >= 2.0, \
-        f"indexed hot path should be >=2x brute force, got {speedup:.2f}x"
+    assert speedup >= _MIN_SPEEDUP, \
+        f"indexed hot path should be >={_MIN_SPEEDUP}x brute force, " \
+        f"got {speedup:.2f}x"
 
+    index_stats = ConceptCandidateIndex(indexed.concepts).stats()
+    selectivity = ", ".join(f"{key}={value}"
+                            for key, value in index_stats.items())
     lines = [f"Build profile at {_N_ITEMS} items / {_N_CONCEPTS} concepts",
-             f"  hot-path speedup (match + isA): {speedup:.2f}x", ""]
+             f"  hot-path speedup (match + isA): {speedup:.2f}x",
+             f"  candidate index: {selectivity}", ""]
     for tag, result in (("indexed", indexed), ("brute-force", brute)):
         lines.append(result.timings.format_table(f"{tag} stage timings"))
         lines.append("")

@@ -1,0 +1,110 @@
+"""Bench — serving: snapshot warm start and cached query latency.
+
+The production story of the paper (Section 7) is a *served* net: built
+offline, answered online.  This benchmark measures the two properties the
+serving layer exists for, and asserts both:
+
+- **warm start**: loading a versioned snapshot (store replay through the
+  trusted bulk path + BM25 rehydration) must be at least 2x faster than a
+  fresh ``build_alicoco`` + service init at the same scale;
+- **caching**: the LRU must put the cached-search p50 at least 10x below
+  the uncached p50.
+
+A warm-started service must also answer a mixed query battery *identically*
+to the service built from scratch — warm start is an acceleration, not an
+approximation.
+"""
+
+import time
+from dataclasses import replace
+
+from repro.pipeline.build import build_alicoco
+from repro.serving import AliCoCoService
+
+from conftest import BENCH_SCALE, SMOKE
+
+_N_ITEMS = 160 if SMOKE else 480
+_N_CONCEPTS = 40 if SMOKE else 110
+#: Constant factors dominate at smoke scale; thresholds relax accordingly.
+_MIN_WARM_SPEEDUP = 1.2 if SMOKE else 2.0
+_MIN_CACHE_SPEEDUP = 3.0 if SMOKE else 10.0
+_HIT_PASSES = 5
+
+
+def _workload(built):
+    """A mixed battery touching every endpoint, concept-card style."""
+    requests = []
+    for spec in built.concepts:
+        concept_id = built.concept_ids[spec.text]
+        requests.append(("search", spec.text))
+        requests.append(("items_for_concept", concept_id, 10))
+        requests.append(("interpretation", concept_id))
+    for index in range(0, _N_ITEMS, 7):
+        requests.append(("concepts_for_item", built.item_ids[index]))
+    for primitive_id in list(built.primitive_ids.values())[::9]:
+        requests.append(("hypernyms", primitive_id, True))
+    return requests
+
+
+def test_serving(tmp_path, report):
+    scale = replace(BENCH_SCALE, n_items=_N_ITEMS)
+
+    # Cold path: construct the net and fit the search index from scratch.
+    start = time.perf_counter()
+    built = build_alicoco(scale, n_concepts=_N_CONCEPTS)
+    fresh = AliCoCoService.from_build(built, config_fingerprint=scale.fingerprint())
+    cold_seconds = time.perf_counter() - start
+
+    snapshot_path = tmp_path / "net.snapshot.jsonl"
+    snapshot_lines = fresh.save_snapshot(snapshot_path)
+
+    # Warm path: replay the snapshot, rehydrate the index, skip the build.
+    # Best of three loads = steady-state restart cost, insulated from
+    # one-off page-cache/allocator warmup noise.
+    warm_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        warm = AliCoCoService.from_snapshot(
+            snapshot_path, expected_fingerprint=scale.fingerprint()
+        )
+        warm_seconds = min(warm_seconds, time.perf_counter() - start)
+
+    warm_speedup = cold_seconds / max(warm_seconds, 1e-9)
+    assert warm_speedup >= _MIN_WARM_SPEEDUP, (
+        f"warm start should be >={_MIN_WARM_SPEEDUP}x a fresh build, "
+        f"got {warm_speedup:.2f}x"
+    )
+
+    # Parity: the warm service answers exactly like the fresh one.
+    requests = _workload(built)
+    fresh_answers = fresh.batch(requests)
+    warm_answers = warm.batch(requests)
+    assert fresh_answers == warm_answers
+
+    # Cached vs uncached: the first batch above was all misses; repeat
+    # passes are all hits.
+    for _ in range(_HIT_PASSES):
+        warm.batch(requests)
+    stats = warm.stats()
+    search = stats.endpoint("search")
+    assert search.cache_misses == _N_CONCEPTS
+    assert search.cache_hits == _HIT_PASSES * _N_CONCEPTS
+    cache_speedup = search.miss_p50_ms / max(search.hit_p50_ms, 1e-9)
+    assert cache_speedup >= _MIN_CACHE_SPEEDUP, (
+        f"cached search p50 should be >={_MIN_CACHE_SPEEDUP}x below "
+        f"uncached, got {cache_speedup:.2f}x"
+    )
+
+    lines = [
+        f"Serving at {_N_ITEMS} items / {_N_CONCEPTS} concepts ({scale.name})",
+        f"  snapshot: {snapshot_lines} lines (fingerprint {scale.fingerprint()})",
+        f"  cold start (build + index fit):  {cold_seconds * 1e3:9.1f} ms",
+        f"  warm start (snapshot + rehydrate): {warm_seconds * 1e3:7.1f} ms"
+        f"  -> {warm_speedup:.1f}x",
+        f"  cached search p50 vs uncached: {cache_speedup:.1f}x "
+        f"({search.hit_p50_ms * 1e3:.2f}us vs {search.miss_p50_ms * 1e3:.2f}us)",
+        f"  parity: {len(requests)} mixed queries identical fresh vs warm",
+        "",
+        stats.format_table("warm service stats"),
+    ]
+    report("\n".join(lines))

@@ -9,6 +9,7 @@ terminal summary (bypassing capture) and written to
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -19,11 +20,21 @@ from repro.experiments.common import build_experiment_world
 _REPORTS: list[tuple[str, str]] = []
 _REPORT_DIR = Path(__file__).parent / "reports"
 
+#: Smoke mode (``REPRO_BENCH_SMOKE=1``): CI runs selected benchmarks at a
+#: reduced scale to validate the harness end to end in seconds.  Shape
+#: assertions with tight margins relax their thresholds under smoke —
+#: timings at toy sizes are dominated by constant factors.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
 #: Benchmark scale: item/corpus sizes between TINY and SMALL, tuned so the
 #: whole suite finishes in minutes while every shape is stable.
 BENCH_SCALE = RunScale(name="bench-lite", n_items=250, n_queries=400,
                        n_reviews=200, n_guides=80, embedding_dim=16,
                        hidden_dim=16, epochs=4, seed=7)
+if SMOKE:
+    BENCH_SCALE = RunScale(name="bench-smoke", n_items=140, n_queries=180,
+                           n_reviews=90, n_guides=40, embedding_dim=16,
+                           hidden_dim=16, epochs=2, seed=7)
 
 
 @pytest.fixture(scope="session")

@@ -43,7 +43,7 @@ def main() -> None:
     cf = ItemCFRecommender(sessions)
     for item_id in cf.recommend(history, top_k=4):
         print(f"  - {built.store.get(item_id).title}")
-        print(f"      reason: similar to items you have viewed")
+        print("      reason: similar to items you have viewed")
 
     print("\n=== cognitive recommendation (Section 8.2.1) ===")
     recommender = CognitiveRecommender(built.store)

@@ -18,7 +18,6 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
 from ..errors import DataError
-from ..kg.ids import ECOMMERCE_PREFIX, ITEM_PREFIX
 from ..kg.nodes import ECommerceConcept, Item
 from ..kg.query import concepts_for_item, items_for_concept
 from ..kg.store import AliCoCoStore

@@ -16,7 +16,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from ..errors import NodeNotFoundError
-from ..kg.ids import ECOMMERCE_PREFIX, ITEM_PREFIX, PRIMITIVE_PREFIX
+from ..kg.ids import ECOMMERCE_PREFIX, ITEM_PREFIX
 from ..kg.nodes import ECommerceConcept, Item, PrimitiveConcept
 from ..kg.query import interpretation, items_for_concept
 from ..kg.relations import RelationKind

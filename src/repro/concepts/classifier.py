@@ -24,7 +24,7 @@ import numpy as np
 
 from ..errors import DataError, NotFittedError
 from ..ml import (
-    AdditiveSelfAttention, Adam, BiLSTM, Embedding, Linear, MLP, Module,
+    AdditiveSelfAttention, Adam, BiLSTM, Embedding, MLP, Module,
 )
 from ..ml.losses import bce_with_logits
 from ..ml.tensor import Tensor, concat, no_grad, stack

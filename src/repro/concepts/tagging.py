@@ -194,7 +194,7 @@ class ConceptTagger(Module):
         if self.use_fuzzy:
             return self.crf.fuzzy_nll(emissions,
                                       self.allowed_labels(tokens, gold))
-        return self.crf.nll(emissions, [self.labels.id(l) for l in gold])
+        return self.crf.nll(emissions, [self.labels.id(label) for label in gold])
 
     def fit(self, specs: Sequence[ConceptSpec], epochs: int = 4,
             lr: float = 0.01, seed: int = 0) -> list[float]:

@@ -14,7 +14,8 @@ corpus, catalog and model sizes.  Three presets are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+from dataclasses import dataclass, fields, replace
 
 from .errors import ConfigError
 
@@ -59,6 +60,19 @@ class RunScale:
     def with_seed(self, seed: int) -> "RunScale":
         """Return a copy of this preset with a different master seed."""
         return replace(self, seed=seed)
+
+    def fingerprint(self) -> str:
+        """Stable short digest of every size knob (including the seed).
+
+        Snapshots embed this in their header so a serving process can
+        refuse to warm-start from a net built under a different
+        configuration (see :mod:`repro.kg.serialize`).  Two scales
+        fingerprint equal iff all their fields are equal.
+        """
+        payload = ",".join(
+            f"{field.name}={getattr(self, field.name)!r}"
+            for field in fields(self))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 TINY = RunScale(name="tiny", n_items=120, n_queries=150, n_reviews=80,

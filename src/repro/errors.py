@@ -31,6 +31,10 @@ class RelationError(GraphError):
     """A relation violates the schema (bad endpoint types or unknown kind)."""
 
 
+class FrozenStoreError(GraphError):
+    """A mutation was attempted on a store frozen for read-only serving."""
+
+
 class TaxonomyError(ReproError):
     """The taxonomy definition is inconsistent (cycle, unknown parent...)."""
 

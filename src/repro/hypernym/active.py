@@ -192,7 +192,6 @@ class ActiveLearner:
                 picked_set = set(np.argsort(-scores)[:k].tolist())
             else:  # ucs — line 10: Top(p, αK) ∪ Bottom(p, (1-α)K)
                 n_uncertain = int(round(self.alpha * k))
-                n_confident = k - n_uncertain
                 uncertainty = np.abs(scores - 0.5)
                 by_uncertainty = np.argsort(uncertainty).tolist()
                 by_confidence = np.argsort(-scores).tolist()

@@ -17,7 +17,7 @@ from ..ml.losses import bce_with_logits
 from ..ml.module import Parameter
 from ..ml.tensor import Tensor, no_grad, stack
 from ..utils.metrics import (
-    average_precision, mean_average_precision, mean_reciprocal_rank,
+    mean_average_precision, mean_reciprocal_rank,
     precision_at_k,
 )
 from ..utils.rng import spawn_rng

@@ -1,16 +1,40 @@
-"""JSON-lines persistence for a full AliCoCo store."""
+"""JSON-lines persistence for a full AliCoCo store, plus versioned snapshots.
+
+Two formats live here:
+
+- the original *record stream* (:func:`save_store` / :func:`load_store`):
+  one JSON object per line, nodes then relations, no framing — kept
+  byte-compatible with files written before snapshots existed;
+- the *versioned snapshot* (:func:`save_snapshot` / :func:`load_snapshot`):
+  the same record stream prefixed with a header line carrying a format
+  version, node/relation counts and a build-config fingerprint, and
+  suffixed with serialised query-index state (e.g. the fitted
+  :class:`~repro.matching.bm25.BM25Index` over concept texts).  A serving
+  process warm-starts from a snapshot without rebuilding the net *or*
+  re-fitting its search indexes — see :mod:`repro.serving`.
+
+The header makes failure loud instead of quiet: a snapshot produced by a
+different format version, truncated mid-write (counts disagree), or built
+under a different configuration is rejected with a :class:`DataError`
+naming the offending line.  ``load_store`` stays liberal — it accepts both
+formats and simply skips snapshot framing records.
+"""
 
 from __future__ import annotations
 
-from dataclasses import asdict
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
 
 from ..errors import DataError
-from ..utils.io import read_jsonl, write_jsonl
+from ..utils.io import read_jsonl_bulk, write_jsonl
 from .nodes import ClassNode, ECommerceConcept, Item, PrimitiveConcept
 from .relations import Relation, RelationKind
 from .store import AliCoCoStore
+
+#: Version of the snapshot framing; bump when the header or record layout
+#: changes incompatibly.  Loaders reject any other version.
+SNAPSHOT_FORMAT = 1
 
 _NODE_TYPES = {
     "class": ClassNode,
@@ -19,6 +43,36 @@ _NODE_TYPES = {
     "item": Item,
 }
 _TYPE_NAMES = {cls: name for name, cls in _NODE_TYPES.items()}
+
+
+@dataclass(frozen=True)
+class SnapshotHeader:
+    """The first line of a snapshot file.
+
+    Attributes:
+        format_version: Snapshot framing version (:data:`SNAPSHOT_FORMAT`).
+        node_count: Nodes the snapshot must contain (validated on load).
+        relation_count: Relations the snapshot must contain.
+        config_fingerprint: Digest of the build configuration
+            (:meth:`repro.config.RunScale.fingerprint`), or ``""``.
+        index_names: Names of the serialised index states that follow the
+            record stream.
+    """
+
+    format_version: int
+    node_count: int
+    relation_count: int
+    config_fingerprint: str = ""
+    index_names: tuple[str, ...] = ()
+
+
+@dataclass
+class Snapshot:
+    """Everything read back from one snapshot file."""
+
+    header: SnapshotHeader
+    store: AliCoCoStore
+    index_states: dict[str, dict[str, Any]] = field(default_factory=dict)
 
 
 def _records(store: AliCoCoStore) -> Iterator[dict[str, Any]]:
@@ -37,22 +91,88 @@ def _records(store: AliCoCoStore) -> Iterator[dict[str, Any]]:
 def save_store(store: AliCoCoStore, path: str | Path) -> int:
     """Write nodes then relations, one JSON object per line (atomic).
 
+    The write streams to a temp file in the target directory and renames
+    it over ``path`` in one step (:func:`repro.utils.io.write_jsonl`), so
+    a crash mid-write never leaves a truncated net behind.
+
     Returns:
         Number of lines written.
     """
     return write_jsonl(path, _records(store))
 
 
-def load_store(path: str | Path) -> AliCoCoStore:
-    """Rebuild a store saved by :func:`save_store`.
+def save_snapshot(store: AliCoCoStore, path: str | Path, *,
+                  config_fingerprint: str = "",
+                  index_states: Mapping[str, Mapping[str, Any]] | None = None,
+                  ) -> int:
+    """Write a versioned snapshot: header, records, then index states.
 
-    Raises:
-        DataError: On malformed records (with line numbers).
+    Args:
+        store: The net to persist.
+        config_fingerprint: Digest of the configuration the net was built
+            under; loaders may verify it before serving.
+        index_states: Name -> JSON-serialisable index state (e.g.
+            ``BM25Index.to_state()``), rehydrated on warm start instead of
+            re-fitted.
+
+    Returns:
+        Number of lines written (header + records + index states).
     """
+    index_states = dict(index_states or {})
+
+    def _lines() -> Iterator[dict[str, Any]]:
+        yield {"record": "header", "format": SNAPSHOT_FORMAT,
+               "nodes": len(store),
+               "relations": store.stats().relations_total,
+               "config": config_fingerprint,
+               "indexes": list(index_states)}
+        yield from _records(store)
+        for name, state in index_states.items():
+            yield {"record": "index", "name": name, "state": dict(state)}
+
+    return write_jsonl(path, _lines())
+
+
+def _parse_header(line_number: int, record: dict[str, Any]) -> SnapshotHeader:
+    try:
+        header = SnapshotHeader(
+            format_version=int(record["format"]),
+            node_count=int(record["nodes"]),
+            relation_count=int(record["relations"]),
+            config_fingerprint=str(record.get("config", "")),
+            index_names=tuple(record.get("indexes", ())))
+    except (KeyError, TypeError, ValueError) as error:
+        raise DataError(
+            f"line {line_number}: corrupted snapshot header "
+            f"({error!r})") from error
+    if header.format_version != SNAPSHOT_FORMAT:
+        raise DataError(
+            f"line {line_number}: snapshot format "
+            f"{header.format_version} unsupported "
+            f"(this build reads format {SNAPSHOT_FORMAT})")
+    return header
+
+
+def _load(path: str | Path,
+          require_header: bool) -> tuple[SnapshotHeader | None, Snapshot]:
     store = AliCoCoStore()
-    for line_number, record in read_jsonl(path):
+    header: SnapshotHeader | None = None
+    index_states: dict[str, dict[str, Any]] = {}
+    # With a verified header the relations were schema-checked when they
+    # first entered a store, so they are buffered and bulk-ingested via
+    # the trusted fast path; headerless streams replay through the fully
+    # validating add_relation.
+    deferred: list[Relation] = []
+    first = True
+    for line_number, record in read_jsonl_bulk(path):
         kind = record.pop("record", None)
-        if kind == "node":
+        if kind == "header":
+            if not first:
+                raise DataError(
+                    f"line {line_number}: snapshot header must be the "
+                    "first record")
+            header = _parse_header(line_number, record)
+        elif kind == "node":
             type_name = record.pop("type", None)
             node_cls = _NODE_TYPES.get(type_name)
             if node_cls is None:
@@ -71,11 +191,70 @@ def load_store(path: str | Path) -> AliCoCoStore:
             except KeyError:
                 raise DataError(f"line {line_number}: unknown relation kind "
                                 f"{record.get('kind')!r}") from None
-            store.add_relation(Relation(
+            relation = Relation(
                 kind=relation_kind,
                 source=record["source"], target=record["target"],
                 weight=record.get("weight", 1.0),
-                name=record.get("name", "")))
+                name=record.get("name", ""))
+            if header is not None:
+                deferred.append(relation)
+            else:
+                store.add_relation(relation)
+        elif kind == "index":
+            try:
+                index_states[str(record["name"])] = dict(record["state"])
+            except (KeyError, TypeError) as error:
+                raise DataError(f"line {line_number}: bad index record "
+                                f"({error!r})") from error
         else:
             raise DataError(f"line {line_number}: unknown record {kind!r}")
-    return store
+        if first:
+            first = False
+            if require_header and header is None:
+                raise DataError(
+                    "line 1: not a snapshot (missing header record); "
+                    "use load_store for headerless nets")
+    if require_header and header is None:
+        raise DataError("line 1: not a snapshot (missing header record)")
+    if deferred:
+        store.add_relations_trusted(deferred)
+    if header is not None:
+        relation_count = store.stats().relations_total
+        if (len(store), relation_count) != (header.node_count,
+                                            header.relation_count):
+            raise DataError(
+                f"line 1: snapshot is incomplete — header promises "
+                f"{header.node_count} nodes / {header.relation_count} "
+                f"relations but the file holds {len(store)} / "
+                f"{relation_count}")
+    placeholder = header or SnapshotHeader(SNAPSHOT_FORMAT, len(store),
+                                           store.stats().relations_total)
+    return header, Snapshot(placeholder, store, index_states)
+
+
+def load_store(path: str | Path) -> AliCoCoStore:
+    """Rebuild a store saved by :func:`save_store` or :func:`save_snapshot`.
+
+    Snapshot framing (header and index records), when present, is
+    validated and skipped; the bare record stream loads as before.
+
+    Raises:
+        DataError: On malformed records (with line numbers).
+    """
+    return _load(path, require_header=False)[1].store
+
+
+def load_snapshot(path: str | Path) -> Snapshot:
+    """Read a versioned snapshot written by :func:`save_snapshot`.
+
+    Returns:
+        The header, the rebuilt store, and any serialised index states.
+
+    Raises:
+        DataError: If the header is missing, corrupted, from another
+            format version, or disagrees with the file's contents — and
+            on any malformed record, with line numbers throughout.
+    """
+    header, snapshot = _load(path, require_header=True)
+    assert header is not None
+    return snapshot

@@ -5,7 +5,9 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Iterator
 
-from ..errors import DuplicateNodeError, NodeNotFoundError, RelationError
+from ..errors import (
+    DuplicateNodeError, FrozenStoreError, NodeNotFoundError, RelationError,
+)
 from .ids import (
     CLASS_PREFIX, ECOMMERCE_PREFIX, IdAllocator, ITEM_PREFIX,
     PRIMITIVE_PREFIX, layer_of,
@@ -48,15 +50,37 @@ class AliCoCoStore:
         self._domain_class_ids: dict[str, list[str]] = defaultdict(list)
         self._domain_primitive_ids: dict[str, list[str]] = defaultdict(list)
         self._linked_item_ids: set[str] = set()
+        self._frozen = False
+
+    # -------------------------------------------------------------- freezing
+    @property
+    def frozen(self) -> bool:
+        """Whether the store is frozen (read-only)."""
+        return self._frozen
+
+    def freeze(self) -> "AliCoCoStore":
+        """Make the store read-only; any further mutation raises.
+
+        Serving wraps a store whose query results may be cached — freezing
+        guarantees cached answers can never go stale under the cache.
+        Freezing is idempotent and irreversible (build a new store to
+        mutate again); returns ``self`` for chaining.
+        """
+        self._frozen = True
+        return self
 
     # -------------------------------------------------------------- mutation
     def add_node(self, node: Node) -> Node:
         """Insert a pre-built node.
 
         Raises:
+            FrozenStoreError: If the store has been frozen for serving.
             DuplicateNodeError: If the id is already present.
             RelationError: If the node type does not match its id prefix.
         """
+        if self._frozen:
+            raise FrozenStoreError(
+                f"cannot add node {node.id!r}: store is frozen for serving")
         if node.id in self._nodes:
             raise DuplicateNodeError(f"node {node.id!r} already exists")
         layer = layer_of(node.id)
@@ -123,9 +147,14 @@ class AliCoCoStore:
         net (the discarded duplicate may carry a different weight/name).
 
         Raises:
+            FrozenStoreError: If the store has been frozen for serving.
             NodeNotFoundError: If either endpoint is missing.
             RelationError: If the endpoint layers do not match the kind.
         """
+        if self._frozen:
+            raise FrozenStoreError(
+                f"cannot add {relation.kind.name} relation: "
+                "store is frozen for serving")
         for node_id, expected in ((relation.source, relation.kind.source_layer),
                                   (relation.target, relation.kind.target_layer)):
             self._require(node_id, expected)
@@ -143,6 +172,49 @@ class AliCoCoStore:
                              RelationKind.ITEM_ECOMMERCE):
             self._linked_item_ids.add(relation.source)
         return relation
+
+    def add_relations_trusted(self, relations: Iterable[Relation]) -> int:
+        """Bulk-insert relations known to be schema-valid and duplicate-free.
+
+        The snapshot loader replays edges that were already validated when
+        they first entered a store; re-validating endpoint layers and
+        re-checking for duplicates per edge dominates warm-start time, so
+        this path skips both.  Endpoint *existence* is still enforced (it
+        is one dictionary lookup and catches truncated files).  All
+        indexes and counters are maintained exactly as
+        :meth:`add_relation` would.
+
+        Returns:
+            Number of relations inserted.
+
+        Raises:
+            FrozenStoreError: If the store has been frozen for serving.
+            NodeNotFoundError: If an endpoint is missing.
+        """
+        if self._frozen:
+            raise FrozenStoreError(
+                "cannot bulk-add relations: store is frozen for serving")
+        nodes = self._nodes
+        count = 0
+        for relation in relations:
+            if relation.source not in nodes:
+                raise NodeNotFoundError(
+                    f"node {relation.source!r} does not exist")
+            if relation.target not in nodes:
+                raise NodeNotFoundError(
+                    f"node {relation.target!r} does not exist")
+            self._relation_by_key[
+                (relation.kind, relation.source, relation.target)] = relation
+            self._relations.append(relation)
+            self._out[(relation.source, relation.kind)].append(relation)
+            self._in[(relation.target, relation.kind)].append(relation)
+            self._kind_counts[relation.kind] += 1
+            self._by_kind[relation.kind].append(relation)
+            if relation.kind in (RelationKind.ITEM_PRIMITIVE,
+                                 RelationKind.ITEM_ECOMMERCE):
+                self._linked_item_ids.add(relation.source)
+            count += 1
+        return count
 
     def _require(self, node_id: str, expected_layer: str) -> Node:
         node = self._nodes.get(node_id)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -169,6 +169,53 @@ class BM25Index:
 
     def __len__(self) -> int:
         return len(self._doc_ids)
+
+    def to_state(self) -> dict[str, Any]:
+        """The fitted index as a JSON-serialisable dict.
+
+        Everything ``fit`` computed — postings, norms, idf — is captured,
+        so :meth:`from_state` rehydrates an identically-scoring index
+        without re-tokenising or re-counting a single document.  Snapshot
+        warm starts (see :mod:`repro.kg.serialize`) persist this next to
+        the net.
+
+        Raises:
+            NotFittedError: If the index has not been fitted.
+        """
+        if not self._fitted:
+            raise NotFittedError("BM25Index has not been fitted")
+        return {
+            "k1": self.k1,
+            "b": self.b,
+            "doc_ids": list(self._doc_ids),
+            "postings": {term: [[position, frequency]
+                                for position, frequency in postings]
+                         for term, postings in self._postings.items()},
+            "norms": list(self._norms),
+            "idf": dict(self._idf),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "BM25Index":
+        """Rehydrate a fitted index from :meth:`to_state` output.
+
+        Raises:
+            DataError: If the state is missing fields or malformed.
+        """
+        try:
+            index = cls(k1=float(state["k1"]), b=float(state["b"]))
+            index._doc_ids = list(state["doc_ids"])
+            index._postings = {
+                term: [(int(position), int(frequency))
+                       for position, frequency in postings]
+                for term, postings in state["postings"].items()}
+            index._norms = [float(norm) for norm in state["norms"]]
+            index._idf = {term: float(value)
+                          for term, value in state["idf"].items()}
+        except (KeyError, TypeError, ValueError) as error:
+            raise DataError(f"malformed BM25 index state: {error}") from error
+        index._fitted = True
+        return index
 
     def scores(self, query_tokens: Sequence[str]) -> dict:
         """Nonzero BM25 scores: doc id -> score, via postings only.

@@ -63,7 +63,6 @@ def build_matching_dataset(world: World, concepts: list[ConceptSpec],
         raise DataError("no good concepts to build a matching dataset from")
     if not clicks:
         raise DataError("empty click log")
-    good_indexed = {id(c): i for i, c in enumerate(concepts)}
     rng.shuffle(good)
     test_specs = good[:min(test_concepts, max(1, len(good) // 3))]
     test_texts = {spec.text for spec in test_specs}

@@ -118,12 +118,12 @@ class KnowledgeMatcher(NeuralMatcher):
     def _attend(self, concept: Tensor, title: Tensor) -> tuple[Tensor, Tensor]:
         """Eqs. 11-14: attention matrix -> pooled vectors of both sides."""
         m, d = concept.shape
-        l = title.shape[0]
+        t = title.shape[0]
         left = self.att_w1(concept).reshape(m, 1, d)
-        right = self.att_w2(title).reshape(1, l, d)
-        attention = self.att_v((left + right).tanh()).reshape(m, l)
+        right = self.att_w2(title).reshape(1, t, d)
+        attention = self.att_v((left + right).tanh()).reshape(m, t)
         concept_weights = attention.sum(axis=1).softmax(axis=0)  # (m,)
-        title_weights = attention.sum(axis=0).softmax(axis=0)    # (l,)
+        title_weights = attention.sum(axis=0).softmax(axis=0)    # (t,)
         concept_vector = concept_weights @ concept
         title_vector = title_weights @ title
         return concept_vector, title_vector
@@ -160,9 +160,9 @@ class KnowledgeMatcher(NeuralMatcher):
         features = []
         from .match_pyramid import _grid_bounds
         n = knowledge.shape[0]
-        l = title.shape[0]
+        t = title.shape[0]
         row_bounds = _grid_bounds(n, 2)
-        col_bounds = _grid_bounds(l, 4)
+        col_bounds = _grid_bounds(t, 4)
         for k in range(self.pyramid_layers):
             matrix = (knowledge @ self.pyramid_w[k]) @ title.transpose()
             for row_start, row_stop in row_bounds:

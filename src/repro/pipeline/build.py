@@ -32,7 +32,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import RunScale
-from ..kg.nodes import ECommerceConcept, Item, PrimitiveConcept
 from ..kg.relations import Relation, RelationKind
 from ..kg.store import AliCoCoStore
 from ..synth.corpus import Corpus, build_corpus

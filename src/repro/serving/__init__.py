@@ -1,0 +1,33 @@
+"""Online serving of the net (Section 7's deployment, in miniature).
+
+Construction (:mod:`repro.pipeline`) is offline; this package is the
+online half: a read-only, cached, metered query service that warm-starts
+from versioned snapshots instead of rebuilding the net.
+
+Quickstart::
+
+    from repro import build_alicoco, TINY
+    from repro.serving import AliCoCoService
+
+    service = AliCoCoService.from_build(build_alicoco(TINY))
+    service.save_snapshot("net.snapshot.jsonl")
+    # ... later, in the serving process:
+    service = AliCoCoService.from_snapshot("net.snapshot.jsonl")
+    service.search("gifts for mother")
+    print(service.stats().format_table())
+"""
+
+from .cache import LRUCache
+from .service import AliCoCoService, CONCEPT_INDEX, fit_concept_index, ServiceConfig
+from .stats import EndpointMetrics, EndpointStats, ServiceStats
+
+__all__ = [
+    "AliCoCoService",
+    "ServiceConfig",
+    "CONCEPT_INDEX",
+    "fit_concept_index",
+    "LRUCache",
+    "EndpointMetrics",
+    "EndpointStats",
+    "ServiceStats",
+]

@@ -1,0 +1,71 @@
+"""A counting LRU cache for query results.
+
+The paper's net serves heavy, highly repetitive traffic (hot concepts are
+queried far more often than the tail), so an LRU over immutable query
+results converts most of the load into dictionary lookups.  The cache
+counts hits, misses and evictions so :class:`~repro.serving.AliCoCoService`
+can surface cache effectiveness in its stats report.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from ..errors import ConfigError
+
+#: Unique sentinel distinguishing "absent" from a cached ``None``.
+_ABSENT = object()
+
+
+class LRUCache:
+    """Least-recently-used mapping with a fixed capacity and counters.
+
+    Args:
+        capacity: Maximum number of entries; the least recently *used*
+            (read or written) entry is evicted first.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ConfigError(f"LRUCache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency; counts a hit or miss."""
+        value = self._entries.get(key, _ABSENT)
+        if value is _ABSENT:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``, evicting the stalest entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()

@@ -1,0 +1,362 @@
+"""The AliCoCo concept query service.
+
+The paper deploys the net behind Alibaba search and recommendation
+(Section 7): construction is offline, serving is online.  This module is
+the online half for the reproduction — :class:`AliCoCoService` wraps a
+frozen (read-only) :class:`~repro.kg.store.AliCoCoStore` and exposes the
+production query surface:
+
+- ``items_for_concept`` — the shopping list behind a concept card;
+- ``concepts_for_item`` — the concepts an item participates in;
+- ``interpretation`` — the primitive-concept senses of a concept;
+- ``hypernyms`` — primitive-concept expansion (optionally transitive);
+- ``search`` — text -> concept retrieval over a fitted
+  :class:`~repro.matching.bm25.BM25Index`;
+- ``batch`` — the multi-query entry point.
+
+Every endpoint is LRU-cached and records hit/miss latency percentiles
+(:mod:`repro.serving.stats`).  A service warm-starts from a versioned
+snapshot (:func:`repro.kg.serialize.load_snapshot`) in a fraction of a
+rebuild: the store is replayed from disk and the search index is
+rehydrated from its serialised state instead of re-fitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import ConfigError, DataError, RelationError
+from ..kg import query as kgq
+from ..kg.ids import ECOMMERCE_PREFIX, ITEM_PREFIX, PRIMITIVE_PREFIX, layer_of
+from ..kg.relations import RelationKind
+from ..kg.serialize import load_snapshot, save_snapshot
+from ..kg.store import AliCoCoStore
+from ..matching.bm25 import BM25Index
+from .cache import LRUCache
+from .stats import EndpointMetrics, ServiceStats
+
+#: Name under which the concept search index is stored in snapshots.
+CONCEPT_INDEX = "bm25-concepts"
+
+#: Sentinel for cache lookups (results may legitimately be falsy).
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving knobs.
+
+    Attributes:
+        cache_capacity: LRU result-cache entries; ``0`` disables caching.
+        search_top_k: Default number of concepts returned by ``search``.
+        reservoir_capacity: Latency samples retained per endpoint and
+            cache outcome (see
+            :class:`~repro.utils.timing.LatencyReservoir`).
+        seed: Seed for the reservoirs' replacement RNG.
+    """
+
+    cache_capacity: int = 4096
+    search_top_k: int = 10
+    reservoir_capacity: int = 512
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity < 0:
+            raise ConfigError(f"cache_capacity must be >= 0, got {self.cache_capacity}")
+        if self.search_top_k <= 0:
+            raise ConfigError(f"search_top_k must be positive, got {self.search_top_k}")
+        if self.reservoir_capacity <= 0:
+            raise ConfigError(
+                f"reservoir_capacity must be positive, got {self.reservoir_capacity}"
+            )
+
+
+def fit_concept_index(
+    store: AliCoCoStore,
+    k1: float = 1.5,
+    b: float = 0.75,
+) -> BM25Index | None:
+    """Fit the text -> concept BM25 index over a store's concept layer.
+
+    Returns ``None`` when the store has no e-commerce concepts (a service
+    over such a store simply answers every search with no results).
+    """
+    documents = {node.id: node.tokens for node in store.nodes(ECOMMERCE_PREFIX)}
+    if not documents:
+        return None
+    return BM25Index(k1=k1, b=b).fit(documents)
+
+
+class AliCoCoService:
+    """Read-only concept query service over a frozen net.
+
+    The store is frozen at construction time: cached results can never go
+    stale because the graph underneath can never change.  Build a new
+    service (or warm-start one from a snapshot) to serve a new net.
+
+    Args:
+        store: The net to serve; frozen in place.
+        config: Serving knobs (defaults are fine for tests/benchmarks).
+        search_index: A fitted concept index to reuse (warm start); fitted
+            from the store when omitted.
+        config_fingerprint: Digest of the build configuration, embedded in
+            snapshots this service writes
+            (:meth:`repro.config.RunScale.fingerprint`).
+    """
+
+    def __init__(
+        self,
+        store: AliCoCoStore,
+        *,
+        config: ServiceConfig | None = None,
+        search_index: BM25Index | None = None,
+        config_fingerprint: str = "",
+    ):
+        self.config = config or ServiceConfig()
+        self._store = store.freeze()
+        self._fingerprint = config_fingerprint
+        self._search_index = (
+            search_index if search_index is not None else fit_concept_index(store)
+        )
+        self._cache = (
+            LRUCache(self.config.cache_capacity) if self.config.cache_capacity else None
+        )
+        self._handlers: dict[str, Callable[..., Any]] = {
+            "items_for_concept": self.items_for_concept,
+            "concepts_for_item": self.concepts_for_item,
+            "interpretation": self.interpretation,
+            "hypernyms": self.hypernyms,
+            "search": self.search,
+        }
+        self._metrics = {}
+        for position, endpoint in enumerate(self._handlers):
+            self._metrics[endpoint] = EndpointMetrics(
+                self.config.reservoir_capacity,
+                seed=self.config.seed + position,
+            )
+
+    # ------------------------------------------------------------ warm start
+    @classmethod
+    def from_build(
+        cls,
+        result: Any,
+        *,
+        config: ServiceConfig | None = None,
+        config_fingerprint: str = "",
+    ) -> "AliCoCoService":
+        """Serve a freshly built net (cold start; fits the search index).
+
+        Args:
+            result: A :class:`~repro.pipeline.build.BuildResult` (anything
+                with a ``.store`` attribute works).
+        """
+        return cls(result.store, config=config, config_fingerprint=config_fingerprint)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: str | Path,
+        *,
+        config: ServiceConfig | None = None,
+        expected_fingerprint: str | None = None,
+    ) -> "AliCoCoService":
+        """Warm-start a service from a versioned snapshot.
+
+        The store replays from disk and the search index rehydrates from
+        its serialised state — no net rebuild, no index re-fit.
+
+        Args:
+            expected_fingerprint: When given, refuse to serve a snapshot
+                built under a different configuration.
+
+        Raises:
+            DataError: If the snapshot is malformed, from another format
+                version, or fingerprint-mismatched.
+        """
+        snapshot = load_snapshot(path)
+        header = snapshot.header
+        if (
+            expected_fingerprint is not None
+            and header.config_fingerprint != expected_fingerprint
+        ):
+            raise DataError(
+                f"snapshot fingerprint {header.config_fingerprint!r} does "
+                f"not match expected {expected_fingerprint!r}"
+            )
+        state = snapshot.index_states.get(CONCEPT_INDEX)
+        search_index = (
+            BM25Index.from_state(state)
+            if state is not None
+            else fit_concept_index(snapshot.store)
+        )
+        return cls(
+            snapshot.store,
+            config=config,
+            search_index=search_index,
+            config_fingerprint=header.config_fingerprint,
+        )
+
+    def save_snapshot(self, path: str | Path) -> int:
+        """Persist the served net (and fitted search index) as a snapshot.
+
+        Returns:
+            Number of lines written.
+        """
+        index_states = {}
+        if self._search_index is not None:
+            index_states[CONCEPT_INDEX] = self._search_index.to_state()
+        return save_snapshot(
+            self._store,
+            path,
+            config_fingerprint=self._fingerprint,
+            index_states=index_states,
+        )
+
+    # ------------------------------------------------------------- endpoints
+    def items_for_concept(self, concept_id: str, top_k: int | None = None) -> tuple:
+        """Best items for an e-commerce concept: ((item id, weight), ...).
+
+        Results are ordered by descending association weight (simulated
+        click-through), ties broken by insertion order.
+        """
+        self._require(concept_id, ECOMMERCE_PREFIX)
+        return self._serve(
+            "items_for_concept",
+            (concept_id, top_k),
+            lambda: self._items_uncached(concept_id, top_k),
+        )
+
+    def concepts_for_item(self, item_id: str) -> tuple:
+        """E-commerce concept ids an item participates in."""
+        self._require(item_id, ITEM_PREFIX)
+        return self._serve(
+            "concepts_for_item",
+            (item_id,),
+            lambda: self._targets_of(item_id, RelationKind.ITEM_ECOMMERCE),
+        )
+
+    def interpretation(self, concept_id: str) -> tuple:
+        """Primitive-concept ids interpreting an e-commerce concept."""
+        self._require(concept_id, ECOMMERCE_PREFIX)
+        return self._serve(
+            "interpretation",
+            (concept_id,),
+            lambda: self._targets_of(concept_id, RelationKind.INTERPRETED_BY),
+        )
+
+    def hypernyms(self, primitive_id: str, transitive: bool = False) -> tuple:
+        """Hypernym primitive-concept ids (breadth-first when transitive)."""
+        self._require(primitive_id, PRIMITIVE_PREFIX)
+        return self._serve(
+            "hypernyms",
+            (primitive_id, transitive),
+            lambda: self._hypernyms_uncached(primitive_id, transitive),
+        )
+
+    def search(self, text: str, k: int | None = None) -> tuple:
+        """Best concepts for a free-text query: ((concept id, score), ...).
+
+        Tokenisation matches concept construction (whitespace split), so a
+        concept's own text always retrieves it.
+        """
+        if k is not None and k <= 0:
+            raise ConfigError(f"search k must be positive, got {k}")
+        k = k if k is not None else self.config.search_top_k
+        return self._serve("search", (text, k), lambda: self._search_uncached(text, k))
+
+    def batch(self, requests: Iterable[Sequence]) -> list:
+        """Answer many queries in one call: the multi-query entry point.
+
+        Each request is ``(endpoint_name, *args)``, e.g.
+        ``("search", "thanksgiving dinner")`` or
+        ``("items_for_concept", "ec_3", 5)``.  Results come back in
+        request order; each sub-query is cached and metered exactly as if
+        called individually.
+
+        Raises:
+            ConfigError: On an unknown endpoint name.
+        """
+        results = []
+        for request in requests:
+            endpoint, *args = request
+            handler = self._handlers.get(endpoint)
+            if handler is None:
+                known = ", ".join(sorted(self._handlers))
+                raise ConfigError(
+                    f"unknown endpoint {endpoint!r}; expected one of: {known}"
+                )
+            results.append(handler(*args))
+        return results
+
+    # --------------------------------------------------------- introspection
+    @property
+    def store(self) -> AliCoCoStore:
+        """The (frozen) net being served."""
+        return self._store
+
+    @property
+    def endpoints(self) -> tuple[str, ...]:
+        """Names accepted by :meth:`batch`."""
+        return tuple(self._handlers)
+
+    def stats(self) -> ServiceStats:
+        """Current serving statistics (store size, cache, latencies)."""
+        store_stats = self._store.stats()
+        endpoint_stats = tuple(
+            metrics.snapshot(endpoint) for endpoint, metrics in self._metrics.items()
+        )
+        return ServiceStats(
+            nodes=len(self._store),
+            relations=store_stats.relations_total,
+            cache_entries=len(self._cache) if self._cache else 0,
+            cache_capacity=self._cache.capacity if self._cache else 0,
+            cache_evictions=self._cache.evictions if self._cache else 0,
+            endpoints=endpoint_stats,
+        )
+
+    # ------------------------------------------------------------- internals
+    def _items_uncached(self, concept_id: str, top_k: int | None) -> tuple:
+        relations = self._store.in_relations(concept_id, RelationKind.ITEM_ECOMMERCE)
+        relations.sort(key=lambda relation: -relation.weight)
+        if top_k is not None:
+            relations = relations[:top_k]
+        return tuple((relation.source, relation.weight) for relation in relations)
+
+    def _targets_of(self, node_id: str, kind: RelationKind) -> tuple:
+        relations = self._store.out_relations(node_id, kind)
+        return tuple(relation.target for relation in relations)
+
+    def _hypernyms_uncached(self, primitive_id: str, transitive: bool) -> tuple:
+        nodes = kgq.hypernyms(self._store, primitive_id, transitive=transitive)
+        return tuple(node.id for node in nodes)
+
+    def _search_uncached(self, text: str, k: int) -> tuple:
+        tokens = text.split()
+        if not tokens or self._search_index is None:
+            return ()
+        return tuple(self._search_index.top_k(tokens, k=k))
+
+    def _require(self, node_id: str, expected_layer: str) -> None:
+        self._store.get(node_id)  # NodeNotFoundError on absent ids
+        if layer_of(node_id) != expected_layer:
+            raise RelationError(
+                f"node {node_id!r} is in layer {layer_of(node_id)!r}; "
+                f"this endpoint serves layer {expected_layer!r}"
+            )
+
+    def _serve(self, endpoint: str, key: tuple, compute: Callable[[], Any]) -> Any:
+        metrics = self._metrics[endpoint]
+        start = perf_counter()
+        if self._cache is not None:
+            cached = self._cache.get((endpoint, *key), _MISS)
+            if cached is not _MISS:
+                metrics.record_hit(perf_counter() - start)
+                return cached
+        value = compute()
+        if self._cache is not None:
+            self._cache.put((endpoint, *key), value)
+        metrics.record_miss(perf_counter() - start)
+        return value

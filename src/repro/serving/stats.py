@@ -1,0 +1,122 @@
+"""Per-endpoint serving metrics: call counters and latency percentiles.
+
+Every endpoint of :class:`~repro.serving.AliCoCoService` owns an
+:class:`EndpointMetrics` that separates *cached* from *uncached* answers —
+the two populations differ by orders of magnitude, so a single mixed
+histogram would hide exactly the signal an operator needs (is the cache
+absorbing the load, and what does a miss cost?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.timing import LatencyReservoir
+
+
+class EndpointMetrics:
+    """Mutable counters + hit/miss latency reservoirs for one endpoint."""
+
+    def __init__(self, reservoir_capacity: int = 512, seed: int = 0):
+        self.calls = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.hit_latency = LatencyReservoir(reservoir_capacity, seed=seed)
+        self.miss_latency = LatencyReservoir(reservoir_capacity, seed=seed + 1)
+
+    def record_hit(self, seconds: float) -> None:
+        """Count one query answered from the cache."""
+        self.calls += 1
+        self.cache_hits += 1
+        self.hit_latency.record(seconds)
+
+    def record_miss(self, seconds: float) -> None:
+        """Count one query computed against the store."""
+        self.calls += 1
+        self.cache_misses += 1
+        self.miss_latency.record(seconds)
+
+    def snapshot(self, endpoint: str) -> "EndpointStats":
+        """An immutable summary of the current counters."""
+        hit = self.hit_latency.percentiles_ms()
+        miss = self.miss_latency.percentiles_ms()
+        return EndpointStats(
+            endpoint=endpoint,
+            calls=self.calls,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            hit_p50_ms=hit["p50"],
+            hit_p95_ms=hit["p95"],
+            hit_p99_ms=hit["p99"],
+            miss_p50_ms=miss["p50"],
+            miss_p95_ms=miss["p95"],
+            miss_p99_ms=miss["p99"],
+        )
+
+
+@dataclass(frozen=True)
+class EndpointStats:
+    """Frozen per-endpoint serving summary (latencies in milliseconds)."""
+
+    endpoint: str
+    calls: int
+    cache_hits: int
+    cache_misses: int
+    hit_p50_ms: float
+    hit_p95_ms: float
+    hit_p99_ms: float
+    miss_p50_ms: float
+    miss_p95_ms: float
+    miss_p99_ms: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits over calls (0.0 before any call)."""
+        return self.cache_hits / self.calls if self.calls else 0.0
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Whole-service report: store size, cache state, per-endpoint stats."""
+
+    nodes: int
+    relations: int
+    cache_entries: int
+    cache_capacity: int
+    cache_evictions: int
+    endpoints: tuple[EndpointStats, ...]
+
+    def endpoint(self, name: str) -> EndpointStats:
+        """Stats for one endpoint.
+
+        Raises:
+            KeyError: If the endpoint never existed on the service.
+        """
+        for stats in self.endpoints:
+            if stats.endpoint == name:
+                return stats
+        raise KeyError(f"unknown endpoint {name!r}")
+
+    @property
+    def total_calls(self) -> int:
+        """Queries answered across all endpoints."""
+        return sum(stats.calls for stats in self.endpoints)
+
+    def format_table(self, title: str = "service stats") -> str:
+        """Human-readable per-endpoint table for reports."""
+        lines = [
+            title,
+            f"  store: {self.nodes} nodes / {self.relations} relations",
+            f"  cache: {self.cache_entries}/{self.cache_capacity} "
+            f"entries, {self.cache_evictions} evictions",
+            f"  {'endpoint':<20} {'calls':>7} {'hit%':>6} "
+            f"{'miss p50':>10} {'miss p99':>10} {'hit p50':>10}",
+        ]
+        for stats in self.endpoints:
+            lines.append(
+                f"  {stats.endpoint:<20} {stats.calls:>7} "
+                f"{stats.hit_rate * 100:>5.1f}% "
+                f"{stats.miss_p50_ms:>8.4f}ms {stats.miss_p99_ms:>8.4f}ms "
+                f"{stats.hit_p50_ms:>8.4f}ms"
+            )
+        return "\n".join(lines)

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .lexicon import Lexicon
 from .world import (
     AUDIENCE_CLASSES, CATEGORY_SEASON_BAD, EVENT_NEEDS, FUNCTION_CLASSES,
     FUNCTION_EVENT_BAD, FUNCTION_PROVIDERS, HOLIDAY_GIFTS,

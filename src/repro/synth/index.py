@@ -108,6 +108,18 @@ class ConceptCandidateIndex:
         """Size of the always-candidate bucket (unindexable concepts)."""
         return len(self._always)
 
+    def stats(self) -> dict[str, int]:
+        """Selectivity diagnostics for benchmark reports.
+
+        ``largest_bucket`` bounds the per-item verify cost: an item pulls
+        at most its keys' buckets plus the always-candidate set.
+        """
+        sizes = [len(bucket) for bucket in self._buckets.values()]
+        return {"buckets": len(self._buckets),
+                "indexed_concepts": self.n_indexed,
+                "always_candidates": len(self._always),
+                "largest_bucket": max(sizes, default=0)}
+
 
 class PartSignatureIndex:
     """Part-posting index over concept signatures for isA discovery.

@@ -14,14 +14,13 @@ distinguished on purpose:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..utils.rng import spawn_rng
-from .lexicon import Lexicon
 from .world import (
-    AUDIENCE_CLASSES, CATEGORY_SEASON_BAD, ConceptSpec, EVENT_NEEDS,
+    AUDIENCE_CLASSES, CATEGORY_SEASON_BAD, ConceptSpec,
     FUNCTION_PROVIDERS, HOLIDAY_GIFTS, PEST_SOLUTIONS, World,
 )
 

@@ -32,10 +32,63 @@ def atomic_write_text(path: str | Path, text: str) -> None:
 
 
 def write_jsonl(path: str | Path, records: Iterable[dict[str, Any]]) -> int:
-    """Write records as JSON lines (atomically); returns the line count."""
-    lines = [json.dumps(record, ensure_ascii=False) for record in records]
-    atomic_write_text(path, "\n".join(lines) + ("\n" if lines else ""))
-    return len(lines)
+    """Write records as JSON lines atomically; returns the line count.
+
+    Records are streamed to a temp file in the target directory one line
+    at a time (never materialising the whole payload in memory — a full
+    net snapshot can be orders of magnitude larger than any single
+    record), fsynced, and renamed over ``path`` in one step.  A crash at
+    any point mid-write leaves the previous contents of ``path`` intact
+    and never a truncated file.
+    """
+    path = Path(path)
+    handle, temp_name = tempfile.mkstemp(dir=path.parent,
+                                         prefix=f".{path.name}.", suffix=".tmp")
+    count = 0
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as temp_file:
+            for record in records:
+                temp_file.write(json.dumps(record, ensure_ascii=False))
+                temp_file.write("\n")
+                count += 1
+            temp_file.flush()
+            os.fsync(temp_file.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return count
+
+
+def read_jsonl_bulk(path: str | Path) -> list[tuple[int, dict[str, Any]]]:
+    """Like :func:`read_jsonl`, but parses the whole file in one decoder
+    call.
+
+    Joining the lines into a single JSON array amortises the per-call
+    overhead of ``json.loads`` across the file — snapshot loads spend
+    most of their time here, so this is the serving warm-start fast path.
+    Any parse failure (including blank lines, which break the join) falls
+    back to the per-line reader so malformed input still reports exact
+    line numbers.
+
+    Raises:
+        DataError: On malformed JSON or non-object lines, with the line
+            number in the message.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines:
+        return []
+    try:
+        records = json.loads("[" + ",".join(lines) + "]")
+    except json.JSONDecodeError:
+        return list(read_jsonl(path))
+    for line_number, record in enumerate(records, start=1):
+        if not isinstance(record, dict):
+            raise DataError(f"line {line_number}: expected a JSON object")
+    return list(enumerate(records, start=1))
 
 
 def read_jsonl(path: str | Path) -> Iterator[tuple[int, dict[str, Any]]]:

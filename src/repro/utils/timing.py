@@ -10,9 +10,10 @@ wall time.
 
 from __future__ import annotations
 
+import random
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Sequence
 
 
 class StageTimer:
@@ -75,3 +76,73 @@ class StageTimer:
             lines.append(f"  {name:<24} {secs * 1e3:9.2f} ms"
                          f"  x{self._calls[name]}")
         return "\n".join(lines)
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Linearly-interpolated quantile of a sample set (0.0 when empty).
+
+    ``q`` is a fraction in [0, 1]; e.g. ``quantile(latencies, 0.95)`` is
+    the p95.  Matches numpy's default (linear) interpolation without
+    requiring the samples to be pre-sorted.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class LatencyReservoir:
+    """Bounded latency sample set with streaming quantiles.
+
+    A serving endpoint answers millions of queries; keeping every latency
+    would grow without bound, and a plain ring buffer would bias the
+    quantiles toward the most recent burst.  This keeps a uniform random
+    sample of *all* recorded values using Vitter's algorithm R in O(1)
+    memory per endpoint, so ``p50/p95/p99`` stay representative of the
+    whole run.  Replacement decisions come from a private seeded
+    :class:`random.Random`, keeping benchmarks reproducible.
+
+    Args:
+        capacity: Maximum retained samples.
+        seed: Seed for the replacement RNG.
+    """
+
+    def __init__(self, capacity: int = 512, seed: int = 0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._samples: list[float] = []
+        self._count = 0
+        self._random = random.Random(seed)
+
+    def record(self, seconds: float) -> None:
+        """Add one latency observation (in seconds)."""
+        self._count += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(seconds)
+            return
+        slot = self._random.randrange(self._count)
+        if slot < self.capacity:
+            self._samples[slot] = seconds
+
+    @property
+    def count(self) -> int:
+        """Total observations recorded (not just those retained)."""
+        return self._count
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile over the retained sample, in seconds."""
+        return quantile(self._samples, q)
+
+    def percentiles_ms(self) -> dict[str, float]:
+        """The standard serving latency summary, in milliseconds."""
+        return {name: self.quantile(q) * 1e3
+                for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))}

@@ -45,7 +45,6 @@ def make_classifier(setup, use_wide=False, use_ppl=True, use_knowledge=False,
                                     use_perplexity=use_ppl)
     knowledge = None
     if use_knowledge:
-        rng = np.random.default_rng(0)
         vectors = {}
 
         def lookup(word):

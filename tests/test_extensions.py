@@ -7,7 +7,7 @@ from repro import build_alicoco, TINY
 from repro.apps.qa import ConceptQA
 from repro.errors import DataError
 from repro.kg.relations import RelationKind
-from repro.mining.implicit import ImplicitRelation, ImplicitRelationMiner
+from repro.mining.implicit import ImplicitRelationMiner
 from repro.synth import build_lexicon, World
 from repro.synth.items import generate_items
 

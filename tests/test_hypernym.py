@@ -177,7 +177,10 @@ class TestActiveLearner:
         rng = np.random.default_rng(0)
         dataset = build_dataset(lexicon, rng, negatives_per_positive=5)
         truth = set(lexicon.hypernym_pairs("Category"))
-        label_fn = lambda a, b: (a, b) in truth
+
+        def label_fn(a, b):
+            return (a, b) in truth
+
         return ActiveLearner(toy_embedder(), dim=8, label_fn=label_fn,
                              dataset=dataset, k_per_iteration=k,
                              alpha=alpha, patience=2, seed=2, epochs=8,

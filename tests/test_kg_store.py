@@ -6,7 +6,7 @@ from repro.errors import (
     DuplicateNodeError, NodeNotFoundError, RelationError, TaxonomyError,
 )
 from repro.kg import (
-    AliCoCoStore, ECommerceConcept, PrimitiveConcept, Relation, RelationKind,
+    AliCoCoStore, ECommerceConcept, Relation, RelationKind,
 )
 from repro.kg import query as kgq
 from repro.kg.ids import layer_of
@@ -120,7 +120,7 @@ class TestQueries:
 
     def test_class_path_cycle_detected(self):
         store = AliCoCoStore()
-        a = store.create_class("A", domain="Category")
+        store.create_class("A", domain="Category")
         # Manually create a cyclic node (bypassing create_class validation).
         from repro.kg.nodes import ClassNode
         b = ClassNode("cls_99", "B", "Category", parent_id="cls_100")

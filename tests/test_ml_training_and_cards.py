@@ -89,7 +89,6 @@ class TestKnowledgeCard:
         """A concept interpreting a category with mined commonsense shows
         the implication on its card."""
         from repro.apps import SemanticSearchEngine
-        from repro.kg.relations import RelationKind
         engine = SemanticSearchEngine(built.store)
         # Find a concept whose interpretation has an outgoing mined edge.
         for spec in built.concepts:

@@ -50,7 +50,7 @@ class TestCRF:
         emissions = Tensor(rng.normal(size=(3, 3)))
         labels = [2, 0, 1]
         strict = crf.nll(emissions, labels).item()
-        fuzzy = crf.fuzzy_nll(emissions, [[l] for l in labels]).item()
+        fuzzy = crf.fuzzy_nll(emissions, [[label] for label in labels]).item()
         assert fuzzy == pytest.approx(strict, abs=1e-8)
 
     def test_fuzzy_all_labels_allowed_gives_zero_loss(self, rng):

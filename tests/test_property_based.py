@@ -206,7 +206,7 @@ class TestSegmentationProperties:
         assert 0 <= result.covered <= len(tokens)
         labels = result.iob_labels(len(tokens))
         assert len(labels) == len(tokens)
-        inside = sum(1 for l in labels if l != "O")
+        inside = sum(1 for label in labels if label != "O")
         assert inside == result.covered
 
     @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1,

@@ -1,0 +1,191 @@
+"""Versioned snapshots: round-trips, header validation, atomicity."""
+
+import json
+
+import pytest
+
+from repro import build_alicoco, TINY
+from repro.errors import DataError, NodeNotFoundError
+from repro.kg.serialize import (
+    load_snapshot,
+    load_store,
+    save_snapshot,
+    save_store,
+    SNAPSHOT_FORMAT,
+)
+from repro.matching.bm25 import BM25Index
+from repro.serving import AliCoCoService
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_alicoco(TINY)
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(built, tmp_path_factory):
+    path = tmp_path_factory.mktemp("snap") / "net.snapshot.jsonl"
+    service = AliCoCoService.from_build(built, config_fingerprint=TINY.fingerprint())
+    service.save_snapshot(path)
+    return path
+
+
+class TestSnapshotRoundTrip:
+    def test_save_load_save_is_byte_identical(self, snapshot_path, tmp_path):
+        snapshot = load_snapshot(snapshot_path)
+        resaved = tmp_path / "resaved.jsonl"
+        save_snapshot(
+            snapshot.store,
+            resaved,
+            config_fingerprint=snapshot.header.config_fingerprint,
+            index_states=snapshot.index_states,
+        )
+        assert snapshot_path.read_bytes() == resaved.read_bytes()
+
+    def test_header_reflects_contents(self, built, snapshot_path):
+        header = load_snapshot(snapshot_path).header
+        assert header.format_version == SNAPSHOT_FORMAT
+        assert header.node_count == len(built.store)
+        assert header.relation_count == built.store.stats().relations_total
+        assert header.config_fingerprint == TINY.fingerprint()
+        assert "bm25-concepts" in header.index_names
+
+    def test_store_survives_snapshot_round_trip(self, built, snapshot_path):
+        loaded = load_snapshot(snapshot_path).store
+        assert loaded.stats() == built.store.stats()
+        loaded_ids = sorted(n.id for n in loaded.nodes())
+        assert loaded_ids == sorted(n.id for n in built.store.nodes())
+        assert list(loaded.relations()) == list(built.store.relations())
+
+    def test_index_state_rehydrates_identically(self, snapshot_path):
+        snapshot = load_snapshot(snapshot_path)
+        state = snapshot.index_states["bm25-concepts"]
+        index = BM25Index.from_state(state)
+        assert index.to_state() == state
+        concept = next(snapshot.store.nodes("ec"))
+        top = index.top_k(concept.tokens, k=1)
+        assert top and top[0][0] == concept.id
+
+    def test_load_store_accepts_snapshot_files(self, built, snapshot_path):
+        loaded = load_store(snapshot_path)
+        assert loaded.stats() == built.store.stats()
+
+    def test_legacy_headerless_files_still_load(self, built, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        save_store(built.store, path)
+        assert load_store(path).stats() == built.store.stats()
+        with pytest.raises(DataError, match="missing header"):
+            load_snapshot(path)
+
+
+class TestHeaderValidation:
+    def test_version_mismatch_rejected_with_line(self, snapshot_path, tmp_path):
+        lines = snapshot_path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["format"] = SNAPSHOT_FORMAT + 1
+        bad = tmp_path / "future.jsonl"
+        bad.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(DataError, match=r"line 1: snapshot format"):
+            load_snapshot(bad)
+
+    def test_corrupted_header_rejected_with_line(self, snapshot_path, tmp_path):
+        lines = snapshot_path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["nodes"] = "not-a-count"
+        bad = tmp_path / "corrupt.jsonl"
+        bad.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(DataError, match=r"line 1: corrupted snapshot"):
+            load_snapshot(bad)
+
+    def test_truncated_snapshot_detected_by_counts(self, snapshot_path, tmp_path):
+        lines = snapshot_path.read_text().splitlines()
+        bad = tmp_path / "truncated.jsonl"
+        bad.write_text("\n".join(lines[:-40]) + "\n")
+        with pytest.raises((DataError, NodeNotFoundError)):
+            load_snapshot(bad)
+
+    def test_header_not_first_rejected(self, snapshot_path, tmp_path):
+        lines = snapshot_path.read_text().splitlines()
+        bad = tmp_path / "misplaced.jsonl"
+        bad.write_text("\n".join([lines[1], lines[0]] + lines[2:]) + "\n")
+        # The strict loader fails fast on the missing line-1 header; even
+        # the liberal loader rejects a header that is not the first record.
+        with pytest.raises(DataError, match="missing header"):
+            load_snapshot(bad)
+        with pytest.raises(DataError, match="must be the first"):
+            load_store(bad)
+
+    def test_malformed_json_keeps_line_numbers(self, snapshot_path, tmp_path):
+        lines = snapshot_path.read_text().splitlines()
+        lines[2] = "not json"
+        bad = tmp_path / "mangled.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DataError, match="line 3"):
+            load_snapshot(bad)
+
+
+class TestAtomicity:
+    def test_failed_save_keeps_previous_snapshot(self, built, tmp_path, monkeypatch):
+        """A crash mid-write must leave the old snapshot intact and no
+        temp files behind."""
+        path = tmp_path / "net.jsonl"
+        save_snapshot(built.store, path, config_fingerprint="v1")
+        before = path.read_bytes()
+
+        import repro.kg.serialize as serialize_module
+
+        original = serialize_module._records
+
+        def exploding_records(store):
+            yield from list(original(store))[:10]
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr(serialize_module, "_records", exploding_records)
+        with pytest.raises(RuntimeError):
+            save_snapshot(built.store, path, config_fingerprint="v2")
+        assert path.read_bytes() == before
+        assert not [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+
+    def test_save_store_streams_atomically(self, built, tmp_path, monkeypatch):
+        path = tmp_path / "net.jsonl"
+        save_store(built.store, path)
+        before = path.read_bytes()
+
+        import repro.utils.io as io_module
+
+        def exploding_replace(src, dst):
+            raise OSError("power loss at rename")
+
+        monkeypatch.setattr(io_module.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            save_store(built.store, path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert not [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+
+
+class TestWarmStartParity:
+    def test_warm_service_answers_match_fresh(self, built, snapshot_path):
+        fresh = AliCoCoService.from_build(built)
+        warm = AliCoCoService.from_snapshot(
+            snapshot_path, expected_fingerprint=TINY.fingerprint()
+        )
+        requests = []
+        for spec in built.concepts[:25]:
+            concept_id = built.concept_ids[spec.text]
+            requests.append(("search", spec.text))
+            requests.append(("items_for_concept", concept_id, 5))
+            requests.append(("interpretation", concept_id))
+        some_primitive = next(iter(built.primitive_ids.values()))
+        requests.append(("hypernyms", some_primitive, True))
+        item_id = built.item_ids[0]
+        requests.append(("concepts_for_item", item_id))
+        assert fresh.batch(requests) == warm.batch(requests)
+
+    def test_fingerprint_mismatch_refused(self, snapshot_path):
+        with pytest.raises(DataError, match="fingerprint"):
+            AliCoCoService.from_snapshot(snapshot_path, expected_fingerprint="deadbeef")
+
+    def test_fingerprints_distinguish_scales(self):
+        assert TINY.fingerprint() != TINY.with_seed(8).fingerprint()
+        assert TINY.fingerprint() == TINY.fingerprint()

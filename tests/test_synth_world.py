@@ -153,7 +153,7 @@ class TestConceptSampling:
         for spec in world.sample_good_concepts(rng, 40):
             labels = spec.iob_labels()
             assert len(labels) == len(spec.tokens)
-            begins = [l for l in labels if l.startswith("B-")]
+            begins = [label for label in labels if label.startswith("B-")]
             assert len(begins) == len(spec.parts)
 
     def test_iob_labels_multiword_parts(self, world):

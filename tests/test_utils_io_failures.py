@@ -81,7 +81,8 @@ class TestStoreSerializationFailures:
         save_store(built.store, path)
         lines = path.read_text().splitlines()
         # Drop all nodes, keep a relation: endpoints now dangle.
-        relation_lines = [l for l in lines if '"record": "relation"' in l]
+        relation_lines = [line for line in lines
+                          if '"record": "relation"' in line]
         path.write_text(relation_lines[0] + "\n")
         from repro.errors import NodeNotFoundError
         with pytest.raises(NodeNotFoundError):
