@@ -13,8 +13,16 @@ serving layer exists for, and asserts both:
 A warm-started service must also answer a mixed query battery *identically*
 to the service built from scratch — warm start is an acceleration, not an
 approximation.
+
+A third section exercises the concurrent-serving contract: a shared
+service hammered from several threads must answer identically to serial
+execution with consistent counters, and thread-pool batch fan-out
+(``workers=N``) must return results byte-identical to serial batches —
+in envelope mode too, where failures come back as ``BatchResult``
+envelopes instead of aborting the batch.
 """
 
+import threading
 import time
 from dataclasses import replace
 
@@ -29,6 +37,9 @@ _N_CONCEPTS = 40 if SMOKE else 110
 _MIN_WARM_SPEEDUP = 1.2 if SMOKE else 2.0
 _MIN_CACHE_SPEEDUP = 3.0 if SMOKE else 10.0
 _HIT_PASSES = 5
+_HAMMER_THREADS = 4 if SMOKE else 8
+_HAMMER_PASSES = 2 if SMOKE else 5
+_BATCH_WORKERS = 4
 
 
 def _workload(built):
@@ -95,6 +106,46 @@ def test_serving(tmp_path, report):
         f"uncached, got {cache_speedup:.2f}x"
     )
 
+    # Threaded throughput: hammer one shared service from several
+    # threads; answers must match serial execution and no observation may
+    # be lost to a race (hits + misses == lookups).
+    expected = fresh.batch(requests)
+    hammer_errors: list = []
+    barrier = threading.Barrier(_HAMMER_THREADS)
+
+    def hammer():
+        try:
+            barrier.wait()
+            for _ in range(_HAMMER_PASSES):
+                assert fresh.batch(requests) == expected
+        except Exception as error:  # pragma: no cover - failure path
+            hammer_errors.append(error)
+
+    threads = [threading.Thread(target=hammer) for _ in range(_HAMMER_THREADS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    hammer_seconds = time.perf_counter() - start
+    assert hammer_errors == []
+    cache = fresh._cache
+    assert cache.hits + cache.misses == cache.lookups
+    hammer_queries = _HAMMER_THREADS * _HAMMER_PASSES * len(requests)
+    hammer_qps = hammer_queries / max(hammer_seconds, 1e-9)
+
+    # Batch fan-out parity: workers=N must be byte-identical to serial,
+    # with mid-batch failures enveloped instead of aborting the batch.
+    faulty = requests + [("items_for_concept", "ec_999999999")]
+    serial_envelopes = fresh.batch(faulty, on_error="envelope")
+    parallel_envelopes = fresh.batch(
+        faulty, on_error="envelope", workers=_BATCH_WORKERS
+    )
+    assert parallel_envelopes == serial_envelopes
+    expected_ok = [True] * len(requests) + [False]
+    assert [result.ok for result in serial_envelopes] == expected_ok
+    assert fresh.batch(requests, workers=_BATCH_WORKERS) == expected
+
     lines = [
         f"Serving at {_N_ITEMS} items / {_N_CONCEPTS} concepts ({scale.name})",
         f"  snapshot: {snapshot_lines} lines (fingerprint {scale.fingerprint()})",
@@ -104,6 +155,11 @@ def test_serving(tmp_path, report):
         f"  cached search p50 vs uncached: {cache_speedup:.1f}x "
         f"({search.hit_p50_ms * 1e3:.2f}us vs {search.miss_p50_ms * 1e3:.2f}us)",
         f"  parity: {len(requests)} mixed queries identical fresh vs warm",
+        f"  threaded: {_HAMMER_THREADS} threads x {_HAMMER_PASSES} passes = "
+        f"{hammer_queries} queries in {hammer_seconds * 1e3:.1f} ms "
+        f"({hammer_qps:,.0f} q/s), counters consistent",
+        f"  batch fan-out: workers={_BATCH_WORKERS} byte-identical to serial "
+        f"({len(faulty)} requests, 1 enveloped failure)",
         "",
         stats.format_table("warm service stats"),
     ]

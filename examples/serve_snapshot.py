@@ -3,7 +3,9 @@
 Walks the offline/online split the paper deploys at Alibaba: construct
 the net offline, persist it as a versioned snapshot, then warm-start the
 online service from that snapshot (no rebuild, no index re-fit) and
-answer concept queries.
+answer concept queries — including an enveloped batch, where a bad
+request comes back as a ``BatchResult`` error envelope instead of
+throwing away its neighbours' completed work.
 
 Run:
     python examples/serve_snapshot.py
@@ -53,7 +55,25 @@ def main() -> None:
         primitive = service.store.get(primitive_id)
         print(f"  sense: {primitive.name} ({primitive.domain})")
 
-    # --- observe: cache and latency stats after a repeat batch -----------
+    # --- batch with envelopes: failures are data, not lost work ----------
+    requests = [
+        ("search", spec.text),
+        ("items_for_concept", "ec_999999999"),  # bad id, mid-batch
+        ("items_for_concept", concept_id, 3),
+    ]
+    print("\nenvelope batch (one bad request in the middle, workers=2):")
+    for request, result in zip(
+        requests, service.batch(requests, on_error="envelope", workers=2)
+    ):
+        if result.ok:
+            print(f"  ok    {request[0]}: {len(result.value)} results")
+        else:
+            print(
+                f"  FAIL  {request[0]}: {result.error_type}: "
+                f"{result.error_message}"
+            )
+
+    # --- observe: cache, latency and error stats after a repeat batch ----
     requests = [("search", spec.text), ("items_for_concept", concept_id, 3)]
     for _ in range(3):
         service.batch(requests)

@@ -57,3 +57,21 @@ class BudgetExhaustedError(ReproError):
 
 class DataError(ReproError):
     """A dataset is malformed or empty where data was required."""
+
+
+def error_by_name(name: str) -> type[ReproError] | None:
+    """The :class:`ReproError` subclass called ``name``, or ``None``.
+
+    Batch envelopes (:class:`repro.serving.BatchResult`) carry failures
+    as ``(exception type name, message)`` pairs so they survive
+    serialisation; this maps a recorded name back to the library class so
+    callers can re-raise the original error type.  Names outside the
+    :class:`ReproError` hierarchy (e.g. ``TypeError``) return ``None``.
+    """
+    pending = [ReproError]
+    while pending:
+        klass = pending.pop()
+        if klass.__name__ == name:
+            return klass
+        pending.extend(klass.__subclasses__())
+    return None

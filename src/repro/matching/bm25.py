@@ -49,7 +49,9 @@ class BM25Matcher:
         self._idf: dict[str, float] = {}
         self._average_length = 0.0
         # token tuple -> (term counts, length norm); filled at fit time so
-        # score_pairs never recounts a title it has already seen.
+        # score_pairs never recounts a title it has already seen.  Only
+        # fit-time titles are memoised: scoring must not grow the cache,
+        # or serving-style traffic over unseen titles leaks memory.
         self._doc_cache: dict[tuple[str, ...], tuple[Counter, float]] = {}
         self._fitted = False
 
@@ -57,7 +59,9 @@ class BM25Matcher:
         """Collect document statistics from the training items' titles.
 
         Per-document term counts (and length norms) are precomputed here
-        and cached, keyed by the title's token tuple.
+        and cached, keyed by the title's token tuple.  The cache is
+        bounded by the training set: titles first seen at ``score`` time
+        are counted on the fly without being memoised.
         """
         titles = {example.item.index: example.item.title_tokens
                   for example in examples}
@@ -74,7 +78,9 @@ class BM25Matcher:
         self._fitted = True
         self._doc_cache = {}
         for tokens in titles.values():
-            self._cached_doc(tokens)
+            key = tuple(tokens)
+            if key not in self._doc_cache:
+                self._doc_cache[key] = (Counter(key), self._length_norm(len(key)))
         return self
 
     def _length_norm(self, n_tokens: int) -> float:
@@ -82,12 +88,17 @@ class BM25Matcher:
                           / max(self._average_length, 1e-9))
 
     def _cached_doc(self, tokens: Sequence[str]) -> tuple[Counter, float]:
-        """Term counts + length norm for a title, memoised by token tuple."""
+        """Term counts + length norm for a title.
+
+        Fit-time titles come from the cache; unseen titles are counted on
+        the fly and deliberately *not* memoised — ``score`` is called on
+        arbitrary query traffic, and memoising every unseen title would
+        grow the cache without bound.
+        """
         key = tuple(tokens)
         cached = self._doc_cache.get(key)
         if cached is None:
             cached = (Counter(key), self._length_norm(len(key)))
-            self._doc_cache[key] = cached
         return cached
 
     def score(self, query_tokens: Sequence[str],
@@ -217,11 +228,13 @@ class BM25Index:
         index._fitted = True
         return index
 
-    def scores(self, query_tokens: Sequence[str]) -> dict:
-        """Nonzero BM25 scores: doc id -> score, via postings only.
+    def _accumulate(self, query_tokens: Sequence[str]) -> dict[int, float]:
+        """Position -> BM25 score over the query terms' postings only.
 
-        Documents sharing no term with the query are absent (their score
-        is exactly 0.0).
+        The shared scoring kernel behind :meth:`scores` and :meth:`top_k`:
+        walks each query term's postings list once, accumulating gains per
+        document position.  Positions sharing no term with the query are
+        absent (their score is exactly 0.0).
         """
         if not self._fitted:
             raise NotFittedError("BM25Index has not been fitted")
@@ -235,8 +248,16 @@ class BM25Index:
                 gain = idf * frequency * (self.k1 + 1.0) \
                     / (frequency + self._norms[position])
                 accumulated[position] = accumulated.get(position, 0.0) + gain
+        return accumulated
+
+    def scores(self, query_tokens: Sequence[str]) -> dict:
+        """Nonzero BM25 scores: doc id -> score, via postings only.
+
+        Documents sharing no term with the query are absent (their score
+        is exactly 0.0).
+        """
         return {self._doc_ids[position]: score
-                for position, score in accumulated.items()}
+                for position, score in self._accumulate(query_tokens).items()}
 
     def score(self, query_tokens: Sequence[str], doc_id) -> float:
         """BM25 score of the query against one indexed document."""
@@ -249,17 +270,6 @@ class BM25Index:
         fewer than ``k``).  Ties break by indexing order, which makes the
         ranking identical to an exhaustive argsort over all documents.
         """
-        if not self._fitted:
-            raise NotFittedError("BM25Index has not been fitted")
-        accumulated: dict[int, float] = {}
-        for term, query_frequency in Counter(query_tokens).items():
-            postings = self._postings.get(term)
-            if postings is None:
-                continue
-            idf = self._idf[term] * query_frequency
-            for position, frequency in postings:
-                gain = idf * frequency * (self.k1 + 1.0) \
-                    / (frequency + self._norms[position])
-                accumulated[position] = accumulated.get(position, 0.0) + gain
+        accumulated = self._accumulate(query_tokens)
         best = sorted(accumulated.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
         return [(self._doc_ids[position], score) for position, score in best]

@@ -18,11 +18,18 @@ Quickstart::
 """
 
 from .cache import LRUCache
-from .service import AliCoCoService, CONCEPT_INDEX, fit_concept_index, ServiceConfig
+from .service import (
+    AliCoCoService,
+    BatchResult,
+    CONCEPT_INDEX,
+    fit_concept_index,
+    ServiceConfig,
+)
 from .stats import EndpointMetrics, EndpointStats, ServiceStats
 
 __all__ = [
     "AliCoCoService",
+    "BatchResult",
     "ServiceConfig",
     "CONCEPT_INDEX",
     "fit_concept_index",

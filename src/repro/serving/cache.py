@@ -1,14 +1,22 @@
-"""A counting LRU cache for query results.
+"""A counting, thread-safe LRU cache for query results.
 
 The paper's net serves heavy, highly repetitive traffic (hot concepts are
 queried far more often than the tail), so an LRU over immutable query
 results converts most of the load into dictionary lookups.  The cache
 counts hits, misses and evictions so :class:`~repro.serving.AliCoCoService`
 can surface cache effectiveness in its stats report.
+
+The cache is shared by every serving thread, so one lock guards the
+entry map and all three counters together.  That keeps the counters
+consistent with each other under contention: every ``get`` increments
+exactly one of ``hits``/``misses``, so ``hits + misses`` always equals
+the number of lookups, and ``evictions`` never drifts from the entries
+actually dropped.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
@@ -21,6 +29,9 @@ _ABSENT = object()
 class LRUCache:
     """Least-recently-used mapping with a fixed capacity and counters.
 
+    Safe for concurrent use: lookups, insertions and counter updates are
+    serialised by a single internal lock.
+
     Args:
         capacity: Maximum number of entries; the least recently *used*
             (read or written) entry is evicted first.
@@ -31,41 +42,54 @@ class LRUCache:
             raise ConfigError(f"LRUCache capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, refreshing its recency; counts a hit or miss."""
-        value = self._entries.get(key, _ABSENT)
-        if value is _ABSENT:
-            self.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get(key, _ABSENT)
+            if value is _ABSENT:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``, evicting the stalest entry if full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls (always ``hits + misses``)."""
+        with self._lock:
+            return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
         """Hits over lookups (0.0 before any lookup)."""
-        lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 0.0
+        with self._lock:
+            lookups = self.hits + self.misses
+            return self.hits / lookups if lookups else 0.0
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -15,20 +15,43 @@ production query surface:
 - ``batch`` — the multi-query entry point.
 
 Every endpoint is LRU-cached and records hit/miss latency percentiles
-(:mod:`repro.serving.stats`).  A service warm-starts from a versioned
-snapshot (:func:`repro.kg.serialize.load_snapshot`) in a fraction of a
-rebuild: the store is replayed from disk and the search index is
-rehydrated from its serialised state instead of re-fitted.
+and per-exception-type error counters (:mod:`repro.serving.stats`).  A
+service warm-starts from a versioned snapshot
+(:func:`repro.kg.serialize.load_snapshot`) in a fraction of a rebuild:
+the store is replayed from disk and the search index is rehydrated from
+its serialised state instead of re-fitted.
+
+**Thread safety.**  A service instance may be shared freely across
+threads.  The design splits state into two camps:
+
+- *Frozen graph state* — the store, the fitted search index and the
+  handler table are immutable after ``__init__`` (the store is
+  explicitly frozen: any mutation raises
+  :class:`~repro.errors.FrozenStoreError`).  Reads of immutable
+  structures need no locks, so the hot query path over the graph is
+  lock-free by construction.  This is the invariant that makes the rest
+  cheap: if the store could change, every endpoint would need a reader
+  lock *and* the cache could serve stale results.
+- *Mutable bookkeeping* — the LRU result cache, the per-endpoint
+  counters and the latency reservoirs each guard themselves with a
+  single internal lock (:class:`~repro.serving.cache.LRUCache`,
+  :class:`~repro.serving.stats.EndpointMetrics`,
+  :class:`~repro.utils.timing.LatencyReservoir`).  Two threads missing
+  the same key may both compute it, but the store is frozen so they
+  compute the *same* value and the second ``put`` is a harmless
+  refresh.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from time import perf_counter
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from ..errors import ConfigError, DataError, RelationError
+from ..errors import ConfigError, DataError, RelationError, ReproError, error_by_name
 from ..kg import query as kgq
 from ..kg.ids import ECOMMERCE_PREFIX, ITEM_PREFIX, PRIMITIVE_PREFIX, layer_of
 from ..kg.relations import RelationKind
@@ -43,6 +66,47 @@ CONCEPT_INDEX = "bm25-concepts"
 
 #: Sentinel for cache lookups (results may legitimately be falsy).
 _MISS = object()
+
+#: Accepted values for ``batch``'s failure policy.
+_ON_ERROR_MODES = ("raise", "envelope")
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """One enveloped sub-query outcome from :meth:`AliCoCoService.batch`.
+
+    Envelope mode (``on_error="envelope"``) returns one of these per
+    request, in request order, instead of aborting the whole batch on the
+    first failure.  Exactly one of ``value`` / (``error_type``,
+    ``error_message``) is populated, selected by ``ok``.
+
+    Attributes:
+        ok: Whether the sub-query succeeded.
+        value: The endpoint's result when ``ok`` (``None`` otherwise).
+        error_type: Exception class name when failed (``None`` otherwise).
+        error_message: Stringified exception when failed.
+    """
+
+    ok: bool
+    value: Any = None
+    error_type: str | None = None
+    error_message: str | None = None
+
+    def unwrap(self) -> Any:
+        """The result value, re-raising the recorded failure if any.
+
+        Failures recorded as :class:`~repro.errors.ReproError` subclasses
+        re-raise as their original type (via
+        :func:`~repro.errors.error_by_name`); anything else re-raises as
+        a plain :class:`~repro.errors.ReproError` carrying the recorded
+        type name and message.
+        """
+        if self.ok:
+            return self.value
+        klass = error_by_name(self.error_type or "") or ReproError
+        if klass is ReproError:
+            raise ReproError(f"{self.error_type}: {self.error_message}")
+        raise klass(self.error_message)
 
 
 @dataclass(frozen=True)
@@ -95,7 +159,10 @@ class AliCoCoService:
 
     The store is frozen at construction time: cached results can never go
     stale because the graph underneath can never change.  Build a new
-    service (or warm-start one from a snapshot) to serve a new net.
+    service (or warm-start one from a snapshot) to serve a new net.  One
+    instance may be shared across threads — graph reads are lock-free
+    over immutable state, and the cache/metrics guard themselves (see the
+    module docstring for the full thread-safety contract).
 
     Args:
         store: The net to serve; frozen in place.
@@ -221,75 +288,141 @@ class AliCoCoService:
 
         Results are ordered by descending association weight (simulated
         click-through), ties broken by insertion order.
+
+        Raises:
+            ConfigError: If ``top_k`` is given but not positive.
         """
-        self._require(concept_id, ECOMMERCE_PREFIX)
-        return self._serve(
-            "items_for_concept",
-            (concept_id, top_k),
-            lambda: self._items_uncached(concept_id, top_k),
-        )
+        with self._metered_errors("items_for_concept"):
+            if top_k is not None and top_k <= 0:
+                raise ConfigError(
+                    f"items_for_concept top_k must be positive, got {top_k}"
+                )
+            self._require(concept_id, ECOMMERCE_PREFIX)
+            return self._serve(
+                "items_for_concept",
+                (concept_id, top_k),
+                lambda: self._items_uncached(concept_id, top_k),
+            )
 
     def concepts_for_item(self, item_id: str) -> tuple:
         """E-commerce concept ids an item participates in."""
-        self._require(item_id, ITEM_PREFIX)
-        return self._serve(
-            "concepts_for_item",
-            (item_id,),
-            lambda: self._targets_of(item_id, RelationKind.ITEM_ECOMMERCE),
-        )
+        with self._metered_errors("concepts_for_item"):
+            self._require(item_id, ITEM_PREFIX)
+            return self._serve(
+                "concepts_for_item",
+                (item_id,),
+                lambda: self._targets_of(item_id, RelationKind.ITEM_ECOMMERCE),
+            )
 
     def interpretation(self, concept_id: str) -> tuple:
         """Primitive-concept ids interpreting an e-commerce concept."""
-        self._require(concept_id, ECOMMERCE_PREFIX)
-        return self._serve(
-            "interpretation",
-            (concept_id,),
-            lambda: self._targets_of(concept_id, RelationKind.INTERPRETED_BY),
-        )
+        with self._metered_errors("interpretation"):
+            self._require(concept_id, ECOMMERCE_PREFIX)
+            return self._serve(
+                "interpretation",
+                (concept_id,),
+                lambda: self._targets_of(concept_id, RelationKind.INTERPRETED_BY),
+            )
 
     def hypernyms(self, primitive_id: str, transitive: bool = False) -> tuple:
         """Hypernym primitive-concept ids (breadth-first when transitive)."""
-        self._require(primitive_id, PRIMITIVE_PREFIX)
-        return self._serve(
-            "hypernyms",
-            (primitive_id, transitive),
-            lambda: self._hypernyms_uncached(primitive_id, transitive),
-        )
+        with self._metered_errors("hypernyms"):
+            self._require(primitive_id, PRIMITIVE_PREFIX)
+            return self._serve(
+                "hypernyms",
+                (primitive_id, transitive),
+                lambda: self._hypernyms_uncached(primitive_id, transitive),
+            )
 
     def search(self, text: str, k: int | None = None) -> tuple:
         """Best concepts for a free-text query: ((concept id, score), ...).
 
         Tokenisation matches concept construction (whitespace split), so a
-        concept's own text always retrieves it.
+        concept's own text always retrieves it.  The result cache is keyed
+        on the *token tuple*, so queries differing only in whitespace
+        (``"a  b"`` vs ``"a b"``) share one cache entry.
         """
-        if k is not None and k <= 0:
-            raise ConfigError(f"search k must be positive, got {k}")
-        k = k if k is not None else self.config.search_top_k
-        return self._serve("search", (text, k), lambda: self._search_uncached(text, k))
+        with self._metered_errors("search"):
+            if k is not None and k <= 0:
+                raise ConfigError(f"search k must be positive, got {k}")
+            k = k if k is not None else self.config.search_top_k
+            tokens = tuple(text.split())
+            return self._serve(
+                "search", (tokens, k), lambda: self._search_uncached(tokens, k)
+            )
 
-    def batch(self, requests: Iterable[Sequence]) -> list:
+    def batch(
+        self,
+        requests: Iterable[Sequence],
+        *,
+        on_error: str = "raise",
+        workers: int | None = None,
+    ) -> list:
         """Answer many queries in one call: the multi-query entry point.
 
         Each request is ``(endpoint_name, *args)``, e.g.
         ``("search", "thanksgiving dinner")`` or
         ``("items_for_concept", "ec_3", 5)``.  Results come back in
         request order; each sub-query is cached and metered exactly as if
-        called individually.
+        called individually — serial or fanned out.
+
+        Args:
+            on_error: Failure policy.  ``"raise"`` (default) propagates
+                the first failure, discarding the batch — the historical
+                behaviour.  ``"envelope"`` never raises on a sub-query:
+                it returns one :class:`BatchResult` per request, in
+                request order, so one bad request cannot throw away its
+                neighbours' completed work.
+            workers: When given, fan sub-queries out over a thread pool
+                of this size.  Result order is deterministic (always
+                request order) and content is identical to serial
+                execution — the store is frozen, so a query's answer does
+                not depend on scheduling.
 
         Raises:
-            ConfigError: On an unknown endpoint name.
+            ConfigError: On an unknown endpoint name (``"raise"`` mode),
+                an unknown ``on_error`` policy, or a non-positive
+                ``workers``.
         """
-        results = []
-        for request in requests:
-            endpoint, *args = request
-            handler = self._handlers.get(endpoint)
-            if handler is None:
-                known = ", ".join(sorted(self._handlers))
-                raise ConfigError(
-                    f"unknown endpoint {endpoint!r}; expected one of: {known}"
-                )
-            results.append(handler(*args))
-        return results
+        if on_error not in _ON_ERROR_MODES:
+            expected = ", ".join(repr(mode) for mode in _ON_ERROR_MODES)
+            raise ConfigError(
+                f"unknown on_error policy {on_error!r}; expected one of: {expected}"
+            )
+        if workers is not None and workers <= 0:
+            raise ConfigError(f"batch workers must be positive, got {workers}")
+        run = self._run_one if on_error == "raise" else self._run_enveloped
+        requests = list(requests)
+        if workers is None or workers == 1 or len(requests) <= 1:
+            return [run(request) for request in requests]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            # Futures are gathered in submission order, so results come
+            # back in request order regardless of completion order; in
+            # "raise" mode the earliest-submitted failure propagates.
+            futures = [pool.submit(run, request) for request in requests]
+            return [future.result() for future in futures]
+
+    def _run_one(self, request: Sequence) -> Any:
+        """Dispatch one batch sub-query, letting failures propagate."""
+        endpoint, *args = request
+        handler = self._handlers.get(endpoint)
+        if handler is None:
+            known = ", ".join(sorted(self._handlers))
+            raise ConfigError(
+                f"unknown endpoint {endpoint!r}; expected one of: {known}"
+            )
+        return handler(*args)
+
+    def _run_enveloped(self, request: Sequence) -> BatchResult:
+        """Dispatch one batch sub-query, capturing any failure."""
+        try:
+            return BatchResult(ok=True, value=self._run_one(request))
+        except Exception as error:
+            return BatchResult(
+                ok=False,
+                error_type=type(error).__name__,
+                error_message=str(error),
+            )
 
     # --------------------------------------------------------- introspection
     @property
@@ -333,8 +466,7 @@ class AliCoCoService:
         nodes = kgq.hypernyms(self._store, primitive_id, transitive=transitive)
         return tuple(node.id for node in nodes)
 
-    def _search_uncached(self, text: str, k: int) -> tuple:
-        tokens = text.split()
+    def _search_uncached(self, tokens: tuple[str, ...], k: int) -> tuple:
         if not tokens or self._search_index is None:
             return ()
         return tuple(self._search_index.top_k(tokens, k=k))
@@ -346,6 +478,15 @@ class AliCoCoService:
                 f"node {node_id!r} is in layer {layer_of(node_id)!r}; "
                 f"this endpoint serves layer {expected_layer!r}"
             )
+
+    @contextmanager
+    def _metered_errors(self, endpoint: str) -> Iterator[None]:
+        """Count any failure against the endpoint's error stats, re-raising."""
+        try:
+            yield
+        except Exception as error:
+            self._metrics[endpoint].record_error(type(error).__name__)
+            raise
 
     def _serve(self, endpoint: str, key: tuple, compute: Callable[[], Any]) -> Any:
         metrics = self._metrics[endpoint]

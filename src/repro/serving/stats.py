@@ -1,50 +1,82 @@
-"""Per-endpoint serving metrics: call counters and latency percentiles.
+"""Per-endpoint serving metrics: call counters, errors, latency percentiles.
 
 Every endpoint of :class:`~repro.serving.AliCoCoService` owns an
 :class:`EndpointMetrics` that separates *cached* from *uncached* answers —
 the two populations differ by orders of magnitude, so a single mixed
 histogram would hide exactly the signal an operator needs (is the cache
-absorbing the load, and what does a miss cost?).
+absorbing the load, and what does a miss cost?).  Failed requests are
+counted separately by exception type, so degraded traffic (bad ids,
+invalid arguments) shows up in the stats report instead of vanishing
+into the caller's stack traces.
+
+All counters on one :class:`EndpointMetrics` are guarded by a single
+lock, so concurrent serving threads can never tear them apart:
+``cache_hits + cache_misses == calls`` holds under any interleaving, and
+a :meth:`~EndpointMetrics.snapshot` is a consistent cut, never a
+mid-update view.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import Counter
 from dataclasses import dataclass
 
 from ..utils.timing import LatencyReservoir
 
 
 class EndpointMetrics:
-    """Mutable counters + hit/miss latency reservoirs for one endpoint."""
+    """Mutable counters + hit/miss latency reservoirs for one endpoint.
+
+    Thread-safe: one lock serialises every counter update and snapshot.
+    ``calls`` counts *answered* queries only; requests that raise are
+    tallied in ``errors`` (keyed by exception type name) instead, so
+    ``cache_hits + cache_misses == calls`` is an invariant.
+    """
 
     def __init__(self, reservoir_capacity: int = 512, seed: int = 0):
         self.calls = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.errors: Counter[str] = Counter()
         self.hit_latency = LatencyReservoir(reservoir_capacity, seed=seed)
         self.miss_latency = LatencyReservoir(reservoir_capacity, seed=seed + 1)
+        self._lock = threading.Lock()
 
     def record_hit(self, seconds: float) -> None:
         """Count one query answered from the cache."""
-        self.calls += 1
-        self.cache_hits += 1
+        with self._lock:
+            self.calls += 1
+            self.cache_hits += 1
         self.hit_latency.record(seconds)
 
     def record_miss(self, seconds: float) -> None:
         """Count one query computed against the store."""
-        self.calls += 1
-        self.cache_misses += 1
+        with self._lock:
+            self.calls += 1
+            self.cache_misses += 1
         self.miss_latency.record(seconds)
+
+    def record_error(self, error_type: str) -> None:
+        """Count one request that raised, keyed by exception type name."""
+        with self._lock:
+            self.errors[error_type] += 1
 
     def snapshot(self, endpoint: str) -> "EndpointStats":
         """An immutable summary of the current counters."""
+        with self._lock:
+            calls = self.calls
+            cache_hits = self.cache_hits
+            cache_misses = self.cache_misses
+            errors = tuple(sorted(self.errors.items()))
         hit = self.hit_latency.percentiles_ms()
         miss = self.miss_latency.percentiles_ms()
         return EndpointStats(
             endpoint=endpoint,
-            calls=self.calls,
-            cache_hits=self.cache_hits,
-            cache_misses=self.cache_misses,
+            calls=calls,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            errors=errors,
             hit_p50_ms=hit["p50"],
             hit_p95_ms=hit["p95"],
             hit_p99_ms=hit["p99"],
@@ -56,7 +88,12 @@ class EndpointMetrics:
 
 @dataclass(frozen=True)
 class EndpointStats:
-    """Frozen per-endpoint serving summary (latencies in milliseconds)."""
+    """Frozen per-endpoint serving summary (latencies in milliseconds).
+
+    ``errors`` is a sorted ``(exception type name, count)`` tuple;
+    ``calls`` counts successful answers only, so an endpoint's total
+    traffic is ``calls + error_total``.
+    """
 
     endpoint: str
     calls: int
@@ -68,11 +105,17 @@ class EndpointStats:
     miss_p50_ms: float
     miss_p95_ms: float
     miss_p99_ms: float
+    errors: tuple[tuple[str, int], ...] = ()
 
     @property
     def hit_rate(self) -> float:
         """Cache hits over calls (0.0 before any call)."""
         return self.cache_hits / self.calls if self.calls else 0.0
+
+    @property
+    def error_total(self) -> int:
+        """Requests that raised, across all exception types."""
+        return sum(count for _, count in self.errors)
 
 
 @dataclass(frozen=True)
@@ -102,6 +145,11 @@ class ServiceStats:
         """Queries answered across all endpoints."""
         return sum(stats.calls for stats in self.endpoints)
 
+    @property
+    def total_errors(self) -> int:
+        """Requests that raised, across all endpoints and exception types."""
+        return sum(stats.error_total for stats in self.endpoints)
+
     def format_table(self, title: str = "service stats") -> str:
         """Human-readable per-endpoint table for reports."""
         lines = [
@@ -109,14 +157,25 @@ class ServiceStats:
             f"  store: {self.nodes} nodes / {self.relations} relations",
             f"  cache: {self.cache_entries}/{self.cache_capacity} "
             f"entries, {self.cache_evictions} evictions",
-            f"  {'endpoint':<20} {'calls':>7} {'hit%':>6} "
+            f"  {'endpoint':<20} {'calls':>7} {'errors':>7} {'hit%':>6} "
             f"{'miss p50':>10} {'miss p99':>10} {'hit p50':>10}",
         ]
         for stats in self.endpoints:
             lines.append(
                 f"  {stats.endpoint:<20} {stats.calls:>7} "
+                f"{stats.error_total:>7} "
                 f"{stats.hit_rate * 100:>5.1f}% "
                 f"{stats.miss_p50_ms:>8.4f}ms {stats.miss_p99_ms:>8.4f}ms "
                 f"{stats.hit_p50_ms:>8.4f}ms"
             )
+        if self.total_errors:
+            by_type: dict[str, int] = {}
+            for stats in self.endpoints:
+                for error_type, count in stats.errors:
+                    by_type[error_type] = by_type.get(error_type, 0) + count
+            summary = ", ".join(
+                f"{error_type} x{count}"
+                for error_type, count in sorted(by_type.items())
+            )
+            lines.append(f"  errors: {summary}")
         return "\n".join(lines)

@@ -11,6 +11,7 @@ wall time.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator, Sequence
@@ -110,6 +111,12 @@ class LatencyReservoir:
     whole run.  Replacement decisions come from a private seeded
     :class:`random.Random`, keeping benchmarks reproducible.
 
+    The reservoir is thread-safe: one lock guards the sample list, the
+    observation count and the replacement RNG, so concurrent ``record``
+    calls from serving threads can never lose an observation or corrupt
+    the sample invariant (``len(samples) <= capacity``), and quantile
+    reads always see a consistent sample set.
+
     Args:
         capacity: Maximum retained samples.
         seed: Seed for the replacement RNG.
@@ -122,27 +129,38 @@ class LatencyReservoir:
         self._samples: list[float] = []
         self._count = 0
         self._random = random.Random(seed)
+        self._lock = threading.Lock()
 
     def record(self, seconds: float) -> None:
         """Add one latency observation (in seconds)."""
-        self._count += 1
-        if len(self._samples) < self.capacity:
-            self._samples.append(seconds)
-            return
-        slot = self._random.randrange(self._count)
-        if slot < self.capacity:
-            self._samples[slot] = seconds
+        with self._lock:
+            self._count += 1
+            if len(self._samples) < self.capacity:
+                self._samples.append(seconds)
+                return
+            slot = self._random.randrange(self._count)
+            if slot < self.capacity:
+                self._samples[slot] = seconds
 
     @property
     def count(self) -> int:
         """Total observations recorded (not just those retained)."""
-        return self._count
+        with self._lock:
+            return self._count
 
     def quantile(self, q: float) -> float:
         """Interpolated quantile over the retained sample, in seconds."""
-        return quantile(self._samples, q)
+        with self._lock:
+            samples = list(self._samples)
+        return quantile(samples, q)
 
     def percentiles_ms(self) -> dict[str, float]:
-        """The standard serving latency summary, in milliseconds."""
-        return {name: self.quantile(q) * 1e3
+        """The standard serving latency summary, in milliseconds.
+
+        All three percentiles come from one consistent snapshot of the
+        sample set (a single lock acquisition).
+        """
+        with self._lock:
+            samples = list(self._samples)
+        return {name: quantile(samples, q) * 1e3
                 for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))}

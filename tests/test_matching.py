@@ -94,6 +94,24 @@ class TestBM25:
         metrics = evaluate_matcher(model, setup["dataset"])
         assert metrics["auc"] > 0.5
 
+    def test_doc_cache_bounded_by_fit_set(self, setup):
+        # Regression: score() used to memoise every unseen title forever,
+        # a memory leak under serving-style traffic.
+        model = BM25Matcher().fit(setup["dataset"].train)
+        fit_cache_size = len(model._doc_cache)
+        for index in range(200):
+            model.score(["query"], [f"unseen-title-{index}", "tokens"])
+        assert len(model._doc_cache) == fit_cache_size
+
+    def test_unseen_title_scores_like_fit_title_path(self, setup):
+        # The uncached path must score identically to the cached one.
+        model = BM25Matcher().fit(setup["dataset"].train)
+        example = setup["dataset"].train[0]
+        tokens = list(example.item.title_tokens)
+        cached = model.score(tokens, tokens)
+        model._doc_cache.pop(tuple(tokens))
+        assert model.score(tokens, tokens) == cached
+
 
 def _neural_smoke(model, setup, epochs=4):
     dataset = setup["dataset"]

@@ -9,10 +9,12 @@ from repro.errors import (
     FrozenStoreError,
     NodeNotFoundError,
     RelationError,
+    ReproError,
+    error_by_name,
 )
 from repro.kg import query as kgq
 from repro.matching.bm25 import BM25Index
-from repro.serving import AliCoCoService, LRUCache, ServiceConfig
+from repro.serving import AliCoCoService, BatchResult, LRUCache, ServiceConfig
 from repro.utils.timing import LatencyReservoir, quantile
 
 
@@ -104,6 +106,119 @@ class TestEndpoints:
         item_id = built.item_ids[0]
         with pytest.raises(RelationError, match="layer"):
             service.items_for_concept(item_id)
+
+    def test_non_positive_top_k_rejected(self, built, service):
+        # Regression: top_k=-1 used to slice relations[:-1], silently
+        # dropping the *last* item instead of rejecting the request.
+        concept_id = built.concept_ids[built.concepts[0].text]
+        for bad in (0, -1):
+            with pytest.raises(ConfigError, match="top_k"):
+                service.items_for_concept(concept_id, top_k=bad)
+
+    def test_search_cache_key_is_token_tuple(self, built):
+        # Regression: "a  b" and "a b" tokenise identically but used to
+        # occupy separate LRU entries (the key was the raw text).
+        service = AliCoCoService.from_build(built)
+        spec = built.concepts[0]
+        spaced = "  " + "   ".join(spec.text.split()) + " "
+        assert service.search(spec.text) == service.search(spaced)
+        stats = service.stats().endpoint("search")
+        assert stats.cache_misses == 1
+        assert stats.cache_hits == 1
+
+
+class TestBatchEnvelope:
+    def test_envelope_preserves_completed_work(self, built):
+        """A mid-batch failure yields an envelope, not a lost batch."""
+        service = AliCoCoService.from_build(built)
+        spec = built.concepts[0]
+        concept_id = built.concept_ids[spec.text]
+        requests = [
+            ("search", spec.text),
+            ("items_for_concept", "ec_999999"),  # fails mid-batch
+            ("items_for_concept", concept_id, 3),  # still answered
+        ]
+        results = service.batch(requests, on_error="envelope")
+        assert [result.ok for result in results] == [True, False, True]
+        assert results[0].value == service.search(spec.text)
+        assert results[1].error_type == "NodeNotFoundError"
+        assert "ec_999999" in results[1].error_message
+        assert results[2].value == service.items_for_concept(concept_id, 3)
+
+    def test_envelope_order_matches_requests(self, built):
+        service = AliCoCoService.from_build(built)
+        spec = built.concepts[0]
+        requests = [
+            ("teleport", "x"),
+            ("search", spec.text),
+            ("hypernyms", "ec_0"),  # wrong layer
+        ]
+        results = service.batch(requests, on_error="envelope")
+        assert [result.error_type for result in results] == [
+            "ConfigError",
+            None,
+            "RelationError",
+        ]
+
+    def test_unwrap_reraises_original_type(self, built):
+        service = AliCoCoService.from_build(built)
+        (result,) = service.batch(
+            [("items_for_concept", "ec_999999")], on_error="envelope"
+        )
+        with pytest.raises(NodeNotFoundError):
+            result.unwrap()
+        ok = BatchResult(ok=True, value=42)
+        assert ok.unwrap() == 42
+        foreign = BatchResult(ok=False, error_type="TypeError", error_message="boom")
+        with pytest.raises(ReproError, match="TypeError: boom"):
+            foreign.unwrap()
+
+    def test_error_by_name_walks_hierarchy(self):
+        assert error_by_name("NodeNotFoundError") is NodeNotFoundError
+        assert error_by_name("ConfigError") is ConfigError
+        assert error_by_name("KeyError") is None
+
+    def test_raise_mode_is_default_and_unchanged(self, built, service):
+        with pytest.raises(NodeNotFoundError):
+            service.batch([("items_for_concept", "ec_999999")])
+        with pytest.raises(ConfigError, match="on_error"):
+            service.batch([], on_error="ignore")
+
+    def test_envelope_requests_are_metered(self, built):
+        service = AliCoCoService.from_build(built)
+        spec = built.concepts[0]
+        service.batch(
+            [("search", spec.text), ("items_for_concept", "ec_999999")],
+            on_error="envelope",
+        )
+        stats = service.stats()
+        assert stats.endpoint("search").calls == 1
+        errors = stats.endpoint("items_for_concept").errors
+        assert errors == (("NodeNotFoundError", 1),)
+        assert stats.total_errors == 1
+
+
+class TestErrorCounters:
+    def test_errors_grouped_by_exception_type(self, built):
+        service = AliCoCoService.from_build(built)
+        concept_id = built.concept_ids[built.concepts[0].text]
+        for _ in range(2):
+            with pytest.raises(NodeNotFoundError):
+                service.items_for_concept("ec_999999")
+        with pytest.raises(ConfigError):
+            service.items_for_concept(concept_id, top_k=0)
+        stats = service.stats().endpoint("items_for_concept")
+        assert stats.errors == (("ConfigError", 1), ("NodeNotFoundError", 2))
+        assert stats.error_total == 3
+        assert stats.calls == 0  # failures are not answers
+
+    def test_error_counters_in_report(self, built):
+        service = AliCoCoService.from_build(built)
+        with pytest.raises(NodeNotFoundError):
+            service.concepts_for_item("item_999999999")
+        table = service.stats().format_table()
+        assert "errors" in table
+        assert "NodeNotFoundError x1" in table
 
 
 class TestCachingAndStats:

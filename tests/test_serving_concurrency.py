@@ -1,0 +1,174 @@
+"""Concurrency: the serving layer under threads, and batch fan-out.
+
+The paper's net serves heavy concurrent traffic (Section 7); these tests
+hammer one shared :class:`AliCoCoService` from many threads and assert
+the invariants the locks exist for — zero exceptions on valid traffic,
+``hits + misses == lookups`` on every counter, and thread-pool batch
+execution byte-identical to serial execution.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import build_alicoco, TINY
+from repro.errors import ConfigError
+from repro.serving import AliCoCoService, BatchResult, LRUCache, ServiceConfig
+from repro.utils.timing import LatencyReservoir
+
+N_THREADS = 8
+PASSES_PER_THREAD = 12
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_alicoco(TINY)
+
+
+def _mixed_requests(built):
+    """A battery touching every endpoint with valid arguments."""
+    requests = []
+    for spec in built.concepts[:6]:
+        concept_id = built.concept_ids[spec.text]
+        requests.append(("search", spec.text))
+        requests.append(("items_for_concept", concept_id, 5))
+        requests.append(("interpretation", concept_id))
+    for index in range(4):
+        requests.append(("concepts_for_item", built.item_ids[index]))
+    for primitive_id in list(built.primitive_ids.values())[:4]:
+        requests.append(("hypernyms", primitive_id, True))
+    return requests
+
+
+class TestThreadedHammer:
+    def test_mixed_endpoints_under_contention(self, built):
+        """8 threads x mixed endpoints: no exceptions, consistent counters."""
+        service = AliCoCoService.from_build(
+            built, config=ServiceConfig(cache_capacity=64)
+        )
+        requests = _mixed_requests(built)
+        expected = service.batch(requests)  # single-threaded reference
+        errors = []
+        barrier = threading.Barrier(N_THREADS)
+
+        def hammer():
+            try:
+                barrier.wait()  # maximise overlap
+                for _ in range(PASSES_PER_THREAD):
+                    assert service.batch(requests) == expected
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+        # Counter consistency: every lookup is exactly one hit or miss.
+        cache = service._cache
+        assert cache.hits + cache.misses == cache.lookups
+        total_requests = (N_THREADS * PASSES_PER_THREAD + 1) * len(requests)
+        stats = service.stats()
+        assert stats.total_calls == total_requests
+        assert stats.total_errors == 0
+        for endpoint_stats in stats.endpoints:
+            assert (
+                endpoint_stats.cache_hits + endpoint_stats.cache_misses
+                == endpoint_stats.calls
+            )
+        # Per-endpoint calls sum to the cache's lookups (cache enabled
+        # for every endpoint, one lookup per call).
+        assert cache.lookups == total_requests
+
+    def test_error_traffic_is_counted_not_lost(self, built):
+        """Concurrent invalid queries raise in their thread and are metered."""
+        service = AliCoCoService.from_build(built)
+
+        def bad_query(_):
+            with pytest.raises(Exception):
+                service.items_for_concept("ec_999999999")
+
+        with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+            list(pool.map(bad_query, range(32)))
+        stats = service.stats().endpoint("items_for_concept")
+        assert stats.errors == (("NodeNotFoundError", 32),)
+        assert stats.calls == 0  # failures never count as answers
+
+
+class TestBatchWorkers:
+    def test_parallel_matches_serial_raise_mode(self, built):
+        service = AliCoCoService.from_build(built)
+        requests = _mixed_requests(built)
+        serial = service.batch(requests)
+        parallel = service.batch(requests, workers=4)
+        assert parallel == serial
+
+    def test_parallel_matches_serial_envelope_mode(self, built):
+        service = AliCoCoService.from_build(built)
+        spec = built.concepts[0]
+        concept_id = built.concept_ids[spec.text]
+        requests = _mixed_requests(built) + [
+            ("items_for_concept", "ec_999999999"),  # NodeNotFoundError
+            ("search", spec.text),
+            ("teleport", concept_id),  # unknown endpoint
+            ("items_for_concept", concept_id, -3),  # ConfigError
+        ]
+        serial = service.batch(requests, on_error="envelope")
+        parallel = service.batch(requests, on_error="envelope", workers=4)
+        assert parallel == serial
+        assert all(isinstance(result, BatchResult) for result in parallel)
+
+    def test_workers_meter_like_serial(self, built):
+        """Fan-out metering is identical to serial: same hit/miss totals."""
+        requests = _mixed_requests(built)
+        serial_service = AliCoCoService.from_build(built)
+        parallel_service = AliCoCoService.from_build(built)
+        for _ in range(3):
+            serial_service.batch(requests)
+            parallel_service.batch(requests, workers=4)
+        for endpoint in serial_service.endpoints:
+            serial_stats = serial_service.stats().endpoint(endpoint)
+            parallel_stats = parallel_service.stats().endpoint(endpoint)
+            assert serial_stats.calls == parallel_stats.calls
+            assert serial_stats.cache_hits == parallel_stats.cache_hits
+            assert serial_stats.cache_misses == parallel_stats.cache_misses
+
+    def test_bad_workers_rejected(self, built):
+        service = AliCoCoService.from_build(built)
+        with pytest.raises(ConfigError, match="workers"):
+            service.batch([("search", "x")], workers=0)
+
+
+class TestStructureThreadSafety:
+    def test_lru_cache_counters_consistent_under_contention(self):
+        cache = LRUCache(capacity=32)
+        lookups_per_thread = 2000
+
+        def churn(seed):
+            for index in range(lookups_per_thread):
+                key = (seed + index) % 64
+                if cache.get(key) is None:
+                    cache.put(key, key)
+
+        with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+            list(pool.map(churn, range(N_THREADS)))
+        assert cache.hits + cache.misses == N_THREADS * lookups_per_thread
+        assert cache.lookups == N_THREADS * lookups_per_thread
+        assert len(cache) <= 32
+
+    def test_reservoir_never_loses_observations(self):
+        reservoir = LatencyReservoir(capacity=16, seed=0)
+        records_per_thread = 5000
+
+        def record(_):
+            for value in range(records_per_thread):
+                reservoir.record(float(value))
+
+        with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+            list(pool.map(record, range(N_THREADS)))
+        assert reservoir.count == N_THREADS * records_per_thread
+        assert len(reservoir._samples) == 16
+        assert reservoir.quantile(0.5) >= 0.0
