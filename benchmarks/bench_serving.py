@@ -26,10 +26,22 @@ import threading
 import time
 from dataclasses import replace
 
+from repro.concepts import ConceptTagger
+from repro.kg.relations import RelationKind
+from repro.matching import DSSMMatcher, train_matcher
+from repro.matching.base import matching_vocab
+from repro.matching.dataset import pair_from_texts
+from repro.nlp.pos import PosTagger
+from repro.nlp.vocab import Vocab
 from repro.pipeline.build import build_alicoco
 from repro.serving import AliCoCoService
 
 from conftest import BENCH_SCALE, SMOKE
+
+_TAGGER_EPOCHS = 2 if SMOKE else 3
+_RERANKER_EPOCHS = 2 if SMOKE else 3
+#: Restoring bundled weights must beat re-training by at least this much.
+_MIN_BUNDLE_SPEEDUP = 1.5 if SMOKE else 3.0
 
 _N_ITEMS = 160 if SMOKE else 480
 _N_CONCEPTS = 40 if SMOKE else 110
@@ -164,3 +176,139 @@ def test_serving(tmp_path, report):
         stats.format_table("warm service stats"),
     ]
     report("\n".join(lines))
+
+
+def _train_models(built):
+    """Tiny tagger + DSSM reranker trained on the built world."""
+    sentences = [list(spec.tokens) for spec in built.concepts]
+    tagger = ConceptTagger(
+        Vocab.from_corpus(sentences),
+        built.lexicon,
+        PosTagger(built.lexicon.pos_lexicon()),
+        use_fuzzy=False,
+        word_dim=8,
+        char_dim=4,
+        hidden_dim=6,
+        seed=1,
+    )
+    tagger.fit(built.concepts, epochs=_TAGGER_EPOCHS, lr=0.02, seed=1)
+
+    pairs = []
+    for spec in built.concepts[:10]:
+        concept_id = built.concept_ids[spec.text]
+        linked = {
+            relation.source
+            for relation in built.store.in_relations(
+                concept_id, RelationKind.ITEM_ECOMMERCE
+            )
+        }
+        for index in range(8):
+            item_id = built.item_ids[index]
+            title_tokens = built.store.get(item_id).title.split()
+            pairs.append(
+                pair_from_texts(
+                    spec.tokens, title_tokens, label=int(item_id in linked)
+                )
+            )
+    reranker = DSSMMatcher(matching_vocab(pairs), dim=8, hidden=8, seed=1)
+    train_matcher(reranker, pairs, epochs=_RERANKER_EPOCHS, lr=0.05, seed=0)
+    return tagger, reranker
+
+
+def test_model_serving(tmp_path, report):
+    """Model endpoints: warm-bundle start, rerank latency, parity."""
+    scale = replace(BENCH_SCALE, n_items=_N_ITEMS)
+    built = build_alicoco(scale, n_concepts=_N_CONCEPTS)
+
+    # Cold model start: train both models from scratch, then serve them.
+    start = time.perf_counter()
+    tagger, reranker = _train_models(built)
+    fresh = AliCoCoService.from_build(
+        built,
+        tagger=tagger,
+        reranker=reranker,
+        config_fingerprint=scale.fingerprint(),
+    )
+    cold_model_seconds = time.perf_counter() - start
+
+    snapshot_path = tmp_path / "net.models.snapshot.jsonl"
+    snapshot_lines = fresh.save_snapshot(snapshot_path)
+
+    # Warm-bundle start: fresh (untrained) architectures, weights from
+    # the snapshot's model bundle.  Best of three, as for the store.
+    def fresh_architectures():
+        sentences = [list(spec.tokens) for spec in built.concepts]
+        untagger = ConceptTagger(
+            Vocab.from_corpus(sentences),
+            built.lexicon,
+            PosTagger(built.lexicon.pos_lexicon()),
+            use_fuzzy=False,
+            word_dim=8,
+            char_dim=4,
+            hidden_dim=6,
+            seed=99,
+        )
+        unranker = DSSMMatcher(reranker.vocab, dim=8, hidden=8, seed=99)
+        return untagger, unranker
+
+    warm_model_seconds = float("inf")
+    for _ in range(3):
+        new_tagger, new_reranker = fresh_architectures()
+        start = time.perf_counter()
+        warm = AliCoCoService.from_snapshot(
+            snapshot_path,
+            tagger=new_tagger,
+            reranker=new_reranker,
+            expected_fingerprint=scale.fingerprint(),
+        )
+        warm_model_seconds = min(warm_model_seconds, time.perf_counter() - start)
+
+    bundle_speedup = cold_model_seconds / max(warm_model_seconds, 1e-9)
+    assert bundle_speedup >= _MIN_BUNDLE_SPEEDUP, (
+        f"warm-bundle model start should be >={_MIN_BUNDLE_SPEEDUP}x "
+        f"faster than re-training, got {bundle_speedup:.2f}x"
+    )
+
+    # Parity: the restored models answer bit-identically to the trained
+    # originals across the whole model battery.
+    battery = []
+    for spec in built.concepts[: min(12, len(built.concepts))]:
+        concept_id = built.concept_ids[spec.text]
+        battery.append(("tag", spec.text))
+        battery.append(("items_for_concept_reranked", concept_id, 5))
+        battery.append(("search_reranked", spec.text, 5))
+    fresh_answers = fresh.batch(battery)
+    warm_answers = warm.batch(battery)
+    assert fresh_answers == warm_answers
+    assert warm.batch(battery, workers=_BATCH_WORKERS) == warm_answers
+
+    # Rerank cost: model-verified search vs BM25-only, uncached p50s.
+    queries = [spec.text for spec in built.concepts]
+    for text in queries:
+        warm.search(text)
+        warm.search_reranked(text)
+    stats = warm.stats()
+    bm25_p50 = stats.endpoint("search").miss_p50_ms
+    rerank_p50 = stats.endpoint("search_reranked").miss_p50_ms
+    rerank_cost = rerank_p50 / max(bm25_p50, 1e-9)
+
+    report(
+        "\n".join(
+            [
+                f"Model serving at {_N_ITEMS} items / {_N_CONCEPTS} "
+                f"concepts ({scale.name})",
+                f"  snapshot with model bundle: {snapshot_lines} lines",
+                f"  cold model start (train tagger+reranker): "
+                f"{cold_model_seconds * 1e3:9.1f} ms",
+                f"  warm-bundle start (restore weights):      "
+                f"{warm_model_seconds * 1e3:9.1f} ms -> {bundle_speedup:.1f}x",
+                f"  search_reranked p50 vs search p50: {rerank_p50 * 1e3:.1f}us "
+                f"vs {bm25_p50 * 1e3:.1f}us ({rerank_cost:.1f}x model cost)",
+                f"  parity: {len(battery)} model queries bit-identical "
+                f"fresh vs bundle-restored (serial and workers="
+                f"{_BATCH_WORKERS})",
+                "",
+                stats.format_table("model service stats"),
+            ]
+        )
+    )

@@ -243,6 +243,15 @@ class ConceptTagger(Module):
         return {"precision": precision, "recall": recall, "f1": f1}
 
 
+def iob_spans(labels: Sequence[str]) -> list[tuple[int, int, str]]:
+    """(start, stop, domain) spans of an IOB label sequence.
+
+    Public face of the span parser — the serving layer turns predicted
+    labels into linked concept mentions through this.
+    """
+    return _spans(labels)
+
+
 def _spans(labels: Sequence[str]) -> list[tuple[int, int, str]]:
     """(start, stop, domain) spans of an IOB sequence."""
     spans: list[tuple[int, int, str]] = []

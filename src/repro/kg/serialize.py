@@ -9,9 +9,13 @@ Two formats live here:
   the same record stream prefixed with a header line carrying a format
   version, node/relation counts and a build-config fingerprint, and
   suffixed with serialised query-index state (e.g. the fitted
-  :class:`~repro.matching.bm25.BM25Index` over concept texts).  A serving
-  process warm-starts from a snapshot without rebuilding the net *or*
-  re-fitting its search indexes — see :mod:`repro.serving`.
+  :class:`~repro.matching.bm25.BM25Index` over concept texts) and an
+  optional *model bundle* — one record per trained model, built on
+  :func:`repro.ml.serialize.module_state_record`, carrying exact float64
+  weights plus an architecture fingerprint that is re-validated when the
+  weights are loaded into a live module.  A serving process warm-starts
+  graph, search indexes *and* models from the one artifact — see
+  :mod:`repro.serving`.
 
 The header makes failure loud instead of quiet: a snapshot produced by a
 different format version, truncated mid-write (counts disagree), or built
@@ -57,6 +61,9 @@ class SnapshotHeader:
             (:meth:`repro.config.RunScale.fingerprint`), or ``""``.
         index_names: Names of the serialised index states that follow the
             record stream.
+        model_names: Names of the model-bundle records that follow the
+            index states (empty for model-less snapshots — the field is
+            optional on disk, so pre-bundle snapshots still load).
     """
 
     format_version: int
@@ -64,6 +71,7 @@ class SnapshotHeader:
     relation_count: int
     config_fingerprint: str = ""
     index_names: tuple[str, ...] = ()
+    model_names: tuple[str, ...] = ()
 
 
 @dataclass
@@ -73,6 +81,7 @@ class Snapshot:
     header: SnapshotHeader
     store: AliCoCoStore
     index_states: dict[str, dict[str, Any]] = field(default_factory=dict)
+    model_states: dict[str, dict[str, Any]] = field(default_factory=dict)
 
 
 def _records(store: AliCoCoStore) -> Iterator[dict[str, Any]]:
@@ -104,8 +113,9 @@ def save_store(store: AliCoCoStore, path: str | Path) -> int:
 def save_snapshot(store: AliCoCoStore, path: str | Path, *,
                   config_fingerprint: str = "",
                   index_states: Mapping[str, Mapping[str, Any]] | None = None,
+                  model_states: Mapping[str, Mapping[str, Any]] | None = None,
                   ) -> int:
-    """Write a versioned snapshot: header, records, then index states.
+    """Write a versioned snapshot: header, records, indexes, then models.
 
     Args:
         store: The net to persist.
@@ -114,21 +124,29 @@ def save_snapshot(store: AliCoCoStore, path: str | Path, *,
         index_states: Name -> JSON-serialisable index state (e.g.
             ``BM25Index.to_state()``), rehydrated on warm start instead of
             re-fitted.
+        model_states: Name -> model-state record
+            (:func:`repro.ml.serialize.module_state_record`): trained
+            weights + architecture fingerprint, restored on warm start
+            instead of re-trained.
 
     Returns:
-        Number of lines written (header + records + index states).
+        Number of lines written (header + records + indexes + models).
     """
     index_states = dict(index_states or {})
+    model_states = dict(model_states or {})
 
     def _lines() -> Iterator[dict[str, Any]]:
         yield {"record": "header", "format": SNAPSHOT_FORMAT,
                "nodes": len(store),
                "relations": store.stats().relations_total,
                "config": config_fingerprint,
-               "indexes": list(index_states)}
+               "indexes": list(index_states),
+               "models": list(model_states)}
         yield from _records(store)
         for name, state in index_states.items():
             yield {"record": "index", "name": name, "state": dict(state)}
+        for name, state in model_states.items():
+            yield {"record": "model", "name": name, "state": dict(state)}
 
     return write_jsonl(path, _lines())
 
@@ -140,7 +158,8 @@ def _parse_header(line_number: int, record: dict[str, Any]) -> SnapshotHeader:
             node_count=int(record["nodes"]),
             relation_count=int(record["relations"]),
             config_fingerprint=str(record.get("config", "")),
-            index_names=tuple(record.get("indexes", ())))
+            index_names=tuple(record.get("indexes", ())),
+            model_names=tuple(record.get("models", ())))
     except (KeyError, TypeError, ValueError) as error:
         raise DataError(
             f"line {line_number}: corrupted snapshot header "
@@ -158,6 +177,7 @@ def _load(path: str | Path,
     store = AliCoCoStore()
     header: SnapshotHeader | None = None
     index_states: dict[str, dict[str, Any]] = {}
+    model_states: dict[str, dict[str, Any]] = {}
     # With a verified header the relations were schema-checked when they
     # first entered a store, so they are buffered and bulk-ingested via
     # the trusted fast path; headerless streams replay through the fully
@@ -206,6 +226,12 @@ def _load(path: str | Path,
             except (KeyError, TypeError) as error:
                 raise DataError(f"line {line_number}: bad index record "
                                 f"({error!r})") from error
+        elif kind == "model":
+            try:
+                model_states[str(record["name"])] = dict(record["state"])
+            except (KeyError, TypeError) as error:
+                raise DataError(f"line {line_number}: bad model record "
+                                f"({error!r})") from error
         else:
             raise DataError(f"line {line_number}: unknown record {kind!r}")
         if first:
@@ -229,7 +255,7 @@ def _load(path: str | Path,
                 f"{relation_count}")
     placeholder = header or SnapshotHeader(SNAPSHOT_FORMAT, len(store),
                                            store.stats().relations_total)
-    return header, Snapshot(placeholder, store, index_states)
+    return header, Snapshot(placeholder, store, index_states, model_states)
 
 
 def load_store(path: str | Path) -> AliCoCoStore:

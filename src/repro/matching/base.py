@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
@@ -11,7 +12,7 @@ from ..ml import Embedding, Module
 from ..ml.tensor import Tensor, no_grad
 from ..nlp.vocab import Vocab
 from ..utils.rng import spawn_rng
-from .dataset import MatchingExample
+from .dataset import MatchingExample, pair_from_texts
 
 
 def matching_vocab(examples: Sequence[MatchingExample]) -> Vocab:
@@ -61,3 +62,21 @@ class NeuralMatcher(Module):
         with no_grad():
             logits = np.asarray([self.logit(e).item() for e in examples])
         return 1.0 / (1.0 + np.exp(-logits))
+
+    def score_text(self, query_tokens: Sequence[str],
+                   title_tokens: Sequence[str]) -> float:
+        """Match probability for one raw text pair (no grad).
+
+        The serving re-rank entry point: no ground-truth
+        :class:`~repro.synth.world.ConceptSpec`/item behind the pair, just
+        two token sequences (query vs concept text, or concept vs title).
+        """
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} has not been trained")
+        with no_grad():
+            logit = self.logit(pair_from_texts(query_tokens,
+                                               title_tokens)).item()
+        if logit >= 0.0:
+            return 1.0 / (1.0 + math.exp(-logit))
+        odds = math.exp(logit)  # stable for very negative logits
+        return odds / (1.0 + odds)

@@ -28,6 +28,49 @@ class MatchingExample:
     label: int
 
 
+@dataclass(frozen=True)
+class ConceptText:
+    """Concept-side stand-in when only the text is known (serving traffic).
+
+    Duck-types the slice of :class:`~repro.synth.world.ConceptSpec` the
+    matchers read — ``tokens`` and ``parts`` — so a raw query can flow
+    through ``logit`` without a ground-truth world behind it.
+    """
+
+    tokens: tuple[str, ...]
+    parts: tuple = ()
+
+    @property
+    def text(self) -> str:
+        return " ".join(self.tokens)
+
+
+@dataclass(frozen=True)
+class ItemText:
+    """Item-side stand-in carrying only a title (serving traffic)."""
+
+    title_tokens: tuple[str, ...]
+    index: int = -1
+
+    @property
+    def title(self) -> str:
+        return " ".join(self.title_tokens)
+
+
+def pair_from_texts(query_tokens, title_tokens, label: int = 0
+                    ) -> MatchingExample:
+    """A scoreable example from two raw token sequences.
+
+    The serving layer rescores BM25 candidates through this — no
+    :class:`~repro.synth.world.World`, no click log, just text on both
+    sides.
+    """
+    return MatchingExample(
+        concept=ConceptText(tokens=tuple(query_tokens)),
+        item=ItemText(title_tokens=tuple(title_tokens)),
+        label=label)
+
+
 @dataclass
 class MatchingDataset:
     """Train pairs plus a grouped test set for ranking metrics.

@@ -9,7 +9,7 @@ attention), losses and optimizers.  Everything the five models need trains
 end-to-end through this engine.
 """
 
-from .tensor import Tensor, concat, stack, no_grad
+from .tensor import Tensor, concat, enable_grad, is_grad_enabled, no_grad, stack
 from .module import Module, Parameter
 from .losses import bce_with_logits, cross_entropy, binary_nll
 from .optim import SGD, Adam, Adagrad
@@ -25,7 +25,7 @@ from .layers import (
 )
 
 __all__ = [
-    "Tensor", "concat", "stack", "no_grad",
+    "Tensor", "concat", "stack", "no_grad", "enable_grad", "is_grad_enabled",
     "Module", "Parameter",
     "bce_with_logits", "cross_entropy", "binary_nll",
     "SGD", "Adam", "Adagrad",

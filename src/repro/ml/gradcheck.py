@@ -1,8 +1,22 @@
-"""Finite-difference gradient checking, used by the test suite."""
+"""Finite-difference gradient checking, used by the test suite.
+
+Perturbation happens through multi-indexes into the tensor's *actual*
+array, never through a flattened copy: ``data.reshape(-1)`` silently
+copies when the array is non-contiguous (e.g. a post-``transpose`` view),
+so the old flat-view loop perturbed a private copy the loss never saw and
+returned an all-zero "gradient" without a word.  ``np.ndindex`` writes
+land in the real buffer whatever the memory layout.
+
+:func:`check_gradients` returns a :class:`GradCheckReport` instead of a
+bare bool: truthiness preserves ``assert check_gradients(...)`` call
+sites, while a failure carries per-tensor max absolute/relative errors so
+a broken backward is diagnosable from the assertion message alone.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -14,37 +28,107 @@ def numeric_gradient(fn: Callable[[], Tensor], tensor: Tensor,
     """Central-difference gradient of a scalar-valued ``fn`` w.r.t. ``tensor``.
 
     ``fn`` must recompute the scalar loss from ``tensor.data`` each call.
+    Works for any memory layout, including non-contiguous views such as
+    transposed parameters: each element is perturbed in place via its
+    multi-index, so the write always reaches the array ``fn`` reads.
     """
-    grad = np.zeros_like(tensor.data)
-    flat = tensor.data.reshape(-1)
-    grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        original = flat[i]
-        flat[i] = original + epsilon
+    data = tensor.data
+    grad = np.zeros(data.shape, dtype=np.float64)
+    for index in np.ndindex(data.shape):
+        original = data[index]
+        data[index] = original + epsilon
         plus = fn().item()
-        flat[i] = original - epsilon
+        data[index] = original - epsilon
         minus = fn().item()
-        flat[i] = original
-        grad_flat[i] = (plus - minus) / (2.0 * epsilon)
+        data[index] = original
+        grad[index] = (plus - minus) / (2.0 * epsilon)
     return grad
 
 
-def check_gradients(fn: Callable[[], Tensor], tensors: list[Tensor],
-                    epsilon: float = 1e-6, tolerance: float = 1e-4) -> bool:
+@dataclass(frozen=True)
+class TensorGradCheck:
+    """Finite-difference vs autograd comparison for one tensor.
+
+    Attributes:
+        index: Position of the tensor in the ``tensors`` argument.
+        shape: The tensor's shape.
+        max_abs_error: ``max |numeric - analytic|`` over all elements.
+        max_rel_error: The absolute error over ``max(|numeric|,
+            |analytic|, 1.0)`` — the quantity compared to ``tolerance``.
+        passed: Whether ``max_rel_error <= tolerance``.
+    """
+
+    index: int
+    shape: tuple[int, ...]
+    max_abs_error: float
+    max_rel_error: float
+    passed: bool
+
+    def __repr__(self) -> str:  # compact, assert-message friendly
+        status = "ok" if self.passed else "FAIL"
+        return (f"tensor[{self.index}] shape={self.shape} {status} "
+                f"abs={self.max_abs_error:.3e} rel={self.max_rel_error:.3e}")
+
+
+@dataclass(frozen=True)
+class GradCheckReport:
+    """Outcome of :func:`check_gradients` over every checked tensor.
+
+    Truthy exactly when every tensor passed, so existing
+    ``assert check_gradients(...)`` call sites keep working — but a
+    failing assert now prints which tensors diverged and by how much.
+    """
+
+    results: tuple[TensorGradCheck, ...]
+    tolerance: float
+
+    def __bool__(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    @property
+    def failures(self) -> tuple[TensorGradCheck, ...]:
+        """The per-tensor results that exceeded the tolerance."""
+        return tuple(result for result in self.results if not result.passed)
+
+    @property
+    def max_rel_error(self) -> float:
+        """Worst relative error across all checked tensors."""
+        return max((result.max_rel_error for result in self.results),
+                   default=0.0)
+
+    def __repr__(self) -> str:
+        body = "; ".join(repr(result) for result in self.results)
+        return f"GradCheckReport(tolerance={self.tolerance:g}: {body})"
+
+
+def check_gradients(fn: Callable[[], Tensor], tensors: Sequence[Tensor],
+                    epsilon: float = 1e-6,
+                    tolerance: float = 1e-4) -> GradCheckReport:
     """Compare autograd gradients with finite differences.
 
     Returns:
-        True if every gradient matches within ``tolerance`` (relative to the
-        larger of the two norms, with an absolute floor).
+        A :class:`GradCheckReport` — truthy when every gradient matches
+        within ``tolerance`` (relative to the larger of the two norms,
+        with an absolute floor), and carrying per-tensor max absolute and
+        relative errors either way.
     """
     for tensor in tensors:
         tensor.zero_grad()
     loss = fn()
     loss.backward()
-    for tensor in tensors:
+    results = []
+    for position, tensor in enumerate(tensors):
         numeric = numeric_gradient(fn, tensor, epsilon=epsilon)
-        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(numeric)
-        denominator = max(np.abs(numeric).max(), np.abs(analytic).max(), 1.0)
-        if np.abs(numeric - analytic).max() / denominator > tolerance:
-            return False
-    return True
+        analytic = tensor.grad if tensor.grad is not None \
+            else np.zeros_like(numeric)
+        abs_error = float(np.abs(numeric - analytic).max()) \
+            if numeric.size else 0.0
+        denominator = max(float(np.abs(numeric).max()) if numeric.size else 0.0,
+                          float(np.abs(analytic).max()) if analytic.size else 0.0,
+                          1.0)
+        rel_error = abs_error / denominator
+        results.append(TensorGradCheck(
+            index=position, shape=tuple(tensor.shape),
+            max_abs_error=abs_error, max_rel_error=rel_error,
+            passed=rel_error <= tolerance))
+    return GradCheckReport(results=tuple(results), tolerance=tolerance)

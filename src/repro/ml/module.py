@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterator
 
 import numpy as np
@@ -71,6 +72,26 @@ class Module:
         for module in self.modules():
             module.training = False
         return self
+
+    @contextlib.contextmanager
+    def eval_mode(self):
+        """Temporarily put the module tree in eval mode, then restore.
+
+        Restores each submodule's previous ``training`` flag on exit,
+        even on exceptions.  Note the flags themselves are plain instance
+        state: toggling them is *not* thread-safe against a concurrent
+        ``train()`` on the same module — a served module should be put in
+        eval mode once and left there (see :mod:`repro.serving.models`),
+        in which case re-entering this context is a no-op.
+        """
+        previous = [(module, module.training) for module in self.modules()]
+        for module, _ in previous:
+            module.training = False
+        try:
+            yield self
+        finally:
+            for module, was_training in previous:
+                module.training = was_training
 
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())

@@ -1,26 +1,181 @@
-"""Save/load model parameters as .npz archives."""
+"""Save/load model parameters: .npz archives and JSON-able state records.
+
+Two serialisation faces live here:
+
+- the original ``.npz`` archive (:func:`save_module` / :func:`load_module`)
+  for offline experiment checkpoints;
+- JSON-serialisable *state records* (:func:`module_state_record` /
+  :func:`load_module_state`) used by the serving layer to embed trained
+  model weights in a versioned net snapshot
+  (:func:`repro.kg.serialize.save_snapshot`).  A record carries a
+  fingerprint of the module's architecture (parameter names + shapes,
+  plus an arbitrary config dict), and loading validates it first — weights
+  can never be silently poured into a mismatched architecture.
+
+``save_module``/``load_module`` normalise the ``.npz`` suffix on both
+sides: ``numpy.savez`` silently *appends* ``.npz`` when the target lacks
+it, so before the fix ``save_module(m, "model")`` wrote ``model.npz``
+while ``load_module(m, "model")`` looked for a file called ``model`` and
+raised ``FileNotFoundError``.
+"""
 
 from __future__ import annotations
 
+import base64
+import hashlib
+import json
 from pathlib import Path
+from typing import Any, Mapping
 
 import numpy as np
 
+from ..errors import DataError
 from .module import Module
 
+#: Parameter arrays travel as little-endian float64 bytes inside records.
+_DTYPE = "<f8"
 
-def save_module(module: Module, path: str | Path) -> None:
-    """Write a module's state dict to an ``.npz`` file."""
+
+def _normalized(path: str | Path) -> Path:
+    """``path`` with the ``.npz`` suffix ``numpy.savez`` would append."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def save_module(module: Module, path: str | Path) -> Path:
+    """Write a module's state dict to an ``.npz`` file.
+
+    Returns:
+        The path actually written (``.npz`` appended when missing, which
+        is what ``numpy.savez`` does anyway — normalising here keeps
+        :func:`load_module` symmetric with suffixless paths).
+    """
+    path = _normalized(path)
     state = module.state_dict()
-    np.savez(Path(path), **state)
+    np.savez(path, **state)
+    return path
 
 
 def load_module(module: Module, path: str | Path) -> None:
     """Load parameters saved by :func:`save_module` into ``module``.
 
+    Accepts the same path that was passed to :func:`save_module`, with or
+    without the ``.npz`` suffix.
+
     Raises:
         KeyError: If the archive is missing a parameter the module expects.
     """
-    with np.load(Path(path)) as archive:
+    with np.load(_normalized(path)) as archive:
         state = {name: archive[name] for name in archive.files}
     module.load_state_dict(state)
+
+
+# --------------------------------------------------------- JSON state records
+def state_to_jsonable(state: Mapping[str, np.ndarray]) -> dict[str, Any]:
+    """A state dict as a JSON-serialisable payload (exact float64 bytes).
+
+    Arrays travel as base64 little-endian float64, so a round trip through
+    :func:`state_from_jsonable` is bit-identical — a snapshot-restored
+    model computes exactly what the in-memory one did.
+    """
+    payload: dict[str, Any] = {}
+    for name, array in state.items():
+        data = np.ascontiguousarray(array, dtype=_DTYPE)
+        payload[name] = {
+            "shape": list(data.shape),
+            "data": base64.b64encode(data.tobytes()).decode("ascii"),
+        }
+    return payload
+
+
+def state_from_jsonable(payload: Mapping[str, Any]) -> dict[str, np.ndarray]:
+    """Rebuild a state dict from :func:`state_to_jsonable` output.
+
+    Raises:
+        DataError: If the payload is malformed (missing fields, byte
+            count disagreeing with the recorded shape, bad base64).
+    """
+    state: dict[str, np.ndarray] = {}
+    for name, record in payload.items():
+        try:
+            raw = base64.b64decode(record["data"])
+            shape = tuple(int(dim) for dim in record["shape"])
+            array = np.frombuffer(raw, dtype=_DTYPE).astype(np.float64)
+            state[str(name)] = array.reshape(shape)
+        except (KeyError, TypeError, ValueError) as error:
+            raise DataError(
+                f"malformed parameter record {name!r}: {error}"
+            ) from error
+    return state
+
+
+def module_fingerprint(module: Module,
+                       config: Mapping[str, Any] | None = None) -> str:
+    """Digest of a module's architecture (parameter names/shapes + config).
+
+    Two modules share a fingerprint exactly when their parameter trees
+    (dotted names and shapes) and the supplied config dict agree — the
+    precondition for a state record of one to load into the other.
+    """
+    spec = {
+        "params": sorted(
+            (name, list(param.shape))
+            for name, param in module.named_parameters()
+        ),
+        "config": dict(config or {}),
+    }
+    digest = hashlib.sha256(
+        json.dumps(spec, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+def module_state_record(module: Module,
+                        config: Mapping[str, Any] | None = None
+                        ) -> dict[str, Any]:
+    """A self-validating, JSON-serialisable record of a module's weights.
+
+    Args:
+        module: The trained module.
+        config: Arbitrary JSON-able facts about how the module was built
+            (model kind, hyperparameters...); folded into the fingerprint
+            so a load into a differently-configured module fails loudly.
+    """
+    config = dict(config or {})
+    return {
+        "fingerprint": module_fingerprint(module, config),
+        "config": config,
+        "params": state_to_jsonable(module.state_dict()),
+    }
+
+
+def load_module_state(module: Module, record: Mapping[str, Any]) -> None:
+    """Load a :func:`module_state_record` into ``module``, validating first.
+
+    Raises:
+        DataError: If the record is malformed, or its fingerprint does not
+            match ``module``'s architecture + the record's config — i.e.
+            the weights were trained on a different model shape.
+    """
+    try:
+        recorded = str(record["fingerprint"])
+        config = dict(record.get("config") or {})
+        params = record["params"]
+    except (KeyError, TypeError, ValueError) as error:
+        raise DataError(f"malformed module state record: {error}") from error
+    expected = module_fingerprint(module, config)
+    if recorded != expected:
+        raise DataError(
+            f"model state fingerprint {recorded!r} does not match the "
+            f"target module's architecture fingerprint {expected!r}; "
+            "refusing to load mismatched weights"
+        )
+    state = state_from_jsonable(params)
+    try:
+        module.load_state_dict(state)
+    except (KeyError, ValueError) as error:
+        raise DataError(
+            f"module state record does not fit the module: {error}"
+        ) from error

@@ -9,30 +9,61 @@ The op set is intentionally small — exactly what the paper's five models
 need: arithmetic with broadcasting, matmul, the usual nonlinearities,
 reductions, indexing/gather (for embeddings), concat/stack, and logsumexp
 (for the CRF partition function).
+
+**Inference mode is context-local.**  Graph recording is controlled by a
+:class:`contextvars.ContextVar`, not a module global: every thread (and
+every async task) owns an independent flag.  A serving thread inside
+:func:`no_grad` can therefore never switch off recording for a training
+thread mid-backward, and two overlapping ``no_grad()`` windows in
+different threads cannot re-enable each other on exit — the failure mode
+of the old module-global flag, where the first thread's ``finally``
+restored ``True`` while the second thread was still inside its window,
+silently polluting its "inference" tensors with graph nodes.
 """
 
 from __future__ import annotations
 
 import contextlib
+from contextvars import ContextVar
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..errors import ShapeError
 
-_GRAD_ENABLED = True
+#: Context-local graph-recording flag.  Each thread starts at the default
+#: (enabled); ``no_grad``/``enable_grad`` swap it via set/reset tokens so
+#: nesting and exceptions restore the exact previous state.
+_GRAD_ENABLED: ContextVar[bool] = ContextVar("repro_grad_enabled", default=True)
+
+
+def is_grad_enabled() -> bool:
+    """Whether tensor ops in the current context record the autodiff graph."""
+    return _GRAD_ENABLED.get()
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph recording (for inference)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables graph recording (for inference).
+
+    The switch is context-local: other threads' recording state is
+    untouched, so concurrent inference and training never interfere.
+    """
+    token = _GRAD_ENABLED.set(False)
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_ENABLED.reset(token)
+
+
+@contextlib.contextmanager
+def enable_grad():
+    """Re-enable graph recording inside a :func:`no_grad` region."""
+    token = _GRAD_ENABLED.set(True)
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED.reset(token)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -66,9 +97,10 @@ class Tensor:
                  _backward: Callable[[np.ndarray], None] | None = None):
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
-        self._parents = _parents if _GRAD_ENABLED else ()
-        self._backward = _backward if _GRAD_ENABLED else None
+        enabled = _GRAD_ENABLED.get()
+        self.requires_grad = bool(requires_grad) and enabled
+        self._parents = _parents if enabled else ()
+        self._backward = _backward if enabled else None
 
     # ------------------------------------------------------------------ intro
     @property
@@ -105,7 +137,7 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _GRAD_ENABLED.get() and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
         return Tensor(data, requires_grad=True, _parents=tuple(parents),

@@ -91,9 +91,20 @@ class LearningCurve:
         """All recorded values of one metric.
 
         Raises:
-            KeyError: If an epoch is missing the metric.
+            DataError: If an epoch is missing the metric (matching
+                :meth:`best_epoch`, which also raises ``DataError`` —
+                the old ``KeyError`` leaked an implementation detail).
         """
-        return [epoch[key] for epoch in self.epochs]
+        values: list[float] = []
+        for position, epoch in enumerate(self.epochs):
+            try:
+                values.append(epoch[key])
+            except KeyError:
+                recorded = ", ".join(sorted(epoch)) or "<none>"
+                raise DataError(
+                    f"metric {key!r} missing from epoch {position} "
+                    f"(recorded: {recorded})") from None
+        return values
 
     def best_epoch(self, key: str, mode: str = "min") -> int:
         """Index of the best epoch by a metric."""

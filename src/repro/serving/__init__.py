@@ -2,7 +2,11 @@
 
 Construction (:mod:`repro.pipeline`) is offline; this package is the
 online half: a read-only, cached, metered query service that warm-starts
-from versioned snapshots instead of rebuilding the net.
+from versioned snapshots instead of rebuilding the net.  Given trained
+models it also serves them: concept tagging (``tag``) and neural
+re-ranking of graph/BM25 candidates (``items_for_concept_reranked``,
+``search_reranked``), with model weights riding the same snapshot as a
+model bundle.
 
 Quickstart::
 
@@ -18,10 +22,21 @@ Quickstart::
 """
 
 from .cache import LRUCache
+from .models import (
+    RERANKER_KIND,
+    TAGGER_KIND,
+    TagSpan,
+    ensure_inference_mode,
+    model_bundle_state,
+    prepare_serving_module,
+    restore_serving_module,
+)
 from .service import (
     AliCoCoService,
     BatchResult,
     CONCEPT_INDEX,
+    RERANKER_MODEL,
+    TAGGER_MODEL,
     fit_concept_index,
     ServiceConfig,
 )
@@ -32,6 +47,15 @@ __all__ = [
     "BatchResult",
     "ServiceConfig",
     "CONCEPT_INDEX",
+    "TAGGER_MODEL",
+    "RERANKER_MODEL",
+    "TAGGER_KIND",
+    "RERANKER_KIND",
+    "TagSpan",
+    "ensure_inference_mode",
+    "model_bundle_state",
+    "prepare_serving_module",
+    "restore_serving_module",
     "fit_concept_index",
     "LRUCache",
     "EndpointMetrics",

@@ -14,12 +14,23 @@ production query surface:
   :class:`~repro.matching.bm25.BM25Index`;
 - ``batch`` — the multi-query entry point.
 
-Every endpoint is LRU-cached and records hit/miss latency percentiles
-and per-exception-type error counters (:mod:`repro.serving.stats`).  A
+Model-backed endpoints join the surface when the service is given
+trained models (Sections 5.3 and 6 deploy them online):
+
+- ``tag`` — free text -> IOB concept mentions linked to the primitive
+  layer, via a served :class:`~repro.concepts.tagging.ConceptTagger`;
+- ``items_for_concept_reranked`` — the graph's item candidates rescored
+  by a neural matcher (retrieval-then-verify);
+- ``search_reranked`` — BM25 concept candidates rescored the same way.
+
+Every endpoint — model-backed ones included — is LRU-cached and records
+hit/miss latency percentiles and per-exception-type error counters
+(:mod:`repro.serving.stats`), and is addressable through ``batch``.  A
 service warm-starts from a versioned snapshot
 (:func:`repro.kg.serialize.load_snapshot`) in a fraction of a rebuild:
-the store is replayed from disk and the search index is rehydrated from
-its serialised state instead of re-fitted.
+the store is replayed from disk, the search index is rehydrated from
+its serialised state instead of re-fitted, and trained model weights
+restore from the snapshot's model bundle instead of re-training.
 
 **Thread safety.**  A service instance may be shared freely across
 threads.  The design splits state into two camps:
@@ -40,6 +51,14 @@ threads.  The design splits state into two camps:
   the same key may both compute it, but the store is frozen so they
   compute the *same* value and the second ``put`` is a harmless
   refresh.
+- *Served models* — prepared once at construction time
+  (:func:`~repro.serving.models.prepare_serving_module`: fitted check +
+  eval mode) and treated as frozen thereafter.  Inference is read-only
+  over the weights and graph recording is context-local
+  (:mod:`repro.ml.tensor`), so concurrent model queries need no locks;
+  :func:`~repro.serving.models.ensure_inference_mode` turns the one
+  forbidden mutation — training a live served module — into a loud
+  :class:`~repro.errors.ConfigError` instead of silent nondeterminism.
 """
 
 from __future__ import annotations
@@ -51,6 +70,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from ..concepts.tagging import ConceptTagger
 from ..errors import ConfigError, DataError, RelationError, ReproError, error_by_name
 from ..kg import query as kgq
 from ..kg.ids import ECOMMERCE_PREFIX, ITEM_PREFIX, PRIMITIVE_PREFIX, layer_of
@@ -58,11 +78,27 @@ from ..kg.relations import RelationKind
 from ..kg.serialize import load_snapshot, save_snapshot
 from ..kg.store import AliCoCoStore
 from ..matching.bm25 import BM25Index
+from ..ml.module import Module
 from .cache import LRUCache
+from .models import (
+    RERANKER_KIND,
+    TAGGER_KIND,
+    model_bundle_state,
+    prepare_serving_module,
+    rerank_score,
+    restore_serving_module,
+    tag_spans,
+)
 from .stats import EndpointMetrics, ServiceStats
 
 #: Name under which the concept search index is stored in snapshots.
 CONCEPT_INDEX = "bm25-concepts"
+
+#: Snapshot bundle name of the served concept tagger.
+TAGGER_MODEL = "concept-tagger"
+
+#: Snapshot bundle name of the served matching reranker.
+RERANKER_MODEL = "reranker"
 
 #: Sentinel for cache lookups (results may legitimately be falsy).
 _MISS = object()
@@ -116,6 +152,9 @@ class ServiceConfig:
     Attributes:
         cache_capacity: LRU result-cache entries; ``0`` disables caching.
         search_top_k: Default number of concepts returned by ``search``.
+        rerank_pool_k: Candidates pulled from the cheap first stage (graph
+            relations or BM25) before the neural reranker rescores them.
+            Bounds model work per reranked query.
         reservoir_capacity: Latency samples retained per endpoint and
             cache outcome (see
             :class:`~repro.utils.timing.LatencyReservoir`).
@@ -124,6 +163,7 @@ class ServiceConfig:
 
     cache_capacity: int = 4096
     search_top_k: int = 10
+    rerank_pool_k: int = 50
     reservoir_capacity: int = 512
     seed: int = 0
 
@@ -132,6 +172,10 @@ class ServiceConfig:
             raise ConfigError(f"cache_capacity must be >= 0, got {self.cache_capacity}")
         if self.search_top_k <= 0:
             raise ConfigError(f"search_top_k must be positive, got {self.search_top_k}")
+        if self.rerank_pool_k <= 0:
+            raise ConfigError(
+                f"rerank_pool_k must be positive, got {self.rerank_pool_k}"
+            )
         if self.reservoir_capacity <= 0:
             raise ConfigError(
                 f"reservoir_capacity must be positive, got {self.reservoir_capacity}"
@@ -169,9 +213,19 @@ class AliCoCoService:
         config: Serving knobs (defaults are fine for tests/benchmarks).
         search_index: A fitted concept index to reuse (warm start); fitted
             from the store when omitted.
+        tagger: A trained :class:`~repro.concepts.tagging.ConceptTagger`
+            to serve behind ``tag``; the endpoint raises
+            :class:`~repro.errors.ConfigError` when omitted.
+        reranker: A trained matcher (anything with ``score_text``, e.g.
+            :class:`~repro.matching.dssm.DSSM`) to serve behind the
+            ``*_reranked`` endpoints; they raise
+            :class:`~repro.errors.ConfigError` when omitted.
         config_fingerprint: Digest of the build configuration, embedded in
             snapshots this service writes
             (:meth:`repro.config.RunScale.fingerprint`).
+
+    Raises:
+        NotFittedError: If a supplied model has not been trained.
     """
 
     def __init__(
@@ -180,6 +234,8 @@ class AliCoCoService:
         *,
         config: ServiceConfig | None = None,
         search_index: BM25Index | None = None,
+        tagger: ConceptTagger | None = None,
+        reranker: Module | None = None,
         config_fingerprint: str = "",
     ):
         self.config = config or ServiceConfig()
@@ -188,6 +244,21 @@ class AliCoCoService:
         self._search_index = (
             search_index if search_index is not None else fit_concept_index(store)
         )
+        self._tagger = (
+            prepare_serving_module(tagger, TAGGER_MODEL) if tagger is not None else None
+        )
+        self._reranker = (
+            prepare_serving_module(reranker, RERANKER_MODEL)
+            if reranker is not None
+            else None
+        )
+        # (surface, domain) -> node id over the primitive layer, for
+        # linking tagged mentions.  Derived from the frozen store, so it
+        # is immutable too; setdefault keeps the first node in store
+        # (insertion) order on the rare duplicate surface.
+        self._primitive_index: dict[tuple[str, str], str] = {}
+        for node in store.nodes(PRIMITIVE_PREFIX):
+            self._primitive_index.setdefault((node.name, node.domain), node.id)
         self._cache = (
             LRUCache(self.config.cache_capacity) if self.config.cache_capacity else None
         )
@@ -197,6 +268,9 @@ class AliCoCoService:
             "interpretation": self.interpretation,
             "hypernyms": self.hypernyms,
             "search": self.search,
+            "tag": self.tag,
+            "items_for_concept_reranked": self.items_for_concept_reranked,
+            "search_reranked": self.search_reranked,
         }
         self._metrics = {}
         for position, endpoint in enumerate(self._handlers):
@@ -212,6 +286,8 @@ class AliCoCoService:
         result: Any,
         *,
         config: ServiceConfig | None = None,
+        tagger: ConceptTagger | None = None,
+        reranker: Module | None = None,
         config_fingerprint: str = "",
     ) -> "AliCoCoService":
         """Serve a freshly built net (cold start; fits the search index).
@@ -219,8 +295,15 @@ class AliCoCoService:
         Args:
             result: A :class:`~repro.pipeline.build.BuildResult` (anything
                 with a ``.store`` attribute works).
+            tagger / reranker: Trained models to serve (see ``__init__``).
         """
-        return cls(result.store, config=config, config_fingerprint=config_fingerprint)
+        return cls(
+            result.store,
+            config=config,
+            tagger=tagger,
+            reranker=reranker,
+            config_fingerprint=config_fingerprint,
+        )
 
     @classmethod
     def from_snapshot(
@@ -228,20 +311,35 @@ class AliCoCoService:
         path: str | Path,
         *,
         config: ServiceConfig | None = None,
+        tagger: ConceptTagger | None = None,
+        reranker: Module | None = None,
         expected_fingerprint: str | None = None,
     ) -> "AliCoCoService":
         """Warm-start a service from a versioned snapshot.
 
-        The store replays from disk and the search index rehydrates from
-        its serialised state — no net rebuild, no index re-fit.
+        The store replays from disk, the search index rehydrates from its
+        serialised state, and trained weights load from the snapshot's
+        model bundle — no net rebuild, no index re-fit, no re-training.
+
+        Weights cannot conjure a model architecture out of thin air, so
+        warm-starting a model works like ``torch`` state dicts: pass a
+        freshly constructed (untrained) ``tagger`` / ``reranker`` built
+        with the same hyperparameters, and the snapshot's exact float64
+        weights are loaded into it after the bundle's architecture
+        fingerprint and model kind are validated.  A snapshot may carry
+        bundles the caller does not ask to restore (no module passed);
+        those are ignored.
 
         Args:
+            tagger / reranker: Untrained architecture instances to
+                restore bundled weights into; served once restored.
             expected_fingerprint: When given, refuse to serve a snapshot
                 built under a different configuration.
 
         Raises:
             DataError: If the snapshot is malformed, from another format
-                version, or fingerprint-mismatched.
+                version, fingerprint-mismatched, a requested model bundle
+                is absent, or a bundle fails kind/architecture validation.
         """
         snapshot = load_snapshot(path)
         header = snapshot.header
@@ -259,15 +357,33 @@ class AliCoCoService:
             if state is not None
             else fit_concept_index(snapshot.store)
         )
+        for name, module in ((TAGGER_MODEL, tagger), (RERANKER_MODEL, reranker)):
+            if module is None:
+                continue
+            bundle = snapshot.model_states.get(name)
+            if bundle is None:
+                bundled = ", ".join(sorted(snapshot.model_states)) or "none"
+                raise DataError(
+                    f"snapshot carries no {name!r} model bundle "
+                    f"(bundled models: {bundled})"
+                )
+            kind = TAGGER_KIND if name == TAGGER_MODEL else RERANKER_KIND
+            restore_serving_module(module, bundle, kind, name)
         return cls(
             snapshot.store,
             config=config,
             search_index=search_index,
+            tagger=tagger,
+            reranker=reranker,
             config_fingerprint=header.config_fingerprint,
         )
 
     def save_snapshot(self, path: str | Path) -> int:
-        """Persist the served net (and fitted search index) as a snapshot.
+        """Persist the served net, search index and models as one snapshot.
+
+        Served models are embedded as model-bundle records (exact float64
+        weights plus an architecture fingerprint); a model-less service
+        writes a model-less snapshot, byte-compatible with before.
 
         Returns:
             Number of lines written.
@@ -275,11 +391,19 @@ class AliCoCoService:
         index_states = {}
         if self._search_index is not None:
             index_states[CONCEPT_INDEX] = self._search_index.to_state()
+        model_states = {}
+        if self._tagger is not None:
+            model_states[TAGGER_MODEL] = model_bundle_state(self._tagger, TAGGER_KIND)
+        if self._reranker is not None:
+            model_states[RERANKER_MODEL] = model_bundle_state(
+                self._reranker, RERANKER_KIND
+            )
         return save_snapshot(
             self._store,
             path,
             config_fingerprint=self._fingerprint,
             index_states=index_states,
+            model_states=model_states,
         )
 
     # ------------------------------------------------------------- endpoints
@@ -349,6 +473,83 @@ class AliCoCoService:
             tokens = tuple(text.split())
             return self._serve(
                 "search", (tokens, k), lambda: self._search_uncached(tokens, k)
+            )
+
+    def tag(self, text: str) -> tuple:
+        """Tag free text with concept mentions linked to the primitive layer.
+
+        Runs the served :class:`~repro.concepts.tagging.ConceptTagger`
+        (IOB decode under ``no_grad``) and links each span to the
+        primitive-concept node with the same (surface, domain), when one
+        exists: (:class:`~repro.serving.models.TagSpan`, ...).
+
+        Raises:
+            ConfigError: If the service was built without a tagger.
+            DataError: On empty text (the tagger cannot tag zero tokens).
+        """
+        with self._metered_errors("tag"):
+            tagger = self._require_model(self._tagger, TAGGER_MODEL, "tag")
+            tokens = tuple(text.split())
+            return self._serve(
+                "tag",
+                (tokens,),
+                lambda: tag_spans(tagger, tokens, self._primitive_index),
+            )
+
+    def items_for_concept_reranked(
+        self, concept_id: str, top_k: int | None = None
+    ) -> tuple:
+        """Best items for a concept, rescored by the served matcher.
+
+        Retrieval-then-verify: the graph supplies up to
+        ``config.rerank_pool_k`` candidate items (by association weight),
+        the neural matcher rescores each (concept text, item title) pair,
+        and the pool is re-ordered by model probability:
+        ((item id, probability), ...), ties broken by item id.
+
+        Raises:
+            ConfigError: If the service was built without a reranker, or
+                ``top_k`` is given but not positive.
+        """
+        with self._metered_errors("items_for_concept_reranked"):
+            reranker = self._require_model(
+                self._reranker, RERANKER_MODEL, "items_for_concept_reranked"
+            )
+            if top_k is not None and top_k <= 0:
+                raise ConfigError(
+                    f"items_for_concept_reranked top_k must be positive, got {top_k}"
+                )
+            self._require(concept_id, ECOMMERCE_PREFIX)
+            return self._serve(
+                "items_for_concept_reranked",
+                (concept_id, top_k),
+                lambda: self._items_reranked_uncached(reranker, concept_id, top_k),
+            )
+
+    def search_reranked(self, text: str, k: int | None = None) -> tuple:
+        """Best concepts for a query, rescored by the served matcher.
+
+        BM25 supplies up to ``config.rerank_pool_k`` candidate concepts;
+        the matcher rescores each (query, concept text) pair and the pool
+        is re-ordered by model probability:
+        ((concept id, probability), ...), ties broken by concept id.
+
+        Raises:
+            ConfigError: If the service was built without a reranker, or
+                ``k`` is given but not positive.
+        """
+        with self._metered_errors("search_reranked"):
+            reranker = self._require_model(
+                self._reranker, RERANKER_MODEL, "search_reranked"
+            )
+            if k is not None and k <= 0:
+                raise ConfigError(f"search_reranked k must be positive, got {k}")
+            k = k if k is not None else self.config.search_top_k
+            tokens = tuple(text.split())
+            return self._serve(
+                "search_reranked",
+                (tokens, k),
+                lambda: self._search_reranked_uncached(reranker, tokens, k),
             )
 
     def batch(
@@ -435,6 +636,16 @@ class AliCoCoService:
         """Names accepted by :meth:`batch`."""
         return tuple(self._handlers)
 
+    @property
+    def models(self) -> tuple[str, ...]:
+        """Bundle names of the models this service is serving."""
+        names = []
+        if self._tagger is not None:
+            names.append(TAGGER_MODEL)
+        if self._reranker is not None:
+            names.append(RERANKER_MODEL)
+        return tuple(names)
+
     def stats(self) -> ServiceStats:
         """Current serving statistics (store size, cache, latencies)."""
         store_stats = self._store.stats()
@@ -470,6 +681,46 @@ class AliCoCoService:
         if not tokens or self._search_index is None:
             return ()
         return tuple(self._search_index.top_k(tokens, k=k))
+
+    def _items_reranked_uncached(
+        self, reranker: Module, concept_id: str, top_k: int | None
+    ) -> tuple:
+        concept_tokens = tuple(self._store.get(concept_id).tokens)
+        pool = self._items_uncached(concept_id, self.config.rerank_pool_k)
+        scored = []
+        for item_id, _ in pool:
+            title_tokens = self._store.get(item_id).title.split()
+            scored.append(
+                (item_id, rerank_score(reranker, concept_tokens, title_tokens))
+            )
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        if top_k is not None:
+            scored = scored[:top_k]
+        return tuple(scored)
+
+    def _search_reranked_uncached(
+        self, reranker: Module, tokens: tuple[str, ...], k: int
+    ) -> tuple:
+        pool = self._search_uncached(tokens, self.config.rerank_pool_k)
+        scored = []
+        for concept_id, _ in pool:
+            concept_tokens = tuple(self._store.get(concept_id).tokens)
+            scored.append(
+                (concept_id, rerank_score(reranker, tokens, concept_tokens))
+            )
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return tuple(scored[:k])
+
+    def _require_model(
+        self, module: Module | None, name: str, endpoint: str
+    ) -> Module:
+        if module is None:
+            raise ConfigError(
+                f"endpoint {endpoint!r} needs a served {name!r} model; "
+                "construct the service with one (or restore it from a "
+                "snapshot model bundle)"
+            )
+        return module
 
     def _require(self, node_id: str, expected_layer: str) -> None:
         self._store.get(node_id)  # NodeNotFoundError on absent ids

@@ -3,11 +3,18 @@
 import numpy as np
 import pytest
 
-from repro.errors import ShapeError
+from repro.errors import DataError, ShapeError
 from repro.ml import Adam, Adagrad, Linear, MLP, SGD, Tensor
-from repro.ml.gradcheck import check_gradients
+from repro.ml.gradcheck import check_gradients, numeric_gradient
 from repro.ml.losses import bce_with_logits, binary_nll, cross_entropy
-from repro.ml.serialize import load_module, save_module
+from repro.ml.serialize import (
+    load_module,
+    load_module_state,
+    module_state_record,
+    save_module,
+    state_from_jsonable,
+    state_to_jsonable,
+)
 from repro.ml.tensor import Tensor as T
 
 
@@ -123,3 +130,96 @@ class TestSerialization:
         np.savez(path, nothing=np.zeros(1))
         with pytest.raises(KeyError):
             load_module(model, path)
+
+    def test_suffixless_path_round_trips(self, rng, tmp_path):
+        """Regression: ``numpy.savez`` appends ``.npz`` behind the
+        caller's back, so saving to ``model`` then loading from ``model``
+        used to raise ``FileNotFoundError``."""
+        model = Linear(3, 2, rng)
+        written = save_module(model, tmp_path / "model")
+        assert written == tmp_path / "model.npz"
+        other = Linear(3, 2, np.random.default_rng(5))
+        load_module(other, tmp_path / "model")  # same suffixless path
+        np.testing.assert_allclose(other.weight.data, model.weight.data)
+
+    def test_state_record_round_trips_bit_identical(self, rng):
+        model = Linear(3, 2, rng)
+        state = model.state_dict()
+        restored = state_from_jsonable(state_to_jsonable(state))
+        for name, array in state.items():
+            np.testing.assert_array_equal(restored[name], array)
+
+    def test_state_record_fingerprint_guards_architecture(self, rng):
+        record = module_state_record(Linear(3, 2, rng), config={"kind": "a"})
+        match = Linear(3, 2, np.random.default_rng(9))
+        load_module_state(match, record)
+        np.testing.assert_array_equal(
+            match.weight.data, record and state_from_jsonable(
+                record["params"])["weight"])
+        with pytest.raises(DataError, match="fingerprint"):
+            load_module_state(Linear(3, 3, rng), record)
+
+    def test_malformed_state_record_is_a_data_error(self, rng):
+        model = Linear(3, 2, rng)
+        record = module_state_record(model)
+        broken = {**record, "params": {"weight": {"shape": [2, 3]}}}
+        with pytest.raises(DataError, match="malformed parameter"):
+            load_module_state(model, broken)
+        with pytest.raises(DataError, match="malformed module state"):
+            load_module_state(model, {"params": {}})
+
+
+class TestGradCheckDiagnostics:
+    def test_numeric_gradient_handles_non_contiguous_tensors(self, rng):
+        """Regression: finite differences used to perturb through
+        ``data.flat``, which walks a *copy* for non-contiguous views —
+        every perturbation was silently lost and the numeric gradient
+        came back zero."""
+        base = T(rng.normal(size=(3, 4)), requires_grad=True)
+        transposed = base.transpose()
+        assert not transposed.data.flags["C_CONTIGUOUS"]
+        numeric = numeric_gradient(lambda: (transposed**2).sum(), transposed)
+        np.testing.assert_allclose(numeric, 2.0 * transposed.data, atol=1e-5)
+        assert np.abs(numeric).max() > 0
+
+    def test_transposed_parameter_passes_gradcheck(self, rng):
+        weight = T(rng.normal(size=(4, 3)), requires_grad=True)
+        view = weight.transpose()
+        report = check_gradients(lambda: (view * view).sum(), [view])
+        assert report
+        assert report.max_rel_error < 1e-4
+
+    def test_report_carries_per_tensor_errors(self, rng):
+        """``check_gradients`` returns a diagnosable report, not a bare
+        bool: per-tensor max abs/rel errors, still truthy at call sites."""
+        first = leaf(rng, (3,))
+        second = leaf(rng, (2, 2))
+        report = check_gradients(
+            lambda: (first**2).sum() + (second * 2.0).sum(), [first, second])
+        assert report  # correct autograd: everything passes
+        assert len(report.results) == 2
+        for result in report.results:
+            assert result.passed
+            assert result.max_abs_error < 1e-4
+        assert report.failures == ()
+        assert "ok" in repr(report)
+
+    def test_report_is_falsy_on_genuine_mismatch(self, rng):
+        tensor = leaf(rng, (3,))
+        # Non-differentiable corner: |x| at a point forced near zero has
+        # a numeric/analytic mismatch — use a function whose analytic
+        # gradient we deliberately desynchronise by mutating data
+        # between passes instead.
+        calls = {"n": 0}
+
+        def unstable():
+            calls["n"] += 1
+            scale = 1.0 if calls["n"] == 1 else 2.0
+            return (tensor * scale).sum()
+
+        report = check_gradients(unstable, [tensor])
+        assert not report
+        assert report.failures
+        failing = report.failures[0]
+        assert failing.max_rel_error > 1e-4
+        assert str(failing.shape) in repr(failing)

@@ -67,6 +67,19 @@ class TestLearningCurve:
         with pytest.raises(DataError):
             LearningCurve().best_epoch("loss")
 
+    def test_missing_metric_is_a_data_error(self):
+        """Regression: a metric absent from one epoch used to leak a bare
+        ``KeyError``; now it's a ``DataError`` naming the epoch and the
+        metrics that *were* recorded."""
+        curve = LearningCurve()
+        curve.record(loss=1.0, accuracy=0.5)
+        curve.record(loss=0.5)  # accuracy forgotten this epoch
+        with pytest.raises(DataError, match="epoch 1") as excinfo:
+            curve.series("accuracy")
+        assert "loss" in str(excinfo.value)
+        with pytest.raises(DataError, match="never recorded|missing"):
+            curve.series("f1")
+
 
 class TestKnowledgeCard:
     @pytest.fixture(scope="class")

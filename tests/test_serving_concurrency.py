@@ -5,15 +5,23 @@ hammer one shared :class:`AliCoCoService` from many threads and assert
 the invariants the locks exist for — zero exceptions on valid traffic,
 ``hits + misses == lookups`` on every counter, and thread-pool batch
 execution byte-identical to serial execution.
+
+They also pin down the autograd-mode contract the model endpoints stand
+on: ``no_grad`` windows are per-thread (a :mod:`contextvars` variable,
+not a module global), so one thread leaving its window can never
+re-enable graph recording inside another thread's window, and a thread
+recording gradients is never silenced by a neighbour's inference.
 """
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+import numpy as np
 import pytest
 
 from repro import build_alicoco, TINY
 from repro.errors import ConfigError
+from repro.ml import Tensor, is_grad_enabled, no_grad
 from repro.serving import AliCoCoService, BatchResult, LRUCache, ServiceConfig
 from repro.utils.timing import LatencyReservoir
 
@@ -140,6 +148,130 @@ class TestBatchWorkers:
         service = AliCoCoService.from_build(built)
         with pytest.raises(ConfigError, match="workers"):
             service.batch([("search", "x")], workers=0)
+
+
+class TestNoGradThreadIsolation:
+    """The race the contextvar fixed, reproduced deterministically.
+
+    The old implementation kept grad mode in a module-global flag: thread
+    A's ``finally`` (restore ``True``) fired while thread B was still
+    inside its own ``no_grad`` window, so B's "inference" silently
+    recorded a graph — tape pollution, unbounded memory, and
+    ``.backward()`` reachable from a prediction.  These tests force that
+    exact interleaving with events (no timing luck involved): they fail
+    against the global flag and pass with per-thread state.
+    """
+
+    def test_exiting_one_window_leaves_anothers_intact(self):
+        a_entered = threading.Event()
+        b_entered = threading.Event()
+        a_exited = threading.Event()
+        observed = {}
+
+        def thread_a():
+            with no_grad():
+                a_entered.set()
+                assert b_entered.wait(5)
+            a_exited.set()  # old global flag: this restored True for B too
+
+        def thread_b():
+            assert a_entered.wait(5)
+            with no_grad():
+                b_entered.set()
+                assert a_exited.wait(5)
+                # A has exited; B is still inside its own window.
+                observed["enabled"] = is_grad_enabled()
+                x = Tensor(np.ones(3), requires_grad=True)
+                y = (x * 2.0).sum()
+                observed["requires_grad"] = y.requires_grad
+                observed["parents"] = y._parents
+
+        threads = [
+            threading.Thread(target=thread_a),
+            threading.Thread(target=thread_b),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert observed["enabled"] is False
+        assert observed["requires_grad"] is False
+        assert observed["parents"] == ()
+
+    def test_inference_window_never_silences_a_training_thread(self):
+        """The mirror-image leak: A's window must not disable B's tape."""
+        a_entered = threading.Event()
+        b_done = threading.Event()
+        observed = {}
+
+        def thread_a():
+            with no_grad():
+                a_entered.set()
+                assert b_done.wait(5)
+
+        def thread_b():
+            assert a_entered.wait(5)
+            # A sits inside no_grad; this thread never opened a window.
+            x = Tensor(np.ones(3), requires_grad=True)
+            loss = (x * 3.0).sum()
+            observed["requires_grad"] = loss.requires_grad
+            loss.backward()
+            observed["grad"] = None if x.grad is None else x.grad.copy()
+            b_done.set()
+
+        threads = [
+            threading.Thread(target=thread_a),
+            threading.Thread(target=thread_b),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert observed["requires_grad"] is True
+        np.testing.assert_array_equal(observed["grad"], np.full(3, 3.0))
+
+    def test_training_and_inference_interleaved_hammer(self):
+        """Half the threads train, half infer; no tape leaks either way."""
+        base = np.arange(6, dtype=float)
+        with no_grad():
+            expected = float((Tensor(base, requires_grad=True) ** 2).sum().item())
+        errors = []
+        barrier = threading.Barrier(N_THREADS)
+
+        def infer():
+            try:
+                barrier.wait()
+                for _ in range(200):
+                    with no_grad():
+                        x = Tensor(base, requires_grad=True)
+                        y = (x**2).sum()
+                        assert y.requires_grad is False
+                        assert y._parents == ()
+                        assert float(y.item()) == expected
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def train():
+            try:
+                barrier.wait()
+                for _ in range(200):
+                    x = Tensor(base.copy(), requires_grad=True)
+                    loss = (x**2).sum()
+                    assert loss.requires_grad is True
+                    loss.backward()
+                    np.testing.assert_array_equal(x.grad, 2.0 * base)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=infer if i % 2 else train)
+            for i in range(N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
 
 
 class TestStructureThreadSafety:

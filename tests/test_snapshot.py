@@ -2,6 +2,7 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro import build_alicoco, TINY
@@ -14,6 +15,8 @@ from repro.kg.serialize import (
     SNAPSHOT_FORMAT,
 )
 from repro.matching.bm25 import BM25Index
+from repro.ml import Linear
+from repro.ml.serialize import load_module_state, module_state_record
 from repro.serving import AliCoCoService
 
 
@@ -76,6 +79,64 @@ class TestSnapshotRoundTrip:
         assert load_store(path).stats() == built.store.stats()
         with pytest.raises(DataError, match="missing header"):
             load_snapshot(path)
+
+
+class TestModelRecords:
+    """Model bundles riding the snapshot stream (format stays v1)."""
+
+    @staticmethod
+    def _module(seed=3):
+        return Linear(4, 2, np.random.default_rng(seed))
+
+    def test_model_states_round_trip_bit_identical(self, built, tmp_path):
+        module = self._module()
+        path = tmp_path / "with_model.jsonl"
+        record = module_state_record(module, config={"kind": "demo"})
+        save_snapshot(built.store, path, model_states={"demo": record})
+        snapshot = load_snapshot(path)
+        assert snapshot.header.model_names == ("demo",)
+        assert snapshot.model_states["demo"] == record
+        other = self._module(seed=9)
+        load_module_state(other, snapshot.model_states["demo"])
+        np.testing.assert_array_equal(other.weight.data, module.weight.data)
+        np.testing.assert_array_equal(other.bias.data, module.bias.data)
+
+    def test_model_less_snapshots_still_load(self, snapshot_path):
+        snapshot = load_snapshot(snapshot_path)
+        assert snapshot.header.model_names == ()
+        assert snapshot.model_states == {}
+
+    def test_pre_bundle_header_still_loads(self, snapshot_path, tmp_path):
+        """A header written before model bundles existed (no ``models``
+        key) parses; the field defaults to empty."""
+        lines = snapshot_path.read_text().splitlines()
+        header = json.loads(lines[0])
+        del header["models"]
+        path = tmp_path / "pre_bundle.jsonl"
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        assert load_snapshot(path).header.model_names == ()
+
+    def test_corrupt_model_record_names_its_line(self, built, tmp_path):
+        record = module_state_record(self._module())
+        path = tmp_path / "corrupt_model.jsonl"
+        save_snapshot(built.store, path, model_states={"demo": record})
+        lines = path.read_text().splitlines()
+        bad = json.loads(lines[-1])
+        del bad["state"]
+        line_number = len(lines)
+        path.write_text("\n".join(lines[:-1] + [json.dumps(bad)]) + "\n")
+        with pytest.raises(DataError, match=f"line {line_number}"):
+            load_snapshot(path)
+
+    def test_mismatched_architecture_rejected_on_restore(self, built, tmp_path):
+        record = module_state_record(self._module())
+        save_snapshot(
+            built.store, tmp_path / "m.jsonl", model_states={"demo": record}
+        )
+        snapshot = load_snapshot(tmp_path / "m.jsonl")
+        wider = Linear(4, 3, np.random.default_rng(0))
+        with pytest.raises(DataError, match="fingerprint"):
+            load_module_state(wider, snapshot.model_states["demo"])
 
 
 class TestHeaderValidation:
