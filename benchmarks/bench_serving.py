@@ -26,15 +26,18 @@ import threading
 import time
 from dataclasses import replace
 
+import numpy as np
+
 from repro.concepts import ConceptTagger
 from repro.kg.relations import RelationKind
-from repro.matching import DSSMMatcher, train_matcher
+from repro.matching import DSSMMatcher, KnowledgeMatcher, train_matcher
 from repro.matching.base import matching_vocab
 from repro.matching.dataset import pair_from_texts
 from repro.nlp.pos import PosTagger
 from repro.nlp.vocab import Vocab
 from repro.pipeline.build import build_alicoco
-from repro.serving import AliCoCoService
+from repro.serving import AliCoCoService, ServiceConfig
+from repro.utils.timing import LatencyReservoir
 
 from conftest import BENCH_SCALE, SMOKE
 
@@ -52,6 +55,15 @@ _HIT_PASSES = 5
 _HAMMER_THREADS = 4 if SMOKE else 8
 _HAMMER_PASSES = 2 if SMOKE else 5
 _BATCH_WORKERS = 4
+
+#: Pool-scoring bench: candidate-pool sizes compared scalar vs batched.
+_POOL_SIZES = (10, 50) if SMOKE else (10, 50, 200)
+_POOL_QUERIES = 4 if SMOKE else 8
+_POOL_PASSES = 2 if SMOKE else 3
+#: Headline assertion at pool size 50 (= the default rerank_pool_k):
+#: batched pool scoring must beat the scalar loop by this much.  Smoke
+#: runs only guard against regression (batched never slower).
+_MIN_POOL_SPEEDUP = 1.0 if SMOKE else 3.0
 
 
 def _workload(built):
@@ -312,3 +324,203 @@ def test_model_serving(tmp_path, report):
             ]
         )
     )
+
+
+def _train_reranker(built, cls, **kwargs):
+    """Train one matcher on graph-labelled (concept, title) pairs."""
+    pairs = []
+    for spec in built.concepts[:10]:
+        concept_id = built.concept_ids[spec.text]
+        linked = {
+            relation.source
+            for relation in built.store.in_relations(
+                concept_id, RelationKind.ITEM_ECOMMERCE
+            )
+        }
+        for index in range(8):
+            item_id = built.item_ids[index]
+            title_tokens = built.store.get(item_id).title.split()
+            pairs.append(
+                pair_from_texts(
+                    spec.tokens, title_tokens, label=int(item_id in linked)
+                )
+            )
+    model = cls(matching_vocab(pairs), **kwargs)
+    train_matcher(model, pairs, epochs=1, lr=0.05, seed=0)
+    return model
+
+
+def _knowledge_reranker(built):
+    """The paper's matcher (Fig. 8), knowledge branch on."""
+    vectors = {}
+
+    def knowledge_lookup(token):
+        if token not in vectors:
+            seed = sum(ord(char) for char in token)
+            vectors[token] = np.random.default_rng(seed).normal(size=6)
+        return vectors[token]
+
+    gloss_tokens = {
+        spec.tokens[0]: list(spec.tokens[1:3]) for spec in built.concepts[:20]
+    }
+
+    def build(vocab):
+        return KnowledgeMatcher(
+            vocab,
+            PosTagger(built.lexicon.pos_lexicon()),
+            ner_lookup=lambda token: (len(token) * 7) % 5,
+            num_ner_labels=5,
+            knowledge_lookup=knowledge_lookup,
+            gloss_tokens=gloss_tokens,
+            knowledge_dim=6,
+            dim=8,
+            conv_dim=8,
+            pyramid_layers=2,
+            seed=1,
+        )
+
+    return _train_reranker(built, build)
+
+
+def _time_pool_variants(matcher, queries, pool):
+    """p50/p95 reservoirs for scalar vs pooled vs pooled+warm scoring."""
+    reservoirs = {
+        name: LatencyReservoir(256, seed=i)
+        for i, name in enumerate(("scalar", "pooled", "warm"))
+    }
+    encoded = [matcher.encode_doc(doc) for doc in pool]
+    for _ in range(_POOL_PASSES):
+        for query in queries:
+            start = time.perf_counter()
+            scalar = [matcher.score_text(query, doc) for doc in pool]
+            reservoirs["scalar"].record(time.perf_counter() - start)
+
+            start = time.perf_counter()
+            pooled = matcher.score_pool(query, pool)
+            reservoirs["pooled"].record(time.perf_counter() - start)
+
+            start = time.perf_counter()
+            warm = matcher.score_pool(query, pool, doc_encodings=encoded)
+            reservoirs["warm"].record(time.perf_counter() - start)
+
+            assert np.abs(pooled - np.asarray(scalar)).max() <= 1e-9
+            assert np.array_equal(warm, pooled)
+    return {name: res.percentiles_ms() for name, res in reservoirs.items()}
+
+
+def test_pool_scoring(report):
+    """Batched pool scoring vs the scalar oracle, matcher and service level."""
+    scale = replace(BENCH_SCALE, n_items=_N_ITEMS)
+    built = build_alicoco(scale, n_concepts=_N_CONCEPTS)
+    titles = [
+        built.store.get(built.item_ids[index]).title.split()
+        for index in range(min(max(_POOL_SIZES), _N_ITEMS))
+    ]
+    queries = [list(spec.tokens) for spec in built.concepts[:_POOL_QUERIES]]
+
+    knowledge = _knowledge_reranker(built)
+    dssm = _train_reranker(built, DSSMMatcher, dim=8, hidden=8, seed=1)
+
+    lines = [
+        f"Pool scoring at {_N_ITEMS} items / {_N_CONCEPTS} concepts "
+        f"({scale.name}); {_POOL_QUERIES} queries x {_POOL_PASSES} passes",
+        f"  {'matcher':<10} {'pool':>5} {'scalar p50':>11} {'pooled p50':>11} "
+        f"{'warm p50':>10} {'speedup':>8} {'warm speedup':>13}",
+    ]
+    headline = {}
+    for name, matcher in (("knowledge", knowledge), ("dssm", dssm)):
+        for size in _POOL_SIZES:
+            timings = _time_pool_variants(matcher, queries, titles[:size])
+            scalar, pooled, warm = (
+                timings["scalar"], timings["pooled"], timings["warm"]
+            )
+            speedup = scalar["p50"] / max(pooled["p50"], 1e-9)
+            warm_speedup = scalar["p50"] / max(warm["p50"], 1e-9)
+            if size == 50:
+                headline[name] = speedup
+            lines.append(
+                f"  {name:<10} {size:>5} {scalar['p50']:>9.3f}ms "
+                f"{pooled['p50']:>9.3f}ms {warm['p50']:>8.3f}ms "
+                f"{speedup:>7.1f}x {warm_speedup:>12.1f}x"
+            )
+            lines.append(
+                f"  {'':<10} {'p95':>5} {scalar['p95']:>9.3f}ms "
+                f"{pooled['p95']:>9.3f}ms {warm['p95']:>8.3f}ms"
+            )
+    for name, speedup in headline.items():
+        assert speedup >= _MIN_POOL_SPEEDUP, (
+            f"{name} pool scoring at pool 50 should be "
+            f">={_MIN_POOL_SPEEDUP}x the scalar loop, got {speedup:.2f}x"
+        )
+
+    # Service level: the reranked endpoints through the fast path +
+    # pre-warmed doc cache vs the scalar oracle (use_fast_path=False).
+    # The result LRU is disabled so every pass pays full scoring cost.
+    fast = AliCoCoService.from_build(
+        built,
+        reranker=knowledge,
+        config=ServiceConfig(cache_capacity=0, prewarm_doc_cache=True),
+    )
+    oracle = AliCoCoService.from_build(
+        built,
+        reranker=knowledge,
+        config=ServiceConfig(cache_capacity=0, use_fast_path=False),
+    )
+    # Concepts with actual item pools — a pool of zero measures nothing.
+    linked = [
+        spec
+        for spec in built.concepts
+        if built.store.in_relations(
+            built.concept_ids[spec.text], RelationKind.ITEM_ECOMMERCE
+        )
+    ][:_POOL_QUERIES]
+    texts = [spec.text for spec in linked]
+    concept_ids = [built.concept_ids[spec.text] for spec in linked]
+    for text, concept_id in zip(texts, concept_ids):
+        fast_search = fast.search_reranked(text)
+        oracle_search = oracle.search_reranked(text)
+        assert [c for c, _ in fast_search] == [c for c, _ in oracle_search]
+        assert all(
+            abs(a[1] - b[1]) <= 1e-9
+            for a, b in zip(fast_search, oracle_search)
+        )
+        fast_items = fast.items_for_concept_reranked(concept_id)
+        oracle_items = oracle.items_for_concept_reranked(concept_id)
+        assert [i for i, _ in fast_items] == [i for i, _ in oracle_items]
+        assert all(
+            abs(a[1] - b[1]) <= 1e-9
+            for a, b in zip(fast_items, oracle_items)
+        )
+    for _ in range(_POOL_PASSES):
+        for text, concept_id in zip(texts, concept_ids):
+            fast.search_reranked(text)
+            oracle.search_reranked(text)
+            fast.items_for_concept_reranked(concept_id)
+            oracle.items_for_concept_reranked(concept_id)
+
+    fast_stats, oracle_stats = fast.stats(), oracle.stats()
+    lines.append("")
+    for endpoint in ("search_reranked", "items_for_concept_reranked"):
+        fast_ep = fast_stats.endpoint(endpoint)
+        oracle_ep = oracle_stats.endpoint(endpoint)
+        endpoint_speedup = oracle_ep.miss_p50_ms / max(fast_ep.miss_p50_ms, 1e-9)
+        assert endpoint_speedup >= 1.0, (
+            f"{endpoint} fast path should not be slower than the scalar "
+            f"oracle, got {endpoint_speedup:.2f}x"
+        )
+        lines.append(
+            f"  {endpoint}: fast p50 {fast_ep.miss_p50_ms:.3f}ms / "
+            f"p95 {fast_ep.miss_p95_ms:.3f}ms vs scalar "
+            f"p50 {oracle_ep.miss_p50_ms:.3f}ms / "
+            f"p95 {oracle_ep.miss_p95_ms:.3f}ms -> {endpoint_speedup:.1f}x"
+        )
+    doc = fast_stats
+    lines.append(
+        f"  doc cache: {doc.doc_cache_entries} entries pre-warmed, "
+        f"{doc.doc_cache_hits} hits / {doc.doc_cache_misses} misses"
+    )
+    lines.append(
+        f"  parity: rankings identical, scores within 1e-9, "
+        f"{len(texts)} queries x 2 endpoints"
+    )
+    report("\n".join(lines))

@@ -188,6 +188,21 @@ def main() -> None:
             f"model p={prob:.3f} {model_id:>6}"
         )
 
+    # --- inference fast path: pre-warm the doc-encoding cache ------------
+    # Reranked endpoints batch their pool through score_pool (query
+    # encoded once, tape-free kernels); warming encodes the frozen
+    # catalog up front so first queries pay no doc-encoding cost either.
+    warmed = modelled.warm_doc_cache()
+    start = time.perf_counter()
+    modelled.search_reranked(built.concepts[1].text, 3)
+    warm_query_ms = (time.perf_counter() - start) * 1e3
+    doc_stats = modelled.stats()
+    print(
+        f"\nfast path: {warmed} doc encodings pre-warmed; "
+        f"first warm reranked query {warm_query_ms:.2f} ms "
+        f"({doc_stats.doc_cache_hits} doc-cache hits)"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-import math
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
 from ..errors import DataError, NotFittedError
 from ..ml import Embedding, Module
+from ..ml.inference import InferenceSession, stable_sigmoid
 from ..ml.tensor import Tensor, no_grad
 from ..nlp.vocab import Vocab
 from ..utils.rng import spawn_rng
@@ -35,6 +35,13 @@ class NeuralMatcher(Module):
         name: RNG stream name (per-subclass).
     """
 
+    #: Whether this matcher implements the functional batched inference
+    #: path (:meth:`encode_query`/:meth:`encode_doc`/:meth:`_pool_logits`).
+    #: Matchers without one still serve :meth:`score_pool` through the
+    #: per-pair fallback; the serving layer uses the flag to decide
+    #: whether doc-side encodings are worth caching.
+    fast_path = False
+
     def __init__(self, vocab: Vocab, dim: int, seed: int, name: str,
                  pretrained: np.ndarray | None = None):
         super().__init__()
@@ -45,23 +52,29 @@ class NeuralMatcher(Module):
                                    pretrained=pretrained)
         self._fitted = False
 
-    def _embed(self, tokens: Sequence[str]) -> Tensor:
-        """(1, T, dim) embeddings of a token sequence."""
+    def _token_ids(self, tokens: Sequence[str]) -> np.ndarray:
+        """Vocabulary ids of a non-empty token sequence."""
         if not tokens:
             raise DataError("cannot embed an empty sequence")
-        ids = np.asarray(self.vocab.ids(list(tokens)))[None, :]
-        return self.embedding(ids)
+        return np.asarray(self.vocab.ids(list(tokens)))
+
+    def _embed(self, tokens: Sequence[str]) -> Tensor:
+        """(1, T, dim) embeddings of a token sequence."""
+        return self.embedding(self._token_ids(tokens)[None, :])
 
     def logit(self, example: MatchingExample) -> Tensor:
         raise NotImplementedError
 
-    def score_pairs(self, examples: Sequence[MatchingExample]) -> np.ndarray:
-        """Match probabilities for a batch of pairs (no grad)."""
+    def _require_fitted(self) -> None:
         if not self._fitted:
             raise NotFittedError(f"{type(self).__name__} has not been trained")
+
+    def score_pairs(self, examples: Sequence[MatchingExample]) -> np.ndarray:
+        """Match probabilities for a batch of pairs (no grad)."""
+        self._require_fitted()
         with no_grad():
             logits = np.asarray([self.logit(e).item() for e in examples])
-        return 1.0 / (1.0 + np.exp(-logits))
+        return stable_sigmoid(logits)
 
     def score_text(self, query_tokens: Sequence[str],
                    title_tokens: Sequence[str]) -> float:
@@ -71,12 +84,92 @@ class NeuralMatcher(Module):
         :class:`~repro.synth.world.ConceptSpec`/item behind the pair, just
         two token sequences (query vs concept text, or concept vs title).
         """
-        if not self._fitted:
-            raise NotFittedError(f"{type(self).__name__} has not been trained")
+        self._require_fitted()
         with no_grad():
             logit = self.logit(pair_from_texts(query_tokens,
                                                title_tokens)).item()
-        if logit >= 0.0:
-            return 1.0 / (1.0 + math.exp(-logit))
-        odds = math.exp(logit)  # stable for very negative logits
-        return odds / (1.0 + odds)
+        return float(stable_sigmoid(logit))
+
+    # -------------------------------------------------- batched inference
+    def inference_session(self) -> InferenceSession:
+        """The matcher's functional weight session, extracted lazily once.
+
+        Weight arrays update in place during training, so one session
+        stays valid for the module's lifetime; a second concurrent
+        creation is benign (identical views).
+        """
+        session = self.__dict__.get("_inference_session")
+        if session is None:
+            session = InferenceSession(self)
+            self._inference_session = session
+        return session
+
+    def encode_query(self, query_tokens: Sequence[str]) -> Any:
+        """Query-side encoding reused across a whole candidate pool.
+
+        Fast-path matchers (``fast_path = True``) return an opaque state
+        object holding everything on the query side that does not depend
+        on the document — features, encoder output, attention
+        projections.  The base class has no fast path and returns
+        ``None``.
+        """
+        return None
+
+    def encode_doc(self, doc_tokens: Sequence[str]) -> Any:
+        """Doc-side encoding, cacheable by the serving layer.
+
+        Legal to cache for as long as the weights do not change (the
+        serving layer caches per frozen store + prepared model).  ``None``
+        when the matcher has no fast path.
+        """
+        return None
+
+    def _pool_logits(self, query_state: Any,
+                     doc_encodings: Sequence[Any]) -> np.ndarray:
+        """Fast-path logits for one query state against encoded docs."""
+        raise NotImplementedError
+
+    def score_pool(self, query_tokens: Sequence[str],
+                   doc_token_lists: Sequence[Sequence[str]],
+                   doc_encodings: Sequence[Any] | None = None) -> np.ndarray:
+        """Match probabilities for one query against a candidate pool.
+
+        Equivalent to ``[score_text(query_tokens, d) for d in docs]`` —
+        the parity suite asserts identical scores — but the query side is
+        encoded **once** and reused across all candidates, and fast-path
+        matchers run entirely on tape-free numpy kernels
+        (:mod:`repro.ml.inference`), skipping per-op graph-node
+        allocation.  Matchers without a fast path fall back to per-pair
+        ``logit`` under ``no_grad``.
+
+        Args:
+            query_tokens: The shared query side.
+            doc_token_lists: One token sequence per pool candidate.
+            doc_encodings: Optional pre-computed :meth:`encode_doc`
+                results aligned with ``doc_token_lists`` (``None`` slots
+                are encoded on the fly).  The serving layer passes its
+                doc-side cache through here.
+
+        Returns:
+            Probabilities, shape ``(len(doc_token_lists),)``.
+        """
+        self._require_fitted()
+        docs = [list(tokens) for tokens in doc_token_lists]
+        if not docs:
+            return np.zeros(0)
+        if not self.fast_path:
+            with no_grad():
+                logits = np.asarray([
+                    self.logit(pair_from_texts(query_tokens, tokens)).item()
+                    for tokens in docs
+                ])
+            return stable_sigmoid(logits)
+        query_state = self.encode_query(query_tokens)
+        if doc_encodings is None:
+            doc_encodings = [None] * len(docs)
+        encoded = [
+            encoding if encoding is not None else self.encode_doc(tokens)
+            for tokens, encoding in zip(docs, doc_encodings)
+        ]
+        return stable_sigmoid(np.asarray(self._pool_logits(query_state,
+                                                           encoded)))

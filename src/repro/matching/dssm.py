@@ -26,6 +26,8 @@ class DSSMMatcher(NeuralMatcher):
         seed: Weight-init seed.
     """
 
+    fast_path = True
+
     def __init__(self, vocab: Vocab, dim: int = 16, hidden: int = 16,
                  seed: int = 0, pretrained: np.ndarray | None = None):
         super().__init__(vocab, dim, seed, "dssm", pretrained)
@@ -48,3 +50,34 @@ class DSSMMatcher(NeuralMatcher):
         norm = ((query * query).sum() ** 0.5) * ((title * title).sum() ** 0.5)
         cosine = dot / (norm + 1e-8)
         return (cosine * self.scale + self.offset).reshape(())
+
+    # -------------------------------------------------- inference fast path
+    def _tower_array(self, tokens, name: str) -> tuple[np.ndarray, float]:
+        """Functional tower forward: ``(vector, vector_norm)``.
+
+        Mirrors :meth:`_tower`'s taped arithmetic — mean pooling computed
+        as ``sum * (1/T)`` exactly like ``Tensor.mean`` — so fast-path
+        cosines match the oracle bit for bit.
+        """
+        session = self.inference_session()
+        embedded = session.embed("embedding.weight", self._token_ids(tokens))
+        pooled = embedded.sum(axis=0) * (1.0 / embedded.shape[0])
+        vector = session.mlp(pooled, name, "tanh")
+        return vector, float((vector * vector).sum() ** 0.5)
+
+    def encode_query(self, query_tokens) -> tuple[np.ndarray, float]:
+        return self._tower_array(query_tokens, "query_tower")
+
+    def encode_doc(self, doc_tokens) -> tuple[np.ndarray, float]:
+        return self._tower_array(doc_tokens, "title_tower")
+
+    def _pool_logits(self, query_state, doc_encodings) -> np.ndarray:
+        query, query_norm = query_state
+        scale = self.scale.data
+        offset = self.offset.data
+        logits = np.empty(len(doc_encodings))
+        for i, (title, title_norm) in enumerate(doc_encodings):
+            dot = (query * title).sum()
+            cosine = dot / (query_norm * title_norm + 1e-8)
+            logits[i] = (cosine * scale + offset)[0]
+        return logits

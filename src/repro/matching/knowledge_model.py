@@ -15,20 +15,28 @@ score is an MLP over [c; i; ci] (Eq. 18).
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..ml import Conv1d, Linear, MLP
+from ..ml.inference import additive_attention_pool
 from ..ml.module import Parameter
 from ..ml.tensor import Tensor, concat
 from ..nlp.pos import PosTagger
 from ..nlp.vocab import Vocab
 from .base import NeuralMatcher
 from .dataset import MatchingExample
+from .match_pyramid import _grid_bounds
 
 KnowledgeLookup = Callable[[str], np.ndarray | None]
 NerLookup = Callable[[str], int]
+
+#: Cap on the per-matcher token -> (pos_id, ner_id) memo.  POS tagging and
+#: NER lookup are pure functions of the token, so entries never need
+#: invalidating; the bound only guards against unbounded vocabulary drift.
+_FEATURE_CACHE_LIMIT = 65536
 
 #: Domains used as class-label ids on the concept side (Fig 8 "Lookup
 #: Primitive Concepts").
@@ -36,6 +44,27 @@ _DOMAIN_IDS = {domain: i for i, domain in enumerate((
     "Category", "Brand", "Color", "Design", "Function", "Material",
     "Pattern", "Shape", "Smell", "Taste", "Style", "Time", "Location", "IP",
     "Audience", "Event", "Nature", "Organization", "Quantity", "Modifier"))}
+
+
+@dataclass
+class _QueryEncoding:
+    """Everything on the concept side that is independent of the title."""
+
+    concept: np.ndarray            # CNN states, (m, conv_dim)
+    left: np.ndarray               # att_w1 projection of those states
+    knowledge: np.ndarray          # Eq. 15 sequence, (n, dim)
+    pyramid_pre: list[np.ndarray]  # knowledge @ W_k per pyramid layer
+    row_bounds: list[tuple[int, int]]
+
+
+@dataclass
+class _DocEncoding:
+    """Everything on the title side, cacheable per frozen catalog entry."""
+
+    title_raw: np.ndarray          # word embeddings, (t, dim)
+    title: np.ndarray              # CNN states, (t, conv_dim)
+    right: np.ndarray              # att_w2 projection of those states
+    col_bounds: list[tuple[int, int]]
 
 
 class KnowledgeMatcher(NeuralMatcher):
@@ -54,6 +83,8 @@ class KnowledgeMatcher(NeuralMatcher):
         pyramid_layers: K of the matching pyramid.
         seed: Weight-init seed.
     """
+
+    fast_path = True
 
     def __init__(self, vocab: Vocab, pos_tagger: PosTagger,
                  ner_lookup: NerLookup, num_ner_labels: int,
@@ -76,6 +107,8 @@ class KnowledgeMatcher(NeuralMatcher):
         rng = self.rng
         self.pos_tagger = pos_tagger
         self.ner_lookup = ner_lookup
+        self._feature_id_cache: dict[str, tuple[int, int]] = {}
+        self._feature_cache_limit = _FEATURE_CACHE_LIMIT
         self.use_knowledge = knowledge_lookup is not None
         self._knowledge = knowledge_lookup
         self.knowledge_dim = knowledge_dim
@@ -105,12 +138,33 @@ class KnowledgeMatcher(NeuralMatcher):
         self.head = MLP([3 * conv_dim + 8, 16, 1], rng, activation="relu")
 
     # ------------------------------------------------------------- encoders
+    def _feature_ids(self, tokens: Sequence[str]
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-token ``(pos_ids, ner_ids)``, memoized per token.
+
+        POS tagging and the NER lookup are pure per-token functions, so
+        one bounded dict (:data:`_FEATURE_CACHE_LIMIT` entries, never
+        invalidated) replaces re-tagging every pair's tokens from
+        scratch on the scoring hot path.
+        """
+        cache = self._feature_id_cache
+        pos_ids = np.empty(len(tokens), dtype=np.intp)
+        ner_ids = np.empty(len(tokens), dtype=np.intp)
+        for i, token in enumerate(tokens):
+            ids = cache.get(token)
+            if ids is None:
+                ids = (PosTagger.tag_id(self.pos_tagger.tag_word(token)),
+                       int(self.ner_lookup(token)))
+                if len(cache) < self._feature_cache_limit:
+                    cache[token] = ids
+            pos_ids[i] = ids[0]
+            ner_ids[i] = ids[1]
+        return pos_ids, ner_ids
+
     def _features(self, tokens) -> Tensor:
         """(1, T, dim+pos+ner) input features of one side."""
         word = self._embed(tokens)
-        pos_ids = np.asarray([PosTagger.tag_id(t)
-                              for t in self.pos_tagger.tag(list(tokens))])
-        ner_ids = np.asarray([self.ner_lookup(t) for t in tokens])
+        pos_ids, ner_ids = self._feature_ids(list(tokens))
         pos = self.pos_embedding(pos_ids).reshape(1, len(tokens), -1)
         ner = self.ner_embedding(ner_ids).reshape(1, len(tokens), -1)
         return concat([word, pos, ner], axis=2)
@@ -158,7 +212,6 @@ class KnowledgeMatcher(NeuralMatcher):
         """Eqs. 16-17: K matching matrices, grid-pooled and merged."""
         knowledge = self._knowledge_sequence(example)      # (n, dim)
         features = []
-        from .match_pyramid import _grid_bounds
         n = knowledge.shape[0]
         t = title.shape[0]
         row_bounds = _grid_bounds(n, 2)
@@ -183,6 +236,99 @@ class KnowledgeMatcher(NeuralMatcher):
                            concept_vector * title_vector, pyramid_vector],
                           axis=0)
         return self.head(combined).reshape(())
+
+    # -------------------------------------------------- inference fast path
+    def _features_array(self, tokens: list[str]) -> np.ndarray:
+        """Functional mirror of :meth:`_features`, ``(T, dim+pos+ner)``."""
+        session = self.inference_session()
+        word = session.embed("embedding.weight", self._token_ids(tokens))
+        pos_ids, ner_ids = self._feature_ids(tokens)
+        pos = session.embed("pos_embedding", pos_ids)
+        ner = session.embed("ner_embedding", ner_ids)
+        return np.concatenate([word, pos, ner], axis=1)
+
+    def _knowledge_array(self, tokens: list[str]) -> np.ndarray:
+        """Functional mirror of :meth:`_knowledge_sequence` for raw text.
+
+        Raw serving pairs carry no
+        :class:`~repro.matching.dataset.ConceptText` parts
+        (``pair_from_texts`` builds them with ``parts=()``), so the
+        class-id extension is structurally absent here — exactly as it
+        is in the taped path for the same input.
+        """
+        session = self.inference_session()
+        pieces = [session.embed("embedding.weight", self._token_ids(tokens))]
+        if self.use_knowledge:
+            gloss_vectors = []
+            expansion: list[str] = []
+            for token in tokens:
+                vector = self._knowledge(token)
+                if vector is None:
+                    vector = np.zeros(self.knowledge_dim)
+                gloss_vectors.append(np.asarray(vector, dtype=np.float64))
+                for gloss_word in self._gloss_tokens.get(token, ()):
+                    if gloss_word not in expansion and gloss_word not in tokens:
+                        expansion.append(gloss_word)
+            pieces.append(session.linear(np.stack(gloss_vectors),
+                                         "gloss_projection"))
+            if expansion:
+                limit = self.max_gloss_tokens * len(tokens)
+                pieces.append(session.embed(
+                    "embedding.weight", self._token_ids(expansion[:limit])))
+        return np.concatenate(pieces, axis=0)
+
+    def encode_query(self, query_tokens) -> _QueryEncoding:
+        session = self.inference_session()
+        tokens = list(query_tokens)
+        concept = session.conv1d(self._features_array(tokens), "concept_cnn")
+        knowledge = self._knowledge_array(tokens)
+        pyramid_w = session.weight("pyramid_w")
+        return _QueryEncoding(
+            concept=concept,
+            left=session.linear(concept, "att_w1"),
+            knowledge=knowledge,
+            pyramid_pre=[knowledge @ pyramid_w[k]
+                         for k in range(self.pyramid_layers)],
+            row_bounds=_grid_bounds(knowledge.shape[0], 2),
+        )
+
+    def encode_doc(self, doc_tokens) -> _DocEncoding:
+        session = self.inference_session()
+        tokens = list(doc_tokens)
+        title_raw = session.embed("embedding.weight", self._token_ids(tokens))
+        title = session.conv1d(self._features_array(tokens), "title_cnn")
+        return _DocEncoding(
+            title_raw=title_raw,
+            title=title,
+            right=session.linear(title, "att_w2"),
+            col_bounds=_grid_bounds(title_raw.shape[0], 4),
+        )
+
+    def _pool_logits(self, query_state: _QueryEncoding,
+                     doc_encodings) -> np.ndarray:
+        session = self.inference_session()
+        score_weight = session.weight("att_v.weight")
+        cells = len(query_state.row_bounds) * 4
+        pyramid_cells = np.empty(self.pyramid_layers * cells)
+        logits = np.empty(len(doc_encodings))
+        for i, doc in enumerate(doc_encodings):
+            concept_vector, title_vector = additive_attention_pool(
+                query_state.left, doc.right, score_weight,
+                query_state.concept, doc.title)
+            cell = 0
+            for pre in query_state.pyramid_pre:
+                matrix = pre @ doc.title_raw.T
+                for row_start, row_stop in query_state.row_bounds:
+                    for col_start, col_stop in doc.col_bounds:
+                        pyramid_cells[cell] = matrix[
+                            row_start:row_stop, col_start:col_stop].max()
+                        cell += 1
+            pyramid_vector = session.mlp(pyramid_cells, "pyramid_mlp", "relu")
+            combined = np.concatenate([
+                concept_vector, title_vector,
+                concept_vector * title_vector, pyramid_vector])
+            logits[i] = session.mlp(combined, "head", "relu")[0]
+        return logits
 
 
 class ParameterTable(Parameter):

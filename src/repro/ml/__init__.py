@@ -11,6 +11,7 @@ end-to-end through this engine.
 
 from .tensor import Tensor, concat, enable_grad, is_grad_enabled, no_grad, stack
 from .module import Module, Parameter
+from .inference import InferenceSession, stable_sigmoid
 from .losses import bce_with_logits, cross_entropy, binary_nll
 from .optim import SGD, Adam, Adagrad
 from .layers import (
@@ -27,6 +28,7 @@ from .layers import (
 __all__ = [
     "Tensor", "concat", "stack", "no_grad", "enable_grad", "is_grad_enabled",
     "Module", "Parameter",
+    "InferenceSession", "stable_sigmoid",
     "bce_with_logits", "cross_entropy", "binary_nll",
     "SGD", "Adam", "Adagrad",
     "Linear", "Embedding", "LSTM", "BiLSTM", "Conv1d",

@@ -29,6 +29,8 @@ from .models import (
     ensure_inference_mode,
     model_bundle_state,
     prepare_serving_module,
+    rerank_pool,
+    rerank_score,
     restore_serving_module,
 )
 from .service import (
@@ -55,6 +57,8 @@ __all__ = [
     "ensure_inference_mode",
     "model_bundle_state",
     "prepare_serving_module",
+    "rerank_pool",
+    "rerank_score",
     "restore_serving_module",
     "fit_concept_index",
     "LRUCache",

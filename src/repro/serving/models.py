@@ -79,6 +79,12 @@ def prepare_serving_module(module: Module, name: str) -> Module:
             "(or restore trained weights from a snapshot bundle)"
         )
     module.eval()
+    # Extract the functional inference session (tape-free weight views,
+    # repro.ml.inference) eagerly, before the first query arrives, so the
+    # hot path never pays the named_parameters walk.
+    extract_session = getattr(module, "inference_session", None)
+    if callable(extract_session):
+        extract_session()
     return module
 
 
@@ -129,9 +135,37 @@ def tag_spans(
 def rerank_score(
     model: Module, query_tokens: Sequence[str], doc_tokens: Sequence[str]
 ) -> float:
-    """Model match probability for one (query, document) text pair."""
+    """Model match probability for one (query, document) text pair.
+
+    The scalar oracle: the fast path (:func:`rerank_pool`) must produce
+    scores identical to a per-candidate loop over this function.
+    """
     ensure_inference_mode(model, "reranker")
     return float(model.score_text(query_tokens, doc_tokens))
+
+
+def rerank_pool(
+    model: Module,
+    query_tokens: Sequence[str],
+    doc_token_lists: Sequence[Sequence[str]],
+    doc_encodings: Sequence[Any] | None = None,
+):
+    """Model match probabilities for one query against a candidate pool.
+
+    The batched counterpart of :func:`rerank_score`:
+    :meth:`~repro.matching.base.NeuralMatcher.score_pool` encodes the
+    query side once and reuses it across every candidate, running
+    fast-path matchers entirely on the tape-free kernels of
+    :mod:`repro.ml.inference`.  ``doc_encodings`` lets the service pass
+    cached doc-side encodings through (aligned with ``doc_token_lists``,
+    ``None`` slots encoded on the fly).
+
+    Returns:
+        A float array, one probability per candidate.
+    """
+    ensure_inference_mode(model, "reranker")
+    return model.score_pool(query_tokens, doc_token_lists,
+                            doc_encodings=doc_encodings)
 
 
 # ------------------------------------------------------------- model bundles

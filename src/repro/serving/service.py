@@ -59,6 +59,26 @@ threads.  The design splits state into two camps:
   :func:`~repro.serving.models.ensure_inference_mode` turns the one
   forbidden mutation — training a live served module — into a loud
   :class:`~repro.errors.ConfigError` instead of silent nondeterminism.
+
+**Inference fast path.**  The reranked endpoints score their candidate
+pool through the batched :func:`~repro.serving.models.rerank_pool`
+(query side encoded once, tape-free numpy kernels from
+:mod:`repro.ml.inference`) instead of one ``score_text`` call per
+candidate.  Doc-side encodings — the per-candidate tensors that depend
+only on the candidate's own text — are additionally memoised in a
+bounded thread-safe LRU keyed by node id.  That cache is **legal only
+because the served store is frozen**: a node's text can never change
+under a live service, so a cached encoding can never go stale — the same
+invariant that lets the result cache skip invalidation entirely.  The
+served model is equally frozen (prepared once, never trained —
+:func:`~repro.serving.models.ensure_inference_mode` enforces it), so
+encodings outlive any individual query.  The cache warms lazily as pools
+are scored; :meth:`AliCoCoService.warm_doc_cache` (or
+``ServiceConfig(prewarm_doc_cache=True)``) pre-encodes the snapshot's
+whole catalog up front.  ``ServiceConfig(use_fast_path=False)`` restores
+the scalar per-candidate path, kept as the parity oracle: identical
+rankings, scores within 1e-9 of the fast path (empirically
+bit-identical).
 """
 
 from __future__ import annotations
@@ -85,6 +105,7 @@ from .models import (
     TAGGER_KIND,
     model_bundle_state,
     prepare_serving_module,
+    rerank_pool,
     rerank_score,
     restore_serving_module,
     tag_spans,
@@ -159,6 +180,17 @@ class ServiceConfig:
             cache outcome (see
             :class:`~repro.utils.timing.LatencyReservoir`).
         seed: Seed for the reservoirs' replacement RNG.
+        use_fast_path: Score rerank pools through the batched
+            :func:`~repro.serving.models.rerank_pool` (query encoded
+            once, tape-free kernels).  ``False`` restores the scalar
+            per-candidate ``score_text`` loop — the parity oracle, for
+            debugging.
+        doc_cache_capacity: Doc-side encoding cache entries (see the
+            module docstring's fast-path section); ``0`` disables the
+            cache (pools still batch, encodings are just not reused
+            across queries).
+        prewarm_doc_cache: Encode the store's whole catalog into the doc
+            cache at construction time instead of lazily on first use.
     """
 
     cache_capacity: int = 4096
@@ -166,10 +198,17 @@ class ServiceConfig:
     rerank_pool_k: int = 50
     reservoir_capacity: int = 512
     seed: int = 0
+    use_fast_path: bool = True
+    doc_cache_capacity: int = 8192
+    prewarm_doc_cache: bool = False
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 0:
             raise ConfigError(f"cache_capacity must be >= 0, got {self.cache_capacity}")
+        if self.doc_cache_capacity < 0:
+            raise ConfigError(
+                f"doc_cache_capacity must be >= 0, got {self.doc_cache_capacity}"
+            )
         if self.search_top_k <= 0:
             raise ConfigError(f"search_top_k must be positive, got {self.search_top_k}")
         if self.rerank_pool_k <= 0:
@@ -262,6 +301,21 @@ class AliCoCoService:
         self._cache = (
             LRUCache(self.config.cache_capacity) if self.config.cache_capacity else None
         )
+        # Doc-side encoding cache (see the module docstring): only worth
+        # holding when a fast-path reranker is served — fallback matchers
+        # have no doc-side encodings to reuse.
+        self._doc_cache = (
+            LRUCache(self.config.doc_cache_capacity)
+            if (
+                self._reranker is not None
+                and self.config.use_fast_path
+                and self.config.doc_cache_capacity > 0
+                and getattr(self._reranker, "fast_path", False)
+            )
+            else None
+        )
+        if self._doc_cache is not None and self.config.prewarm_doc_cache:
+            self.warm_doc_cache()
         self._handlers: dict[str, Callable[..., Any]] = {
             "items_for_concept": self.items_for_concept,
             "concepts_for_item": self.concepts_for_item,
@@ -652,6 +706,7 @@ class AliCoCoService:
         endpoint_stats = tuple(
             metrics.snapshot(endpoint) for endpoint, metrics in self._metrics.items()
         )
+        doc_cache = self._doc_cache
         return ServiceStats(
             nodes=len(self._store),
             relations=store_stats.relations_total,
@@ -659,6 +714,11 @@ class AliCoCoService:
             cache_capacity=self._cache.capacity if self._cache else 0,
             cache_evictions=self._cache.evictions if self._cache else 0,
             endpoints=endpoint_stats,
+            doc_cache_entries=len(doc_cache) if doc_cache else 0,
+            doc_cache_capacity=doc_cache.capacity if doc_cache else 0,
+            doc_cache_hits=doc_cache.hits if doc_cache else 0,
+            doc_cache_misses=doc_cache.misses if doc_cache else 0,
+            doc_cache_evictions=doc_cache.evictions if doc_cache else 0,
         )
 
     # ------------------------------------------------------------- internals
@@ -687,13 +747,10 @@ class AliCoCoService:
     ) -> tuple:
         concept_tokens = tuple(self._store.get(concept_id).tokens)
         pool = self._items_uncached(concept_id, self.config.rerank_pool_k)
-        scored = []
-        for item_id, _ in pool:
-            title_tokens = self._store.get(item_id).title.split()
-            scored.append(
-                (item_id, rerank_score(reranker, concept_tokens, title_tokens))
-            )
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        item_ids = [item_id for item_id, _ in pool]
+        titles = [self._store.get(item_id).title.split() for item_id in item_ids]
+        scores = self._pool_scores(reranker, concept_tokens, item_ids, titles)
+        scored = sorted(zip(item_ids, scores), key=lambda pair: (-pair[1], pair[0]))
         if top_k is not None:
             scored = scored[:top_k]
         return tuple(scored)
@@ -702,14 +759,96 @@ class AliCoCoService:
         self, reranker: Module, tokens: tuple[str, ...], k: int
     ) -> tuple:
         pool = self._search_uncached(tokens, self.config.rerank_pool_k)
-        scored = []
-        for concept_id, _ in pool:
-            concept_tokens = tuple(self._store.get(concept_id).tokens)
-            scored.append(
-                (concept_id, rerank_score(reranker, tokens, concept_tokens))
-            )
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        concept_ids = [concept_id for concept_id, _ in pool]
+        texts = [list(self._store.get(concept_id).tokens) for concept_id in concept_ids]
+        scores = self._pool_scores(reranker, tokens, concept_ids, texts)
+        scored = sorted(zip(concept_ids, scores), key=lambda pair: (-pair[1], pair[0]))
         return tuple(scored[:k])
+
+    def _pool_scores(
+        self,
+        reranker: Module,
+        query_tokens: Sequence[str],
+        node_ids: Sequence[str],
+        doc_token_lists: Sequence[Sequence[str]],
+    ) -> list[float]:
+        """Model probabilities for one query against a candidate pool.
+
+        The fast path batches through
+        :func:`~repro.serving.models.rerank_pool`, feeding cached
+        doc-side encodings when the doc cache is enabled; the scalar
+        oracle (``use_fast_path=False``, or a reranker without
+        ``score_pool``) loops :func:`~repro.serving.models.rerank_score`
+        per candidate.  Both produce the same scores — that equivalence
+        is what the parity suite pins down.
+        """
+        if not doc_token_lists:
+            return []
+        if not self.config.use_fast_path or not hasattr(reranker, "score_pool"):
+            return [
+                rerank_score(reranker, query_tokens, tokens)
+                for tokens in doc_token_lists
+            ]
+        encodings = None
+        if self._doc_cache is not None:
+            encodings = [
+                self._doc_encoding(reranker, node_id, tokens)
+                for node_id, tokens in zip(node_ids, doc_token_lists)
+            ]
+        scores = rerank_pool(
+            reranker, query_tokens, doc_token_lists, doc_encodings=encodings
+        )
+        return [float(score) for score in scores]
+
+    def _doc_encoding(
+        self, reranker: Module, node_id: str, tokens: Sequence[str]
+    ) -> Any:
+        """One candidate's doc-side encoding, through the frozen-store cache.
+
+        Node ids are globally unique across layers (``it_``/``ec_``
+        prefixes), so items and concepts share one cache without key
+        collisions.  Two threads missing the same id both encode it —
+        deterministically to the same value, the store and weights being
+        frozen — and the second ``put`` is a harmless refresh.
+        """
+        encoding = self._doc_cache.get(node_id, _MISS)
+        if encoding is _MISS:
+            encoding = reranker.encode_doc(tokens)
+            self._doc_cache.put(node_id, encoding)
+        return encoding
+
+    def warm_doc_cache(self) -> int:
+        """Pre-encode the frozen catalog into the doc-side encoding cache.
+
+        Walks every item title and e-commerce concept text — the two
+        document populations the reranked endpoints score — and encodes
+        the ones not already cached, so the first queries after a warm
+        start pay no encoding cost.  A no-op (returns 0) when the doc
+        cache is disabled or no fast-path reranker is served.
+
+        Returns:
+            Number of nodes newly encoded.
+        """
+        if self._doc_cache is None:
+            return 0
+        reranker = self._reranker
+        warmed = 0
+        populations = (
+            ((node.id, node.title.split()) for node in self._store.nodes(ITEM_PREFIX)),
+            (
+                (node.id, list(node.tokens))
+                for node in self._store.nodes(ECOMMERCE_PREFIX)
+            ),
+        )
+        for population in populations:
+            for node_id, tokens in population:
+                # ``in`` skips already-cached ids without counting a
+                # lookup, keeping hit/miss stats meaningful for traffic.
+                if not tokens or node_id in self._doc_cache:
+                    continue
+                self._doc_cache.put(node_id, reranker.encode_doc(tokens))
+                warmed += 1
+        return warmed
 
     def _require_model(
         self, module: Module | None, name: str, endpoint: str

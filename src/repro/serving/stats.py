@@ -120,7 +120,12 @@ class EndpointStats:
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Whole-service report: store size, cache state, per-endpoint stats."""
+    """Whole-service report: store size, cache state, per-endpoint stats.
+
+    The ``doc_cache_*`` fields describe the doc-side encoding cache of
+    the inference fast path (all zero when it is disabled or no
+    fast-path reranker is served).
+    """
 
     nodes: int
     relations: int
@@ -128,6 +133,11 @@ class ServiceStats:
     cache_capacity: int
     cache_evictions: int
     endpoints: tuple[EndpointStats, ...]
+    doc_cache_entries: int = 0
+    doc_cache_capacity: int = 0
+    doc_cache_hits: int = 0
+    doc_cache_misses: int = 0
+    doc_cache_evictions: int = 0
 
     def endpoint(self, name: str) -> EndpointStats:
         """Stats for one endpoint.
@@ -157,6 +167,17 @@ class ServiceStats:
             f"  store: {self.nodes} nodes / {self.relations} relations",
             f"  cache: {self.cache_entries}/{self.cache_capacity} "
             f"entries, {self.cache_evictions} evictions",
+        ]
+        if self.doc_cache_capacity:
+            lookups = self.doc_cache_hits + self.doc_cache_misses
+            rate = self.doc_cache_hits / lookups if lookups else 0.0
+            lines.append(
+                f"  doc cache: {self.doc_cache_entries}/"
+                f"{self.doc_cache_capacity} entries, "
+                f"{rate * 100:.1f}% hit rate, "
+                f"{self.doc_cache_evictions} evictions"
+            )
+        lines += [
             f"  {'endpoint':<20} {'calls':>7} {'errors':>7} {'hit%':>6} "
             f"{'miss p50':>10} {'miss p99':>10} {'hit p50':>10}",
         ]
