@@ -1,0 +1,289 @@
+"""Bench — retrieval: the sublinear first stage behind retrieval-then-verify.
+
+AliCoCo's deployment story (Section 6) proposes candidates with a cheap
+first stage and verifies only those with the deep matcher.  This benchmark
+gates the properties that make the first stage trustworthy:
+
+- **recall**: IVF and HNSW must recover >=90% of brute-force dense's
+  top-50 at their default knobs (approximation, not degradation);
+- **latency**: the ANN index must answer >=3x faster than the exact scan
+  at 10k items (the whole point of sublinearity), measured interleaved
+  best-of-rounds so machine-load drift hits both sides equally;
+- **scaling**: the scanned fraction must *shrink* as the catalog grows —
+  sublinear in shape, not just faster by a constant;
+- **warm start**: a fitted index rehydrated from snapshot state (through
+  actual JSON) must retrieve bit-identically to the fresh fit;
+- **hybrid lift**: RRF fusion of dense + BM25 must not lose candidate
+  recall against the BM25-only baseline on the synthetic matching
+  dataset (fusion is how dense recall reaches serving without giving up
+  exact lexical pins).
+
+Thresholds relax under smoke: at toy scale the exact scan fits in cache
+and fixed per-query overhead dominates, so the latency gate only guards
+against the ANN path being *slower* than brute force.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.matching import (
+    CandidateGenerator,
+    DSSMMatcher,
+    retrieval_recall,
+    train_matcher,
+)
+from repro.matching.base import matching_vocab
+from repro.matching.dataset import build_matching_dataset
+from repro.retrieval import (
+    BruteForceDense,
+    HNSWLiteIndex,
+    IVFIndex,
+    retriever_from_state,
+)
+from repro.synth.clicklog import simulate_clicks
+from repro.synth.items import generate_items
+from repro.synth.lexicon import build_lexicon
+from repro.synth.world import World
+
+from conftest import SMOKE
+
+#: Corpus scale for the ANN section.  Full mode uses the 10k-item /
+#: 128-dim regime the acceptance gate names; smoke shrinks both so the
+#: HNSW build stays in CI seconds.
+_N_ITEMS = 5000 if SMOKE else 10000
+_DIM = 64 if SMOKE else 128
+_N_QUERIES = 100 if SMOKE else 200
+_N_CENTERS = 30 if SMOKE else 50
+_TOP_K = 50
+#: Interleaved timing rounds; each side keeps its best round.
+_ROUNDS = 3 if SMOKE else 5
+
+_MIN_RECALL = 0.8 if SMOKE else 0.9
+_MIN_SPEEDUP = 1.0 if SMOKE else 3.0
+
+#: Scaling section: catalog sizes for the scanned-fraction curve.
+_SCALING_SIZES = (500, 1000, 2000) if SMOKE else (2500, 5000, 10000)
+
+#: Hybrid section: synthetic matching-world scale.
+_N_CONCEPTS = 30 if SMOKE else 60
+_N_CATALOG = 90 if SMOKE else 200
+_RECALL_K = 30
+
+
+def _clustered(rng, n, dim):
+    """Vectors with cluster structure — the regime ANN indexes exist for."""
+    centers = rng.normal(size=(_N_CENTERS, dim))
+    labels = rng.integers(0, _N_CENTERS, size=n)
+    return (centers[labels] + rng.normal(scale=0.3, size=(n, dim))).astype(
+        np.float32
+    ), centers
+
+
+def _round_time(index, queries):
+    """Mean per-query seconds for one pass over the battery."""
+    start = time.perf_counter()
+    for query in queries:
+        index.retrieve(query, _TOP_K)
+    return (time.perf_counter() - start) / len(queries)
+
+
+def _interleaved_best(indexes, queries, rounds=_ROUNDS):
+    """Best per-query time per index, measured in interleaved rounds.
+
+    A full round touches every index before any index's second round, so
+    load drift (other tenants, thermal throttling) cannot systematically
+    favour whichever side happened to run last.
+    """
+    for index in indexes:
+        _round_time(index, queries)  # warm-up: caches, lazy allocations
+    best = [float("inf")] * len(indexes)
+    for _ in range(rounds):
+        for slot, index in enumerate(indexes):
+            best[slot] = min(best[slot], _round_time(index, queries))
+    return best
+
+
+def _recall_at_k(oracle_sets, index, queries):
+    overlap = 0.0
+    for exact, query in zip(oracle_sets, queries):
+        approx = {doc_id for doc_id, _ in index.retrieve(query, _TOP_K)}
+        overlap += len(exact & approx) / len(exact)
+    return overlap / len(queries)
+
+
+def test_ann_recall_latency(report):
+    rng = np.random.default_rng(7)
+    data, centers = _clustered(rng, _N_ITEMS, _DIM)
+    ids = [f"doc{i}" for i in range(_N_ITEMS)]
+    queries = (
+        centers[rng.integers(0, _N_CENTERS, size=_N_QUERIES)]
+        + rng.normal(scale=0.3, size=(_N_QUERIES, _DIM))
+    ).astype(np.float32)
+
+    brute = BruteForceDense().fit(ids, data)
+    fit_start = time.perf_counter()
+    ivf = IVFIndex(seed=0).fit(ids, data)
+    ivf_fit = time.perf_counter() - fit_start
+    fit_start = time.perf_counter()
+    hnsw = HNSWLiteIndex(seed=0).fit(ids, data)
+    hnsw_fit = time.perf_counter() - fit_start
+
+    # --- recall at default knobs, brute force as the oracle -------------
+    oracle_sets = [
+        {doc_id for doc_id, _ in brute.retrieve(query, _TOP_K)}
+        for query in queries
+    ]
+    recalls = {
+        "ivf": _recall_at_k(oracle_sets, ivf, queries),
+        "hnsw": _recall_at_k(oracle_sets, hnsw, queries),
+    }
+    for backend, recall in recalls.items():
+        assert recall >= _MIN_RECALL, (
+            f"{backend} recall@{_TOP_K} should be >={_MIN_RECALL} at default "
+            f"knobs, got {recall:.3f}"
+        )
+
+    # --- latency: the sublinear scan must actually be faster ------------
+    brute_s, ivf_s, hnsw_s = _interleaved_best([brute, ivf, hnsw], queries)
+    ann_s = min(ivf_s, hnsw_s)
+    speedup = brute_s / max(ann_s, 1e-12)
+    assert speedup >= _MIN_SPEEDUP, (
+        f"best ANN backend should answer >={_MIN_SPEEDUP}x faster than "
+        f"brute force at {_N_ITEMS} items, got {speedup:.2f}x "
+        f"(brute {brute_s * 1e6:.1f}us vs ann {ann_s * 1e6:.1f}us)"
+    )
+
+    # --- work accounting: both ANN backends scan a small fraction -------
+    scan = {
+        "brute": brute.stats().scan_fraction,
+        "ivf": ivf.stats().scan_fraction,
+        "hnsw": hnsw.stats().scan_fraction,
+    }
+    assert scan["brute"] == 1.0
+    assert scan["ivf"] < 0.5 and scan["hnsw"] < 0.5
+
+    # --- scaling: the scanned fraction shrinks as the catalog grows -----
+    scaling_rows = []
+    fractions = []
+    for size in _SCALING_SIZES:
+        sub_ivf = IVFIndex(seed=0).fit(ids[:size], data[:size])
+        sub_brute = BruteForceDense().fit(ids[:size], data[:size])
+        sub_brute_s, sub_ivf_s = _interleaved_best(
+            [sub_brute, sub_ivf], queries, rounds=2
+        )
+        fraction = sub_ivf.stats().scan_fraction
+        fractions.append(fraction)
+        scaling_rows.append(
+            f"  {size:>6} items: scan {fraction:>6.1%}  "
+            f"brute {sub_brute_s * 1e6:>7.1f}us  ivf {sub_ivf_s * 1e6:>7.1f}us  "
+            f"({sub_brute_s / max(sub_ivf_s, 1e-12):.2f}x)"
+        )
+    assert fractions == sorted(fractions, reverse=True), (
+        f"IVF scanned fraction should shrink with catalog size "
+        f"(sublinear shape), got {fractions}"
+    )
+
+    # --- warm start: snapshot state answers bit-identically -------------
+    battery = queries[:25]
+    for index in (brute, ivf, hnsw):
+        state = json.loads(json.dumps(index.to_state()))
+        warm = retriever_from_state(state)
+        for query in battery:
+            assert warm.retrieve(query, _TOP_K) == index.retrieve(
+                query, _TOP_K
+            ), f"{index.backend} warm start diverged from its fresh fit"
+    # A *second* fresh fit must land on the same results too — fit is
+    # deterministic under the seed, so snapshots never pin stale rankings.
+    refit = IVFIndex(seed=0).fit(ids, data)
+    for query in battery:
+        assert refit.retrieve(query, _TOP_K) == ivf.retrieve(query, _TOP_K)
+
+    report(
+        "\n".join(
+            [
+                f"ANN retrieval at {_N_ITEMS} items x {_DIM} dims "
+                f"({_N_QUERIES} queries, top-{_TOP_K}, best of {_ROUNDS} "
+                f"interleaved rounds)",
+                f"  {'backend':<10} {'recall':>7} {'us/query':>9} "
+                f"{'vs brute':>9} {'scanned':>8} {'fit':>7}",
+                f"  {'brute':<10} {'1.000':>7} {brute_s * 1e6:>9.1f} "
+                f"{'1.00x':>9} {scan['brute']:>8.1%} {'-':>7}",
+                f"  {'ivf':<10} {recalls['ivf']:>7.3f} {ivf_s * 1e6:>9.1f} "
+                f"{brute_s / max(ivf_s, 1e-12):>8.2f}x {scan['ivf']:>8.1%} "
+                f"{ivf_fit:>6.1f}s",
+                f"  {'hnsw':<10} {recalls['hnsw']:>7.3f} {hnsw_s * 1e6:>9.1f} "
+                f"{brute_s / max(hnsw_s, 1e-12):>8.2f}x {scan['hnsw']:>8.1%} "
+                f"{hnsw_fit:>6.1f}s",
+                "  (hnsw walks its graph in pure python, so its wall-clock "
+                "trails BLAS scans; its scanned fraction is the story)",
+                "",
+                "IVF scaling (scanned fraction must shrink with size):",
+                *scaling_rows,
+                "",
+                f"warm start: brute/ivf/hnsw snapshot states bit-identical "
+                f"to fresh fits over {len(battery)} queries",
+            ]
+        )
+    )
+
+
+def test_hybrid_recall_lift(report):
+    """RRF fusion must not lose candidate recall against BM25 alone."""
+    rng = np.random.default_rng(9)
+    lexicon = build_lexicon(seed=9)
+    world = World(lexicon, seed=9)
+    concepts = world.sample_good_concepts(rng, _N_CONCEPTS)
+    items = generate_items(world, _N_CATALOG)
+    clicks = simulate_clicks(world, concepts, items, impressions_per_concept=8)
+    dataset = build_matching_dataset(
+        world, concepts, items, clicks, rng, test_concepts=10
+    )
+    matcher = DSSMMatcher(matching_vocab(dataset.train), dim=8, hidden=8, seed=0)
+    train_matcher(matcher, dataset.train, epochs=2, lr=0.05, seed=0)
+
+    generators = {
+        "bm25": CandidateGenerator("bm25").fit(items),
+        "dense/ivf": CandidateGenerator(
+            "dense", matcher=matcher, dense_backend="ivf"
+        ).fit(items),
+        "hybrid/ivf": CandidateGenerator(
+            "hybrid", matcher=matcher, dense_backend="ivf"
+        ).fit(items),
+    }
+    recalls = {
+        name: retrieval_recall(generator, dataset, k=_RECALL_K)
+        for name, generator in generators.items()
+    }
+    assert recalls["hybrid/ivf"] >= recalls["bm25"], (
+        f"hybrid RRF retrieval_recall should be >= BM25-only, got "
+        f"{recalls['hybrid/ivf']:.3f} vs {recalls['bm25']:.3f}"
+    )
+    # Fusion must actually carry the dense arm's recall through, not just
+    # tie a weak baseline: much of the click oracle is lexically disjoint
+    # from titles (semantic drift), so a large share of the reachable
+    # candidate recall lives in the dense arm.
+    assert recalls["hybrid/ivf"] >= 0.5 * recalls["dense/ivf"], (
+        f"RRF fusion lost the dense arm's recall: hybrid "
+        f"{recalls['hybrid/ivf']:.3f} vs dense {recalls['dense/ivf']:.3f}"
+    )
+
+    lines = [
+        f"First-stage candidate recall@{_RECALL_K} on the synthetic "
+        f"matching dataset ({_N_CONCEPTS} concepts, {_N_CATALOG} items, "
+        f"10 test concepts)",
+    ]
+    for name, recall in recalls.items():
+        scanned = generators[name].stats().scan_fraction
+        lines.append(
+            f"  {name:<12} recall {recall:.3f}  "
+            f"(scanned {scanned:.1%} of catalog per query)"
+        )
+    lines.append(
+        "  Many clicked items share no content words with their concept "
+        "(semantic drift, BM25's blind spot); the dense arm recovers "
+        "them, and RRF folds both arms' hits into one list without "
+        "giving up the lexical pins."
+    )
+    report("\n".join(lines))

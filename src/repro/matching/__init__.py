@@ -12,12 +12,19 @@ from .dssm import DSSMMatcher
 from .match_pyramid import MatchPyramidMatcher
 from .re2 import RE2Matcher
 from .knowledge_model import KnowledgeMatcher
-from .retrieval import BM25CandidateGenerator, retrieval_recall
+from .retrieval import (
+    BM25CandidateGenerator,
+    CandidateGenerator,
+    RETRIEVER_MODES,
+    require_dense_capable,
+    retrieval_recall,
+)
 from .trainer import evaluate_matcher, train_matcher
 
 __all__ = [
     "MatchingDataset", "MatchingExample", "build_matching_dataset",
     "BM25Index", "BM25Matcher", "DSSMMatcher", "MatchPyramidMatcher",
     "RE2Matcher", "KnowledgeMatcher", "BM25CandidateGenerator",
+    "CandidateGenerator", "RETRIEVER_MODES", "require_dense_capable",
     "retrieval_recall", "evaluate_matcher", "train_matcher",
 ]

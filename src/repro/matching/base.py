@@ -42,6 +42,13 @@ class NeuralMatcher(Module):
     #: whether doc-side encodings are worth caching.
     fast_path = False
 
+    #: Whether this matcher exposes flat dense vectors
+    #: (:meth:`query_vector`/:meth:`doc_vector`) usable as retrieval
+    #: embeddings.  Interaction-heavy matchers score pairs jointly and
+    #: have no meaningful single-side vector; dense and hybrid candidate
+    #: generation (:mod:`repro.retrieval`) is gated on this flag.
+    dense_vectors = False
+
     def __init__(self, vocab: Vocab, dim: int, seed: int, name: str,
                  pretrained: np.ndarray | None = None):
         super().__init__()
@@ -128,6 +135,33 @@ class NeuralMatcher(Module):
                      doc_encodings: Sequence[Any]) -> np.ndarray:
         """Fast-path logits for one query state against encoded docs."""
         raise NotImplementedError
+
+    # ------------------------------------------------- dense retrieval side
+    def query_vector(self, query_tokens: Sequence[str]) -> np.ndarray | None:
+        """Query-side embedding for dense first-stage retrieval.
+
+        Vector-capable matchers (``dense_vectors = True``) return a flat
+        float vector in the same space as :meth:`doc_vector`, so an ANN
+        index over doc vectors ranks candidates by the matcher's own
+        similarity.  The base class returns ``None`` (no dense side).
+        """
+        return None
+
+    def doc_vector(self, doc_tokens: Sequence[str],
+                   encoding: Any = None) -> np.ndarray | None:
+        """Doc-side embedding for dense first-stage retrieval.
+
+        Args:
+            doc_tokens: The document's token sequence.
+            encoding: An optional :meth:`encode_doc` result for the same
+                tokens; vector-capable matchers extract the vector from it
+                instead of re-running the encoder (the serving layer feeds
+                its frozen-catalog doc-encoding cache through here when
+                building a dense index).
+
+        ``None`` when the matcher has no dense side.
+        """
+        return None
 
     def score_pool(self, query_tokens: Sequence[str],
                    doc_token_lists: Sequence[Sequence[str]],

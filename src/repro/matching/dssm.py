@@ -27,6 +27,7 @@ class DSSMMatcher(NeuralMatcher):
     """
 
     fast_path = True
+    dense_vectors = True
 
     def __init__(self, vocab: Vocab, dim: int = 16, hidden: int = 16,
                  seed: int = 0, pretrained: np.ndarray | None = None):
@@ -70,6 +71,16 @@ class DSSMMatcher(NeuralMatcher):
 
     def encode_doc(self, doc_tokens) -> tuple[np.ndarray, float]:
         return self._tower_array(doc_tokens, "title_tower")
+
+    def query_vector(self, query_tokens) -> np.ndarray:
+        """Query-tower embedding; cosine against :meth:`doc_vector` is the
+        similarity the matcher itself ranks by, so a cosine ANN index over
+        doc vectors is a faithful first stage for this model."""
+        return self.encode_query(query_tokens)[0]
+
+    def doc_vector(self, doc_tokens, encoding=None) -> np.ndarray:
+        state = encoding if encoding is not None else self.encode_doc(doc_tokens)
+        return state[0]
 
     def _pool_logits(self, query_state, doc_encodings) -> np.ndarray:
         query, query_norm = query_state

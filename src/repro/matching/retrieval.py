@@ -1,40 +1,98 @@
 """Retrieval-then-verify candidate generation for matching (Section 6).
 
 At Alibaba scale nobody scores every (concept, item) pair with a deep
-model: a cheap lexical retriever proposes top candidates per concept and
-only those reach the matcher.  This module provides that first stage on
-top of :class:`~repro.matching.bm25.BM25Index` plus the evaluation the
-paper's deployment story implies — candidate *recall*: the fraction of
-truly matching items that survive the retrieval cut (anything lost here
-is unrecoverable downstream, semantic drift being the failure mode BM25
-is expected to show).
+model: a cheap first-stage retriever proposes top candidates per concept
+and only those reach the matcher.  This module provides that first stage
+— historically BM25-only (:class:`BM25CandidateGenerator`), now a facade
+(:class:`CandidateGenerator`) over the pluggable backends of
+:mod:`repro.retrieval`:
+
+- ``"bm25"`` — the lexical inverted index (semantic drift is its known
+  failure mode: "mid-autumn festival gifts" never mentions moon cakes);
+- ``"dense"`` — an ANN index over a vector-capable matcher's doc
+  embeddings (:class:`~repro.retrieval.ivf.IVFIndex` and friends), which
+  bridges drift but can miss exact lexical pins;
+- ``"hybrid"`` — both arms fused with Reciprocal Rank Fusion
+  (:class:`~repro.retrieval.fusion.HybridRetriever`).
+
+The evaluation the paper's deployment story implies is candidate
+*recall* (:func:`retrieval_recall`): the fraction of truly matching
+items that survive the retrieval cut — anything lost here is
+unrecoverable downstream.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from ..errors import DataError
+from ..errors import ConfigError, DataError
+from ..retrieval import (
+    DEFAULT_RRF_K,
+    BM25Retriever,
+    HybridQuery,
+    HybridRetriever,
+    make_dense_index,
+)
 from ..synth.items import SynthItem
+from .base import NeuralMatcher
 from .bm25 import BM25Index
 from .dataset import MatchingDataset
 
+#: First-stage strategies accepted by :class:`CandidateGenerator`.
+RETRIEVER_MODES = ("bm25", "dense", "hybrid")
+
+
+def require_dense_capable(matcher, context: str) -> NeuralMatcher:
+    """The matcher, checked to expose dense retrieval vectors.
+
+    Raises:
+        ConfigError: When ``matcher`` is absent or does not declare
+            ``dense_vectors`` (interaction-style matchers have no flat
+            single-side embedding to index).
+    """
+    if matcher is None:
+        raise ConfigError(
+            f"{context} needs a vector-capable matcher to embed documents; "
+            "pass one (e.g. a trained DSSMMatcher)"
+        )
+    if not getattr(matcher, "dense_vectors", False):
+        raise ConfigError(
+            f"{context} needs a matcher with dense_vectors=True "
+            f"(query_vector/doc_vector); {type(matcher).__name__} scores "
+            "pairs jointly and has no single-side embedding"
+        )
+    return matcher
+
 
 class BM25CandidateGenerator:
-    """Top-k item candidate generation for a concept query.
+    """Top-k item candidate generation for a concept query (lexical only).
+
+    Kept as the zero-dependency baseline generator; the pluggable
+    :class:`CandidateGenerator` facade generalises it to dense and hybrid
+    first stages.
 
     Args:
         k1 / b: BM25 parameters, forwarded to the index.
     """
 
     def __init__(self, k1: float = 1.5, b: float = 0.75):
+        self._k1 = k1
+        self._b = b
         self._index = BM25Index(k1=k1, b=b)
         self._items: dict[int, SynthItem] = {}
 
     def fit(self, items: Sequence[SynthItem]) -> "BM25CandidateGenerator":
-        """Index a catalog by item title."""
+        """Index a catalog by item title.
+
+        Refitting replaces the previous catalog wholesale: both the item
+        map and the index are rebuilt from scratch first, so a smaller
+        refit can never serve candidates left over from a larger earlier
+        fit (and a failed refit cannot leave a half-updated generator).
+        """
         if not items:
             raise DataError("candidate generator needs at least one item")
+        self._items = {}
+        self._index = BM25Index(k1=self._k1, b=self._b)
         self._items = {item.index: item for item in items}
         self._index.fit({item.index: item.title_tokens
                          for item in self._items.values()})
@@ -47,14 +105,136 @@ class BM25CandidateGenerator:
                 for index, score in self._index.top_k(query_tokens, k)]
 
 
-def retrieval_recall(generator: BM25CandidateGenerator,
-                     dataset: MatchingDataset, k: int = 50) -> float:
-    """Candidate recall of the generator on the dataset's test split.
+class CandidateGenerator:
+    """First-stage item retrieval for a concept query, any backend.
+
+    The facade fits one of the :mod:`repro.retrieval` backends over a
+    catalog's titles and answers ``candidates(query_tokens, k)`` with the
+    same (item, score) shape as :class:`BM25CandidateGenerator` —
+    drop-in for :func:`retrieval_recall` and the serving pool builders.
+
+    Args:
+        retriever: ``"bm25"``, ``"dense"``, or ``"hybrid"``.
+        matcher: A vector-capable matcher (``dense_vectors = True``)
+            supplying ``doc_vector`` (fit time) and ``query_vector``
+            (query time).  Required for dense and hybrid modes.
+        dense_backend: :data:`~repro.retrieval.DENSE_BACKENDS` name for
+            the dense arm (``"bruteforce"``, ``"ivf"``, ``"hnsw"``).
+        rrf_k: Reciprocal Rank Fusion constant (hybrid mode).
+        weights: (dense, lexical) RRF arm weights (hybrid mode).
+        k1 / b: BM25 parameters for the lexical arm.
+        dense_kwargs: Extra constructor arguments for the dense backend
+            (e.g. ``nprobe`` for IVF, ``ef_search`` for HNSW).
+
+    Raises:
+        ConfigError: On an unknown mode, or a dense/hybrid mode without a
+            vector-capable matcher.
+    """
+
+    def __init__(
+        self,
+        retriever: str = "bm25",
+        *,
+        matcher: NeuralMatcher | None = None,
+        dense_backend: str = "bruteforce",
+        rrf_k: int = DEFAULT_RRF_K,
+        weights: Sequence[float] = (1.0, 1.0),
+        k1: float = 1.5,
+        b: float = 0.75,
+        **dense_kwargs,
+    ):
+        if retriever not in RETRIEVER_MODES:
+            expected = ", ".join(repr(mode) for mode in RETRIEVER_MODES)
+            raise ConfigError(
+                f"unknown retriever mode {retriever!r}; expected one of: {expected}"
+            )
+        self.retriever = retriever
+        self._matcher = None
+        if retriever == "bm25":
+            self._backend = BM25Retriever(k1=k1, b=b)
+        else:
+            self._matcher = require_dense_capable(
+                matcher, f"retriever mode {retriever!r}"
+            )
+            dense = make_dense_index(dense_backend, **dense_kwargs)
+            if retriever == "dense":
+                self._backend = dense
+            else:
+                self._backend = HybridRetriever(
+                    dense=dense,
+                    lexical=BM25Retriever(k1=k1, b=b),
+                    rrf_k=rrf_k,
+                    weights=weights,
+                )
+        self._items: dict[int, SynthItem] = {}
+
+    def fit(self, items: Sequence[SynthItem]) -> "CandidateGenerator":
+        """Index a catalog by item title (titles embedded for dense arms).
+
+        Like :meth:`BM25CandidateGenerator.fit`, a refit rebuilds from
+        scratch — stale items from a previous catalog cannot survive.
+        """
+        if not items:
+            raise DataError("candidate generator needs at least one item")
+        self._items = {item.index: item for item in items}
+        catalog = list(self._items.values())
+        ids = [item.index for item in catalog]
+        if self.retriever == "bm25":
+            self._backend.fit(ids, [item.title_tokens for item in catalog])
+        elif self.retriever == "dense":
+            self._backend.fit(
+                ids,
+                [self._matcher.doc_vector(item.title_tokens) for item in catalog],
+            )
+        else:
+            self._backend.fit(
+                ids,
+                [
+                    (self._matcher.doc_vector(item.title_tokens),
+                     item.title_tokens)
+                    for item in catalog
+                ],
+            )
+        return self
+
+    def candidates(self, query_tokens: Sequence[str],
+                   k: int = 50) -> list[tuple[SynthItem, float]]:
+        """The ``k`` best-matching (item, score) pairs, best first.
+
+        Scores are backend-native (BM25 mass, cosine, or fused RRF mass)
+        — comparable within one generator, not across modes.
+        """
+        if self.retriever == "bm25":
+            ranked = self._backend.retrieve(query_tokens, k)
+        elif self.retriever == "dense":
+            ranked = self._backend.retrieve(
+                self._matcher.query_vector(query_tokens), k
+            )
+        else:
+            ranked = self._backend.retrieve(
+                HybridQuery(
+                    tokens=tuple(query_tokens),
+                    vector=self._matcher.query_vector(query_tokens),
+                ),
+                k,
+            )
+        return [(self._items[index], score) for index, score in ranked]
+
+    def stats(self):
+        """The backend's work counters (:class:`~repro.retrieval.RetrieverStats`)."""
+        return self._backend.stats()
+
+
+def retrieval_recall(generator, dataset: MatchingDataset, k: int = 50) -> float:
+    """Candidate recall of a generator on the dataset's test split.
 
     For each test concept, retrieve ``k`` candidate items and measure the
     fraction of oracle-positive items recovered; returns the mean over
     concepts.  This is the ceiling any downstream matcher can reach in a
-    retrieval-then-verify pipeline.
+    retrieval-then-verify pipeline.  ``generator`` is anything with a
+    ``candidates(query_tokens, k)`` method — both generator classes here
+    and any future facade mode qualify, which is how the benchmark
+    compares BM25, dense, and hybrid first stages on equal footing.
     """
     if not dataset.test_by_concept:
         raise DataError("dataset has no per-concept test pools")

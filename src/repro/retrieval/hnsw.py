@@ -1,0 +1,313 @@
+"""HNSW-lite: a layered small-world graph for ANN, numpy + heapq only.
+
+A faithful-but-small reading of Hierarchical Navigable Small Worlds:
+every point draws a geometric level (seeded RNG, so the build is
+deterministic), upper layers form coarse express lanes searched greedily,
+and layer 0 holds the full collection searched with a best-first beam of
+width ``ef``.  Per-query work is O(ef·M·d)-ish regardless of collection
+size — the graph hop count grows logarithmically, not linearly.
+
+Neighbour expansion is vectorised (one matmul per visited node's
+adjacency list), but the beam itself is a python loop: at small
+collections the numpy brute-force matmul wins on constant factors, and
+:class:`IVFIndex` is the latency backend of choice.  HNSW earns its keep
+on recall-per-scored-candidate (see ``stats().scan_fraction``) and as the
+second, structurally different ANN implementation keeping the recall
+oracle honest.
+
+All ties (heap order, neighbour pruning, final ranking) break by fit
+position, so fits and snapshot warm starts retrieve bit-identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import DataError
+from ..utils.rng import spawn_rng
+from .base import BaseRetriever, RetrieverStats, check_state_backend
+from .dense import (
+    METRICS,
+    matrix_from_state,
+    matrix_to_state,
+    pack_vectors,
+    prepare_query,
+)
+
+#: Hard cap on sampled levels; beyond this a layer holds ~n/M^32 points.
+_MAX_LEVEL = 32
+
+
+class HNSWLiteIndex(BaseRetriever):
+    """Layered greedy-search small-world graph.
+
+    Args:
+        m: Neighbours kept per node on upper layers (2m on layer 0).
+        ef_construction: Beam width while building.
+        ef_search: Beam width while querying (the recall/latency knob;
+            raised to ``top_k`` when a query asks for more).
+        seed: Determinism root for level sampling.
+        metric: ``"cosine"`` or ``"ip"``.
+    """
+
+    backend = "hnsw"
+
+    def __init__(
+        self,
+        m: int = 24,
+        ef_construction: int = 100,
+        ef_search: int = 96,
+        seed: int = 0,
+        metric: str = "cosine",
+    ):
+        if metric not in METRICS:
+            raise DataError(f"unknown metric {metric!r}; expected one of {METRICS}")
+        if m <= 0:
+            raise DataError(f"m must be positive, got {m}")
+        if ef_construction <= 0 or ef_search <= 0:
+            raise DataError("ef_construction and ef_search must be positive")
+        self.m = m
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        self.seed = seed
+        self.metric = metric
+        self._ids: list = []
+        self._matrix = np.empty((0, 0), dtype=np.float32)
+        self._levels = np.empty(0, dtype=np.intp)
+        # _neighbors[layer][position] -> list of neighbour positions.
+        self._neighbors: list[list[list[int]]] = []
+        self._entry = -1
+        self._max_level = -1
+        self._queries = 0
+        self._scored = 0
+        self._fitted = False
+
+    # ------------------------------------------------------------------ build
+    def fit(self, ids: Sequence, data: Sequence) -> "HNSWLiteIndex":
+        """Insert points in fit order under pre-drawn deterministic levels."""
+        if len(ids) != len(data):
+            raise DataError(f"{len(ids)} ids for {len(data)} vectors")
+        self._matrix = pack_vectors(data, self.metric)
+        self._ids = list(ids)
+        n = self._matrix.shape[0]
+        rng = spawn_rng(self.seed, "retrieval", "hnsw-levels")
+        multiplier = 1.0 / np.log(max(self.m, 2))
+        draws = rng.random(n)
+        self._levels = np.minimum(
+            np.floor(-np.log(np.where(draws == 0.0, 1e-12, draws)) * multiplier),
+            _MAX_LEVEL,
+        ).astype(np.intp)
+        self._neighbors = []
+        self._entry = -1
+        self._max_level = -1
+        for position in range(n):
+            self._insert(position)
+        self._queries = 0
+        self._scored = 0
+        self._fitted = True
+        return self
+
+    def _insert(self, position: int) -> None:
+        level = int(self._levels[position])
+        while len(self._neighbors) <= level:
+            self._neighbors.append([[] for _ in range(self._matrix.shape[0])])
+        if self._entry < 0:
+            self._entry = position
+            self._max_level = level
+            return
+        vector = self._matrix[position]
+        cursor = self._entry
+        for layer in range(self._max_level, level, -1):
+            cursor = self._greedy_closest(vector, cursor, layer, count=False)
+        entries = [cursor]
+        for layer in range(min(level, self._max_level), -1, -1):
+            found = self._search_layer(
+                vector, entries, self.ef_construction, layer, count=False
+            )
+            ranked = sorted(found, key=lambda pair: (-pair[0], pair[1]))
+            cap = self.m * 2 if layer == 0 else self.m
+            chosen = [other for _, other in ranked[: self.m]]
+            self._neighbors[layer][position] = list(chosen)
+            for other in chosen:
+                links = self._neighbors[layer][other]
+                links.append(position)
+                if len(links) > cap:
+                    self._neighbors[layer][other] = self._prune(other, links, cap)
+            entries = [other for _, other in ranked]
+        if level > self._max_level:
+            self._entry = position
+            self._max_level = level
+
+    def _prune(self, position: int, links: list[int], cap: int) -> list[int]:
+        """Keep the ``cap`` links closest to ``position`` (ties: fit order)."""
+        candidates = np.asarray(sorted(set(links)), dtype=np.intp)
+        similarities = self._matrix[candidates] @ self._matrix[position]
+        order = np.lexsort((candidates, -similarities))
+        return [int(candidates[i]) for i in order[:cap]]
+
+    # ----------------------------------------------------------------- search
+    def _greedy_closest(
+        self, vector: np.ndarray, start: int, layer: int, count: bool = True
+    ) -> int:
+        """Hill-climb one layer to the locally closest node."""
+        best = start
+        best_sim = float(self._matrix[best] @ vector)
+        improved = True
+        while improved:
+            improved = False
+            neighbors = self._neighbors[layer][best]
+            if not neighbors:
+                break
+            block = np.asarray(neighbors, dtype=np.intp)
+            sims = self._matrix[block] @ vector
+            if count:
+                self._scored += block.size
+            top = int(np.lexsort((block, -sims))[0])
+            if sims[top] > best_sim:
+                best = int(block[top])
+                best_sim = float(sims[top])
+                improved = True
+        return best
+
+    def _search_layer(
+        self,
+        vector: np.ndarray,
+        entries: Sequence[int],
+        ef: int,
+        layer: int,
+        count: bool = True,
+    ) -> list[tuple[float, int]]:
+        """Best-first beam over one layer: up to ``ef`` (sim, position) pairs.
+
+        Neighbour similarities are computed one adjacency list at a time
+        (a single matmul per expanded node); heap entries are
+        (±sim, position) tuples so equal similarities pop in fit order.
+        """
+        visited = set(entries)
+        sims = self._matrix[np.asarray(list(entries), dtype=np.intp)] @ vector
+        if count:
+            self._scored += len(entries)
+        candidates = [(-float(s), p) for s, p in zip(sims, entries)]
+        results = [(float(s), p) for s, p in zip(sims, entries)]
+        heapq.heapify(candidates)
+        heapq.heapify(results)
+        while len(results) > ef:
+            heapq.heappop(results)
+        while candidates:
+            negative, position = heapq.heappop(candidates)
+            if len(results) >= ef and -negative < results[0][0]:
+                break
+            fresh = [
+                other
+                for other in self._neighbors[layer][position]
+                if other not in visited
+            ]
+            if not fresh:
+                continue
+            visited.update(fresh)
+            block = np.asarray(fresh, dtype=np.intp)
+            sims = self._matrix[block] @ vector
+            if count:
+                self._scored += block.size
+            floor = results[0][0] if len(results) >= ef else -np.inf
+            for similarity, other in zip(sims, fresh):
+                similarity = float(similarity)
+                if len(results) < ef or similarity > floor:
+                    heapq.heappush(candidates, (-similarity, other))
+                    heapq.heappush(results, (similarity, other))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    floor = results[0][0] if len(results) >= ef else -np.inf
+        return results
+
+    def retrieve(self, query: Any, top_k: int = 10) -> list[tuple[Any, float]]:
+        """Greedy descent through upper layers, beam search on layer 0."""
+        self._require_fitted(self._fitted)
+        vector = prepare_query(query, self._matrix.shape[1], self.metric)
+        self._queries += 1
+        cursor = self._entry
+        for layer in range(self._max_level, 0, -1):
+            cursor = self._greedy_closest(vector, cursor, layer)
+        found = self._search_layer(
+            vector, [cursor], max(self.ef_search, top_k), 0
+        )
+        ranked = sorted(found, key=lambda pair: (-pair[0], pair[1]))[:top_k]
+        return [(self._ids[position], similarity) for similarity, position in ranked]
+
+    # ------------------------------------------------------------------ state
+    def stats(self) -> RetrieverStats:
+        edges = sum(
+            len(links) for layer in self._neighbors for links in layer
+        )
+        return RetrieverStats(
+            backend=self.backend,
+            size=len(self._ids),
+            dim=int(self._matrix.shape[1]) if self._fitted else 0,
+            queries=self._queries,
+            candidates_scored=self._scored,
+            extra={
+                "metric": self.metric,
+                "m": self.m,
+                "ef_search": self.ef_search,
+                "layers": len(self._neighbors),
+                "edges": edges,
+            },
+        )
+
+    def to_state(self) -> dict[str, Any]:
+        """The whole fitted graph; warm starts skip every insertion."""
+        self._require_fitted(self._fitted)
+        return {
+            "backend": self.backend,
+            "metric": self.metric,
+            "m": self.m,
+            "ef_search": self.ef_search,
+            "ids": list(self._ids),
+            "matrix": matrix_to_state(self._matrix),
+            "levels": [int(level) for level in self._levels],
+            "entry": int(self._entry),
+            "neighbors": [
+                [[int(other) for other in links] for links in layer]
+                for layer in self._neighbors
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "HNSWLiteIndex":
+        """Rehydrate a fitted graph, bit-identical to the fresh fit.
+
+        Raises:
+            DataError: On a wrong backend tag or malformed fields.
+        """
+        check_state_backend(state, cls.backend)
+        try:
+            index = cls(
+                m=int(state["m"]),
+                ef_search=int(state["ef_search"]),
+                metric=str(state["metric"]),
+            )
+            index._ids = list(state["ids"])
+            index._matrix = matrix_from_state(state["matrix"])
+            index._levels = np.asarray(
+                [int(level) for level in state["levels"]], dtype=np.intp
+            )
+            index._entry = int(state["entry"])
+            index._neighbors = [
+                [[int(other) for other in links] for links in layer]
+                for layer in state["neighbors"]
+            ]
+        except (KeyError, TypeError, ValueError) as error:
+            raise DataError(f"malformed HNSW index state: {error}") from error
+        n = len(index._ids)
+        if index._matrix.shape[0] != n or index._levels.shape[0] != n:
+            raise DataError("HNSW state ids, matrix and levels disagree")
+        if not index._neighbors or any(len(layer) != n for layer in index._neighbors):
+            raise DataError("HNSW state adjacency does not cover the collection")
+        if not 0 <= index._entry < n:
+            raise DataError(f"HNSW state entry point {index._entry} out of range")
+        index._max_level = len(index._neighbors) - 1
+        index._fitted = True
+        return index

@@ -1,0 +1,253 @@
+"""IVF: inverted-file ANN with a k-means coarse quantizer, numpy-only.
+
+The classic sublinear trade: partition the collection into ``n_lists``
+Voronoi cells at fit time (spherical k-means over the packed float32
+matrix), then answer a query by scoring only the ``nprobe`` cells whose
+centroids it is closest to.  Per-query work drops from O(n·d) to
+O(n_lists·d + nprobe·(n/n_lists)·d) — at 10k items with the default
+sqrt-n lists this scores ~1/12th of the collection, which is where the
+benchmark's ≥3x latency win over :class:`~repro.retrieval.dense.BruteForceDense`
+comes from, at recall@50 ≥ 0.9.
+
+Everything is deterministic under the constructor seed: k-means
+initialisation draws from :func:`repro.utils.rng.spawn_rng`, empty
+clusters are re-seeded by a fixed rule (the globally worst-assigned
+point), and ties everywhere break by fit position.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import DataError
+from ..utils.rng import spawn_rng
+from .base import BaseRetriever, RetrieverStats, check_state_backend
+from .dense import (
+    METRICS,
+    matrix_from_state,
+    matrix_to_state,
+    normalize_rows,
+    pack_vectors,
+    prepare_query,
+    top_k_positions,
+)
+
+
+def _kmeans(
+    matrix: np.ndarray, n_lists: int, iterations: int, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Spherical k-means: (centroids, assignments), deterministic.
+
+    Rows of ``matrix`` are assumed normalised (cosine) or raw (ip); either
+    way assignment maximises the inner product, and centroids are
+    re-normalised means — the spherical variant, which matches retrieval's
+    inner-product scoring.
+    """
+    n = matrix.shape[0]
+    rng = spawn_rng(seed, "retrieval", "ivf-kmeans")
+    start = rng.choice(n, size=n_lists, replace=False)
+    centroids = matrix[np.sort(start)].copy()
+    assignments = np.zeros(n, dtype=np.intp)
+    for _ in range(iterations):
+        similarities = matrix @ centroids.T
+        assignments = np.argmax(similarities, axis=1)
+        best = similarities[np.arange(n), assignments]
+        for cell in range(n_lists):
+            members = assignments == cell
+            if not np.any(members):
+                # Deterministic re-seed: steal the point the quantizer
+                # currently represents worst (lowest best-similarity),
+                # earliest position on ties.
+                worst = int(np.argmin(best))
+                centroids[cell] = matrix[worst]
+                assignments[worst] = cell
+                best[worst] = np.inf
+                continue
+            centroids[cell] = matrix[members].mean(axis=0)
+        centroids = normalize_rows(centroids)
+    similarities = matrix @ centroids.T
+    assignments = np.argmax(similarities, axis=1)
+    return centroids, assignments
+
+
+class IVFIndex(BaseRetriever):
+    """k-means coarse quantizer + per-cell packed sub-matrices.
+
+    Args:
+        n_lists: Voronoi cells; default ``round(sqrt(n))`` at fit time.
+        nprobe: Cells scored per query (the recall/latency knob).
+        iterations: k-means refinement passes.
+        seed: Determinism root for the quantizer.
+        metric: ``"cosine"`` or ``"ip"``.
+    """
+
+    backend = "ivf"
+
+    def __init__(
+        self,
+        n_lists: int | None = None,
+        nprobe: int = 6,
+        iterations: int = 10,
+        seed: int = 0,
+        metric: str = "cosine",
+    ):
+        if metric not in METRICS:
+            raise DataError(f"unknown metric {metric!r}; expected one of {METRICS}")
+        if n_lists is not None and n_lists <= 0:
+            raise DataError(f"n_lists must be positive, got {n_lists}")
+        if nprobe <= 0:
+            raise DataError(f"nprobe must be positive, got {nprobe}")
+        self.n_lists = n_lists
+        self.nprobe = nprobe
+        self.iterations = iterations
+        self.seed = seed
+        self.metric = metric
+        self._ids: list = []
+        self._matrix = np.empty((0, 0), dtype=np.float32)
+        self._centroids = np.empty((0, 0), dtype=np.float32)
+        self._members: list[np.ndarray] = []
+        self._cells: list[np.ndarray] = []
+        self._queries = 0
+        self._scored = 0
+        self._fitted = False
+
+    def fit(self, ids: Sequence, data: Sequence) -> "IVFIndex":
+        """Pack, quantize, and bucket an id-aligned vector collection."""
+        if len(ids) != len(data):
+            raise DataError(f"{len(ids)} ids for {len(data)} vectors")
+        self._matrix = pack_vectors(data, self.metric)
+        self._ids = list(ids)
+        n = self._matrix.shape[0]
+        n_lists = self.n_lists or max(1, round(math.sqrt(n)))
+        n_lists = min(n_lists, n)
+        self._centroids, assignments = _kmeans(
+            self._matrix, n_lists, self.iterations, self.seed
+        )
+        self._bucket(assignments, n_lists)
+        self._queries = 0
+        self._scored = 0
+        self._fitted = True
+        return self
+
+    def _bucket(self, assignments: np.ndarray, n_lists: int) -> None:
+        """Per-cell member positions + contiguous sub-matrices (scan units)."""
+        self._members = [
+            np.flatnonzero(assignments == cell) for cell in range(n_lists)
+        ]
+        self._cells = [
+            np.ascontiguousarray(self._matrix[members]) for members in self._members
+        ]
+
+    def retrieve(self, query: Any, top_k: int = 10) -> list[tuple[Any, float]]:
+        """Score the ``nprobe`` closest cells only."""
+        self._require_fitted(self._fitted)
+        vector = prepare_query(query, self._matrix.shape[1], self.metric)
+        centroid_scores = self._centroids @ vector
+        n_lists = centroid_scores.shape[0]
+        nprobe = self.nprobe
+        self._queries += 1
+        if nprobe < n_lists:
+            # Results are selected over the *union* of probed cells, so
+            # probe order is irrelevant and a raw argpartition suffices —
+            # deterministic for identical centroid scores, which fresh
+            # fits and warm starts share bit-for-bit.
+            probe = np.argpartition(-centroid_scores, nprobe - 1)[:nprobe].tolist()
+        else:
+            probe = range(n_lists)
+        # Segment-wise writes into per-query buffers (thread-safe: no
+        # shared scratch) instead of concatenating nprobe arrays — the
+        # dominant python-side cost at small nprobe.
+        all_members = self._members
+        cells = self._cells
+        total = sum(all_members[cell].size for cell in probe)
+        if not total:
+            return []
+        scores = np.empty(total, dtype=np.float32)
+        positions = np.empty(total, dtype=np.intp)
+        offset = 0
+        for cell in probe:
+            members = all_members[cell]
+            if not members.size:
+                continue
+            stop = offset + members.size
+            np.dot(cells[cell], vector, out=scores[offset:stop])
+            positions[offset:stop] = members
+            offset = stop
+        self._scored += total
+        best = top_k_positions(scores, positions, top_k)
+        ids = self._ids
+        return list(
+            zip(map(ids.__getitem__, positions[best].tolist()), scores[best].tolist())
+        )
+
+    def stats(self) -> RetrieverStats:
+        sizes = [members.size for members in self._members]
+        return RetrieverStats(
+            backend=self.backend,
+            size=len(self._ids),
+            dim=int(self._matrix.shape[1]) if self._fitted else 0,
+            queries=self._queries,
+            candidates_scored=self._scored,
+            extra={
+                "metric": self.metric,
+                "n_lists": len(self._members),
+                "nprobe": self.nprobe,
+                "mean_list_size": (sum(sizes) / len(sizes)) if sizes else 0.0,
+            },
+        )
+
+    def to_state(self) -> dict[str, Any]:
+        """Centroids + assignments + vectors: the whole fitted quantizer.
+
+        Warm starts rebuild the per-cell sub-matrices from the recorded
+        assignments — no k-means re-run, bit-identical retrieval.
+        """
+        self._require_fitted(self._fitted)
+        assignments = np.empty(len(self._ids), dtype=np.intp)
+        for cell, members in enumerate(self._members):
+            assignments[members] = cell
+        return {
+            "backend": self.backend,
+            "metric": self.metric,
+            "nprobe": self.nprobe,
+            "ids": list(self._ids),
+            "matrix": matrix_to_state(self._matrix),
+            "centroids": matrix_to_state(self._centroids),
+            "assignments": [int(cell) for cell in assignments],
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "IVFIndex":
+        """Rehydrate a fitted IVF index, skipping the k-means build.
+
+        Raises:
+            DataError: On a wrong backend tag or malformed fields.
+        """
+        check_state_backend(state, cls.backend)
+        try:
+            index = cls(nprobe=int(state["nprobe"]), metric=str(state["metric"]))
+            index._ids = list(state["ids"])
+            index._matrix = matrix_from_state(state["matrix"])
+            index._centroids = matrix_from_state(state["centroids"])
+            assignments = np.asarray(
+                [int(cell) for cell in state["assignments"]], dtype=np.intp
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise DataError(f"malformed IVF index state: {error}") from error
+        n_lists = index._centroids.shape[0]
+        if len(index._ids) != index._matrix.shape[0]:
+            raise DataError(
+                f"IVF state has {len(index._ids)} ids for "
+                f"{index._matrix.shape[0]} rows"
+            )
+        if assignments.shape[0] != len(index._ids) or (
+            assignments.size and (assignments.min() < 0 or assignments.max() >= n_lists)
+        ):
+            raise DataError("IVF state assignments disagree with its centroids")
+        index.n_lists = n_lists
+        index._bucket(assignments, n_lists)
+        index._fitted = True
+        return index

@@ -37,6 +37,8 @@ from .service import (
     AliCoCoService,
     BatchResult,
     CONCEPT_INDEX,
+    DENSE_CONCEPT_INDEX,
+    DENSE_ITEM_INDEX,
     RERANKER_MODEL,
     TAGGER_MODEL,
     fit_concept_index,
@@ -49,6 +51,8 @@ __all__ = [
     "BatchResult",
     "ServiceConfig",
     "CONCEPT_INDEX",
+    "DENSE_CONCEPT_INDEX",
+    "DENSE_ITEM_INDEX",
     "TAGGER_MODEL",
     "RERANKER_MODEL",
     "TAGGER_KIND",

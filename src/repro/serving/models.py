@@ -168,6 +168,30 @@ def rerank_pool(
                             doc_encodings=doc_encodings)
 
 
+def dense_query_vector(model: Module, query_tokens: Sequence[str]):
+    """Query-side retrieval embedding from a served vector-capable matcher.
+
+    The dense first stage's query entry point: the vector lives in the
+    same space as :func:`dense_doc_vector`, so an ANN index over doc
+    vectors ranks candidates by the served matcher's own similarity.
+    """
+    ensure_inference_mode(model, "reranker")
+    return model.query_vector(query_tokens)
+
+
+def dense_doc_vector(model: Module, doc_tokens: Sequence[str],
+                     encoding: Any = None):
+    """Doc-side retrieval embedding, optionally from a cached encoding.
+
+    ``encoding`` accepts an ``encode_doc`` result for the same tokens —
+    the service feeds its frozen-catalog doc-encoding cache through here
+    when building a dense index, so index construction re-encodes nothing
+    the cache already holds.
+    """
+    ensure_inference_mode(model, "reranker")
+    return model.doc_vector(doc_tokens, encoding=encoding)
+
+
 # ------------------------------------------------------------- model bundles
 def model_bundle_state(module: Module, kind: str) -> dict[str, Any]:
     """A snapshot-embeddable record of a served model's trained weights.

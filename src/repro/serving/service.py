@@ -79,6 +79,19 @@ whole catalog up front.  ``ServiceConfig(use_fast_path=False)`` restores
 the scalar per-candidate path, kept as the parity oracle: identical
 rankings, scores within 1e-9 of the fast path (empirically
 bit-identical).
+
+**Pluggable first stage.**  The reranked endpoints' candidate pools come
+from a configurable retriever (``ServiceConfig(retriever=...)``):
+``"bm25"`` keeps the historical cheap stage (lexical index for concepts,
+graph association weights for items); ``"dense"`` swaps in an ANN index
+(:data:`~repro.retrieval.DENSE_BACKENDS`) over the served matcher's own
+embeddings, built at construction time through the doc-encoding cache;
+``"hybrid"`` runs both arms and fuses their *rankings* with Reciprocal
+Rank Fusion (:func:`~repro.retrieval.rrf_fuse`) — lexical arms pin exact
+term matches, the dense arm bridges semantic drift.  Dense indexes are
+frozen with the store, persist inside snapshots
+(:data:`DENSE_CONCEPT_INDEX` / :data:`DENSE_ITEM_INDEX`), and
+warm-start bit-identically to a fresh fit.
 """
 
 from __future__ import annotations
@@ -98,11 +111,22 @@ from ..kg.relations import RelationKind
 from ..kg.serialize import load_snapshot, save_snapshot
 from ..kg.store import AliCoCoStore
 from ..matching.bm25 import BM25Index
+from ..matching.retrieval import RETRIEVER_MODES, require_dense_capable
 from ..ml.module import Module
+from ..retrieval import (
+    DEFAULT_RRF_K,
+    DENSE_BACKENDS,
+    BaseRetriever,
+    dense_index_from_state,
+    make_dense_index,
+    rrf_fuse,
+)
 from .cache import LRUCache
 from .models import (
     RERANKER_KIND,
     TAGGER_KIND,
+    dense_doc_vector,
+    dense_query_vector,
     model_bundle_state,
     prepare_serving_module,
     rerank_pool,
@@ -114,6 +138,12 @@ from .stats import EndpointMetrics, ServiceStats
 
 #: Name under which the concept search index is stored in snapshots.
 CONCEPT_INDEX = "bm25-concepts"
+
+#: Snapshot index-state name of the dense concept index (search side).
+DENSE_CONCEPT_INDEX = "dense-concepts"
+
+#: Snapshot index-state name of the dense item index (matching side).
+DENSE_ITEM_INDEX = "dense-items"
 
 #: Snapshot bundle name of the served concept tagger.
 TAGGER_MODEL = "concept-tagger"
@@ -191,6 +221,20 @@ class ServiceConfig:
             across queries).
         prewarm_doc_cache: Encode the store's whole catalog into the doc
             cache at construction time instead of lazily on first use.
+        retriever: First-stage strategy for the reranked endpoints.
+            ``"bm25"`` (default) keeps the historical cheap stage — BM25
+            concept candidates for ``search_reranked``, graph association
+            ranking for ``items_for_concept_reranked``.  ``"dense"``
+            replaces it with an ANN index over the served matcher's
+            embeddings; ``"hybrid"`` fuses both arms with Reciprocal Rank
+            Fusion.  Dense and hybrid modes need a vector-capable
+            reranker (``dense_vectors = True``, e.g. DSSM) — construction
+            raises :class:`~repro.errors.ConfigError` otherwise.
+        dense_backend: Dense index implementation
+            (:data:`~repro.retrieval.DENSE_BACKENDS` name):
+            ``"bruteforce"``, ``"ivf"``, or ``"hnsw"``.
+        rrf_k: Reciprocal Rank Fusion constant (hybrid mode).
+        hybrid_weights: (dense arm, lexical/graph arm) RRF multipliers.
     """
 
     cache_capacity: int = 4096
@@ -201,6 +245,10 @@ class ServiceConfig:
     use_fast_path: bool = True
     doc_cache_capacity: int = 8192
     prewarm_doc_cache: bool = False
+    retriever: str = "bm25"
+    dense_backend: str = "bruteforce"
+    rrf_k: int = DEFAULT_RRF_K
+    hybrid_weights: tuple[float, float] = (1.0, 1.0)
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 0:
@@ -218,6 +266,24 @@ class ServiceConfig:
         if self.reservoir_capacity <= 0:
             raise ConfigError(
                 f"reservoir_capacity must be positive, got {self.reservoir_capacity}"
+            )
+        if self.retriever not in RETRIEVER_MODES:
+            expected = ", ".join(repr(mode) for mode in RETRIEVER_MODES)
+            raise ConfigError(
+                f"unknown retriever {self.retriever!r}; expected one of: {expected}"
+            )
+        if self.dense_backend not in DENSE_BACKENDS:
+            expected = ", ".join(repr(name) for name in sorted(DENSE_BACKENDS))
+            raise ConfigError(
+                f"unknown dense_backend {self.dense_backend!r}; "
+                f"expected one of: {expected}"
+            )
+        if self.rrf_k <= 0:
+            raise ConfigError(f"rrf_k must be positive, got {self.rrf_k}")
+        if len(tuple(self.hybrid_weights)) != 2:
+            raise ConfigError(
+                "hybrid_weights must be (dense, lexical), got "
+                f"{tuple(self.hybrid_weights)!r}"
             )
 
 
@@ -259,12 +325,21 @@ class AliCoCoService:
             :class:`~repro.matching.dssm.DSSM`) to serve behind the
             ``*_reranked`` endpoints; they raise
             :class:`~repro.errors.ConfigError` when omitted.
+        dense_index_states: Serialised dense index states to warm-start
+            from (snapshot ``index_states`` entries, keyed
+            :data:`DENSE_CONCEPT_INDEX` / :data:`DENSE_ITEM_INDEX`).  A
+            state whose backend matches ``config.dense_backend`` is
+            rehydrated instead of re-fitted — retrieval is bit-identical
+            to the fresh fit; mismatched or absent states rebuild from
+            the store.  Ignored under ``retriever="bm25"``.
         config_fingerprint: Digest of the build configuration, embedded in
             snapshots this service writes
             (:meth:`repro.config.RunScale.fingerprint`).
 
     Raises:
         NotFittedError: If a supplied model has not been trained.
+        ConfigError: If the config asks for dense/hybrid retrieval
+            without a vector-capable reranker.
     """
 
     def __init__(
@@ -275,6 +350,7 @@ class AliCoCoService:
         search_index: BM25Index | None = None,
         tagger: ConceptTagger | None = None,
         reranker: Module | None = None,
+        dense_index_states: dict[str, Any] | None = None,
         config_fingerprint: str = "",
     ):
         self.config = config or ServiceConfig()
@@ -314,6 +390,16 @@ class AliCoCoService:
             )
             else None
         )
+        # Dense first-stage indexes over the frozen catalog (None entries
+        # mean "population empty, fall back to the cheap stage").  Built
+        # after the doc cache exists so index construction flows through
+        # it — every title/concept encoded here is a future cache hit.
+        self._dense_indexes: dict[str, BaseRetriever | None] = {}
+        if self.config.retriever != "bm25":
+            require_dense_capable(
+                self._reranker, f"retriever {self.config.retriever!r}"
+            )
+            self._build_dense_indexes(dense_index_states or {})
         if self._doc_cache is not None and self.config.prewarm_doc_cache:
             self.warm_doc_cache()
         self._handlers: dict[str, Callable[..., Any]] = {
@@ -411,6 +497,11 @@ class AliCoCoService:
             if state is not None
             else fit_concept_index(snapshot.store)
         )
+        dense_index_states = {
+            name: snapshot.index_states[name]
+            for name in (DENSE_CONCEPT_INDEX, DENSE_ITEM_INDEX)
+            if name in snapshot.index_states
+        }
         for name, module in ((TAGGER_MODEL, tagger), (RERANKER_MODEL, reranker)):
             if module is None:
                 continue
@@ -429,15 +520,19 @@ class AliCoCoService:
             search_index=search_index,
             tagger=tagger,
             reranker=reranker,
+            dense_index_states=dense_index_states or None,
             config_fingerprint=header.config_fingerprint,
         )
 
     def save_snapshot(self, path: str | Path) -> int:
-        """Persist the served net, search index and models as one snapshot.
+        """Persist the served net, indexes and models as one snapshot.
 
         Served models are embedded as model-bundle records (exact float64
         weights plus an architecture fingerprint); a model-less service
-        writes a model-less snapshot, byte-compatible with before.
+        writes a model-less snapshot, byte-compatible with before.  A
+        dense-retrieval service additionally embeds its fitted dense
+        index states, so a warm start skips the k-means/graph build and
+        retrieves bit-identically.
 
         Returns:
             Number of lines written.
@@ -445,6 +540,9 @@ class AliCoCoService:
         index_states = {}
         if self._search_index is not None:
             index_states[CONCEPT_INDEX] = self._search_index.to_state()
+        for name, dense_index in self._dense_indexes.items():
+            if dense_index is not None:
+                index_states[name] = dense_index.to_state()
         model_states = {}
         if self._tagger is not None:
             model_states[TAGGER_MODEL] = model_bundle_state(self._tagger, TAGGER_KIND)
@@ -555,11 +653,15 @@ class AliCoCoService:
     ) -> tuple:
         """Best items for a concept, rescored by the served matcher.
 
-        Retrieval-then-verify: the graph supplies up to
-        ``config.rerank_pool_k`` candidate items (by association weight),
-        the neural matcher rescores each (concept text, item title) pair,
-        and the pool is re-ordered by model probability:
-        ((item id, probability), ...), ties broken by item id.
+        Retrieval-then-verify: the configured first stage
+        (``config.retriever`` — graph association weights, the dense
+        item index, or their RRF fusion) supplies up to
+        ``config.rerank_pool_k`` candidate items, the neural matcher
+        rescores each (concept text, item title) pair, and the pool is
+        re-ordered by model probability:
+        ((item id, probability), ...), ties broken by item id.  Dense
+        and hybrid stages can surface catalog items the graph never
+        linked to the concept.
 
         Raises:
             ConfigError: If the service was built without a reranker, or
@@ -583,10 +685,12 @@ class AliCoCoService:
     def search_reranked(self, text: str, k: int | None = None) -> tuple:
         """Best concepts for a query, rescored by the served matcher.
 
-        BM25 supplies up to ``config.rerank_pool_k`` candidate concepts;
-        the matcher rescores each (query, concept text) pair and the pool
-        is re-ordered by model probability:
-        ((concept id, probability), ...), ties broken by concept id.
+        The configured first stage (``config.retriever`` — BM25, the
+        dense concept index, or their RRF fusion) supplies up to
+        ``config.rerank_pool_k`` candidate concepts; the matcher rescores
+        each (query, concept text) pair and the pool is re-ordered by
+        model probability: ((concept id, probability), ...), ties broken
+        by concept id.
 
         Raises:
             ConfigError: If the service was built without a reranker, or
@@ -742,11 +846,108 @@ class AliCoCoService:
             return ()
         return tuple(self._search_index.top_k(tokens, k=k))
 
+    # ------------------------------------------------- dense first stage
+    def _build_dense_indexes(self, states: dict[str, Any]) -> None:
+        """Fit (or warm-start) the dense concept and item indexes.
+
+        Every document is encoded through the doc-side cache when one is
+        enabled, so building here doubles as a cache warm — and a later
+        ``warm_doc_cache`` re-encodes nothing.  A snapshot state is
+        reused only when its backend tag matches ``config.dense_backend``
+        (rehydration is then bit-identical to the fresh fit); otherwise
+        the index is rebuilt from the frozen store.
+        """
+        populations = {
+            DENSE_CONCEPT_INDEX: [
+                (node.id, list(node.tokens))
+                for node in self._store.nodes(ECOMMERCE_PREFIX)
+            ],
+            DENSE_ITEM_INDEX: [
+                (node.id, node.title.split())
+                for node in self._store.nodes(ITEM_PREFIX)
+            ],
+        }
+        for name, population in populations.items():
+            state = states.get(name)
+            if (
+                isinstance(state, dict)
+                and state.get("backend") == self.config.dense_backend
+            ):
+                self._dense_indexes[name] = dense_index_from_state(state)
+                continue
+            ids, vectors = [], []
+            for node_id, tokens in population:
+                if not tokens:
+                    continue
+                ids.append(node_id)
+                vectors.append(self._dense_vector(node_id, tokens))
+            self._dense_indexes[name] = (
+                make_dense_index(self.config.dense_backend).fit(ids, vectors)
+                if ids
+                else None
+            )
+
+    def _dense_vector(self, node_id: str, tokens: Sequence[str]) -> Any:
+        """One document's retrieval embedding, via the doc-encoding cache."""
+        encoding = None
+        if self._doc_cache is not None:
+            encoding = self._doc_encoding(self._reranker, node_id, tokens)
+        return dense_doc_vector(self._reranker, tokens, encoding=encoding)
+
+    def _concept_pool(self, tokens: tuple[str, ...], k: int) -> tuple:
+        """Concept candidates for ``search_reranked``, per the configured
+        first stage: BM25, the dense concept index, or their RRF fusion."""
+        mode = self.config.retriever
+        index = self._dense_indexes.get(DENSE_CONCEPT_INDEX)
+        if mode == "bm25" or index is None or not tokens:
+            return self._search_uncached(tokens, k)
+        vector = dense_query_vector(self._reranker, tokens)
+        dense = index.retrieve(vector, k)
+        if mode == "dense":
+            return tuple(dense)
+        return tuple(
+            rrf_fuse(
+                [dense, list(self._search_uncached(tokens, k))],
+                k=self.config.rrf_k,
+                weights=self.config.hybrid_weights,
+            )[:k]
+        )
+
+    def _item_pool(self, concept_id: str, k: int) -> tuple:
+        """Item candidates for ``items_for_concept_reranked``.
+
+        The cheap structural arm here is the graph's association ranking
+        (items have no BM25 index), so ``"bm25"`` mode keeps the
+        historical graph-only pool, ``"dense"`` retrieves by concept
+        embedding over the item-title index — which can surface catalog
+        items the graph never linked — and ``"hybrid"`` RRF-fuses the
+        two rankings.
+        """
+        mode = self.config.retriever
+        index = self._dense_indexes.get(DENSE_ITEM_INDEX)
+        graph = self._items_uncached(concept_id, k)
+        if mode == "bm25" or index is None:
+            return graph
+        tokens = tuple(self._store.get(concept_id).tokens)
+        if not tokens:
+            return graph
+        vector = dense_query_vector(self._reranker, tokens)
+        dense = index.retrieve(vector, k)
+        if mode == "dense":
+            return tuple(dense)
+        return tuple(
+            rrf_fuse(
+                [dense, list(graph)],
+                k=self.config.rrf_k,
+                weights=self.config.hybrid_weights,
+            )[:k]
+        )
+
     def _items_reranked_uncached(
         self, reranker: Module, concept_id: str, top_k: int | None
     ) -> tuple:
         concept_tokens = tuple(self._store.get(concept_id).tokens)
-        pool = self._items_uncached(concept_id, self.config.rerank_pool_k)
+        pool = self._item_pool(concept_id, self.config.rerank_pool_k)
         item_ids = [item_id for item_id, _ in pool]
         titles = [self._store.get(item_id).title.split() for item_id in item_ids]
         scores = self._pool_scores(reranker, concept_tokens, item_ids, titles)
@@ -758,7 +959,7 @@ class AliCoCoService:
     def _search_reranked_uncached(
         self, reranker: Module, tokens: tuple[str, ...], k: int
     ) -> tuple:
-        pool = self._search_uncached(tokens, self.config.rerank_pool_k)
+        pool = self._concept_pool(tokens, self.config.rerank_pool_k)
         concept_ids = [concept_id for concept_id, _ in pool]
         texts = [list(self._store.get(concept_id).tokens) for concept_id in concept_ids]
         scores = self._pool_scores(reranker, tokens, concept_ids, texts)

@@ -1,0 +1,381 @@
+"""The pluggable retrieval package: kernels, fusion, state, and wiring.
+
+Pins the contracts the hybrid first stage is built on: ANN backends agree
+with the brute-force oracle when told to look everywhere, RRF fusion is
+deterministic and edge-case safe, every fitted index round-trips through
+JSON state bit-identically (the snapshot warm-start path), and the
+matching/serving facades gate, dispatch, and refit correctly.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DataError, NotFittedError
+from repro.matching import (
+    BM25CandidateGenerator,
+    CandidateGenerator,
+    DSSMMatcher,
+    train_matcher,
+    retrieval_recall,
+)
+from repro.matching.base import matching_vocab
+from repro.matching.dataset import build_matching_dataset
+from repro.retrieval import (
+    BM25Retriever,
+    BruteForceDense,
+    DENSE_BACKENDS,
+    HNSWLiteIndex,
+    HybridQuery,
+    HybridRetriever,
+    IVFIndex,
+    dense_index_from_state,
+    make_dense_index,
+    retriever_from_state,
+    rrf_fuse,
+)
+from repro.retrieval.dense import top_k_positions
+from repro.synth.clicklog import simulate_clicks
+from repro.synth.items import generate_items
+from repro.synth.lexicon import build_lexicon
+from repro.synth.world import World
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Clustered vectors: the regime ANN indexes are built for."""
+    rng = np.random.default_rng(7)
+    centers = rng.normal(size=(12, 24))
+    vectors = (centers[rng.integers(12, size=400)]
+               + 0.25 * rng.normal(size=(400, 24)))
+    queries = (centers[rng.integers(12, size=25)]
+               + 0.25 * rng.normal(size=(25, 24))).astype(np.float32)
+    return list(range(400)), vectors, queries
+
+
+def _ranking(pairs):
+    return [doc_id for doc_id, _ in pairs]
+
+
+# --------------------------------------------------------------- kernels
+class TestDenseKernels:
+    def test_bruteforce_matches_exhaustive_argsort(self, corpus):
+        ids, vectors, queries = corpus
+        index = BruteForceDense().fit(ids, vectors)
+        normed = vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+        for query in queries[:5]:
+            unit = query / np.linalg.norm(query)
+            scores = (normed @ unit).astype(np.float32)
+            expected = np.lexsort((np.arange(len(ids)), -scores))[:10]
+            got = _ranking(index.retrieve(query, 10))
+            assert got == [ids[position] for position in expected]
+
+    @pytest.mark.parametrize("backend", ["ivf", "hnsw"])
+    def test_ann_parity_with_oracle_at_full_effort(self, corpus, backend):
+        """With the knobs maxed (probe every cell / beam over everything)
+        an ANN index must reproduce the oracle's ranking exactly; scores
+        agree to float32-blocking tolerance (sub-matrix matmuls round
+        differently at the ~1e-7 ULP level, never enough to cross a
+        ranking tie, which both sides break by fit position)."""
+        ids, vectors, queries = corpus
+        oracle = BruteForceDense().fit(ids, vectors)
+        if backend == "ivf":
+            ann = IVFIndex(n_lists=20, nprobe=20).fit(ids, vectors)
+        else:
+            ann = HNSWLiteIndex(m=16, ef_construction=120,
+                                ef_search=400).fit(ids, vectors)
+        for query in queries:
+            expected = oracle.retrieve(query, 15)
+            got = ann.retrieve(query, 15)
+            assert _ranking(got) == _ranking(expected)
+            np.testing.assert_allclose(
+                [score for _, score in got],
+                [score for _, score in expected],
+                atol=1e-5,
+            )
+
+    def test_ivf_scans_sublinearly(self, corpus):
+        ids, vectors, queries = corpus
+        index = IVFIndex(nprobe=2).fit(ids, vectors)
+        for query in queries:
+            index.retrieve(query, 10)
+        stats = index.stats()
+        assert stats.queries == len(queries)
+        assert 0.0 < stats.scan_fraction < 0.5
+
+    def test_hnsw_scans_sublinearly(self, corpus):
+        ids, vectors, queries = corpus
+        index = HNSWLiteIndex(m=8, ef_construction=40, ef_search=20)
+        index.fit(ids, vectors)
+        for query in queries:
+            index.retrieve(query, 10)
+        assert 0.0 < index.stats().scan_fraction < 1.0
+
+    def test_top_k_positions_breaks_ties_by_position(self):
+        scores = np.asarray([0.5, 0.9, 0.9, 0.1, 0.9], dtype=np.float32)
+        positions = np.arange(5)
+        best = top_k_positions(scores, positions, 3)
+        assert positions[best].tolist() == [1, 2, 4]
+        # Large-n argpartition path must agree with the small-n sort path.
+        rng = np.random.default_rng(0)
+        big = rng.choice(np.linspace(0, 1, 50), size=2000).astype(np.float32)
+        arange = np.arange(2000)
+        fast = top_k_positions(big, arange, 40)
+        exact = np.lexsort((arange, -big))[:40]
+        assert fast.tolist() == exact.tolist()
+
+    def test_fit_validations(self):
+        with pytest.raises(DataError):
+            BruteForceDense(metric="euclid")
+        with pytest.raises(DataError):
+            BruteForceDense().fit([1, 2], [np.ones(3)])
+        with pytest.raises(DataError):
+            BruteForceDense().fit([], [])
+        with pytest.raises(DataError):
+            IVFIndex(nprobe=0)
+        with pytest.raises(DataError):
+            HNSWLiteIndex(m=0)
+        with pytest.raises(NotFittedError):
+            IVFIndex().retrieve(np.ones(4))
+        index = BruteForceDense().fit([1], [np.ones(4)])
+        with pytest.raises(DataError):
+            index.retrieve(np.ones(3))  # dim mismatch
+
+    def test_registry_dispatch(self):
+        assert set(DENSE_BACKENDS) == {"bruteforce", "ivf", "hnsw"}
+        assert isinstance(make_dense_index("ivf", nprobe=3), IVFIndex)
+        with pytest.raises(DataError):
+            make_dense_index("faiss")
+
+
+# ------------------------------------------------------------------- RRF
+class TestRRF:
+    def test_formula(self):
+        fused = dict(rrf_fuse([[("a", 9.0), ("b", 5.0)], [("b", 0.2)]], k=60))
+        assert fused["a"] == pytest.approx(1 / 61)
+        assert fused["b"] == pytest.approx(1 / 62 + 1 / 61)
+
+    def test_empty_arm_passes_other_through(self):
+        ranked = rrf_fuse([[], [("x", 1.0), ("y", 0.5)]])
+        assert _ranking(ranked) == ["x", "y"]
+        assert rrf_fuse([[], []]) == []
+
+    def test_duplicate_id_counts_once_at_best_rank(self):
+        ranked = dict(rrf_fuse([[("a", 2.0), ("a", 1.0), ("b", 0.5)]], k=60))
+        assert ranked["a"] == pytest.approx(1 / 61)
+        assert ranked["b"] == pytest.approx(1 / 62)  # rank 2, not 3
+
+    def test_ties_break_by_first_appearance(self):
+        # Two docs with identical fused mass: arm order decides.
+        ranked = rrf_fuse([[("late", 1.0)], [("early", 1.0)]])
+        assert _ranking(ranked) == ["late", "early"]
+
+    def test_weights_scale_arms(self):
+        heavy = rrf_fuse([[("d", 1.0)], [("l", 1.0)]], weights=[3.0, 1.0])
+        assert _ranking(heavy)[0] == "d"
+        with pytest.raises(ConfigError):
+            rrf_fuse([[("a", 1.0)]], weights=[1.0, 2.0])
+        with pytest.raises(ConfigError):
+            rrf_fuse([[("a", 1.0)]], k=0)
+
+
+# ----------------------------------------------------------------- hybrid
+class TestHybridRetriever:
+    @pytest.fixture()
+    def fitted(self, corpus):
+        ids, vectors, _ = corpus
+        tokens = [("tok%d" % (i % 7), "doc%d" % i) for i in ids]
+        hybrid = HybridRetriever(dense=BruteForceDense())
+        return hybrid.fit(ids, list(zip(vectors, tokens))), vectors
+
+    def test_fuses_both_arms(self, fitted):
+        hybrid, vectors = fitted
+        query = HybridQuery(tokens=("doc3", "tok3"), vector=vectors[3])
+        assert _ranking(hybrid.retrieve(query, 5))[0] == 3
+
+    def test_missing_arm_sits_out(self, fitted):
+        hybrid, vectors = fitted
+        dense_only = hybrid.retrieve(HybridQuery(vector=vectors[8]), 5)
+        lexical_only = hybrid.retrieve(HybridQuery(tokens=("doc8",)), 5)
+        assert _ranking(dense_only)[0] == 8
+        assert _ranking(lexical_only)[0] == 8
+        with pytest.raises(DataError):
+            hybrid.retrieve(HybridQuery(), 5)
+
+    def test_stats_combine(self, fitted):
+        hybrid, vectors = fitted
+        hybrid.retrieve(HybridQuery(tokens=("doc1",), vector=vectors[1]), 3)
+        stats = hybrid.stats()
+        assert stats.backend == "hybrid"
+        assert stats.queries == 1
+        assert stats.candidates_scored > 0
+
+
+# ------------------------------------------------------------------ state
+class TestStateRoundTrips:
+    def _fit(self, backend, ids, vectors):
+        if backend == "bruteforce":
+            return BruteForceDense().fit(ids, vectors)
+        if backend == "ivf":
+            return IVFIndex(n_lists=10, nprobe=4).fit(ids, vectors)
+        return HNSWLiteIndex(m=6, ef_construction=30,
+                             ef_search=24).fit(ids, vectors)
+
+    @pytest.mark.parametrize("backend", ["bruteforce", "ivf", "hnsw"])
+    def test_warm_start_is_bit_identical(self, corpus, backend):
+        ids, vectors, queries = corpus
+        fresh = self._fit(backend, ids, vectors)
+        # Through actual JSON, as a snapshot would store it.
+        state = json.loads(json.dumps(fresh.to_state()))
+        warm = dense_index_from_state(state)
+        for query in queries:
+            assert warm.retrieve(query, 10) == fresh.retrieve(query, 10)
+
+    def test_lexical_and_hybrid_round_trip(self, corpus):
+        ids, vectors, _ = corpus
+        token_lists = [("tok%d" % (i % 5), "doc%d" % i) for i in ids]
+        lexical = BM25Retriever().fit(ids, token_lists)
+        state = json.loads(json.dumps(lexical.to_state()))
+        warm = retriever_from_state(state)
+        assert warm.retrieve(("doc7", "tok2"), 5) == \
+            lexical.retrieve(("doc7", "tok2"), 5)
+
+        hybrid = HybridRetriever(dense=IVFIndex(n_lists=8, nprobe=8))
+        hybrid.fit(ids, list(zip(vectors, token_lists)))
+        state = json.loads(json.dumps(hybrid.to_state()))
+        warm = retriever_from_state(state)
+        query = HybridQuery(tokens=("doc7",), vector=vectors[7])
+        assert warm.retrieve(query, 5) == hybrid.retrieve(query, 5)
+
+    def test_wrong_backend_tag_rejected(self, corpus):
+        ids, vectors, _ = corpus
+        state = BruteForceDense().fit(ids, vectors).to_state()
+        with pytest.raises(DataError):
+            IVFIndex.from_state(state)
+        state["backend"] = "unheard-of"
+        with pytest.raises(DataError):
+            dense_index_from_state(state)
+
+    @pytest.mark.parametrize("mangle", [
+        lambda s: s.pop("matrix"),
+        lambda s: s["matrix"].update(data="!!not-base64!!"),
+        lambda s: s.update(ids=s["ids"][:-1]),
+    ])
+    def test_malformed_dense_state_rejected(self, corpus, mangle):
+        ids, vectors, _ = corpus
+        state = BruteForceDense().fit(ids, vectors).to_state()
+        mangle(state)
+        with pytest.raises(DataError):
+            BruteForceDense.from_state(state)
+
+    def test_malformed_ivf_and_hnsw_states_rejected(self, corpus):
+        ids, vectors, _ = corpus
+        ivf_state = IVFIndex(n_lists=6).fit(ids, vectors).to_state()
+        ivf_state["assignments"][0] = 99  # out of centroid range
+        with pytest.raises(DataError):
+            IVFIndex.from_state(ivf_state)
+        hnsw_state = HNSWLiteIndex(m=4).fit(ids, vectors).to_state()
+        hnsw_state["entry"] = len(ids) + 5
+        with pytest.raises(DataError):
+            HNSWLiteIndex.from_state(hnsw_state)
+
+
+# ---------------------------------------------------------------- facades
+@pytest.fixture(scope="module")
+def matching_world():
+    rng = np.random.default_rng(9)
+    lexicon = build_lexicon(seed=9)
+    world = World(lexicon, seed=9)
+    concepts = world.sample_good_concepts(rng, 30)
+    items = generate_items(world, 90)
+    clicks = simulate_clicks(world, concepts, items, impressions_per_concept=8)
+    dataset = build_matching_dataset(world, concepts, items, clicks, rng,
+                                     test_concepts=10)
+    matcher = DSSMMatcher(matching_vocab(dataset.train), dim=8, hidden=8,
+                          seed=0)
+    train_matcher(matcher, dataset.train, epochs=2, lr=0.05, seed=0)
+    return concepts, items, dataset, matcher
+
+
+class TestCandidateGenerators:
+    def test_refit_replaces_catalog_wholesale(self, matching_world):
+        """Regression: a smaller refit must not serve items (or postings)
+        left over from the previous, larger catalog."""
+        concepts, items, _, _ = matching_world
+        generator = BM25CandidateGenerator().fit(items)
+        generator.fit(items[:4])
+        survivors = {item.index for item in items[:4]}
+        for concept in concepts:
+            got = {item.index
+                   for item, _ in generator.candidates(concept.tokens, 100)}
+            assert got <= survivors
+
+    def test_facade_bm25_matches_legacy_generator(self, matching_world):
+        concepts, items, _, _ = matching_world
+        legacy = BM25CandidateGenerator().fit(items)
+        facade = CandidateGenerator("bm25").fit(items)
+        for concept in concepts[:10]:
+            expected = [(item.index, score)
+                        for item, score in legacy.candidates(concept.tokens, 10)]
+            got = [(item.index, score)
+                   for item, score in facade.candidates(concept.tokens, 10)]
+            assert got == expected
+
+    def test_dense_mode_ranks_by_matcher_cosine(self, matching_world):
+        """The dense first stage is faithful to the matcher it serves:
+        brute-force retrieval over doc vectors orders candidates exactly
+        as the matcher's own query/doc cosine does."""
+        concepts, items, _, matcher = matching_world
+        generator = CandidateGenerator("dense", matcher=matcher).fit(items)
+        for concept in concepts[:5]:
+            query = matcher.query_vector(concept.tokens)
+            query = query / np.linalg.norm(query)
+            cosines = []
+            for item in items:
+                doc = matcher.doc_vector(item.title_tokens)
+                cosines.append(
+                    (float(query @ (doc / np.linalg.norm(doc))), item.index)
+                )
+            expected = [index for _, index in
+                        sorted(cosines, key=lambda pair: -pair[0])[:5]]
+            got = [item.index for item, _ in
+                   generator.candidates(concept.tokens, 5)]
+            assert got == expected
+
+    def test_recall_is_defined_for_every_mode(self, matching_world):
+        _, items, dataset, matcher = matching_world
+        for generator in (
+            CandidateGenerator("bm25").fit(items),
+            CandidateGenerator("dense", matcher=matcher).fit(items),
+            CandidateGenerator("hybrid", matcher=matcher,
+                               dense_backend="ivf").fit(items),
+        ):
+            recall = retrieval_recall(generator, dataset, k=30)
+            assert 0.0 <= recall <= 1.0
+
+    def test_capability_gating(self, matching_world):
+        _, items, _, matcher = matching_world
+        with pytest.raises(ConfigError):
+            CandidateGenerator("ann")
+        with pytest.raises(ConfigError):
+            CandidateGenerator("dense")  # no matcher
+        with pytest.raises(ConfigError):
+            CandidateGenerator("hybrid", matcher=object())  # not dense-capable
+        with pytest.raises(DataError):
+            CandidateGenerator("bm25").fit([])
+        generator = CandidateGenerator("dense", matcher=matcher,
+                                       dense_backend="ivf", nprobe=2)
+        assert generator.fit(items).stats().extra["nprobe"] == 2
+
+    def test_matcher_vector_capability_flags(self, matching_world):
+        _, _, _, matcher = matching_world
+        assert matcher.dense_vectors is True
+        query = matcher.query_vector(("red", "dress"))
+        doc = matcher.doc_vector(("red", "dress"))
+        assert query.shape == doc.shape
+        # The encoding shortcut must agree with a fresh encode.
+        encoding = matcher.encode_doc(("red", "dress"))
+        np.testing.assert_array_equal(
+            matcher.doc_vector(("red", "dress"), encoding=encoding), doc
+        )

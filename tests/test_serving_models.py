@@ -354,3 +354,102 @@ class TestInferenceGuards:
     def test_ensure_inference_mode_accepts_eval(self, reranker):
         prepared = prepare_serving_module(reranker, RERANKER_MODEL)
         ensure_inference_mode(prepared, RERANKER_MODEL)
+
+
+def _retrieval_battery(built, service):
+    """search_reranked + items_for_concept_reranked over a few concepts."""
+    answers = []
+    for spec in built.concepts[:6]:
+        concept_id = built.concept_ids[spec.text]
+        answers.append(service.search_reranked(spec.text, 5))
+        answers.append(service.items_for_concept_reranked(concept_id, 5))
+    return answers
+
+
+class TestRetrieverModes:
+    """The pluggable first stage behind the reranked endpoints."""
+
+    @pytest.mark.parametrize(
+        "retriever, backend",
+        [
+            ("dense", "bruteforce"),
+            ("dense", "ivf"),
+            ("dense", "hnsw"),
+            ("hybrid", "ivf"),
+        ],
+    )
+    def test_every_mode_serves_the_reranked_endpoints(
+        self, built, reranker, retriever, backend
+    ):
+        service = AliCoCoService.from_build(
+            built,
+            reranker=reranker,
+            config=ServiceConfig(retriever=retriever, dense_backend=backend),
+        )
+        for ranked in _retrieval_battery(built, service):
+            assert ranked, "a reranked endpoint returned an empty pool"
+            for node_id, score in ranked:
+                assert service.store.get(node_id) is not None
+                assert 0.0 <= score <= 1.0
+            scores = [score for _, score in ranked]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_hybrid_snapshot_warm_start_is_bit_identical(
+        self, tmp_path, built, reranker
+    ):
+        config = ServiceConfig(retriever="hybrid", dense_backend="ivf")
+        fresh = AliCoCoService.from_build(
+            built, reranker=reranker, config=config
+        )
+        path = tmp_path / "hybrid.snapshot.jsonl"
+        fresh.save_snapshot(path)
+        warm = AliCoCoService.from_snapshot(
+            path,
+            reranker=_make_reranker(built, seed=99),
+            config=config,
+        )
+        assert _retrieval_battery(built, warm) == _retrieval_battery(
+            built, fresh
+        )
+        # The fitted index state itself must survive the round trip —
+        # warm start reuses it instead of re-running k-means.
+        for name, index in fresh._dense_indexes.items():
+            assert warm._dense_indexes[name].to_state() == index.to_state()
+
+    def test_warm_start_refits_when_backend_config_changes(
+        self, tmp_path, built, reranker
+    ):
+        fresh = AliCoCoService.from_build(
+            built,
+            reranker=reranker,
+            config=ServiceConfig(retriever="dense", dense_backend="ivf"),
+        )
+        path = tmp_path / "dense.snapshot.jsonl"
+        fresh.save_snapshot(path)
+        # Restart asking for a different dense backend: the persisted IVF
+        # state must not be forced onto it — the service refits instead.
+        warm = AliCoCoService.from_snapshot(
+            path,
+            reranker=_make_reranker(built, seed=99),
+            config=ServiceConfig(retriever="dense", dense_backend="bruteforce"),
+        )
+        for index in warm._dense_indexes.values():
+            assert index is None or index.backend == "bruteforce"
+        for ranked in _retrieval_battery(built, warm):
+            assert ranked
+
+    def test_dense_mode_without_vector_capable_matcher_is_loud(self, built):
+        with pytest.raises(ConfigError, match="vector-capable"):
+            AliCoCoService.from_build(
+                built, config=ServiceConfig(retriever="dense")
+            )
+
+    def test_config_validation_rejects_bad_knobs(self):
+        with pytest.raises(ConfigError, match="retriever"):
+            ServiceConfig(retriever="bogus")
+        with pytest.raises(ConfigError, match="dense_backend"):
+            ServiceConfig(retriever="dense", dense_backend="faiss")
+        with pytest.raises(ConfigError, match="rrf_k"):
+            ServiceConfig(retriever="hybrid", rrf_k=0)
+        with pytest.raises(ConfigError, match="weights"):
+            ServiceConfig(retriever="hybrid", hybrid_weights=(1.0, 2.0, 3.0))
