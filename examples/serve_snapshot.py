@@ -18,18 +18,25 @@ Run:
 """
 
 import tempfile
+import threading
 import time
 from pathlib import Path
 
 from repro import build_alicoco, TINY
 from repro.concepts import ConceptTagger
+from repro.errors import OverloadedError
 from repro.kg.relations import RelationKind
 from repro.matching import DSSMMatcher, train_matcher
 from repro.matching.base import matching_vocab
 from repro.matching.dataset import pair_from_texts
 from repro.nlp.pos import PosTagger
 from repro.nlp.vocab import Vocab
-from repro.serving import AliCoCoService, ServiceConfig
+from repro.serving import (
+    AliCoCoCluster,
+    AliCoCoService,
+    ClusterConfig,
+    ServiceConfig,
+)
 
 
 def make_tagger(built, seed=1):
@@ -240,6 +247,71 @@ def main() -> None:
         f"  warm hybrid restart: {hybrid_warm_ms:.0f} ms, answers "
         "bit-identical (fitted ANN index state rides the snapshot)"
     )
+
+    # --- cluster serving: shards, coalescing, load shedding ---------------
+    # The same store and models behind a sharded scatter-gather façade:
+    # `ec`/`item` hash-partitioned, the taxonomy replicated, concurrent
+    # duplicate rerank requests coalesced into one computation — and
+    # answers bit-identical to the single service.  Result caches are off
+    # and the admission limits are deliberately tight here so the demo
+    # can actually shed.
+    cluster = AliCoCoCluster(
+        modelled.store,
+        config=ClusterConfig(
+            n_shards=2,
+            cache_capacity=0,
+            max_inflight=1,
+            max_queue_depth=1,
+            max_queue_wait_ms=100.0,
+        ),
+        service_config=ServiceConfig(cache_capacity=0),
+        reranker=reranker,
+    )
+    assert cluster.search(spec.text, k=3) == modelled.search(spec.text, k=3)
+    assert cluster.search_reranked(spec.text, 3) == (
+        modelled.search_reranked(spec.text, 3)
+    )
+    print("\ncluster (2 shards): search + reranked answers bit-identical")
+
+    # Under overload the cluster sheds with a typed error instead of
+    # queueing without bound; a client's discipline is retry-with-backoff.
+    def search_with_retry(text, k, retries=5, backoff_s=0.02):
+        for attempt in range(retries):
+            try:
+                return cluster.search_reranked(text, k)
+            except OverloadedError as error:
+                print(f"  overloaded ({error.reason}); backing off...")
+                time.sleep(backoff_s * (attempt + 1))
+        return cluster.search_reranked(text, k)
+
+    def hammer(texts):
+        for text in texts:
+            try:
+                cluster.search_reranked(text, 3)
+            except OverloadedError:
+                pass
+
+    print("cluster under a 4-client burst (max_inflight=1, queue=1):")
+    burst = [
+        threading.Thread(
+            target=hammer,
+            args=([candidate.text] * 3,),
+        )
+        for candidate in built.concepts[2:6]
+    ]
+    for thread in burst:
+        thread.start()
+    answers = search_with_retry(spec.text, 3)
+    for thread in burst:
+        thread.join()
+    assert answers == modelled.search_reranked(spec.text, 3)
+    admission = cluster.stats().admission
+    print(
+        f"  retried query served correctly; admitted {admission.admitted}, "
+        f"shed {admission.shed_total} "
+        f"({', '.join(f'{r} x{c}' for r, c in admission.shed) or 'none'})"
+    )
+    cluster.close()
 
 
 if __name__ == "__main__":

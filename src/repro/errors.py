@@ -59,6 +59,26 @@ class DataError(ReproError):
     """A dataset is malformed or empty where data was required."""
 
 
+class OverloadedError(ReproError):
+    """A request was shed by admission control (the 429 of this library).
+
+    Raised instead of queueing without bound: the serving tier admits at
+    most ``max_inflight`` concurrent requests and queues at most
+    ``max_queue_depth`` more for at most ``max_queue_wait_ms`` — anything
+    beyond that fails fast with this error so callers can retry with
+    backoff instead of piling onto an already-saturated service.
+
+    Attributes:
+        reason: Why the request was shed — ``"queue_full"`` (the wait
+            queue was at capacity on arrival) or ``"queue_timeout"`` (a
+            slot did not free up within the queue-wait bound).
+    """
+
+    def __init__(self, message: str, *, reason: str = "overloaded"):
+        super().__init__(message)
+        self.reason = reason
+
+
 def error_by_name(name: str) -> type[ReproError] | None:
     """The :class:`ReproError` subclass called ``name``, or ``None``.
 

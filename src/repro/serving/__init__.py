@@ -21,7 +21,16 @@ Quickstart::
     print(service.stats().format_table())
 """
 
+from .admission import AdmissionController, AdmissionStats
 from .cache import LRUCache
+from .cluster import (
+    CLUSTER_META,
+    COALESCED_ENDPOINTS,
+    AliCoCoCluster,
+    ClusterConfig,
+    ClusterStats,
+)
+from .coalesce import Coalescer, CoalescerStats
 from .models import (
     RERANKER_KIND,
     TAGGER_KIND,
@@ -44,10 +53,40 @@ from .service import (
     fit_concept_index,
     ServiceConfig,
 )
-from .stats import EndpointMetrics, EndpointStats, ServiceStats
+from .shard import (
+    PARTITIONED_LAYERS,
+    REPLICATED_LAYERS,
+    merge_ranked,
+    owned_ids,
+    owner_shards,
+    project_bm25_index,
+    shard_of,
+    split_concept_index,
+    split_store,
+)
+from .stats import EndpointMetrics, EndpointStats, ServiceStats, endpoint_table
 
 __all__ = [
+    "AliCoCoCluster",
     "AliCoCoService",
+    "AdmissionController",
+    "AdmissionStats",
+    "CLUSTER_META",
+    "COALESCED_ENDPOINTS",
+    "Coalescer",
+    "CoalescerStats",
+    "ClusterConfig",
+    "ClusterStats",
+    "PARTITIONED_LAYERS",
+    "REPLICATED_LAYERS",
+    "endpoint_table",
+    "merge_ranked",
+    "owned_ids",
+    "owner_shards",
+    "project_bm25_index",
+    "shard_of",
+    "split_concept_index",
+    "split_store",
     "BatchResult",
     "ServiceConfig",
     "CONCEPT_INDEX",

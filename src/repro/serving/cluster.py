@@ -1,0 +1,942 @@
+"""Horizontally-scaled serving: scatter-gather over sharded services.
+
+The paper's net sits behind Alibaba search and recommendation — traffic
+no single store answers.  :class:`AliCoCoCluster` is that deployment
+shape in miniature: the frozen net is hash-split across N shard stores
+(:mod:`repro.serving.shard`), each served by an ordinary
+:class:`~repro.serving.AliCoCoService`, and the cluster exposes the
+*same eight endpoints* with the same answers:
+
+- **Routed** endpoints (``items_for_concept``, ``concepts_for_item``,
+  ``interpretation``, ``hypernyms``, ``tag``) touch one shard — the
+  partitioned node's owner, or shard 0 for replicated-layer queries.
+  The placement invariant (every relation incident to a node lives on
+  its owner shard, in global insertion order) makes the routed answer
+  bit-identical to the monolithic service's.
+- **Scattered** endpoints (``search`` and the two ``*_reranked``) fan
+  out to every shard and merge deterministically: per-shard BM25
+  *projections* score with global corpus statistics, so merging local
+  top-k lists by ``(-score, global fit position)`` reproduces the global
+  ranking bit for bit (:func:`~repro.serving.shard.merge_ranked`).
+  Reranking runs in two phases — gather the first-stage pool globally,
+  then scatter the scoring back to each candidate's owner shard (whose
+  doc-encoding cache already holds it) and merge by ``(-probability,
+  id)``, the single-service sort contract.  Per-candidate scores are
+  pool-composition independent (the PR 5 bit-identity contract), so the
+  merged ranking equals the single-service one.  With approximate dense
+  backends (``ivf``/``hnsw``) per-shard recall differs from a global
+  index by construction; the bit-identity guarantee covers ``bm25`` and
+  ``bruteforce`` first stages (what the bench gates).
+
+On top of the fan-out sit the two traffic-shaping layers this module
+adds (both off the hot path of a cache hit):
+
+- **Request coalescing** (:mod:`repro.serving.coalesce`): the reranked
+  endpoints — the model-bound hot path — deduplicate concurrent
+  identical requests into one ``score_pool`` computation, optionally
+  widened by a coalescing window.  Results are serial-identical because
+  the computation is deterministic over frozen state.
+- **Admission control** (:mod:`repro.serving.admission`): every
+  computed request holds one of ``max_inflight`` slots; beyond
+  ``max_queue_depth`` waiters or ``max_queue_wait_ms`` of waiting the
+  cluster sheds with :class:`~repro.errors.OverloadedError` instead of
+  queueing without bound.  Coalescing sits *outside* admission, so N
+  duplicate requests consume one slot, not N — and a joiner can never
+  deadlock waiting for a leader that is itself queued behind the
+  joiner's slot.
+
+A cluster snapshot is one ordinary snapshot file: the global store and
+global concept index plus *per-shard* index states (``…@shard{i}``) and
+a ``cluster`` meta record pinning the shard count.  Loading with the
+same shard count rehydrates every shard index without re-fitting;
+loading with a different count re-splits deterministically from the
+global state.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..concepts.tagging import ConceptTagger
+from ..errors import ConfigError, DataError
+from ..kg.ids import ECOMMERCE_PREFIX, ITEM_PREFIX
+from ..kg.serialize import load_snapshot, save_snapshot
+from ..kg.store import AliCoCoStore
+from ..matching.bm25 import BM25Index
+from ..ml.module import Module
+from ..retrieval import rrf_fuse
+from .admission import AdmissionController, AdmissionStats
+from .cache import LRUCache
+from .coalesce import Coalescer, CoalescerStats
+from .models import (
+    RERANKER_KIND,
+    TAGGER_KIND,
+    dense_query_vector,
+    model_bundle_state,
+    restore_serving_module,
+)
+from .service import (
+    CONCEPT_INDEX,
+    DENSE_CONCEPT_INDEX,
+    DENSE_ITEM_INDEX,
+    RERANKER_MODEL,
+    TAGGER_MODEL,
+    AliCoCoService,
+    BatchResult,
+    ServiceConfig,
+    fit_concept_index,
+)
+from .shard import is_partitioned, merge_ranked, shard_of, split_concept_index, split_store
+from .stats import EndpointMetrics, EndpointStats, ServiceStats, endpoint_table
+
+#: Snapshot index-state name of the cluster meta record (shard count).
+CLUSTER_META = "cluster"
+
+#: Endpoints routed through the coalescer — the model-bound hot path.
+COALESCED_ENDPOINTS = ("items_for_concept_reranked", "search_reranked")
+
+#: Sentinel for cache lookups (results may legitimately be falsy).
+_MISS = object()
+
+_ON_ERROR_MODES = ("raise", "envelope")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster-tier knobs (the per-shard services take a ``ServiceConfig``).
+
+    Attributes:
+        n_shards: Shard stores to split the net across.
+        cache_capacity: Cluster-level result-cache entries (`0` disables);
+            sits in front of coalescing and admission, so a hot repeat
+            never consumes an execution slot.
+        coalesce_window_ms: How long a rerank leader waits for duplicate
+            requests to pile on before computing (``0`` = pure
+            singleflight dedup, no added latency).
+        max_inflight: Concurrent computed requests (admission slots).
+        max_queue_depth: Requests allowed to wait for a slot; arrivals
+            beyond that shed immediately (``OverloadedError``,
+            ``reason="queue_full"``).
+        max_queue_wait_ms: Longest a queued request may wait before
+            shedding (``reason="queue_timeout"``).
+        reservoir_capacity: Latency samples per endpoint / wait reservoir.
+        seed: Seed for the reservoirs' replacement RNG.
+        fanout_workers: Thread-pool size for scatter calls; ``None``
+            (default) fans out serially — per-shard work is pure Python
+            under the GIL, so threads buy nothing locally, but the knob
+            models the parallel fan-out a multi-process deployment gets.
+    """
+
+    n_shards: int = 2
+    cache_capacity: int = 4096
+    coalesce_window_ms: float = 0.0
+    max_inflight: int = 8
+    max_queue_depth: int = 16
+    max_queue_wait_ms: float = 200.0
+    reservoir_capacity: int = 512
+    seed: int = 0
+    fanout_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards <= 0:
+            raise ConfigError(f"n_shards must be positive, got {self.n_shards}")
+        if self.cache_capacity < 0:
+            raise ConfigError(
+                f"cache_capacity must be >= 0, got {self.cache_capacity}"
+            )
+        if self.coalesce_window_ms < 0:
+            raise ConfigError(
+                f"coalesce_window_ms must be >= 0, got {self.coalesce_window_ms}"
+            )
+        if self.fanout_workers is not None and self.fanout_workers <= 0:
+            raise ConfigError(
+                f"fanout_workers must be positive, got {self.fanout_workers}"
+            )
+        # max_inflight / max_queue_depth / max_queue_wait_ms are validated
+        # by the AdmissionController built from them.
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Whole-cluster report: fan-out balance, coalescing, admission, shards.
+
+    Attributes:
+        n_shards: Shard count.
+        nodes / relations: Global (pre-split) store size.
+        cache_*: The cluster-level result cache.
+        endpoints: Cluster-level per-endpoint stats (shed requests show
+            up as ``OverloadedError`` entries in ``errors``).
+        coalescer: Singleflight counters for the reranked endpoints.
+        admission: Slot/queue/shed counters and queue-wait percentiles.
+        shard_calls: Sub-requests dispatched to each shard (routed ones
+            count their owner; scattered ones count every shard).
+        shards: Each shard service's own :class:`ServiceStats`.
+    """
+
+    n_shards: int
+    nodes: int
+    relations: int
+    cache_entries: int
+    cache_capacity: int
+    cache_evictions: int
+    endpoints: tuple[EndpointStats, ...]
+    coalescer: CoalescerStats
+    admission: AdmissionStats
+    shard_calls: tuple[int, ...]
+    shards: tuple[ServiceStats, ...] = field(repr=False)
+
+    def endpoint(self, name: str) -> EndpointStats:
+        """Stats for one cluster endpoint.
+
+        Raises:
+            KeyError: If the endpoint never existed on the cluster.
+        """
+        for stats in self.endpoints:
+            if stats.endpoint == name:
+                return stats
+        raise KeyError(f"unknown endpoint {name!r}")
+
+    @property
+    def total_calls(self) -> int:
+        """Queries answered across all cluster endpoints."""
+        return sum(stats.calls for stats in self.endpoints)
+
+    @property
+    def total_errors(self) -> int:
+        """Requests that raised (shed ones included), across endpoints."""
+        return sum(stats.error_total for stats in self.endpoints)
+
+    @property
+    def imbalance(self) -> float:
+        """Hottest shard's sub-request load over the mean (1.0 = even).
+
+        The figure of merit for the hash placement: with CRC32 placement
+        it should sit near 1.0; a value of ``n_shards`` means one shard
+        is taking all the traffic.
+        """
+        total = sum(self.shard_calls)
+        if not total:
+            return 1.0
+        mean = total / len(self.shard_calls)
+        return max(self.shard_calls) / mean
+
+    def format_table(self, title: str = "cluster stats") -> str:
+        """Human-readable cluster report for benches and examples."""
+        coalescer = self.coalescer
+        admission = self.admission
+        lines = [
+            title,
+            f"  shards: {self.n_shards} · store: {self.nodes} nodes / "
+            f"{self.relations} relations",
+            f"  cache: {self.cache_entries}/{self.cache_capacity} "
+            f"entries, {self.cache_evictions} evictions",
+            f"  coalescer: {coalescer.flights} flights / "
+            f"{coalescer.joined} joined "
+            f"(mean batch {coalescer.mean_batch:.2f}, "
+            f"max {coalescer.max_batch}, "
+            f"window {coalescer.window_seconds * 1e3:.1f}ms)",
+            f"  admission: {admission.admitted} admitted, "
+            f"{admission.shed_total} shed "
+            f"({admission.shed_rate * 100:.1f}%), "
+            f"queue-wait p50 {admission.queue_wait_p50_ms:.4f}ms / "
+            f"p99 {admission.queue_wait_p99_ms:.4f}ms",
+        ]
+        if admission.shed:
+            reasons = ", ".join(
+                f"{reason} x{count}" for reason, count in admission.shed
+            )
+            lines.append(f"  shed: {reasons}")
+        calls = ", ".join(str(count) for count in self.shard_calls)
+        lines.append(
+            f"  shard calls: [{calls}] (imbalance {self.imbalance:.2f})"
+        )
+        lines += endpoint_table(self.endpoints)
+        return "\n".join(lines)
+
+
+class AliCoCoCluster:
+    """Scatter-gather cluster over hash-sharded :class:`AliCoCoService`\\ s.
+
+    Same endpoint surface and answers as a single service over the same
+    store (see the module docstring for the exact bit-identity
+    contract), plus request coalescing on the reranked endpoints and
+    admission control with typed load shedding on everything computed.
+
+    Thread-safe exactly like the single service: shard stores and
+    indexes are frozen, and the cache / metrics / coalescer / admission
+    controller each guard themselves.
+
+    Args:
+        store: The global net; frozen in place and hash-split into
+            ``config.n_shards`` shard stores.
+        config: Cluster-tier knobs (sharding, coalescing, admission).
+        service_config: Per-shard serving knobs (retriever mode, pool
+            sizes, caches); every shard gets the same config.
+        search_index: A fitted *global* concept index to reuse; fitted
+            from the store when omitted.  Shards always serve
+            projections of this index, never their own fits.
+        shard_search_indexes: Pre-projected per-shard concept indexes
+            (snapshot warm start); derived from the global index when
+            omitted.
+        tagger / reranker: Trained models, shared read-only by every
+            shard service.
+        shard_dense_states: Per-shard dense index states to warm-start
+            from, ``{shard id: {index name: state}}``.
+        config_fingerprint: Build-config digest embedded in snapshots.
+
+    Raises:
+        ConfigError: Propagated from the shard services (e.g. dense
+            retrieval without a vector-capable reranker) or from invalid
+            cluster knobs.
+    """
+
+    def __init__(
+        self,
+        store: AliCoCoStore,
+        *,
+        config: ClusterConfig | None = None,
+        service_config: ServiceConfig | None = None,
+        search_index: BM25Index | None = None,
+        shard_search_indexes: Sequence[BM25Index | None] | None = None,
+        tagger: ConceptTagger | None = None,
+        reranker: Module | None = None,
+        shard_dense_states: dict[int, dict[str, Any]] | None = None,
+        config_fingerprint: str = "",
+    ):
+        self.config = config or ClusterConfig()
+        self._service_config = service_config or ServiceConfig()
+        n_shards = self.config.n_shards
+        self._store = store.freeze()
+        self._fingerprint = config_fingerprint
+        self._search_index = (
+            search_index if search_index is not None else fit_concept_index(store)
+        )
+        if shard_search_indexes is None:
+            shard_search_indexes = split_concept_index(self._search_index, n_shards)
+        elif len(shard_search_indexes) != n_shards:
+            raise ConfigError(
+                f"expected {n_shards} shard search indexes, "
+                f"got {len(shard_search_indexes)}"
+            )
+        # Global tie-break orders for scatter merges: BM25 breaks score
+        # ties by fit position, the dense backends by fit position over
+        # the store walk — both are subsequences of these maps, so the
+        # relative order (all a tie-break needs) is preserved.
+        self._concept_position = (
+            {}
+            if self._search_index is None
+            else {
+                doc_id: position
+                for position, doc_id in enumerate(
+                    self._search_index.to_state()["doc_ids"]
+                )
+            }
+        )
+        self._item_position = {
+            node.id: position
+            for position, node in enumerate(store.nodes(ITEM_PREFIX))
+        }
+        dense_states = shard_dense_states or {}
+        self._services = [
+            AliCoCoService(
+                shard_store,
+                config=self._service_config,
+                search_index=shard_search_indexes[shard],
+                fit_search_index=False,
+                tagger=tagger,
+                reranker=reranker,
+                dense_index_states=dense_states.get(shard),
+                config_fingerprint=config_fingerprint,
+            )
+            for shard, shard_store in enumerate(split_store(store, n_shards))
+        ]
+        # The prepared (fitted-checked, eval-mode) modules; shared by
+        # every shard, referenced here for query-side encodings.
+        self._tagger = self._services[0]._tagger
+        self._reranker = self._services[0]._reranker
+        self._cache = (
+            LRUCache(self.config.cache_capacity)
+            if self.config.cache_capacity
+            else None
+        )
+        self._coalescer = Coalescer(
+            window_seconds=self.config.coalesce_window_ms / 1e3
+        )
+        self._admission = AdmissionController(
+            self.config.max_inflight,
+            self.config.max_queue_depth,
+            self.config.max_queue_wait_ms / 1e3,
+            reservoir_capacity=self.config.reservoir_capacity,
+            seed=self.config.seed + 101,
+        )
+        self._shard_calls = [0] * n_shards
+        self._balance_lock = threading.Lock()
+        self._fanout = (
+            ThreadPoolExecutor(max_workers=self.config.fanout_workers)
+            if self.config.fanout_workers
+            else None
+        )
+        self._handlers: dict[str, Callable[..., Any]] = {
+            "items_for_concept": self.items_for_concept,
+            "concepts_for_item": self.concepts_for_item,
+            "interpretation": self.interpretation,
+            "hypernyms": self.hypernyms,
+            "search": self.search,
+            "tag": self.tag,
+            "items_for_concept_reranked": self.items_for_concept_reranked,
+            "search_reranked": self.search_reranked,
+        }
+        self._metrics = {}
+        for position, endpoint in enumerate(self._handlers):
+            self._metrics[endpoint] = EndpointMetrics(
+                self.config.reservoir_capacity,
+                seed=self.config.seed + position,
+            )
+
+    # ------------------------------------------------------------ warm start
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: str | Path,
+        *,
+        config: ClusterConfig | None = None,
+        service_config: ServiceConfig | None = None,
+        tagger: ConceptTagger | None = None,
+        reranker: Module | None = None,
+        expected_fingerprint: str | None = None,
+    ) -> "AliCoCoCluster":
+        """Warm-start a cluster from one snapshot file.
+
+        A snapshot written by :meth:`save_snapshot` with the *same* shard
+        count rehydrates every per-shard index (BM25 projections and
+        dense indexes) without re-fitting; any other snapshot — a
+        single-service one, or a cluster one with a different shard
+        count — re-splits deterministically from the global store and
+        index, landing on identical placement.  Model bundles restore
+        exactly as in :meth:`AliCoCoService.from_snapshot`.
+
+        Raises:
+            DataError: If the snapshot is malformed, fingerprint-
+                mismatched, or a requested model bundle is absent or
+                invalid.
+        """
+        config = config or ClusterConfig()
+        snapshot = load_snapshot(path)
+        header = snapshot.header
+        if (
+            expected_fingerprint is not None
+            and header.config_fingerprint != expected_fingerprint
+        ):
+            raise DataError(
+                f"snapshot fingerprint {header.config_fingerprint!r} does "
+                f"not match expected {expected_fingerprint!r}"
+            )
+        state = snapshot.index_states.get(CONCEPT_INDEX)
+        search_index = (
+            BM25Index.from_state(state)
+            if state is not None
+            else fit_concept_index(snapshot.store)
+        )
+        meta = snapshot.index_states.get(CLUSTER_META)
+        shard_search_indexes = None
+        shard_dense_states: dict[int, dict[str, Any]] = {}
+        if (
+            isinstance(meta, dict)
+            and meta.get("n_shards") == config.n_shards
+        ):
+            shard_search_indexes = []
+            for shard in range(config.n_shards):
+                state = snapshot.index_states.get(f"{CONCEPT_INDEX}@shard{shard}")
+                shard_search_indexes.append(
+                    BM25Index.from_state(state) if state is not None else None
+                )
+                dense = {
+                    name: snapshot.index_states[f"{name}@shard{shard}"]
+                    for name in (DENSE_CONCEPT_INDEX, DENSE_ITEM_INDEX)
+                    if f"{name}@shard{shard}" in snapshot.index_states
+                }
+                if dense:
+                    shard_dense_states[shard] = dense
+        for name, module in ((TAGGER_MODEL, tagger), (RERANKER_MODEL, reranker)):
+            if module is None:
+                continue
+            bundle = snapshot.model_states.get(name)
+            if bundle is None:
+                bundled = ", ".join(sorted(snapshot.model_states)) or "none"
+                raise DataError(
+                    f"snapshot carries no {name!r} model bundle "
+                    f"(bundled models: {bundled})"
+                )
+            kind = TAGGER_KIND if name == TAGGER_MODEL else RERANKER_KIND
+            restore_serving_module(module, bundle, kind, name)
+        return cls(
+            snapshot.store,
+            config=config,
+            service_config=service_config,
+            search_index=search_index,
+            shard_search_indexes=shard_search_indexes,
+            tagger=tagger,
+            reranker=reranker,
+            shard_dense_states=shard_dense_states or None,
+            config_fingerprint=header.config_fingerprint,
+        )
+
+    def save_snapshot(self, path: str | Path) -> int:
+        """Persist the cluster as one ordinary snapshot file.
+
+        The global store, global concept index and model bundles are
+        written exactly as a single service would write them — so a
+        plain :meth:`AliCoCoService.from_snapshot` can serve a cluster
+        snapshot — plus one ``…@shard{i}`` index state per shard index
+        and a ``cluster`` meta record pinning the shard count for
+        warm-start validation.
+
+        Returns:
+            Number of lines written.
+        """
+        index_states: dict[str, Any] = {
+            CLUSTER_META: {"n_shards": self.n_shards}
+        }
+        if self._search_index is not None:
+            index_states[CONCEPT_INDEX] = self._search_index.to_state()
+        for shard, service in enumerate(self._services):
+            if service._search_index is not None:
+                index_states[f"{CONCEPT_INDEX}@shard{shard}"] = (
+                    service._search_index.to_state()
+                )
+            for name, dense_index in service._dense_indexes.items():
+                if dense_index is not None:
+                    index_states[f"{name}@shard{shard}"] = dense_index.to_state()
+        model_states = {}
+        if self._tagger is not None:
+            model_states[TAGGER_MODEL] = model_bundle_state(
+                self._tagger, TAGGER_KIND
+            )
+        if self._reranker is not None:
+            model_states[RERANKER_MODEL] = model_bundle_state(
+                self._reranker, RERANKER_KIND
+            )
+        return save_snapshot(
+            self._store,
+            path,
+            config_fingerprint=self._fingerprint,
+            index_states=index_states,
+            model_states=model_states,
+        )
+
+    # ------------------------------------------------------------- endpoints
+    def items_for_concept(self, concept_id: str, top_k: int | None = None) -> tuple:
+        """Best items for a concept, answered by its owner shard."""
+        with self._metered_errors("items_for_concept"):
+            service = self._route(concept_id)
+            return self._serve(
+                "items_for_concept",
+                (concept_id, top_k),
+                lambda: service.items_for_concept(concept_id, top_k),
+            )
+
+    def concepts_for_item(self, item_id: str) -> tuple:
+        """Concepts an item participates in, from the item's owner shard."""
+        with self._metered_errors("concepts_for_item"):
+            service = self._route(item_id)
+            return self._serve(
+                "concepts_for_item",
+                (item_id,),
+                lambda: service.concepts_for_item(item_id),
+            )
+
+    def interpretation(self, concept_id: str) -> tuple:
+        """Primitive senses of a concept, from its owner shard."""
+        with self._metered_errors("interpretation"):
+            service = self._route(concept_id)
+            return self._serve(
+                "interpretation",
+                (concept_id,),
+                lambda: service.interpretation(concept_id),
+            )
+
+    def hypernyms(self, primitive_id: str, transitive: bool = False) -> tuple:
+        """Hypernym expansion; the taxonomy is replicated, shard 0 answers."""
+        with self._metered_errors("hypernyms"):
+            service = self._route(primitive_id)
+            return self._serve(
+                "hypernyms",
+                (primitive_id, transitive),
+                lambda: service.hypernyms(primitive_id, transitive),
+            )
+
+    def search(self, text: str, k: int | None = None) -> tuple:
+        """Text -> concepts, scattered to every shard and merged globally."""
+        with self._metered_errors("search"):
+            if k is not None and k <= 0:
+                raise ConfigError(f"search k must be positive, got {k}")
+            k = k if k is not None else self._service_config.search_top_k
+            tokens = tuple(text.split())
+            return self._serve(
+                "search",
+                (tokens, k),
+                lambda: self._search_scattered(tokens, k),
+            )
+
+    def tag(self, text: str) -> tuple:
+        """Concept tagging; the model and primitive layer are replicated."""
+        with self._metered_errors("tag"):
+            service = self._count_shard(0)
+            tokens = tuple(text.split())
+            return self._serve("tag", (tokens,), lambda: service.tag(text))
+
+    def items_for_concept_reranked(
+        self, concept_id: str, top_k: int | None = None
+    ) -> tuple:
+        """Reranked items: pool gathered globally, scored on owner shards.
+
+        Coalesced: concurrent identical requests share one computation.
+        """
+        with self._metered_errors("items_for_concept_reranked"):
+            self._require_reranker("items_for_concept_reranked")
+            if top_k is not None and top_k <= 0:
+                raise ConfigError(
+                    f"items_for_concept_reranked top_k must be positive, got {top_k}"
+                )
+            service = self._route(concept_id)
+            service._require(concept_id, ECOMMERCE_PREFIX)
+            return self._serve(
+                "items_for_concept_reranked",
+                (concept_id, top_k),
+                lambda: self._items_reranked_scattered(service, concept_id, top_k),
+            )
+
+    def search_reranked(self, text: str, k: int | None = None) -> tuple:
+        """Reranked search: pool gathered globally, scored on owner shards.
+
+        Coalesced: concurrent identical requests share one computation.
+        """
+        with self._metered_errors("search_reranked"):
+            self._require_reranker("search_reranked")
+            if k is not None and k <= 0:
+                raise ConfigError(f"search_reranked k must be positive, got {k}")
+            k = k if k is not None else self._service_config.search_top_k
+            tokens = tuple(text.split())
+            return self._serve(
+                "search_reranked",
+                (tokens, k),
+                lambda: self._search_reranked_scattered(tokens, k),
+            )
+
+    def batch(
+        self,
+        requests: Iterable[Sequence],
+        *,
+        on_error: str = "raise",
+        workers: int | None = None,
+    ) -> list:
+        """Answer many queries in one call; same contract as the service.
+
+        In envelope mode a shed sub-query comes back as a
+        :class:`~repro.serving.BatchResult` with ``error_type ==
+        "OverloadedError"`` — ``unwrap()`` re-raises it as the original
+        type, so callers can retry just the shed requests.
+
+        Raises:
+            ConfigError: On an unknown endpoint (``"raise"`` mode), an
+                unknown ``on_error`` policy, or non-positive ``workers``.
+        """
+        if on_error not in _ON_ERROR_MODES:
+            expected = ", ".join(repr(mode) for mode in _ON_ERROR_MODES)
+            raise ConfigError(
+                f"unknown on_error policy {on_error!r}; expected one of: {expected}"
+            )
+        if workers is not None and workers <= 0:
+            raise ConfigError(f"batch workers must be positive, got {workers}")
+        run = self._run_one if on_error == "raise" else self._run_enveloped
+        requests = list(requests)
+        if workers is None or workers == 1 or len(requests) <= 1:
+            return [run(request) for request in requests]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(run, request) for request in requests]
+            return [future.result() for future in futures]
+
+    def _run_one(self, request: Sequence) -> Any:
+        endpoint, *args = request
+        handler = self._handlers.get(endpoint)
+        if handler is None:
+            known = ", ".join(sorted(self._handlers))
+            raise ConfigError(
+                f"unknown endpoint {endpoint!r}; expected one of: {known}"
+            )
+        return handler(*args)
+
+    def _run_enveloped(self, request: Sequence) -> BatchResult:
+        try:
+            return BatchResult(ok=True, value=self._run_one(request))
+        except Exception as error:
+            return BatchResult(
+                ok=False,
+                error_type=type(error).__name__,
+                error_message=str(error),
+            )
+
+    # --------------------------------------------------------- introspection
+    @property
+    def n_shards(self) -> int:
+        """Number of shard services."""
+        return self.config.n_shards
+
+    @property
+    def store(self) -> AliCoCoStore:
+        """The (frozen) global net the cluster was split from."""
+        return self._store
+
+    @property
+    def services(self) -> tuple[AliCoCoService, ...]:
+        """The shard services, in shard order."""
+        return tuple(self._services)
+
+    @property
+    def endpoints(self) -> tuple[str, ...]:
+        """Names accepted by :meth:`batch`."""
+        return tuple(self._handlers)
+
+    @property
+    def models(self) -> tuple[str, ...]:
+        """Bundle names of the models the cluster is serving."""
+        return self._services[0].models
+
+    def stats(self) -> ClusterStats:
+        """Current cluster statistics (fan-out, coalescing, admission)."""
+        store_stats = self._store.stats()
+        with self._balance_lock:
+            shard_calls = tuple(self._shard_calls)
+        return ClusterStats(
+            n_shards=self.n_shards,
+            nodes=len(self._store),
+            relations=store_stats.relations_total,
+            cache_entries=len(self._cache) if self._cache else 0,
+            cache_capacity=self._cache.capacity if self._cache else 0,
+            cache_evictions=self._cache.evictions if self._cache else 0,
+            endpoints=tuple(
+                metrics.snapshot(endpoint)
+                for endpoint, metrics in self._metrics.items()
+            ),
+            coalescer=self._coalescer.stats(),
+            admission=self._admission.stats(),
+            shard_calls=shard_calls,
+            shards=tuple(service.stats() for service in self._services),
+        )
+
+    def close(self) -> None:
+        """Shut down the fan-out executor (no-op without one)."""
+        if self._fanout is not None:
+            self._fanout.shutdown(wait=True)
+
+    def __enter__(self) -> "AliCoCoCluster":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- internals
+    def _route(self, node_id: str) -> AliCoCoService:
+        """The shard service answering point queries for ``node_id``.
+
+        Partitioned ids go to their hash owner; replicated-layer ids (and
+        malformed ids, which no shard can know — the owner's store raises
+        the same ``NodeNotFoundError`` the monolithic service would) go
+        to shard 0.
+        """
+        try:
+            partitioned = is_partitioned(node_id)
+        except ValueError:
+            partitioned = False
+        shard = shard_of(node_id, self.n_shards) if partitioned else 0
+        return self._count_shard(shard)
+
+    def _count_shard(self, shard: int) -> AliCoCoService:
+        with self._balance_lock:
+            self._shard_calls[shard] += 1
+        return self._services[shard]
+
+    def _scatter(self, call: Callable[[AliCoCoService], Any]) -> list:
+        """Run ``call`` against every shard service, in shard order."""
+        with self._balance_lock:
+            for shard in range(self.n_shards):
+                self._shard_calls[shard] += 1
+        if self._fanout is None:
+            return [call(service) for service in self._services]
+        return list(self._fanout.map(call, self._services))
+
+    def _require_reranker(self, endpoint: str) -> None:
+        self._services[0]._require_model(self._reranker, RERANKER_MODEL, endpoint)
+
+    @contextmanager
+    def _metered_errors(self, endpoint: str) -> Iterator[None]:
+        """Count any failure (shed requests included) against the endpoint."""
+        try:
+            yield
+        except Exception as error:
+            self._metrics[endpoint].record_error(type(error).__name__)
+            raise
+
+    def _serve(self, endpoint: str, key: tuple, compute: Callable[[], Any]) -> Any:
+        """Cache -> coalesce -> admission -> compute, in that order.
+
+        The cache sits first so a hot repeat never costs a slot; the
+        coalescer sits *outside* admission so N concurrent duplicates
+        consume one slot (a leader is always admitted-or-shed, never
+        blocked on its own joiners — no deadlock by construction).
+        Joiners count as cache misses: their latency includes the wait
+        for the leader, which is exactly what a caller observed.
+        """
+        metrics = self._metrics[endpoint]
+        start = perf_counter()
+        cache_key = (endpoint, *key)
+        if self._cache is not None:
+            cached = self._cache.get(cache_key, _MISS)
+            if cached is not _MISS:
+                metrics.record_hit(perf_counter() - start)
+                return cached
+
+        def admitted() -> Any:
+            with self._admission.admit():
+                return compute()
+
+        if endpoint in COALESCED_ENDPOINTS:
+            value = self._coalescer.submit(cache_key, admitted)
+        else:
+            value = admitted()
+        if self._cache is not None:
+            self._cache.put(cache_key, value)
+        metrics.record_miss(perf_counter() - start)
+        return value
+
+    # ----------------------------------------------------- scattered queries
+    def _search_scattered(self, tokens: tuple[str, ...], k: int) -> tuple:
+        """Global BM25 ranking from per-shard projections (bit-identical)."""
+        if not tokens or self._search_index is None:
+            return ()
+        arms = self._scatter(lambda service: service._search_uncached(tokens, k))
+        return merge_ranked(arms, self._concept_position, k)
+
+    def _has_dense(self, name: str) -> bool:
+        return any(
+            service._dense_indexes.get(name) is not None
+            for service in self._services
+        )
+
+    def _concept_pool_scattered(self, tokens: tuple[str, ...], k: int) -> tuple:
+        """The cluster's version of ``AliCoCoService._concept_pool``."""
+        mode = self._service_config.retriever
+        if mode == "bm25" or not self._has_dense(DENSE_CONCEPT_INDEX) or not tokens:
+            return self._search_scattered(tokens, k)
+        vector = dense_query_vector(self._reranker, tokens)
+        arms = self._scatter(
+            lambda service: service._dense_arm(DENSE_CONCEPT_INDEX, vector, k)
+        )
+        dense = merge_ranked(arms, self._concept_position, k)
+        if mode == "dense":
+            return dense
+        lexical = self._search_scattered(tokens, k)
+        return tuple(
+            rrf_fuse(
+                [list(dense), list(lexical)],
+                k=self._service_config.rrf_k,
+                weights=self._service_config.hybrid_weights,
+            )[:k]
+        )
+
+    def _item_pool_scattered(
+        self, service: AliCoCoService, concept_id: str, k: int
+    ) -> tuple:
+        """The cluster's version of ``AliCoCoService._item_pool``.
+
+        The graph arm comes entirely from the concept's owner shard
+        (``service``): every item->concept edge lives there, in global
+        insertion order, so the association ranking is bit-identical.
+        """
+        graph = service._items_uncached(concept_id, k)
+        mode = self._service_config.retriever
+        if mode == "bm25" or not self._has_dense(DENSE_ITEM_INDEX):
+            return graph
+        tokens = tuple(service._store.get(concept_id).tokens)
+        if not tokens:
+            return graph
+        vector = dense_query_vector(self._reranker, tokens)
+        arms = self._scatter(
+            lambda shard_service: shard_service._dense_arm(
+                DENSE_ITEM_INDEX, vector, k
+            )
+        )
+        dense = merge_ranked(arms, self._item_position, k)
+        if mode == "dense":
+            return dense
+        return tuple(
+            rrf_fuse(
+                [list(dense), list(graph)],
+                k=self._service_config.rrf_k,
+                weights=self._service_config.hybrid_weights,
+            )[:k]
+        )
+
+    def _score_scattered(
+        self,
+        query_tokens: tuple[str, ...],
+        pool: tuple,
+        doc_tokens: Callable[[AliCoCoService, str], list[str]],
+    ) -> list[tuple[str, float]]:
+        """Scatter pool scoring to owner shards, merge by ``(-prob, id)``.
+
+        Each candidate is scored on the shard that owns it — through that
+        shard's doc-encoding cache — and per-candidate scores are
+        pool-composition independent, so the merged ranking equals the
+        single-service ``sorted(zip(ids, scores), key=(-score, id))``.
+        """
+        groups: dict[int, list[str]] = {}
+        for node_id, _ in pool:
+            groups.setdefault(shard_of(node_id, self.n_shards), []).append(node_id)
+        scores: dict[str, float] = {}
+        for shard in sorted(groups):
+            service = self._count_shard(shard)
+            shard_ids = groups[shard]
+            texts = [doc_tokens(service, node_id) for node_id in shard_ids]
+            shard_scores = service._pool_scores(
+                self._reranker, query_tokens, shard_ids, texts
+            )
+            scores.update(zip(shard_ids, shard_scores))
+        return sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+
+    def _items_reranked_scattered(
+        self, service: AliCoCoService, concept_id: str, top_k: int | None
+    ) -> tuple:
+        concept_tokens = tuple(service._store.get(concept_id).tokens)
+        pool = self._item_pool_scattered(
+            service, concept_id, self._service_config.rerank_pool_k
+        )
+        scored = self._score_scattered(
+            concept_tokens,
+            pool,
+            lambda shard_service, item_id: shard_service._store.get(
+                item_id
+            ).title.split(),
+        )
+        if top_k is not None:
+            scored = scored[:top_k]
+        return tuple(scored)
+
+    def _search_reranked_scattered(self, tokens: tuple[str, ...], k: int) -> tuple:
+        pool = self._concept_pool_scattered(
+            tokens, self._service_config.rerank_pool_k
+        )
+        scored = self._score_scattered(
+            tokens,
+            pool,
+            lambda shard_service, concept_id: list(
+                shard_service._store.get(concept_id).tokens
+            ),
+        )
+        return tuple(scored[:k])

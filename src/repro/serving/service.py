@@ -332,6 +332,13 @@ class AliCoCoService:
             rehydrated instead of re-fitted — retrieval is bit-identical
             to the fresh fit; mismatched or absent states rebuild from
             the store.  Ignored under ``retriever="bm25"``.
+        fit_search_index: Fit a BM25 index from the store when none is
+            supplied (the default).  A cluster shard passes ``False``
+            together with its *projection* of the global index (or no
+            index at all, for a shard owning no concepts): fitting over
+            the shard store would index ghost replicas with shard-local
+            corpus statistics and break scatter-gather bit-identity (see
+            :mod:`repro.serving.shard`).
         config_fingerprint: Digest of the build configuration, embedded in
             snapshots this service writes
             (:meth:`repro.config.RunScale.fingerprint`).
@@ -351,14 +358,16 @@ class AliCoCoService:
         tagger: ConceptTagger | None = None,
         reranker: Module | None = None,
         dense_index_states: dict[str, Any] | None = None,
+        fit_search_index: bool = True,
         config_fingerprint: str = "",
     ):
         self.config = config or ServiceConfig()
         self._store = store.freeze()
         self._fingerprint = config_fingerprint
-        self._search_index = (
-            search_index if search_index is not None else fit_concept_index(store)
-        )
+        if search_index is not None:
+            self._search_index = search_index
+        else:
+            self._search_index = fit_concept_index(store) if fit_search_index else None
         self._tagger = (
             prepare_serving_module(tagger, TAGGER_MODEL) if tagger is not None else None
         )
@@ -894,6 +903,20 @@ class AliCoCoService:
             encoding = self._doc_encoding(self._reranker, node_id, tokens)
         return dense_doc_vector(self._reranker, tokens, encoding=encoding)
 
+    def _dense_arm(self, name: str, vector: Any, k: int) -> tuple:
+        """One dense first-stage ranking: ((node id, score), ...).
+
+        The query-vector-in flavour of dense retrieval, split out so a
+        cluster (:mod:`repro.serving.cluster`) can encode the query once
+        and fan the same vector out to every shard's local index.  An
+        absent index (e.g. a shard owning no documents of this
+        population) answers with an empty arm.
+        """
+        index = self._dense_indexes.get(name)
+        if index is None:
+            return ()
+        return tuple(index.retrieve(vector, k))
+
     def _concept_pool(self, tokens: tuple[str, ...], k: int) -> tuple:
         """Concept candidates for ``search_reranked``, per the configured
         first stage: BM25, the dense concept index, or their RRF fusion."""
@@ -902,7 +925,7 @@ class AliCoCoService:
         if mode == "bm25" or index is None or not tokens:
             return self._search_uncached(tokens, k)
         vector = dense_query_vector(self._reranker, tokens)
-        dense = index.retrieve(vector, k)
+        dense = list(self._dense_arm(DENSE_CONCEPT_INDEX, vector, k))
         if mode == "dense":
             return tuple(dense)
         return tuple(
@@ -932,7 +955,7 @@ class AliCoCoService:
         if not tokens:
             return graph
         vector = dense_query_vector(self._reranker, tokens)
-        dense = index.retrieve(vector, k)
+        dense = list(self._dense_arm(DENSE_ITEM_INDEX, vector, k))
         if mode == "dense":
             return tuple(dense)
         return tuple(

@@ -1,0 +1,259 @@
+"""Hash-sharding a frozen net for scatter-gather serving.
+
+The paper's net answers Alibaba-scale traffic; one Python process with
+one monolithic store does not.  This module is the *data* half of the
+cluster tier (:mod:`repro.serving.cluster` is the query half): it splits
+an :class:`~repro.kg.store.AliCoCoStore` into N self-contained shard
+stores by node-id hash, so each shard can be served by an ordinary
+:class:`~repro.serving.AliCoCoService` and queries either *route* to one
+shard or *scatter* across all of them and merge.
+
+**Placement rules** (:func:`split_store`):
+
+- The taxonomy layers (``cls_``/``pc_`` — small, read on every
+  interpretation/hypernym query) are **replicated** to every shard,
+  together with every relation whose endpoints both lie in them.
+- The big layers (``ec_`` concepts, ``item_`` items) are **partitioned**
+  by :func:`shard_of` — a stable CRC32 of the node id, so placement is
+  identical across processes and runs (Python's builtin ``hash`` is
+  salted per process and would re-shard the net on every restart).
+- A relation lives on the owner shard of **each** of its partitioned
+  endpoints.  The missing endpoint is added to that shard as a *ghost
+  replica* (same node object, not owned), so the shard store passes
+  endpoint validation and can serve the relation's text locally.
+
+The placement invariant the cluster relies on: **every relation incident
+to a node is present on that node's owner shard, in global insertion
+order.**  Point lookups (``items_for_concept``, ``concepts_for_item``,
+``interpretation``, ``hypernyms``) therefore route to one shard and
+answer bit-identically to the monolithic store — including weight-tie
+ordering, because each shard replays its relations in global order.
+
+**Sharded lexical retrieval** (:func:`project_bm25_index`): a BM25 score
+depends on corpus statistics (idf, average document length), so an index
+*fitted per shard* would score with local statistics and a scatter-gather
+merge would disagree with the single-index oracle.  Instead each shard
+gets a **projection** of the one global index: its own documents and
+postings only, but the global idf table and the global length norms.
+Shard scores are then exactly the global scores, and merging per-shard
+top-k lists by ``(-score, global fit position)`` reproduces the global
+``top_k`` bit for bit (:func:`merge_ranked` — the same tie-break contract
+the retrieval backends pin down).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import ConfigError
+from ..kg.ids import (
+    CLASS_PREFIX,
+    ECOMMERCE_PREFIX,
+    ITEM_PREFIX,
+    PRIMITIVE_PREFIX,
+    layer_of,
+)
+from ..kg.relations import Relation
+from ..kg.store import AliCoCoStore
+from ..matching.bm25 import BM25Index
+
+#: Layers partitioned across shards by node-id hash.
+PARTITIONED_LAYERS = (ECOMMERCE_PREFIX, ITEM_PREFIX)
+
+#: Layers replicated in full to every shard (the small taxonomy layers).
+REPLICATED_LAYERS = (CLASS_PREFIX, PRIMITIVE_PREFIX)
+
+
+def shard_of(node_id: str, n_shards: int) -> int:
+    """Owner shard of a node id: a stable hash, identical across runs.
+
+    CRC32 of the UTF-8 id modulo the shard count — deterministic across
+    processes (unlike builtin ``hash``, which is salted), cheap, and
+    uniform enough that shard loads balance (see the balance stats in
+    ``benchmarks/bench_cluster.py``).
+
+    Raises:
+        ConfigError: If ``n_shards`` is not positive.
+    """
+    if n_shards <= 0:
+        raise ConfigError(f"n_shards must be positive, got {n_shards}")
+    return zlib.crc32(node_id.encode("utf-8")) % n_shards
+
+
+def is_partitioned(node_id: str) -> bool:
+    """Whether a node id belongs to a hash-partitioned layer."""
+    return layer_of(node_id) in PARTITIONED_LAYERS
+
+
+def owner_shards(relation: Relation, n_shards: int) -> tuple[int, ...]:
+    """The shards a relation is placed on (sorted, duplicate-free).
+
+    A relation between two replicated-layer nodes lives everywhere; any
+    other relation lives on the owner shard of each partitioned endpoint.
+    """
+    owners = {
+        shard_of(endpoint, n_shards)
+        for endpoint in (relation.source, relation.target)
+        if is_partitioned(endpoint)
+    }
+    if not owners:
+        return tuple(range(n_shards))
+    return tuple(sorted(owners))
+
+
+def split_store(store: AliCoCoStore, n_shards: int) -> list[AliCoCoStore]:
+    """Split a store into ``n_shards`` self-contained shard stores.
+
+    Node objects are shared, not copied (nodes are immutable under
+    serving); the shard stores come back unfrozen so callers can freeze
+    them through the services that serve them.  Splitting is
+    deterministic: the same store and shard count always produce the
+    same shards, so a cluster can re-split after a snapshot reload and
+    land on identical placement.
+
+    Raises:
+        ConfigError: If ``n_shards`` is not positive.
+    """
+    if n_shards <= 0:
+        raise ConfigError(f"n_shards must be positive, got {n_shards}")
+    shards = [AliCoCoStore() for _ in range(n_shards)]
+    for node in store.nodes():
+        if is_partitioned(node.id):
+            shards[shard_of(node.id, n_shards)].add_node(node)
+        else:
+            for shard in shards:
+                shard.add_node(node)
+    # Relations replay in global insertion order per shard, so a shard's
+    # adjacency lists are order-preserving subsequences of the global
+    # ones — weight ties resolve exactly as the monolithic store would.
+    pending: list[list[Relation]] = [[] for _ in range(n_shards)]
+    for relation in store.relations():
+        for home in owner_shards(relation, n_shards):
+            shard = shards[home]
+            for endpoint in (relation.source, relation.target):
+                if endpoint not in shard:
+                    shard.add_node(store.get(endpoint))  # ghost replica
+            pending[home].append(relation)
+    for shard, relations in zip(shards, pending):
+        shard.add_relations_trusted(relations)
+    return shards
+
+
+def owned_ids(store: AliCoCoStore, shard_id: int, n_shards: int,
+              layer: str) -> list[str]:
+    """Ids of a layer a shard *owns* (ghost replicas excluded).
+
+    Ownership is a pure function of the id (:func:`shard_of`), so this
+    works on the global store and on a shard store alike.
+    """
+    return [
+        node.id
+        for node in store.nodes(layer)
+        if shard_of(node.id, n_shards) == shard_id
+    ]
+
+
+def project_bm25_index(index: BM25Index | None,
+                       keep: Iterable[str]) -> BM25Index | None:
+    """Project a fitted global BM25 index onto a document subset.
+
+    The projection keeps only the subset's documents, postings and
+    length norms, but the **global** idf table and global-statistics
+    norms — so every kept document scores exactly as it does in the full
+    index, and a scatter-gather merge of per-shard projections is
+    bit-identical to the global ``top_k`` (see :func:`merge_ranked`).
+    Local positions preserve global order, so per-shard tie-breaks stay
+    order-consistent with the global index.
+
+    Returns ``None`` when the subset is empty (or the index is ``None``)
+    — a shard owning no concepts serves an empty search surface.
+    """
+    if index is None:
+        return None
+    keep = set(keep)
+    state = index.to_state()
+    keep_positions = [
+        position
+        for position, doc_id in enumerate(state["doc_ids"])
+        if doc_id in keep
+    ]
+    if not keep_positions:
+        return None
+    remap = {old: new for new, old in enumerate(keep_positions)}
+    postings = {}
+    for term, term_postings in state["postings"].items():
+        kept = [
+            [remap[position], frequency]
+            for position, frequency in term_postings
+            if position in remap
+        ]
+        if kept:
+            postings[term] = kept
+    return BM25Index.from_state({
+        "k1": state["k1"],
+        "b": state["b"],
+        "doc_ids": [state["doc_ids"][position] for position in keep_positions],
+        "postings": postings,
+        "norms": [state["norms"][position] for position in keep_positions],
+        "idf": state["idf"],  # global idf: scores must not change
+    })
+
+
+def split_concept_index(index: BM25Index | None,
+                        n_shards: int) -> list[BM25Index | None]:
+    """Per-shard projections of the global concept index.
+
+    Raises:
+        ConfigError: If ``n_shards`` is not positive.
+    """
+    if n_shards <= 0:
+        raise ConfigError(f"n_shards must be positive, got {n_shards}")
+    if index is None:
+        return [None] * n_shards
+    doc_ids = index.to_state()["doc_ids"]
+    return [
+        project_bm25_index(
+            index,
+            (
+                doc_id
+                for doc_id in doc_ids
+                if shard_of(doc_id, n_shards) == shard
+            ),
+        )
+        for shard in range(n_shards)
+    ]
+
+
+def merge_ranked(arms: Sequence[Sequence[tuple]],
+                 position: Mapping[str, int],
+                 k: int) -> tuple:
+    """Deterministic global merge of per-shard ``(id, score)`` rankings.
+
+    The scatter-gather counterpart of a single index's ``top_k``: every
+    candidate from every shard is pooled (duplicates — ghost replicas
+    indexed on two shards — keep their first occurrence; replicas score
+    identically by construction, so which copy survives cannot matter)
+    and re-ranked by ``(-score, global fit position)``.  Because each
+    shard's list is its *exact* local top-k under global scores, the
+    union is a superset of the global top-k and the merge reproduces the
+    single-index ranking bit for bit — the same tie-break contract as
+    :meth:`repro.matching.bm25.BM25Index.top_k` and the dense retrievers.
+
+    Args:
+        arms: One ``((id, score), ...)`` ranking per shard.
+        position: Node id -> global fit position (ties break low-first).
+            Ids absent from the map rank after mapped ones, by id.
+        k: Result length bound.
+    """
+    pooled: dict[str, float] = {}
+    for arm in arms:
+        for node_id, score in arm:
+            if node_id not in pooled:
+                pooled[node_id] = score
+    fallback = len(position)
+    ranked = sorted(
+        pooled.items(),
+        key=lambda pair: (-pair[1], position.get(pair[0], fallback), pair[0]),
+    )
+    return tuple(ranked[:k])

@@ -118,6 +118,31 @@ class EndpointStats:
         return sum(count for _, count in self.errors)
 
 
+def endpoint_table(endpoints: tuple["EndpointStats", ...]) -> list[str]:
+    """Aligned per-endpoint table rows (header first), for stats reports.
+
+    The endpoint column is sized to the longest endpoint name so long
+    names (``items_for_concept_reranked`` is 25 characters) can never
+    push the numeric columns out of alignment.
+    """
+    width = max(
+        [len("endpoint")] + [len(stats.endpoint) for stats in endpoints]
+    )
+    lines = [
+        f"  {'endpoint':<{width}} {'calls':>7} {'errors':>7} {'hit%':>6} "
+        f"{'miss p50':>10} {'miss p99':>10} {'hit p50':>10}",
+    ]
+    for stats in endpoints:
+        lines.append(
+            f"  {stats.endpoint:<{width}} {stats.calls:>7} "
+            f"{stats.error_total:>7} "
+            f"{stats.hit_rate * 100:>5.1f}% "
+            f"{stats.miss_p50_ms:>8.4f}ms {stats.miss_p99_ms:>8.4f}ms "
+            f"{stats.hit_p50_ms:>8.4f}ms"
+        )
+    return lines
+
+
 @dataclass(frozen=True)
 class ServiceStats:
     """Whole-service report: store size, cache state, per-endpoint stats.
@@ -177,18 +202,7 @@ class ServiceStats:
                 f"{rate * 100:.1f}% hit rate, "
                 f"{self.doc_cache_evictions} evictions"
             )
-        lines += [
-            f"  {'endpoint':<20} {'calls':>7} {'errors':>7} {'hit%':>6} "
-            f"{'miss p50':>10} {'miss p99':>10} {'hit p50':>10}",
-        ]
-        for stats in self.endpoints:
-            lines.append(
-                f"  {stats.endpoint:<20} {stats.calls:>7} "
-                f"{stats.error_total:>7} "
-                f"{stats.hit_rate * 100:>5.1f}% "
-                f"{stats.miss_p50_ms:>8.4f}ms {stats.miss_p99_ms:>8.4f}ms "
-                f"{stats.hit_p50_ms:>8.4f}ms"
-            )
+        lines += endpoint_table(self.endpoints)
         if self.total_errors:
             by_type: dict[str, int] = {}
             for stats in self.endpoints:

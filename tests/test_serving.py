@@ -220,6 +220,30 @@ class TestErrorCounters:
         assert "errors" in table
         assert "NodeNotFoundError x1" in table
 
+    def test_format_table_aligns_long_endpoint_names(self, built):
+        """Regression: ``items_for_concept_reranked`` (25 chars) used to
+        overflow the fixed 20-character endpoint column and shear every
+        numeric column after it out of alignment."""
+        service = AliCoCoService.from_build(built)
+        table = service.stats().format_table()
+        lines = table.splitlines()
+        header = next(line for line in lines if "endpoint" in line)
+        rows = [
+            line
+            for line in lines
+            if any(line.strip().startswith(name) for name in service.endpoints)
+        ]
+        assert len(rows) == len(service.endpoints)
+        calls_column = header.index("calls")
+        for row in rows:
+            # The endpoint cell must end (and the calls cell start) at
+            # the same offset on every row, longest name included.
+            assert len(row) >= calls_column
+            name = row.strip().split()[0]
+            assert row[2 : 2 + len(name)] == name
+            cell = row[2:calls_column]
+            assert cell.rstrip() == name  # nothing bleeds past the column
+
 
 class TestCachingAndStats:
     def test_repeat_queries_hit_the_cache(self, built):

@@ -1,0 +1,621 @@
+"""The cluster serving tier: sharding, scatter-gather, coalescing, shedding.
+
+The contract under test is *bit-identity*: an ``AliCoCoCluster`` over N
+shards must answer every endpoint exactly like one ``AliCoCoService``
+over the same store — placement, BM25 projection and the deterministic
+merges are implementation detail, not observable behaviour.  On top of
+that sit the traffic-shaping layers: the coalescer's singleflight
+semantics (one computation per concurrent duplicate set, exceptions
+shared, never a hang) and admission control's typed, bounded shedding.
+"""
+
+import threading
+import time
+import zlib
+
+import pytest
+
+from repro import TINY, build_alicoco
+from repro.errors import (
+    ConfigError,
+    DataError,
+    NodeNotFoundError,
+    OverloadedError,
+    RelationError,
+    error_by_name,
+)
+from repro.kg.ids import (
+    CLASS_PREFIX,
+    ECOMMERCE_PREFIX,
+    ITEM_PREFIX,
+    PRIMITIVE_PREFIX,
+)
+from repro.serving import (
+    AdmissionController,
+    AliCoCoCluster,
+    AliCoCoService,
+    BatchResult,
+    CLUSTER_META,
+    Coalescer,
+    ClusterConfig,
+    CONCEPT_INDEX,
+    ServiceConfig,
+    merge_ranked,
+    owned_ids,
+    project_bm25_index,
+    shard_of,
+    split_store,
+)
+from repro.serving.service import fit_concept_index
+
+SHARD_COUNTS = (1, 2, 3)
+
+
+@pytest.fixture(scope="module")
+def built(built_tiny):
+    return built_tiny
+
+
+@pytest.fixture(scope="module")
+def store(built):
+    return built.store
+
+
+@pytest.fixture(scope="module")
+def service(store):
+    return AliCoCoService(store)
+
+
+def _cluster(store, n_shards, **kwargs):
+    return AliCoCoCluster(store, config=ClusterConfig(n_shards=n_shards), **kwargs)
+
+
+class TestShardOf:
+    def test_matches_crc32_and_is_stable(self):
+        for node_id in ("ec_0", "ec_17", "item_3", "pc_5"):
+            expected = zlib.crc32(node_id.encode("utf-8")) % 4
+            assert shard_of(node_id, 4) == expected
+            assert shard_of(node_id, 4) == shard_of(node_id, 4)
+
+    def test_single_shard_owns_everything(self):
+        assert shard_of("ec_123", 1) == 0
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ConfigError, match="n_shards"):
+            shard_of("ec_0", 0)
+
+    def test_placement_roughly_balances(self):
+        counts = [0, 0, 0, 0]
+        for index in range(2000):
+            counts[shard_of(f"ec_{index}", 4)] += 1
+        assert min(counts) > 300  # CRC32 spreads sequential ids evenly
+
+
+class TestSplitStore:
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_partitioned_layers_are_partitioned(self, store, n_shards):
+        shards = split_store(store, n_shards)
+        for layer in (ECOMMERCE_PREFIX, ITEM_PREFIX):
+            for node in store.nodes(layer):
+                owner = shard_of(node.id, n_shards)
+                assert node.id in shards[owner]
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_replicated_layers_are_everywhere(self, store, n_shards):
+        shards = split_store(store, n_shards)
+        for layer in (CLASS_PREFIX, PRIMITIVE_PREFIX):
+            ids = [node.id for node in store.nodes(layer)]
+            for shard in shards:
+                assert all(node_id in shard for node_id in ids)
+
+    def test_owner_shard_holds_incident_relations_in_global_order(self, store):
+        """The placement invariant the routed endpoints stand on."""
+        from repro.kg.relations import RelationKind
+
+        n_shards = 3
+        shards = split_store(store, n_shards)
+        for node in store.nodes(ECOMMERCE_PREFIX):
+            owner = shards[shard_of(node.id, n_shards)]
+            for kind in RelationKind:
+                assert owner.in_relations(node.id, kind) == store.in_relations(
+                    node.id, kind
+                )
+                assert owner.out_relations(node.id, kind) == store.out_relations(
+                    node.id, kind
+                )
+
+    def test_split_is_deterministic(self, store):
+        first = split_store(store, 2)
+        second = split_store(store, 2)
+        for shard_a, shard_b in zip(first, second):
+            assert [n.id for n in shard_a.nodes()] == [n.id for n in shard_b.nodes()]
+            assert list(shard_a.relations()) == list(shard_b.relations())
+
+    def test_owned_ids_excludes_ghosts(self, store):
+        n_shards = 3
+        shards = split_store(store, n_shards)
+        for shard_id, shard in enumerate(shards):
+            owned = set(owned_ids(shard, shard_id, n_shards, ECOMMERCE_PREFIX))
+            present = {node.id for node in shard.nodes(ECOMMERCE_PREFIX)}
+            assert owned <= present
+            for node_id in owned:
+                assert shard_of(node_id, n_shards) == shard_id
+
+
+class TestBM25Projection:
+    def test_projected_scores_equal_global_scores(self, store):
+        index = fit_concept_index(store)
+        n_shards = 3
+        doc_ids = index.to_state()["doc_ids"]
+        position = {doc_id: i for i, doc_id in enumerate(doc_ids)}
+        queries = [tuple(store.get(doc_id).tokens) for doc_id in doc_ids[:10]]
+        projections = [
+            project_bm25_index(
+                index,
+                [d for d in doc_ids if shard_of(d, n_shards) == shard],
+            )
+            for shard in range(n_shards)
+        ]
+        for tokens in queries:
+            expected = tuple(index.top_k(tokens, k=10))
+            arms = [
+                tuple(projection.top_k(tokens, k=10))
+                if projection is not None
+                else ()
+                for projection in projections
+            ]
+            assert merge_ranked(arms, position, 10) == expected
+
+    def test_empty_subset_projects_to_none(self, store):
+        index = fit_concept_index(store)
+        assert project_bm25_index(index, []) is None
+        assert project_bm25_index(None, ["ec_0"]) is None
+
+
+class TestClusterParity:
+    """Every endpoint answers exactly like the monolithic service."""
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_point_lookups(self, store, service, n_shards):
+        cluster = _cluster(store, n_shards)
+        for node in store.nodes(ECOMMERCE_PREFIX):
+            assert cluster.items_for_concept(node.id) == service.items_for_concept(
+                node.id
+            )
+            assert cluster.items_for_concept(node.id, 3) == (
+                service.items_for_concept(node.id, 3)
+            )
+            assert cluster.interpretation(node.id) == service.interpretation(node.id)
+        for node in list(store.nodes(ITEM_PREFIX))[:30]:
+            assert cluster.concepts_for_item(node.id) == service.concepts_for_item(
+                node.id
+            )
+        for node in store.nodes(PRIMITIVE_PREFIX):
+            assert cluster.hypernyms(node.id) == service.hypernyms(node.id)
+            assert cluster.hypernyms(node.id, transitive=True) == (
+                service.hypernyms(node.id, transitive=True)
+            )
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_search_is_bit_identical(self, store, service, n_shards):
+        cluster = _cluster(store, n_shards)
+        queries = [
+            " ".join(node.tokens)
+            for node in list(store.nodes(ECOMMERCE_PREFIX))[:15]
+        ] + ["gift", "unknown zzz tokens", ""]
+        for query in queries:
+            assert cluster.search(query) == service.search(query)
+            assert cluster.search(query, 3) == service.search(query, 3)
+
+    def test_error_parity(self, store, service):
+        cluster = _cluster(store, 2)
+        cases = [
+            (lambda target: target.items_for_concept("ec_999999"), NodeNotFoundError),
+            (lambda target: target.items_for_concept("bogus"), NodeNotFoundError),
+            (lambda target: target.items_for_concept("item_0"), RelationError),
+            (lambda target: target.items_for_concept("ec_0", -1), ConfigError),
+            (lambda target: target.search("x", 0), ConfigError),
+            (lambda target: target.hypernyms("ec_0"), RelationError),
+            (lambda target: target.tag("text"), ConfigError),  # no tagger
+            (lambda target: target.search_reranked("x"), ConfigError),
+        ]
+        for call, expected in cases:
+            with pytest.raises(expected):
+                call(service)
+            with pytest.raises(expected):
+                call(cluster)
+
+    def test_batch_parity_including_envelopes(self, store, service, built):
+        cluster = _cluster(store, 3)
+        concept_id = built.concept_ids[built.concepts[0].text]
+        requests = [
+            ("search", built.concepts[0].text),
+            ("items_for_concept", concept_id, 5),
+            ("interpretation", concept_id),
+            ("items_for_concept", "ec_999999"),
+            ("teleport", concept_id),
+            ("search", "x", -2),
+        ]
+        enveloped = cluster.batch(requests, on_error="envelope")
+        assert enveloped == service.batch(requests, on_error="envelope")
+        assert enveloped == cluster.batch(requests, on_error="envelope", workers=4)
+        assert all(isinstance(result, BatchResult) for result in enveloped)
+        with pytest.raises(NodeNotFoundError):
+            cluster.batch(requests)  # raise mode propagates the first failure
+        with pytest.raises(ConfigError, match="on_error"):
+            cluster.batch(requests, on_error="explode")
+
+    def test_shard_calls_are_tracked(self, store):
+        cluster = _cluster(store, 3)
+        cluster.search("gift")  # scatter: every shard
+        stats = cluster.stats()
+        assert all(count >= 1 for count in stats.shard_calls)
+        assert stats.imbalance >= 1.0
+        concept_id = next(iter(store.nodes(ECOMMERCE_PREFIX))).id
+        owner = shard_of(concept_id, 3)
+        before = cluster.stats().shard_calls[owner]
+        cluster.items_for_concept(concept_id)
+        assert cluster.stats().shard_calls[owner] == before + 1
+
+
+class TestRerankedParity:
+    @pytest.fixture(scope="class", params=["bm25", "hybrid"])
+    def mode(self, request):
+        return request.param
+
+    def test_reranked_endpoints_bit_identical(
+        self, store, built, trained_reranker, mode
+    ):
+        config = ServiceConfig(retriever=mode)
+        service = AliCoCoService(store, config=config, reranker=trained_reranker)
+        cluster = _cluster(
+            store, 2, service_config=config, reranker=trained_reranker
+        )
+        concept_ids = [node.id for node in store.nodes(ECOMMERCE_PREFIX)][:6]
+        for concept_id in concept_ids:
+            assert cluster.items_for_concept_reranked(concept_id, 5) == (
+                service.items_for_concept_reranked(concept_id, 5)
+            )
+        for spec in built.concepts[:6]:
+            assert cluster.search_reranked(spec.text, 5) == (
+                service.search_reranked(spec.text, 5)
+            )
+
+
+class TestClusterSnapshot:
+    def test_same_shard_count_warm_start_is_bit_identical(
+        self, store, built, trained_reranker, tmp_path
+    ):
+        from tests.conftest import make_trained_reranker
+
+        config = ServiceConfig(retriever="hybrid")
+        cluster = _cluster(
+            store, 3, service_config=config, reranker=trained_reranker
+        )
+        query = built.concepts[0].text
+        expected = cluster.search_reranked(query, 5)
+        path = tmp_path / "cluster.snapshot.jsonl"
+        assert cluster.save_snapshot(path) > 0
+
+        fresh = make_trained_reranker(built)
+        warm = AliCoCoCluster.from_snapshot(
+            path,
+            config=ClusterConfig(n_shards=3),
+            service_config=config,
+            reranker=fresh,
+        )
+        assert warm.search_reranked(query, 5) == expected
+        # Per-shard indexes really came from the snapshot, not a re-fit.
+        from repro.kg.serialize import load_snapshot
+
+        snapshot = load_snapshot(path)
+        assert snapshot.index_states[CLUSTER_META] == {"n_shards": 3}
+        assert any("@shard" in name for name in snapshot.index_states)
+
+    def test_different_shard_count_resplits_deterministically(
+        self, store, built, trained_reranker, tmp_path
+    ):
+        from tests.conftest import make_trained_reranker
+
+        cluster = _cluster(store, 3, reranker=trained_reranker)
+        query = built.concepts[1].text
+        expected = cluster.search_reranked(query, 5)
+        path = tmp_path / "cluster.snapshot.jsonl"
+        cluster.save_snapshot(path)
+        resplit = AliCoCoCluster.from_snapshot(
+            path,
+            config=ClusterConfig(n_shards=2),
+            reranker=make_trained_reranker(built),
+        )
+        assert resplit.n_shards == 2
+        assert resplit.search_reranked(query, 5) == expected
+
+    def test_single_service_reads_a_cluster_snapshot(self, store, built, tmp_path):
+        cluster = _cluster(store, 2)
+        path = tmp_path / "cluster.snapshot.jsonl"
+        cluster.save_snapshot(path)
+        service = AliCoCoService.from_snapshot(path)
+        query = built.concepts[0].text
+        assert service.search(query) == cluster.search(query)
+
+    def test_fingerprint_mismatch_is_rejected(self, store, tmp_path):
+        cluster = AliCoCoCluster(
+            store, config=ClusterConfig(n_shards=2), config_fingerprint="abc"
+        )
+        path = tmp_path / "cluster.snapshot.jsonl"
+        cluster.save_snapshot(path)
+        with pytest.raises(DataError, match="fingerprint"):
+            AliCoCoCluster.from_snapshot(path, expected_fingerprint="other")
+
+
+class TestCoalescer:
+    def test_concurrent_duplicates_share_one_computation(self):
+        coalescer = Coalescer()
+        release = threading.Event()
+        computed = []
+
+        def compute():
+            release.wait(5)
+            computed.append(1)
+            return ("result",)
+
+        results = []
+        leader = threading.Thread(
+            target=lambda: results.append(coalescer.submit("key", compute))
+        )
+        leader.start()
+        while "key" not in coalescer._flights and leader.is_alive():
+            time.sleep(0.001)  # leader registered its flight
+
+        joiners = [
+            threading.Thread(
+                target=lambda: results.append(
+                    coalescer.submit("key", lambda: pytest.fail("joiner computed"))
+                )
+            )
+            for _ in range(4)
+        ]
+        for thread in joiners:
+            thread.start()
+        while coalescer.stats().joined < 4:
+            time.sleep(0.001)
+        release.set()
+        leader.join(5)
+        for thread in joiners:
+            thread.join(5)
+        assert computed == [1]  # exactly one execution
+        assert len(results) == 5
+        assert all(result is results[0] for result in results)
+        stats = coalescer.stats()
+        assert stats.flights == 1
+        assert stats.joined == 4
+        assert stats.requests == 5
+        assert stats.max_batch == 5
+        assert stats.mean_batch == 5.0
+
+    def test_joiners_reraise_the_leaders_exception(self):
+        coalescer = Coalescer()
+        release = threading.Event()
+        boom = ConfigError("bad request")
+
+        def explode():
+            release.wait(5)
+            raise boom
+
+        caught = []
+
+        def leader():
+            with pytest.raises(ConfigError):
+                coalescer.submit("key", explode)
+
+        def joiner():
+            try:
+                coalescer.submit("key", lambda: None)
+            except ConfigError as error:
+                caught.append(error)
+
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        while "key" not in coalescer._flights and leader_thread.is_alive():
+            time.sleep(0.001)
+        joiner_thread = threading.Thread(target=joiner)
+        joiner_thread.start()
+        while coalescer.stats().joined < 1:
+            time.sleep(0.001)
+        release.set()
+        leader_thread.join(5)
+        joiner_thread.join(5)
+        assert caught == [boom]  # the very same exception object
+
+    def test_sequential_submissions_do_not_coalesce(self):
+        coalescer = Coalescer()
+        assert coalescer.submit("key", lambda: 1) == 1
+        assert coalescer.submit("key", lambda: 2) == 2  # fresh flight
+        stats = coalescer.stats()
+        assert stats.flights == 2
+        assert stats.joined == 0
+
+    def test_window_sleeps_before_computing(self):
+        slept = []
+        coalescer = Coalescer(window_seconds=0.25, sleep=slept.append)
+        assert coalescer.submit("key", lambda: "value") == "value"
+        assert slept == [0.25]
+
+    def test_zero_window_never_sleeps(self):
+        coalescer = Coalescer(sleep=lambda _: pytest.fail("slept at window=0"))
+        assert coalescer.submit("key", lambda: "value") == "value"
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigError, match="window"):
+            Coalescer(window_seconds=-0.1)
+
+
+class TestAdmission:
+    def test_immediate_admission_records_zero_wait(self):
+        controller = AdmissionController(2, 4, 1.0)
+        with controller.admit() as waited:
+            assert waited == 0.0
+            assert controller.inflight == 1
+        assert controller.inflight == 0
+        stats = controller.stats()
+        assert stats.admitted == 1
+        assert stats.shed == ()
+
+    def test_queue_full_sheds_immediately(self):
+        controller = AdmissionController(1, 0, 1.0)
+        with controller.admit():
+            start = time.perf_counter()
+            with pytest.raises(OverloadedError) as excinfo:
+                with controller.admit():
+                    pass
+            assert excinfo.value.reason == "queue_full"
+            assert time.perf_counter() - start < 0.5  # no waiting at depth 0
+        stats = controller.stats()
+        assert stats.shed == (("queue_full", 1),)
+        assert stats.shed_rate == pytest.approx(0.5)
+
+    def test_queue_timeout_sheds_within_the_bound(self):
+        controller = AdmissionController(1, 4, 0.05)
+        with controller.admit():
+            start = time.perf_counter()
+            with pytest.raises(OverloadedError) as excinfo:
+                with controller.admit():
+                    pass
+            elapsed = time.perf_counter() - start
+            assert excinfo.value.reason == "queue_timeout"
+            assert 0.05 <= elapsed < 1.0  # bounded, not unbounded queueing
+        assert controller.stats().shed == (("queue_timeout", 1),)
+        assert controller.stats().shed_wait_p99_ms >= 50.0
+
+    def test_queued_request_admits_when_a_slot_frees(self):
+        controller = AdmissionController(1, 4, 5.0)
+        release = threading.Event()
+        admitted = threading.Event()
+
+        def holder():
+            with controller.admit():
+                admitted.set()
+                release.wait(5)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        admitted.wait(5)
+        waits = []
+
+        def waiter():
+            with controller.admit() as waited:
+                waits.append(waited)
+
+        waiting = threading.Thread(target=waiter)
+        waiting.start()
+        while controller.queued == 0 and waiting.is_alive():
+            time.sleep(0.001)
+        release.set()
+        thread.join(5)
+        waiting.join(5)
+        assert len(waits) == 1 and waits[0] > 0.0
+        stats = controller.stats()
+        assert stats.admitted == 2
+        assert stats.shed == ()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError, match="max_inflight"):
+            AdmissionController(0, 1, 1.0)
+        with pytest.raises(ConfigError, match="max_queue_depth"):
+            AdmissionController(1, -1, 1.0)
+        with pytest.raises(ConfigError, match="max_queue_wait"):
+            AdmissionController(1, 1, 0.0)
+
+    def test_overloaded_error_is_reconstructible_by_name(self):
+        """Batch envelopes can re-raise a shed as its original type."""
+        assert error_by_name("OverloadedError") is OverloadedError
+        result = BatchResult(
+            ok=False, error_type="OverloadedError", error_message="shed"
+        )
+        with pytest.raises(OverloadedError):
+            result.unwrap()
+
+
+class TestClusterShedding:
+    def test_overload_sheds_with_typed_error_and_meters_it(self, store):
+        cluster = AliCoCoCluster(
+            store,
+            config=ClusterConfig(
+                n_shards=2,
+                max_inflight=1,
+                max_queue_depth=0,
+                max_queue_wait_ms=50,
+                cache_capacity=0,
+            ),
+        )
+        hold = threading.Event()
+        entered = threading.Event()
+        original = cluster._search_scattered
+
+        def blocked(tokens, k):
+            entered.set()
+            hold.wait(5)
+            return original(tokens, k)
+
+        cluster._search_scattered = blocked
+        thread = threading.Thread(target=lambda: cluster.search("gift"))
+        thread.start()
+        assert entered.wait(5)
+        start = time.perf_counter()
+        with pytest.raises(OverloadedError) as excinfo:
+            cluster.search("other")
+        elapsed = time.perf_counter() - start
+        assert excinfo.value.reason == "queue_full"
+        assert elapsed < 1.0  # shed fast, never hang
+        hold.set()
+        thread.join(5)
+        stats = cluster.stats()
+        assert stats.admission.shed == (("queue_full", 1),)
+        assert ("OverloadedError", 1) in stats.endpoint("search").errors
+        assert "shed" in stats.format_table()
+
+    def test_cache_hits_bypass_admission(self, store):
+        """A hot repeat must never consume a slot or shed."""
+        cluster = AliCoCoCluster(
+            store,
+            config=ClusterConfig(
+                n_shards=2, max_inflight=1, max_queue_depth=0, max_queue_wait_ms=50
+            ),
+        )
+        first = cluster.search("gift")
+        admitted_before = cluster.stats().admission.admitted
+        assert cluster.search("gift") == first
+        assert cluster.stats().admission.admitted == admitted_before
+
+
+class TestClusterStatsReport:
+    def test_format_table_sections(self, store):
+        cluster = _cluster(store, 2)
+        cluster.search("gift")
+        table = cluster.stats().format_table()
+        for fragment in ("shards: 2", "coalescer:", "admission:", "shard calls:"):
+            assert fragment in table
+
+    def test_unknown_endpoint_raises(self, store):
+        with pytest.raises(KeyError):
+            _cluster(store, 2).stats().endpoint("teleport")
+
+    def test_config_validation(self, store):
+        with pytest.raises(ConfigError, match="n_shards"):
+            ClusterConfig(n_shards=0)
+        with pytest.raises(ConfigError, match="coalesce_window_ms"):
+            ClusterConfig(coalesce_window_ms=-1)
+        with pytest.raises(ConfigError, match="fanout_workers"):
+            ClusterConfig(fanout_workers=0)
+
+    def test_bad_admission_knobs_surface_at_construction(self, store):
+        with pytest.raises(ConfigError, match="max_inflight"):
+            AliCoCoCluster(store, config=ClusterConfig(max_inflight=0))
+
+    def test_fanout_executor_matches_serial(self, store, service):
+        with AliCoCoCluster(
+            store, config=ClusterConfig(n_shards=3, fanout_workers=3)
+        ) as cluster:
+            for node in list(store.nodes(ECOMMERCE_PREFIX))[:5]:
+                query = " ".join(node.tokens)
+                assert cluster.search(query) == service.search(query)

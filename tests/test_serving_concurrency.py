@@ -274,6 +274,110 @@ class TestNoGradThreadIsolation:
         assert errors == []
 
 
+class TestClusterCoalescingHammer:
+    """The micro-batcher under real contention (ISSUE 7's hammer).
+
+    N threads submit overlapping rerank requests through an
+    ``AliCoCoCluster`` with the result caches off, so every request
+    reaches the coalescer.  The answers must be bit-identical to serial
+    single-service execution (coalescing shares results, it never
+    changes them), the coalescer's ledger must balance (every request is
+    exactly one flight or one join), and the doc-encoding caches must
+    keep their ``hits + misses == lookups`` invariant under the shared
+    scoring traffic.
+    """
+
+    @pytest.fixture(scope="class")
+    def cluster(self, built_tiny, trained_reranker):
+        from repro.serving import AliCoCoCluster, ClusterConfig
+
+        return AliCoCoCluster(
+            built_tiny.store,
+            # Caches off: every request must reach the coalescer, not
+            # the result cache.  Admission wide open: this test is about
+            # coalescing correctness, not shedding.
+            config=ClusterConfig(
+                n_shards=2,
+                cache_capacity=0,
+                max_inflight=N_THREADS,
+                max_queue_depth=64,
+                max_queue_wait_ms=10_000,
+            ),
+            service_config=ServiceConfig(cache_capacity=0),
+            reranker=trained_reranker,
+        )
+
+    def _rerank_requests(self, built):
+        requests = []
+        for spec in built.concepts[:4]:
+            concept_id = built.concept_ids[spec.text]
+            requests.append(("items_for_concept_reranked", concept_id, 5))
+            requests.append(("search_reranked", spec.text, 5))
+        return requests
+
+    def test_overlapping_rerank_requests_bit_identical_to_serial(
+        self, built_tiny, trained_reranker, cluster
+    ):
+        service = AliCoCoService(
+            built_tiny.store,
+            config=ServiceConfig(cache_capacity=0),
+            reranker=trained_reranker,
+        )
+        requests = self._rerank_requests(built_tiny)
+        expected = [service.batch([request])[0] for request in requests]
+        errors = []
+        barrier = threading.Barrier(N_THREADS)
+
+        def hammer():
+            try:
+                barrier.wait()  # maximise request overlap
+                for _ in range(4):
+                    for request, want in zip(requests, expected):
+                        assert cluster.batch([request])[0] == want
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+        stats = cluster.stats()
+        total = N_THREADS * 4 * len(requests)
+        coalescer = stats.coalescer
+        # Ledger balance: every request was exactly one flight or join.
+        assert coalescer.requests == coalescer.flights + coalescer.joined
+        assert coalescer.requests == total
+        assert 1 <= coalescer.flights <= total
+        assert coalescer.max_batch >= 1
+        # No request was shed and none hung: all answered.
+        assert stats.admission.shed == ()
+        assert stats.admission.admitted == coalescer.flights
+        rerank_calls = sum(
+            stats.endpoint(name).calls
+            for name in ("items_for_concept_reranked", "search_reranked")
+        )
+        assert rerank_calls == total
+
+    def test_doc_cache_invariants_hold_after_the_hammer(self, cluster):
+        """Runs after the hammer (class-scoped cluster): counters settled."""
+        for service in cluster.services:
+            doc_cache = service._doc_cache
+            assert doc_cache is not None
+            assert doc_cache.hits + doc_cache.misses == doc_cache.lookups
+            stats = service.stats()
+            assert stats.doc_cache_hits + stats.doc_cache_misses == (
+                doc_cache.lookups
+            )
+            for endpoint_stats in stats.endpoints:
+                assert (
+                    endpoint_stats.cache_hits + endpoint_stats.cache_misses
+                    == endpoint_stats.calls
+                )
+
+
 class TestStructureThreadSafety:
     def test_lru_cache_counters_consistent_under_contention(self):
         cache = LRUCache(capacity=32)
