@@ -6,8 +6,14 @@ Layers (Figure 1 of the paper):
 - primitive concepts (:class:`~repro.kg.nodes.PrimitiveConcept`),
 - e-commerce concepts (:class:`~repro.kg.nodes.ECommerceConcept`),
 - items (:class:`~repro.kg.nodes.Item`).
+
+A frozen :class:`~repro.kg.store.AliCoCoStore` grows without unfreezing
+through :class:`~repro.kg.generations.GenerationalStore`: immutable
+copy-on-write delta segments layered over the base, published atomically
+as numbered generations (see :mod:`repro.kg.generations`).
 """
 
+from .generations import DeltaSegment, GenerationalStore, GenerationView, flatten
 from .nodes import ClassNode, ECommerceConcept, Item, PrimitiveConcept
 from .relations import Relation, RelationKind
 from .store import AliCoCoStore
@@ -16,4 +22,5 @@ from .stats import StoreStats
 __all__ = [
     "ClassNode", "PrimitiveConcept", "ECommerceConcept", "Item",
     "Relation", "RelationKind", "AliCoCoStore", "StoreStats",
+    "GenerationalStore", "GenerationView", "DeltaSegment", "flatten",
 ]

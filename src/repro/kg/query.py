@@ -1,4 +1,13 @@
-"""High-level graph queries over an :class:`AliCoCoStore`."""
+"""High-level graph queries over an :class:`AliCoCoStore`.
+
+Every function here touches only the store's *read* API (``get`` /
+``targets`` / ``sources`` / ``in_relations`` / ``find_by_name``), so all
+of them equally accept a :class:`~repro.kg.generations.GenerationView`
+or :class:`~repro.kg.generations.GenerationalStore` — the serving tier
+relies on this to answer graph queries against a pinned generation.
+The ``AliCoCoStore`` annotations document the canonical shape, not an
+isinstance requirement.
+"""
 
 from __future__ import annotations
 

@@ -22,6 +22,18 @@ different format version, truncated mid-write (counts disagree), or built
 under a different configuration is rejected with a :class:`DataError`
 naming the offending line.  ``load_store`` stays liberal — it accepts both
 formats and simply skips snapshot framing records.
+
+Generational nets (:mod:`repro.kg.generations`) persist through the same
+snapshot framing: :func:`save_generations` writes the frozen base as the
+ordinary record stream plus one ``delta`` record per published segment
+(its nodes and relations, tagged with the generation id they were
+published under), and :func:`load_generations` replays them into a
+:class:`~repro.kg.generations.GenerationalStore` whose published view —
+generation numbering included — answers identically to the saved one.
+``delta`` is a *new record kind*, so a pre-generational loader rejects
+such a snapshot loudly ("unknown record") instead of silently serving
+the base without its deltas; ``load_store`` flattens base + deltas into
+one plain store.
 """
 
 from __future__ import annotations
@@ -30,9 +42,10 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
-from ..errors import DataError
+from ..errors import ConfigError, DataError
 from ..utils.io import read_jsonl_bulk, write_jsonl
-from .nodes import ClassNode, ECommerceConcept, Item, PrimitiveConcept
+from .generations import GenerationalStore
+from .nodes import ClassNode, ECommerceConcept, Item, Node, PrimitiveConcept
 from .relations import Relation, RelationKind
 from .store import AliCoCoStore
 
@@ -64,6 +77,10 @@ class SnapshotHeader:
         model_names: Names of the model-bundle records that follow the
             index states (empty for model-less snapshots — the field is
             optional on disk, so pre-bundle snapshots still load).
+        generation_count: Number of ``delta`` records the snapshot
+            carries (0 for non-generational snapshots; optional on disk,
+            so older snapshots still load).  Node/relation counts cover
+            base *and* deltas, so truncation stays loud.
     """
 
     format_version: int
@@ -72,29 +89,74 @@ class SnapshotHeader:
     config_fingerprint: str = ""
     index_names: tuple[str, ...] = ()
     model_names: tuple[str, ...] = ()
+    generation_count: int = 0
 
 
 @dataclass
 class Snapshot:
-    """Everything read back from one snapshot file."""
+    """Everything read back from one snapshot file.
+
+    ``deltas`` holds one ``(generation_id, nodes, relations)`` triple per
+    persisted delta segment, in publish order — empty for ordinary
+    snapshots.  ``store`` is always the *base* store only; use
+    :func:`generational_store_from_snapshot` (or :func:`load_store`,
+    which flattens) to see base + deltas together.
+    """
 
     header: SnapshotHeader
     store: AliCoCoStore
     index_states: dict[str, dict[str, Any]] = field(default_factory=dict)
     model_states: dict[str, dict[str, Any]] = field(default_factory=dict)
+    deltas: list[tuple[int, list[Node], list[Relation]]] = field(
+        default_factory=list)
+
+
+def _node_record(node: Node) -> dict[str, Any]:
+    record = {"type": _TYPE_NAMES[type(node)], **asdict(node)}
+    if isinstance(node, ECommerceConcept):
+        record["tokens"] = list(node.tokens)
+    return record
+
+
+def _relation_record(relation: Relation) -> dict[str, Any]:
+    return {"kind": relation.kind.name,
+            "source": relation.source, "target": relation.target,
+            "weight": relation.weight, "name": relation.name}
+
+
+def _parse_node(line_number: int, record: dict[str, Any]) -> Node:
+    type_name = record.pop("type", None)
+    node_cls = _NODE_TYPES.get(type_name)
+    if node_cls is None:
+        raise DataError(
+            f"line {line_number}: unknown node type {type_name!r}")
+    if node_cls is ECommerceConcept:
+        record["tokens"] = tuple(record["tokens"])
+    try:
+        return node_cls(**record)
+    except TypeError as error:
+        raise DataError(
+            f"line {line_number}: bad node record ({error})") from error
+
+
+def _parse_relation(line_number: int, record: dict[str, Any]) -> Relation:
+    try:
+        relation_kind = RelationKind[record["kind"]]
+    except KeyError:
+        raise DataError(f"line {line_number}: unknown relation kind "
+                        f"{record.get('kind')!r}") from None
+    return Relation(
+        kind=relation_kind,
+        source=record["source"], target=record["target"],
+        weight=record.get("weight", 1.0),
+        name=record.get("name", ""))
 
 
 def _records(store: AliCoCoStore) -> Iterator[dict[str, Any]]:
     for node in store.nodes():
-        record = {"record": "node", "type": _TYPE_NAMES[type(node)],
-                  **asdict(node)}
-        if isinstance(node, ECommerceConcept):
-            record["tokens"] = list(node.tokens)
-        yield record
+        yield {"record": "node", **_node_record(node)}
     for relation in store.relations():
-        yield {"record": "relation", "kind": relation.kind.name,
-               "source": relation.source, "target": relation.target,
-               "weight": relation.weight, "name": relation.name}
+        yield {"record": "relation", **_relation_record(relation)}
 
 
 def save_store(store: AliCoCoStore, path: str | Path) -> int:
@@ -161,7 +223,8 @@ def _parse_header(line_number: int, record: dict[str, Any]) -> SnapshotHeader:
             relation_count=int(record["relations"]),
             config_fingerprint=str(record.get("config", "")),
             index_names=tuple(record.get("indexes", ())),
-            model_names=tuple(record.get("models", ())))
+            model_names=tuple(record.get("models", ())),
+            generation_count=int(record.get("generations", 0)))
     except (KeyError, TypeError, ValueError) as error:
         raise DataError(
             f"line {line_number}: corrupted snapshot header "
@@ -180,6 +243,7 @@ def _load(path: str | Path,
     header: SnapshotHeader | None = None
     index_states: dict[str, dict[str, Any]] = {}
     model_states: dict[str, dict[str, Any]] = {}
+    deltas: list[tuple[int, list[Node], list[Relation]]] = []
     # With a verified header the relations were schema-checked when they
     # first entered a store, so they are buffered and bulk-ingested via
     # the trusted fast path; headerless streams replay through the fully
@@ -195,33 +259,27 @@ def _load(path: str | Path,
                     "first record")
             header = _parse_header(line_number, record)
         elif kind == "node":
-            type_name = record.pop("type", None)
-            node_cls = _NODE_TYPES.get(type_name)
-            if node_cls is None:
-                raise DataError(
-                    f"line {line_number}: unknown node type {type_name!r}")
-            if node_cls is ECommerceConcept:
-                record["tokens"] = tuple(record["tokens"])
-            try:
-                store.add_node(node_cls(**record))
-            except TypeError as error:
-                raise DataError(
-                    f"line {line_number}: bad node record ({error})") from error
+            store.add_node(_parse_node(line_number, record))
         elif kind == "relation":
-            try:
-                relation_kind = RelationKind[record["kind"]]
-            except KeyError:
-                raise DataError(f"line {line_number}: unknown relation kind "
-                                f"{record.get('kind')!r}") from None
-            relation = Relation(
-                kind=relation_kind,
-                source=record["source"], target=record["target"],
-                weight=record.get("weight", 1.0),
-                name=record.get("name", ""))
+            relation = _parse_relation(line_number, record)
             if header is not None:
                 deferred.append(relation)
             else:
                 store.add_relation(relation)
+        elif kind == "delta":
+            try:
+                generation = int(record["generation"])
+                node_records = list(record["nodes"])
+                relation_records = list(record["relations"])
+            except (KeyError, TypeError, ValueError) as error:
+                raise DataError(f"line {line_number}: bad delta record "
+                                f"({error!r})") from error
+            deltas.append((
+                generation,
+                [_parse_node(line_number, dict(sub))
+                 for sub in node_records],
+                [_parse_relation(line_number, dict(sub))
+                 for sub in relation_records]))
         elif kind == "index":
             try:
                 index_states[str(record["name"])] = dict(record["state"])
@@ -247,29 +305,47 @@ def _load(path: str | Path,
     if deferred:
         store.add_relations_trusted(deferred)
     if header is not None:
-        relation_count = store.stats().relations_total
-        if (len(store), relation_count) != (header.node_count,
+        node_count = len(store) + sum(len(nodes) for _, nodes, _ in deltas)
+        relation_count = store.stats().relations_total \
+            + sum(len(relations) for _, _, relations in deltas)
+        if (node_count, relation_count) != (header.node_count,
                                             header.relation_count):
             raise DataError(
                 f"line 1: snapshot is incomplete — header promises "
                 f"{header.node_count} nodes / {header.relation_count} "
-                f"relations but the file holds {len(store)} / "
+                f"relations but the file holds {node_count} / "
                 f"{relation_count}")
+        if len(deltas) != header.generation_count:
+            raise DataError(
+                f"line 1: snapshot is incomplete — header promises "
+                f"{header.generation_count} delta records but the file "
+                f"holds {len(deltas)}")
     placeholder = header or SnapshotHeader(SNAPSHOT_FORMAT, len(store),
                                            store.stats().relations_total)
-    return header, Snapshot(placeholder, store, index_states, model_states)
+    return header, Snapshot(placeholder, store, index_states, model_states,
+                            deltas)
 
 
 def load_store(path: str | Path) -> AliCoCoStore:
     """Rebuild a store saved by :func:`save_store` or :func:`save_snapshot`.
 
     Snapshot framing (header and index records), when present, is
-    validated and skipped; the bare record stream loads as before.
+    validated and skipped; the bare record stream loads as before.  A
+    generational snapshot (:func:`save_generations`) flattens: the
+    returned store holds base *and* delta contents, generation structure
+    discarded — use :func:`load_generations` to keep it.
 
     Raises:
         DataError: On malformed records (with line numbers).
     """
-    return _load(path, require_header=False)[1].store
+    snapshot = _load(path, require_header=False)[1]
+    store = snapshot.store
+    for _, nodes, relations in snapshot.deltas:
+        for node in nodes:
+            store.add_node(node)
+        if relations:
+            store.add_relations_trusted(relations)
+    return store
 
 
 def load_snapshot(path: str | Path) -> Snapshot:
@@ -286,3 +362,118 @@ def load_snapshot(path: str | Path) -> Snapshot:
     header, snapshot = _load(path, require_header=True)
     assert header is not None
     return snapshot
+
+
+def save_generations(store: GenerationalStore, path: str | Path, *,
+                     config_fingerprint: str = "",
+                     index_states: Mapping[str, Mapping[str, Any]] | None = None,
+                     model_states: Mapping[str, Mapping[str, Any]] | None = None,
+                     ) -> int:
+    """Write a generational snapshot: base records plus delta records.
+
+    The *published* view is pinned at entry (open/staged writes are not
+    persisted — seal and swap first if they should be).  Header counts
+    cover base **and** deltas, so a truncated file fails the count check;
+    each delta record carries the generation id its segment was published
+    under, letting :func:`load_generations` restore the exact generation
+    numbering.
+
+    Args:
+        store: The generational net to persist.
+        config_fingerprint / index_states / model_states: As in
+            :func:`save_snapshot`.
+
+    Returns:
+        Number of lines written.
+
+    Raises:
+        ConfigError: If ``store`` is not a :class:`GenerationalStore`.
+    """
+    if not isinstance(store, GenerationalStore):
+        raise ConfigError(
+            f"save_generations needs a GenerationalStore, got "
+            f"{type(store).__name__}; use save_snapshot for plain stores")
+    view = store.current()
+    base = store._base
+    index_states = dict(index_states or {})
+    model_states = dict(model_states or {})
+
+    def _lines() -> Iterator[dict[str, Any]]:
+        yield {"record": "header", "format": SNAPSHOT_FORMAT,
+               "nodes": len(view),
+               "relations": view.stats().relations_total,
+               "config": config_fingerprint,
+               "indexes": list(index_states),
+               "models": list(model_states),
+               "generations": len(view._segments)}
+        yield from _records(base)
+        for segment, generation in zip(view._segments,
+                                       view.segment_generations):
+            yield {"record": "delta", "generation": generation,
+                   "nodes": [_node_record(node)
+                             for node in segment.nodes.values()],
+                   "relations": [_relation_record(relation)
+                                 for relation in segment.relations]}
+        for name, state in index_states.items():
+            yield {"record": "index", "name": name, "state": dict(state)}
+        for name, state in model_states.items():
+            yield {"record": "model", "name": name, "state": dict(state)}
+
+    return write_jsonl(path, _lines())
+
+
+def generational_store_from_snapshot(snapshot: Snapshot) -> GenerationalStore:
+    """Replay a loaded snapshot's deltas into a fresh generational store.
+
+    Each delta record becomes one sealed segment again, and a ``swap()``
+    fires at every generation boundary, so segment boundaries *and*
+    generation numbering match the saved store exactly — warm-started
+    caches keyed by generation id stay coherent.
+
+    Raises:
+        DataError: If the delta records' generation ids are not the
+            consecutive ``1..N`` a live store produces (a live store
+            never skips: empty segments are never sealed and swaps
+            without staged content do not bump the id).
+    """
+    store = GenerationalStore(snapshot.store)
+    previous = 0
+    for position, (generation, nodes, relations) in enumerate(
+            snapshot.deltas):
+        if generation < 1 or generation not in (previous, previous + 1):
+            raise DataError(
+                f"delta record {position}: generation {generation} "
+                f"follows generation {previous} (ids must be "
+                f"consecutive from 1)")
+        if generation == previous + 1 and previous > 0:
+            store.swap()
+        for node in nodes:
+            store.add_node(node)
+        for relation in relations:
+            store.add_relation(relation)
+        if store.seal() is None:
+            raise DataError(
+                f"delta record {position}: segment is empty (a live "
+                f"store never seals an empty segment)")
+        previous = generation
+    if previous > 0:
+        store.swap()
+    if store.generation_id != previous:
+        raise DataError(
+            f"replayed generation id {store.generation_id} does not "
+            f"match the saved {previous}")
+    return store
+
+
+def load_generations(path: str | Path) -> GenerationalStore:
+    """Read a generational snapshot back into a :class:`GenerationalStore`.
+
+    Convenience over :func:`load_snapshot` +
+    :func:`generational_store_from_snapshot`; index/model states ride the
+    snapshot — use :func:`load_snapshot` directly when they are needed.
+
+    Raises:
+        DataError: As :func:`load_snapshot`, plus non-consecutive or
+            empty delta records.
+    """
+    return generational_store_from_snapshot(load_snapshot(path))

@@ -144,6 +144,10 @@ class BM25Index:
         self._postings: dict[str, list[tuple[int, int]]] = {}
         self._norms: list[float] = []
         self._idf: dict[str, float] = {}
+        # Raw token counts per document; needed by add_documents to
+        # recompute the corpus statistics.  None on an index rehydrated
+        # from a pre-"lengths" snapshot state (read-only: refit to grow).
+        self._lengths: list[int] | None = []
         self._fitted = False
 
     def fit(self, documents: Mapping[object, Sequence[str]]) -> "BM25Index":
@@ -175,7 +179,66 @@ class BM25Index:
             for term, frequency in counts.items():
                 self._postings.setdefault(term, []).append(
                     (position, frequency))
+        self._lengths = lengths
         self._fitted = True
+        return self
+
+    def add_documents(
+            self, documents: Mapping[object, Sequence[str]]) -> "BM25Index":
+        """Extend the fitted index with new documents, refit-identically.
+
+        New documents take the positions after the existing collection
+        and the corpus statistics are recomputed over the grown
+        collection: document frequencies are recovered from the postings
+        lists, idf is rebuilt, and *every* norm is re-derived from the
+        stored raw lengths and the new average length.  The result is
+        bit-identical to ``fit`` over the concatenated collection —
+        scores, rankings and serialised state alike.
+
+        Raises:
+            NotFittedError: If the index has not been fitted.
+            DataError: On a duplicate document id, or when the index was
+                rehydrated from a state without raw document lengths
+                (older snapshots) — refit from the full collection then.
+        """
+        if not self._fitted:
+            raise NotFittedError("BM25Index has not been fitted")
+        if not documents:
+            return self
+        if self._lengths is None:
+            raise DataError(
+                "BM25Index state lacks raw document lengths; "
+                "incremental add is unavailable — refit instead")
+        existing = set(self._doc_ids)
+        clashes = [doc_id for doc_id in documents if doc_id in existing]
+        if clashes:
+            raise DataError(
+                f"documents already indexed: {clashes[:3]!r}"
+                f"{'...' if len(clashes) > 3 else ''}")
+        start = len(self._doc_ids)
+        lengths = list(self._lengths)
+        for position, (doc_id, tokens) in enumerate(documents.items(),
+                                                    start=start):
+            counts = Counter(tokens)
+            lengths.append(len(tokens))
+            self._doc_ids.append(doc_id)
+            for term, frequency in counts.items():
+                self._postings.setdefault(term, []).append(
+                    (position, frequency))
+        # Global statistics shift with every addition (n_docs, average
+        # length, per-term df), so idf and all norms are recomputed; the
+        # df of each term is exactly its postings length.
+        n_docs = len(self._doc_ids)
+        document_frequency = {
+            term: len(postings)
+            for term, postings in self._postings.items()}
+        average_length = sum(lengths) / n_docs
+        self._idf = _idf_table(document_frequency, n_docs)
+        self._norms = [
+            self.k1 * (1.0 - self.b + self.b * length
+                       / max(average_length, 1e-9))
+            for length in lengths]
+        self._lengths = lengths
         return self
 
     def __len__(self) -> int:
@@ -204,6 +267,8 @@ class BM25Index:
                          for term, postings in self._postings.items()},
             "norms": list(self._norms),
             "idf": dict(self._idf),
+            "lengths": list(self._lengths)
+            if self._lengths is not None else None,
         }
 
     @classmethod
@@ -223,6 +288,11 @@ class BM25Index:
             index._norms = [float(norm) for norm in state["norms"]]
             index._idf = {term: float(value)
                           for term, value in state["idf"].items()}
+            # Older snapshots predate the lengths field; such an index
+            # rehydrates read-only (add_documents raises, callers refit).
+            lengths = state.get("lengths")
+            index._lengths = ([int(length) for length in lengths]
+                              if lengths is not None else None)
         except (KeyError, TypeError, ValueError) as error:
             raise DataError(f"malformed BM25 index state: {error}") from error
         index._fitted = True

@@ -24,7 +24,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
-from ..errors import DataError, NotFittedError
+from ..errors import ConfigError, DataError, NotFittedError
 
 
 @dataclass(frozen=True)
@@ -58,10 +58,21 @@ class RetrieverStats:
 
 
 class BaseRetriever(ABC):
-    """One first-stage candidate source over an id-keyed collection."""
+    """One first-stage candidate source over an id-keyed collection.
+
+    Backends that can grow without a refit advertise ``supports_add``
+    and implement :meth:`add`; everyone else inherits the refusing
+    default, which callers treat as a refit-fallback signal (the
+    generational serving tier clones an index, ``add``\\ s the new
+    generation's documents to the clone, and refits only when the
+    backend cannot extend — see :mod:`repro.kg.generations`).
+    """
 
     #: Backend name used in stats and serialised state.
     backend = "base"
+
+    #: Whether :meth:`add` extends the fitted index in place.
+    supports_add = False
 
     @abstractmethod
     def fit(self, ids: Sequence, data: Sequence) -> "BaseRetriever":
@@ -80,6 +91,25 @@ class BaseRetriever(ABC):
         Ties break by fit order; fewer than ``top_k`` pairs may come back
         (lexical backends only return nonzero-score documents).
         """
+
+    def add(self, ids: Sequence, data: Sequence) -> "BaseRetriever":
+        """Extend a fitted index with new documents, preserving fit order.
+
+        New ids take the positions after the existing collection, so the
+        tie-break contract ("fit order") extends naturally: an index
+        grown by ``add`` ranks exactly like one fitted from the
+        concatenated collection *when the backend's structure permits*
+        (each backend documents how close it comes).  Callers must not
+        mutate an index other threads are reading — clone via
+        ``from_state(to_state())``, ``add`` to the clone, then publish.
+
+        Raises:
+            ConfigError: For backends with ``supports_add = False``.
+        """
+        raise ConfigError(
+            f"{type(self).__name__} ({self.backend}) does not support "
+            "incremental add; refit from the full collection instead"
+        )
 
     @abstractmethod
     def stats(self) -> RetrieverStats:

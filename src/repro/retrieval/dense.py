@@ -140,6 +140,7 @@ class BruteForceDense(BaseRetriever):
     """
 
     backend = "bruteforce"
+    supports_add = True
 
     def __init__(self, metric: str = "cosine"):
         if metric not in METRICS:
@@ -160,6 +161,31 @@ class BruteForceDense(BaseRetriever):
         self._queries = 0
         self._scored = 0
         self._fitted = True
+        return self
+
+    def add(self, ids: Sequence, data: Sequence) -> "BruteForceDense":
+        """Append new vectors after the existing rows.
+
+        Exactly refit-identical: packing normalises per row, so an index
+        grown by ``add`` holds the same matrix (and fit positions) as one
+        fitted from the concatenated collection.
+
+        Raises:
+            DataError: On a count or dimension mismatch.
+        """
+        self._require_fitted(self._fitted)
+        if len(ids) != len(data):
+            raise DataError(f"{len(ids)} ids for {len(data)} vectors")
+        if not ids:
+            return self
+        rows = pack_vectors(data, self.metric)
+        if rows.shape[1] != self._matrix.shape[1]:
+            raise DataError(
+                f"new vectors have dim {rows.shape[1]}, index has "
+                f"{self._matrix.shape[1]}"
+            )
+        self._matrix = np.ascontiguousarray(np.vstack([self._matrix, rows]))
+        self._ids.extend(ids)
         return self
 
     def retrieve(self, query: Any, top_k: int = 10) -> list[tuple[Any, float]]:

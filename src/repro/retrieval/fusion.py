@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+import numpy as np
+
 from ..errors import ConfigError, DataError
 from .base import BaseRetriever, RetrieverStats, check_state_backend
 from .lexical import BM25Retriever
@@ -67,9 +69,7 @@ def rrf_fuse(
     if weights is None:
         weights = [1.0] * len(rankings)
     if len(weights) != len(rankings):
-        raise ConfigError(
-            f"{len(weights)} weights for {len(rankings)} ranked lists"
-        )
+        raise ConfigError(f"{len(weights)} weights for {len(rankings)} ranked lists")
     fused: dict[Any, float] = {}
     for ranking, weight in zip(rankings, weights):
         seen_in_arm: set = set()
@@ -121,6 +121,11 @@ class HybridRetriever(BaseRetriever):
         self.weights = tuple(float(weight) for weight in weights)
         self.arm_depth = arm_depth
 
+    @property
+    def supports_add(self) -> bool:  # type: ignore[override]
+        """Growable only when both arms are."""
+        return self.dense.supports_add and self.lexical.supports_add
+
     def fit(self, ids: Sequence, data: Sequence) -> "HybridRetriever":
         """Fit both arms from (vector, tokens) pairs, one per id."""
         vectors = [vector for vector, _ in data]
@@ -129,16 +134,51 @@ class HybridRetriever(BaseRetriever):
         self.lexical.fit(ids, token_lists)
         return self
 
+    def add(self, ids: Sequence, data: Sequence) -> "HybridRetriever":
+        """Extend both arms with new (vector, tokens) pairs.
+
+        Raises:
+            ConfigError: If either arm does not support incremental add.
+            DataError: On a count mismatch in either arm.
+        """
+        if not self.supports_add:
+            raise ConfigError(
+                "hybrid add needs both arms to support incremental add "
+                f"(dense={self.dense.backend!r}: {self.dense.supports_add}, "
+                f"lexical={self.lexical.backend!r}: {self.lexical.supports_add})"
+            )
+        vectors = [vector for vector, _ in data]
+        token_lists = [tokens for _, tokens in data]
+        self.dense.add(ids, vectors)
+        self.lexical.add(ids, token_lists)
+        return self
+
     def retrieve(self, query: Any, top_k: int = 10) -> list[tuple[Any, float]]:
-        """RRF over both arms' top lists; a ``None`` side sits out.
+        """RRF over both arms' top lists; an absent side sits out.
 
         ``query`` is a :class:`HybridQuery` (or anything with ``tokens``
-        and ``vector`` attributes).
+        and ``vector`` attributes).  An **empty** arm — zero tokens, or a
+        zero-length vector — is normalised to absent before fusion: an
+        empty token list would still walk BM25's postings (retrieving
+        nothing) while its arm weight kept diluting the dense ranking,
+        which is not what "this arm has no evidence" should mean.
+
+        Raises:
+            DataError: Only when *both* sides are empty or ``None``.
         """
         tokens = getattr(query, "tokens", None)
         vector = getattr(query, "vector", None)
+        if tokens is not None:
+            tokens = tuple(tokens)
+            if not tokens:
+                tokens = None
+        if vector is not None and np.asarray(vector).size == 0:
+            vector = None
         if tokens is None and vector is None:
-            raise DataError("hybrid query carries neither tokens nor a vector")
+            raise DataError(
+                "hybrid query carries neither tokens nor a vector "
+                "(empty arms count as absent)"
+            )
         depth = self.arm_depth or top_k
         rankings = [
             self.dense.retrieve(vector, depth) if vector is not None else [],

@@ -54,6 +54,7 @@ class HNSWLiteIndex(BaseRetriever):
     """
 
     backend = "hnsw"
+    supports_add = True
 
     def __init__(
         self,
@@ -140,6 +141,49 @@ class HNSWLiteIndex(BaseRetriever):
         if level > self._max_level:
             self._entry = position
             self._max_level = level
+
+    def add(self, ids: Sequence, data: Sequence) -> "HNSWLiteIndex":
+        """Insert new points into the existing graph, no rebuild.
+
+        This is HNSW's native growth mode: each new point draws a level
+        and runs the same beam insertion as ``fit``.  Levels come from a
+        stream derived from ``(seed, start position)``, so growing a
+        given index by a given batch is deterministic — but the draws
+        differ from what one big ``fit`` would have produced, so an index
+        grown by ``add`` is *not* bit-identical to a refit (recall stays
+        in the same band; the graph is simply a different valid HNSW).
+        Callers needing refit-identity must refit.
+
+        Raises:
+            DataError: On a count or dimension mismatch.
+        """
+        self._require_fitted(self._fitted)
+        if len(ids) != len(data):
+            raise DataError(f"{len(ids)} ids for {len(data)} vectors")
+        if not ids:
+            return self
+        rows = pack_vectors(data, self.metric)
+        if rows.shape[1] != self._matrix.shape[1]:
+            raise DataError(
+                f"new vectors have dim {rows.shape[1]}, index has "
+                f"{self._matrix.shape[1]}"
+            )
+        start = self._matrix.shape[0]
+        rng = spawn_rng(self.seed, "retrieval", "hnsw-levels-add", str(start))
+        multiplier = 1.0 / np.log(max(self.m, 2))
+        draws = rng.random(rows.shape[0])
+        levels = np.minimum(
+            np.floor(-np.log(np.where(draws == 0.0, 1e-12, draws)) * multiplier),
+            _MAX_LEVEL,
+        ).astype(np.intp)
+        self._matrix = np.ascontiguousarray(np.vstack([self._matrix, rows]))
+        self._ids.extend(ids)
+        self._levels = np.concatenate([self._levels, levels])
+        for layer in self._neighbors:
+            layer.extend([] for _ in range(rows.shape[0]))
+        for position in range(start, start + rows.shape[0]):
+            self._insert(position)
+        return self
 
     def _prune(self, position: int, links: list[int], cap: int) -> list[int]:
         """Keep the ``cap`` links closest to ``position`` (ties: fit order)."""
@@ -231,17 +275,13 @@ class HNSWLiteIndex(BaseRetriever):
         cursor = self._entry
         for layer in range(self._max_level, 0, -1):
             cursor = self._greedy_closest(vector, cursor, layer)
-        found = self._search_layer(
-            vector, [cursor], max(self.ef_search, top_k), 0
-        )
+        found = self._search_layer(vector, [cursor], max(self.ef_search, top_k), 0)
         ranked = sorted(found, key=lambda pair: (-pair[0], pair[1]))[:top_k]
         return [(self._ids[position], similarity) for similarity, position in ranked]
 
     # ------------------------------------------------------------------ state
     def stats(self) -> RetrieverStats:
-        edges = sum(
-            len(links) for layer in self._neighbors for links in layer
-        )
+        edges = sum(len(links) for layer in self._neighbors for links in layer)
         return RetrieverStats(
             backend=self.backend,
             size=len(self._ids),

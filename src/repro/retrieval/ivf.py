@@ -85,6 +85,7 @@ class IVFIndex(BaseRetriever):
     """
 
     backend = "ivf"
+    supports_add = True
 
     def __init__(
         self,
@@ -112,6 +113,7 @@ class IVFIndex(BaseRetriever):
         self._cells: list[np.ndarray] = []
         self._queries = 0
         self._scored = 0
+        self._added = 0
         self._fitted = False
 
     def fit(self, ids: Sequence, data: Sequence) -> "IVFIndex":
@@ -129,6 +131,7 @@ class IVFIndex(BaseRetriever):
         self._bucket(assignments, n_lists)
         self._queries = 0
         self._scored = 0
+        self._added = 0
         self._fitted = True
         return self
 
@@ -140,6 +143,43 @@ class IVFIndex(BaseRetriever):
         self._cells = [
             np.ascontiguousarray(self._matrix[members]) for members in self._members
         ]
+
+    def add(self, ids: Sequence, data: Sequence) -> "IVFIndex":
+        """Delta-merge new vectors into the existing cells, no re-quantize.
+
+        Each new row joins the cell of its nearest *existing* centroid
+        (argmax inner product, lowest cell index on ties — the k-means
+        assignment rule), so queries see it whenever that cell is probed.
+        Centroids are **not** refreshed: after heavy growth the quantizer
+        drifts from the data and recall degrades relative to a refit —
+        the documented trade for a swap that never re-runs k-means.  The
+        ``added_since_fit`` stats counter tracks how far an index has
+        drifted so callers can schedule a refit.
+
+        Raises:
+            DataError: On a count or dimension mismatch.
+        """
+        self._require_fitted(self._fitted)
+        if len(ids) != len(data):
+            raise DataError(f"{len(ids)} ids for {len(data)} vectors")
+        if not ids:
+            return self
+        rows = pack_vectors(data, self.metric)
+        if rows.shape[1] != self._matrix.shape[1]:
+            raise DataError(
+                f"new vectors have dim {rows.shape[1]}, index has "
+                f"{self._matrix.shape[1]}"
+            )
+        start = self._matrix.shape[0]
+        assignments = np.argmax(rows @ self._centroids.T, axis=1)
+        self._matrix = np.ascontiguousarray(np.vstack([self._matrix, rows]))
+        self._ids.extend(ids)
+        for cell in np.unique(assignments):
+            joined = start + np.flatnonzero(assignments == cell)
+            self._members[cell] = np.concatenate([self._members[cell], joined])
+            self._cells[cell] = np.ascontiguousarray(self._matrix[self._members[cell]])
+        self._added += len(ids)
+        return self
 
     def retrieve(self, query: Any, top_k: int = 10) -> list[tuple[Any, float]]:
         """Score the ``nprobe`` closest cells only."""
@@ -196,6 +236,7 @@ class IVFIndex(BaseRetriever):
                 "n_lists": len(self._members),
                 "nprobe": self.nprobe,
                 "mean_list_size": (sum(sizes) / len(sizes)) if sizes else 0.0,
+                "added_since_fit": self._added,
             },
         )
 

@@ -33,6 +33,7 @@ class BM25Retriever(BaseRetriever):
     """
 
     backend = "bm25"
+    supports_add = True
 
     def __init__(self, k1: float = 1.5, b: float = 0.75):
         self._index = _bm25_index_class()(k1=k1, b=b)
@@ -51,6 +52,28 @@ class BM25Retriever(BaseRetriever):
         self._fitted = True
         return self
 
+    def add(self, ids: Sequence, data: Sequence) -> "BM25Retriever":
+        """Extend the index with new documents, refit-identically.
+
+        Delegates to :meth:`BM25Index.add_documents`, which recomputes
+        the corpus statistics (idf, average length, every norm) over the
+        grown collection — scores and rankings match a fresh fit of the
+        concatenated collection exactly.
+
+        Raises:
+            DataError: On a count mismatch, a duplicate id, or an index
+                rehydrated from a state without raw document lengths
+                (pre-``add`` snapshots) — callers should refit then.
+        """
+        self._require_fitted(self._fitted)
+        if len(ids) != len(data):
+            raise DataError(f"{len(ids)} ids for {len(data)} token sequences")
+        if ids:
+            self._index.add_documents(
+                dict(zip(ids, (list(tokens) for tokens in data)))
+            )
+        return self
+
     def retrieve(self, query: Any, top_k: int = 10) -> list[tuple[Any, float]]:
         """Top-k over the query terms' postings; zero-score docs absent."""
         self._require_fitted(self._fitted)
@@ -61,9 +84,7 @@ class BM25Retriever(BaseRetriever):
         self._queries += 1
         self._scored += len(accumulated)
         best = sorted(accumulated.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k]
-        return [
-            (self._index._doc_ids[position], score) for position, score in best
-        ]
+        return [(self._index._doc_ids[position], score) for position, score in best]
 
     def stats(self) -> RetrieverStats:
         return RetrieverStats(

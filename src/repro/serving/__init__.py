@@ -22,7 +22,7 @@ Quickstart::
 """
 
 from .admission import AdmissionController, AdmissionStats
-from .cache import LRUCache
+from .cache import CacheCounters, LRUCache
 from .cluster import (
     CLUSTER_META,
     COALESCED_ENDPOINTS,
@@ -50,6 +50,7 @@ from .service import (
     DENSE_ITEM_INDEX,
     RERANKER_MODEL,
     TAGGER_MODEL,
+    ServingGeneration,
     fit_concept_index,
     ServiceConfig,
 )
@@ -104,7 +105,9 @@ __all__ = [
     "rerank_score",
     "restore_serving_module",
     "fit_concept_index",
+    "CacheCounters",
     "LRUCache",
+    "ServingGeneration",
     "EndpointMetrics",
     "EndpointStats",
     "ServiceStats",

@@ -12,18 +12,58 @@ consistent with each other under contention: every ``get`` increments
 exactly one of ``hits``/``misses``, so ``hits + misses`` always equals
 the number of lookups, and ``evictions`` never drifts from the entries
 actually dropped.
+
+Readers of the counters must use :meth:`LRUCache.counters` — one locked
+snapshot of all three at once.  Reading the public ``hits``/``misses``/
+``evictions`` attributes separately can tear under contention (a lookup
+lands between two of the three reads and the report shows
+``hits + misses != lookups``); the attributes stay public for
+single-threaded inspection and backwards compatibility only.
+
+Generational serving (:mod:`repro.kg.generations`) never clears a live
+cache — stale entries are made unreachable by keying them with the
+generation id and letting LRU pressure evict them.  What a generation
+swap *does* want is attributable hit rates, so the cache keeps a
+per-generation counter window: :meth:`begin_generation` closes the
+current window and opens a new one, and :meth:`generation_counters`
+reports each window separately while the lifetime totals keep counting.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Hashable
 
 from ..errors import ConfigError
 
 #: Unique sentinel distinguishing "absent" from a cached ``None``.
 _ABSENT = object()
+
+
+@dataclass(frozen=True)
+class CacheCounters:
+    """One consistent snapshot of a cache's hit/miss/eviction counters.
+
+    Taken under the cache lock, so ``hits + misses`` is exactly the
+    number of lookups at snapshot time — the invariant a report can rely
+    on, which three separate attribute reads cannot guarantee.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Lookups covered by this snapshot (``hits + misses``)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        return self.hits / self.lookups if self.lookups else 0.0
 
 
 class LRUCache:
@@ -46,6 +86,11 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Per-generation counter windows: closed (label, CacheCounters)
+        # snapshots plus the totals at the currently-open window's start.
+        self._windows: list[tuple[str, CacheCounters]] = []
+        self._window_label = "gen-0"
+        self._window_start = CacheCounters()
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, refreshing its recency; counts a hit or miss."""
@@ -89,7 +134,58 @@ class LRUCache:
             lookups = self.hits + self.misses
             return self.hits / lookups if lookups else 0.0
 
-    def clear(self) -> None:
-        """Drop every entry (counters are preserved)."""
+    def counters(self) -> CacheCounters:
+        """All three counters in one locked snapshot.
+
+        This is the only way to read a *consistent* triple under
+        contention; use it anywhere the counters feed a report or an
+        invariant check.
+        """
+        with self._lock:
+            return CacheCounters(self.hits, self.misses, self.evictions)
+
+    # ----------------------------------------------------------- generations
+    def begin_generation(self, label: str) -> None:
+        """Close the current counter window and open one named ``label``.
+
+        Called by the serving tier on a generation swap so post-swap hit
+        rate is attributable to the new generation instead of being
+        diluted by the lifetime totals.  Lifetime counters keep running;
+        only the window bookkeeping changes.
+        """
+        with self._lock:
+            self._windows.append((self._window_label, self._window_delta()))
+            self._window_label = label
+            self._window_start = CacheCounters(self.hits, self.misses, self.evictions)
+
+    def generation_counters(self) -> tuple[tuple[str, CacheCounters], ...]:
+        """Per-generation counter windows, oldest first, open window last."""
+        with self._lock:
+            return (*self._windows, (self._window_label, self._window_delta()))
+
+    def _window_delta(self) -> CacheCounters:
+        # Caller holds self._lock.
+        start = self._window_start
+        return CacheCounters(
+            self.hits - start.hits,
+            self.misses - start.misses,
+            self.evictions - start.evictions,
+        )
+
+    def clear(self, reset_counters: bool = False) -> None:
+        """Drop every entry.
+
+        Counters are preserved by default (lifetime totals survive a
+        flush); ``reset_counters=True`` also zeroes them — and the
+        generation windows — so a hit rate measured after the flush is
+        not diluted by pre-flush traffic.
+        """
         with self._lock:
             self._entries.clear()
+            if reset_counters:
+                self.hits = 0
+                self.misses = 0
+                self.evictions = 0
+                self._windows = []
+                self._window_label = "gen-0"
+                self._window_start = CacheCounters()

@@ -65,14 +65,19 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..concepts.tagging import ConceptTagger
 from ..errors import ConfigError, DataError
+from ..kg.generations import GenerationalStore
 from ..kg.ids import ECOMMERCE_PREFIX, ITEM_PREFIX
-from ..kg.serialize import load_snapshot, save_snapshot
+from ..kg.serialize import (
+    generational_store_from_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
 from ..kg.store import AliCoCoStore
 from ..matching.bm25 import BM25Index
 from ..ml.module import Module
 from ..retrieval import rrf_fuse
 from .admission import AdmissionController, AdmissionStats
-from .cache import LRUCache
+from .cache import CacheCounters, LRUCache
 from .coalesce import Coalescer, CoalescerStats
 from .models import (
     RERANKER_KIND,
@@ -92,7 +97,13 @@ from .service import (
     ServiceConfig,
     fit_concept_index,
 )
-from .shard import is_partitioned, merge_ranked, shard_of, split_concept_index, split_store
+from .shard import (
+    is_partitioned,
+    merge_ranked,
+    shard_of,
+    split_concept_index,
+    split_store,
+)
 from .stats import EndpointMetrics, EndpointStats, ServiceStats, endpoint_table
 
 #: Snapshot index-state name of the cluster meta record (shard count).
@@ -253,9 +264,7 @@ class ClusterStats:
             )
             lines.append(f"  shed: {reasons}")
         calls = ", ".join(str(count) for count in self.shard_calls)
-        lines.append(
-            f"  shard calls: [{calls}] (imbalance {self.imbalance:.2f})"
-        )
+        lines.append(f"  shard calls: [{calls}] (imbalance {self.imbalance:.2f})")
         lines += endpoint_table(self.endpoints)
         return "\n".join(lines)
 
@@ -312,7 +321,22 @@ class AliCoCoCluster:
         self.config = config or ClusterConfig()
         self._service_config = service_config or ServiceConfig()
         n_shards = self.config.n_shards
-        self._store = store.freeze()
+        # A cluster serves a *pinned* generation: given a generational
+        # store it splits the currently-published view and never follows
+        # later swaps — shard placement, index projections and tie-break
+        # orders are all derived from one consistent view.  Rebuild the
+        # cluster (or warm-start from a fresh snapshot) to advance.  The
+        # pinned generation id prefixes the cluster cache's keys, so two
+        # clusters rebuilt over different generations can never alias
+        # entries through a shared cache dump.
+        if isinstance(store, GenerationalStore):
+            view = store.current()
+            self._generation_id: int | None = view.generation_id
+            store = view
+        else:
+            self._generation_id = None
+            store = store.freeze()
+        self._store = store
         self._fingerprint = config_fingerprint
         self._search_index = (
             search_index if search_index is not None else fit_concept_index(store)
@@ -437,19 +461,24 @@ class AliCoCoCluster:
                 f"snapshot fingerprint {header.config_fingerprint!r} does "
                 f"not match expected {expected_fingerprint!r}"
             )
+        # A generational snapshot replays into a generational store so
+        # the cluster pins the saved generation (id included — it keys
+        # the cluster cache); delta-less snapshots serve frozen.
+        store: AliCoCoStore | GenerationalStore = (
+            generational_store_from_snapshot(snapshot)
+            if snapshot.deltas
+            else snapshot.store
+        )
         state = snapshot.index_states.get(CONCEPT_INDEX)
         search_index = (
             BM25Index.from_state(state)
             if state is not None
-            else fit_concept_index(snapshot.store)
+            else fit_concept_index(store)
         )
         meta = snapshot.index_states.get(CLUSTER_META)
         shard_search_indexes = None
         shard_dense_states: dict[int, dict[str, Any]] = {}
-        if (
-            isinstance(meta, dict)
-            and meta.get("n_shards") == config.n_shards
-        ):
+        if isinstance(meta, dict) and meta.get("n_shards") == config.n_shards:
             shard_search_indexes = []
             for shard in range(config.n_shards):
                 state = snapshot.index_states.get(f"{CONCEPT_INDEX}@shard{shard}")
@@ -476,7 +505,7 @@ class AliCoCoCluster:
             kind = TAGGER_KIND if name == TAGGER_MODEL else RERANKER_KIND
             restore_serving_module(module, bundle, kind, name)
         return cls(
-            snapshot.store,
+            store,
             config=config,
             service_config=service_config,
             search_index=search_index,
@@ -495,14 +524,15 @@ class AliCoCoCluster:
         plain :meth:`AliCoCoService.from_snapshot` can serve a cluster
         snapshot — plus one ``…@shard{i}`` index state per shard index
         and a ``cluster`` meta record pinning the shard count for
-        warm-start validation.
+        warm-start validation.  A cluster over a generational store
+        writes its *pinned view* flattened (the cluster never follows
+        swaps, so the generation structure carries no information here);
+        the reload serves the same answers at generation 0.
 
         Returns:
             Number of lines written.
         """
-        index_states: dict[str, Any] = {
-            CLUSTER_META: {"n_shards": self.n_shards}
-        }
+        index_states: dict[str, Any] = {CLUSTER_META: {"n_shards": self.n_shards}}
         if self._search_index is not None:
             index_states[CONCEPT_INDEX] = self._search_index.to_state()
         for shard, service in enumerate(self._services):
@@ -515,9 +545,7 @@ class AliCoCoCluster:
                     index_states[f"{name}@shard{shard}"] = dense_index.to_state()
         model_states = {}
         if self._tagger is not None:
-            model_states[TAGGER_MODEL] = model_bundle_state(
-                self._tagger, TAGGER_KIND
-            )
+            model_states[TAGGER_MODEL] = model_bundle_state(self._tagger, TAGGER_KIND)
         if self._reranker is not None:
             model_states[RERANKER_MODEL] = model_bundle_state(
                 self._reranker, RERANKER_KIND
@@ -709,17 +737,24 @@ class AliCoCoCluster:
         return self._services[0].models
 
     def stats(self) -> ClusterStats:
-        """Current cluster statistics (fan-out, coalescing, admission)."""
+        """Current cluster statistics (fan-out, coalescing, admission).
+
+        Cache counters come from one locked
+        :meth:`~repro.serving.cache.LRUCache.counters` snapshot, never
+        from separate attribute reads that a concurrent request could
+        tear apart.
+        """
         store_stats = self._store.stats()
         with self._balance_lock:
             shard_calls = tuple(self._shard_calls)
+        cache_counters = self._cache.counters() if self._cache else CacheCounters()
         return ClusterStats(
             n_shards=self.n_shards,
             nodes=len(self._store),
             relations=store_stats.relations_total,
             cache_entries=len(self._cache) if self._cache else 0,
             cache_capacity=self._cache.capacity if self._cache else 0,
-            cache_evictions=self._cache.evictions if self._cache else 0,
+            cache_evictions=cache_counters.evictions,
             endpoints=tuple(
                 metrics.snapshot(endpoint)
                 for endpoint, metrics in self._metrics.items()
@@ -795,7 +830,13 @@ class AliCoCoCluster:
         """
         metrics = self._metrics[endpoint]
         start = perf_counter()
-        cache_key = (endpoint, *key)
+        # Clusters over a generational store pin one generation for
+        # life; the prefix keeps their cache keys disjoint per pinned
+        # generation (matching the single service's convention).
+        if self._generation_id is not None:
+            cache_key = ("gen", self._generation_id, endpoint, *key)
+        else:
+            cache_key = (endpoint, *key)
         if self._cache is not None:
             cached = self._cache.get(cache_key, _MISS)
             if cached is not _MISS:
@@ -929,9 +970,7 @@ class AliCoCoCluster:
         return tuple(scored)
 
     def _search_reranked_scattered(self, tokens: tuple[str, ...], k: int) -> tuple:
-        pool = self._concept_pool_scattered(
-            tokens, self._service_config.rerank_pool_k
-        )
+        pool = self._concept_pool_scattered(tokens, self._service_config.rerank_pool_k)
         scored = self._score_scattered(
             tokens,
             pool,

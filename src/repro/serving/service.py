@@ -66,10 +66,16 @@ pool through the batched :func:`~repro.serving.models.rerank_pool`
 :mod:`repro.ml.inference`) instead of one ``score_text`` call per
 candidate.  Doc-side encodings — the per-candidate tensors that depend
 only on the candidate's own text — are additionally memoised in a
-bounded thread-safe LRU keyed by node id.  That cache is **legal only
-because the served store is frozen**: a node's text can never change
-under a live service, so a cached encoding can never go stale — the same
-invariant that lets the result cache skip invalidation entirely.  The
+bounded thread-safe LRU keyed by (epoch, node id).  That cache is
+**legal only because served nodes are immutable**: a node's text can
+never change once it exists (generational stores only ever *add*
+nodes, never mutate or re-use ids), so a cached encoding can never go
+stale.  The result cache's no-invalidation property is narrower: it
+holds only *within one generation* — a frozen service never leaves
+generation 0, so its cache never invalidates at all, while a
+generational service retires a whole generation's entries at ``swap()``
+by keying them under the new generation id (see **Evolvable serving**
+below).  The
 served model is equally frozen (prepared once, never trained —
 :func:`~repro.serving.models.ensure_inference_mode` enforces it), so
 encodings outlive any individual query.  The cache warms lazily as pools
@@ -92,13 +98,35 @@ term matches, the dense arm bridges semantic drift.  Dense indexes are
 frozen with the store, persist inside snapshots
 (:data:`DENSE_CONCEPT_INDEX` / :data:`DENSE_ITEM_INDEX`), and
 warm-start bit-identically to a fresh fit.
+
+**Evolvable serving.**  A service constructed over a
+:class:`~repro.kg.generations.GenerationalStore` serves *generations*
+instead of one forever-frozen net.  Every request pins the current
+:class:`ServingGeneration` — one immutable bundle of (store view,
+search index, dense indexes, primitive index) — at entry and reads only
+from it, so no request ever observes a mixed generation.  Writers grow
+the store through its ``create_*``/``add_*`` API (buffered in an open
+delta, invisible to readers), and :meth:`AliCoCoService.publish` seals
+and swaps: indexes extend incrementally where the backend supports it
+(BM25 re-derives corpus statistics exactly; brute-force appends;
+IVF/HNSW delta-merge) or refit as a fallback, and one attribute
+assignment installs the next generation.  Result-cache entries are
+keyed by generation id, so a swap retires the old generation's entries
+without ever calling a racy ``clear()`` — in-flight requests keep
+hitting their pinned generation's keys, and the LRU evicts the retired
+entries naturally.  Doc-side encodings survive swaps untouched (nodes
+are immutable and ids are never reused);
+:meth:`AliCoCoService.invalidate_doc_cache` bumps their epoch for the
+deliberate cases (e.g. swapping the served reranker).
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from itertools import islice
 from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable, Iterable, Iterator, Sequence
@@ -106,9 +134,15 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 from ..concepts.tagging import ConceptTagger
 from ..errors import ConfigError, DataError, RelationError, ReproError, error_by_name
 from ..kg import query as kgq
+from ..kg.generations import GenerationalStore
 from ..kg.ids import ECOMMERCE_PREFIX, ITEM_PREFIX, PRIMITIVE_PREFIX, layer_of
 from ..kg.relations import RelationKind
-from ..kg.serialize import load_snapshot, save_snapshot
+from ..kg.serialize import (
+    generational_store_from_snapshot,
+    load_snapshot,
+    save_generations,
+    save_snapshot,
+)
 from ..kg.store import AliCoCoStore
 from ..matching.bm25 import BM25Index
 from ..matching.retrieval import RETRIEVER_MODES, require_dense_capable
@@ -121,7 +155,7 @@ from ..retrieval import (
     make_dense_index,
     rrf_fuse,
 )
-from .cache import LRUCache
+from .cache import CacheCounters, LRUCache
 from .models import (
     RERANKER_KIND,
     TAGGER_KIND,
@@ -287,6 +321,42 @@ class ServiceConfig:
             )
 
 
+@dataclass(frozen=True)
+class ServingGeneration:
+    """One immutable serving state: a store view plus its derived indexes.
+
+    Requests pin the service's current instance at entry and read only
+    from it, so a concurrent :meth:`AliCoCoService.publish` can never
+    show a request the new graph with the old indexes (or vice versa) —
+    installing a generation is a single attribute assignment, atomic
+    under the GIL.  A frozen (non-generational) service holds exactly
+    one of these forever, at ``generation_id`` 0.
+
+    Attributes:
+        generation_id: The store generation these indexes were built
+            over; 0 for a plain frozen store.
+        store: The pinned read view (an
+            :class:`~repro.kg.store.AliCoCoStore` or
+            :class:`~repro.kg.generations.GenerationView`).
+        search_index: The BM25 concept index over this view, or ``None``.
+        dense_indexes: Dense first-stage indexes by snapshot name
+            (empty under ``retriever="bm25"``).
+        primitive_index: (surface, domain) -> primitive node id, for
+            linking tagged mentions.
+        ecommerce_count / item_count: Document-population sizes this
+            generation's indexes cover; the next publish extends indexes
+            with exactly the nodes beyond these counts.
+    """
+
+    generation_id: int
+    store: Any
+    search_index: BM25Index | None
+    dense_indexes: dict[str, BaseRetriever | None] = field(default_factory=dict)
+    primitive_index: dict[tuple[str, str], str] = field(default_factory=dict)
+    ecommerce_count: int = 0
+    item_count: int = 0
+
+
 def fit_concept_index(
     store: AliCoCoStore,
     k1: float = 1.5,
@@ -303,18 +373,41 @@ def fit_concept_index(
     return BM25Index(k1=k1, b=b).fit(documents)
 
 
-class AliCoCoService:
-    """Read-only concept query service over a frozen net.
+def _build_primitive_index(view: Any) -> dict[tuple[str, str], str]:
+    """(surface, domain) -> node id over a view's primitive layer.
 
-    The store is frozen at construction time: cached results can never go
-    stale because the graph underneath can never change.  Build a new
-    service (or warm-start one from a snapshot) to serve a new net.  One
-    instance may be shared across threads — graph reads are lock-free
-    over immutable state, and the cache/metrics guard themselves (see the
-    module docstring for the full thread-safety contract).
+    Derived from an immutable view, so the mapping is immutable too;
+    setdefault keeps the first node in insertion order on the rare
+    duplicate surface.
+    """
+    primitive_index: dict[tuple[str, str], str] = {}
+    for node in view.nodes(PRIMITIVE_PREFIX):
+        primitive_index.setdefault((node.name, node.domain), node.id)
+    return primitive_index
+
+
+class AliCoCoService:
+    """Concept query service over a frozen net — or an evolvable one.
+
+    Given a plain :class:`~repro.kg.store.AliCoCoStore`, the store is
+    frozen at construction time: cached results can never go stale
+    because the graph underneath can never change, and the service stays
+    at generation 0 forever.  Given a
+    :class:`~repro.kg.generations.GenerationalStore`, the service serves
+    its *published* view and advances to new generations through
+    :meth:`publish` — requests pin one immutable
+    :class:`ServingGeneration` at entry, so reads stay lock-free and
+    internally consistent even while a publish is installing the next
+    one (see the module docstring's **Evolvable serving** section).  One
+    instance may be shared across threads either way — graph reads are
+    lock-free over immutable state, and the cache/metrics guard
+    themselves (see the module docstring for the full thread-safety
+    contract).
 
     Args:
-        store: The net to serve; frozen in place.
+        store: The net to serve; frozen in place (a generational store
+            stays growable through its own API — only its published
+            views are immutable).
         config: Serving knobs (defaults are fine for tests/benchmarks).
         search_index: A fitted concept index to reuse (warm start); fitted
             from the store when omitted.
@@ -362,12 +455,16 @@ class AliCoCoService:
         config_fingerprint: str = "",
     ):
         self.config = config or ServiceConfig()
-        self._store = store.freeze()
+        self._generational = isinstance(store, GenerationalStore)
+        self._store = store.freeze()  # a no-op self-return for generational stores
         self._fingerprint = config_fingerprint
-        if search_index is not None:
-            self._search_index = search_index
-        else:
-            self._search_index = fit_concept_index(store) if fit_search_index else None
+        self._fit_search_index = fit_search_index
+        # The view every index below is built over.  For a generational
+        # store this pins the *published* view — open/staged writes stay
+        # invisible until publish() builds the next generation.
+        view = store.current() if self._generational else self._store
+        if search_index is None and fit_search_index:
+            search_index = fit_concept_index(view)
         self._tagger = (
             prepare_serving_module(tagger, TAGGER_MODEL) if tagger is not None else None
         )
@@ -376,19 +473,15 @@ class AliCoCoService:
             if reranker is not None
             else None
         )
-        # (surface, domain) -> node id over the primitive layer, for
-        # linking tagged mentions.  Derived from the frozen store, so it
-        # is immutable too; setdefault keeps the first node in store
-        # (insertion) order on the rare duplicate surface.
-        self._primitive_index: dict[tuple[str, str], str] = {}
-        for node in store.nodes(PRIMITIVE_PREFIX):
-            self._primitive_index.setdefault((node.name, node.domain), node.id)
         self._cache = (
             LRUCache(self.config.cache_capacity) if self.config.cache_capacity else None
         )
         # Doc-side encoding cache (see the module docstring): only worth
         # holding when a fast-path reranker is served — fallback matchers
-        # have no doc-side encodings to reuse.
+        # have no doc-side encodings to reuse.  Keys carry an epoch so
+        # deliberate invalidation (invalidate_doc_cache) never needs a
+        # racy clear(); generation swaps leave the epoch alone because
+        # nodes are immutable and ids are never reused.
         self._doc_cache = (
             LRUCache(self.config.doc_cache_capacity)
             if (
@@ -399,16 +492,31 @@ class AliCoCoService:
             )
             else None
         )
-        # Dense first-stage indexes over the frozen catalog (None entries
+        self._doc_epoch = 0
+        # Dense first-stage indexes over the pinned view (None entries
         # mean "population empty, fall back to the cheap stage").  Built
         # after the doc cache exists so index construction flows through
         # it — every title/concept encoded here is a future cache hit.
-        self._dense_indexes: dict[str, BaseRetriever | None] = {}
+        dense_indexes: dict[str, BaseRetriever | None] = {}
         if self.config.retriever != "bm25":
             require_dense_capable(
                 self._reranker, f"retriever {self.config.retriever!r}"
             )
-            self._build_dense_indexes(dense_index_states or {})
+            dense_indexes = self._build_dense_indexes(dense_index_states or {}, view)
+        # All per-generation state rides one immutable bundle behind one
+        # attribute; requests pin it at entry and publish() replaces it
+        # atomically (the lock serializes publishers only — readers
+        # never take it).
+        self._publish_lock = threading.Lock()
+        self._gen = ServingGeneration(
+            generation_id=view.generation_id if self._generational else 0,
+            store=view,
+            search_index=search_index,
+            dense_indexes=dense_indexes,
+            primitive_index=_build_primitive_index(view),
+            ecommerce_count=view.count_nodes(ECOMMERCE_PREFIX),
+            item_count=view.count_nodes(ITEM_PREFIX),
+        )
         if self._doc_cache is not None and self.config.prewarm_doc_cache:
             self.warm_doc_cache()
         self._handlers: dict[str, Callable[..., Any]] = {
@@ -500,11 +608,22 @@ class AliCoCoService:
                 f"snapshot fingerprint {header.config_fingerprint!r} does "
                 f"not match expected {expected_fingerprint!r}"
             )
+        # A generational snapshot (delta records present) warm-starts a
+        # generational service: segments replay with their saved
+        # generation numbering, so the restored service resumes at the
+        # exact generation it was saved at and its generation-keyed
+        # caches stay coherent.  Delta-less snapshots serve frozen, as
+        # before.
+        store: AliCoCoStore | GenerationalStore = (
+            generational_store_from_snapshot(snapshot)
+            if snapshot.deltas
+            else snapshot.store
+        )
         state = snapshot.index_states.get(CONCEPT_INDEX)
         search_index = (
             BM25Index.from_state(state)
             if state is not None
-            else fit_concept_index(snapshot.store)
+            else fit_concept_index(store)
         )
         dense_index_states = {
             name: snapshot.index_states[name]
@@ -524,7 +643,7 @@ class AliCoCoService:
             kind = TAGGER_KIND if name == TAGGER_MODEL else RERANKER_KIND
             restore_serving_module(module, bundle, kind, name)
         return cls(
-            snapshot.store,
+            store,
             config=config,
             search_index=search_index,
             tagger=tagger,
@@ -559,13 +678,162 @@ class AliCoCoService:
             model_states[RERANKER_MODEL] = model_bundle_state(
                 self._reranker, RERANKER_KIND
             )
-        return save_snapshot(
+        saver = save_generations if self._generational else save_snapshot
+        return saver(
             self._store,
             path,
             config_fingerprint=self._fingerprint,
             index_states=index_states,
             model_states=model_states,
         )
+
+    # ----------------------------------------------------------- generations
+    def publish(self) -> int:
+        """Seal pending writes and atomically serve the next generation.
+
+        Seals the store's open delta, swaps the published view, extends
+        the derived indexes to cover the new nodes — incrementally where
+        the backend supports exact extension (BM25 re-derives its corpus
+        statistics over the grown collection; brute-force dense appends
+        rows), cloned-then-grown so no live index is ever mutated, with
+        a full refit as the fallback — and installs the whole bundle as
+        one :class:`ServingGeneration` in a single atomic assignment.
+        In-flight requests finish against the generation they pinned at
+        entry; new requests see the new one.  Result-cache entries carry
+        the generation id in their key, so the old generation's entries
+        are simply never looked up again and age out of the LRU — no
+        ``clear()``, no stale hits, no lost concurrent lookups.
+
+        A publish with nothing staged and nothing open is a no-op that
+        returns the current generation id.
+
+        Returns:
+            The generation id now being served.
+
+        Raises:
+            ConfigError: If the service serves a plain frozen store
+                (build it over a
+                :class:`~repro.kg.generations.GenerationalStore` to
+                evolve it).
+        """
+        if not self._generational:
+            raise ConfigError(
+                "publish() needs a service over a GenerationalStore; this "
+                "service serves a frozen store (generation 0 forever)"
+            )
+        with self._publish_lock:
+            old = self._gen
+            generation_id = self._store.publish()
+            if generation_id == old.generation_id:
+                return generation_id
+            view = self._store.current()
+            dense_indexes = old.dense_indexes
+            if self.config.retriever != "bm25":
+                dense_indexes = self._next_dense_indexes(old, view)
+            self._gen = ServingGeneration(
+                generation_id=generation_id,
+                store=view,
+                search_index=self._next_search_index(old, view),
+                dense_indexes=dense_indexes,
+                primitive_index=_build_primitive_index(view),
+                ecommerce_count=view.count_nodes(ECOMMERCE_PREFIX),
+                item_count=view.count_nodes(ITEM_PREFIX),
+            )
+            # Roll the caches' stats windows so per-generation hit rates
+            # are observable; entries are left in place — retired keys
+            # are unreachable, which is the whole invalidation story.
+            if self._cache is not None:
+                self._cache.begin_generation(f"gen-{generation_id}")
+            if self._doc_cache is not None:
+                self._doc_cache.begin_generation(f"gen-{generation_id}")
+            return generation_id
+
+    def _next_search_index(
+        self, old: ServingGeneration, view: Any
+    ) -> BM25Index | None:
+        """The next generation's concept index: extended, refit, or reused.
+
+        The old index is never mutated — extension clones it through its
+        serialised state first (:meth:`BM25Index.add_documents` is exactly
+        refit-identical, see :mod:`repro.matching.bm25`), so requests
+        pinned to the old generation keep searching the old index.  A
+        state predating raw-length persistence cannot extend; it refits.
+        """
+        if not self._fit_search_index:
+            # Shard services serve projections of a cluster-global index;
+            # extending one locally would break scatter-gather parity.
+            # Clusters serve a pinned generation and rebuild to advance.
+            return old.search_index
+        fresh = [
+            node
+            for node in islice(
+                view.nodes(ECOMMERCE_PREFIX), old.ecommerce_count, None
+            )
+            if node.tokens
+        ]
+        if not fresh:
+            return old.search_index
+        if old.search_index is None:
+            return fit_concept_index(view)
+        try:
+            clone = BM25Index.from_state(old.search_index.to_state())
+            clone.add_documents({node.id: list(node.tokens) for node in fresh})
+            return clone
+        except DataError:
+            return fit_concept_index(view)
+
+    def _next_dense_indexes(
+        self, old: ServingGeneration, view: Any
+    ) -> dict[str, BaseRetriever | None]:
+        """The next generation's dense indexes: delta-merged or refit.
+
+        Backends that support incremental add (all three shipped ones)
+        are cloned through their serialised state and extended with the
+        new documents' vectors — encoded through the doc cache, so the
+        work is shared with future pool scoring.  Anything else refits
+        over the full view.  Populations only ever grow (generational
+        stores are add-only), so the slice past the old count is exactly
+        the new documents.
+        """
+        populations = self._dense_populations(view)
+        covered = {
+            DENSE_CONCEPT_INDEX: old.ecommerce_count,
+            DENSE_ITEM_INDEX: old.item_count,
+        }
+        indexes: dict[str, BaseRetriever | None] = {}
+        for name, population in populations.items():
+            old_index = old.dense_indexes.get(name)
+            fresh = [
+                (node_id, tokens)
+                for node_id, tokens in population[covered[name] :]
+                if tokens
+            ]
+            if not fresh:
+                indexes[name] = old_index
+                continue
+            if old_index is not None and old_index.supports_add:
+                clone = dense_index_from_state(old_index.to_state())
+                clone.add(
+                    [node_id for node_id, _ in fresh],
+                    [
+                        self._dense_vector(node_id, tokens)
+                        for node_id, tokens in fresh
+                    ],
+                )
+                indexes[name] = clone
+                continue
+            ids, vectors = [], []
+            for node_id, tokens in population:
+                if not tokens:
+                    continue
+                ids.append(node_id)
+                vectors.append(self._dense_vector(node_id, tokens))
+            indexes[name] = (
+                make_dense_index(self.config.dense_backend).fit(ids, vectors)
+                if ids
+                else None
+            )
+        return indexes
 
     # ------------------------------------------------------------- endpoints
     def items_for_concept(self, concept_id: str, top_k: int | None = None) -> tuple:
@@ -582,41 +850,55 @@ class AliCoCoService:
                 raise ConfigError(
                     f"items_for_concept top_k must be positive, got {top_k}"
                 )
-            self._require(concept_id, ECOMMERCE_PREFIX)
+            gen = self._gen
+            self._require(concept_id, ECOMMERCE_PREFIX, store=gen.store)
             return self._serve(
                 "items_for_concept",
                 (concept_id, top_k),
-                lambda: self._items_uncached(concept_id, top_k),
+                lambda: self._items_uncached(concept_id, top_k, store=gen.store),
+                gen,
             )
 
     def concepts_for_item(self, item_id: str) -> tuple:
         """E-commerce concept ids an item participates in."""
         with self._metered_errors("concepts_for_item"):
-            self._require(item_id, ITEM_PREFIX)
+            gen = self._gen
+            self._require(item_id, ITEM_PREFIX, store=gen.store)
             return self._serve(
                 "concepts_for_item",
                 (item_id,),
-                lambda: self._targets_of(item_id, RelationKind.ITEM_ECOMMERCE),
+                lambda: self._targets_of(
+                    item_id, RelationKind.ITEM_ECOMMERCE, store=gen.store
+                ),
+                gen,
             )
 
     def interpretation(self, concept_id: str) -> tuple:
         """Primitive-concept ids interpreting an e-commerce concept."""
         with self._metered_errors("interpretation"):
-            self._require(concept_id, ECOMMERCE_PREFIX)
+            gen = self._gen
+            self._require(concept_id, ECOMMERCE_PREFIX, store=gen.store)
             return self._serve(
                 "interpretation",
                 (concept_id,),
-                lambda: self._targets_of(concept_id, RelationKind.INTERPRETED_BY),
+                lambda: self._targets_of(
+                    concept_id, RelationKind.INTERPRETED_BY, store=gen.store
+                ),
+                gen,
             )
 
     def hypernyms(self, primitive_id: str, transitive: bool = False) -> tuple:
         """Hypernym primitive-concept ids (breadth-first when transitive)."""
         with self._metered_errors("hypernyms"):
-            self._require(primitive_id, PRIMITIVE_PREFIX)
+            gen = self._gen
+            self._require(primitive_id, PRIMITIVE_PREFIX, store=gen.store)
             return self._serve(
                 "hypernyms",
                 (primitive_id, transitive),
-                lambda: self._hypernyms_uncached(primitive_id, transitive),
+                lambda: self._hypernyms_uncached(
+                    primitive_id, transitive, store=gen.store
+                ),
+                gen,
             )
 
     def search(self, text: str, k: int | None = None) -> tuple:
@@ -632,8 +914,12 @@ class AliCoCoService:
                 raise ConfigError(f"search k must be positive, got {k}")
             k = k if k is not None else self.config.search_top_k
             tokens = tuple(text.split())
+            gen = self._gen
             return self._serve(
-                "search", (tokens, k), lambda: self._search_uncached(tokens, k)
+                "search",
+                (tokens, k),
+                lambda: self._search_uncached(tokens, k, index=gen.search_index),
+                gen,
             )
 
     def tag(self, text: str) -> tuple:
@@ -651,10 +937,12 @@ class AliCoCoService:
         with self._metered_errors("tag"):
             tagger = self._require_model(self._tagger, TAGGER_MODEL, "tag")
             tokens = tuple(text.split())
+            gen = self._gen
             return self._serve(
                 "tag",
                 (tokens,),
-                lambda: tag_spans(tagger, tokens, self._primitive_index),
+                lambda: tag_spans(tagger, tokens, gen.primitive_index),
+                gen,
             )
 
     def items_for_concept_reranked(
@@ -684,11 +972,15 @@ class AliCoCoService:
                 raise ConfigError(
                     f"items_for_concept_reranked top_k must be positive, got {top_k}"
                 )
-            self._require(concept_id, ECOMMERCE_PREFIX)
+            gen = self._gen
+            self._require(concept_id, ECOMMERCE_PREFIX, store=gen.store)
             return self._serve(
                 "items_for_concept_reranked",
                 (concept_id, top_k),
-                lambda: self._items_reranked_uncached(reranker, concept_id, top_k),
+                lambda: self._items_reranked_uncached(
+                    reranker, concept_id, top_k, gen
+                ),
+                gen,
             )
 
     def search_reranked(self, text: str, k: int | None = None) -> tuple:
@@ -713,10 +1005,12 @@ class AliCoCoService:
                 raise ConfigError(f"search_reranked k must be positive, got {k}")
             k = k if k is not None else self.config.search_top_k
             tokens = tuple(text.split())
+            gen = self._gen
             return self._serve(
                 "search_reranked",
                 (tokens, k),
-                lambda: self._search_reranked_uncached(reranker, tokens, k),
+                lambda: self._search_reranked_uncached(reranker, tokens, k, gen),
+                gen,
             )
 
     def batch(
@@ -795,8 +1089,34 @@ class AliCoCoService:
     # --------------------------------------------------------- introspection
     @property
     def store(self) -> AliCoCoStore:
-        """The (frozen) net being served."""
+        """The net being served.
+
+        For a frozen service this is the store itself; for a generational
+        service it is the :class:`~repro.kg.generations.GenerationalStore`
+        — grow it through its ``create_*`` API and :meth:`publish` the
+        next generation.
+        """
         return self._store
+
+    @property
+    def generation_id(self) -> int:
+        """The generation currently being served (0 for frozen services)."""
+        return self._gen.generation_id
+
+    @property
+    def _search_index(self) -> BM25Index | None:
+        """The current generation's concept index (cluster compatibility)."""
+        return self._gen.search_index
+
+    @property
+    def _dense_indexes(self) -> dict[str, BaseRetriever | None]:
+        """The current generation's dense indexes (cluster compatibility)."""
+        return self._gen.dense_indexes
+
+    @property
+    def _primitive_index(self) -> dict[tuple[str, str], str]:
+        """The current generation's primitive surface index."""
+        return self._gen.primitive_index
 
     @property
     def endpoints(self) -> tuple[str, ...]:
@@ -814,49 +1134,93 @@ class AliCoCoService:
         return tuple(names)
 
     def stats(self) -> ServiceStats:
-        """Current serving statistics (store size, cache, latencies)."""
-        store_stats = self._store.stats()
+        """Current serving statistics (store size, cache, latencies).
+
+        Cache counter triples come from one locked
+        :meth:`~repro.serving.cache.LRUCache.counters` snapshot each —
+        reading ``hits``/``misses``/``evictions`` as three separate
+        attribute loads can interleave with a concurrent request and
+        tear (hits from before it, misses from after), which is exactly
+        how a monitoring pass ends up reporting ``hits + misses >
+        lookups``.
+        """
+        gen = self._gen
+        store_stats = gen.store.stats()
         endpoint_stats = tuple(
             metrics.snapshot(endpoint) for endpoint, metrics in self._metrics.items()
         )
         doc_cache = self._doc_cache
+        cache_counters = self._cache.counters() if self._cache else CacheCounters()
+        doc_counters = doc_cache.counters() if doc_cache else CacheCounters()
+        windows = (
+            tuple(
+                (label, counters.hits, counters.misses, counters.evictions)
+                for label, counters in self._cache.generation_counters()
+            )
+            if self._cache
+            else ()
+        )
         return ServiceStats(
-            nodes=len(self._store),
+            nodes=len(gen.store),
             relations=store_stats.relations_total,
             cache_entries=len(self._cache) if self._cache else 0,
             cache_capacity=self._cache.capacity if self._cache else 0,
-            cache_evictions=self._cache.evictions if self._cache else 0,
+            cache_evictions=cache_counters.evictions,
             endpoints=endpoint_stats,
             doc_cache_entries=len(doc_cache) if doc_cache else 0,
             doc_cache_capacity=doc_cache.capacity if doc_cache else 0,
-            doc_cache_hits=doc_cache.hits if doc_cache else 0,
-            doc_cache_misses=doc_cache.misses if doc_cache else 0,
-            doc_cache_evictions=doc_cache.evictions if doc_cache else 0,
+            doc_cache_hits=doc_counters.hits,
+            doc_cache_misses=doc_counters.misses,
+            doc_cache_evictions=doc_counters.evictions,
+            cache_hits=cache_counters.hits,
+            cache_misses=cache_counters.misses,
+            generation_id=gen.generation_id,
+            cache_generations=windows,
         )
 
     # ------------------------------------------------------------- internals
-    def _items_uncached(self, concept_id: str, top_k: int | None) -> tuple:
-        relations = self._store.in_relations(concept_id, RelationKind.ITEM_ECOMMERCE)
+    # The graph/index helpers default their store/index argument to the
+    # *current* generation when a caller passes none — endpoint code
+    # always passes its pinned generation's components explicitly, while
+    # cluster scatter paths (which serve frozen shard stores, pinned at
+    # construction) keep calling the historical one-argument form.
+    def _items_uncached(
+        self, concept_id: str, top_k: int | None, store: Any = None
+    ) -> tuple:
+        store = store if store is not None else self._gen.store
+        relations = store.in_relations(concept_id, RelationKind.ITEM_ECOMMERCE)
         relations.sort(key=lambda relation: -relation.weight)
         if top_k is not None:
             relations = relations[:top_k]
         return tuple((relation.source, relation.weight) for relation in relations)
 
-    def _targets_of(self, node_id: str, kind: RelationKind) -> tuple:
-        relations = self._store.out_relations(node_id, kind)
+    def _targets_of(
+        self, node_id: str, kind: RelationKind, store: Any = None
+    ) -> tuple:
+        store = store if store is not None else self._gen.store
+        relations = store.out_relations(node_id, kind)
         return tuple(relation.target for relation in relations)
 
-    def _hypernyms_uncached(self, primitive_id: str, transitive: bool) -> tuple:
-        nodes = kgq.hypernyms(self._store, primitive_id, transitive=transitive)
+    def _hypernyms_uncached(
+        self, primitive_id: str, transitive: bool, store: Any = None
+    ) -> tuple:
+        store = store if store is not None else self._gen.store
+        nodes = kgq.hypernyms(store, primitive_id, transitive=transitive)
         return tuple(node.id for node in nodes)
 
-    def _search_uncached(self, tokens: tuple[str, ...], k: int) -> tuple:
-        if not tokens or self._search_index is None:
+    def _search_uncached(
+        self, tokens: tuple[str, ...], k: int, index: Any = _MISS
+    ) -> tuple:
+        if index is _MISS:
+            index = self._gen.search_index
+        if not tokens or index is None:
             return ()
-        return tuple(self._search_index.top_k(tokens, k=k))
+        return tuple(index.top_k(tokens, k=k))
 
     # ------------------------------------------------- dense first stage
-    def _build_dense_indexes(self, states: dict[str, Any]) -> None:
+    def _build_dense_indexes(
+        self, states: dict[str, Any], view: Any
+    ) -> dict[str, BaseRetriever | None]:
         """Fit (or warm-start) the dense concept and item indexes.
 
         Every document is encoded through the doc-side cache when one is
@@ -864,25 +1228,16 @@ class AliCoCoService:
         ``warm_doc_cache`` re-encodes nothing.  A snapshot state is
         reused only when its backend tag matches ``config.dense_backend``
         (rehydration is then bit-identical to the fresh fit); otherwise
-        the index is rebuilt from the frozen store.
+        the index is rebuilt from the given view.
         """
-        populations = {
-            DENSE_CONCEPT_INDEX: [
-                (node.id, list(node.tokens))
-                for node in self._store.nodes(ECOMMERCE_PREFIX)
-            ],
-            DENSE_ITEM_INDEX: [
-                (node.id, node.title.split())
-                for node in self._store.nodes(ITEM_PREFIX)
-            ],
-        }
-        for name, population in populations.items():
+        indexes: dict[str, BaseRetriever | None] = {}
+        for name, population in self._dense_populations(view).items():
             state = states.get(name)
             if (
                 isinstance(state, dict)
                 and state.get("backend") == self.config.dense_backend
             ):
-                self._dense_indexes[name] = dense_index_from_state(state)
+                indexes[name] = dense_index_from_state(state)
                 continue
             ids, vectors = [], []
             for node_id, tokens in population:
@@ -890,11 +1245,26 @@ class AliCoCoService:
                     continue
                 ids.append(node_id)
                 vectors.append(self._dense_vector(node_id, tokens))
-            self._dense_indexes[name] = (
+            indexes[name] = (
                 make_dense_index(self.config.dense_backend).fit(ids, vectors)
                 if ids
                 else None
             )
+        return indexes
+
+    @staticmethod
+    def _dense_populations(view: Any) -> dict[str, list[tuple[str, list[str]]]]:
+        """The two document populations the dense indexes cover."""
+        return {
+            DENSE_CONCEPT_INDEX: [
+                (node.id, list(node.tokens))
+                for node in view.nodes(ECOMMERCE_PREFIX)
+            ],
+            DENSE_ITEM_INDEX: [
+                (node.id, node.title.split())
+                for node in view.nodes(ITEM_PREFIX)
+            ],
+        }
 
     def _dense_vector(self, node_id: str, tokens: Sequence[str]) -> Any:
         """One document's retrieval embedding, via the doc-encoding cache."""
@@ -903,7 +1273,7 @@ class AliCoCoService:
             encoding = self._doc_encoding(self._reranker, node_id, tokens)
         return dense_doc_vector(self._reranker, tokens, encoding=encoding)
 
-    def _dense_arm(self, name: str, vector: Any, k: int) -> tuple:
+    def _dense_arm(self, name: str, vector: Any, k: int, indexes: Any = None) -> tuple:
         """One dense first-stage ranking: ((node id, score), ...).
 
         The query-vector-in flavour of dense retrieval, split out so a
@@ -912,31 +1282,42 @@ class AliCoCoService:
         absent index (e.g. a shard owning no documents of this
         population) answers with an empty arm.
         """
-        index = self._dense_indexes.get(name)
+        indexes = indexes if indexes is not None else self._gen.dense_indexes
+        index = indexes.get(name)
         if index is None:
             return ()
         return tuple(index.retrieve(vector, k))
 
-    def _concept_pool(self, tokens: tuple[str, ...], k: int) -> tuple:
+    def _concept_pool(
+        self, tokens: tuple[str, ...], k: int, gen: ServingGeneration | None = None
+    ) -> tuple:
         """Concept candidates for ``search_reranked``, per the configured
         first stage: BM25, the dense concept index, or their RRF fusion."""
+        gen = gen if gen is not None else self._gen
         mode = self.config.retriever
-        index = self._dense_indexes.get(DENSE_CONCEPT_INDEX)
+        index = gen.dense_indexes.get(DENSE_CONCEPT_INDEX)
         if mode == "bm25" or index is None or not tokens:
-            return self._search_uncached(tokens, k)
+            return self._search_uncached(tokens, k, index=gen.search_index)
         vector = dense_query_vector(self._reranker, tokens)
-        dense = list(self._dense_arm(DENSE_CONCEPT_INDEX, vector, k))
+        dense = list(
+            self._dense_arm(
+                DENSE_CONCEPT_INDEX, vector, k, indexes=gen.dense_indexes
+            )
+        )
         if mode == "dense":
             return tuple(dense)
+        lexical = list(self._search_uncached(tokens, k, index=gen.search_index))
         return tuple(
             rrf_fuse(
-                [dense, list(self._search_uncached(tokens, k))],
+                [dense, lexical],
                 k=self.config.rrf_k,
                 weights=self.config.hybrid_weights,
             )[:k]
         )
 
-    def _item_pool(self, concept_id: str, k: int) -> tuple:
+    def _item_pool(
+        self, concept_id: str, k: int, gen: ServingGeneration | None = None
+    ) -> tuple:
         """Item candidates for ``items_for_concept_reranked``.
 
         The cheap structural arm here is the graph's association ranking
@@ -946,16 +1327,19 @@ class AliCoCoService:
         items the graph never linked — and ``"hybrid"`` RRF-fuses the
         two rankings.
         """
+        gen = gen if gen is not None else self._gen
         mode = self.config.retriever
-        index = self._dense_indexes.get(DENSE_ITEM_INDEX)
-        graph = self._items_uncached(concept_id, k)
+        index = gen.dense_indexes.get(DENSE_ITEM_INDEX)
+        graph = self._items_uncached(concept_id, k, store=gen.store)
         if mode == "bm25" or index is None:
             return graph
-        tokens = tuple(self._store.get(concept_id).tokens)
+        tokens = tuple(gen.store.get(concept_id).tokens)
         if not tokens:
             return graph
         vector = dense_query_vector(self._reranker, tokens)
-        dense = list(self._dense_arm(DENSE_ITEM_INDEX, vector, k))
+        dense = list(
+            self._dense_arm(DENSE_ITEM_INDEX, vector, k, indexes=gen.dense_indexes)
+        )
         if mode == "dense":
             return tuple(dense)
         return tuple(
@@ -967,12 +1351,17 @@ class AliCoCoService:
         )
 
     def _items_reranked_uncached(
-        self, reranker: Module, concept_id: str, top_k: int | None
+        self,
+        reranker: Module,
+        concept_id: str,
+        top_k: int | None,
+        gen: ServingGeneration | None = None,
     ) -> tuple:
-        concept_tokens = tuple(self._store.get(concept_id).tokens)
-        pool = self._item_pool(concept_id, self.config.rerank_pool_k)
+        gen = gen if gen is not None else self._gen
+        concept_tokens = tuple(gen.store.get(concept_id).tokens)
+        pool = self._item_pool(concept_id, self.config.rerank_pool_k, gen)
         item_ids = [item_id for item_id, _ in pool]
-        titles = [self._store.get(item_id).title.split() for item_id in item_ids]
+        titles = [gen.store.get(item_id).title.split() for item_id in item_ids]
         scores = self._pool_scores(reranker, concept_tokens, item_ids, titles)
         scored = sorted(zip(item_ids, scores), key=lambda pair: (-pair[1], pair[0]))
         if top_k is not None:
@@ -980,11 +1369,16 @@ class AliCoCoService:
         return tuple(scored)
 
     def _search_reranked_uncached(
-        self, reranker: Module, tokens: tuple[str, ...], k: int
+        self,
+        reranker: Module,
+        tokens: tuple[str, ...],
+        k: int,
+        gen: ServingGeneration | None = None,
     ) -> tuple:
-        pool = self._concept_pool(tokens, self.config.rerank_pool_k)
+        gen = gen if gen is not None else self._gen
+        pool = self._concept_pool(tokens, self.config.rerank_pool_k, gen)
         concept_ids = [concept_id for concept_id, _ in pool]
-        texts = [list(self._store.get(concept_id).tokens) for concept_id in concept_ids]
+        texts = [list(gen.store.get(concept_id).tokens) for concept_id in concept_ids]
         scores = self._pool_scores(reranker, tokens, concept_ids, texts)
         scored = sorted(zip(concept_ids, scores), key=lambda pair: (-pair[1], pair[0]))
         return tuple(scored[:k])
@@ -1027,28 +1421,51 @@ class AliCoCoService:
     def _doc_encoding(
         self, reranker: Module, node_id: str, tokens: Sequence[str]
     ) -> Any:
-        """One candidate's doc-side encoding, through the frozen-store cache.
+        """One candidate's doc-side encoding, through the epoch-keyed cache.
 
         Node ids are globally unique across layers (``it_``/``ec_``
         prefixes), so items and concepts share one cache without key
-        collisions.  Two threads missing the same id both encode it —
-        deterministically to the same value, the store and weights being
-        frozen — and the second ``put`` is a harmless refresh.
+        collisions; keys carry the doc epoch so
+        :meth:`invalidate_doc_cache` can retire every entry without a
+        ``clear()``.  Two threads missing the same id both encode it —
+        deterministically to the same value, nodes and weights being
+        immutable — and the second ``put`` is a harmless refresh.
         """
-        encoding = self._doc_cache.get(node_id, _MISS)
+        key = (self._doc_epoch, node_id)
+        encoding = self._doc_cache.get(key, _MISS)
         if encoding is _MISS:
             encoding = reranker.encode_doc(tokens)
-            self._doc_cache.put(node_id, encoding)
+            self._doc_cache.put(key, encoding)
         return encoding
 
+    def invalidate_doc_cache(self) -> int:
+        """Retire every cached doc encoding by bumping the key epoch.
+
+        Old-epoch entries become unreachable and fall out of the LRU
+        naturally — no ``clear()``, so a concurrent reader that already
+        fetched an old-epoch encoding finishes its pool unharmed.  Never
+        needed for generation swaps (nodes are immutable, ids are never
+        reused); exists for the deliberate cases, e.g. hot-swapping the
+        served reranker weights out-of-band.
+
+        Returns:
+            The new epoch (0 means the cache is disabled).
+        """
+        if self._doc_cache is None:
+            return 0
+        with self._publish_lock:
+            self._doc_epoch += 1
+            return self._doc_epoch
+
     def warm_doc_cache(self) -> int:
-        """Pre-encode the frozen catalog into the doc-side encoding cache.
+        """Pre-encode the served catalog into the doc-side encoding cache.
 
         Walks every item title and e-commerce concept text — the two
         document populations the reranked endpoints score — and encodes
         the ones not already cached, so the first queries after a warm
-        start pay no encoding cost.  A no-op (returns 0) when the doc
-        cache is disabled or no fast-path reranker is served.
+        start (or a generation publish) pay no encoding cost.  A no-op
+        (returns 0) when the doc cache is disabled or no fast-path
+        reranker is served.
 
         Returns:
             Number of nodes newly encoded.
@@ -1056,21 +1473,23 @@ class AliCoCoService:
         if self._doc_cache is None:
             return 0
         reranker = self._reranker
+        epoch = self._doc_epoch
+        store = self._gen.store
         warmed = 0
         populations = (
-            ((node.id, node.title.split()) for node in self._store.nodes(ITEM_PREFIX)),
+            ((node.id, node.title.split()) for node in store.nodes(ITEM_PREFIX)),
             (
                 (node.id, list(node.tokens))
-                for node in self._store.nodes(ECOMMERCE_PREFIX)
+                for node in store.nodes(ECOMMERCE_PREFIX)
             ),
         )
         for population in populations:
             for node_id, tokens in population:
                 # ``in`` skips already-cached ids without counting a
                 # lookup, keeping hit/miss stats meaningful for traffic.
-                if not tokens or node_id in self._doc_cache:
+                if not tokens or (epoch, node_id) in self._doc_cache:
                     continue
-                self._doc_cache.put(node_id, reranker.encode_doc(tokens))
+                self._doc_cache.put((epoch, node_id), reranker.encode_doc(tokens))
                 warmed += 1
         return warmed
 
@@ -1085,8 +1504,9 @@ class AliCoCoService:
             )
         return module
 
-    def _require(self, node_id: str, expected_layer: str) -> None:
-        self._store.get(node_id)  # NodeNotFoundError on absent ids
+    def _require(self, node_id: str, expected_layer: str, store: Any = None) -> None:
+        store = store if store is not None else self._gen.store
+        store.get(node_id)  # NodeNotFoundError on absent ids
         if layer_of(node_id) != expected_layer:
             raise RelationError(
                 f"node {node_id!r} is in layer {layer_of(node_id)!r}; "
@@ -1102,16 +1522,32 @@ class AliCoCoService:
             self._metrics[endpoint].record_error(type(error).__name__)
             raise
 
-    def _serve(self, endpoint: str, key: tuple, compute: Callable[[], Any]) -> Any:
+    def _serve(
+        self,
+        endpoint: str,
+        key: tuple,
+        compute: Callable[[], Any],
+        gen: ServingGeneration | None = None,
+    ) -> Any:
         metrics = self._metrics[endpoint]
         start = perf_counter()
+        # Generational services prefix cache keys with the pinned
+        # generation id: a swap retires the old generation's entries by
+        # making them unreachable (the LRU evicts them naturally) instead
+        # of clear()ing under concurrent readers.  Frozen services keep
+        # the historical unprefixed keys.
+        if self._generational:
+            gen = gen if gen is not None else self._gen
+            cache_key = ("gen", gen.generation_id, endpoint, *key)
+        else:
+            cache_key = (endpoint, *key)
         if self._cache is not None:
-            cached = self._cache.get((endpoint, *key), _MISS)
+            cached = self._cache.get(cache_key, _MISS)
             if cached is not _MISS:
                 metrics.record_hit(perf_counter() - start)
                 return cached
         value = compute()
         if self._cache is not None:
-            self._cache.put((endpoint, *key), value)
+            self._cache.put(cache_key, value)
         metrics.record_miss(perf_counter() - start)
         return value

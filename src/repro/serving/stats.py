@@ -125,9 +125,7 @@ def endpoint_table(endpoints: tuple["EndpointStats", ...]) -> list[str]:
     names (``items_for_concept_reranked`` is 25 characters) can never
     push the numeric columns out of alignment.
     """
-    width = max(
-        [len("endpoint")] + [len(stats.endpoint) for stats in endpoints]
-    )
+    width = max([len("endpoint")] + [len(stats.endpoint) for stats in endpoints])
     lines = [
         f"  {'endpoint':<{width}} {'calls':>7} {'errors':>7} {'hit%':>6} "
         f"{'miss p50':>10} {'miss p99':>10} {'hit p50':>10}",
@@ -149,7 +147,16 @@ class ServiceStats:
 
     The ``doc_cache_*`` fields describe the doc-side encoding cache of
     the inference fast path (all zero when it is disabled or no
-    fast-path reranker is served).
+    fast-path reranker is served).  The ``cache_*``/``doc_cache_*``
+    counter triples are each taken as one locked snapshot
+    (:meth:`repro.serving.cache.LRUCache.counters`), so hits + misses
+    always equals the lookups actually made — never a torn mid-update
+    read.  ``generation_id`` is 0 for frozen services and the published
+    generation for services over a
+    :class:`~repro.kg.generations.GenerationalStore`;
+    ``cache_generations`` breaks the result cache's counters into
+    per-generation windows (``(label, hits, misses, evictions)``,
+    oldest first, open window last).
     """
 
     nodes: int
@@ -163,6 +170,10 @@ class ServiceStats:
     doc_cache_hits: int = 0
     doc_cache_misses: int = 0
     doc_cache_evictions: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    generation_id: int = 0
+    cache_generations: tuple[tuple[str, int, int, int], ...] = ()
 
     def endpoint(self, name: str) -> EndpointStats:
         """Stats for one endpoint.
@@ -189,10 +200,21 @@ class ServiceStats:
         """Human-readable per-endpoint table for reports."""
         lines = [
             title,
-            f"  store: {self.nodes} nodes / {self.relations} relations",
+            f"  store: {self.nodes} nodes / {self.relations} relations"
+            + (
+                f" (generation {self.generation_id})"
+                if self.generation_id
+                else ""
+            ),
             f"  cache: {self.cache_entries}/{self.cache_capacity} "
             f"entries, {self.cache_evictions} evictions",
         ]
+        if len(self.cache_generations) > 1:
+            windows = ", ".join(
+                f"{label}: {hits}h/{misses}m"
+                for label, hits, misses, _ in self.cache_generations
+            )
+            lines.append(f"  cache windows: {windows}")
         if self.doc_cache_capacity:
             lookups = self.doc_cache_hits + self.doc_cache_misses
             rate = self.doc_cache_hits / lookups if lookups else 0.0

@@ -1,0 +1,556 @@
+"""Evolvable generations: copy-on-write deltas over a frozen base.
+
+The paper's net is rebuilt offline and served frozen; between rebuilds
+the catalog still moves.  :class:`~repro.kg.generations.GenerationalStore`
+lets the serving tier absorb that drift without unfreezing anything:
+writes land in an open delta, ``seal()``/``swap()`` publishes the next
+numbered generation, and readers always see base + published deltas
+through the unchanged store/query API.
+
+These tests pin the three contracts the design stands on:
+
+- **overlay reads == flattened reads**: every read API over the overlay
+  must agree with a monolithic ``AliCoCoStore`` holding the same nodes
+  in the same insertion order (``flatten`` is the oracle);
+- **generation 0 is bit-identical**: a service over a zero-delta
+  generational store answers all eight endpoints exactly like a service
+  over the frozen base — including reranked tie-breaks;
+- **publish is atomic and exact**: the incrementally-extended BM25 index
+  equals a refit bit-for-bit, caches are generation-keyed instead of
+  cleared, and snapshots round-trip the full generation history.
+"""
+
+import pytest
+
+from repro.concepts import ConceptTagger
+from repro.errors import (
+    ConfigError,
+    DataError,
+    DuplicateNodeError,
+    FrozenStoreError,
+    NodeNotFoundError,
+    RelationError,
+)
+from repro.kg import (
+    AliCoCoStore,
+    GenerationalStore,
+    Item,
+    Relation,
+    RelationKind,
+    flatten,
+)
+from repro.kg.serialize import (
+    generational_store_from_snapshot,
+    load_generations,
+    load_snapshot,
+    load_store,
+    save_generations,
+)
+from repro.nlp.pos import PosTagger
+from repro.nlp.vocab import Vocab
+from repro.retrieval import BruteForceDense, HNSWLiteIndex, IVFIndex
+from repro.retrieval.lexical import BM25Retriever
+from repro.serving import (
+    AliCoCoService,
+    CacheCounters,
+    LRUCache,
+    ServiceConfig,
+    fit_concept_index,
+)
+
+from tests.conftest import make_trained_reranker
+
+
+@pytest.fixture(scope="module")
+def reranker(built_tiny):
+    return make_trained_reranker(built_tiny)
+
+
+@pytest.fixture(scope="module")
+def tagger(built_tiny):
+    sentences = [list(spec.tokens) for spec in built_tiny.concepts]
+    model = ConceptTagger(
+        Vocab.from_corpus(sentences),
+        built_tiny.lexicon,
+        PosTagger(built_tiny.lexicon.pos_lexicon()),
+        use_fuzzy=False,
+        word_dim=8,
+        char_dim=4,
+        hidden_dim=6,
+        seed=1,
+    )
+    model.fit(built_tiny.concepts, epochs=3, lr=0.02, seed=1)
+    return model
+
+
+def _grow(store: GenerationalStore, tag: str) -> tuple:
+    """One writer round: a concept, an item, and the linking relation."""
+    concept = store.create_ecommerce(f"fresh {tag} concept")
+    item = store.create_item(f"fresh {tag} item title")
+    store.add_relation(
+        Relation(
+            kind=RelationKind.ITEM_ECOMMERCE,
+            source=item.id,
+            target=concept.id,
+            weight=0.9,
+        )
+    )
+    return concept, item
+
+
+# ----------------------------------------------------------- store semantics
+class TestGenerationalStore:
+    def test_generation_zero_reads_pass_through(self, built_tiny):
+        base = built_tiny.store
+        store = GenerationalStore(base)
+        assert store.generation_id == 0
+        assert len(store) == len(base)
+        assert store.stats() == base.stats()
+        node = next(base.nodes("ec"))
+        assert store.get(node.id) == node
+        assert store.count_nodes("item") == base.count_nodes("item")
+
+    def test_store_is_frozen_for_the_serving_tier(self, built_tiny):
+        store = GenerationalStore(built_tiny.store)
+        assert store.frozen is True
+        assert store.freeze() is store  # idempotent, returns self
+
+    def test_writes_stay_invisible_until_publish(self, built_tiny):
+        base = built_tiny.store
+        store = GenerationalStore(base)
+        concept, item = _grow(store, "pending")
+        # Open-delta writes are tracked but not readable: the store's
+        # read API always answers from the *published* view, so readers
+        # can never observe a half-written generation.
+        assert store.open_counts == (2, 1)
+        assert concept.id not in store
+        with pytest.raises(NodeNotFoundError):
+            store.get(concept.id)
+        with pytest.raises(NodeNotFoundError):
+            base.get(concept.id)
+        generation = store.publish()
+        assert generation == 1
+        assert store.open_counts == (0, 0)
+        assert store.get(concept.id).text == "fresh pending concept"
+        assert [
+            node.id for node in store.targets(item.id, RelationKind.ITEM_ECOMMERCE)
+        ] == [concept.id]
+
+    def test_id_allocation_never_reuses_base_ids(self, built_tiny):
+        store = GenerationalStore(built_tiny.store)
+        taken = {node.id for node in built_tiny.store.nodes()}
+        created = [store.create_ecommerce(f"alloc probe {i}") for i in range(3)]
+        assert len({c.id for c in created}) == 3
+        assert not taken & {c.id for c in created}
+
+    def test_duplicate_and_dangling_writes_rejected(self, built_tiny):
+        store = GenerationalStore(built_tiny.store)
+        existing = next(built_tiny.store.nodes("item"))
+        with pytest.raises(DuplicateNodeError):
+            store.add_node(Item(id=existing.id, title="imposter"))
+        concept, item = _grow(store, "dup")
+        with pytest.raises(DuplicateNodeError):
+            store.add_node(Item(id=item.id, title="imposter"))
+        with pytest.raises(NodeNotFoundError):
+            store.add_relation(
+                Relation(
+                    kind=RelationKind.ITEM_ECOMMERCE,
+                    source="item_999999999",
+                    target=concept.id,
+                )
+            )
+        with pytest.raises(RelationError):  # endpoint in the wrong layer
+            store.add_relation(
+                Relation(
+                    kind=RelationKind.ITEM_ECOMMERCE,
+                    source=concept.id,
+                    target=concept.id,
+                )
+            )
+        # Duplicate triples are ignored, matching AliCoCoStore semantics.
+        first = store.add_relation(
+            Relation(
+                kind=RelationKind.ITEM_ECOMMERCE,
+                source=item.id,
+                target=concept.id,
+                weight=0.4,
+            )
+        )
+        assert first.weight == 0.9  # the original edge, not the retry
+
+    def test_sealed_segments_are_immutable(self, built_tiny):
+        store = GenerationalStore(built_tiny.store)
+        _grow(store, "sealed")
+        store.publish()
+        (segment,) = store.published_segments
+        assert segment.sealed
+        with pytest.raises(FrozenStoreError):
+            segment._add_node(Item(id="item_999999998", title="late"))
+
+    def test_empty_publish_is_a_noop(self, built_tiny):
+        store = GenerationalStore(built_tiny.store)
+        assert store.seal() is None
+        assert store.publish() == 0
+        _grow(store, "real")
+        assert store.publish() == 1
+        assert store.publish() == 1  # nothing new staged
+
+    def test_generations_are_monotonic(self, built_tiny):
+        store = GenerationalStore(built_tiny.store)
+        for expected in (1, 2, 3):
+            _grow(store, f"round-{expected}")
+            assert store.publish() == expected
+        assert [segment.sealed for segment in store.published_segments] == [True] * 3
+
+
+# ------------------------------------------------- overlay vs flatten oracle
+class TestOverlayReads:
+    @pytest.fixture(scope="class")
+    def grown(self, built_tiny):
+        """Two published generations plus open writes, and the oracle."""
+        store = GenerationalStore(built_tiny.store)
+        _grow(store, "g1")
+        store.publish()
+        _grow(store, "g2a")
+        _grow(store, "g2b")
+        store.publish()
+        oracle = flatten(store)
+        return store, oracle
+
+    def test_flatten_is_a_plain_store(self, grown):
+        store, oracle = grown
+        assert isinstance(oracle, AliCoCoStore)
+        assert len(oracle) == len(store)
+
+    def test_every_read_api_matches_the_oracle(self, grown):
+        store, oracle = grown
+        assert store.stats() == oracle.stats()
+        for layer in ("cls", "pc", "ec", "item"):
+            assert [n.id for n in store.nodes(layer)] == [
+                n.id for n in oracle.nodes(layer)
+            ]
+            assert store.count_nodes(layer) == oracle.count_nodes(layer)
+        assert [n.id for n in store.nodes()] == [n.id for n in oracle.nodes()]
+        for kind in RelationKind:
+            assert list(store.relations(kind)) == list(oracle.relations(kind))
+            assert store.count_relations(kind) == oracle.count_relations(kind)
+
+    def test_point_reads_match_the_oracle(self, grown):
+        store, oracle = grown
+        for node in oracle.nodes("ec"):
+            assert store.get(node.id) == node
+            assert node.id in store
+            assert store.in_relations(
+                node.id, RelationKind.ITEM_ECOMMERCE
+            ) == oracle.in_relations(node.id, RelationKind.ITEM_ECOMMERCE)
+            assert store.targets(
+                node.id, RelationKind.INTERPRETED_BY
+            ) == oracle.targets(node.id, RelationKind.INTERPRETED_BY)
+        assert store.find_by_name("ec", "fresh g2a concept") == oracle.find_by_name(
+            "ec", "fresh g2a concept"
+        )
+
+    def test_domain_queries_match_the_oracle(self, grown):
+        store, oracle = grown
+        domains = {node.domain for node in oracle.nodes("cls")}
+        for domain in domains:
+            assert store.classes_in_domain(domain) == oracle.classes_in_domain(domain)
+            assert store.primitives_in_domain(domain) == (
+                oracle.primitives_in_domain(domain)
+            )
+
+    def test_flatten_rejects_foreign_types(self):
+        with pytest.raises(ConfigError):
+            flatten(object())
+
+
+# ------------------------------------------- zero-delta serving bit-identity
+class TestZeroDeltaServingParity:
+    """A generational service with no deltas answers exactly like frozen."""
+
+    @pytest.fixture(scope="class", params=["bm25", "hybrid"])
+    def services(self, request, built_tiny, tagger, reranker):
+        config = ServiceConfig(seed=0, retriever=request.param)
+        frozen = AliCoCoService(
+            built_tiny.store, config=config, tagger=tagger, reranker=reranker
+        )
+        generational = AliCoCoService(
+            GenerationalStore(built_tiny.store),
+            config=config,
+            tagger=tagger,
+            reranker=reranker,
+        )
+        return frozen, generational
+
+    def test_all_eight_endpoints_bit_identical(self, services, built_tiny):
+        frozen, generational = services
+        assert generational.generation_id == 0
+        requests = []
+        for spec in built_tiny.concepts[:6]:
+            concept_id = built_tiny.concept_ids[spec.text]
+            requests += [
+                ("search", spec.text),
+                ("items_for_concept", concept_id, 5),
+                ("interpretation", concept_id),
+                ("tag", spec.text),
+                ("items_for_concept_reranked", concept_id, 5),
+                ("search_reranked", spec.text, 5),
+            ]
+        for index in range(4):
+            requests.append(("concepts_for_item", built_tiny.item_ids[index]))
+        for primitive_id in list(built_tiny.primitive_ids.values())[:4]:
+            requests.append(("hypernyms", primitive_id, True))
+        assert generational.batch(requests) == frozen.batch(requests)
+
+
+# ------------------------------------------------------------- publish flow
+class TestPublishServing:
+    def test_publish_serves_new_nodes_and_keeps_old_answers(self, built_tiny):
+        store = GenerationalStore(built_tiny.store)
+        service = AliCoCoService(store, config=ServiceConfig(seed=0))
+        spec = built_tiny.concepts[0]
+        before = service.search(spec.text)
+        concept, item = _grow(store, "served")
+        assert service.search("fresh served concept") == ()  # pinned at gen 0
+        generation = service.publish()
+        assert generation == 1
+        assert service.generation_id == 1
+        hits = service.search("fresh served concept")
+        assert hits and hits[0][0] == concept.id
+        items = service.items_for_concept(concept.id, 5)
+        assert [entry[0] for entry in items] == [item.id]
+        # Graph answers for old keys are untouched; BM25 *scores* for old
+        # queries legitimately shift (idf/avgdl are corpus statistics),
+        # but exactly as a refit over the flattened store would shift them.
+        old_id = built_tiny.concept_ids[spec.text]
+        assert service.items_for_concept(old_id, 5) == tuple(
+            (r.source, r.weight)
+            for r in sorted(
+                built_tiny.store.in_relations(old_id, RelationKind.ITEM_ECOMMERCE),
+                key=lambda r: -r.weight,
+            )[:5]
+        )
+        refit = AliCoCoService(flatten(store), config=ServiceConfig(seed=0))
+        assert service.search(spec.text) == refit.search(spec.text)
+        assert before[0][0] == service.search(spec.text)[0][0]
+
+    def test_publish_requires_a_generational_store(self, built_tiny):
+        service = AliCoCoService(built_tiny.store)
+        with pytest.raises(ConfigError):
+            service.publish()
+
+    def test_swap_keys_the_cache_instead_of_clearing_it(self, built_tiny):
+        store = GenerationalStore(built_tiny.store)
+        service = AliCoCoService(store, config=ServiceConfig(seed=0))
+        spec = built_tiny.concepts[0]
+        service.search(spec.text)
+        service.search(spec.text)
+        assert service._cache.counters().hits == 1
+        populated = len(service._cache)
+        _grow(store, "cache-key")
+        service.publish()
+        # The old generation's entries are still in the cache (retired
+        # keys age out by LRU, they are never torched)...
+        assert len(service._cache) == populated
+        # ...and the new generation starts with a fresh stats window.
+        service.search(spec.text)  # miss: new generation, new key
+        windows = service.stats().cache_generations
+        assert [label for label, *_ in windows] == ["gen-0", "gen-1"]
+        assert windows[1][2] >= 1  # misses in the gen-1 window
+
+    def test_incremental_bm25_equals_refit_bit_for_bit(self, built_tiny):
+        store = GenerationalStore(built_tiny.store)
+        service = AliCoCoService(store, config=ServiceConfig(seed=0))
+        for round_tag in ("inc-a", "inc-b"):
+            _grow(store, round_tag)
+            service.publish()
+        refit = fit_concept_index(flatten(store))
+        assert service._search_index.to_state() == refit.to_state()
+
+    def test_noop_publish_keeps_the_generation_bundle(self, built_tiny):
+        store = GenerationalStore(built_tiny.store)
+        service = AliCoCoService(store, config=ServiceConfig(seed=0))
+        bundle = service._gen
+        assert service.publish() == 0
+        assert service._gen is bundle
+
+
+# -------------------------------------------------------- snapshot round trip
+class TestGenerationSnapshots:
+    @pytest.fixture()
+    def grown(self, built_tiny):
+        store = GenerationalStore(built_tiny.store)
+        _grow(store, "snap-1")
+        store.publish()
+        _grow(store, "snap-2")
+        store.publish()
+        return store
+
+    def test_round_trip_restores_generation_history(self, grown, tmp_path):
+        path = tmp_path / "net.gen.jsonl"
+        save_generations(grown, path)
+        restored = load_generations(path)
+        assert isinstance(restored, GenerationalStore)
+        assert restored.generation_id == 2
+        assert len(restored.published_segments) == 2
+        assert restored.stats() == grown.stats()
+        assert [n.id for n in restored.nodes()] == [n.id for n in grown.nodes()]
+        # The restored store keeps evolving from where it left off.
+        _grow(restored, "snap-3")
+        assert restored.publish() == 3
+
+    def test_open_writes_never_ride_a_snapshot(self, grown, tmp_path):
+        _grow(grown, "snap-open")  # staged but unpublished
+        path = tmp_path / "net.gen.jsonl"
+        save_generations(grown, path)
+        restored = load_generations(path)
+        assert restored.generation_id == 2
+        assert not restored.find_by_name("ec", "fresh snap-open concept")
+
+    def test_load_store_flattens_the_deltas(self, grown, tmp_path):
+        path = tmp_path / "net.gen.jsonl"
+        save_generations(grown, path)
+        flat = load_store(path)
+        assert isinstance(flat, AliCoCoStore)
+        assert flat.stats() == grown.stats()
+
+    def test_save_generations_rejects_plain_stores(self, built_tiny, tmp_path):
+        with pytest.raises(ConfigError):
+            save_generations(built_tiny.store, tmp_path / "bad.jsonl")
+
+    def test_corrupt_generation_numbering_is_loud(self, grown, tmp_path):
+        path = tmp_path / "net.gen.jsonl"
+        save_generations(grown, path)
+        text = path.read_text(encoding="utf-8")
+        assert '"generation": 2' in text
+        path.write_text(
+            text.replace('"generation": 2', '"generation": 7'), encoding="utf-8"
+        )
+        snapshot = load_snapshot(path)
+        with pytest.raises(DataError):
+            generational_store_from_snapshot(snapshot)
+
+    def test_service_snapshot_round_trip_keeps_generations(self, built_tiny, tmp_path):
+        store = GenerationalStore(built_tiny.store)
+        service = AliCoCoService(store, config=ServiceConfig(seed=0))
+        concept, _ = _grow(store, "svc-snap")
+        service.publish()
+        path = tmp_path / "svc.gen.jsonl"
+        service.save_snapshot(path)
+        warm = AliCoCoService.from_snapshot(path)
+        assert warm.generation_id == 1
+        assert warm.search("fresh svc-snap concept") == service.search(
+            "fresh svc-snap concept"
+        )
+        assert warm.items_for_concept(concept.id, 5) == service.items_for_concept(
+            concept.id, 5
+        )
+
+
+# ------------------------------------------------------------- cache counters
+class TestCacheCounters:
+    def test_snapshot_is_consistent(self):
+        cache = LRUCache(capacity=4)
+        for key in range(6):
+            cache.get(key)
+            cache.put(key, key)
+        cache.get(5)
+        counters = cache.counters()
+        assert isinstance(counters, CacheCounters)
+        assert counters.hits == 1
+        assert counters.misses == 6
+        assert counters.evictions == 2
+        assert counters.lookups == counters.hits + counters.misses
+
+    def test_clear_keeps_counters_by_default(self):
+        cache = LRUCache(capacity=4)
+        cache.get("k")
+        cache.put("k", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.counters().misses == 1
+        cache.clear(reset_counters=True)
+        assert cache.counters() == CacheCounters()
+
+    def test_generation_windows_partition_the_totals(self):
+        cache = LRUCache(capacity=8)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.begin_generation("gen-1")
+        cache.get("a")
+        cache.get("b")
+        windows = cache.generation_counters()
+        assert [label for label, _ in windows] == ["gen-0", "gen-1"]
+        total = cache.counters()
+        assert sum(w.hits for _, w in windows) == total.hits
+        assert sum(w.misses for _, w in windows) == total.misses
+
+
+# ------------------------------------------------------- retriever add units
+class TestRetrieverAdd:
+    def test_default_add_is_a_loud_config_error(self):
+        from repro.retrieval.base import BaseRetriever, RetrieverStats
+
+        class Static(BaseRetriever):
+            backend = "static"
+
+            def fit(self, ids, data):
+                return self
+
+            def retrieve(self, query, top_k=10):
+                return []
+
+            def stats(self):
+                return RetrieverStats(backend="static", size=0, dim=0)
+
+            def to_state(self):
+                return {}
+
+        assert Static.supports_add is False
+        with pytest.raises(ConfigError):
+            Static().add([1], [None])
+
+    def test_bruteforce_add_equals_refit(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        vectors = [rng.normal(size=6) for _ in range(12)]
+        grown = BruteForceDense().fit(list(range(8)), vectors[:8])
+        grown.add(list(range(8, 12)), vectors[8:])
+        refit = BruteForceDense().fit(list(range(12)), vectors)
+        query = rng.normal(size=6)
+        assert grown.retrieve(query, 12) == refit.retrieve(query, 12)
+
+    def test_ivf_add_merges_into_nearest_centroid(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        vectors = [rng.normal(size=6) for _ in range(20)]
+        index = IVFIndex(n_lists=3, nprobe=3, seed=0).fit(
+            list(range(16)), vectors[:16]
+        )
+        index.add([16, 17, 18, 19], vectors[16:])
+        assert index.stats().extra["added_since_fit"] == 4
+        assert index.stats().size == 20
+        hits = index.retrieve(vectors[17], 5)
+        assert hits[0][0] == 17  # the added vector is its own best match
+
+    def test_hnsw_add_inserts_natively(self):
+        import numpy as np
+
+        rng = np.random.default_rng(2)
+        vectors = [rng.normal(size=6) for _ in range(20)]
+        index = HNSWLiteIndex(seed=0).fit(list(range(16)), vectors[:16])
+        index.add([16, 17, 18, 19], vectors[16:])
+        assert index.stats().size == 20
+        hits = index.retrieve(vectors[18], 5)
+        assert hits[0][0] == 18
+
+    def test_bm25_retriever_add_extends_the_postings(self):
+        docs = [("alpha", "beta"), ("beta", "gamma"), ("delta",), ("alpha", "delta")]
+        grown = BM25Retriever().fit(["d0", "d1"], docs[:2])
+        grown.add(["d2", "d3"], docs[2:])
+        refit = BM25Retriever().fit(["d0", "d1", "d2", "d3"], docs)
+        assert grown.retrieve(("alpha", "delta"), 4) == refit.retrieve(
+            ("alpha", "delta"), 4
+        )

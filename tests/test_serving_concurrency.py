@@ -368,9 +368,7 @@ class TestClusterCoalescingHammer:
             assert doc_cache is not None
             assert doc_cache.hits + doc_cache.misses == doc_cache.lookups
             stats = service.stats()
-            assert stats.doc_cache_hits + stats.doc_cache_misses == (
-                doc_cache.lookups
-            )
+            assert stats.doc_cache_hits + stats.doc_cache_misses == doc_cache.lookups
             for endpoint_stats in stats.endpoints:
                 assert (
                     endpoint_stats.cache_hits + endpoint_stats.cache_misses
@@ -395,6 +393,57 @@ class TestStructureThreadSafety:
         assert cache.lookups == N_THREADS * lookups_per_thread
         assert len(cache) <= 32
 
+    def test_counters_snapshots_are_never_torn(self):
+        """``counters()`` under an 8-thread hammer: every snapshot whole.
+
+        The bug this pins down: reading ``hits``/``misses``/``evictions``
+        as three separate property loads lets a writer slip between the
+        loads, so the triple never co-existed.  ``counters()`` snapshots
+        all three under the cache lock; concurrent snapshots must be
+        internally consistent (``hits + misses == lookups``) and
+        monotonic, and the final totals must be exact.
+        """
+        cache = LRUCache(capacity=16)
+        lookups_per_thread = 4000
+        writers = N_THREADS - 2
+        stop = threading.Event()
+        errors = []
+
+        def churn(seed):
+            try:
+                for index in range(lookups_per_thread):
+                    key = (seed * 31 + index) % 48
+                    if cache.get(key) is None:
+                        cache.put(key, key)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def snapshot():
+            try:
+                last = cache.counters()
+                while not stop.is_set():
+                    now = cache.counters()
+                    assert now.hits + now.misses == now.lookups
+                    assert now.hits >= last.hits
+                    assert now.misses >= last.misses
+                    assert now.evictions >= last.evictions
+                    last = now
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        readers = [threading.Thread(target=snapshot) for _ in range(2)]
+        for thread in readers:
+            thread.start()
+        with ThreadPoolExecutor(max_workers=writers) as pool:
+            list(pool.map(churn, range(writers)))
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert errors == []
+        final = cache.counters()
+        assert final.lookups == writers * lookups_per_thread
+        assert final.hits + final.misses == final.lookups
+
     def test_reservoir_never_loses_observations(self):
         reservoir = LatencyReservoir(capacity=16, seed=0)
         records_per_thread = 5000
@@ -408,3 +457,104 @@ class TestStructureThreadSafety:
         assert reservoir.count == N_THREADS * records_per_thread
         assert len(reservoir._samples) == 16
         assert reservoir.quantile(0.5) >= 0.0
+
+
+class TestSwapUnderLoad:
+    """Generation swaps under concurrent reads: atomic, never mixed.
+
+    Readers hammer a service over a :class:`GenerationalStore` while the
+    main thread publishes a new generation mid-flight.  Every observed
+    answer must equal the generation-0 answer or the generation-1 answer
+    *exactly* — a third value would mean a request saw a mixed state
+    (say, the new document in the index but old corpus statistics, or a
+    node readable through one API and missing through another).
+    """
+
+    def _expected_answers(self, built, probes, grow):
+        """Reference answers from an identical store taken through grow."""
+        from repro.kg import GenerationalStore
+
+        reference = GenerationalStore(built.store)
+        service = AliCoCoService(reference, config=ServiceConfig(seed=0))
+        answers = {0: self._observe(service, probes)}
+        grow(reference)
+        service.publish()
+        answers[1] = self._observe(service, probes)
+        return answers
+
+    @staticmethod
+    def _observe(service, probes):
+        from repro.errors import NodeNotFoundError
+
+        results = []
+        for endpoint, *args in probes:
+            try:
+                results.append(getattr(service, endpoint)(*args))
+            except NodeNotFoundError:
+                results.append("absent")
+        return tuple(results)
+
+    def test_no_request_observes_a_mixed_generation(self, built):
+        from repro.kg import GenerationalStore
+        from repro.kg.relations import Relation, RelationKind
+
+        def grow(store):
+            concept = store.create_ecommerce("fresh swap concept")
+            item = store.create_item("fresh swap item title")
+            store.add_relation(
+                Relation(
+                    kind=RelationKind.ITEM_ECOMMERCE,
+                    source=item.id,
+                    target=concept.id,
+                    weight=0.9,
+                )
+            )
+            return concept
+
+        # Ids allocate deterministically, so a reference store taken
+        # through the same writes predicts both generations' answers.
+        probe_concept = GenerationalStore(built.store).create_ecommerce("x").id
+        old_spec = built.concepts[0]
+        probes = [
+            ("search", "fresh swap concept"),  # () -> hit
+            ("search", old_spec.text),  # scores shift with corpus stats
+            ("items_for_concept", probe_concept, 5),  # absent -> present
+        ]
+        answers = self._expected_answers(built, probes, grow)
+        assert answers[0] != answers[1]
+
+        store = GenerationalStore(built.store)
+        service = AliCoCoService(store, config=ServiceConfig(seed=0))
+        errors = []
+        stop = threading.Event()
+        barrier = threading.Barrier(N_THREADS + 1)
+
+        def hammer():
+            try:
+                barrier.wait()
+                while not stop.is_set():
+                    for index, observed in enumerate(self._observe(service, probes)):
+                        allowed = (answers[0][index], answers[1][index])
+                        assert observed in allowed, (index, observed)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(N_THREADS)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        grow(store)
+        generation = service.publish()
+        # Let readers run a little against the published generation too.
+        stop.wait(timeout=0.05)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert generation == 1
+        assert self._observe(service, probes) == answers[1]
+        cache = service._cache
+        counters = cache.counters()
+        assert counters.hits + counters.misses == counters.lookups
+        windows = dict(cache.generation_counters())
+        assert set(windows) == {"gen-0", "gen-1"}
