@@ -23,6 +23,16 @@ A final freshness check asserts the last generation's concepts answer
 immediately after ``publish()`` returns, and that the incrementally
 extended BM25 index is bit-identical to a refit over the flattened
 store.
+
+Two more gates close the evolution loop:
+
+- **compaction parity**: folding the segment chain into a fresh base
+  (``compact()``, or ``compact_after_segments`` auto-compaction) keeps
+  every answer bit-identical, keeps the generation id, and bounds the
+  chain length while generations keep publishing;
+- **driver freshness**: the background ``EvolutionDriver`` mines real
+  candidates from fresh corpus batches and every concept it accepts is
+  searchable the moment its publish returns — end to end, no restart.
 """
 
 import threading
@@ -38,6 +48,7 @@ from repro.matching.dataset import pair_from_texts
 from repro.nlp.pos import PosTagger
 from repro.nlp.vocab import Vocab
 from repro.pipeline.build import build_alicoco
+from repro.pipeline.evolve import EvolutionConfig, EvolutionDriver
 from repro.serving import AliCoCoService, ServiceConfig, fit_concept_index
 from repro.utils.timing import LatencyReservoir
 
@@ -252,6 +263,75 @@ def test_evolve(report):
     counters = service._cache.counters()
     assert counters.hits + counters.misses == counters.lookups
 
+    # ---- Gate 4: compaction parity.  Folding the chain is a
+    # representation change: answers and the generation id must not
+    # move, and auto-compaction must bound the chain while generations
+    # keep publishing.
+    before_compaction = _observe(service, probes)
+    assert len(store.published_segments) == _GENERATIONS
+    assert store.compact() == _GENERATIONS
+    assert store.published_segments == ()
+    assert service.generation_id == _GENERATIONS
+    assert _observe(service, probes) == before_compaction, (
+        "compaction changed an answer: folding the segment chain must be "
+        "bit-identical"
+    )
+    compacting = GenerationalStore(built.store, compact_after_segments=2)
+    compacting_service = AliCoCoService(compacting, config=config)
+    for generation in range(1, _GENERATIONS + 1):
+        _grow(compacting, generation)
+        compacting_service.publish()
+        assert len(compacting.published_segments) <= 2, (
+            "auto-compaction must bound the segment chain"
+        )
+    assert compacting.base_generation > 0
+    assert _observe(compacting_service, probes) == expected[_GENERATIONS], (
+        "an auto-compacting store must answer exactly like the "
+        "never-compacted reference"
+    )
+
+    # ---- Gate 5: driver freshness.  The background evolution loop
+    # mines candidates from fresh corpus batches; every accepted
+    # concept must be searchable the moment its publish returns.
+    driver_store = GenerationalStore(built.store, compact_after_segments=3)
+    driver_service = AliCoCoService(driver_store, config=config)
+    driver = EvolutionDriver.from_build(
+        built,
+        driver_service,
+        config=EvolutionConfig(
+            seed=23,
+            n_good=3,
+            n_bad=2,
+            n_queries=12 if SMOKE else 24,
+            n_guides=8 if SMOKE else 16,
+            publish_min_nodes=1,
+            cycle_interval=0.0,
+        ),
+    )
+    publishes_needed = 2 if SMOKE else 3
+    cycles = 0
+    while driver.stats().publishes < publishes_needed:
+        cycles += 1
+        assert cycles <= 10 * publishes_needed, (
+            f"driver freshness: {publishes_needed} publishes did not "
+            f"happen within {cycles} cycles"
+        )
+        cycle = driver.run_cycle()
+        if cycle.published_generation is not None:
+            newest = list(driver_store.nodes("ec"))[-1]
+            hits = driver_service.search(newest.text)
+            assert hits and hits[0][0] == newest.id, (
+                f"concept {newest.text!r} not searchable immediately "
+                f"after publish {cycle.published_generation}"
+            )
+    final_generation = driver.drain()
+    driver_stats = driver.stats()
+    assert driver_service.generation_id == final_generation
+    assert driver_stats.concepts_accepted > 0
+    assert len(driver_store.published_segments) <= 3, (
+        "the driver's store must auto-compact to a bounded chain"
+    )
+
     lines = [
         f"Evolvable serving at {_N_ITEMS} items / {_N_CONCEPTS} concepts "
         f"({scale.name})",
@@ -267,5 +347,13 @@ def test_evolve(report):
         f"incremental BM25 state == refit",
         f"  cache: {counters.hits} hits / {counters.misses} misses, "
         f"generation-keyed (never cleared)",
+        f"  compaction: {_GENERATIONS} segments folded bit-identically at "
+        f"generation {_GENERATIONS}; auto-compaction held the chain at "
+        f"<= 2 segments",
+        f"  evolution driver: {driver_stats.cycles} cycles mined "
+        f"{driver_stats.concepts_accepted} concepts "
+        f"(+{driver_stats.relations_staged} relations) across "
+        f"{driver_stats.publishes} publishes to generation "
+        f"{final_generation}; every concept searchable on publish",
     ]
     report("\n".join(lines))

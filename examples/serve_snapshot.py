@@ -25,7 +25,9 @@ from pathlib import Path
 from repro import build_alicoco, TINY
 from repro.concepts import ConceptTagger
 from repro.errors import OverloadedError
+from repro.kg import GenerationalStore
 from repro.kg.relations import RelationKind
+from repro.pipeline import EvolutionConfig, EvolutionDriver
 from repro.matching import DSSMMatcher, train_matcher
 from repro.matching.base import matching_vocab
 from repro.matching.dataset import pair_from_texts
@@ -312,6 +314,77 @@ def main() -> None:
         f"({', '.join(f'{r} x{c}' for r, c in admission.shed) or 'none'})"
     )
     cluster.close()
+
+    # --- closing the loop: background mining, drain, compact, restart -----
+    # The deployed net keeps growing.  An EvolutionDriver runs the
+    # construction stages (mine -> classify -> link -> match) against
+    # fresh corpus batches on a background thread and publishes
+    # generations into the live service; new concepts become searchable
+    # without a restart and readers never block.
+    evolving = AliCoCoService(
+        GenerationalStore(built.store), config=ServiceConfig()
+    )
+    driver = EvolutionDriver.from_build(
+        built,
+        evolving,
+        config=EvolutionConfig(
+            seed=23,
+            n_good=3,
+            n_bad=2,
+            n_queries=12,
+            n_guides=8,
+            publish_min_nodes=1,
+            cycle_interval=0.0,
+        ),
+    )
+    print("\nevolution: background mining into the live service...")
+    driver.start()
+    while evolving.generation_id < 2:
+        time.sleep(0.005)
+
+    # Drain flushes whatever is staged and stops the loop; the newest
+    # mined concept is searchable with no restart.  Compaction then
+    # folds the published segment chain into a fresh frozen base —
+    # bit-identical answers, same generation id.
+    final_generation = driver.drain()
+    store = evolving.store  # the GenerationalStore behind the service
+    newest = list(store.nodes("ec"))[-1]
+    hits = evolving.search(newest.text)
+    assert hits and hits[0][0] == newest.id
+    print(
+        f"  mined concept {newest.text!r} searchable at generation "
+        f"{evolving.generation_id}, no restart"
+    )
+    before = hits
+    folded = store.compact()
+    assert evolving.search(newest.text) == before
+    print(
+        f"  drained at generation {final_generation}; compacted "
+        f"{folded} segments into the base (answers bit-identical)"
+    )
+
+    # The folded generation rides the snapshot: a warm restart resumes
+    # the numbering and keeps growing from where the driver left off.
+    evolved_path = snapshot.with_name("evolved.snapshot.jsonl")
+    evolving.save_snapshot(evolved_path)
+    warm_evolved = AliCoCoService.from_snapshot(evolved_path)
+    assert warm_evolved.generation_id == final_generation
+    assert warm_evolved.search(newest.text) == before
+    resumed = EvolutionDriver.from_build(
+        built,
+        warm_evolved,
+        config=EvolutionConfig(
+            seed=29, n_good=2, n_bad=1, n_queries=10, n_guides=6,
+            publish_min_nodes=1, cycle_interval=0.0,
+        ),
+    )
+    report = resumed.run_cycle()
+    print(
+        f"  warm restart resumed at generation {final_generation}; one "
+        f"more cycle published generation {report.published_generation} "
+        f"({report.accepted} concepts, {report.links + report.matches} "
+        "relations)"
+    )
 
 
 if __name__ == "__main__":

@@ -153,7 +153,13 @@ class GenerationView:
     frozen path.
     """
 
-    __slots__ = ("_base", "_segments", "generation_id", "segment_generations")
+    __slots__ = (
+        "_base",
+        "_segments",
+        "generation_id",
+        "segment_generations",
+        "base_generation",
+    )
 
     def __init__(
         self,
@@ -161,6 +167,7 @@ class GenerationView:
         segments: tuple[DeltaSegment, ...] = (),
         generation_id: int = 0,
         segment_generations: tuple[int, ...] = (),
+        base_generation: int = 0,
     ) -> None:
         self._base = base
         self._segments = segments
@@ -170,8 +177,12 @@ class GenerationView:
         #: publish several sealed segments); snapshots persist this so a
         #: warm start restores the exact generation numbering.
         self.segment_generations = segment_generations or tuple(
-            range(1, len(segments) + 1)
+            range(base_generation + 1, base_generation + len(segments) + 1)
         )
+        #: Generation id folded into ``_base`` (0 until a compaction).
+        #: Pinned on the view so snapshotting a view is tear-free even
+        #: if the owning store compacts concurrently.
+        self.base_generation = base_generation
 
     # ------------------------------------------------------------- freezing
     @property
@@ -352,14 +363,47 @@ class GenerationalStore:
     ``frozen`` is ``True`` and :meth:`freeze` returns ``self``: the
     *published* surface is immutable (the serving tier's caching
     contract), even though new generations can be prepared behind it.
+
+    Long-lived stores bound their segment chain with :meth:`compact`
+    (fold every published segment into a new frozen base — reads stay
+    bit-identical, :attr:`generation_id` does not move) either manually
+    or automatically via ``compact_after_segments``.
+
+    Args:
+        base: The frozen build output (frozen here if it is not yet).
+        base_generation: Generation id the bare base represents — 0 for
+            a fresh build; a compacted snapshot restores the id its base
+            was folded at so generation numbering survives a warm start.
+        compact_after_segments: When set, every :meth:`swap` that leaves
+            more than this many published segments triggers an automatic
+            :meth:`compact` — the chain-length bound for stores that
+            keep evolving.
+
+    Raises:
+        ConfigError: On a negative ``base_generation`` or a
+            non-positive ``compact_after_segments``.
     """
 
-    def __init__(self, base: AliCoCoStore) -> None:
+    def __init__(self, base: AliCoCoStore, *, base_generation: int = 0,
+                 compact_after_segments: int | None = None) -> None:
+        if base_generation < 0:
+            raise ConfigError(
+                f"base_generation must be >= 0, got {base_generation}"
+            )
+        if compact_after_segments is not None and compact_after_segments <= 0:
+            raise ConfigError(
+                "compact_after_segments must be positive, got "
+                f"{compact_after_segments}"
+            )
         self._base = base.freeze()
         self._lock = threading.Lock()
         self._open = DeltaSegment()
         self._staged: list[DeltaSegment] = []
-        self._view = GenerationView(self._base, (), 0)
+        self._base_generation = base_generation
+        self.compact_after_segments = compact_after_segments
+        self._view = GenerationView(
+            self._base, (), base_generation, base_generation=base_generation
+        )
         # Lazily-initialised per-layer id counters for create_*: snapshot
         # replay leaves the base's IdAllocator at zero, so counters start
         # at the pending layer size and probe past collisions.
@@ -370,6 +414,11 @@ class GenerationalStore:
     def generation_id(self) -> int:
         """Monotonic id of the currently published generation."""
         return self._view.generation_id
+
+    @property
+    def base_generation(self) -> int:
+        """Generation id folded into the base (0 until a compaction)."""
+        return self._base_generation
 
     def current(self) -> GenerationView:
         """The published view — pin it once per request for consistency."""
@@ -391,6 +440,7 @@ class GenerationalStore:
             self._base,
             self._view._segments + tuple(self._staged) + (self._open,),
             self._view.generation_id,
+            base_generation=self._base_generation,
         )
 
     def add_node(self, node: Node) -> Node:
@@ -535,29 +585,88 @@ class GenerationalStore:
         """Atomically publish all staged segments as the next generation.
 
         A no-op (current :attr:`generation_id` returned) when nothing is
-        staged — an empty publish must not invalidate caches.
+        staged — an empty publish must not invalidate caches.  Empty
+        segments are dropped rather than published (``seal`` never
+        stages one, but a replayed or hand-staged empty segment must not
+        mint a no-op generation that lengthens the chain and churns
+        generation-keyed caches).
+
+        When ``compact_after_segments`` is configured and the publish
+        leaves more than that many segments, the chain is folded into a
+        new base before returning (reads stay bit-identical).
 
         Returns:
             The now-published generation id.
         """
         with self._lock:
-            if not self._staged:
+            staged = [s for s in self._staged if not s.empty]
+            self._staged = []
+            if not staged:
                 return self._view.generation_id
             next_id = self._view.generation_id + 1
             view = GenerationView(
                 self._base,
-                self._view._segments + tuple(self._staged),
+                self._view._segments + tuple(staged),
                 next_id,
-                self._view.segment_generations + (next_id,) * len(self._staged),
+                self._view.segment_generations + (next_id,) * len(staged),
+                base_generation=self._base_generation,
             )
-            self._staged = []
             self._view = view  # single assignment: atomic publish
+            if (
+                self.compact_after_segments is not None
+                and len(view._segments) > self.compact_after_segments
+            ):
+                self._compact_locked()
             return view.generation_id
 
     def publish(self) -> int:
         """``seal()`` + ``swap()``: publish whatever the open delta holds."""
         self.seal()
         return self.swap()
+
+    def compact(self) -> int:
+        """Fold every published segment into a new frozen base.
+
+        Replays the published view — nodes then relations, in global
+        insertion order through the trusted bulk path, exactly like
+        :func:`flatten` — into a fresh :class:`AliCoCoStore`, freezes
+        it, and atomically installs it as the new zero-segment view.
+        Every read API answers bit-identically before and after
+        (insertion order, weight-tie order and name-collision order are
+        all preserved), and :attr:`generation_id` does not move:
+        compaction is a representation change, not a publish, so
+        generation-pinned caches stay valid.
+
+        Readers pinned to the old overlay keep working (its base and
+        sealed segments are untouched); staged and open segments are
+        *not* folded — they belong to unpublished generations and stay
+        writable behind the new base.
+
+        Returns:
+            The (unchanged) published generation id.
+        """
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
+        view = self._view
+        if not view._segments:
+            return view.generation_id  # nothing to fold
+        base = AliCoCoStore()
+        for node in view.nodes():
+            base.add_node(node)
+        base.add_relations_trusted(view.relations())
+        self._base = base.freeze()
+        self._base_generation = view.generation_id
+        # Single assignment: readers see the overlay or the folded base,
+        # both of which answer every read identically.
+        self._view = GenerationView(
+            self._base,
+            (),
+            view.generation_id,
+            base_generation=view.generation_id,
+        )
+        return view.generation_id
 
     @property
     def open_counts(self) -> tuple[int, int]:

@@ -81,6 +81,9 @@ class SnapshotHeader:
             carries (0 for non-generational snapshots; optional on disk,
             so older snapshots still load).  Node/relation counts cover
             base *and* deltas, so truncation stays loud.
+        base_generation: Generation id the base records were compacted
+            at (0 for uncompacted stores; optional on disk).  Delta
+            records, if any, continue the numbering from here.
     """
 
     format_version: int
@@ -90,6 +93,7 @@ class SnapshotHeader:
     index_names: tuple[str, ...] = ()
     model_names: tuple[str, ...] = ()
     generation_count: int = 0
+    base_generation: int = 0
 
 
 @dataclass
@@ -224,7 +228,8 @@ def _parse_header(line_number: int, record: dict[str, Any]) -> SnapshotHeader:
             config_fingerprint=str(record.get("config", "")),
             index_names=tuple(record.get("indexes", ())),
             model_names=tuple(record.get("models", ())),
-            generation_count=int(record.get("generations", 0)))
+            generation_count=int(record.get("generations", 0)),
+            base_generation=int(record.get("base_generation", 0)))
     except (KeyError, TypeError, ValueError) as error:
         raise DataError(
             f"line {line_number}: corrupted snapshot header "
@@ -393,8 +398,12 @@ def save_generations(store: GenerationalStore, path: str | Path, *,
         raise ConfigError(
             f"save_generations needs a GenerationalStore, got "
             f"{type(store).__name__}; use save_snapshot for plain stores")
+    # Everything is read off the pinned view — base, segments and the
+    # base generation — so a concurrent compact() can never tear the
+    # snapshot (a folded base paired with the old overlay's deltas
+    # would duplicate content on load).
     view = store.current()
-    base = store._base
+    base = view._base
     index_states = dict(index_states or {})
     model_states = dict(model_states or {})
 
@@ -405,7 +414,8 @@ def save_generations(store: GenerationalStore, path: str | Path, *,
                "config": config_fingerprint,
                "indexes": list(index_states),
                "models": list(model_states),
-               "generations": len(view._segments)}
+               "generations": len(view._segments),
+               "base_generation": view.base_generation}
         yield from _records(base)
         for segment, generation in zip(view._segments,
                                        view.segment_generations):
@@ -428,24 +438,34 @@ def generational_store_from_snapshot(snapshot: Snapshot) -> GenerationalStore:
     Each delta record becomes one sealed segment again, and a ``swap()``
     fires at every generation boundary, so segment boundaries *and*
     generation numbering match the saved store exactly — warm-started
-    caches keyed by generation id stay coherent.
+    caches keyed by generation id stay coherent.  A compacted snapshot
+    (``base_generation > 0``) restores its numbering too: the bare base
+    answers as the generation it was folded at, and any later deltas
+    continue from there.
 
     Raises:
-        DataError: If the delta records' generation ids are not the
-            consecutive ``1..N`` a live store produces (a live store
-            never skips: empty segments are never sealed and swaps
-            without staged content do not bump the id).
+        DataError: If the delta records' generation ids are not
+            consecutive from ``base_generation + 1`` as a live store
+            produces (a live store never skips: empty segments are never
+            sealed and swaps without staged content do not bump the id).
     """
-    store = GenerationalStore(snapshot.store)
-    previous = 0
+    base_generation = snapshot.header.base_generation
+    if base_generation < 0:
+        raise DataError(
+            f"snapshot header: base_generation {base_generation} "
+            f"must be >= 0")
+    store = GenerationalStore(
+        snapshot.store, base_generation=base_generation)
+    previous = base_generation
     for position, (generation, nodes, relations) in enumerate(
             snapshot.deltas):
-        if generation < 1 or generation not in (previous, previous + 1):
+        if (generation <= base_generation
+                or generation not in (previous, previous + 1)):
             raise DataError(
                 f"delta record {position}: generation {generation} "
                 f"follows generation {previous} (ids must be "
-                f"consecutive from 1)")
-        if generation == previous + 1 and previous > 0:
+                f"consecutive from {base_generation + 1})")
+        if generation == previous + 1 and previous > base_generation:
             store.swap()
         for node in nodes:
             store.add_node(node)
@@ -456,7 +476,7 @@ def generational_store_from_snapshot(snapshot: Snapshot) -> GenerationalStore:
                 f"delta record {position}: segment is empty (a live "
                 f"store never seals an empty segment)")
         previous = generation
-    if previous > 0:
+    if previous > base_generation:
         store.swap()
     if store.generation_id != previous:
         raise DataError(

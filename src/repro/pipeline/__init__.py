@@ -1,5 +1,24 @@
-"""End-to-end construction of the AliCoCo net."""
+"""End-to-end construction and evolution of the AliCoCo net."""
 
 from .build import build_alicoco, BuildResult
+from .evolve import (
+    CorpusBatch,
+    CycleReport,
+    EvolutionConfig,
+    EvolutionDriver,
+    EvolutionState,
+    EvolutionStats,
+    classifier_stage,
+)
 
-__all__ = ["build_alicoco", "BuildResult"]
+__all__ = [
+    "build_alicoco",
+    "BuildResult",
+    "CorpusBatch",
+    "CycleReport",
+    "EvolutionConfig",
+    "EvolutionDriver",
+    "EvolutionState",
+    "EvolutionStats",
+    "classifier_stage",
+]

@@ -1,0 +1,595 @@
+"""Background evolution: mine -> classify -> link -> match -> publish.
+
+The paper's net is "continuously growing"; the offline build
+(:mod:`repro.pipeline.build`) only captures one snapshot of it.  This
+module closes the loop at serving time.  An :class:`EvolutionDriver`
+re-runs the construction stages against fresh synthetic corpus batches:
+
+1. **mine** — candidate concepts from a new batch of queries and guides,
+   via :class:`~repro.concepts.generation.CandidateGenerator` (quality
+   phrases + pattern combination, Section 5.2.1);
+2. **classify** — accept or reject each candidate.  The default is the
+   ground-truth oracle (the repo's crowdsourcing substitute); wire in a
+   trained Section 5.2.2 model with :func:`classifier_stage`;
+3. **link** — INTERPRETED_BY edges from each accepted concept to the
+   primitive concepts of its gold interpretation (Section 4.3);
+4. **match** — ITEM_ECOMMERCE edges to catalog items via the Section 6
+   ``item_matches_concept`` check, weighted like the offline build.
+
+Accepted concepts and relations are staged into the serving tier's
+:class:`~repro.kg.generations.GenerationalStore` open delta — invisible
+to readers — and published as numbered generations on a size-or-interval
+policy, against any target with a ``publish()`` method (the store itself,
+an :class:`~repro.serving.AliCoCoService`, or an
+:class:`~repro.serving.AliCoCoCluster`).
+
+The driver runs on a background thread with a typed lifecycle
+(:class:`EvolutionState`): ``pause()``/``resume()`` gate the loop,
+``drain()`` publishes everything staged and stops, and repeated stage
+failures back off exponentially before the driver wedges itself —
+serving simply continues on the last good generation instead of
+crashing.  ``run_cycle()`` is the same cycle exposed synchronously for
+deterministic tests and scripts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..concepts.generation import CandidateGenerator
+from ..errors import ConfigError
+from ..kg.generations import GenerationalStore
+from ..kg.ids import ECOMMERCE_PREFIX, PRIMITIVE_PREFIX
+from ..kg.nodes import ECommerceConcept
+from ..kg.relations import Relation, RelationKind
+from ..synth.guides import generate_guides
+from ..synth.items import SynthItem, item_matches_concept
+from ..synth.queries import generate_queries
+from ..synth.world import ConceptSpec, World
+from ..utils.rng import derive_seed, spawn_rng
+
+__all__ = [
+    "CorpusBatch",
+    "CycleReport",
+    "EvolutionConfig",
+    "EvolutionDriver",
+    "EvolutionState",
+    "EvolutionStats",
+    "classifier_stage",
+]
+
+
+class EvolutionState(Enum):
+    """Lifecycle of the background loop."""
+
+    STOPPED = "stopped"
+    RUNNING = "running"
+    PAUSED = "paused"
+    DRAINING = "draining"
+    WEDGED = "wedged"
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Knobs for the evolution loop.
+
+    Attributes:
+        seed: Master seed; every cycle derives its own child seeds, so
+            two drivers with the same seed mine identical batches.
+        n_good / n_bad: Pattern-combined candidates per cycle (the bad
+            share exercises the classify stage).
+        n_queries / n_guides: Size of the fresh corpus batch per cycle.
+        mined_top_k: Quality-phrase budget per batch.
+        publish_min_nodes: Publish as soon as this many nodes are staged
+            in the open delta (the *size* trigger).
+        publish_max_interval: Publish any non-empty delta older than
+            this many seconds (the *interval* trigger — keeps trickles
+            from going stale).
+        cycle_interval: Idle sleep between successful cycles.
+        max_retries: Consecutive cycle failures tolerated before the
+            driver wedges itself.
+        backoff_base / backoff_max: Exponential backoff bounds between
+            failed cycles, in seconds.
+        match_items: Cap on catalog items scanned per accepted concept
+            (``None`` scans the whole catalog handed to the driver).
+    """
+
+    seed: int = 7
+    n_good: int = 4
+    n_bad: int = 3
+    n_queries: int = 40
+    n_guides: int = 25
+    mined_top_k: int = 20
+    publish_min_nodes: int = 6
+    publish_max_interval: float = 10.0
+    cycle_interval: float = 0.05
+    max_retries: int = 3
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    match_items: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("n_good", "n_queries", "n_guides", "publish_min_nodes",
+                     "max_retries"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        for name in ("n_bad", "mined_top_k"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+        for name in ("publish_max_interval", "cycle_interval",
+                     "backoff_base", "backoff_max"):
+            if getattr(self, name) < 0.0:
+                raise ConfigError(f"{name} must be >= 0")
+        if self.match_items is not None and self.match_items < 0:
+            raise ConfigError("match_items must be >= 0 or None")
+
+
+@dataclass(frozen=True)
+class CorpusBatch:
+    """One cycle's fresh text batch plus its dedicated RNG."""
+
+    cycle_index: int
+    sentences: list[list[str]]
+    rng: np.random.Generator
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """Outcome of one mine->classify->link->match cycle.
+
+    ``published_generation`` is the generation id minted by this cycle's
+    publish, or ``None`` when the policy left the delta open.
+    """
+
+    cycle_index: int
+    candidates: int
+    accepted: int
+    rejected: int
+    duplicates: int
+    links: int
+    matches: int
+    published_generation: int | None
+
+
+@dataclass(frozen=True)
+class EvolutionStats:
+    """Point-in-time snapshot of the driver's counters."""
+
+    state: EvolutionState
+    cycles: int
+    failures: int
+    consecutive_failures: int
+    concepts_accepted: int
+    concepts_rejected: int
+    relations_staged: int
+    publishes: int
+    generation_id: int
+    open_nodes: int
+    open_relations: int
+    last_error: str
+
+
+def classifier_stage(classifier: Any,
+                     threshold: float = 0.5) -> Callable[[ConceptSpec], bool]:
+    """Acceptance check backed by a trained Section 5.2.2 classifier.
+
+    Args:
+        classifier: A fitted
+            :class:`~repro.concepts.classifier.ConceptClassifier` (or
+            anything with ``predict_proba(texts) -> array``).
+        threshold: Acceptance probability cutoff.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ConfigError("threshold must be in [0, 1]")
+
+    def classify(spec: ConceptSpec) -> bool:
+        return float(classifier.predict_proba([spec.text])[0]) >= threshold
+
+    return classify
+
+
+class EvolutionDriver:
+    """Grows a served net in the background, one generation at a time.
+
+    Args:
+        target: What to publish through — a
+            :class:`~repro.kg.generations.GenerationalStore`, or an
+            ``AliCoCoService`` / ``AliCoCoCluster`` built over one.  The
+            driver stages writes into the target's generational store,
+            so every ``publish()`` rebuilds the target's indexes too.
+        world: Ground-truth world (candidate patterns, oracle, item
+            matching all derive from it).
+        items: Catalog :class:`~repro.synth.items.SynthItem` objects the
+            match stage scans (usually ``result.corpus.items``).
+        item_ids: ``item.index -> node id`` mapping for those items
+            (usually ``result.item_ids``).
+        config: Loop knobs.
+        mine / classify / link / match: Optional stage overrides; each
+            defaults to the construction-pipeline behaviour described in
+            the module docstring.  Signatures::
+
+                mine(batch: CorpusBatch) -> Sequence[ConceptSpec]
+                classify(spec: ConceptSpec) -> bool
+                link(store, node, spec) -> int        # edges added
+                match(store, node, spec, rng) -> int  # edges added
+
+        clock: Monotonic clock, injectable for deterministic
+            interval-policy tests.
+    """
+
+    def __init__(
+        self,
+        target: Any,
+        world: World,
+        items: Sequence[SynthItem] = (),
+        item_ids: dict[int, str] | None = None,
+        config: EvolutionConfig | None = None,
+        *,
+        mine: Callable[[CorpusBatch], Sequence[ConceptSpec]] | None = None,
+        classify: Callable[[ConceptSpec], bool] | None = None,
+        link: Callable[..., int] | None = None,
+        match: Callable[..., int] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or EvolutionConfig()
+        self._target = target
+        self._store = self._staging_store_of(target)
+        self._world = world
+        self._items = list(items)
+        self._item_ids = dict(item_ids or {})
+        self._mine = mine or self._default_mine
+        self._classify = classify or self._default_classify
+        self._link = link or self._default_link
+        self._match = match or self._default_match
+        self._clock = clock
+        self._generator = CandidateGenerator(world)
+        self._primitive_ids: dict[tuple[str, str], str | None] = {}
+        self._staged_texts: set[str] = set()
+        self._cycle_index = 0
+
+        self._cond = threading.Condition()
+        self._cycle_lock = threading.Lock()
+        self._publish_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._state = EvolutionState.STOPPED
+        self._last_publish = clock()
+        self._cycles = 0
+        self._failures = 0
+        self._consecutive_failures = 0
+        self._accepted = 0
+        self._rejected = 0
+        self._relations_staged = 0
+        self._publishes = 0
+        self._last_error = ""
+
+    @classmethod
+    def from_build(cls, result: Any, target: Any,
+                   **kwargs: Any) -> "EvolutionDriver":
+        """Driver over a :class:`~repro.pipeline.build.BuildResult`."""
+        return cls(target, result.world, items=result.corpus.items,
+                   item_ids=dict(result.item_ids), **kwargs)
+
+    @staticmethod
+    def _staging_store_of(target: Any) -> GenerationalStore:
+        source = getattr(target, "source", None)
+        if isinstance(source, GenerationalStore):
+            return source
+        if isinstance(target, GenerationalStore):
+            return target
+        store = getattr(target, "store", None)
+        if isinstance(store, GenerationalStore):
+            return store
+        raise ConfigError(
+            "EvolutionDriver needs a publish target backed by a "
+            "GenerationalStore: the store itself, or a service/cluster "
+            "built over one (frozen stores cannot grow)"
+        )
+
+    # ------------------------------------------------------- default stages
+    def _fresh_batch(self, cycle_index: int) -> CorpusBatch:
+        """A new text batch: every cycle sees sentences no cycle saw."""
+        seed = derive_seed(self.config.seed, "evolve-batch", str(cycle_index))
+        rng = spawn_rng(self.config.seed, "evolve-cycle", str(cycle_index))
+        topics = self._world.sample_good_concepts(
+            rng, max(2, self.config.n_good))
+        queries = generate_queries(self._world, topics,
+                                   self.config.n_queries, seed=seed)
+        guides = generate_guides(self._world, topics,
+                                 self.config.n_guides, seed=seed)
+        sentences = [list(query.tokens) for query in queries] + guides
+        return CorpusBatch(cycle_index=cycle_index, sentences=sentences,
+                           rng=rng)
+
+    def _default_mine(self, batch: CorpusBatch) -> Sequence[ConceptSpec]:
+        """Section 5.2.1 candidate pool over the batch.
+
+        Raw mined phrases have no gold interpretation to link, so only
+        the pattern-combined specs continue down the pipeline; the
+        phrase miner still runs so the batch's text is really mined.
+        """
+        specs, _mined, _report = self._generator.generate(
+            batch.sentences, batch.rng, self.config.n_good,
+            self.config.n_bad, mined_top_k=self.config.mined_top_k)
+        return specs
+
+    def _default_classify(self, spec: ConceptSpec) -> bool:
+        """Crowdsourcing substitute: the world's ground-truth label."""
+        return spec.good
+
+    def _default_link(self, store: GenerationalStore, node: ECommerceConcept,
+                      spec: ConceptSpec) -> int:
+        """INTERPRETED_BY edges to the gold primitive senses."""
+        links = 0
+        for part in spec.parts:
+            primitive_id = self._primitive_id(part.surface, part.domain)
+            if primitive_id is None:
+                continue
+            store.add_relation(Relation(
+                RelationKind.INTERPRETED_BY, node.id, primitive_id,
+                name=part.domain))
+            links += 1
+        return links
+
+    def _default_match(self, store: GenerationalStore,
+                       node: ECommerceConcept, spec: ConceptSpec,
+                       rng: np.random.Generator) -> int:
+        """ITEM_ECOMMERCE edges from matching catalog items."""
+        matches = 0
+        items = self._items
+        if self.config.match_items is not None:
+            items = items[: self.config.match_items]
+        for item in items:
+            item_id = self._item_ids.get(item.index)
+            if item_id is None:
+                continue
+            if item_matches_concept(self._world, item, spec):
+                weight = float(np.clip(rng.normal(0.8, 0.1), 0.05, 1.0))
+                store.add_relation(Relation(
+                    RelationKind.ITEM_ECOMMERCE, item_id, node.id,
+                    weight=weight))
+                matches += 1
+        return matches
+
+    def _primitive_id(self, surface: str, domain: str) -> str | None:
+        key = (surface, domain)
+        if key not in self._primitive_ids:
+            found = None
+            for node in self._store.find_by_name(PRIMITIVE_PREFIX, surface):
+                if getattr(node, "domain", None) == domain:
+                    found = node.id
+                    break
+            self._primitive_ids[key] = found
+        return self._primitive_ids[key]
+
+    def _is_known(self, text: str) -> bool:
+        return (text in self._staged_texts
+                or bool(self._store.find_by_name(ECOMMERCE_PREFIX, text)))
+
+    # --------------------------------------------------------------- cycles
+    def run_cycle(self) -> CycleReport:
+        """Run one full cycle synchronously and apply the publish policy.
+
+        Deterministic given the config seed and cycle number; the
+        background loop calls exactly this, so scripted tests and the
+        thread produce identical stores.
+        """
+        with self._cycle_lock:
+            cycle_index = self._cycle_index
+            self._cycle_index += 1
+            batch = self._fresh_batch(cycle_index)
+            candidates = list(self._mine(batch))
+            accepted = rejected = duplicates = links = matches = 0
+            for spec in candidates:
+                if not self._classify(spec):
+                    rejected += 1
+                    continue
+                if self._is_known(spec.text):
+                    duplicates += 1
+                    continue
+                node = self._store.create_ecommerce(spec.text,
+                                                    source=spec.pattern)
+                self._staged_texts.add(spec.text)
+                accepted += 1
+                links += int(self._link(self._store, node, spec))
+                matches += int(self._match(self._store, node, spec,
+                                           batch.rng))
+            with self._cond:
+                self._cycles += 1
+                self._accepted += accepted
+                self._rejected += rejected
+                self._relations_staged += links + matches
+            published = self._maybe_publish()
+        return CycleReport(
+            cycle_index=cycle_index, candidates=len(candidates),
+            accepted=accepted, rejected=rejected, duplicates=duplicates,
+            links=links, matches=matches, published_generation=published)
+
+    def _maybe_publish(self, force: bool = False) -> int | None:
+        with self._publish_lock:
+            open_nodes, open_relations = self._store.open_counts
+            waiting = open_nodes + open_relations
+            if not force:
+                if waiting == 0:
+                    return None
+                due_size = open_nodes >= self.config.publish_min_nodes
+                elapsed = self._clock() - self._last_publish
+                due_time = elapsed >= self.config.publish_max_interval
+                if not (due_size or due_time):
+                    return None
+            generation_id = int(self._target.publish())
+            self._last_publish = self._clock()
+            with self._cond:
+                if waiting:
+                    self._publishes += 1
+                self._staged_texts.clear()
+            return generation_id
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def state(self) -> EvolutionState:
+        with self._cond:
+            return self._state
+
+    def start(self) -> None:
+        """Start (or restart) the background loop.
+
+        Raises:
+            ConfigError: If the loop is already running.
+        """
+        with self._cond:
+            if self._thread is not None and self._thread.is_alive():
+                raise ConfigError(
+                    f"evolution driver is already {self._state.value}")
+            self._consecutive_failures = 0
+            self._last_error = ""
+            self._state = EvolutionState.RUNNING
+            self._thread = threading.Thread(
+                target=self._run_loop, name="evolution-driver", daemon=True)
+            self._thread.start()
+
+    def pause(self) -> None:
+        """Hold the loop between cycles; readers are unaffected."""
+        with self._cond:
+            if self._state is not EvolutionState.RUNNING:
+                raise ConfigError(
+                    f"cannot pause from state {self._state.value!r}")
+            self._state = EvolutionState.PAUSED
+            self._cond.notify_all()
+
+    def resume(self) -> None:
+        """Resume a paused loop, or restart a wedged one."""
+        restart = False
+        with self._cond:
+            if self._state is EvolutionState.PAUSED:
+                self._state = EvolutionState.RUNNING
+                self._cond.notify_all()
+            elif self._state is EvolutionState.WEDGED:
+                self._consecutive_failures = 0
+                self._last_error = ""
+                self._state = EvolutionState.RUNNING
+                restart = self._thread is None or not self._thread.is_alive()
+            else:
+                raise ConfigError(
+                    f"cannot resume from state {self._state.value!r}")
+            if restart:
+                self._thread = threading.Thread(
+                    target=self._run_loop, name="evolution-driver",
+                    daemon=True)
+                self._thread.start()
+
+    def drain(self, timeout: float | None = 10.0) -> int:
+        """Publish everything staged, stop the loop, and return the
+        published generation id.
+
+        From a running loop the in-flight cycle finishes first; from a
+        stopped or wedged driver the flush happens inline.
+        """
+        thread = None
+        with self._cond:
+            if self._state in (EvolutionState.RUNNING, EvolutionState.PAUSED,
+                               EvolutionState.DRAINING):
+                self._state = EvolutionState.DRAINING
+                self._cond.notify_all()
+                thread = self._thread
+            else:
+                self._state = EvolutionState.STOPPED
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+            if thread.is_alive():
+                raise ConfigError("drain timed out mid-cycle; the loop "
+                                  "will still flush and stop")
+        else:
+            self._maybe_publish(force=True)
+        return self._store.generation_id
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Stop the loop without a final publish.
+
+        Staged work stays in the open delta: a later ``drain()`` or an
+        external ``publish()`` can still ship it.
+        """
+        with self._cond:
+            thread = self._thread
+            self._state = EvolutionState.STOPPED
+            self._cond.notify_all()
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+
+    def stats(self) -> EvolutionStats:
+        """A consistent snapshot of counters plus the open-delta size."""
+        open_nodes, open_relations = self._store.open_counts
+        with self._cond:
+            return EvolutionStats(
+                state=self._state, cycles=self._cycles,
+                failures=self._failures,
+                consecutive_failures=self._consecutive_failures,
+                concepts_accepted=self._accepted,
+                concepts_rejected=self._rejected,
+                relations_staged=self._relations_staged,
+                publishes=self._publishes,
+                generation_id=self._store.generation_id,
+                open_nodes=open_nodes, open_relations=open_relations,
+                last_error=self._last_error)
+
+    # ------------------------------------------------------ background loop
+    def _run_loop(self) -> None:
+        while True:
+            with self._cond:
+                while self._state is EvolutionState.PAUSED:
+                    self._cond.wait()
+                state = self._state
+            if state in (EvolutionState.STOPPED, EvolutionState.WEDGED):
+                return
+            if state is EvolutionState.DRAINING:
+                try:
+                    self._maybe_publish(force=True)
+                finally:
+                    with self._cond:
+                        self._state = EvolutionState.STOPPED
+                        self._cond.notify_all()
+                return
+            try:
+                self.run_cycle()
+            except Exception as error:  # noqa: BLE001 — degrade, don't crash
+                wedged = self._record_failure(error)
+                if wedged:
+                    return
+                continue
+            with self._cond:
+                self._consecutive_failures = 0
+            self._sleep(self.config.cycle_interval)
+
+    def _record_failure(self, error: Exception) -> bool:
+        """Count a failed cycle; back off, or wedge past the retry budget.
+
+        A wedged driver stops staging and publishing but leaves the last
+        good generation serving — degradation, not an outage.
+        """
+        with self._cond:
+            self._failures += 1
+            self._consecutive_failures += 1
+            self._last_error = f"{type(error).__name__}: {error}"
+            if self._consecutive_failures >= self.config.max_retries:
+                if self._state is EvolutionState.RUNNING:
+                    self._state = EvolutionState.WEDGED
+                    self._cond.notify_all()
+                    return True
+                return False
+            exponent = self._consecutive_failures - 1
+        delay = min(self.config.backoff_max,
+                    self.config.backoff_base * (2.0 ** exponent))
+        self._sleep(delay)
+        return False
+
+    def _sleep(self, delay: float) -> None:
+        if delay <= 0.0:
+            return
+        with self._cond:
+            if self._state is EvolutionState.RUNNING:
+                self._cond.wait(delay)

@@ -161,6 +161,12 @@ class AdmissionController:
                     if remaining <= 0:
                         self._shed["queue_timeout"] += 1
                         self.shed_wait.record(self._clock() - start)
+                        # A _release() may have woken *this* waiter; the
+                        # shed consumes that notification while the slot
+                        # stays free.  Hand it on, or another queued
+                        # waiter sleeps next to an idle slot until its
+                        # own deadline (the lost-wakeup bug).
+                        self._condition.notify()
                         raise OverloadedError(
                             "overloaded: no execution slot freed within "
                             f"{self.max_queue_wait_seconds * 1e3:.0f}ms; "
@@ -194,13 +200,23 @@ class AdmissionController:
             return self._queued
 
     def stats(self) -> AdmissionStats:
-        """A consistent snapshot of the admission counters."""
+        """A consistent snapshot of the admission counters.
+
+        Counters *and* wait percentiles are read under the condition
+        lock: every counted admission/shed records its wait sample
+        before releasing it, so reading the reservoirs after dropping
+        the lock could pair ``admitted`` from before a burst with
+        percentiles from after it (the torn-snapshot bug).  The
+        reservoirs' own locks are leaves — taking them inside the
+        condition lock cannot deadlock.
+        """
         with self._condition:
             admitted = self._admitted
             shed = tuple(sorted(self._shed.items()))
             inflight = self._active
             queued = self._queued
-        wait = self.queue_wait.percentiles_ms()
+            wait = self.queue_wait.percentiles_ms()
+            shed_wait_p99 = self.shed_wait.percentiles_ms()["p99"]
         return AdmissionStats(
             admitted=admitted,
             shed=shed,
@@ -209,5 +225,5 @@ class AdmissionController:
             queue_wait_p50_ms=wait["p50"],
             queue_wait_p95_ms=wait["p95"],
             queue_wait_p99_ms=wait["p99"],
-            shed_wait_p99_ms=self.shed_wait.percentiles_ms()["p99"],
+            shed_wait_p99_ms=shed_wait_p99,
         )

@@ -51,6 +51,21 @@ a ``cluster`` meta record pinning the shard count.  Loading with the
 same shard count rehydrates every shard index without re-fitting;
 loading with a different count re-splits deterministically from the
 global state.
+
+**Generation advancement.**  A cluster over a
+:class:`~repro.kg.generations.GenerationalStore` is not pinned forever:
+:meth:`AliCoCoCluster.publish` seals the source store's open delta and
+advances every shard in a **two-phase** publish.  Phase one grows each
+shard's own generational store (delta nodes route through
+:func:`~repro.serving.shard.shard_of`, relations land on their owner
+shards with ghost replicas, all invisible to readers), extends the
+global concept index, and installs each shard's next generation; phase
+two installs one immutable :class:`ClusterGeneration` bundle — global
+view, global index, per-shard projections, merge position maps and the
+per-shard :class:`~repro.serving.ServingGeneration` pins — with a
+single attribute assignment.  Scattered reads pin the bundle at entry
+and read only from it, so a fan-out never mixes two generations:
+every answer is a whole generation, before or after, never a blend.
 """
 
 from __future__ import annotations
@@ -59,17 +74,19 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from itertools import islice
 from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..concepts.tagging import ConceptTagger
-from ..errors import ConfigError, DataError
+from ..errors import ConfigError, DataError, DuplicateNodeError
 from ..kg.generations import GenerationalStore
-from ..kg.ids import ECOMMERCE_PREFIX, ITEM_PREFIX
+from ..kg.ids import ECOMMERCE_PREFIX, ITEM_PREFIX, layer_of
 from ..kg.serialize import (
     generational_store_from_snapshot,
     load_snapshot,
+    save_generations,
     save_snapshot,
 )
 from ..kg.store import AliCoCoStore
@@ -95,11 +112,13 @@ from .service import (
     AliCoCoService,
     BatchResult,
     ServiceConfig,
+    ServingGeneration,
     fit_concept_index,
 )
 from .shard import (
     is_partitioned,
     merge_ranked,
+    owner_shards,
     shard_of,
     split_concept_index,
     split_store,
@@ -174,6 +193,50 @@ class ClusterConfig:
 
 
 @dataclass(frozen=True)
+class ClusterGeneration:
+    """One immutable cluster-wide serving state.
+
+    The cluster's counterpart of :class:`~repro.serving.ServingGeneration`:
+    everything a scattered read touches — the global view, the global
+    concept index, the per-shard projections, the merge tie-break maps
+    and each shard's pinned generation — rides one frozen bundle behind
+    one attribute.  Requests pin the current instance at entry, so a
+    concurrent :meth:`AliCoCoCluster.publish` can never show a fan-out
+    two different generations (phase two of the publish installs the
+    next bundle with a single atomic assignment).
+
+    Attributes:
+        generation_id: The source-store generation this bundle serves.
+        store: The pinned global read view.
+        search_index: The global BM25 concept index, or ``None``.
+        shard_search_indexes: Per-shard projections of ``search_index``
+            (global corpus statistics, shard-local postings).
+        concept_position / item_position: Node id -> global fit position
+            maps for deterministic scatter merges
+            (:func:`~repro.serving.shard.merge_ranked`).
+        shards: Each shard service's pinned
+            :class:`~repro.serving.ServingGeneration`, in shard order.
+        node_count / relation_count: Global sizes this bundle covers;
+            the next publish routes exactly the rows beyond these counts
+            (count slicing survives source-store compaction, which
+            reshapes segments but never reorders reads).
+        concept_count: E-commerce concepts covered by ``search_index``;
+            the next publish extends the index with the nodes past it.
+    """
+
+    generation_id: int
+    store: Any
+    search_index: BM25Index | None
+    shard_search_indexes: tuple[BM25Index | None, ...]
+    concept_position: dict[str, int]
+    item_position: dict[str, int]
+    shards: tuple[ServingGeneration, ...]
+    node_count: int
+    relation_count: int
+    concept_count: int
+
+
+@dataclass(frozen=True)
 class ClusterStats:
     """Whole-cluster report: fan-out balance, coalescing, admission, shards.
 
@@ -188,6 +251,8 @@ class ClusterStats:
         shard_calls: Sub-requests dispatched to each shard (routed ones
             count their owner; scattered ones count every shard).
         shards: Each shard service's own :class:`ServiceStats`.
+        generation_id: The cluster generation being served (0 for a
+            cluster over a plain frozen store).
     """
 
     n_shards: int
@@ -201,6 +266,7 @@ class ClusterStats:
     admission: AdmissionStats
     shard_calls: tuple[int, ...]
     shards: tuple[ServiceStats, ...] = field(repr=False)
+    generation_id: int = 0
 
     def endpoint(self, name: str) -> EndpointStats:
         """Stats for one cluster endpoint.
@@ -321,55 +387,42 @@ class AliCoCoCluster:
         self.config = config or ClusterConfig()
         self._service_config = service_config or ServiceConfig()
         n_shards = self.config.n_shards
-        # A cluster serves a *pinned* generation: given a generational
-        # store it splits the currently-published view and never follows
-        # later swaps — shard placement, index projections and tie-break
-        # orders are all derived from one consistent view.  Rebuild the
-        # cluster (or warm-start from a fresh snapshot) to advance.  The
-        # pinned generation id prefixes the cluster cache's keys, so two
-        # clusters rebuilt over different generations can never alias
-        # entries through a shared cache dump.
+        # A cluster over a generational store serves its *published*
+        # view and advances through publish() (see the module
+        # docstring); one over a plain store is frozen at generation 0
+        # forever.  Either way, all serving state — shard placement,
+        # index projections, tie-break orders — derives from one
+        # consistent pinned view, bundled in a ClusterGeneration.  The
+        # generation id prefixes the cluster cache's keys, so entries
+        # from different generations can never alias.
         if isinstance(store, GenerationalStore):
+            self._source: GenerationalStore | None = store
             view = store.current()
-            self._generation_id: int | None = view.generation_id
-            store = view
         else:
-            self._generation_id = None
-            store = store.freeze()
-        self._store = store
+            self._source = None
+            view = store.freeze()
         self._fingerprint = config_fingerprint
-        self._search_index = (
-            search_index if search_index is not None else fit_concept_index(store)
+        search_index = (
+            search_index if search_index is not None else fit_concept_index(view)
         )
         if shard_search_indexes is None:
-            shard_search_indexes = split_concept_index(self._search_index, n_shards)
+            shard_search_indexes = split_concept_index(search_index, n_shards)
         elif len(shard_search_indexes) != n_shards:
             raise ConfigError(
                 f"expected {n_shards} shard search indexes, "
                 f"got {len(shard_search_indexes)}"
             )
-        # Global tie-break orders for scatter merges: BM25 breaks score
-        # ties by fit position, the dense backends by fit position over
-        # the store walk — both are subsequences of these maps, so the
-        # relative order (all a tie-break needs) is preserved.
-        self._concept_position = (
-            {}
-            if self._search_index is None
-            else {
-                doc_id: position
-                for position, doc_id in enumerate(
-                    self._search_index.to_state()["doc_ids"]
-                )
-            }
-        )
-        self._item_position = {
-            node.id: position
-            for position, node in enumerate(store.nodes(ITEM_PREFIX))
-        }
         dense_states = shard_dense_states or {}
+        # Shards of an advancing cluster get generational stores of
+        # their own, so publish() can grow them behind their readers;
+        # frozen clusters keep the historical frozen shard stores.
         self._services = [
             AliCoCoService(
-                shard_store,
+                (
+                    GenerationalStore(shard_store)
+                    if self._source is not None
+                    else shard_store
+                ),
                 config=self._service_config,
                 search_index=shard_search_indexes[shard],
                 fit_search_index=False,
@@ -378,8 +431,29 @@ class AliCoCoCluster:
                 dense_index_states=dense_states.get(shard),
                 config_fingerprint=config_fingerprint,
             )
-            for shard, shard_store in enumerate(split_store(store, n_shards))
+            for shard, shard_store in enumerate(split_store(view, n_shards))
         ]
+        self._publish_lock = threading.Lock()
+        self._cgen = ClusterGeneration(
+            generation_id=view.generation_id if self._source is not None else 0,
+            store=view,
+            search_index=search_index,
+            shard_search_indexes=tuple(shard_search_indexes),
+            # Global tie-break orders for scatter merges: BM25 breaks
+            # score ties by fit position, the dense backends by fit
+            # position over the store walk — both are subsequences of
+            # these maps, so the relative order (all a tie-break needs)
+            # is preserved.
+            concept_position=self._positions_of(search_index),
+            item_position={
+                node.id: position
+                for position, node in enumerate(view.nodes(ITEM_PREFIX))
+            },
+            shards=tuple(service._gen for service in self._services),
+            node_count=len(view),
+            relation_count=view.stats().relations_total,
+            concept_count=view.count_nodes(ECOMMERCE_PREFIX),
+        )
         # The prepared (fitted-checked, eval-mode) modules; shared by
         # every shard, referenced here for query-side encodings.
         self._tagger = self._services[0]._tagger
@@ -463,10 +537,12 @@ class AliCoCoCluster:
             )
         # A generational snapshot replays into a generational store so
         # the cluster pins the saved generation (id included — it keys
-        # the cluster cache); delta-less snapshots serve frozen.
+        # the cluster cache).  A compacted store may carry zero delta
+        # records but a folded generation in the header — still
+        # generational.  Delta-less generation-0 snapshots serve frozen.
         store: AliCoCoStore | GenerationalStore = (
             generational_store_from_snapshot(snapshot)
-            if snapshot.deltas
+            if snapshot.deltas or header.base_generation > 0
             else snapshot.store
         )
         state = snapshot.index_states.get(CONCEPT_INDEX)
@@ -525,24 +601,34 @@ class AliCoCoCluster:
         snapshot — plus one ``…@shard{i}`` index state per shard index
         and a ``cluster`` meta record pinning the shard count for
         warm-start validation.  A cluster over a generational store
-        writes its *pinned view* flattened (the cluster never follows
-        swaps, so the generation structure carries no information here);
-        the reload serves the same answers at generation 0.
+        writes the source's generation structure (sealed delta segments
+        and their numbering), so a reload resumes at the saved
+        generation and can keep advancing.  Per-shard index states are
+        embedded only when the served bundle is aligned with the
+        source's published generation (i.e. after a :meth:`publish`);
+        otherwise the reload re-splits deterministically.
 
         Returns:
             Number of lines written.
         """
+        cgen = self._cgen
         index_states: dict[str, Any] = {CLUSTER_META: {"n_shards": self.n_shards}}
-        if self._search_index is not None:
-            index_states[CONCEPT_INDEX] = self._search_index.to_state()
-        for shard, service in enumerate(self._services):
-            if service._search_index is not None:
-                index_states[f"{CONCEPT_INDEX}@shard{shard}"] = (
-                    service._search_index.to_state()
-                )
-            for name, dense_index in service._dense_indexes.items():
-                if dense_index is not None:
-                    index_states[f"{name}@shard{shard}"] = dense_index.to_state()
+        if cgen.search_index is not None:
+            index_states[CONCEPT_INDEX] = cgen.search_index.to_state()
+        aligned = (
+            self._source is None
+            or self._source.current().generation_id == cgen.generation_id
+        )
+        if aligned:
+            for shard in range(self.n_shards):
+                projection = cgen.shard_search_indexes[shard]
+                if projection is not None:
+                    index_states[f"{CONCEPT_INDEX}@shard{shard}"] = (
+                        projection.to_state()
+                    )
+                for name, dense_index in cgen.shards[shard].dense_indexes.items():
+                    if dense_index is not None:
+                        index_states[f"{name}@shard{shard}"] = dense_index.to_state()
         model_states = {}
         if self._tagger is not None:
             model_states[TAGGER_MODEL] = model_bundle_state(self._tagger, TAGGER_KIND)
@@ -550,53 +636,194 @@ class AliCoCoCluster:
             model_states[RERANKER_MODEL] = model_bundle_state(
                 self._reranker, RERANKER_KIND
             )
-        return save_snapshot(
-            self._store,
+        saver = save_snapshot if self._source is None else save_generations
+        return saver(
+            cgen.store if self._source is None else self._source,
             path,
             config_fingerprint=self._fingerprint,
             index_states=index_states,
             model_states=model_states,
         )
 
+    # ----------------------------------------------------------- generations
+    def publish(self) -> int:
+        """Seal source-store writes and advance every shard, two-phase.
+
+        **Phase one** (invisible to readers): seals and swaps the source
+        :class:`~repro.kg.generations.GenerationalStore`, slices the
+        rows beyond the served bundle's covered counts — count slicing,
+        so a source-store compaction between publishes changes nothing —
+        and routes them into the shards' own generational stores: nodes
+        by :func:`~repro.serving.shard.shard_of` (replicated layers to
+        every shard), each relation to its owner shards in global
+        insertion order, missing endpoints added as ghost replicas.  The
+        global concept index is extended (clone + add, refit fallback),
+        fresh per-shard projections are derived from it, and each grown
+        shard publishes its next generation with its new projection.
+
+        **Phase two**: one attribute assignment installs the new
+        :class:`ClusterGeneration`.  Scattered reads pin the bundle at
+        entry, so a fan-out sees all-old or all-new shard state — never
+        a blend spanning two generations.  Routed reads touch a single
+        shard, whose own publish is equally atomic.
+
+        A publish with nothing staged and nothing open is a no-op that
+        returns the current generation id.
+
+        Returns:
+            The cluster generation id now being served.
+
+        Raises:
+            ConfigError: If the cluster serves a plain frozen store.
+        """
+        if self._source is None:
+            raise ConfigError(
+                "publish() needs a cluster over a GenerationalStore; this "
+                "cluster serves a frozen store (generation 0 forever)"
+            )
+        with self._publish_lock:
+            old = self._cgen
+            generation_id = self._source.publish()
+            if generation_id == old.generation_id:
+                return generation_id
+            view = self._source.current()
+            # Phase one — route the delta into the shard stores (their
+            # open deltas; readers still see the old shard generations).
+            fresh_nodes = list(islice(view.nodes(), old.node_count, None))
+            fresh_relations = list(
+                islice(view.relations(), old.relation_count, None)
+            )
+            shard_stores = [service.store for service in self._services]
+            for node in fresh_nodes:
+                if is_partitioned(node.id):
+                    shard_stores[shard_of(node.id, self.n_shards)].add_node(node)
+                else:
+                    for shard_store in shard_stores:
+                        shard_store.add_node(node)
+            for relation in fresh_relations:
+                for home in owner_shards(relation, self.n_shards):
+                    shard_store = shard_stores[home]
+                    for endpoint in (relation.source, relation.target):
+                        try:
+                            shard_store.add_node(view.get(endpoint))  # ghost
+                        except DuplicateNodeError:
+                            pass
+                    shard_store.add_relation(relation)
+            search_index = self._next_global_index(old, view)
+            projections = split_concept_index(search_index, self.n_shards)
+            item_position = dict(old.item_position)
+            for node in fresh_nodes:
+                if layer_of(node.id) == ITEM_PREFIX:
+                    item_position[node.id] = len(item_position)
+            # A shard without a delta no-ops its publish and keeps its
+            # old bundle — correct for its store and dense indexes (both
+            # unchanged), while its *lexical* arm always comes from the
+            # fresh projections below (global corpus statistics moved
+            # even if the shard's own documents did not).
+            for service, projection in zip(self._services, projections):
+                service.publish(search_index=projection)
+            # Phase two — a single assignment installs the whole bundle.
+            self._cgen = ClusterGeneration(
+                generation_id=generation_id,
+                store=view,
+                search_index=search_index,
+                shard_search_indexes=tuple(projections),
+                concept_position=self._positions_of(search_index),
+                item_position=item_position,
+                shards=tuple(service._gen for service in self._services),
+                node_count=len(view),
+                relation_count=view.stats().relations_total,
+                concept_count=view.count_nodes(ECOMMERCE_PREFIX),
+            )
+            if self._cache is not None:
+                self._cache.begin_generation(f"gen-{generation_id}")
+            return generation_id
+
+    def _next_global_index(
+        self, old: ClusterGeneration, view: Any
+    ) -> BM25Index | None:
+        """The next generation's global concept index (clone + add).
+
+        Mirrors :meth:`AliCoCoService._next_search_index`: the old index
+        is cloned through its serialised state and extended — exactly
+        refit-identical — with a full refit as the fallback for states
+        predating raw-length persistence.
+        """
+        fresh = [
+            node
+            for node in islice(
+                view.nodes(ECOMMERCE_PREFIX), old.concept_count, None
+            )
+            if node.tokens
+        ]
+        if not fresh:
+            return old.search_index
+        if old.search_index is None:
+            return fit_concept_index(view)
+        try:
+            clone = BM25Index.from_state(old.search_index.to_state())
+            clone.add_documents({node.id: list(node.tokens) for node in fresh})
+            return clone
+        except DataError:
+            return fit_concept_index(view)
+
+    @staticmethod
+    def _positions_of(index: BM25Index | None) -> dict[str, int]:
+        """Doc id -> global fit position over an index's document walk."""
+        if index is None:
+            return {}
+        return {
+            doc_id: position
+            for position, doc_id in enumerate(index.to_state()["doc_ids"])
+        }
+
     # ------------------------------------------------------------- endpoints
     def items_for_concept(self, concept_id: str, top_k: int | None = None) -> tuple:
         """Best items for a concept, answered by its owner shard."""
         with self._metered_errors("items_for_concept"):
+            cgen = self._cgen
             service = self._route(concept_id)
             return self._serve(
                 "items_for_concept",
                 (concept_id, top_k),
                 lambda: service.items_for_concept(concept_id, top_k),
+                cgen,
             )
 
     def concepts_for_item(self, item_id: str) -> tuple:
         """Concepts an item participates in, from the item's owner shard."""
         with self._metered_errors("concepts_for_item"):
+            cgen = self._cgen
             service = self._route(item_id)
             return self._serve(
                 "concepts_for_item",
                 (item_id,),
                 lambda: service.concepts_for_item(item_id),
+                cgen,
             )
 
     def interpretation(self, concept_id: str) -> tuple:
         """Primitive senses of a concept, from its owner shard."""
         with self._metered_errors("interpretation"):
+            cgen = self._cgen
             service = self._route(concept_id)
             return self._serve(
                 "interpretation",
                 (concept_id,),
                 lambda: service.interpretation(concept_id),
+                cgen,
             )
 
     def hypernyms(self, primitive_id: str, transitive: bool = False) -> tuple:
         """Hypernym expansion; the taxonomy is replicated, shard 0 answers."""
         with self._metered_errors("hypernyms"):
+            cgen = self._cgen
             service = self._route(primitive_id)
             return self._serve(
                 "hypernyms",
                 (primitive_id, transitive),
                 lambda: service.hypernyms(primitive_id, transitive),
+                cgen,
             )
 
     def search(self, text: str, k: int | None = None) -> tuple:
@@ -606,18 +833,21 @@ class AliCoCoCluster:
                 raise ConfigError(f"search k must be positive, got {k}")
             k = k if k is not None else self._service_config.search_top_k
             tokens = tuple(text.split())
+            cgen = self._cgen
             return self._serve(
                 "search",
                 (tokens, k),
-                lambda: self._search_scattered(tokens, k),
+                lambda: self._search_scattered(tokens, k, cgen),
+                cgen,
             )
 
     def tag(self, text: str) -> tuple:
         """Concept tagging; the model and primitive layer are replicated."""
         with self._metered_errors("tag"):
+            cgen = self._cgen
             service = self._count_shard(0)
             tokens = tuple(text.split())
-            return self._serve("tag", (tokens,), lambda: service.tag(text))
+            return self._serve("tag", (tokens,), lambda: service.tag(text), cgen)
 
     def items_for_concept_reranked(
         self, concept_id: str, top_k: int | None = None
@@ -632,12 +862,19 @@ class AliCoCoCluster:
                 raise ConfigError(
                     f"items_for_concept_reranked top_k must be positive, got {top_k}"
                 )
-            service = self._route(concept_id)
-            service._require(concept_id, ECOMMERCE_PREFIX)
+            cgen = self._cgen
+            shard = self._shard_for(concept_id)
+            service = self._count_shard(shard)
+            service._require(
+                concept_id, ECOMMERCE_PREFIX, store=cgen.shards[shard].store
+            )
             return self._serve(
                 "items_for_concept_reranked",
                 (concept_id, top_k),
-                lambda: self._items_reranked_scattered(service, concept_id, top_k),
+                lambda: self._items_reranked_scattered(
+                    shard, concept_id, top_k, cgen
+                ),
+                cgen,
             )
 
     def search_reranked(self, text: str, k: int | None = None) -> tuple:
@@ -651,10 +888,12 @@ class AliCoCoCluster:
                 raise ConfigError(f"search_reranked k must be positive, got {k}")
             k = k if k is not None else self._service_config.search_top_k
             tokens = tuple(text.split())
+            cgen = self._cgen
             return self._serve(
                 "search_reranked",
                 (tokens, k),
-                lambda: self._search_reranked_scattered(tokens, k),
+                lambda: self._search_reranked_scattered(tokens, k, cgen),
+                cgen,
             )
 
     def batch(
@@ -718,8 +957,24 @@ class AliCoCoCluster:
 
     @property
     def store(self) -> AliCoCoStore:
-        """The (frozen) global net the cluster was split from."""
-        return self._store
+        """The served global view (the frozen store, or the pinned
+        generation view of an advancing cluster)."""
+        return self._cgen.store
+
+    @property
+    def source(self) -> GenerationalStore | None:
+        """The growable source store behind an advancing cluster.
+
+        Grow it through its ``create_*``/``add_*`` API and call
+        :meth:`publish` to advance every shard; ``None`` for a cluster
+        over a plain frozen store.
+        """
+        return self._source
+
+    @property
+    def generation_id(self) -> int:
+        """The cluster generation currently being served (0 when frozen)."""
+        return self._cgen.generation_id
 
     @property
     def services(self) -> tuple[AliCoCoService, ...]:
@@ -744,14 +999,14 @@ class AliCoCoCluster:
         from separate attribute reads that a concurrent request could
         tear apart.
         """
-        store_stats = self._store.stats()
+        cgen = self._cgen
         with self._balance_lock:
             shard_calls = tuple(self._shard_calls)
         cache_counters = self._cache.counters() if self._cache else CacheCounters()
         return ClusterStats(
             n_shards=self.n_shards,
-            nodes=len(self._store),
-            relations=store_stats.relations_total,
+            nodes=cgen.node_count,
+            relations=cgen.relation_count,
             cache_entries=len(self._cache) if self._cache else 0,
             cache_capacity=self._cache.capacity if self._cache else 0,
             cache_evictions=cache_counters.evictions,
@@ -763,6 +1018,7 @@ class AliCoCoCluster:
             admission=self._admission.stats(),
             shard_calls=shard_calls,
             shards=tuple(service.stats() for service in self._services),
+            generation_id=cgen.generation_id,
         )
 
     def close(self) -> None:
@@ -777,8 +1033,8 @@ class AliCoCoCluster:
         self.close()
 
     # ------------------------------------------------------------- internals
-    def _route(self, node_id: str) -> AliCoCoService:
-        """The shard service answering point queries for ``node_id``.
+    def _shard_for(self, node_id: str) -> int:
+        """The shard answering point queries for ``node_id``.
 
         Partitioned ids go to their hash owner; replicated-layer ids (and
         malformed ids, which no shard can know — the owner's store raises
@@ -789,22 +1045,30 @@ class AliCoCoCluster:
             partitioned = is_partitioned(node_id)
         except ValueError:
             partitioned = False
-        shard = shard_of(node_id, self.n_shards) if partitioned else 0
-        return self._count_shard(shard)
+        return shard_of(node_id, self.n_shards) if partitioned else 0
+
+    def _route(self, node_id: str) -> AliCoCoService:
+        """The shard service answering point queries for ``node_id``."""
+        return self._count_shard(self._shard_for(node_id))
 
     def _count_shard(self, shard: int) -> AliCoCoService:
         with self._balance_lock:
             self._shard_calls[shard] += 1
         return self._services[shard]
 
-    def _scatter(self, call: Callable[[AliCoCoService], Any]) -> list:
-        """Run ``call`` against every shard service, in shard order."""
+    def _scatter(self, call: Callable[[int, AliCoCoService], Any]) -> list:
+        """Run ``call(shard, service)`` against every shard, in order."""
         with self._balance_lock:
             for shard in range(self.n_shards):
                 self._shard_calls[shard] += 1
         if self._fanout is None:
-            return [call(service) for service in self._services]
-        return list(self._fanout.map(call, self._services))
+            return [
+                call(shard, service)
+                for shard, service in enumerate(self._services)
+            ]
+        return list(
+            self._fanout.map(call, range(self.n_shards), self._services)
+        )
 
     def _require_reranker(self, endpoint: str) -> None:
         self._services[0]._require_model(self._reranker, RERANKER_MODEL, endpoint)
@@ -818,7 +1082,13 @@ class AliCoCoCluster:
             self._metrics[endpoint].record_error(type(error).__name__)
             raise
 
-    def _serve(self, endpoint: str, key: tuple, compute: Callable[[], Any]) -> Any:
+    def _serve(
+        self,
+        endpoint: str,
+        key: tuple,
+        compute: Callable[[], Any],
+        cgen: ClusterGeneration | None = None,
+    ) -> Any:
         """Cache -> coalesce -> admission -> compute, in that order.
 
         The cache sits first so a hot repeat never costs a slot; the
@@ -830,11 +1100,12 @@ class AliCoCoCluster:
         """
         metrics = self._metrics[endpoint]
         start = perf_counter()
-        # Clusters over a generational store pin one generation for
-        # life; the prefix keeps their cache keys disjoint per pinned
-        # generation (matching the single service's convention).
-        if self._generation_id is not None:
-            cache_key = ("gen", self._generation_id, endpoint, *key)
+        # Advancing clusters prefix cache keys with the pinned bundle's
+        # generation id: a publish retires the old generation's entries
+        # by making them unreachable (the single service's convention).
+        if self._source is not None:
+            cgen = cgen if cgen is not None else self._cgen
+            cache_key = ("gen", cgen.generation_id, endpoint, *key)
         else:
             cache_key = (endpoint, *key)
         if self._cache is not None:
@@ -857,32 +1128,52 @@ class AliCoCoCluster:
         return value
 
     # ----------------------------------------------------- scattered queries
-    def _search_scattered(self, tokens: tuple[str, ...], k: int) -> tuple:
+    # Every scattered computation receives the pinned ClusterGeneration
+    # and reads shard stores, indexes and position maps only from it —
+    # a concurrent publish() can therefore never hand one fan-out a mix
+    # of two generations.
+    def _search_scattered(
+        self, tokens: tuple[str, ...], k: int, cgen: ClusterGeneration
+    ) -> tuple:
         """Global BM25 ranking from per-shard projections (bit-identical)."""
-        if not tokens or self._search_index is None:
+        if not tokens or cgen.search_index is None:
             return ()
-        arms = self._scatter(lambda service: service._search_uncached(tokens, k))
-        return merge_ranked(arms, self._concept_position, k)
+        arms = self._scatter(
+            lambda shard, service: service._search_uncached(
+                tokens, k, index=cgen.shard_search_indexes[shard]
+            )
+        )
+        return merge_ranked(arms, cgen.concept_position, k)
 
-    def _has_dense(self, name: str) -> bool:
+    @staticmethod
+    def _has_dense(name: str, cgen: ClusterGeneration) -> bool:
         return any(
-            service._dense_indexes.get(name) is not None
-            for service in self._services
+            shard_gen.dense_indexes.get(name) is not None
+            for shard_gen in cgen.shards
         )
 
-    def _concept_pool_scattered(self, tokens: tuple[str, ...], k: int) -> tuple:
+    def _concept_pool_scattered(
+        self, tokens: tuple[str, ...], k: int, cgen: ClusterGeneration
+    ) -> tuple:
         """The cluster's version of ``AliCoCoService._concept_pool``."""
         mode = self._service_config.retriever
-        if mode == "bm25" or not self._has_dense(DENSE_CONCEPT_INDEX) or not tokens:
-            return self._search_scattered(tokens, k)
+        if (
+            mode == "bm25"
+            or not self._has_dense(DENSE_CONCEPT_INDEX, cgen)
+            or not tokens
+        ):
+            return self._search_scattered(tokens, k, cgen)
         vector = dense_query_vector(self._reranker, tokens)
         arms = self._scatter(
-            lambda service: service._dense_arm(DENSE_CONCEPT_INDEX, vector, k)
+            lambda shard, service: service._dense_arm(
+                DENSE_CONCEPT_INDEX, vector, k,
+                indexes=cgen.shards[shard].dense_indexes,
+            )
         )
-        dense = merge_ranked(arms, self._concept_position, k)
+        dense = merge_ranked(arms, cgen.concept_position, k)
         if mode == "dense":
             return dense
-        lexical = self._search_scattered(tokens, k)
+        lexical = self._search_scattered(tokens, k, cgen)
         return tuple(
             rrf_fuse(
                 [list(dense), list(lexical)],
@@ -892,28 +1183,32 @@ class AliCoCoCluster:
         )
 
     def _item_pool_scattered(
-        self, service: AliCoCoService, concept_id: str, k: int
+        self, shard: int, concept_id: str, k: int, cgen: ClusterGeneration
     ) -> tuple:
         """The cluster's version of ``AliCoCoService._item_pool``.
 
-        The graph arm comes entirely from the concept's owner shard
-        (``service``): every item->concept edge lives there, in global
-        insertion order, so the association ranking is bit-identical.
+        The graph arm comes entirely from the concept's owner shard:
+        every item->concept edge lives there, in global insertion order,
+        so the association ranking is bit-identical.
         """
-        graph = service._items_uncached(concept_id, k)
+        owner = cgen.shards[shard]
+        graph = self._services[shard]._items_uncached(
+            concept_id, k, store=owner.store
+        )
         mode = self._service_config.retriever
-        if mode == "bm25" or not self._has_dense(DENSE_ITEM_INDEX):
+        if mode == "bm25" or not self._has_dense(DENSE_ITEM_INDEX, cgen):
             return graph
-        tokens = tuple(service._store.get(concept_id).tokens)
+        tokens = tuple(owner.store.get(concept_id).tokens)
         if not tokens:
             return graph
         vector = dense_query_vector(self._reranker, tokens)
         arms = self._scatter(
-            lambda shard_service: shard_service._dense_arm(
-                DENSE_ITEM_INDEX, vector, k
+            lambda arm_shard, service: service._dense_arm(
+                DENSE_ITEM_INDEX, vector, k,
+                indexes=cgen.shards[arm_shard].dense_indexes,
             )
         )
-        dense = merge_ranked(arms, self._item_position, k)
+        dense = merge_ranked(arms, cgen.item_position, k)
         if mode == "dense":
             return dense
         return tuple(
@@ -928,7 +1223,8 @@ class AliCoCoCluster:
         self,
         query_tokens: tuple[str, ...],
         pool: tuple,
-        doc_tokens: Callable[[AliCoCoService, str], list[str]],
+        doc_tokens: Callable[[ServingGeneration, str], list[str]],
+        cgen: ClusterGeneration,
     ) -> list[tuple[str, float]]:
         """Scatter pool scoring to owner shards, merge by ``(-prob, id)``.
 
@@ -944,7 +1240,9 @@ class AliCoCoCluster:
         for shard in sorted(groups):
             service = self._count_shard(shard)
             shard_ids = groups[shard]
-            texts = [doc_tokens(service, node_id) for node_id in shard_ids]
+            texts = [
+                doc_tokens(cgen.shards[shard], node_id) for node_id in shard_ids
+            ]
             shard_scores = service._pool_scores(
                 self._reranker, query_tokens, shard_ids, texts
             )
@@ -952,30 +1250,38 @@ class AliCoCoCluster:
         return sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
 
     def _items_reranked_scattered(
-        self, service: AliCoCoService, concept_id: str, top_k: int | None
+        self,
+        shard: int,
+        concept_id: str,
+        top_k: int | None,
+        cgen: ClusterGeneration,
     ) -> tuple:
-        concept_tokens = tuple(service._store.get(concept_id).tokens)
+        concept_tokens = tuple(cgen.shards[shard].store.get(concept_id).tokens)
         pool = self._item_pool_scattered(
-            service, concept_id, self._service_config.rerank_pool_k
+            shard, concept_id, self._service_config.rerank_pool_k, cgen
         )
         scored = self._score_scattered(
             concept_tokens,
             pool,
-            lambda shard_service, item_id: shard_service._store.get(
-                item_id
-            ).title.split(),
+            lambda shard_gen, item_id: shard_gen.store.get(item_id).title.split(),
+            cgen,
         )
         if top_k is not None:
             scored = scored[:top_k]
         return tuple(scored)
 
-    def _search_reranked_scattered(self, tokens: tuple[str, ...], k: int) -> tuple:
-        pool = self._concept_pool_scattered(tokens, self._service_config.rerank_pool_k)
+    def _search_reranked_scattered(
+        self, tokens: tuple[str, ...], k: int, cgen: ClusterGeneration
+    ) -> tuple:
+        pool = self._concept_pool_scattered(
+            tokens, self._service_config.rerank_pool_k, cgen
+        )
         scored = self._score_scattered(
             tokens,
             pool,
-            lambda shard_service, concept_id: list(
-                shard_service._store.get(concept_id).tokens
+            lambda shard_gen, concept_id: list(
+                shard_gen.store.get(concept_id).tokens
             ),
+            cgen,
         )
         return tuple(scored[:k])

@@ -608,15 +608,16 @@ class AliCoCoService:
                 f"snapshot fingerprint {header.config_fingerprint!r} does "
                 f"not match expected {expected_fingerprint!r}"
             )
-        # A generational snapshot (delta records present) warm-starts a
-        # generational service: segments replay with their saved
-        # generation numbering, so the restored service resumes at the
-        # exact generation it was saved at and its generation-keyed
-        # caches stay coherent.  Delta-less snapshots serve frozen, as
-        # before.
+        # A generational snapshot warm-starts a generational service:
+        # segments replay with their saved generation numbering, so the
+        # restored service resumes at the exact generation it was saved
+        # at and its generation-keyed caches stay coherent.  A compacted
+        # store may have zero delta records but a folded generation in
+        # the header — still generational.  Delta-less generation-0
+        # snapshots serve frozen, as before.
         store: AliCoCoStore | GenerationalStore = (
             generational_store_from_snapshot(snapshot)
-            if snapshot.deltas
+            if snapshot.deltas or header.base_generation > 0
             else snapshot.store
         )
         state = snapshot.index_states.get(CONCEPT_INDEX)
@@ -688,7 +689,7 @@ class AliCoCoService:
         )
 
     # ----------------------------------------------------------- generations
-    def publish(self) -> int:
+    def publish(self, *, search_index: Any = _MISS) -> int:
         """Seal pending writes and atomically serve the next generation.
 
         Seals the store's open delta, swaps the published view, extends
@@ -706,6 +707,14 @@ class AliCoCoService:
 
         A publish with nothing staged and nothing open is a no-op that
         returns the current generation id.
+
+        Args:
+            search_index: When given, serve this index for the new
+                generation instead of extending the old one.  A cluster
+                shard cannot extend its index locally — its documents
+                score with *global* corpus statistics — so the cluster
+                passes a fresh projection of the advanced global index
+                here (see :meth:`repro.serving.cluster.AliCoCoCluster.publish`).
 
         Returns:
             The generation id now being served.
@@ -733,7 +742,11 @@ class AliCoCoService:
             self._gen = ServingGeneration(
                 generation_id=generation_id,
                 store=view,
-                search_index=self._next_search_index(old, view),
+                search_index=(
+                    self._next_search_index(old, view)
+                    if search_index is _MISS
+                    else search_index
+                ),
                 dense_indexes=dense_indexes,
                 primitive_index=_build_primitive_index(view),
                 ecommerce_count=view.count_nodes(ECOMMERCE_PREFIX),
@@ -762,7 +775,8 @@ class AliCoCoService:
         if not self._fit_search_index:
             # Shard services serve projections of a cluster-global index;
             # extending one locally would break scatter-gather parity.
-            # Clusters serve a pinned generation and rebuild to advance.
+            # The cluster advances them by passing fresh projections
+            # through publish(search_index=...).
             return old.search_index
         fresh = [
             node

@@ -554,3 +554,155 @@ class TestRetrieverAdd:
         assert grown.retrieve(("alpha", "delta"), 4) == refit.retrieve(
             ("alpha", "delta"), 4
         )
+
+
+# ---------------------------------------------------------------- compaction
+class TestCompaction:
+    """Folding the segment chain is invisible to every reader."""
+
+    def _grown(self, built_tiny, **kwargs):
+        store = GenerationalStore(built_tiny.store, **kwargs)
+        for tag in ("c1", "c2", "c3"):
+            _grow(store, tag)
+            store.publish()
+        return store
+
+    def _assert_reads_match(self, store, oracle):
+        assert store.stats() == oracle.stats()
+        assert [n.id for n in store.nodes()] == [n.id for n in oracle.nodes()]
+        for kind in RelationKind:
+            assert list(store.relations(kind)) == list(oracle.relations(kind))
+        for node in oracle.nodes("ec"):
+            assert store.get(node.id) == node
+            assert store.in_relations(
+                node.id, RelationKind.ITEM_ECOMMERCE
+            ) == oracle.in_relations(node.id, RelationKind.ITEM_ECOMMERCE)
+        assert store.find_by_name("ec", "fresh c2 concept") == oracle.find_by_name(
+            "ec", "fresh c2 concept"
+        )
+
+    def test_compact_is_bit_identical_and_keeps_the_generation(self, built_tiny):
+        store = self._grown(built_tiny)
+        oracle = flatten(store)
+        assert len(store.published_segments) == 3
+        assert store.compact() == 3
+        assert store.generation_id == 3  # a representation change, not a publish
+        assert store.base_generation == 3
+        assert store.published_segments == ()
+        self._assert_reads_match(store, oracle)
+
+    def test_compact_on_a_zero_segment_store_is_a_noop(self, built_tiny):
+        store = GenerationalStore(built_tiny.store)
+        assert store.compact() == 0
+        assert store.base_generation == 0
+
+    def test_pinned_readers_survive_compaction(self, built_tiny):
+        store = self._grown(built_tiny)
+        view = store.current()
+        expected = [n.id for n in view.nodes("ec")]
+        store.compact()
+        assert [n.id for n in view.nodes("ec")] == expected
+        assert view.get(expected[-1]).id == expected[-1]
+
+    def test_open_and_staged_writes_survive_compaction(self, built_tiny):
+        store = self._grown(built_tiny)
+        _grow(store, "staged")
+        store.seal()
+        concept, _ = _grow(store, "open")
+        store.compact()
+        assert not store.find_by_name("ec", "fresh staged concept")
+        assert store.publish() == 4
+        assert store.find_by_name("ec", "fresh staged concept")
+        assert store.get(concept.id) == concept
+
+    def test_auto_compaction_bounds_the_chain(self, built_tiny):
+        store = GenerationalStore(built_tiny.store, compact_after_segments=2)
+        twin = GenerationalStore(built_tiny.store)
+        for round_index in range(5):
+            _grow(store, f"auto-{round_index}")
+            _grow(twin, f"auto-{round_index}")
+            assert store.publish() == twin.publish()
+            assert len(store.published_segments) <= 2
+        assert store.base_generation > 0
+        self._assert_reads_match(store, flatten(twin))
+
+    def test_snapshot_round_trip_after_compaction(self, built_tiny, tmp_path):
+        store = self._grown(built_tiny)
+        store.compact()
+        path = tmp_path / "compacted.gen.jsonl"
+        save_generations(store, path)
+        restored = load_generations(path)
+        assert restored.generation_id == 3
+        assert restored.base_generation == 3
+        assert restored.stats() == store.stats()
+        assert [n.id for n in restored.nodes()] == [n.id for n in store.nodes()]
+        _grow(restored, "after-compact")
+        assert restored.publish() == 4
+
+    def test_all_eight_endpoints_bit_identical_across_compaction(
+        self, built_tiny, tagger, reranker, tmp_path
+    ):
+        config = ServiceConfig(seed=0)
+        store = self._grown(built_tiny)
+        service = AliCoCoService(
+            store, config=config, tagger=tagger, reranker=reranker
+        )
+        requests = []
+        for spec in built_tiny.concepts[:4]:
+            concept_id = built_tiny.concept_ids[spec.text]
+            requests += [
+                ("search", spec.text),
+                ("items_for_concept", concept_id, 5),
+                ("interpretation", concept_id),
+                ("tag", spec.text),
+                ("items_for_concept_reranked", concept_id, 5),
+                ("search_reranked", spec.text, 5),
+            ]
+        requests.append(("search", "fresh c2 concept"))
+        for index in range(3):
+            requests.append(("concepts_for_item", built_tiny.item_ids[index]))
+        for primitive_id in list(built_tiny.primitive_ids.values())[:3]:
+            requests.append(("hypernyms", primitive_id, True))
+        before = service.batch(requests)
+        assert store.compact() == 3
+        assert service.generation_id == 3
+        assert service.batch(requests) == before
+        # ...and the compacted net snapshots and warm-starts identically.
+        path = tmp_path / "compact.svc.jsonl"
+        service.save_snapshot(path)
+        warm = AliCoCoService.from_snapshot(
+            path, config=config, tagger=tagger, reranker=reranker
+        )
+        assert warm.generation_id == 3
+        assert warm.batch(requests) == before
+
+
+# ------------------------------------------------------------- empty segments
+class TestEmptySegments:
+    """Empty deltas never lengthen the chain or mint no-op generations."""
+
+    def test_seal_on_an_empty_delta_returns_none(self, built_tiny):
+        store = GenerationalStore(built_tiny.store)
+        assert store.seal() is None
+        assert store.publish() == 0
+        assert store.published_segments == ()
+
+    def test_hand_staged_empty_segment_is_dropped(self, built_tiny):
+        from repro.kg.generations import DeltaSegment
+
+        store = GenerationalStore(built_tiny.store)
+        store._staged.append(DeltaSegment())
+        assert store.swap() == 0
+        assert store.published_segments == ()
+
+    def test_empty_segments_dropped_alongside_real_ones(self, built_tiny):
+        from repro.kg.generations import DeltaSegment
+
+        store = GenerationalStore(built_tiny.store)
+        store._staged.append(DeltaSegment())
+        _grow(store, "real")
+        store.seal()
+        store._staged.append(DeltaSegment())
+        assert store.swap() == 1
+        assert len(store.published_segments) == 1
+        assert store.find_by_name("ec", "fresh real concept")

@@ -536,6 +536,164 @@ class TestAdmission:
             result.unwrap()
 
 
+class TestAdmissionLostWakeup:
+    """Regression: a timeout-shed waiter must hand its wakeup on.
+
+    ``_release()`` notifies exactly one waiter.  If that waiter's
+    deadline has already expired and the slot is busy again by the time
+    it wakes (a fresh arrival barged into the freed slot, or ``notify``
+    raced the waiter's own timeout inside ``Condition.wait``), it sheds
+    with ``queue_timeout`` — and before the fix the notification died
+    with it, leaving every waiter queued behind it to sleep out its full
+    real-time wait next to state it should react to.
+
+    The reproduction is deterministic: an injectable clock controls the
+    deadlines, a holder keeps the slot busy, and a single injected
+    wakeup stands in for the consumed notification.  CPython wakes
+    condition waiters in FIFO order, so the expired waiter A is woken
+    first; the fix's re-notify must cascade to waiter B within a tight
+    real-time bound even though B's own wait has ~30 real seconds left.
+    """
+
+    @staticmethod
+    def _poll(predicate, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while not predicate():
+            if time.monotonic() > deadline:  # pragma: no cover - failure
+                raise AssertionError("condition never became true")
+            time.sleep(0.001)
+
+    def test_timeout_shed_passes_its_wakeup_on(self):
+        clock = {"now": 0.0}
+        controller = AdmissionController(
+            1, 4, 30.0, clock=lambda: clock["now"]
+        )
+        release = threading.Event()
+        holding = threading.Event()
+        outcomes = {}
+        done = {"a": threading.Event(), "b": threading.Event()}
+
+        def holder():
+            with controller.admit():
+                holding.set()
+                release.wait(10)
+
+        def waiter(name):
+            try:
+                with controller.admit():
+                    outcomes[name] = "admitted"
+            except OverloadedError as error:
+                outcomes[name] = error.reason
+            finally:
+                done[name].set()
+
+        threads = [threading.Thread(target=holder)]
+        threads[0].start()
+        assert holding.wait(5)
+        threads.append(threading.Thread(target=waiter, args=("a",)))
+        threads[1].start()  # queues at t=0, deadline t=30
+        self._poll(lambda: controller.queued == 1)
+        clock["now"] = 100.0  # A's deadline long past
+        threads.append(threading.Thread(target=waiter, args=("b",)))
+        threads[2].start()  # queues at t=100, deadline t=130
+        self._poll(lambda: controller.queued == 2)
+        clock["now"] = 200.0  # both deadlines now expired
+
+        # One wakeup, slot still busy: exactly the state the bug leaves
+        # behind after a shed consumes a release's notification.
+        with controller._condition:
+            controller._condition.notify()
+
+        assert done["a"].wait(5.0)
+        assert outcomes["a"] == "queue_timeout"
+        # Without the re-notify, B sleeps its remaining ~30 real seconds
+        # and this bounded wait times out.
+        assert done["b"].wait(2.0), "waiter B never received the wakeup"
+        assert outcomes["b"] == "queue_timeout"
+
+        release.set()
+        for thread in threads:
+            thread.join(5)
+        stats = controller.stats()
+        assert stats.shed == (("queue_timeout", 2),)
+        assert stats.admitted == 1  # the holder only
+
+    def test_stats_reads_percentiles_inside_the_counter_lock(self):
+        """Regression: ``stats()`` read the wait percentiles after
+        releasing the condition lock, so ``admitted`` and the
+        percentiles could disagree mid-burst.  Pin the contract: the
+        reservoirs are consulted while the lock is still held.
+        """
+        controller = AdmissionController(1, 2, 1.0)
+        with controller.admit():
+            pass
+
+        class LockCheckingReservoir:
+            def __init__(self, inner):
+                self._inner = inner
+                self.checked = 0
+
+            def percentiles_ms(self):
+                assert controller._condition._is_owned(), (
+                    "wait percentiles read outside the admission lock"
+                )
+                self.checked += 1
+                return self._inner.percentiles_ms()
+
+        controller.queue_wait = LockCheckingReservoir(controller.queue_wait)
+        controller.shed_wait = LockCheckingReservoir(controller.shed_wait)
+        stats = controller.stats()
+        assert controller.queue_wait.checked == 1
+        assert controller.shed_wait.checked == 1
+        assert stats.admitted == 1
+        assert stats.queue_wait_p99_ms == 0.0  # immediate admission
+
+    def test_stats_snapshots_stay_consistent_under_churn(self):
+        """Concurrent ``stats()`` during admit/shed churn: every
+        snapshot internally consistent and monotonic."""
+        controller = AdmissionController(2, 2, 0.01)
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    try:
+                        with controller.admit():
+                            pass
+                    except OverloadedError:
+                        pass
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def snapshot():
+            try:
+                last = controller.stats()
+                while not stop.is_set():
+                    now = controller.stats()
+                    assert now.admitted >= last.admitted
+                    assert now.shed_total >= last.shed_total
+                    if now.admitted + now.shed_total == 0:
+                        assert now.queue_wait_p99_ms == 0.0
+                        assert now.shed_wait_p99_ms == 0.0
+                    last = now
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        workers = [threading.Thread(target=churn) for _ in range(4)]
+        readers = [threading.Thread(target=snapshot) for _ in range(2)]
+        for thread in workers + readers:
+            thread.start()
+        time.sleep(0.3)
+        stop.set()
+        for thread in workers + readers:
+            thread.join(5)
+        assert errors == []
+        final = controller.stats()
+        assert final.admitted > 0
+        assert final.inflight == 0 and final.queued == 0
+
+
 class TestClusterShedding:
     def test_overload_sheds_with_typed_error_and_meters_it(self, store):
         cluster = AliCoCoCluster(
@@ -552,10 +710,10 @@ class TestClusterShedding:
         entered = threading.Event()
         original = cluster._search_scattered
 
-        def blocked(tokens, k):
+        def blocked(tokens, k, cgen):
             entered.set()
             hold.wait(5)
-            return original(tokens, k)
+            return original(tokens, k, cgen)
 
         cluster._search_scattered = blocked
         thread = threading.Thread(target=lambda: cluster.search("gift"))
@@ -619,3 +777,130 @@ class TestClusterStatsReport:
             for node in list(store.nodes(ECOMMERCE_PREFIX))[:5]:
                 query = " ".join(node.tokens)
                 assert cluster.search(query) == service.search(query)
+
+
+# --------------------------------------------------------------- generations
+def _grow_round(store, tag):
+    """One deterministic writer round against a generational store."""
+    from repro.kg import Relation, RelationKind
+
+    concept = store.create_ecommerce(f"fresh {tag} cluster concept")
+    item = store.create_item(f"fresh {tag} cluster item title")
+    primitive = next(iter(store.nodes(PRIMITIVE_PREFIX)))
+    store.add_relation(Relation(RelationKind.INTERPRETED_BY, concept.id,
+                                primitive.id, name=primitive.domain))
+    store.add_relation(Relation(RelationKind.ITEM_ECOMMERCE, item.id,
+                                concept.id, weight=0.9))
+    return concept, item
+
+
+class TestClusterGenerations:
+    """cluster.publish() advances in lockstep with a single service."""
+
+    def _assert_parity(self, cluster, service, store, fresh_ids):
+        for node in store.nodes(ECOMMERCE_PREFIX):
+            assert cluster.items_for_concept(node.id) == (
+                service.items_for_concept(node.id)
+            )
+            assert cluster.interpretation(node.id) == (
+                service.interpretation(node.id)
+            )
+        queries = [
+            " ".join(node.tokens)
+            for node in list(store.nodes(ECOMMERCE_PREFIX))[:8]
+        ] + [store.get(concept_id).text for concept_id in fresh_ids]
+        for query in queries:
+            assert cluster.search(query) == service.search(query)
+            assert cluster.search(query, 3) == service.search(query, 3)
+        for node in list(store.nodes(ITEM_PREFIX))[-10:]:
+            assert cluster.concepts_for_item(node.id) == (
+                service.concepts_for_item(node.id)
+            )
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_publish_parity_with_single_service(self, built, n_shards):
+        from repro.kg import GenerationalStore
+
+        source = GenerationalStore(built.store)
+        reference = GenerationalStore(built.store)
+        cluster = _cluster(source, n_shards)
+        service = AliCoCoService(reference, config=ServiceConfig(seed=0))
+        fresh = []
+        for round_index in range(2):
+            concept, _ = _grow_round(source, f"g{round_index}")
+            twin, _ = _grow_round(reference, f"g{round_index}")
+            assert concept.id == twin.id  # ids allocate deterministically
+            fresh.append(concept.id)
+            assert cluster.publish() == service.publish() == round_index + 1
+            assert cluster.generation_id == round_index + 1
+            assert cluster.stats().generation_id == round_index + 1
+            self._assert_parity(cluster, service, source, fresh)
+
+    def test_publish_needs_a_generational_source(self, store):
+        cluster = _cluster(store, 2)
+        with pytest.raises(ConfigError, match="GenerationalStore"):
+            cluster.publish()
+
+    def test_noop_publish_keeps_the_generation_bundle(self, built):
+        from repro.kg import GenerationalStore
+
+        cluster = _cluster(GenerationalStore(built.store), 2)
+        bundle = cluster._cgen
+        assert cluster.publish() == 0
+        assert cluster._cgen is bundle
+
+    def test_new_concepts_are_served_without_restart(self, built):
+        from repro.kg import GenerationalStore
+
+        source = GenerationalStore(built.store)
+        cluster = _cluster(source, 3)
+        concept, item = _grow_round(source, "live")
+        assert cluster.search(concept.text) == ()  # pinned at generation 0
+        assert cluster.publish() == 1
+        hits = cluster.search(concept.text)
+        assert hits and hits[0][0] == concept.id
+        assert cluster.items_for_concept(concept.id) == ((item.id, 0.9),)
+
+    def test_snapshot_round_trip_resumes_the_generation(self, built, tmp_path):
+        from repro.kg import GenerationalStore
+
+        source = GenerationalStore(built.store)
+        cluster = _cluster(source, 2)
+        concept, _ = _grow_round(source, "snap")
+        cluster.publish()
+        expected = cluster.search(concept.text)
+        path = tmp_path / "cluster.gen.jsonl"
+        assert cluster.save_snapshot(path) > 0
+        warm = AliCoCoCluster.from_snapshot(
+            path, config=ClusterConfig(n_shards=2))
+        assert warm.generation_id == 1
+        assert warm.search(concept.text) == expected
+        # The restored cluster keeps evolving from where it left off.
+        grown, _ = _grow_round(warm.source, "snap-2")
+        assert warm.publish() == 2
+        assert warm.search(grown.text)[0][0] == grown.id
+
+    def test_compaction_is_invisible_to_the_cluster(self, built):
+        from repro.kg import GenerationalStore
+
+        source = GenerationalStore(built.store)
+        cluster = _cluster(source, 3)
+        fresh = []
+        for round_index in range(3):
+            concept, _ = _grow_round(source, f"fold-{round_index}")
+            fresh.append(concept.id)
+            cluster.publish()
+        queries = [source.get(concept_id).text for concept_id in fresh]
+        before = [cluster.search(query) for query in queries] + [
+            cluster.items_for_concept(concept_id) for concept_id in fresh
+        ]
+        assert source.compact() == 3
+        assert cluster.generation_id == 3
+        after = [cluster.search(query) for query in queries] + [
+            cluster.items_for_concept(concept_id) for concept_id in fresh
+        ]
+        assert after == before
+        # ...and the next round of growth still publishes cleanly.
+        concept, _ = _grow_round(source, "post-fold")
+        assert cluster.publish() == 4
+        assert cluster.search(concept.text)[0][0] == concept.id
