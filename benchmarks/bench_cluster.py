@@ -14,13 +14,28 @@ with hard assertions (CI runs them under ``REPRO_BENCH_SMOKE=1`` in the
   computation instead of each paying full rerank cost;
 - **load shedding**: past the admission limits the cluster must answer
   ``OverloadedError`` within the queue-wait bound — overload degrades
-  into fast typed rejections, never unbounded queueing or a hang.
+  into fast typed rejections, never unbounded queueing or a hang;
+- **executor scaling**: with per-request rerank compute scaled up to
+  dominate overheads (10x catalog, scalar scoring path), the process
+  executor's throughput-vs-shard-count curve must bend upward — at full
+  scale, >= 1.5x the thread executor at 4 shards and monotone in shard
+  count.  The gate needs hardware that can actually run 4 workers at
+  once: under smoke, or with fewer than 4 usable cores, the section
+  reports shape only (a one-core box cannot bend any curve; parity is
+  still asserted).
 
-Throughput vs shard count, per-shard balance, and a coalescing-window
-sweep are reported (not gated): at bench scale fan-out overhead dominates
-shard parallelism, so shard-count scaling is a shape report only.
+The three historical sections honour ``REPRO_CLUSTER_EXECUTOR``
+(``thread`` default, ``process`` to drive every cluster through the
+out-of-process shard workers) so CI exercises both executors against the
+same gates.  The final test is a leaked-process tripwire: after every
+section, no worker child may still be alive.
+
+Per-shard balance and a coalescing-window sweep are reported (not
+gated).
 """
 
+import multiprocessing
+import os
 import threading
 import time
 from dataclasses import replace
@@ -42,8 +57,15 @@ from repro.serving import (
 
 from conftest import BENCH_SCALE, SMOKE
 
-_N_ITEMS = 160 if SMOKE else 480
-_N_CONCEPTS = 40 if SMOKE else 110
+#: Which shard executor the parity/coalescing/overload sections drive.
+_EXECUTOR = os.environ.get("REPRO_CLUSTER_EXECUTOR", "thread")
+
+#: Full mode grows the synthetic catalog 10x (through the RunScale knob
+#: below) so scattered rerank compute dominates per-request overhead —
+#: the regime where shard parallelism is measurable at all.
+_CATALOG_GROWTH = 1 if SMOKE else 10
+_N_ITEMS = 160 if SMOKE else 480 * _CATALOG_GROWTH
+_N_CONCEPTS = 40 if SMOKE else 220
 _SHARD_COUNTS = (1, 2, 4)
 _RERANKED_QUERIES = 6 if SMOKE else 12
 
@@ -55,6 +77,28 @@ _COALESCE_PASSES = 4 if SMOKE else 10
 #: sizes); the full run must show real sharing at 8 concurrent clients.
 _MIN_COALESCE_SPEEDUP = 1.0 if SMOKE else 2.0
 _WINDOW_SWEEP_MS = (0.0, 2.0)
+
+#: Executor scaling: a closed loop of scalar-path rerank queries (the
+#: per-candidate scoring loop is pure GIL-bound Python — the workload
+#: the process executor exists for).
+_SCALING_QUERIES = 4 if SMOKE else 10
+_SCALING_PASSES = 1 if SMOKE else 3
+_SCALING_POOL_K = 32 if SMOKE else 200
+#: Full-scale gate: process >= this x thread throughput at 4 shards.
+_SCALING_MIN_SPEEDUP = 1.5
+#: Full-scale monotonicity: each step up in shard count may lose at most
+#: this fraction to noise while the curve must still trend upward.
+_SCALING_MONOTONE_TOLERANCE = 0.9
+#: Cores this process may actually schedule on.  Four workers cannot
+#: outrun one interpreter on a one-core box, so the speedup/monotone
+#: gates only arm at full scale with >= 4 usable cores (parity asserts
+#: unconditionally).
+_USABLE_CORES = (
+    len(os.sched_getaffinity(0))
+    if hasattr(os, "sched_getaffinity")
+    else (os.cpu_count() or 1)
+)
+_SCALING_GATED = not SMOKE and _USABLE_CORES >= 4
 
 #: Overload section: one execution slot, one queue slot, short deadline.
 _OVERLOAD_THREADS = 8
@@ -145,7 +189,7 @@ def test_cluster_scatter_gather(built, reranker, report):
     for n_shards in _SHARD_COUNTS:
         cluster = AliCoCoCluster(
             built.store,
-            config=ClusterConfig(n_shards=n_shards),
+            config=ClusterConfig(n_shards=n_shards, executor=_EXECUTOR),
             service_config=service_config,
             reranker=reranker,
         )
@@ -188,6 +232,7 @@ def _coalescing_cluster(built, reranker, window_ms, coalesce=True):
         built.store,
         config=ClusterConfig(
             n_shards=2,
+            executor=_EXECUTOR,
             cache_capacity=0,
             coalesce_window_ms=window_ms,
             max_inflight=_CLIENTS,
@@ -313,6 +358,7 @@ def test_cluster_overload(built, reranker, report):
         built.store,
         config=ClusterConfig(
             n_shards=2,
+            executor=_EXECUTOR,
             cache_capacity=0,
             max_inflight=1,
             max_queue_depth=1,
@@ -401,3 +447,127 @@ def test_cluster_overload(built, reranker, report):
     ]
     cluster.close()
     report("\n".join(lines))
+
+
+def _scaling_requests(built):
+    """Rerank-heavy battery for the executor-scaling section."""
+    requests = []
+    for spec in _linked_concepts(built, _SCALING_QUERIES):
+        concept_id = built.concept_ids[spec.text]
+        requests.append(("search_reranked", spec.text, 5))
+        requests.append(("items_for_concept_reranked", concept_id, 5))
+    return requests
+
+
+def test_cluster_executor_scaling(built, reranker, report):
+    """Process workers bend the throughput-vs-shard-count curve upward.
+
+    The thread executor scatters rerank arms across a fanout pool, but
+    the scalar scoring loop holds the GIL, so adding shards adds no
+    compute.  The process executor runs each arm in its own interpreter:
+    at full scale on >= 4 usable cores its 4-shard throughput must be >=
+    ``_SCALING_MIN_SPEEDUP``x the thread executor's, and its curve must
+    be monotone in shard count.  Answers stay bit-identical throughout —
+    speed never buys divergence.
+    """
+    service_config = ServiceConfig(
+        retriever="hybrid",
+        rerank_pool_k=_SCALING_POOL_K,
+        use_fast_path=False,
+        doc_cache_capacity=0,
+        cache_capacity=0,
+    )
+    requests = _scaling_requests(built)
+    oracle = AliCoCoService(
+        built.store, config=service_config, reranker=reranker
+    )
+    expected = oracle.batch(requests)
+
+    throughput: dict[tuple, float] = {}
+    for executor in ("thread", "process"):
+        for n_shards in _SHARD_COUNTS:
+            cluster = AliCoCoCluster(
+                built.store,
+                config=ClusterConfig(
+                    n_shards=n_shards,
+                    executor=executor,
+                    cache_capacity=0,
+                    fanout_workers=n_shards,
+                ),
+                service_config=service_config,
+                reranker=reranker,
+            )
+            try:
+                assert cluster.batch(requests) == expected, (
+                    f"{executor} executor at {n_shards} shards diverged "
+                    f"from the single-store oracle"
+                )
+                best = 0.0
+                for _ in range(_SCALING_PASSES):
+                    start = time.perf_counter()
+                    answers = cluster.batch(requests)
+                    seconds = time.perf_counter() - start
+                    assert answers == expected
+                    best = max(best, len(requests) / max(seconds, 1e-9))
+                throughput[(executor, n_shards)] = best
+            finally:
+                cluster.close()
+
+    lines = [
+        f"Executor scaling at {_N_ITEMS} items / {_N_CONCEPTS} concepts "
+        f"({_CATALOG_GROWTH}x catalog, {BENCH_SCALE.name}): "
+        f"{len(requests)} scalar-path rerank queries "
+        f"(pool_k={_SCALING_POOL_K}), best of {_SCALING_PASSES}",
+        f"  {'shards':>6} {'thread q/s':>11} {'process q/s':>12} "
+        f"{'process/thread':>15}",
+    ]
+    for n_shards in _SHARD_COUNTS:
+        thread_qps = throughput[("thread", n_shards)]
+        process_qps = throughput[("process", n_shards)]
+        lines.append(
+            f"  {n_shards:>6} {thread_qps:>11,.1f} {process_qps:>12,.1f} "
+            f"{process_qps / max(thread_qps, 1e-9):>14.2f}x"
+        )
+    gate = throughput[("process", 4)] / max(throughput[("thread", 4)], 1e-9)
+    if not _SCALING_GATED:
+        reason = (
+            "smoke scale"
+            if SMOKE
+            else f"only {_USABLE_CORES} usable core(s)"
+        )
+        lines.append(
+            f"  {reason}: shape report only (4-shard ratio "
+            f"{gate:.2f}x; the >={_SCALING_MIN_SPEEDUP}x gate and the "
+            f"monotone check run at full scale on >= 4 cores)"
+        )
+    else:
+        assert gate >= _SCALING_MIN_SPEEDUP, (
+            f"process executor at 4 shards is only {gate:.2f}x the "
+            f"thread executor; the GIL escape should buy >= "
+            f"{_SCALING_MIN_SPEEDUP}x"
+        )
+        for previous, current in zip(_SHARD_COUNTS, _SHARD_COUNTS[1:]):
+            low = throughput[("process", previous)]
+            high = throughput[("process", current)]
+            assert high >= low * _SCALING_MONOTONE_TOLERANCE, (
+                f"process curve dipped: {previous} shards "
+                f"{low:,.1f} q/s -> {current} shards {high:,.1f} q/s"
+            )
+        lines.append(
+            f"  gates: process/thread at 4 shards {gate:.2f}x "
+            f"(>= {_SCALING_MIN_SPEEDUP}x), process curve monotone "
+            f"within {_SCALING_MONOTONE_TOLERANCE:.0%} per step"
+        )
+    report("\n".join(lines))
+
+
+def test_no_leaked_worker_processes():
+    """Tripwire (runs last): every section reaped its shard workers."""
+    deadline = time.monotonic() + 10.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    leaked = multiprocessing.active_children()
+    assert leaked == [], (
+        f"worker processes leaked past cluster.close(): "
+        f"{[process.name for process in leaked]}"
+    )

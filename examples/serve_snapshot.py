@@ -315,6 +315,48 @@ def main() -> None:
     )
     cluster.close()
 
+    # --- out-of-process shards: escape the GIL, survive worker crashes ----
+    # executor="process" serves every shard from its own interpreter:
+    # the parent snapshots each shard store to disk, spawns one worker
+    # per shard, and speaks a compact framed RPC over pipes.  Answers
+    # stay bit-identical to the thread executor and the single service;
+    # what changes is that scattered rerank compute runs on all cores.
+    process_cluster = AliCoCoCluster(
+        modelled.store,
+        config=ClusterConfig(n_shards=2, executor="process"),
+        service_config=ServiceConfig(),
+        reranker=reranker,
+    )
+    assert process_cluster.search(spec.text, k=3) == (
+        modelled.search(spec.text, k=3)
+    )
+    expected = modelled.search_reranked(spec.text, 3)
+    assert process_cluster.search_reranked(spec.text, 3) == expected
+    workers = process_cluster.stats().workers
+    print(
+        f"\nprocess cluster (2 shards): answers bit-identical; workers "
+        f"{[w.pid for w in workers.workers]} alive={workers.all_alive}"
+    )
+
+    # Crash and recover: kill a worker out from under the cluster.  The
+    # next call that needs it respawns the worker from its bootstrap
+    # snapshot (plus any published deltas) and the answer is the same —
+    # bounded restarts, then typed ShardUnavailableError degradation.
+    victim = process_cluster.worker_pool.worker_process(0)
+    victim.kill()
+    victim.join()
+    fresh_query = built.concepts[1].text
+    assert process_cluster.search_reranked(fresh_query, 3) == (
+        modelled.search_reranked(fresh_query, 3)
+    )
+    workers = process_cluster.stats().workers
+    print(
+        f"  killed shard 0 (pid {victim.pid}); auto-restarted as pid "
+        f"{workers.workers[0].pid}, answers still bit-identical "
+        f"({workers.total_restarts} restart)"
+    )
+    process_cluster.close()
+
     # --- closing the loop: background mining, drain, compact, restart -----
     # The deployed net keeps growing.  An EvolutionDriver runs the
     # construction stages (mine -> classify -> link -> match) against

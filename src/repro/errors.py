@@ -79,6 +79,25 @@ class OverloadedError(ReproError):
         self.reason = reason
 
 
+class ShardUnavailableError(ReproError):
+    """A cluster shard's worker process is gone and cannot be restored.
+
+    Raised by the process-backed shard executor
+    (:mod:`repro.serving.procpool`) when a worker crashed and the
+    bounded restart budget is exhausted (or a restart itself failed).
+    Queries touching the lost shard degrade to this typed error instead
+    of hanging on a dead pipe; queries routed to healthy shards keep
+    answering.
+
+    Attributes:
+        shard: Index of the unavailable shard (``-1`` when unknown).
+    """
+
+    def __init__(self, message: str, *, shard: int = -1):
+        super().__init__(message)
+        self.shard = shard
+
+
 def error_by_name(name: str) -> type[ReproError] | None:
     """The :class:`ReproError` subclass called ``name``, or ``None``.
 

@@ -4,10 +4,12 @@ from .build import build_alicoco, BuildResult
 from .evolve import (
     CorpusBatch,
     CycleReport,
+    EVOLUTION_STAGES,
     EvolutionConfig,
     EvolutionDriver,
     EvolutionState,
     EvolutionStats,
+    StageLatency,
     classifier_stage,
 )
 
@@ -16,9 +18,11 @@ __all__ = [
     "BuildResult",
     "CorpusBatch",
     "CycleReport",
+    "EVOLUTION_STAGES",
     "EvolutionConfig",
     "EvolutionDriver",
     "EvolutionState",
     "EvolutionStats",
+    "StageLatency",
     "classifier_stage",
 ]

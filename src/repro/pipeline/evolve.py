@@ -53,16 +53,22 @@ from ..synth.items import SynthItem, item_matches_concept
 from ..synth.queries import generate_queries
 from ..synth.world import ConceptSpec, World
 from ..utils.rng import derive_seed, spawn_rng
+from ..utils.timing import LatencyReservoir
 
 __all__ = [
     "CorpusBatch",
     "CycleReport",
+    "EVOLUTION_STAGES",
     "EvolutionConfig",
     "EvolutionDriver",
     "EvolutionState",
     "EvolutionStats",
+    "StageLatency",
     "classifier_stage",
 ]
+
+#: The pipeline stages the driver meters, in execution order.
+EVOLUTION_STAGES = ("mine", "classify", "link", "match", "publish")
 
 
 class EvolutionState(Enum):
@@ -158,6 +164,28 @@ class CycleReport:
 
 
 @dataclass(frozen=True)
+class StageLatency:
+    """Wall-clock latency of one evolution stage.
+
+    ``mine`` is metered per batch; ``classify``/``link``/``match`` per
+    candidate; ``publish`` per actual generation flip (skipped publish
+    checks do not record).
+
+    Attributes:
+        stage: One of :data:`EVOLUTION_STAGES`.
+        calls: Stage invocations recorded so far.
+        p50_ms / p95_ms / p99_ms: Latency percentiles over a uniform
+            reservoir sample of all invocations.
+    """
+
+    stage: str
+    calls: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+
+
+@dataclass(frozen=True)
 class EvolutionStats:
     """Point-in-time snapshot of the driver's counters."""
 
@@ -173,6 +201,47 @@ class EvolutionStats:
     open_nodes: int
     open_relations: int
     last_error: str
+    retry_budget: int = 3
+    stage_latency: tuple[StageLatency, ...] = ()
+
+    @property
+    def wedged(self) -> bool:
+        """Whether the loop has burned its retry budget and stopped."""
+        return self.state is EvolutionState.WEDGED
+
+    def format_table(self) -> str:
+        """Human-readable report: loop health, stage latency, wedge state."""
+        lines = [
+            f"evolution: {self.state.value}, {self.cycles} cycles, "
+            f"{self.publishes} publishes, serving generation "
+            f"{self.generation_id}",
+            f"staged: {self.concepts_accepted} accepted / "
+            f"{self.concepts_rejected} rejected concepts, "
+            f"{self.relations_staged} relations; open delta "
+            f"{self.open_nodes} nodes / {self.open_relations} relations",
+        ]
+        for stage in self.stage_latency:
+            lines.append(
+                f"stage {stage.stage:<9} {stage.calls:>6} calls, "
+                f"p50 {stage.p50_ms:.2f}ms, p95 {stage.p95_ms:.2f}ms, "
+                f"p99 {stage.p99_ms:.2f}ms"
+            )
+        if self.wedged:
+            lines.append(
+                f"wedge: WEDGED after {self.consecutive_failures} "
+                f"consecutive failures (budget {self.retry_budget}); "
+                f"last error: {self.last_error or '-'}"
+            )
+        else:
+            lines.append(
+                f"wedge: clear ({self.consecutive_failures}/"
+                f"{self.retry_budget} consecutive failures burned, "
+                f"{self.failures} total"
+                + (f"; last error: {self.last_error}" if self.last_error
+                   else "")
+                + ")"
+            )
+        return "\n".join(lines)
 
 
 def classifier_stage(classifier: Any,
@@ -249,6 +318,10 @@ class EvolutionDriver:
         self._match = match or self._default_match
         self._clock = clock
         self._generator = CandidateGenerator(world)
+        self._stage_rtt = {
+            stage: LatencyReservoir(256, seed=index)
+            for index, stage in enumerate(EVOLUTION_STAGES)
+        }
         self._primitive_ids: dict[tuple[str, str], str | None] = {}
         self._staged_texts: set[str] = set()
         self._cycle_index = 0
@@ -371,6 +444,14 @@ class EvolutionDriver:
         return (text in self._staged_texts
                 or bool(self._store.find_by_name(ECOMMERCE_PREFIX, text)))
 
+    def _timed(self, stage: str, call: Callable[[], Any]) -> Any:
+        """Run one stage invocation under its latency reservoir."""
+        start = time.perf_counter()
+        try:
+            return call()
+        finally:
+            self._stage_rtt[stage].record(time.perf_counter() - start)
+
     # --------------------------------------------------------------- cycles
     def run_cycle(self) -> CycleReport:
         """Run one full cycle synchronously and apply the publish policy.
@@ -383,10 +464,12 @@ class EvolutionDriver:
             cycle_index = self._cycle_index
             self._cycle_index += 1
             batch = self._fresh_batch(cycle_index)
-            candidates = list(self._mine(batch))
+            candidates = list(
+                self._timed("mine", lambda: self._mine(batch)))
             accepted = rejected = duplicates = links = matches = 0
             for spec in candidates:
-                if not self._classify(spec):
+                if not self._timed(
+                        "classify", lambda s=spec: self._classify(s)):
                     rejected += 1
                     continue
                 if self._is_known(spec.text):
@@ -396,9 +479,13 @@ class EvolutionDriver:
                                                     source=spec.pattern)
                 self._staged_texts.add(spec.text)
                 accepted += 1
-                links += int(self._link(self._store, node, spec))
-                matches += int(self._match(self._store, node, spec,
-                                           batch.rng))
+                links += int(self._timed(
+                    "link",
+                    lambda n=node, s=spec: self._link(self._store, n, s)))
+                matches += int(self._timed(
+                    "match",
+                    lambda n=node, s=spec: self._match(
+                        self._store, n, s, batch.rng)))
             with self._cond:
                 self._cycles += 1
                 self._accepted += accepted
@@ -422,7 +509,8 @@ class EvolutionDriver:
                 due_time = elapsed >= self.config.publish_max_interval
                 if not (due_size or due_time):
                     return None
-            generation_id = int(self._target.publish())
+            generation_id = int(
+                self._timed("publish", self._target.publish))
             self._last_publish = self._clock()
             with self._cond:
                 if waiting:
@@ -524,6 +612,14 @@ class EvolutionDriver:
     def stats(self) -> EvolutionStats:
         """A consistent snapshot of counters plus the open-delta size."""
         open_nodes, open_relations = self._store.open_counts
+        stage_latency = []
+        for stage in EVOLUTION_STAGES:
+            reservoir = self._stage_rtt[stage]
+            summary = reservoir.percentiles_ms()
+            stage_latency.append(StageLatency(
+                stage=stage, calls=reservoir.count,
+                p50_ms=summary["p50"], p95_ms=summary["p95"],
+                p99_ms=summary["p99"]))
         with self._cond:
             return EvolutionStats(
                 state=self._state, cycles=self._cycles,
@@ -535,7 +631,9 @@ class EvolutionDriver:
                 publishes=self._publishes,
                 generation_id=self._store.generation_id,
                 open_nodes=open_nodes, open_relations=open_relations,
-                last_error=self._last_error)
+                last_error=self._last_error,
+                retry_budget=self.config.max_retries,
+                stage_latency=tuple(stage_latency))
 
     # ------------------------------------------------------ background loop
     def _run_loop(self) -> None:

@@ -42,6 +42,13 @@ from .models import (
     rerank_score,
     restore_serving_module,
 )
+from .procpool import (
+    ProcessShardPool,
+    ProcPoolStats,
+    ShardWorkerSpec,
+    WorkerStats,
+)
+from .rpc import ChannelStats, ShardChannel, decode_frame, encode_frame
 from .service import (
     AliCoCoService,
     BatchResult,
@@ -52,6 +59,8 @@ from .service import (
     TAGGER_MODEL,
     ServingGeneration,
     fit_concept_index,
+    save_shard_snapshot,
+    shard_service_from_snapshot,
     ServiceConfig,
 )
 from .shard import (
@@ -62,6 +71,7 @@ from .shard import (
     owner_shards,
     project_bm25_index,
     shard_of,
+    shard_sizes,
     split_concept_index,
     split_store,
 )
@@ -78,14 +88,25 @@ __all__ = [
     "CoalescerStats",
     "ClusterConfig",
     "ClusterStats",
+    "ChannelStats",
     "PARTITIONED_LAYERS",
+    "ProcPoolStats",
+    "ProcessShardPool",
     "REPLICATED_LAYERS",
+    "ShardChannel",
+    "ShardWorkerSpec",
+    "WorkerStats",
+    "decode_frame",
+    "encode_frame",
     "endpoint_table",
     "merge_ranked",
     "owned_ids",
     "owner_shards",
     "project_bm25_index",
+    "save_shard_snapshot",
     "shard_of",
+    "shard_service_from_snapshot",
+    "shard_sizes",
     "split_concept_index",
     "split_store",
     "BatchResult",

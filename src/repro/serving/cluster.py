@@ -66,10 +66,31 @@ per-shard :class:`~repro.serving.ServingGeneration` pins — with a
 single attribute assignment.  Scattered reads pin the bundle at entry
 and read only from it, so a fan-out never mixes two generations:
 every answer is a whole generation, before or after, never a blend.
+
+**Executors.**  ``ClusterConfig(executor="thread")`` (the default) runs
+every shard service in-process — simple, but per-shard work is pure
+Python, so fan-out serializes on the GIL and adding shards buys almost
+no throughput.  ``executor="process"`` moves each shard into its own
+worker process (:mod:`repro.serving.procpool`): the parent writes one
+bootstrap snapshot per shard, spawns a worker over each, and serves
+the same eight endpoints by routing point queries and scattering
+batched arm requests over a compact framed RPC
+(:mod:`repro.serving.rpc`).  Answers are bit-identical to the thread
+executor's — workers serve the same stores, the same index projections
+(global corpus statistics) and the same models — while scattered
+sub-requests compute on separate interpreters in parallel, so the
+throughput-vs-shard-count curve actually bends upward
+(``benchmarks/bench_cluster.py`` gates it).  Cache → coalesce → admit
+ordering stays in the parent either way, publish() ships its delta to
+workers over the same RPC, and a crashed worker restarts from its
+snapshot plus the replayed delta log — or, past the restart budget,
+degrades to a typed :class:`~repro.errors.ShardUnavailableError` while
+healthy shards keep answering.
 """
 
 from __future__ import annotations
 
+import shutil
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
@@ -80,7 +101,12 @@ from time import perf_counter
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..concepts.tagging import ConceptTagger
-from ..errors import ConfigError, DataError, DuplicateNodeError
+from ..errors import (
+    ConfigError,
+    DataError,
+    DuplicateNodeError,
+    ShardUnavailableError,
+)
 from ..kg.generations import GenerationalStore
 from ..kg.ids import ECOMMERCE_PREFIX, ITEM_PREFIX, layer_of
 from ..kg.serialize import (
@@ -91,6 +117,7 @@ from ..kg.serialize import (
 )
 from ..kg.store import AliCoCoStore
 from ..matching.bm25 import BM25Index
+from ..matching.retrieval import require_dense_capable
 from ..ml.module import Module
 from ..retrieval import rrf_fuse
 from .admission import AdmissionController, AdmissionStats
@@ -101,8 +128,10 @@ from .models import (
     TAGGER_KIND,
     dense_query_vector,
     model_bundle_state,
+    prepare_serving_module,
     restore_serving_module,
 )
+from .procpool import ProcessShardPool, ProcPoolStats, ShardWorkerSpec, snapshot_dir_for
 from .service import (
     CONCEPT_INDEX,
     DENSE_CONCEPT_INDEX,
@@ -114,12 +143,16 @@ from .service import (
     ServiceConfig,
     ServingGeneration,
     fit_concept_index,
+    require_layer,
+    require_model,
+    save_shard_snapshot,
 )
 from .shard import (
     is_partitioned,
     merge_ranked,
     owner_shards,
     shard_of,
+    shard_sizes,
     split_concept_index,
     split_store,
 )
@@ -161,6 +194,17 @@ class ClusterConfig:
             (default) fans out serially — per-shard work is pure Python
             under the GIL, so threads buy nothing locally, but the knob
             models the parallel fan-out a multi-process deployment gets.
+        executor: ``"thread"`` (default) serves every shard in-process;
+            ``"process"`` spawns one worker process per shard
+            (:mod:`repro.serving.procpool`) — bit-identical answers,
+            genuinely parallel scattered arms (the GIL escape).
+        max_worker_restarts: Process executor only — respawns allowed
+            per crashed worker before its shard degrades to
+            :class:`~repro.errors.ShardUnavailableError`.
+        worker_dir: Process executor only — directory for the per-shard
+            bootstrap snapshots workers boot (and restart) from; a
+            private temporary directory when ``None``, removed on
+            :meth:`AliCoCoCluster.close`.
     """
 
     n_shards: int = 2
@@ -172,10 +216,21 @@ class ClusterConfig:
     reservoir_capacity: int = 512
     seed: int = 0
     fanout_workers: int | None = None
+    executor: str = "thread"
+    max_worker_restarts: int = 2
+    worker_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_shards <= 0:
             raise ConfigError(f"n_shards must be positive, got {self.n_shards}")
+        if self.executor not in ("thread", "process"):
+            raise ConfigError(
+                f"executor must be 'thread' or 'process', got {self.executor!r}"
+            )
+        if self.max_worker_restarts < 0:
+            raise ConfigError(
+                f"max_worker_restarts must be >= 0, got {self.max_worker_restarts}"
+            )
         if self.cache_capacity < 0:
             raise ConfigError(
                 f"cache_capacity must be >= 0, got {self.cache_capacity}"
@@ -222,6 +277,12 @@ class ClusterGeneration:
             reshapes segments but never reorders reads).
         concept_count: E-commerce concepts covered by ``search_index``;
             the next publish extends the index with the nodes past it.
+        shards: Empty under the process executor — shard state lives in
+            the worker processes, pinned there by ``generation_id``.
+        dense_presence: Process executor only — dense index names
+            present on at least one worker (reported in the boot hello
+            and after every shipped delta); the thread executor reads
+            presence off ``shards`` directly.
     """
 
     generation_id: int
@@ -234,6 +295,7 @@ class ClusterGeneration:
     node_count: int
     relation_count: int
     concept_count: int
+    dense_presence: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -250,9 +312,17 @@ class ClusterStats:
         admission: Slot/queue/shed counters and queue-wait percentiles.
         shard_calls: Sub-requests dispatched to each shard (routed ones
             count their owner; scattered ones count every shard).
-        shards: Each shard service's own :class:`ServiceStats`.
+        shards: Each shard service's own :class:`ServiceStats` (under
+            the process executor, fetched from the workers over RPC;
+            shards whose worker is unavailable are omitted).
         generation_id: The cluster generation being served (0 for a
             cluster over a plain frozen store).
+        executor: Which shard executor answered — ``"thread"`` or
+            ``"process"``.
+        shard_owned: Partitioned nodes *owned* by each shard (hash
+            placement census; replicas not counted).
+        workers: Process executor only — per-worker liveness, restart
+            budget burn and RPC round-trip percentiles.
     """
 
     n_shards: int
@@ -267,6 +337,9 @@ class ClusterStats:
     shard_calls: tuple[int, ...]
     shards: tuple[ServiceStats, ...] = field(repr=False)
     generation_id: int = 0
+    executor: str = "thread"
+    shard_owned: tuple[int, ...] = ()
+    workers: ProcPoolStats | None = None
 
     def endpoint(self, name: str) -> EndpointStats:
         """Stats for one cluster endpoint.
@@ -303,6 +376,25 @@ class ClusterStats:
         mean = total / len(self.shard_calls)
         return max(self.shard_calls) / mean
 
+    @property
+    def ownership_imbalance(self) -> float:
+        """Hottest shard's *owned* node count over the coldest's.
+
+        ``inf``-safe by construction: an unlucky hash split can leave a
+        shard owning zero partitioned nodes, and a ratio report must
+        degrade to ``float("inf")`` — never divide by zero.  A cluster
+        with no partitioned nodes at all (or no census) reports 1.0.
+        """
+        if not self.shard_owned:
+            return 1.0
+        low = min(self.shard_owned)
+        high = max(self.shard_owned)
+        if high == 0:
+            return 1.0
+        if low == 0:
+            return float("inf")
+        return high / low
+
     def format_table(self, title: str = "cluster stats") -> str:
         """Human-readable cluster report for benches and examples."""
         coalescer = self.coalescer
@@ -331,6 +423,21 @@ class ClusterStats:
             lines.append(f"  shed: {reasons}")
         calls = ", ".join(str(count) for count in self.shard_calls)
         lines.append(f"  shard calls: [{calls}] (imbalance {self.imbalance:.2f})")
+        if self.shard_owned:
+            owned = ", ".join(str(count) for count in self.shard_owned)
+            lines.append(
+                f"  shard owned: [{owned}] "
+                f"(ownership imbalance {self.ownership_imbalance:.2f})"
+            )
+        if self.workers is not None:
+            for worker in self.workers.workers:
+                state = "up" if worker.alive else "DOWN"
+                lines.append(
+                    f"  worker shard{worker.shard}: pid {worker.pid} {state}, "
+                    f"{worker.restarts} restarts, {worker.calls} rpcs, "
+                    f"rtt p50 {worker.rtt_p50_ms:.3f}ms / "
+                    f"p99 {worker.rtt_p99_ms:.3f}ms"
+                )
         lines += endpoint_table(self.endpoints)
         return "\n".join(lines)
 
@@ -413,29 +520,99 @@ class AliCoCoCluster:
                 f"got {len(shard_search_indexes)}"
             )
         dense_states = shard_dense_states or {}
-        # Shards of an advancing cluster get generational stores of
-        # their own, so publish() can grow them behind their readers;
-        # frozen clusters keep the historical frozen shard stores.
-        self._services = [
-            AliCoCoService(
-                (
-                    GenerationalStore(shard_store)
-                    if self._source is not None
-                    else shard_store
-                ),
-                config=self._service_config,
-                search_index=shard_search_indexes[shard],
-                fit_search_index=False,
-                tagger=tagger,
-                reranker=reranker,
-                dense_index_states=dense_states.get(shard),
-                config_fingerprint=config_fingerprint,
+        initial_generation = view.generation_id if self._source is not None else 0
+        self._pool: ProcessShardPool | None = None
+        self._worker_dir: Path | None = None
+        self._owns_worker_dir = False
+        if self.config.executor == "process":
+            # The parent holds no shard services: it prepares the models
+            # itself (query-side encodings and snapshot bundles), writes
+            # one bootstrap snapshot per shard store, and spawns a worker
+            # process over each.  Workers rebuild dense indexes from the
+            # snapshot-replayed stores (insertion order preserved, fits
+            # deterministic) unless warm-start states are embedded — so
+            # their answers are bit-identical to in-process shards.
+            self._services: list[AliCoCoService] = []
+            self._tagger = (
+                prepare_serving_module(tagger, TAGGER_MODEL)
+                if tagger is not None
+                else None
             )
-            for shard, shard_store in enumerate(split_store(view, n_shards))
-        ]
+            self._reranker = (
+                prepare_serving_module(reranker, RERANKER_MODEL)
+                if reranker is not None
+                else None
+            )
+            if self._service_config.retriever != "bm25":
+                require_dense_capable(
+                    self._reranker, f"retriever {self._service_config.retriever!r}"
+                )
+            self._worker_dir = snapshot_dir_for(self.config.worker_dir)
+            self._owns_worker_dir = self.config.worker_dir is None
+            try:
+                specs = []
+                for shard, shard_store in enumerate(split_store(view, n_shards)):
+                    path = self._worker_dir / f"shard-{shard}.snap"
+                    save_shard_snapshot(
+                        path,
+                        shard_store,
+                        search_index=shard_search_indexes[shard],
+                        dense_states=dense_states.get(shard),
+                        config_fingerprint=config_fingerprint,
+                    )
+                    specs.append(
+                        ShardWorkerSpec(
+                            shard_id=shard,
+                            snapshot_path=str(path),
+                            service_config=self._service_config,
+                            tagger=tagger,
+                            reranker=reranker,
+                            generational=self._source is not None,
+                            cluster_generation_id=initial_generation,
+                        )
+                    )
+                self._pool = ProcessShardPool(
+                    specs,
+                    max_restarts=self.config.max_worker_restarts,
+                    reservoir_capacity=self.config.reservoir_capacity,
+                    seed=self.config.seed,
+                )
+            except BaseException:
+                self._cleanup_worker_dir()
+                raise
+            shard_gens: tuple[ServingGeneration, ...] = ()
+            dense_presence = self._pool.dense_presence()
+        else:
+            # Shards of an advancing cluster get generational stores of
+            # their own, so publish() can grow them behind their readers;
+            # frozen clusters keep the historical frozen shard stores.
+            self._services = [
+                AliCoCoService(
+                    (
+                        GenerationalStore(shard_store)
+                        if self._source is not None
+                        else shard_store
+                    ),
+                    config=self._service_config,
+                    search_index=shard_search_indexes[shard],
+                    fit_search_index=False,
+                    tagger=tagger,
+                    reranker=reranker,
+                    dense_index_states=dense_states.get(shard),
+                    config_fingerprint=config_fingerprint,
+                )
+                for shard, shard_store in enumerate(split_store(view, n_shards))
+            ]
+            # The prepared (fitted-checked, eval-mode) modules; shared by
+            # every shard, referenced here for query-side encodings.
+            self._tagger = self._services[0]._tagger
+            self._reranker = self._services[0]._reranker
+            shard_gens = tuple(service._gen for service in self._services)
+            dense_presence = ()
         self._publish_lock = threading.Lock()
+        self._shard_owned = tuple(shard_sizes(view, n_shards))
         self._cgen = ClusterGeneration(
-            generation_id=view.generation_id if self._source is not None else 0,
+            generation_id=initial_generation,
             store=view,
             search_index=search_index,
             shard_search_indexes=tuple(shard_search_indexes),
@@ -449,15 +626,12 @@ class AliCoCoCluster:
                 node.id: position
                 for position, node in enumerate(view.nodes(ITEM_PREFIX))
             },
-            shards=tuple(service._gen for service in self._services),
+            shards=shard_gens,
             node_count=len(view),
             relation_count=view.stats().relations_total,
             concept_count=view.count_nodes(ECOMMERCE_PREFIX),
+            dense_presence=dense_presence,
         )
-        # The prepared (fitted-checked, eval-mode) modules; shared by
-        # every shard, referenced here for query-side encodings.
-        self._tagger = self._services[0]._tagger
-        self._reranker = self._services[0]._reranker
         self._cache = (
             LRUCache(self.config.cache_capacity)
             if self.config.cache_capacity
@@ -626,9 +800,8 @@ class AliCoCoCluster:
                     index_states[f"{CONCEPT_INDEX}@shard{shard}"] = (
                         projection.to_state()
                     )
-                for name, dense_index in cgen.shards[shard].dense_indexes.items():
-                    if dense_index is not None:
-                        index_states[f"{name}@shard{shard}"] = dense_index.to_state()
+                for name, state in self._shard_dense_states(shard, cgen).items():
+                    index_states[f"{name}@shard{shard}"] = state
         model_states = {}
         if self._tagger is not None:
             model_states[TAGGER_MODEL] = model_bundle_state(self._tagger, TAGGER_KIND)
@@ -687,28 +860,34 @@ class AliCoCoCluster:
             if generation_id == old.generation_id:
                 return generation_id
             view = self._source.current()
-            # Phase one — route the delta into the shard stores (their
-            # open deltas; readers still see the old shard generations).
+            # Phase one — route the delta to the shards (their open
+            # deltas; readers still see the old shard generations).  The
+            # delta is built as one op list per shard, each in global
+            # insertion order — fresh nodes first, then each relation
+            # behind ghost replicas of its endpoints — and either applied
+            # to the in-process shard stores or shipped to the workers
+            # over RPC, byte-for-byte the same sequence either way.
             fresh_nodes = list(islice(view.nodes(), old.node_count, None))
             fresh_relations = list(
                 islice(view.relations(), old.relation_count, None)
             )
-            shard_stores = [service.store for service in self._services]
+            shard_ops: list[list[tuple[str, Any]]] = [
+                [] for _ in range(self.n_shards)
+            ]
             for node in fresh_nodes:
                 if is_partitioned(node.id):
-                    shard_stores[shard_of(node.id, self.n_shards)].add_node(node)
+                    shard_ops[shard_of(node.id, self.n_shards)].append(
+                        ("node", node)
+                    )
                 else:
-                    for shard_store in shard_stores:
-                        shard_store.add_node(node)
+                    for ops in shard_ops:
+                        ops.append(("node", node))
             for relation in fresh_relations:
                 for home in owner_shards(relation, self.n_shards):
-                    shard_store = shard_stores[home]
+                    ops = shard_ops[home]
                     for endpoint in (relation.source, relation.target):
-                        try:
-                            shard_store.add_node(view.get(endpoint))  # ghost
-                        except DuplicateNodeError:
-                            pass
-                    shard_store.add_relation(relation)
+                        ops.append(("ghost", view.get(endpoint)))
+                    ops.append(("relation", relation))
             search_index = self._next_global_index(old, view)
             projections = split_concept_index(search_index, self.n_shards)
             item_position = dict(old.item_position)
@@ -720,8 +899,36 @@ class AliCoCoCluster:
             # unchanged), while its *lexical* arm always comes from the
             # fresh projections below (global corpus statistics moved
             # even if the shard's own documents did not).
-            for service, projection in zip(self._services, projections):
-                service.publish(search_index=projection)
+            if self._pool is not None:
+                for shard, ops in enumerate(shard_ops):
+                    projection = projections[shard]
+                    self._pool.apply_delta(
+                        shard,
+                        generation_id,
+                        ops,
+                        projection.to_state() if projection is not None else None,
+                    )
+                shard_gens: tuple[ServingGeneration, ...] = ()
+                dense_presence = self._pool.dense_presence()
+            else:
+                for service, ops, projection in zip(
+                    self._services, shard_ops, projections
+                ):
+                    shard_store = service.store
+                    for kind, payload in ops:
+                        if kind == "node":
+                            shard_store.add_node(payload)
+                        elif kind == "ghost":
+                            try:
+                                shard_store.add_node(payload)
+                            except DuplicateNodeError:
+                                pass
+                        else:
+                            shard_store.add_relation(payload)
+                    service.publish(search_index=projection)
+                shard_gens = tuple(service._gen for service in self._services)
+                dense_presence = ()
+            self._shard_owned = tuple(shard_sizes(view, self.n_shards))
             # Phase two — a single assignment installs the whole bundle.
             self._cgen = ClusterGeneration(
                 generation_id=generation_id,
@@ -730,10 +937,11 @@ class AliCoCoCluster:
                 shard_search_indexes=tuple(projections),
                 concept_position=self._positions_of(search_index),
                 item_position=item_position,
-                shards=tuple(service._gen for service in self._services),
+                shards=shard_gens,
                 node_count=len(view),
                 relation_count=view.stats().relations_total,
                 concept_count=view.count_nodes(ECOMMERCE_PREFIX),
+                dense_presence=dense_presence,
             )
             if self._cache is not None:
                 self._cache.begin_generation(f"gen-{generation_id}")
@@ -782,11 +990,12 @@ class AliCoCoCluster:
         """Best items for a concept, answered by its owner shard."""
         with self._metered_errors("items_for_concept"):
             cgen = self._cgen
-            service = self._route(concept_id)
+            shard = self._shard_for(concept_id)
+            self._count_calls((shard,))
             return self._serve(
                 "items_for_concept",
                 (concept_id, top_k),
-                lambda: service.items_for_concept(concept_id, top_k),
+                lambda: self._routed(shard, "items_for_concept", concept_id, top_k),
                 cgen,
             )
 
@@ -794,11 +1003,12 @@ class AliCoCoCluster:
         """Concepts an item participates in, from the item's owner shard."""
         with self._metered_errors("concepts_for_item"):
             cgen = self._cgen
-            service = self._route(item_id)
+            shard = self._shard_for(item_id)
+            self._count_calls((shard,))
             return self._serve(
                 "concepts_for_item",
                 (item_id,),
-                lambda: service.concepts_for_item(item_id),
+                lambda: self._routed(shard, "concepts_for_item", item_id),
                 cgen,
             )
 
@@ -806,11 +1016,12 @@ class AliCoCoCluster:
         """Primitive senses of a concept, from its owner shard."""
         with self._metered_errors("interpretation"):
             cgen = self._cgen
-            service = self._route(concept_id)
+            shard = self._shard_for(concept_id)
+            self._count_calls((shard,))
             return self._serve(
                 "interpretation",
                 (concept_id,),
-                lambda: service.interpretation(concept_id),
+                lambda: self._routed(shard, "interpretation", concept_id),
                 cgen,
             )
 
@@ -818,11 +1029,12 @@ class AliCoCoCluster:
         """Hypernym expansion; the taxonomy is replicated, shard 0 answers."""
         with self._metered_errors("hypernyms"):
             cgen = self._cgen
-            service = self._route(primitive_id)
+            shard = self._shard_for(primitive_id)
+            self._count_calls((shard,))
             return self._serve(
                 "hypernyms",
                 (primitive_id, transitive),
-                lambda: service.hypernyms(primitive_id, transitive),
+                lambda: self._routed(shard, "hypernyms", primitive_id, transitive),
                 cgen,
             )
 
@@ -845,9 +1057,11 @@ class AliCoCoCluster:
         """Concept tagging; the model and primitive layer are replicated."""
         with self._metered_errors("tag"):
             cgen = self._cgen
-            service = self._count_shard(0)
+            self._count_calls((0,))
             tokens = tuple(text.split())
-            return self._serve("tag", (tokens,), lambda: service.tag(text), cgen)
+            return self._serve(
+                "tag", (tokens,), lambda: self._routed(0, "tag", text), cgen
+            )
 
     def items_for_concept_reranked(
         self, concept_id: str, top_k: int | None = None
@@ -864,10 +1078,17 @@ class AliCoCoCluster:
                 )
             cgen = self._cgen
             shard = self._shard_for(concept_id)
-            service = self._count_shard(shard)
-            service._require(
-                concept_id, ECOMMERCE_PREFIX, store=cgen.shards[shard].store
-            )
+            self._count_calls((shard,))
+            # The existence/layer precheck happens parent-side either
+            # way: against the owner shard's pinned store (thread) or
+            # the pinned global view (process) — the shard owns exactly
+            # the global view's nodes, so the errors are identical.
+            if self._pool is not None:
+                require_layer(cgen.store, concept_id, ECOMMERCE_PREFIX)
+            else:
+                self._services[shard]._require(
+                    concept_id, ECOMMERCE_PREFIX, store=cgen.shards[shard].store
+                )
             return self._serve(
                 "items_for_concept_reranked",
                 (concept_id, top_k),
@@ -978,8 +1199,18 @@ class AliCoCoCluster:
 
     @property
     def services(self) -> tuple[AliCoCoService, ...]:
-        """The shard services, in shard order."""
+        """The in-process shard services, in shard order (empty under
+        the process executor — shard state lives in the workers)."""
         return tuple(self._services)
+
+    @property
+    def worker_pool(self) -> ProcessShardPool | None:
+        """The process executor's worker pool (``None`` under threads).
+
+        Exposed for health checks (``ping_all``), worker stats, and
+        crash-recovery tests that kill a live worker process.
+        """
+        return self._pool
 
     @property
     def endpoints(self) -> tuple[str, ...]:
@@ -989,7 +1220,14 @@ class AliCoCoCluster:
     @property
     def models(self) -> tuple[str, ...]:
         """Bundle names of the models the cluster is serving."""
-        return self._services[0].models
+        if self._services:
+            return self._services[0].models
+        names = []
+        if self._tagger is not None:
+            names.append(TAGGER_MODEL)
+        if self._reranker is not None:
+            names.append(RERANKER_MODEL)
+        return tuple(names)
 
     def stats(self) -> ClusterStats:
         """Current cluster statistics (fan-out, coalescing, admission).
@@ -1003,6 +1241,17 @@ class AliCoCoCluster:
         with self._balance_lock:
             shard_calls = tuple(self._shard_calls)
         cache_counters = self._cache.counters() if self._cache else CacheCounters()
+        if self._pool is not None:
+            shard_stats = []
+            for shard in range(self.n_shards):
+                try:
+                    shard_stats.append(self._pool.call(shard, "stats"))
+                except ShardUnavailableError:
+                    continue
+            workers = self._pool.stats()
+        else:
+            shard_stats = [service.stats() for service in self._services]
+            workers = None
         return ClusterStats(
             n_shards=self.n_shards,
             nodes=cgen.node_count,
@@ -1017,14 +1266,30 @@ class AliCoCoCluster:
             coalescer=self._coalescer.stats(),
             admission=self._admission.stats(),
             shard_calls=shard_calls,
-            shards=tuple(service.stats() for service in self._services),
+            shards=tuple(shard_stats),
             generation_id=cgen.generation_id,
+            executor=self.config.executor,
+            shard_owned=self._shard_owned,
+            workers=workers,
         )
 
     def close(self) -> None:
-        """Shut down the fan-out executor (no-op without one)."""
+        """Shut down the executors (fan-out threads and worker processes).
+
+        Under the process executor this joins every worker process and
+        removes the private bootstrap-snapshot directory — after close
+        the cluster leaves no child processes behind.
+        """
         if self._fanout is not None:
             self._fanout.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.close()
+        self._cleanup_worker_dir()
+
+    def _cleanup_worker_dir(self) -> None:
+        if self._owns_worker_dir and self._worker_dir is not None:
+            shutil.rmtree(self._worker_dir, ignore_errors=True)
+            self._owns_worker_dir = False
 
     def __enter__(self) -> "AliCoCoCluster":
         return self
@@ -1047,20 +1312,30 @@ class AliCoCoCluster:
             partitioned = False
         return shard_of(node_id, self.n_shards) if partitioned else 0
 
-    def _route(self, node_id: str) -> AliCoCoService:
-        """The shard service answering point queries for ``node_id``."""
-        return self._count_shard(self._shard_for(node_id))
+    def _count_calls(self, shards: Iterable[int]) -> None:
+        """Charge one sub-request to each listed shard's balance counter."""
+        with self._balance_lock:
+            for shard in shards:
+                self._shard_calls[shard] += 1
 
     def _count_shard(self, shard: int) -> AliCoCoService:
-        with self._balance_lock:
-            self._shard_calls[shard] += 1
+        self._count_calls((shard,))
         return self._services[shard]
+
+    def _routed(self, shard: int, endpoint: str, *args: Any) -> Any:
+        """Answer one routed endpoint call on its owner shard.
+
+        Dispatches in-process (thread executor) or as one RPC round-trip
+        (process executor); the caller has already charged the shard's
+        balance counter.
+        """
+        if self._pool is not None:
+            return self._pool.call(shard, endpoint, *args)
+        return getattr(self._services[shard], endpoint)(*args)
 
     def _scatter(self, call: Callable[[int, AliCoCoService], Any]) -> list:
         """Run ``call(shard, service)`` against every shard, in order."""
-        with self._balance_lock:
-            for shard in range(self.n_shards):
-                self._shard_calls[shard] += 1
+        self._count_calls(range(self.n_shards))
         if self._fanout is None:
             return [
                 call(shard, service)
@@ -1070,8 +1345,34 @@ class AliCoCoCluster:
             self._fanout.map(call, range(self.n_shards), self._services)
         )
 
+    def _arm_scatter(self, method: str, args: tuple) -> list:
+        """Scatter one generation-pinned arm request to every worker.
+
+        One pipelined round-trip per shard — every worker computes its
+        arm concurrently (:meth:`ProcessShardPool.scatter`).  Returns
+        the per-shard results in shard order.
+        """
+        self._count_calls(range(self.n_shards))
+        results = self._pool.scatter(
+            {shard: (method, args) for shard in range(self.n_shards)}
+        )
+        return [results[shard] for shard in range(self.n_shards)]
+
+    def _shard_dense_states(self, shard: int, cgen: ClusterGeneration) -> dict:
+        """One shard's dense index states, local or fetched over RPC."""
+        if self._pool is None:
+            return {
+                name: dense_index.to_state()
+                for name, dense_index in cgen.shards[shard].dense_indexes.items()
+                if dense_index is not None
+            }
+        try:
+            return self._pool.call(shard, "index_states")
+        except ShardUnavailableError:
+            return {}
+
     def _require_reranker(self, endpoint: str) -> None:
-        self._services[0]._require_model(self._reranker, RERANKER_MODEL, endpoint)
+        require_model(self._reranker, RERANKER_MODEL, endpoint)
 
     @contextmanager
     def _metered_errors(self, endpoint: str) -> Iterator[None]:
@@ -1138,19 +1439,24 @@ class AliCoCoCluster:
         """Global BM25 ranking from per-shard projections (bit-identical)."""
         if not tokens or cgen.search_index is None:
             return ()
-        arms = self._scatter(
-            lambda shard, service: service._search_uncached(
-                tokens, k, index=cgen.shard_search_indexes[shard]
+        if self._pool is not None:
+            arms = self._arm_scatter("search_arm", (cgen.generation_id, tokens, k))
+        else:
+            arms = self._scatter(
+                lambda shard, service: service._search_uncached(
+                    tokens, k, index=cgen.shard_search_indexes[shard]
+                )
             )
-        )
         return merge_ranked(arms, cgen.concept_position, k)
 
     @staticmethod
     def _has_dense(name: str, cgen: ClusterGeneration) -> bool:
-        return any(
-            shard_gen.dense_indexes.get(name) is not None
-            for shard_gen in cgen.shards
-        )
+        if cgen.shards:
+            return any(
+                shard_gen.dense_indexes.get(name) is not None
+                for shard_gen in cgen.shards
+            )
+        return name in cgen.dense_presence
 
     def _concept_pool_scattered(
         self, tokens: tuple[str, ...], k: int, cgen: ClusterGeneration
@@ -1164,12 +1470,17 @@ class AliCoCoCluster:
         ):
             return self._search_scattered(tokens, k, cgen)
         vector = dense_query_vector(self._reranker, tokens)
-        arms = self._scatter(
-            lambda shard, service: service._dense_arm(
-                DENSE_CONCEPT_INDEX, vector, k,
-                indexes=cgen.shards[shard].dense_indexes,
+        if self._pool is not None:
+            arms = self._arm_scatter(
+                "dense_arm", (cgen.generation_id, DENSE_CONCEPT_INDEX, vector, k)
             )
-        )
+        else:
+            arms = self._scatter(
+                lambda shard, service: service._dense_arm(
+                    DENSE_CONCEPT_INDEX, vector, k,
+                    indexes=cgen.shards[shard].dense_indexes,
+                )
+            )
         dense = merge_ranked(arms, cgen.concept_position, k)
         if mode == "dense":
             return dense
@@ -1191,23 +1502,35 @@ class AliCoCoCluster:
         every item->concept edge lives there, in global insertion order,
         so the association ranking is bit-identical.
         """
-        owner = cgen.shards[shard]
-        graph = self._services[shard]._items_uncached(
-            concept_id, k, store=owner.store
-        )
+        if self._pool is not None:
+            graph = self._pool.call(
+                shard, "items_arm", cgen.generation_id, concept_id, k
+            )
+            concept_store = cgen.store
+        else:
+            owner = cgen.shards[shard]
+            graph = self._services[shard]._items_uncached(
+                concept_id, k, store=owner.store
+            )
+            concept_store = owner.store
         mode = self._service_config.retriever
         if mode == "bm25" or not self._has_dense(DENSE_ITEM_INDEX, cgen):
             return graph
-        tokens = tuple(owner.store.get(concept_id).tokens)
+        tokens = tuple(concept_store.get(concept_id).tokens)
         if not tokens:
             return graph
         vector = dense_query_vector(self._reranker, tokens)
-        arms = self._scatter(
-            lambda arm_shard, service: service._dense_arm(
-                DENSE_ITEM_INDEX, vector, k,
-                indexes=cgen.shards[arm_shard].dense_indexes,
+        if self._pool is not None:
+            arms = self._arm_scatter(
+                "dense_arm", (cgen.generation_id, DENSE_ITEM_INDEX, vector, k)
             )
-        )
+        else:
+            arms = self._scatter(
+                lambda arm_shard, service: service._dense_arm(
+                    DENSE_ITEM_INDEX, vector, k,
+                    indexes=cgen.shards[arm_shard].dense_indexes,
+                )
+            )
         dense = merge_ranked(arms, cgen.item_position, k)
         if mode == "dense":
             return dense
@@ -1223,7 +1546,7 @@ class AliCoCoCluster:
         self,
         query_tokens: tuple[str, ...],
         pool: tuple,
-        doc_tokens: Callable[[ServingGeneration, str], list[str]],
+        doc_tokens: Callable[[Any, str], list[str]],
         cgen: ClusterGeneration,
     ) -> list[tuple[str, float]]:
         """Scatter pool scoring to owner shards, merge by ``(-prob, id)``.
@@ -1232,21 +1555,41 @@ class AliCoCoCluster:
         shard's doc-encoding cache — and per-candidate scores are
         pool-composition independent, so the merged ranking equals the
         single-service ``sorted(zip(ids, scores), key=(-score, id))``.
+
+        ``doc_tokens(store, node_id)`` reads candidate text from a pinned
+        store: the owner shard's (thread executor) or the global view's
+        (process executor) — the split shares node objects, so the texts
+        are identical.  Under the process executor the whole request goes
+        out as **one batched scatter**: a single round-trip per owner
+        shard carries every candidate that shard owns, and the workers
+        score their batches concurrently.
         """
         groups: dict[int, list[str]] = {}
         for node_id, _ in pool:
             groups.setdefault(shard_of(node_id, self.n_shards), []).append(node_id)
         scores: dict[str, float] = {}
-        for shard in sorted(groups):
-            service = self._count_shard(shard)
-            shard_ids = groups[shard]
-            texts = [
-                doc_tokens(cgen.shards[shard], node_id) for node_id in shard_ids
-            ]
-            shard_scores = service._pool_scores(
-                self._reranker, query_tokens, shard_ids, texts
-            )
-            scores.update(zip(shard_ids, shard_scores))
+        if self._pool is not None:
+            calls = {}
+            for shard in sorted(groups):
+                shard_ids = groups[shard]
+                texts = [doc_tokens(cgen.store, node_id) for node_id in shard_ids]
+                calls[shard] = ("pool_scores", (query_tokens, shard_ids, texts))
+            self._count_calls(sorted(groups))
+            results = self._pool.scatter(calls)
+            for shard, shard_scores in results.items():
+                scores.update(zip(groups[shard], shard_scores))
+        else:
+            for shard in sorted(groups):
+                service = self._count_shard(shard)
+                shard_ids = groups[shard]
+                texts = [
+                    doc_tokens(cgen.shards[shard].store, node_id)
+                    for node_id in shard_ids
+                ]
+                shard_scores = service._pool_scores(
+                    self._reranker, query_tokens, shard_ids, texts
+                )
+                scores.update(zip(shard_ids, shard_scores))
         return sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
 
     def _items_reranked_scattered(
@@ -1256,14 +1599,15 @@ class AliCoCoCluster:
         top_k: int | None,
         cgen: ClusterGeneration,
     ) -> tuple:
-        concept_tokens = tuple(cgen.shards[shard].store.get(concept_id).tokens)
+        concept_store = cgen.shards[shard].store if cgen.shards else cgen.store
+        concept_tokens = tuple(concept_store.get(concept_id).tokens)
         pool = self._item_pool_scattered(
             shard, concept_id, self._service_config.rerank_pool_k, cgen
         )
         scored = self._score_scattered(
             concept_tokens,
             pool,
-            lambda shard_gen, item_id: shard_gen.store.get(item_id).title.split(),
+            lambda store, item_id: store.get(item_id).title.split(),
             cgen,
         )
         if top_k is not None:
@@ -1279,9 +1623,7 @@ class AliCoCoCluster:
         scored = self._score_scattered(
             tokens,
             pool,
-            lambda shard_gen, concept_id: list(
-                shard_gen.store.get(concept_id).tokens
-            ),
+            lambda store, concept_id: list(store.get(concept_id).tokens),
             cgen,
         )
         return tuple(scored[:k])

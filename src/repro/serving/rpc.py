@@ -1,0 +1,248 @@
+"""Compact framed RPC between the cluster parent and its shard workers.
+
+The process-backed shard executor (:mod:`repro.serving.procpool`) talks
+to each worker over one :func:`multiprocessing.Pipe` connection.  This
+module owns the wire format and the per-channel bookkeeping:
+
+- **Framing** (:func:`encode_frame` / :func:`decode_frame`): every
+  message is a fixed 8-byte header — 2-byte magic, 1-byte format
+  version, 1-byte reserved flag, 4-byte big-endian payload length —
+  followed by a pickled payload.  The header makes corruption loud: a
+  frame from another protocol (or a torn write) fails with a
+  :class:`~repro.errors.DataError` naming the mismatch instead of a
+  pickle error three layers down, and the declared length is validated
+  against the bytes actually received.
+- **Envelopes**: a request is ``(method, args)``; a response is
+  ``(True, value)`` or ``(False, (error_type, message, detail))``.
+  Failures travel as *names* so worker-side library errors re-raise in
+  the parent as their original :class:`~repro.errors.ReproError`
+  subclass (:func:`raise_remote`), keeping routed-endpoint error
+  behaviour bit-identical to the in-process executor.
+- **Channels** (:class:`ShardChannel`): one per worker — the
+  connection, the lock that serializes callers onto the pipe, a
+  round-trip :class:`~repro.utils.timing.LatencyReservoir` and a call
+  counter.  A *batched scatter* holds several channel locks at once;
+  lock order is always increasing shard index (see
+  :meth:`repro.serving.procpool.ProcessShardPool.scatter`), so a
+  scatter can never deadlock against a routed call.
+
+The parent's whole-pool scatter carries one request per shard per
+round-trip — a pool-scoring request ships every candidate the shard
+owns in a single frame, so fan-out cost is one syscall each way per
+shard, not per candidate.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any
+
+from ..errors import DataError, OverloadedError, ReproError, error_by_name
+from ..utils.timing import LatencyReservoir
+
+#: First two bytes of every frame ("AliCoCo RPC").
+RPC_MAGIC = b"AR"
+
+#: Wire-format version; bump on incompatible header/envelope changes.
+RPC_VERSION = 1
+
+#: Header layout: magic, version byte, reserved byte, payload length.
+_HEADER = struct.Struct(">2sBBI")
+
+#: Refuse absurd frames before allocating for them (256 MiB).
+MAX_FRAME_BYTES = 1 << 28
+
+
+def encode_frame(payload: Any) -> bytes:
+    """Serialise one RPC payload as a length-prefixed framed message."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(RPC_MAGIC, RPC_VERSION, 0, len(body)) + body
+
+
+def decode_frame(frame: bytes) -> Any:
+    """Validate a frame's header and deserialise its payload.
+
+    Raises:
+        DataError: On a short frame, wrong magic, wrong version, or a
+            declared length that disagrees with the bytes received.
+    """
+    if len(frame) < _HEADER.size:
+        raise DataError(
+            f"RPC frame too short: {len(frame)} bytes < {_HEADER.size}-byte header"
+        )
+    magic, version, _flags, length = _HEADER.unpack_from(frame)
+    if magic != RPC_MAGIC:
+        raise DataError(f"bad RPC magic {magic!r}; expected {RPC_MAGIC!r}")
+    if version != RPC_VERSION:
+        raise DataError(
+            f"RPC version {version} not supported (speaking {RPC_VERSION})"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise DataError(f"RPC frame declares {length} bytes > {MAX_FRAME_BYTES}")
+    body = frame[_HEADER.size :]
+    if len(body) != length:
+        raise DataError(
+            f"RPC frame declares {length} payload bytes, carries {len(body)}"
+        )
+    return pickle.loads(body)
+
+
+def error_envelope(error: BaseException) -> tuple:
+    """A ``(False, (type name, message, detail))`` response envelope.
+
+    ``detail`` carries typed-error attributes that a plain message cannot
+    reconstruct (today: :class:`~repro.errors.OverloadedError.reason`).
+    """
+    detail = getattr(error, "reason", None)
+    return (False, (type(error).__name__, str(error), detail))
+
+
+def raise_remote(failure: tuple) -> None:
+    """Re-raise a worker-side failure under its original library type.
+
+    Names outside the :class:`~repro.errors.ReproError` hierarchy (a
+    worker-side ``TypeError``, say) re-raise as a plain ``ReproError``
+    carrying the recorded name — same contract as
+    :meth:`repro.serving.BatchResult.unwrap`.
+    """
+    name, message, detail = failure
+    klass = error_by_name(name)
+    if klass is None:
+        raise ReproError(f"{name}: {message}")
+    if klass is OverloadedError and detail is not None:
+        raise klass(message, reason=detail)
+    raise klass(message)
+
+
+@dataclass(frozen=True)
+class ChannelStats:
+    """One worker channel's round-trip health, parent-side.
+
+    Attributes:
+        calls: Round-trips completed on the channel.
+        rtt_p50_ms / rtt_p95_ms / rtt_p99_ms: Round-trip latency
+            percentiles over a uniform reservoir sample — the IPC tax a
+            scattered sub-request pays, queueing on the channel lock
+            included.
+    """
+
+    calls: int
+    rtt_p50_ms: float
+    rtt_p95_ms: float
+    rtt_p99_ms: float
+
+
+class ShardChannel:
+    """One worker's pipe endpoint plus its serialization and metering.
+
+    The lock serializes parent threads onto the underlying connection —
+    a pipe interleaves writers at arbitrary byte boundaries, so exactly
+    one request may be in flight per channel.  Scatter callers hold
+    several channel locks at once (always acquired in increasing shard
+    order); see the module docstring for the deadlock argument.
+
+    Args:
+        connection: The parent end of the worker's pipe.
+        reservoir_capacity / seed: Round-trip reservoir knobs.
+    """
+
+    def __init__(
+        self,
+        connection: Any,
+        *,
+        reservoir_capacity: int = 512,
+        seed: int = 0,
+    ):
+        self.connection = connection
+        self.lock = threading.RLock()
+        self._rtt = LatencyReservoir(reservoir_capacity, seed=seed)
+
+    def reset(self, connection: Any) -> None:
+        """Swap in a respawned worker's pipe end.
+
+        The lock and the round-trip reservoir survive the restart — a
+        worker's latency history spans its respawns; only the transport
+        is replaced.  Caller must hold :attr:`lock`.
+        """
+        self.close()
+        self.connection = connection
+
+    def send(self, method: str, args: tuple) -> None:
+        """Frame and send one request (caller must hold :attr:`lock`)."""
+        self.connection.send_bytes(encode_frame((method, args)))
+
+    def receive(self) -> Any:
+        """Receive one response, unwrap the envelope, re-raise failures.
+
+        Caller must hold :attr:`lock`.  Raises ``EOFError`` /
+        ``OSError`` when the worker died mid-conversation — the pool
+        turns those into restart-or-degrade decisions.
+        """
+        ok, value = decode_frame(self.connection.recv_bytes())
+        if not ok:
+            raise_remote(value)
+        return value
+
+    def roundtrip(self, method: str, args: tuple) -> Any:
+        """One send + receive under the channel lock, metered."""
+        with self.lock:
+            start = perf_counter()
+            self.send(method, args)
+            value = self.receive()
+        self._rtt.record(perf_counter() - start)
+        return value
+
+    def record_roundtrip(self, seconds: float) -> None:
+        """Meter a round-trip driven externally (pipelined scatter)."""
+        self._rtt.record(seconds)
+
+    def stats(self) -> ChannelStats:
+        """Round-trip percentiles and call count."""
+        summary = self._rtt.percentiles_ms()
+        return ChannelStats(
+            calls=self._rtt.count,
+            rtt_p50_ms=summary["p50"],
+            rtt_p95_ms=summary["p95"],
+            rtt_p99_ms=summary["p99"],
+        )
+
+    def close(self) -> None:
+        """Close the parent end of the pipe (idempotent)."""
+        if self.connection is None:
+            return
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+
+
+def serve_connection(connection: Any, dispatch: Any) -> None:
+    """Worker-side RPC loop: frame in, dispatch, envelope out.
+
+    Runs until the parent closes its end (``EOFError``) or a
+    ``"shutdown"`` request arrives (acknowledged before exiting, so the
+    parent can join the process deterministically).  Handler exceptions
+    become error envelopes — the loop itself never dies to an
+    application error, only to a broken pipe.
+    """
+    while True:
+        try:
+            frame = connection.recv_bytes()
+        except (EOFError, OSError):
+            return
+        try:
+            method, args = decode_frame(frame)
+            if method == "shutdown":
+                connection.send_bytes(encode_frame((True, "bye")))
+                return
+            response = (True, dispatch(method, args))
+        except BaseException as error:  # envelope *everything* app-level
+            response = error_envelope(error)
+        try:
+            connection.send_bytes(encode_frame(response))
+        except (BrokenPipeError, OSError):
+            return

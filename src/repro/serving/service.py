@@ -373,6 +373,116 @@ def fit_concept_index(
     return BM25Index(k1=k1, b=b).fit(documents)
 
 
+def require_model(module: Module | None, name: str, endpoint: str) -> Module:
+    """The served module, or a :class:`~repro.errors.ConfigError` naming
+    the endpoint that needs it — shared by the service, the cluster and
+    the out-of-process shard workers (same message everywhere)."""
+    if module is None:
+        raise ConfigError(
+            f"endpoint {endpoint!r} needs a served {name!r} model; "
+            "construct the service with one (or restore it from a "
+            "snapshot model bundle)"
+        )
+    return module
+
+
+def require_layer(store: Any, node_id: str, expected_layer: str) -> None:
+    """Validate that ``node_id`` exists in ``store`` on the given layer.
+
+    Raises:
+        NodeNotFoundError: If the id is absent.
+        RelationError: If the id lives on another layer.
+    """
+    store.get(node_id)  # NodeNotFoundError on absent ids
+    if layer_of(node_id) != expected_layer:
+        raise RelationError(
+            f"node {node_id!r} is in layer {layer_of(node_id)!r}; "
+            f"this endpoint serves layer {expected_layer!r}"
+        )
+
+
+def save_shard_snapshot(
+    path: str | Path,
+    shard_store: AliCoCoStore,
+    *,
+    search_index: BM25Index | None = None,
+    dense_states: dict[str, Any] | None = None,
+    config_fingerprint: str = "",
+) -> int:
+    """Persist one shard's bootstrap state as an ordinary snapshot file.
+
+    The process-backed cluster executor writes one of these per shard so
+    each worker process can load *its shard only* from disk instead of
+    receiving a pickled live store over the spawn boundary — bootstrap
+    cost scales with the shard, not the net, and a crashed worker
+    restarts from the same file.  ``search_index`` is the shard's
+    *projection* of the global concept index (global corpus statistics,
+    shard-local postings — see :func:`repro.serving.shard.project_bm25_index`);
+    ``dense_states`` are optional per-shard dense index states for a
+    warm start.
+
+    Returns:
+        Number of lines written.
+    """
+    index_states: dict[str, Any] = {}
+    if search_index is not None:
+        index_states[CONCEPT_INDEX] = search_index.to_state()
+    if dense_states:
+        index_states.update(dense_states)
+    return save_snapshot(
+        shard_store,
+        path,
+        config_fingerprint=config_fingerprint,
+        index_states=index_states,
+    )
+
+
+def shard_service_from_snapshot(
+    path: str | Path,
+    *,
+    config: ServiceConfig | None = None,
+    tagger: ConceptTagger | None = None,
+    reranker: Module | None = None,
+    generational: bool = False,
+) -> "AliCoCoService":
+    """Rehydrate one shard service from a :func:`save_shard_snapshot` file.
+
+    The worker-process counterpart of the cluster's in-process shard
+    construction: the shard store replays from disk (insertion order
+    preserved, so index fits stay bit-identical to the parent's split),
+    the index projection rehydrates from its serialised state, and the
+    service is built with ``fit_search_index=False`` — a shard must
+    never fit its own index over ghost replicas and local statistics.
+    With ``generational=True`` the store is wrapped in a
+    :class:`~repro.kg.generations.GenerationalStore` so cluster
+    publishes can grow it behind its readers.
+
+    Raises:
+        DataError: If the snapshot is malformed.
+    """
+    snapshot = load_snapshot(path)
+    store: AliCoCoStore | GenerationalStore = snapshot.store
+    if generational:
+        store = GenerationalStore(store)
+    state = snapshot.index_states.get(CONCEPT_INDEX)
+    search_index = BM25Index.from_state(state) if state is not None else None
+    dense_index_states = {
+        name: snapshot.index_states[name]
+        for name in (DENSE_CONCEPT_INDEX, DENSE_ITEM_INDEX)
+        if name in snapshot.index_states
+    }
+    return AliCoCoService(
+        store,
+        config=config,
+        search_index=search_index,
+        fit_search_index=False,
+        tagger=tagger,
+        reranker=reranker,
+        dense_index_states=dense_index_states or None,
+        config_fingerprint=snapshot.header.config_fingerprint,
+    )
+
+
 def _build_primitive_index(view: Any) -> dict[tuple[str, str], str]:
     """(surface, domain) -> node id over a view's primitive layer.
 
@@ -1510,22 +1620,11 @@ class AliCoCoService:
     def _require_model(
         self, module: Module | None, name: str, endpoint: str
     ) -> Module:
-        if module is None:
-            raise ConfigError(
-                f"endpoint {endpoint!r} needs a served {name!r} model; "
-                "construct the service with one (or restore it from a "
-                "snapshot model bundle)"
-            )
-        return module
+        return require_model(module, name, endpoint)
 
     def _require(self, node_id: str, expected_layer: str, store: Any = None) -> None:
         store = store if store is not None else self._gen.store
-        store.get(node_id)  # NodeNotFoundError on absent ids
-        if layer_of(node_id) != expected_layer:
-            raise RelationError(
-                f"node {node_id!r} is in layer {layer_of(node_id)!r}; "
-                f"this endpoint serves layer {expected_layer!r}"
-            )
+        require_layer(store, node_id, expected_layer)
 
     @contextmanager
     def _metered_errors(self, endpoint: str) -> Iterator[None]:

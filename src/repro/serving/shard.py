@@ -140,6 +140,26 @@ def split_store(store: AliCoCoStore, n_shards: int) -> list[AliCoCoStore]:
     return shards
 
 
+def shard_sizes(store: AliCoCoStore, n_shards: int) -> list[int]:
+    """Partitioned nodes *owned* by each shard (replicas not counted).
+
+    The hash-placement census behind the cluster's ownership-imbalance
+    report: an unlucky split can leave a shard owning zero nodes, so
+    downstream ratio reports must stay ``inf``-safe
+    (:attr:`repro.serving.cluster.ClusterStats.ownership_imbalance`).
+
+    Raises:
+        ConfigError: If ``n_shards`` is not positive.
+    """
+    if n_shards <= 0:
+        raise ConfigError(f"n_shards must be positive, got {n_shards}")
+    counts = [0] * n_shards
+    for layer in PARTITIONED_LAYERS:
+        for node in store.nodes(layer):
+            counts[shard_of(node.id, n_shards)] += 1
+    return counts
+
+
 def owned_ids(store: AliCoCoStore, shard_id: int, n_shards: int,
               layer: str) -> list[str]:
     """Ids of a layer a shard *owns* (ghost replicas excluded).

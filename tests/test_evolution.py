@@ -28,6 +28,7 @@ from repro.errors import ConfigError, DataError
 from repro.kg import GenerationalStore
 from repro.kg.ids import ECOMMERCE_PREFIX
 from repro.pipeline import (
+    EVOLUTION_STAGES,
     EvolutionConfig,
     EvolutionDriver,
     EvolutionState,
@@ -307,6 +308,60 @@ class TestDegradation:
         assert stats.failures == 1
         assert stats.consecutive_failures == 0
         assert stats.state is EvolutionState.STOPPED
+
+
+class TestStageLatency:
+    def test_every_stage_is_metered(self, built_tiny):
+        _, _, driver = _driver(built_tiny, seed=17, publish_min_nodes=1)
+        report = driver.run_cycle()
+        assert report.accepted > 0 and report.published_generation == 1
+        stats = driver.stats()
+        by_stage = {entry.stage: entry for entry in stats.stage_latency}
+        assert tuple(by_stage) == EVOLUTION_STAGES
+        assert by_stage["mine"].calls == 1
+        assert by_stage["classify"].calls == report.candidates
+        assert by_stage["link"].calls == report.accepted
+        assert by_stage["match"].calls == report.accepted
+        assert by_stage["publish"].calls == 1
+        for entry in stats.stage_latency:
+            assert entry.p50_ms >= 0.0
+            assert entry.p50_ms <= entry.p95_ms <= entry.p99_ms
+
+    def test_skipped_publish_checks_do_not_record(self, built_tiny):
+        _, _, driver = _driver(built_tiny, seed=17,
+                               publish_min_nodes=10_000,
+                               publish_max_interval=10_000.0)
+        driver.run_cycle()
+        stats = driver.stats()
+        by_stage = {entry.stage: entry for entry in stats.stage_latency}
+        assert by_stage["publish"].calls == 0
+
+    def test_format_table_reports_stages_and_wedge(self, built_tiny):
+        _, _, driver = _driver(built_tiny, seed=17, publish_min_nodes=1)
+        driver.run_cycle()
+        stats = driver.stats()
+        assert not stats.wedged
+        table = stats.format_table()
+        for stage in EVOLUTION_STAGES:
+            assert f"stage {stage}" in table
+        assert "wedge: clear (0/" in table
+        assert "serving generation 1" in table
+
+    def test_format_table_surfaces_a_wedged_loop(self, built_tiny):
+        _, _, driver = _driver(built_tiny, seed=17, max_retries=2,
+                               backoff_base=0.0, publish_min_nodes=1)
+
+        def broken(batch):
+            raise DataError("miner fell over")
+
+        driver._mine = broken
+        driver.start()
+        assert _wait_for(lambda: driver.state is EvolutionState.WEDGED)
+        stats = driver.stats()
+        assert stats.wedged
+        table = stats.format_table()
+        assert "wedge: WEDGED after 2 consecutive failures (budget 2)" in table
+        assert "DataError: miner fell over" in table
 
 
 class TestPipelineUnderLoad:

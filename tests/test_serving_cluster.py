@@ -39,11 +39,13 @@ from repro.serving import (
     Coalescer,
     ClusterConfig,
     CONCEPT_INDEX,
+    ClusterStats,
     ServiceConfig,
     merge_ranked,
     owned_ids,
     project_bm25_index,
     shard_of,
+    shard_sizes,
     split_store,
 )
 from repro.serving.service import fit_concept_index
@@ -769,6 +771,52 @@ class TestClusterStatsReport:
     def test_bad_admission_knobs_surface_at_construction(self, store):
         with pytest.raises(ConfigError, match="max_inflight"):
             AliCoCoCluster(store, config=ClusterConfig(max_inflight=0))
+
+    def test_ownership_imbalance_is_inf_safe(self, store):
+        # Regression: with more shards than partitioned nodes, some
+        # shard owns nothing and max/min used to divide by zero.
+        n_shards = sum(shard_sizes(store, 1)) + 3
+        sizes = shard_sizes(store, n_shards)
+        assert 0 in sizes
+        with AliCoCoCluster(
+            store, config=ClusterConfig(n_shards=n_shards)
+        ) as cluster:
+            stats = cluster.stats()
+            assert stats.ownership_imbalance == float("inf")
+            table = stats.format_table()  # must not raise
+            assert "ownership imbalance inf" in table
+
+    @pytest.mark.parametrize(
+        ("owned", "expected"),
+        [
+            ((), 1.0),
+            ((0, 0), 1.0),
+            ((6, 2), 3.0),
+            ((4, 0), float("inf")),
+        ],
+    )
+    def test_ownership_imbalance_edge_ratios(self, store, owned, expected):
+        with AliCoCoCluster(store, config=ClusterConfig(n_shards=2)) as c:
+            from dataclasses import replace
+
+            stats = replace(c.stats(), shard_owned=owned)
+        assert stats.ownership_imbalance == expected
+
+    def test_shard_sizes_census(self, store):
+        sizes = shard_sizes(store, 3)
+        totals = sum(
+            1
+            for layer in (ECOMMERCE_PREFIX, ITEM_PREFIX)
+            for _ in store.nodes(layer)
+        )
+        assert sum(sizes) == totals
+        assert sizes == [
+            len(owned_ids(store, shard, 3, ECOMMERCE_PREFIX))
+            + len(owned_ids(store, shard, 3, ITEM_PREFIX))
+            for shard in range(3)
+        ]
+        with pytest.raises(ConfigError, match="n_shards"):
+            shard_sizes(store, 0)
 
     def test_fanout_executor_matches_serial(self, store, service):
         with AliCoCoCluster(
